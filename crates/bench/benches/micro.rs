@@ -1,0 +1,157 @@
+//! Criterion microbenchmarks for every hot component of the pipeline —
+//! the quantities behind Figure 7's phase breakdown and §6.5's latency
+//! discussion, measured in isolation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lucid_core::config::SearchConfig;
+use lucid_core::dag::build_dag;
+use lucid_core::entropy::{relative_entropy, relative_entropy_atoms};
+use lucid_core::intent::IntentMeasure;
+use lucid_core::kmeans::kmeans;
+use lucid_core::lemma::lemmatize;
+use lucid_core::standardizer::Standardizer;
+use lucid_core::transform::{enumerate_transformations, EnumOptions};
+use lucid_core::vocab::CorpusModel;
+use lucid_corpus::Profile;
+use lucid_frame::frame::StatFill;
+use lucid_interp::Interpreter;
+use lucid_pyast::{parse_module, print_module};
+
+fn medium_script() -> String {
+    Profile::titanic().generate_corpus(3)[0].source.clone()
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let src = medium_script();
+    let module = parse_module(&src).expect("parses");
+    c.bench_function("pyast/parse_module", |b| {
+        b.iter(|| parse_module(black_box(&src)).expect("parses"))
+    });
+    c.bench_function("pyast/print_module", |b| {
+        b.iter(|| print_module(black_box(&module)))
+    });
+    c.bench_function("core/lemmatize", |b| b.iter(|| lemmatize(black_box(&module))));
+    let lem = lemmatize(&module);
+    c.bench_function("core/build_dag", |b| b.iter(|| build_dag(black_box(&lem))));
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let profile = Profile::titanic();
+    let sources: Vec<String> = profile
+        .generate_corpus(3)
+        .into_iter()
+        .map(|s| s.source)
+        .collect();
+    let model = CorpusModel::build_from_sources(&sources).expect("nonempty");
+    let dag = build_dag(&lemmatize(&parse_module(&sources[0]).expect("parses")));
+
+    c.bench_function("core/corpus_model_build_62_scripts", |b| {
+        b.iter(|| CorpusModel::build_from_sources(black_box(&sources)).expect("nonempty"))
+    });
+    c.bench_function("core/relative_entropy_edges", |b| {
+        b.iter(|| relative_entropy(black_box(&dag), black_box(&model)))
+    });
+    c.bench_function("core/relative_entropy_atoms", |b| {
+        b.iter(|| relative_entropy_atoms(black_box(&dag), black_box(&model)))
+    });
+    c.bench_function("core/enumerate_transformations", |b| {
+        b.iter(|| {
+            enumerate_transformations(
+                black_box(&dag),
+                black_box(&model),
+                0,
+                &EnumOptions::default(),
+            )
+        })
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let points: Vec<Vec<f64>> = (0..64)
+        .map(|i| {
+            vec![
+                (i % 2) as f64 * 4.0,
+                i as f64 / 64.0,
+                ((i * 7) % 13) as f64 / 13.0,
+                ((i * 3) % 5) as f64 / 5.0,
+                0.5,
+            ]
+        })
+        .collect();
+    c.bench_function("core/kmeans_64x5_k3", |b| {
+        b.iter(|| kmeans(black_box(&points), 3, 25))
+    });
+}
+
+fn bench_frame_ops(c: &mut Criterion) {
+    let profile = Profile::spaceship();
+    let df = profile.generate_data(1, 0.5); // ~8.6k rows
+    c.bench_function("frame/fillna_mean_8k_rows", |b| {
+        b.iter(|| black_box(&df).fill_na_stat(StatFill::Mean))
+    });
+    c.bench_function("frame/get_dummies_8k_rows", |b| {
+        b.iter(|| black_box(&df).get_dummies(None, false).expect("encodes"))
+    });
+    let mask = lucid_frame::ops::compare(
+        df.column("Age").expect("exists"),
+        lucid_frame::ops::CmpOp::Gt,
+        &lucid_frame::ops::Operand::Scalar(lucid_frame::Value::Int(30)),
+    )
+    .expect("compares");
+    c.bench_function("frame/filter_8k_rows", |b| {
+        b.iter(|| black_box(&df).filter(black_box(&mask)).expect("filters"))
+    });
+    c.bench_function("frame/drop_duplicates_8k_rows", |b| {
+        b.iter(|| black_box(&df).drop_duplicates())
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let profile = Profile::medical();
+    let data = profile.generate_data(1, 1.0);
+    let mut interp = Interpreter::new();
+    interp.register_table(profile.file, data);
+    let script = parse_module(&profile.generate_corpus(1)[0].source).expect("parses");
+    c.bench_function("interp/run_medical_script_700_rows", |b| {
+        b.iter(|| interp.run(black_box(&script)).expect("executes"))
+    });
+    c.bench_function("interp/check_executes", |b| {
+        b.iter(|| interp.check_executes(black_box(&script)))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let profile = Profile::medical();
+    let data = profile.generate_data(1, 0.3);
+    let sources: Vec<String> = profile
+        .generate_corpus(1)
+        .into_iter()
+        .map(|s| s.source)
+        .collect();
+    let config = SearchConfig {
+        seq_len: 4,
+        intent: IntentMeasure::jaccard(0.8),
+        sample_rows: Some(150),
+        ..SearchConfig::default()
+    };
+    let standardizer =
+        Standardizer::build(&sources, profile.file, data, config).expect("builds");
+    let user = &sources[5];
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("standardize_medical_seq4", |b| {
+        b.iter(|| standardizer.standardize_source(black_box(user)).expect("runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_scoring,
+    bench_kmeans,
+    bench_frame_ops,
+    bench_interpreter,
+    bench_end_to_end
+);
+criterion_main!(benches);

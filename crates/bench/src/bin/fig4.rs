@@ -1,0 +1,71 @@
+//! Figure 4: distribution of % improvement per dataset — LucidScript vs
+//! the GPT simulators. The paper's shape: LS mass entirely at x ≥ 0,
+//! GPT centered near 0 with a tail extending left of 0.
+
+use lucid_baselines::{GptSimulator, GptVariant, Rewriter};
+use lucid_bench::env::print_text_table;
+use lucid_bench::runner::{global_prior, leave_one_out};
+use lucid_bench::stats::Histogram;
+use lucid_bench::ExpEnv;
+use lucid_core::config::SearchConfig;
+use lucid_core::intent::IntentMeasure;
+use lucid_corpus::{CorpusVariant, Profile};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig4Series {
+    dataset: String,
+    method: String,
+    improvements: Vec<f64>,
+    histogram: Histogram,
+}
+
+fn main() {
+    let env = ExpEnv::from_os_env();
+    println!("Figure 4: %-improvement distributions (bins over [-100, 100])\n");
+
+    let gpt4 = GptSimulator::new(GptVariant::Gpt4, global_prior());
+    let gpt35 = GptSimulator::new(GptVariant::Gpt35, global_prior());
+    let methods: Vec<&dyn Rewriter> = vec![&gpt35, &gpt4];
+
+    let mut json = Vec::new();
+    let mut rows = Vec::new();
+    for p in Profile::all() {
+        let cfg = SearchConfig {
+            intent: IntentMeasure::jaccard(0.9),
+            sample_rows: env.sample_rows(),
+            ..Default::default()
+        };
+        let res = leave_one_out(&env, &p, CorpusVariant::Full, &cfg, &methods, None);
+        let ls: Vec<f64> = res.ls_reports.iter().map(|r| r.improvement_pct).collect();
+        let mut series = vec![("LS".to_string(), ls)];
+        for b in &res.baselines {
+            series.push((b.method.clone(), b.improvements.clone()));
+        }
+        for (method, values) in series {
+            let hist = Histogram::build(&values, -100.0, 100.0, 20);
+            rows.push(vec![
+                p.name.to_string(),
+                method.clone(),
+                format!("<0: {}", values.iter().filter(|v| **v < -1e-9).count()),
+                format!("=0: {}", values.iter().filter(|v| v.abs() <= 1e-9).count()),
+                format!(">0: {}", values.iter().filter(|v| **v > 1e-9).count()),
+                hist.sparkline(),
+            ]);
+            json.push(Fig4Series {
+                dataset: p.name.to_string(),
+                method,
+                improvements: values,
+                histogram: hist,
+            });
+        }
+        println!("  {} done", p.name);
+    }
+    println!();
+    print_text_table(
+        &["Dataset", "Method", "neg", "zero", "pos", "hist [-100,100]"],
+        &rows,
+    );
+    println!("\nExpected shape: LS has no negative mass; GPTs center near 0 with a left tail.");
+    env.write_json("fig4", &json);
+}

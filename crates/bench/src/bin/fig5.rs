@@ -1,0 +1,96 @@
+//! Figure 5: median % improvement as the user-intent thresholds vary —
+//! τ_J ∈ [0.5, 1.0] (left panel) and τ_M ∈ [0%, 5%] (right panel).
+//! Expected shape: relaxing the constraint (smaller τ_J / larger τ_M)
+//! lets LS standardize more.
+
+use lucid_bench::env::print_text_table;
+use lucid_bench::runner::leave_one_out_ls;
+use lucid_bench::{ExpEnv, Stats};
+use lucid_core::config::SearchConfig;
+use lucid_core::intent::IntentMeasure;
+use lucid_corpus::{CorpusVariant, Profile};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    dataset: String,
+    tau: f64,
+    median_improvement: f64,
+    n: usize,
+}
+
+fn main() {
+    let mut env = ExpEnv::from_os_env();
+    if env.fast {
+        env.eval_override = Some(4);
+    }
+    println!("Figure 5: median %-improvement vs intent thresholds\n");
+
+    let taus_j = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+    let taus_m = [0.0, 1.0, 2.0, 3.0, 5.0];
+
+    let mut json_j = Vec::new();
+    let mut rows = Vec::new();
+    for p in Profile::all() {
+        let mut cells = vec![p.name.to_string()];
+        for &tau in &taus_j {
+            let cfg = SearchConfig {
+                intent: IntentMeasure::jaccard(tau),
+                sample_rows: env.sample_rows(),
+                ..Default::default()
+            };
+            let res = leave_one_out_ls(&env, &p, CorpusVariant::Full, &cfg);
+            let vals: Vec<f64> = res.ls_reports.iter().map(|r| r.improvement_pct).collect();
+            let s = Stats::of(&vals);
+            cells.push(format!("{:.1}", s.median));
+            json_j.push(SweepPoint {
+                dataset: p.name.to_string(),
+                tau,
+                median_improvement: s.median,
+                n: s.n,
+            });
+        }
+        rows.push(cells);
+        println!("  [tau_J] {} done", p.name);
+    }
+    println!("\nLeft panel — τ_J sweep (median % improvement):");
+    let headers: Vec<String> = std::iter::once("Dataset".to_string())
+        .chain(taus_j.iter().map(|t| format!("τJ={t}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_text_table(&header_refs, &rows);
+
+    let mut json_m = Vec::new();
+    let mut rows = Vec::new();
+    for p in Profile::all() {
+        let mut cells = vec![p.name.to_string()];
+        for &tau in &taus_m {
+            let cfg = SearchConfig {
+                intent: IntentMeasure::model_perf(tau, p.target),
+                sample_rows: env.sample_rows(),
+                ..Default::default()
+            };
+            let res = leave_one_out_ls(&env, &p, CorpusVariant::Full, &cfg);
+            let vals: Vec<f64> = res.ls_reports.iter().map(|r| r.improvement_pct).collect();
+            let s = Stats::of(&vals);
+            cells.push(format!("{:.1}", s.median));
+            json_m.push(SweepPoint {
+                dataset: p.name.to_string(),
+                tau,
+                median_improvement: s.median,
+                n: s.n,
+            });
+        }
+        rows.push(cells);
+        println!("  [tau_M] {} done", p.name);
+    }
+    println!("\nRight panel — τ_M sweep (median % improvement):");
+    let headers: Vec<String> = std::iter::once("Dataset".to_string())
+        .chain(taus_m.iter().map(|t| format!("τM={t}%")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_text_table(&header_refs, &rows);
+
+    println!("\nExpected shape: improvements grow (weakly) as τ_J decreases / τ_M increases.");
+    env.write_json("fig5", &(json_j, json_m));
+}

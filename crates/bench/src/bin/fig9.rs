@@ -1,0 +1,103 @@
+//! Figure 9: target-leakage detection accuracy vs sequence length
+//! (§6.6). Leakage snippets are injected into a sample of each dataset's
+//! scripts; a detection is correct when the standardized output satisfies
+//! the constraints and the injected snippet has been removed.
+
+use lucid_bench::env::print_text_table;
+use lucid_bench::ExpEnv;
+use lucid_core::config::SearchConfig;
+use lucid_core::intent::IntentMeasure;
+use lucid_core::leakage::{detect, LeakageKind};
+use lucid_core::standardizer::Standardizer;
+use lucid_core::vocab::CorpusModel;
+use lucid_corpus::{CorpusVariant, Profile};
+use lucid_pyast::parse_module;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig9Point {
+    dataset: String,
+    seq: usize,
+    detected: usize,
+    total: usize,
+    accuracy: f64,
+}
+
+fn main() {
+    let env = ExpEnv::from_os_env();
+    println!("Figure 9: target-leakage detection accuracy by sequence length\n");
+
+    let seqs = [2usize, 4, 8, 16];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+
+    for p in Profile::all() {
+        let scripts = p.generate_corpus(env.seed);
+        // 10% of scripts (at least 2; fast mode caps at 3).
+        let n_inject = ((scripts.len() / 10).max(2)).min(if env.fast { 3 } else { usize::MAX });
+        let data = env.data_for(&p);
+
+        let mut cells = vec![p.name.to_string()];
+        for &seq in &seqs {
+            let mut detected = 0usize;
+            let mut total = 0usize;
+            for (i, s) in scripts.iter().take(n_inject).enumerate() {
+                // Leave-one-out corpus for the injected script.
+                let rest: Vec<lucid_corpus::ScriptMeta> = scripts
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, m)| m.clone())
+                    .collect();
+                let corpus = CorpusVariant::Full.select(&rest, env.seed);
+                let Ok(model) = CorpusModel::build_from_sources(&corpus) else {
+                    continue;
+                };
+                let config = SearchConfig {
+                    seq_len: seq,
+                    intent: IntentMeasure::jaccard(0.8),
+                    sample_rows: env.sample_rows(),
+                    ..Default::default()
+                };
+                let standardizer =
+                    Standardizer::from_model(model, p.file, data.clone(), config)
+                        .expect("valid config");
+                let module = parse_module(&s.source).expect("corpus scripts parse");
+                let kind = LeakageKind::ALL[i % LeakageKind::ALL.len()];
+                match detect(&standardizer, &module, p.target, kind) {
+                    Ok((_, removed)) => {
+                        total += 1;
+                        if removed {
+                            detected += 1;
+                        }
+                    }
+                    Err(_) => {
+                        // Injected script did not execute — excluded, as in
+                        // the paper's ground-truth construction.
+                    }
+                }
+            }
+            let accuracy = if total == 0 {
+                0.0
+            } else {
+                detected as f64 / total as f64
+            };
+            cells.push(format!("{:.0}%", accuracy * 100.0));
+            json.push(Fig9Point {
+                dataset: p.name.to_string(),
+                seq,
+                detected,
+                total,
+                accuracy,
+            });
+        }
+        rows.push(cells);
+        println!("  {} done", p.name);
+    }
+    println!();
+    print_text_table(&["Dataset", "seq=2", "seq=4", "seq=8", "seq=16"], &rows);
+    println!(
+        "\nPaper reference: over 66% of snippets discovered within 8 steps for all\ndatasets except Sales."
+    );
+    env.write_json("fig9", &json);
+}

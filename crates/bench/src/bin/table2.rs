@@ -1,0 +1,87 @@
+//! Table 2: default `seq`/`K` parameters by corpus properties, verified
+//! against the actually-generated corpora (which cell each dataset's
+//! corpus lands in).
+
+use lucid_bench::env::print_text_table;
+use lucid_bench::ExpEnv;
+use lucid_core::config::table2_defaults;
+use lucid_core::vocab::CorpusModel;
+use lucid_corpus::Profile;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table2Row {
+    large: &'static str,
+    diverse: &'static str,
+    seq: usize,
+    k: usize,
+}
+
+#[derive(Serialize)]
+struct DatasetCell {
+    dataset: String,
+    n_scripts: usize,
+    uniq_edges: usize,
+    seq: usize,
+    k: usize,
+}
+
+fn main() {
+    let env = ExpEnv::from_os_env();
+
+    println!("Table 2: parameterization effected by corpus properties\n");
+    let grid = [
+        ("# of scripts > 10", "# of uniq. edges > 300", 62, 748),
+        ("# of scripts > 10", "# of uniq. edges <= 300", 24, 193),
+        ("# of scripts <= 10", "# of uniq. edges > 300", 10, 423),
+        ("# of scripts <= 10", "# of uniq. edges <= 300", 5, 100),
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (large, diverse, n, e) in grid {
+        let (seq, k) = table2_defaults(n, e);
+        rows.push(vec![
+            large.to_string(),
+            diverse.to_string(),
+            seq.to_string(),
+            k.to_string(),
+        ]);
+        json.push(Table2Row {
+            large,
+            diverse,
+            seq,
+            k,
+        });
+    }
+    print_text_table(&["Large", "Diverse", "seq", "K"], &rows);
+
+    println!("\nWhere each generated corpus lands:\n");
+    let mut cells = Vec::new();
+    let mut rows = Vec::new();
+    for p in Profile::all() {
+        let sources: Vec<String> = p
+            .generate_corpus(env.seed)
+            .into_iter()
+            .map(|s| s.source)
+            .collect();
+        let model = CorpusModel::build_from_sources(&sources).expect("nonempty corpus");
+        let (seq, k) = table2_defaults(model.n_scripts, model.n_unique_edges());
+        rows.push(vec![
+            p.name.to_string(),
+            model.n_scripts.to_string(),
+            model.n_unique_edges().to_string(),
+            seq.to_string(),
+            k.to_string(),
+        ]);
+        cells.push(DatasetCell {
+            dataset: p.name.to_string(),
+            n_scripts: model.n_scripts,
+            uniq_edges: model.n_unique_edges(),
+            seq,
+            k,
+        });
+    }
+    print_text_table(&["Dataset", "Scripts", "Uniq. edges", "seq", "K"], &rows);
+
+    env.write_json("table2", &(json, cells));
+}

@@ -1,0 +1,142 @@
+//! Summary statistics matching Table 5's columns.
+
+use serde::Serialize;
+
+/// min / median / max / mean of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Stats {
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl Stats {
+    /// Computes the summary; empty input yields all-zero stats.
+    pub fn of(values: &[f64]) -> Stats {
+        if values.is_empty() {
+            return Stats {
+                min: 0.0,
+                median: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                n: 0,
+            };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = sorted.len();
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Stats {
+            min: sorted[0],
+            median,
+            max: sorted[n - 1],
+            mean: values.iter().sum::<f64>() / n as f64,
+            n,
+        }
+    }
+
+    /// Formats like a Table 5 row: `min / median / max / mean`.
+    pub fn row(&self) -> Vec<String> {
+        vec![
+            format!("{:.1}", self.min),
+            format!("{:.1}", self.median),
+            format!("{:.1}", self.max),
+            format!("{:.1}", self.mean),
+        ]
+    }
+}
+
+/// Histogram with fixed-width bins over `[lo, hi]` (for Figure 4).
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    /// Inclusive lower edge of the first bin.
+    pub lo: f64,
+    /// Exclusive upper edge of the last bin (last bin includes it).
+    pub hi: f64,
+    /// Counts per bin.
+    pub counts: Vec<usize>,
+    /// Samples below `lo` / above `hi`.
+    pub under: usize,
+    /// Samples above `hi`.
+    pub over: usize,
+}
+
+impl Histogram {
+    /// Bins `values` into `bins` equal-width buckets.
+    pub fn build(values: &[f64], lo: f64, hi: f64, bins: usize) -> Histogram {
+        let mut counts = vec![0usize; bins.max(1)];
+        let (mut under, mut over) = (0usize, 0usize);
+        let width = (hi - lo) / bins.max(1) as f64;
+        for &v in values {
+            if v < lo {
+                under += 1;
+            } else if v > hi {
+                over += 1;
+            } else {
+                let idx = (((v - lo) / width) as usize).min(bins - 1);
+                counts[idx] += 1;
+            }
+        }
+        Histogram {
+            lo,
+            hi,
+            counts,
+            under,
+            over,
+        }
+    }
+
+    /// One-line ASCII sparkline of the histogram.
+    pub fn sparkline(&self) -> String {
+        const GLYPHS: &[char] = &[' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        self.counts
+            .iter()
+            .map(|&c| GLYPHS[(c * (GLYPHS.len() - 1)).div_ceil(max)])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basic() {
+        let s = Stats::of(&[3.0, 1.0, 2.0]);
+        assert_eq!((s.min, s.median, s.max, s.mean, s.n), (1.0, 2.0, 3.0, 2.0, 3));
+        let s = Stats::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.median, 2.5);
+        let s = Stats::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn stats_row_formats_one_decimal() {
+        let s = Stats::of(&[33.123, 72.3]);
+        assert_eq!(s.row(), vec!["33.1", "52.7", "72.3", "52.7"]);
+    }
+
+    #[test]
+    fn histogram_bins_and_clips() {
+        let h = Histogram::build(&[-10.0, 0.0, 5.0, 50.0, 99.9, 100.0, 150.0], 0.0, 100.0, 10);
+        assert_eq!(h.under, 1);
+        assert_eq!(h.over, 1);
+        assert_eq!(h.counts.iter().sum::<usize>(), 5);
+        assert_eq!(h.counts[0], 2); // 0.0 and 5.0
+        assert_eq!(h.counts[9], 2); // 99.9 and 100.0
+        assert_eq!(h.sparkline().chars().count(), 10);
+    }
+}

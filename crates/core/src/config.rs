@@ -1,0 +1,166 @@
+//! Search configuration and the paper's Table 2 parameter defaults.
+
+use crate::error::{CoreError, Result};
+use crate::intent::IntentMeasure;
+use crate::transform::EnumOptions;
+
+/// Which vocabulary models the step space `X` in the RE objective.
+/// The paper uses edges (`V_E'`) because they encode step order
+/// (Section 3); the atom variant is kept for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Edge vocabulary `V_E'` (the paper's choice).
+    #[default]
+    Edges,
+    /// Atom vocabulary `V_A` (order-free ablation).
+    Atoms,
+}
+
+/// Parameters of the online search (Section 5.2 and §6.1.5).
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Maximum number of transformations (`seq`, the stopping criterion).
+    pub seq_len: usize,
+    /// Beam size `K`.
+    pub beam_k: usize,
+    /// Whether the k-means diversity measure is used (Algorithm 3 vs 2).
+    pub diversity: bool,
+    /// Early execution checking `α` (check each candidate as it is
+    /// produced) vs late checking (only at the end).
+    pub early_check: bool,
+    /// The user-intent constraint.
+    pub intent: IntentMeasure,
+    /// Row cap applied to `D_IN` during constraint checking (the sampling
+    /// optimization; `None` = use all rows).
+    pub sample_rows: Option<usize>,
+    /// Seed for any seeded substeps.
+    pub seed: u64,
+    /// Transformation-enumeration caps.
+    pub enum_opts: EnumOptions,
+    /// Cap on the ranked next-step list `F` per beam per step.
+    pub max_steps_ranked: usize,
+    /// Number of k-means clusters `M` for the diversity measure.
+    pub diversity_clusters: usize,
+    /// Which vocabulary the RE objective runs on (ablation knob).
+    pub objective: Objective,
+}
+
+impl Default for SearchConfig {
+    /// The paper's default configuration (§6.1.5): `seq = 16`, `K = 3`,
+    /// diversity on, early checking on, `τ_J = 0.9`.
+    fn default() -> Self {
+        SearchConfig {
+            seq_len: 16,
+            beam_k: 3,
+            diversity: true,
+            early_check: true,
+            intent: IntentMeasure::jaccard(0.9),
+            sample_rows: None,
+            seed: 7,
+            enum_opts: EnumOptions::default(),
+            max_steps_ranked: 64,
+            diversity_clusters: 3,
+            objective: Objective::Edges,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Fails on zero beams/sequence length or an invalid τ.
+    pub fn validate(&self) -> Result<()> {
+        if self.beam_k == 0 {
+            return Err(CoreError::BadConfig("beam size K must be ≥ 1".to_string()));
+        }
+        if self.seq_len == 0 {
+            return Err(CoreError::BadConfig(
+                "sequence length must be ≥ 1".to_string(),
+            ));
+        }
+        if self.diversity && self.diversity_clusters == 0 {
+            return Err(CoreError::BadConfig(
+                "diversity clusters M must be ≥ 1".to_string(),
+            ));
+        }
+        self.intent.validate()
+    }
+
+    /// Applies the paper's Table 2 defaults given corpus properties:
+    ///
+    /// | corpus | diversity | seq | K |
+    /// |---|---|---|---|
+    /// | > 10 scripts | > 300 uniq. edges | 16 | 3 |
+    /// | > 10 scripts | ≤ 300 uniq. edges | 16 | 1 |
+    /// | ≤ 10 scripts | > 300 uniq. edges | 8 | 3 |
+    /// | ≤ 10 scripts | ≤ 300 uniq. edges | 8 | 1 |
+    pub fn with_table2_defaults(mut self, n_scripts: usize, uniq_edges: usize) -> SearchConfig {
+        let (seq, k) = table2_defaults(n_scripts, uniq_edges);
+        self.seq_len = seq;
+        self.beam_k = k;
+        self
+    }
+}
+
+/// The Table 2 lookup: `(seq, K)` from corpus size and edge diversity.
+pub fn table2_defaults(n_scripts: usize, uniq_edges: usize) -> (usize, usize) {
+    let seq = if n_scripts > 10 { 16 } else { 8 };
+    let k = if uniq_edges > 300 { 3 } else { 1 };
+    (seq, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_6_1_5() {
+        let c = SearchConfig::default();
+        assert_eq!(c.seq_len, 16);
+        assert_eq!(c.beam_k, 3);
+        assert!(c.diversity);
+        assert!(c.early_check);
+        assert_eq!(c.intent, IntentMeasure::jaccard(0.9));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn table2_grid() {
+        assert_eq!(table2_defaults(62, 748), (16, 3));
+        assert_eq!(table2_defaults(24, 193), (16, 1));
+        assert_eq!(table2_defaults(10, 423), (8, 3));
+        assert_eq!(table2_defaults(5, 100), (8, 1));
+    }
+
+    #[test]
+    fn with_table2_defaults_overrides() {
+        let c = SearchConfig::default().with_table2_defaults(8, 200);
+        assert_eq!((c.seq_len, c.beam_k), (8, 1));
+    }
+
+    #[test]
+    fn validation_catches_degenerate_configs() {
+        let c = SearchConfig {
+            beam_k: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SearchConfig {
+            seq_len: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SearchConfig {
+            diversity_clusters: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SearchConfig {
+            intent: IntentMeasure::jaccard(2.0),
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

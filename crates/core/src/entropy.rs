@@ -1,0 +1,208 @@
+//! The standardness objective: relative entropy (Definition 4.1).
+//!
+//! `RE(s, S) = Σ_x P(x) · log(P(x) / Q(x))` where `x` ranges over the edge
+//! space, `P` is the script's edge distribution and `Q` the corpus's.
+//!
+//! The paper leaves the zero-support case implicit (a user edge absent
+//! from `V_E'` would make `Q(x) = 0` and `RE` infinite); we apply add-one
+//! (Laplace) smoothing to `Q` over `V_E' ∪ edges(s)`, documented in
+//! DESIGN.md §6. `P` needs no smoothing since `0 · log 0 = 0`.
+
+use crate::dag::ScriptDag;
+use crate::vocab::{CorpusModel, EdgeKey};
+use std::collections::HashMap;
+
+/// Multiset of a script's edges.
+pub fn edge_multiset(dag: &ScriptDag) -> HashMap<EdgeKey, usize> {
+    let mut counts = HashMap::new();
+    for e in dag.edge_keys() {
+        *counts.entry(e).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Relative entropy of a script's edge counts w.r.t. the corpus model.
+/// A script with no edges scores the worst-case divergence of a
+/// one-unknown-edge script, keeping the measure total and monotone.
+pub fn relative_entropy_of_counts(
+    script_edges: &HashMap<EdgeKey, usize>,
+    corpus: &CorpusModel,
+) -> f64 {
+    let total: usize = script_edges.values().sum();
+    // The augmented sample space: corpus edges plus the script's unseen ones.
+    let extra = script_edges
+        .keys()
+        .filter(|e| !corpus.edge_counts.contains_key(*e))
+        .count();
+    if total == 0 {
+        // Defined fallback: divergence of a singleton unseen edge.
+        let q = corpus.q_smoothed(&(String::new(), String::new()), 1);
+        return (1.0 / q).ln();
+    }
+    // Deterministic summation order: float addition is non-associative,
+    // and hash-map iteration order varies between instances.
+    let mut terms: Vec<(&EdgeKey, usize)> =
+        script_edges.iter().map(|(e, &c)| (e, c)).collect();
+    terms.sort();
+    let mut re = 0.0;
+    for (edge, count) in terms {
+        let p = count as f64 / total as f64;
+        let q = corpus.q_smoothed(edge, extra);
+        re += p * (p / q).ln();
+    }
+    // Numerical floor: RE is non-negative analytically, but smoothing can
+    // push Q mass above P for very standard scripts; clamp at zero.
+    re.max(0.0)
+}
+
+/// Relative entropy of a DAG.
+pub fn relative_entropy(dag: &ScriptDag, corpus: &CorpusModel) -> f64 {
+    relative_entropy_of_counts(&edge_multiset(dag), corpus)
+}
+
+/// Ablation variant: relative entropy over the *atom* vocabulary `V_A`
+/// instead of the edge vocabulary `V_E'`. The paper models `X` with edges
+/// because they encode step order (Section 3); this variant drops order
+/// information and is provided for the ablation benches.
+pub fn relative_entropy_atoms(dag: &ScriptDag, corpus: &CorpusModel) -> f64 {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for a in &dag.atoms {
+        *counts.entry(a.as_str()).or_insert(0) += 1;
+    }
+    let total: usize = counts.values().sum();
+    if total == 0 {
+        let q = 1.0 / (corpus.atom_counts.len() as f64 + 1.0);
+        return (1.0 / q).ln();
+    }
+    let corpus_total: usize = corpus.atom_counts.values().sum();
+    let extra = counts
+        .keys()
+        .filter(|a| !corpus.atom_counts.contains_key(**a))
+        .count();
+    let space = corpus.atom_counts.len() + extra;
+    let mut terms: Vec<(&str, usize)> = counts.into_iter().collect();
+    terms.sort();
+    let mut re = 0.0;
+    for (atom, count) in terms {
+        let p = count as f64 / total as f64;
+        let q = (corpus.atom_counts.get(atom).copied().unwrap_or(0) as f64 + 1.0)
+            / (corpus_total as f64 + space as f64);
+        re += p * (p / q).ln();
+    }
+    re.max(0.0)
+}
+
+/// The paper's effectiveness metric (§6.1.4):
+/// `% improvement = (RE(s_u) − RE(ŝ_u)) / RE(s_u) × 100`.
+/// Positive = the output is more standard. Zero-RE inputs (already perfectly
+/// standard) improve by 0 by definition.
+pub fn improvement_pct(re_before: f64, re_after: f64) -> f64 {
+    if re_before <= f64::EPSILON {
+        return 0.0;
+    }
+    (re_before - re_after) / re_before * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::CorpusModel;
+    use lucid_pyast::parse_module;
+
+    fn corpus_model() -> CorpusModel {
+        let sources = [
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.fillna(df.mean())\ndf = pd.get_dummies(df)\n",
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.fillna(df.mean())\ndf = pd.get_dummies(df)\n",
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.dropna()\ndf = pd.get_dummies(df)\n",
+        ];
+        CorpusModel::build_from_sources(&sources).unwrap()
+    }
+
+    fn dag_of(src: &str) -> crate::dag::ScriptDag {
+        crate::dag::build_dag(&crate::lemma::lemmatize(&parse_module(src).unwrap()))
+    }
+
+    #[test]
+    fn corpus_majority_script_scores_lower_than_outlier() {
+        let m = corpus_model();
+        let standard = dag_of(
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.fillna(df.mean())\ndf = pd.get_dummies(df)\n",
+        );
+        let outlier = dag_of(
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.fillna(df.median())\ndf = df[df['Age'] > 99]\n",
+        );
+        let re_std = relative_entropy(&standard, &m);
+        let re_out = relative_entropy(&outlier, &m);
+        assert!(
+            re_std < re_out,
+            "standard {re_std} should be below outlier {re_out}"
+        );
+    }
+
+    #[test]
+    fn re_is_nonnegative_and_finite() {
+        let m = corpus_model();
+        for src in [
+            "import pandas as pd\n",
+            "x = 1\ny = x + 1\n",
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\n",
+        ] {
+            let re = relative_entropy(&dag_of(src), &m);
+            assert!(re.is_finite());
+            assert!(re >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_script_gets_worst_case_score() {
+        let m = corpus_model();
+        let empty = dag_of("");
+        let re = relative_entropy(&empty, &m);
+        assert!(re > 0.0);
+        assert!(re.is_finite());
+    }
+
+    #[test]
+    fn adding_a_common_edge_reduces_re() {
+        // Mirrors Example 4.6: adding the common next step brings P toward Q.
+        let m = corpus_model();
+        let before = dag_of("import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = pd.get_dummies(df)\n");
+        let after = dag_of(
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.fillna(df.mean())\ndf = pd.get_dummies(df)\n",
+        );
+        assert!(relative_entropy(&after, &m) < relative_entropy(&before, &m));
+    }
+
+    #[test]
+    fn improvement_pct_sign_convention() {
+        assert!((improvement_pct(2.0, 1.0) - 50.0).abs() < 1e-12);
+        assert!(improvement_pct(1.0, 2.0) < 0.0);
+        assert_eq!(improvement_pct(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn atom_variant_orders_like_edge_variant_on_clear_cases() {
+        let m = corpus_model();
+        let standard = dag_of(
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.fillna(df.mean())\ndf = pd.get_dummies(df)\n",
+        );
+        let outlier = dag_of(
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df[df['Weird'] < 1]\ndf = df.head(3)\n",
+        );
+        let re_std = relative_entropy_atoms(&standard, &m);
+        let re_out = relative_entropy_atoms(&outlier, &m);
+        assert!(re_std < re_out);
+        assert!(re_std.is_finite() && re_std >= 0.0);
+        // Degenerate empty DAG stays finite.
+        assert!(relative_entropy_atoms(&dag_of(""), &m).is_finite());
+    }
+
+    #[test]
+    fn unseen_edges_are_smoothed_not_infinite() {
+        let m = corpus_model();
+        let weird = dag_of("import pandas as pd\nz = pd.read_csv('other.csv')\nz2 = z.head(1)\n");
+        let re = relative_entropy(&weird, &m);
+        assert!(re.is_finite());
+        assert!(re > 0.5);
+    }
+}

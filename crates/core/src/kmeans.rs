@@ -1,0 +1,153 @@
+//! Deterministic k-means clustering — the transformation-diversity
+//! component of Algorithm 3 (`ClusterSteps`).
+
+/// Result of clustering: assignment of each point to a cluster id `0..k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Cluster id per input point.
+    pub assignments: Vec<usize>,
+    /// Number of clusters actually used (≤ requested k).
+    pub k: usize,
+}
+
+/// K-means with deterministic farthest-point initialization and a fixed
+/// iteration cap. Points are dense feature vectors of equal length.
+///
+/// Degenerate inputs are handled totally: fewer points than `k` puts each
+/// point in its own cluster; `k == 0` is treated as 1.
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iter: usize) -> Clustering {
+    let n = points.len();
+    let k = k.max(1);
+    if n == 0 {
+        return Clustering {
+            assignments: vec![],
+            k: 0,
+        };
+    }
+    if n <= k {
+        return Clustering {
+            assignments: (0..n).collect(),
+            k: n,
+        };
+    }
+    let dim = points[0].len();
+    debug_assert!(points.iter().all(|p| p.len() == dim), "ragged points");
+
+    // Farthest-point init: deterministic and spread out.
+    let mut centers: Vec<Vec<f64>> = vec![points[0].clone()];
+    while centers.len() < k {
+        let (far_idx, _) = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let d = centers
+                    .iter()
+                    .map(|c| dist2(p, c))
+                    .fold(f64::INFINITY, f64::min);
+                (i, d)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("nonempty");
+        centers.push(points[far_idx].clone());
+    }
+
+    let mut assignments = vec![0usize; n];
+    for _ in 0..max_iter {
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = centers
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    dist2(p, a.1)
+                        .partial_cmp(&dist2(p, b.1))
+                        .expect("finite")
+                })
+                .map(|(c, _)| c)
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            for (s, v) in sums[assignments[i]].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for (c, center) in centers.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                for (dst, s) in center.iter_mut().zip(&sums[c]) {
+                    *dst = s / counts[c] as f64;
+                }
+            }
+        }
+    }
+    Clustering { assignments, k }
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_obvious_clusters() {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+            vec![10.0, 10.1],
+        ];
+        let c = kmeans(&pts, 2, 50);
+        assert_eq!(c.k, 2);
+        assert_eq!(c.assignments[0], c.assignments[1]);
+        assert_eq!(c.assignments[0], c.assignments[2]);
+        assert_eq!(c.assignments[3], c.assignments[4]);
+        assert_ne!(c.assignments[0], c.assignments[3]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 7) as f64, (i % 3) as f64]).collect();
+        let a = kmeans(&pts, 3, 100);
+        let b = kmeans(&pts, 3, 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(kmeans(&[], 3, 10).k, 0);
+        let one = kmeans(&[vec![1.0]], 3, 10);
+        assert_eq!(one.k, 1);
+        assert_eq!(one.assignments, vec![0]);
+        let two = kmeans(&[vec![1.0], vec![2.0]], 5, 10);
+        assert_eq!(two.k, 2);
+        assert_eq!(two.assignments, vec![0, 1]);
+        // k = 0 behaves as k = 1.
+        let c = kmeans(&[vec![0.0], vec![1.0], vec![2.0]], 0, 10);
+        assert_eq!(c.k, 1);
+        assert!(c.assignments.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn identical_points_share_one_cluster() {
+        let pts = vec![vec![5.0]; 10];
+        let c = kmeans(&pts, 3, 10);
+        // All identical points land in the same cluster.
+        assert!(c.assignments.iter().all(|&a| a == c.assignments[0]));
+    }
+}

@@ -1,0 +1,211 @@
+//! Target-leakage injection and detection (Section 6.6).
+//!
+//! The paper injects leakage snippets into 10% of real scripts with GPT-4
+//! and checks whether standardization removes them. We inject the same
+//! snippet *families* programmatically (documented substitution,
+//! DESIGN.md §3): a copy of the target column, a noisy duplicate, and a
+//! derived-from-target feature.
+
+use crate::error::{CoreError, Result};
+use crate::report::StandardizeReport;
+use crate::standardizer::Standardizer;
+use lucid_pyast::{parse_module, Module, Stmt};
+
+/// A leakage snippet family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeakageKind {
+    /// `df['<t>_copy'] = df['<t>']`
+    DirectCopy,
+    /// Copy plus a small perturbed subset (the paper's Figure 8 pattern).
+    NoisyCopy,
+    /// `df['<t>_derived'] = df['<t>'] * 2 + 1`
+    Derived,
+}
+
+impl LeakageKind {
+    /// All families, for sweeps.
+    pub const ALL: [LeakageKind; 3] = [
+        LeakageKind::DirectCopy,
+        LeakageKind::NoisyCopy,
+        LeakageKind::Derived,
+    ];
+
+    /// The statements this family injects, referencing target column `t`.
+    pub fn snippet(&self, target: &str) -> Vec<String> {
+        match self {
+            LeakageKind::DirectCopy => {
+                vec![format!("df['{target}_copy'] = df['{target}']")]
+            }
+            LeakageKind::NoisyCopy => vec![
+                format!("df['{target}_dup'] = df['{target}']"),
+                "update = df.sample(5).index".to_string(),
+                format!("df.loc[update, '{target}_dup'] = 0"),
+            ],
+            LeakageKind::Derived => {
+                vec![format!("df['{target}_derived'] = df['{target}'] * 2 + 1")]
+            }
+        }
+    }
+}
+
+/// The result of injecting leakage into a script.
+#[derive(Debug, Clone)]
+pub struct InjectedScript {
+    /// The script with leakage inserted.
+    pub module: Module,
+    /// The injected statements' canonical keys (ground truth).
+    pub injected_keys: Vec<String>,
+}
+
+/// Injects a leakage snippet right before the first statement that
+/// separates features from the target (or at the end if none is found),
+/// mirroring where real leakage sits in preparation scripts.
+///
+/// # Errors
+///
+/// Fails if the snippet fails to parse (cannot happen for built-in kinds
+/// with well-formed targets).
+pub fn inject_leakage(
+    script: &Module,
+    target: &str,
+    kind: LeakageKind,
+) -> Result<InjectedScript> {
+    let snippets = kind.snippet(target);
+    let mut injected = Vec::with_capacity(snippets.len());
+    for s in &snippets {
+        let parsed = parse_module(s).map_err(CoreError::Parse)?;
+        let stmt = parsed
+            .stmts
+            .into_iter()
+            .next()
+            .ok_or_else(|| CoreError::BadConfig("empty snippet".to_string()))?;
+        injected.push(stmt);
+    }
+    // Insert before the target split (`X = df.drop(...)` / `y = df[...]`).
+    let split_pos = script.stmts.iter().position(is_target_split);
+    let at = split_pos.unwrap_or(script.stmts.len());
+    let mut stmts = script.stmts.clone();
+    for (off, stmt) in injected.iter().enumerate() {
+        stmts.insert(at + off, stmt.clone());
+    }
+    let mut module = Module::new(stmts);
+    module.renumber();
+    Ok(InjectedScript {
+        module,
+        injected_keys: injected.iter().map(lucid_pyast::print_stmt).collect(),
+    })
+}
+
+fn is_target_split(stmt: &Stmt) -> bool {
+    let src = lucid_pyast::print_stmt(stmt);
+    src.starts_with("X = ") || src.starts_with("y = ")
+}
+
+/// Whether standardization removed every injected statement — the paper's
+/// correctness criterion for Figure 9 (output satisfies the constraints
+/// *and* the ground-truth snippet is gone).
+pub fn leakage_removed(report: &StandardizeReport, injected_keys: &[String]) -> bool {
+    injected_keys.iter().all(|k| {
+        !report
+            .output_source
+            .lines()
+            .any(|line| line.trim() == k.trim())
+    })
+}
+
+/// Runs the full detection experiment for one script: inject, standardize,
+/// and report whether the snippet was detected (removed).
+///
+/// # Errors
+///
+/// Propagates standardization failures (e.g. the injected script does not
+/// execute — counted separately by the harness).
+pub fn detect(
+    standardizer: &Standardizer,
+    script: &Module,
+    target: &str,
+    kind: LeakageKind,
+) -> Result<(StandardizeReport, bool)> {
+    let injected = inject_leakage(script, target, kind)?;
+    let report = standardizer.standardize(&injected.module)?;
+    let removed = leakage_removed(&report, &injected.injected_keys);
+    Ok((report, removed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucid_pyast::{parse_module, print_module};
+
+    const BASE: &str = "\
+import pandas as pd
+df = pd.read_csv('train.csv')
+df = df.fillna(df.mean())
+X = df.drop('Survived', axis=1)
+y = df['Survived']
+";
+
+    #[test]
+    fn direct_copy_injects_before_split() {
+        let script = parse_module(BASE).unwrap();
+        let inj = inject_leakage(&script, "Survived", LeakageKind::DirectCopy).unwrap();
+        let src = print_module(&inj.module);
+        let lines: Vec<&str> = src.lines().collect();
+        assert_eq!(lines[3], "df['Survived_copy'] = df['Survived']");
+        assert!(lines[4].starts_with("X = "));
+        assert_eq!(inj.injected_keys.len(), 1);
+    }
+
+    #[test]
+    fn noisy_copy_injects_three_statements() {
+        let script = parse_module(BASE).unwrap();
+        let inj = inject_leakage(&script, "Survived", LeakageKind::NoisyCopy).unwrap();
+        assert_eq!(inj.injected_keys.len(), 3);
+        assert_eq!(inj.module.stmts.len(), 8);
+    }
+
+    #[test]
+    fn injection_at_end_without_split() {
+        let script =
+            parse_module("import pandas as pd\ndf = pd.read_csv('train.csv')\n").unwrap();
+        let inj = inject_leakage(&script, "Outcome", LeakageKind::Derived).unwrap();
+        let src = print_module(&inj.module);
+        assert!(src.trim_end().ends_with("df['Outcome_derived'] = df['Outcome'] * 2 + 1"));
+    }
+
+    #[test]
+    fn removal_check_matches_lines() {
+        let report = crate::report::StandardizeReport {
+            input_source: String::new(),
+            output_source: "import pandas as pd\ndf = pd.read_csv('t.csv')\n".to_string(),
+            re_before: 1.0,
+            re_after: 0.5,
+            improvement_pct: 50.0,
+            intent_delta: 1.0,
+            intent_kind: "table_jaccard".to_string(),
+            intent_satisfied: true,
+            applied: vec![],
+            candidates_explored: 0,
+            timings: Default::default(),
+        };
+        let keys = vec!["df['Survived_copy'] = df['Survived']".to_string()];
+        assert!(leakage_removed(&report, &keys));
+        let mut present = report.clone();
+        present.output_source.push_str("df['Survived_copy'] = df['Survived']\n");
+        assert!(!leakage_removed(&present, &keys));
+    }
+
+    #[test]
+    fn injected_scripts_still_parse_and_renumber() {
+        let script = parse_module(BASE).unwrap();
+        for kind in LeakageKind::ALL {
+            let inj = inject_leakage(&script, "Survived", kind).unwrap();
+            for (i, s) in inj.module.stmts.iter().enumerate() {
+                assert_eq!(s.span().line as usize, i + 1);
+            }
+            // Round-trips through the printer.
+            let src = print_module(&inj.module);
+            assert!(parse_module(&src).is_ok());
+        }
+    }
+}

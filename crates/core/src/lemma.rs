@@ -1,0 +1,209 @@
+//! Script lemmatization (Section 5.1, "Reducing Vocabulary").
+//!
+//! A single data preparation step can be spelled many ways; lemmatization
+//! collapses the spellings that differ only in naming so the vocabulary
+//! stays small and cross-script statistics line up:
+//!
+//! * module aliases are canonicalized (`import pandas as P` → `pd`);
+//! * variables assigned from `read_csv` of the *k*-th distinct file are
+//!   renamed `df`, `df2`, `df3`, ...;
+//! * renames propagate through every later use of the variable.
+
+use lucid_pyast::{Expr, Module, Stmt};
+use std::collections::HashMap;
+
+/// Canonical alias per supported module.
+fn canonical_alias(module: &str) -> Option<&'static str> {
+    let root = module.split('.').next().unwrap_or(module);
+    match root {
+        "pandas" => Some("pd"),
+        "numpy" => Some("np"),
+        _ => None,
+    }
+}
+
+/// Lemmatizes a module: returns a new module with canonical names.
+pub fn lemmatize(module: &Module) -> Module {
+    let mut renames: HashMap<String, String> = HashMap::new();
+    let mut df_count = 0usize;
+    let mut file_names: HashMap<String, String> = HashMap::new();
+    let mut stmts = Vec::with_capacity(module.stmts.len());
+
+    for stmt in &module.stmts {
+        let stmt = apply_renames(stmt, &renames);
+        match &stmt {
+            Stmt::Import { module: m, alias, .. } => {
+                if let Some(canon) = canonical_alias(m) {
+                    let bound = alias.clone().unwrap_or_else(|| m.clone());
+                    if bound != canon {
+                        renames.insert(bound, canon.to_string());
+                    }
+                    stmts.push(Stmt::Import {
+                        module: m.clone(),
+                        alias: Some(canon.to_string()),
+                        span: stmt.span(),
+                    });
+                    continue;
+                }
+                stmts.push(stmt);
+            }
+            Stmt::Assign { target, value, .. } => {
+                // `x = pd.read_csv('file')` → canonical frame name per file.
+                if let (Expr::Name(var), Some(file)) = (target, read_csv_file(value)) {
+                    let canon = file_names.entry(file).or_insert_with(|| {
+                        df_count += 1;
+                        if df_count == 1 {
+                            "df".to_string()
+                        } else {
+                            format!("df{df_count}")
+                        }
+                    });
+                    if var != canon {
+                        renames.insert(var.clone(), canon.clone());
+                    }
+                    stmts.push(Stmt::Assign {
+                        target: Expr::Name(canon.clone()),
+                        value: value.clone(),
+                        span: stmt.span(),
+                    });
+                    continue;
+                }
+                stmts.push(stmt);
+            }
+            _ => stmts.push(stmt),
+        }
+    }
+    let mut out = Module::new(stmts);
+    out.renumber();
+    out
+}
+
+/// The file argument if `expr` is a `read_csv` call.
+fn read_csv_file(expr: &Expr) -> Option<String> {
+    let Expr::Call { func, args } = expr else {
+        return None;
+    };
+    let Expr::Attribute { attr, .. } = &**func else {
+        return None;
+    };
+    if attr != "read_csv" {
+        return None;
+    }
+    match args.first().map(|a| &a.value) {
+        Some(Expr::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn apply_renames(stmt: &Stmt, renames: &HashMap<String, String>) -> Stmt {
+    if renames.is_empty() {
+        return stmt.clone();
+    }
+    let rename_expr = |e: &Expr| {
+        e.map(&mut |node| match node {
+            Expr::Name(n) => match renames.get(&n) {
+                Some(new) => Expr::Name(new.clone()),
+                None => Expr::Name(n),
+            },
+            other => other,
+        })
+    };
+    match stmt {
+        Stmt::Assign { target, value, span } => Stmt::Assign {
+            target: rename_expr(target),
+            value: rename_expr(value),
+            span: *span,
+        },
+        Stmt::ExprStmt { value, span } => Stmt::ExprStmt {
+            value: rename_expr(value),
+            span: *span,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Lemmatizes source text end-to-end (parse → lemmatize → module).
+///
+/// # Errors
+///
+/// Propagates parse errors.
+pub fn lemmatize_source(source: &str) -> Result<Module, lucid_pyast::PyAstError> {
+    Ok(lemmatize(&lucid_pyast::parse_module(source)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucid_pyast::{parse_module, print_module};
+
+    fn lem(src: &str) -> String {
+        print_module(&lemmatize(&parse_module(src).unwrap()))
+    }
+
+    #[test]
+    fn canonicalizes_module_aliases() {
+        assert_eq!(
+            lem("import pandas as P\nx = P.read_csv('t.csv')\n"),
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\n"
+        );
+        assert_eq!(
+            lem("import numpy\ny = numpy.sqrt(4)\n"),
+            "import numpy as np\ny = np.sqrt(4)\n"
+        );
+    }
+
+    #[test]
+    fn renames_frame_variables_per_file() {
+        let out = lem(
+            "import pandas as pd\ntrain = pd.read_csv('train.csv')\ntest = pd.read_csv('test.csv')\ntrain = train.dropna()\n",
+        );
+        assert_eq!(
+            out,
+            "import pandas as pd\ndf = pd.read_csv('train.csv')\ndf2 = pd.read_csv('test.csv')\ndf = df.dropna()\n"
+        );
+    }
+
+    #[test]
+    fn same_file_reuses_same_name() {
+        let out = lem(
+            "import pandas as pd\na = pd.read_csv('t.csv')\nb = pd.read_csv('t.csv')\nc = b.dropna()\n",
+        );
+        // Both a and b become df; later uses of b follow.
+        assert_eq!(
+            out,
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = pd.read_csv('t.csv')\nc = df.dropna()\n"
+        );
+    }
+
+    #[test]
+    fn renames_propagate_into_masks_and_subscripts() {
+        let out = lem(
+            "import pandas as pd\ntrain = pd.read_csv('t.csv')\ntrain = train[train['Age'] > 18]\n",
+        );
+        assert_eq!(
+            out,
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df[df['Age'] > 18]\n"
+        );
+    }
+
+    #[test]
+    fn already_canonical_scripts_are_fixed_points() {
+        let src = "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.fillna(df.mean())\n";
+        assert_eq!(lem(src), src);
+        // Idempotent.
+        assert_eq!(lem(&lem(src)), lem(src));
+    }
+
+    #[test]
+    fn unrelated_variables_keep_their_names() {
+        let out = lem("import pandas as pd\ndata = pd.read_csv('t.csv')\ny = data['label']\nX = data.drop('label', axis=1)\n");
+        assert!(out.contains("y = df['label']"));
+        assert!(out.contains("X = df.drop('label', axis=1)"));
+    }
+
+    #[test]
+    fn lemmatize_source_wraps_parse() {
+        assert!(lemmatize_source("df = (").is_err());
+        assert!(lemmatize_source("import pandas as pd\n").is_ok());
+    }
+}

@@ -1,0 +1,159 @@
+//! Intent-threshold exploration — the §8 extension: "an algorithm that
+//! optimizes configurations, such as exploring user intent thresholds and
+//! returning the Pareto curve."
+//!
+//! [`explore_jaccard_frontier`] standardizes one script under a grid of
+//! τ_J values and returns the Pareto-optimal (intent, standardness)
+//! trade-off points: the user sees exactly how much standardization each
+//! unit of intent budget buys.
+
+use crate::config::SearchConfig;
+use crate::error::Result;
+use crate::intent::IntentMeasure;
+use crate::standardizer::Standardizer;
+use serde::Serialize;
+
+/// One point on the intent/standardness trade-off curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct TradeoffPoint {
+    /// The τ_J threshold used for this run.
+    pub tau: f64,
+    /// The achieved intent similarity (Δ_J of the chosen output).
+    pub intent: f64,
+    /// The achieved %-improvement in standardness.
+    pub improvement_pct: f64,
+    /// The output script.
+    pub output_source: String,
+}
+
+/// Standardizes `source` once per τ in `taus` and returns all runs plus
+/// the Pareto-optimal subset (no other point has both higher intent and
+/// higher improvement), sorted by descending intent.
+///
+/// # Errors
+///
+/// Propagates build/standardization failures (the input must execute).
+pub fn explore_jaccard_frontier(
+    standardizer: &Standardizer,
+    source: &str,
+    taus: &[f64],
+) -> Result<(Vec<TradeoffPoint>, Vec<TradeoffPoint>)> {
+    let mut runs = Vec::with_capacity(taus.len());
+    let mut std = standardizer.clone();
+    for &tau in taus {
+        let config = SearchConfig {
+            intent: IntentMeasure::jaccard(tau),
+            ..standardizer.config().clone()
+        };
+        std.set_config(config)?;
+        let report = std.standardize_source(source)?;
+        runs.push(TradeoffPoint {
+            tau,
+            intent: report.intent_delta,
+            improvement_pct: report.improvement_pct,
+            output_source: report.output_source,
+        });
+    }
+    let frontier = pareto_front(&runs);
+    Ok((runs, frontier))
+}
+
+/// The Pareto-optimal subset: a point survives when no other point weakly
+/// dominates it on (intent, improvement) with at least one strict win.
+pub fn pareto_front(points: &[TradeoffPoint]) -> Vec<TradeoffPoint> {
+    let mut front: Vec<TradeoffPoint> = points
+        .iter()
+        .filter(|p| {
+            !points.iter().any(|q| {
+                (q.intent >= p.intent && q.improvement_pct >= p.improvement_pct)
+                    && (q.intent > p.intent || q.improvement_pct > p.improvement_pct)
+            })
+        })
+        .cloned()
+        .collect();
+    front.sort_by(|a, b| {
+        b.intent
+            .partial_cmp(&a.intent)
+            .expect("finite")
+            .then(a.tau.partial_cmp(&b.tau).expect("finite"))
+    });
+    front.dedup_by(|a, b| {
+        (a.intent - b.intent).abs() < 1e-12
+            && (a.improvement_pct - b.improvement_pct).abs() < 1e-12
+    });
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(tau: f64, intent: f64, imp: f64) -> TradeoffPoint {
+        TradeoffPoint {
+            tau,
+            intent,
+            improvement_pct: imp,
+            output_source: String::new(),
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        let pts = vec![
+            pt(1.0, 1.0, 10.0),
+            pt(0.8, 0.9, 30.0),
+            pt(0.6, 0.85, 25.0), // dominated by the 0.8 point
+            pt(0.4, 0.5, 60.0),
+        ];
+        let front = pareto_front(&pts);
+        let taus: Vec<f64> = front.iter().map(|p| p.tau).collect();
+        assert_eq!(taus, vec![1.0, 0.8, 0.4]);
+    }
+
+    #[test]
+    fn duplicate_outcomes_collapse() {
+        let pts = vec![pt(1.0, 0.9, 20.0), pt(0.9, 0.9, 20.0)];
+        let front = pareto_front(&pts);
+        assert_eq!(front.len(), 1);
+    }
+
+    #[test]
+    fn single_point_is_its_own_front() {
+        let pts = vec![pt(0.5, 0.7, 40.0)];
+        assert_eq!(pareto_front(&pts).len(), 1);
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn end_to_end_frontier_on_a_tiny_corpus() {
+        use lucid_frame::csv::read_csv_str;
+        let mut csv = String::from("a,b,y\n");
+        for i in 0..40 {
+            csv.push_str(&format!("{i},{},{}\n", 40 - i, i % 2));
+        }
+        let data = read_csv_str(&csv).unwrap();
+        let corpus = vec![
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.fillna(df.mean())\ndf = df[df['a'] < 30]\ndf = pd.get_dummies(df)\n".to_string(),
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.fillna(df.mean())\ndf = pd.get_dummies(df)\n".to_string(),
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.fillna(df.mean())\ndf = df[df['a'] < 30]\ny = df['y']\n".to_string(),
+        ];
+        let config = SearchConfig {
+            seq_len: 4,
+            ..SearchConfig::default()
+        };
+        let std = Standardizer::build(&corpus, "t.csv", data, config).unwrap();
+        let src = "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.fillna(0)\n";
+        let (runs, frontier) =
+            explore_jaccard_frontier(&std, src, &[1.0, 0.8, 0.5]).unwrap();
+        assert_eq!(runs.len(), 3);
+        assert!(!frontier.is_empty());
+        // Frontier improvements are achievable and non-negative.
+        for p in &frontier {
+            assert!(p.improvement_pct >= -1e-9);
+            assert!((0.0..=1.0).contains(&p.intent));
+        }
+        // Looser τ can only improve (weakly) on standardization.
+        let at = |tau: f64| runs.iter().find(|p| p.tau == tau).unwrap().improvement_pct;
+        assert!(at(0.5) >= at(1.0) - 1e-9);
+    }
+}

@@ -1,0 +1,108 @@
+//! Result/report types emitted by the standardizer (serializable so the
+//! experiment harness can persist them under `results/`).
+
+use serde::{Deserialize, Serialize};
+
+/// Wall-clock breakdown of the search phases — the quantities behind the
+/// paper's Figure 7 (runtime breakdown of GetSteps / GetTopKBeams /
+/// CheckIfExecutes / VerifyConstraints).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timings {
+    /// Time spent enumerating + ranking next steps (`GetSteps`).
+    pub get_steps_ms: f64,
+    /// Time spent maintaining beams (`GetTopKBeams`, clustering included).
+    pub get_top_k_ms: f64,
+    /// Time spent running candidates for the execution constraint
+    /// (`CheckIfExecutes`).
+    pub check_execute_ms: f64,
+    /// Time spent on final constraint verification (`VerifyConstraints`).
+    pub verify_constraints_ms: f64,
+    /// End-to-end wall time.
+    pub total_ms: f64,
+}
+
+impl Timings {
+    /// Adds another breakdown into this one (for aggregation across runs).
+    pub fn accumulate(&mut self, other: &Timings) {
+        self.get_steps_ms += other.get_steps_ms;
+        self.get_top_k_ms += other.get_top_k_ms;
+        self.check_execute_ms += other.check_execute_ms;
+        self.verify_constraints_ms += other.verify_constraints_ms;
+        self.total_ms += other.total_ms;
+    }
+}
+
+/// The outcome of standardizing one input script.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StandardizeReport {
+    /// The (lemmatized) input source.
+    pub input_source: String,
+    /// The standardized output source.
+    pub output_source: String,
+    /// `RE(s_u, S)` before search.
+    pub re_before: f64,
+    /// `RE(ŝ_u, S)` of the returned script.
+    pub re_after: f64,
+    /// `% improvement = (RE_before − RE_after) / RE_before × 100`.
+    pub improvement_pct: f64,
+    /// The intent measure of the returned script vs the input's output.
+    pub intent_delta: f64,
+    /// Which measure was used (`table_jaccard` / `model_performance`).
+    pub intent_kind: String,
+    /// Whether the returned script satisfies the intent constraint (always
+    /// true unless the search fell back to the input script, which
+    /// trivially satisfies it).
+    pub intent_satisfied: bool,
+    /// Human-readable descriptions of the applied transformations.
+    pub applied: Vec<String>,
+    /// Number of candidate scripts scored during search.
+    pub candidates_explored: usize,
+    /// Phase timing breakdown.
+    pub timings: Timings,
+}
+
+impl StandardizeReport {
+    /// Whether the search changed the script at all.
+    pub fn changed(&self) -> bool {
+        !self.applied.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_accumulate() {
+        let mut a = Timings {
+            get_steps_ms: 1.0,
+            get_top_k_ms: 2.0,
+            check_execute_ms: 3.0,
+            verify_constraints_ms: 4.0,
+            total_ms: 10.0,
+        };
+        a.accumulate(&a.clone());
+        assert_eq!(a.get_steps_ms, 2.0);
+        assert_eq!(a.total_ms, 20.0);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let r = StandardizeReport {
+            input_source: "x = 1\n".into(),
+            output_source: "x = 1\n".into(),
+            re_before: 1.0,
+            re_after: 1.0,
+            improvement_pct: 0.0,
+            intent_delta: 1.0,
+            intent_kind: "table_jaccard".into(),
+            intent_satisfied: true,
+            applied: vec![],
+            candidates_explored: 0,
+            timings: Timings::default(),
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("improvement_pct"));
+        assert!(!r.changed());
+    }
+}

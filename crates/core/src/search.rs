@@ -1,0 +1,550 @@
+//! The online search framework (Section 5.2, Algorithms 1–3).
+//!
+//! Beam search over transformation sequences with five optimizations:
+//! beams, k-means diversity, monotonicity, early/late execution checking,
+//! and `D_IN` sampling (applied via the interpreter's row cap).
+
+use crate::config::{Objective, SearchConfig};
+use crate::dag::ScriptDag;
+use crate::entropy;
+use crate::kmeans::kmeans;
+use crate::report::Timings;
+use crate::transform::{enumerate_transformations, TransformKind, Transformation};
+use crate::vocab::CorpusModel;
+use lucid_frame::DataFrame;
+use lucid_interp::Interpreter;
+use lucid_pyast::Module;
+use std::time::Instant;
+
+/// One in-progress transformation sequence: the paper's beam entry.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Current script.
+    pub module: Module,
+    /// Its DAG (kept in sync with `module`).
+    pub dag: ScriptDag,
+    /// Its relative-entropy score.
+    pub re: f64,
+    /// Monotonicity cursor: the smallest editable line.
+    pub cursor: usize,
+    /// Applied transformations, in order.
+    pub applied: Vec<Transformation>,
+}
+
+impl Candidate {
+    fn from_module(module: Module, corpus: &CorpusModel, objective: Objective) -> Candidate {
+        let dag = crate::dag::build_dag(&module);
+        let re = score_dag(&dag, corpus, objective);
+        Candidate {
+            module,
+            dag,
+            re,
+            cursor: 0,
+            applied: Vec::new(),
+        }
+    }
+}
+
+/// Scores a DAG under the configured objective.
+fn score_dag(dag: &ScriptDag, corpus: &CorpusModel, objective: Objective) -> f64 {
+    match objective {
+        Objective::Edges => entropy::relative_entropy(dag, corpus),
+        Objective::Atoms => entropy::relative_entropy_atoms(dag, corpus),
+    }
+}
+
+/// Everything the search needs besides the candidate set.
+pub struct SearchContext<'a> {
+    /// The offline corpus model.
+    pub corpus: &'a CorpusModel,
+    /// Interpreter with `D_IN` registered (and sampling configured).
+    pub interp: &'a Interpreter,
+    /// Parameters.
+    pub config: &'a SearchConfig,
+    /// Output of the *input* script, for the intent constraint.
+    pub base_output: &'a DataFrame,
+}
+
+/// The search result.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The best valid candidate (the input script itself if nothing
+    /// better survived the constraints).
+    pub best: Candidate,
+    /// Its intent evaluation against the input's output.
+    pub intent: crate::intent::IntentEval,
+    /// Number of candidate scripts scored.
+    pub explored: usize,
+    /// Phase timings (Figure 7's breakdown).
+    pub timings: Timings,
+}
+
+/// Algorithm 1: the meta-level framework. Starts from the (lemmatized,
+/// executable) input script and returns the most standard candidate that
+/// satisfies all constraints, falling back to the input itself — this is
+/// why LucidScript never *reduces* standardness (§6.3.1).
+pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome {
+    let t_total = Instant::now();
+    let mut timings = Timings::default();
+    let input_candidate =
+        Candidate::from_module(input.clone(), ctx.corpus, ctx.config.objective);
+    let mut beams: Vec<Candidate> = vec![input_candidate.clone()];
+    let mut explored = 0usize;
+    // Every candidate that ever made a beam. The intent constraint is
+    // checked at the *end* (Section 5.2 item 4.3), so late steps may push
+    // all current beams past τ; retaining per-step snapshots lets
+    // verification fall back to the best earlier candidate instead of the
+    // unmodified input.
+    let mut finalists: Vec<Candidate> = Vec::new();
+
+    for _step in 0..ctx.config.seq_len {
+        let mut next: Vec<Candidate> = beams.clone(); // Algorithm 2, line 2: C' = C
+        for cand in &beams {
+            // GetSteps: enumerate and rank next transformations by RE.
+            let t0 = Instant::now();
+            let ranked = get_steps(cand, ctx, &mut explored);
+            timings.get_steps_ms += t0.elapsed().as_secs_f64() * 1e3;
+
+            // GetTopKBeams / GetDiverseTopKBeams.
+            let t1 = Instant::now();
+            if ctx.config.diversity {
+                get_diverse_top_k(cand, ranked, ctx, &mut next, &mut timings);
+            } else {
+                get_top_k(cand, &ranked, ctx, &mut next, &mut timings, usize::MAX);
+            }
+            timings.get_top_k_ms += t1.elapsed().as_secs_f64() * 1e3;
+        }
+        // Deduplicate identical scripts (different sequences can converge).
+        next.sort_by(|a, b| a.re.partial_cmp(&b.re).expect("finite RE"));
+        next.dedup_by(|a, b| a.dag.atoms == b.dag.atoms);
+        next.truncate(ctx.config.beam_k.max(1));
+        let converged = next
+            .iter()
+            .zip(&beams)
+            .all(|(a, b)| a.dag.atoms == b.dag.atoms)
+            && next.len() == beams.len();
+        beams = next;
+        for cand in &beams {
+            if !cand.applied.is_empty()
+                && !finalists.iter().any(|f| f.dag.atoms == cand.dag.atoms)
+            {
+                finalists.push(cand.clone());
+            }
+        }
+        if converged {
+            break;
+        }
+    }
+
+    // VerifyAllConstraints: execution (when late checking) + user intent.
+    // Finalists are checked in ascending-RE order; the first valid one is
+    // optimal among everything the search visited.
+    let t2 = Instant::now();
+    finalists.sort_by(|a, b| a.re.partial_cmp(&b.re).expect("finite RE"));
+    let mut best: Option<(Candidate, crate::intent::IntentEval)> = None;
+    for cand in finalists {
+        // LucidScript guarantees it never *reduces* standardness
+        // (§6.3.1): candidates no more standard than the input lose to
+        // the input fallback.
+        if cand.re >= input_candidate.re - 1e-12 {
+            continue;
+        }
+        if !ctx.config.early_check {
+            let t3 = Instant::now();
+            let ok = ctx.interp.check_executes(&cand.module);
+            timings.check_execute_ms += t3.elapsed().as_secs_f64() * 1e3;
+            if !ok {
+                continue;
+            }
+        }
+        let Ok(outcome) = ctx.interp.run(&cand.module) else {
+            continue;
+        };
+        let Some(out_frame) = outcome.output_frame() else {
+            continue;
+        };
+        let eval = ctx.config.intent.evaluate(ctx.base_output, out_frame);
+        if !eval.satisfied {
+            continue;
+        }
+        best = Some((cand, eval));
+        break;
+    }
+    timings.verify_constraints_ms += t2.elapsed().as_secs_f64() * 1e3;
+
+    let (best, intent) = best.unwrap_or({
+        (
+            input_candidate,
+            crate::intent::IntentEval {
+                delta: match ctx.config.intent {
+                    crate::intent::IntentMeasure::Jaccard { .. } => 1.0,
+                    crate::intent::IntentMeasure::ModelPerf { .. }
+                    | crate::intent::IntentMeasure::Fairness { .. } => 0.0,
+                },
+                satisfied: true,
+            },
+        )
+    });
+    timings.total_ms = t_total.elapsed().as_secs_f64() * 1e3;
+    SearchOutcome {
+        best,
+        intent,
+        explored,
+        timings,
+    }
+}
+
+/// A scored next step: the transformation, the resulting candidate, and
+/// its RE (used both for ranking and as the clustering feature source).
+struct ScoredStep {
+    transformation: Transformation,
+    candidate: Candidate,
+}
+
+/// `GetSteps()`: enumerate legal next transformations from the corpus
+/// vocabularies, apply each, score by RE, and return them ranked best
+/// (lowest RE) first, capped at `max_steps_ranked`.
+fn get_steps(cand: &Candidate, ctx: &SearchContext, explored: &mut usize) -> Vec<ScoredStep> {
+    let transformations = enumerate_transformations(
+        &cand.dag,
+        ctx.corpus,
+        cand.cursor,
+        &ctx.config.enum_opts,
+    );
+    let mut scored: Vec<ScoredStep> = Vec::with_capacity(transformations.len());
+    for t in transformations {
+        let Ok(module) = t.apply(&cand.module) else {
+            continue;
+        };
+        let dag = crate::dag::build_dag(&module);
+        let re = score_dag(&dag, ctx.corpus, ctx.config.objective);
+        *explored += 1;
+        let mut applied = cand.applied.clone();
+        let cursor = t.next_cursor(cand.cursor);
+        applied.push(t.clone());
+        scored.push(ScoredStep {
+            transformation: t,
+            candidate: Candidate {
+                module,
+                dag,
+                re,
+                cursor,
+                applied,
+            },
+        });
+    }
+    scored.sort_by(|a, b| a.candidate.re.partial_cmp(&b.candidate.re).expect("finite"));
+    scored.truncate(ctx.config.max_steps_ranked);
+    scored
+}
+
+/// Algorithm 2: `GetTopKBeams` — walk the ranked steps, early-check
+/// execution when `α` is on, and keep the K lowest-RE candidates in
+/// `next`. `budget` caps how many steps may be *admitted* from this list
+/// (used by the diversity wrapper to give each cluster K/M slots).
+fn get_top_k(
+    _cand: &Candidate,
+    ranked: &[ScoredStep],
+    ctx: &SearchContext,
+    next: &mut Vec<Candidate>,
+    timings: &mut Timings,
+    budget: usize,
+) {
+    let k = ctx.config.beam_k.max(1);
+    let mut admitted = 0usize;
+    for step in ranked {
+        if admitted >= budget {
+            break;
+        }
+        let worst = next
+            .iter()
+            .map(|c| c.re)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if next.len() >= k && step.candidate.re >= worst {
+            // Ranked ascending: nothing later can qualify either.
+            break;
+        }
+        if ctx.config.early_check {
+            let t0 = Instant::now();
+            let ok = ctx.interp.check_executes(&step.candidate.module);
+            timings.check_execute_ms += t0.elapsed().as_secs_f64() * 1e3;
+            if !ok {
+                continue;
+            }
+        }
+        next.push(step.candidate.clone());
+        next.sort_by(|a, b| a.re.partial_cmp(&b.re).expect("finite"));
+        next.dedup_by(|a, b| a.dag.atoms == b.dag.atoms);
+        next.truncate(k);
+        admitted += 1;
+    }
+}
+
+/// Algorithm 3: `GetDiverseTopKBeams` — cluster the ranked steps with
+/// k-means over transformation features, then admit K/M from each cluster
+/// so the beams explore different parts of the space.
+fn get_diverse_top_k(
+    cand: &Candidate,
+    ranked: Vec<ScoredStep>,
+    ctx: &SearchContext,
+    next: &mut Vec<Candidate>,
+    timings: &mut Timings,
+) {
+    if ranked.is_empty() {
+        return;
+    }
+    let m = ctx.config.diversity_clusters.max(1);
+    let n_lines = cand.dag.atoms.len().max(1) as f64;
+    let features: Vec<Vec<f64>> = ranked
+        .iter()
+        .map(|s| step_features(&s.transformation, ctx.corpus, n_lines, s.candidate.re))
+        .collect();
+    let clustering = kmeans(&features, m, 25);
+    let per_cluster = (ctx.config.beam_k / m.min(clustering.k.max(1))).max(1);
+    for cluster in 0..clustering.k {
+        let members: Vec<&ScoredStep> = ranked
+            .iter()
+            .zip(&clustering.assignments)
+            .filter(|(_, &a)| a == cluster)
+            .map(|(s, _)| s)
+            .collect();
+        // Members inherit the global ranking order (ascending RE).
+        let member_refs: Vec<ScoredStep> = members
+            .into_iter()
+            .map(|s| ScoredStep {
+                transformation: s.transformation.clone(),
+                candidate: s.candidate.clone(),
+            })
+            .collect();
+        get_top_k(cand, &member_refs, ctx, next, timings, per_cluster);
+    }
+}
+
+/// Feature vector describing a transformation for diversity clustering:
+/// kind, relative position, resulting RE, atom popularity, and atom
+/// typical position. (The paper clusters "updated vectors"; a compact
+/// feature set keeps clustering O(candidates) instead of O(candidates ×
+/// |V_E'|) — ablated in `bench`.)
+fn step_features(
+    t: &Transformation,
+    corpus: &CorpusModel,
+    n_lines: f64,
+    re_after: f64,
+) -> Vec<f64> {
+    let (is_add, atom) = match &t.kind {
+        TransformKind::Add { atom } => (1.0, Some(atom)),
+        TransformKind::Delete => (0.0, None),
+    };
+    let popularity = atom
+        .map(|a| corpus.atom_prevalence(a))
+        .unwrap_or(0.0);
+    let rel_pos = t.line as f64 / n_lines;
+    let typical = atom
+        .and_then(|a| corpus.mean_rel_pos.get(a).copied())
+        .unwrap_or(0.5);
+    vec![is_add * 4.0, rel_pos, re_after, popularity, typical]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intent::IntentMeasure;
+    use lucid_frame::csv::read_csv_str;
+    use lucid_pyast::{parse_module, print_module};
+
+    fn titanic_like_table() -> DataFrame {
+        let mut csv = String::from("Age,Fare,Survived\n");
+        for i in 0..60 {
+            let age = if i % 7 == 0 { String::new() } else { format!("{}", 18 + i % 50) };
+            csv.push_str(&format!("{age},{}.5,{}\n", 5 + i % 60, i % 2));
+        }
+        read_csv_str(&csv).unwrap()
+    }
+
+    fn corpus_model() -> CorpusModel {
+        CorpusModel::build_from_sources(&[
+            "import pandas as pd\ndf = pd.read_csv('train.csv')\ndf = df.fillna(df.mean())\ndf = pd.get_dummies(df)\ny = df['Survived']\n",
+            "import pandas as pd\ndf = pd.read_csv('train.csv')\ndf = df.fillna(df.mean())\ndf = df[df['Fare'] < 60]\ndf = pd.get_dummies(df)\ny = df['Survived']\n",
+            "import pandas as pd\ndf = pd.read_csv('train.csv')\ndf = df.fillna(df.mean())\ndf = pd.get_dummies(df)\ny = df['Survived']\n",
+        ])
+        .unwrap()
+    }
+
+    fn context<'a>(
+        corpus: &'a CorpusModel,
+        interp: &'a Interpreter,
+        config: &'a SearchConfig,
+        base: &'a DataFrame,
+    ) -> SearchContext<'a> {
+        SearchContext {
+            corpus,
+            interp,
+            config,
+            base_output: base,
+        }
+    }
+
+    fn run_search(input_src: &str, config: &SearchConfig) -> (SearchOutcome, f64) {
+        let corpus = corpus_model();
+        let mut interp = Interpreter::new();
+        interp.register_table("train.csv", titanic_like_table());
+        let input = crate::lemma::lemmatize(&parse_module(input_src).unwrap());
+        let base = interp
+            .run(&input)
+            .expect("input executes")
+            .output_frame()
+            .expect("has output")
+            .clone();
+        let re_before =
+            entropy::relative_entropy(&crate::dag::build_dag(&input), &corpus);
+        let ctx = context(&corpus, &interp, config, &base);
+        (standardize_search(&ctx, &input), re_before)
+    }
+
+    const NONSTANDARD: &str = "\
+import pandas as pd
+df = pd.read_csv('train.csv')
+df = df.fillna(df.median())
+y = df['Survived']
+";
+
+    #[test]
+    fn search_improves_nonstandard_script() {
+        let config = SearchConfig {
+            seq_len: 6,
+            intent: IntentMeasure::jaccard(0.3),
+            ..Default::default()
+        };
+        let (outcome, re_before) = run_search(NONSTANDARD, &config);
+        assert!(
+            outcome.best.re < re_before,
+            "RE should drop: {} -> {}",
+            re_before,
+            outcome.best.re
+        );
+        assert!(!outcome.best.applied.is_empty());
+        assert!(outcome.intent.satisfied);
+        let out_src = print_module(&outcome.best.module);
+        // The common mean-imputation step should appear.
+        assert!(
+            out_src.contains("fillna(df.mean())") || out_src.contains("get_dummies"),
+            "expected common steps in output:\n{out_src}"
+        );
+    }
+
+    #[test]
+    fn output_always_executes() {
+        let config = SearchConfig {
+            seq_len: 5,
+            intent: IntentMeasure::jaccard(0.2),
+            ..Default::default()
+        };
+        let corpus = corpus_model();
+        let mut interp = Interpreter::new();
+        interp.register_table("train.csv", titanic_like_table());
+        let input = crate::lemma::lemmatize(&parse_module(NONSTANDARD).unwrap());
+        let base = interp.run(&input).unwrap().output_frame().unwrap().clone();
+        let ctx = context(&corpus, &interp, &config, &base);
+        let outcome = standardize_search(&ctx, &input);
+        assert!(interp.check_executes(&outcome.best.module));
+    }
+
+    #[test]
+    fn strict_intent_limits_changes() {
+        let strict = SearchConfig {
+            seq_len: 6,
+            intent: IntentMeasure::jaccard(1.0),
+            ..Default::default()
+        };
+        let (outcome_strict, _) = run_search(NONSTANDARD, &strict);
+        let lenient = SearchConfig {
+            seq_len: 6,
+            intent: IntentMeasure::jaccard(0.1),
+            ..Default::default()
+        };
+        let (outcome_lenient, _) = run_search(NONSTANDARD, &lenient);
+        // A lenient τ can only do at least as well (lower or equal RE).
+        assert!(outcome_lenient.best.re <= outcome_strict.best.re + 1e-9);
+    }
+
+    #[test]
+    fn already_standard_script_is_left_alone_or_improved() {
+        let standard = "\
+import pandas as pd
+df = pd.read_csv('train.csv')
+df = df.fillna(df.mean())
+df = pd.get_dummies(df)
+y = df['Survived']
+";
+        let config = SearchConfig {
+            seq_len: 4,
+            intent: IntentMeasure::jaccard(0.9),
+            ..Default::default()
+        };
+        let (outcome, re_before) = run_search(standard, &config);
+        assert!(outcome.best.re <= re_before + 1e-9);
+    }
+
+    #[test]
+    fn fallback_preserves_input_when_no_valid_move() {
+        // An intent threshold of exactly 1.0 with a corpus pushing changes:
+        // if nothing satisfies, the input comes back unchanged.
+        let config = SearchConfig {
+            seq_len: 2,
+            beam_k: 1,
+            diversity: false,
+            intent: IntentMeasure::jaccard(1.0),
+            ..Default::default()
+        };
+        let (outcome, re_before) = run_search(NONSTANDARD, &config);
+        // Either unchanged, or changed while keeping Jaccard = 1.
+        if outcome.best.applied.is_empty() {
+            assert!((outcome.best.re - re_before).abs() < 1e-9);
+        } else {
+            assert!(outcome.intent.delta >= 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let config = SearchConfig {
+            seq_len: 3,
+            intent: IntentMeasure::jaccard(0.5),
+            ..Default::default()
+        };
+        let (outcome, _) = run_search(NONSTANDARD, &config);
+        assert!(outcome.timings.total_ms > 0.0);
+        assert!(outcome.timings.get_steps_ms > 0.0);
+        assert!(outcome.explored > 0);
+    }
+
+    #[test]
+    fn late_checking_also_yields_executable_output() {
+        let config = SearchConfig {
+            seq_len: 4,
+            early_check: false,
+            intent: IntentMeasure::jaccard(0.3),
+            ..Default::default()
+        };
+        let corpus = corpus_model();
+        let mut interp = Interpreter::new();
+        interp.register_table("train.csv", titanic_like_table());
+        let input = crate::lemma::lemmatize(&parse_module(NONSTANDARD).unwrap());
+        let base = interp.run(&input).unwrap().output_frame().unwrap().clone();
+        let ctx = context(&corpus, &interp, &config, &base);
+        let outcome = standardize_search(&ctx, &input);
+        assert!(interp.check_executes(&outcome.best.module));
+    }
+
+    #[test]
+    fn model_perf_intent_works_end_to_end() {
+        let config = SearchConfig {
+            seq_len: 4,
+            intent: IntentMeasure::model_perf(20.0, "Survived"),
+            ..Default::default()
+        };
+        let (outcome, re_before) = run_search(NONSTANDARD, &config);
+        assert!(outcome.best.re <= re_before + 1e-9);
+        assert!(outcome.intent.satisfied);
+    }
+}

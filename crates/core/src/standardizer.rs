@@ -1,0 +1,315 @@
+//! The public façade: build once from a corpus + `D_IN`, then standardize
+//! any number of user scripts.
+
+use crate::config::SearchConfig;
+use crate::dag;
+use crate::entropy;
+use crate::error::{CoreError, Result};
+use crate::lemma::lemmatize;
+use crate::report::StandardizeReport;
+use crate::search::{standardize_search, SearchContext, SearchOutcome};
+use crate::vocab::CorpusModel;
+use lucid_frame::DataFrame;
+use lucid_interp::Interpreter;
+use lucid_pyast::{parse_module, print_module, Module};
+
+/// A ready-to-use script standardizer (offline phase already done).
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    corpus: CorpusModel,
+    interp: Interpreter,
+    config: SearchConfig,
+}
+
+impl Standardizer {
+    /// Runs the offline phase: parse + lemmatize the corpus, build the
+    /// vocabularies and `Q(x)`, and register `D_IN` under `data_path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on corpus parse errors, an empty corpus, or invalid config.
+    pub fn build(
+        corpus_sources: &[impl AsRef<str>],
+        data_path: impl Into<String>,
+        data: DataFrame,
+        config: SearchConfig,
+    ) -> Result<Standardizer> {
+        config.validate()?;
+        let corpus = CorpusModel::build_from_sources(corpus_sources)?;
+        let mut interp = Interpreter::new();
+        interp.seed = config.seed;
+        interp.sample_rows = config.sample_rows;
+        interp.register_table(data_path, data);
+        Ok(Standardizer {
+            corpus,
+            interp,
+            config,
+        })
+    }
+
+    /// Builds from a pre-built corpus model (lets callers share one model
+    /// across many standardizers/configs).
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid config.
+    pub fn from_model(
+        corpus: CorpusModel,
+        data_path: impl Into<String>,
+        data: DataFrame,
+        config: SearchConfig,
+    ) -> Result<Standardizer> {
+        config.validate()?;
+        let mut interp = Interpreter::new();
+        interp.seed = config.seed;
+        interp.sample_rows = config.sample_rows;
+        interp.register_table(data_path, data);
+        Ok(Standardizer {
+            corpus,
+            interp,
+            config,
+        })
+    }
+
+    /// Registers an additional input table (multi-file `D_IN`).
+    pub fn register_table(&mut self, path: impl Into<String>, data: DataFrame) {
+        self.interp.register_table(path, data);
+    }
+
+    /// The corpus model (read access for stats/reporting).
+    pub fn corpus(&self) -> &CorpusModel {
+        &self.corpus
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Replaces the configuration (e.g. for parameter sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid config.
+    pub fn set_config(&mut self, config: SearchConfig) -> Result<()> {
+        config.validate()?;
+        self.interp.sample_rows = config.sample_rows;
+        self.interp.seed = config.seed;
+        self.config = config;
+        Ok(())
+    }
+
+    /// The relative entropy of a script source w.r.t. this corpus.
+    ///
+    /// # Errors
+    ///
+    /// Fails on parse errors.
+    pub fn score_source(&self, source: &str) -> Result<f64> {
+        let module = lemmatize(&parse_module(source)?);
+        Ok(entropy::relative_entropy(
+            &dag::build_dag(&module),
+            &self.corpus,
+        ))
+    }
+
+    /// Standardizes a parsed user script.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the input script does not execute on `D_IN` (the paper
+    /// treats the input as a working sketch).
+    pub fn standardize(&self, user_script: &Module) -> Result<StandardizeReport> {
+        let input = lemmatize(user_script);
+        let base_outcome = self
+            .interp
+            .run(&input)
+            .map_err(CoreError::InputNotExecutable)?;
+        let base_output = base_outcome
+            .output_frame()
+            .cloned()
+            .unwrap_or_default();
+        let input_dag = dag::build_dag(&input);
+        let re_before = match self.config.objective {
+            crate::config::Objective::Edges => {
+                entropy::relative_entropy(&input_dag, &self.corpus)
+            }
+            crate::config::Objective::Atoms => {
+                entropy::relative_entropy_atoms(&input_dag, &self.corpus)
+            }
+        };
+
+        let ctx = SearchContext {
+            corpus: &self.corpus,
+            interp: &self.interp,
+            config: &self.config,
+            base_output: &base_output,
+        };
+        let SearchOutcome {
+            best,
+            intent,
+            explored,
+            timings,
+        } = standardize_search(&ctx, &input);
+
+        Ok(StandardizeReport {
+            input_source: print_module(&input),
+            output_source: print_module(&best.module),
+            re_before,
+            re_after: best.re,
+            improvement_pct: entropy::improvement_pct(re_before, best.re),
+            intent_delta: intent.delta,
+            intent_kind: self.config.intent.kind().to_string(),
+            intent_satisfied: intent.satisfied,
+            applied: best.applied.iter().map(|t| t.describe()).collect(),
+            candidates_explored: explored,
+            timings,
+        })
+    }
+
+    /// Explains a finished report's changes (§8 extension): prevalence,
+    /// typical context, and rationale per added/removed step.
+    pub fn explain(&self, report: &StandardizeReport) -> Vec<crate::explain::Explanation> {
+        crate::explain::explain_diff(&self.corpus, &report.input_source, &report.output_source)
+    }
+
+    /// Standardizes raw source text.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors plus everything [`Standardizer::standardize`] reports.
+    pub fn standardize_source(&self, source: &str) -> Result<StandardizeReport> {
+        let module = parse_module(source)?;
+        self.standardize(&module)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intent::IntentMeasure;
+    use lucid_frame::csv::read_csv_str;
+
+    fn data() -> DataFrame {
+        let mut csv = String::from("Age,Fare,Survived\n");
+        for i in 0..50 {
+            let age = if i % 9 == 0 { String::new() } else { format!("{}", 20 + i % 40) };
+            csv.push_str(&format!("{age},{},{}\n", 10 + i, i % 2));
+        }
+        read_csv_str(&csv).unwrap()
+    }
+
+    fn corpus() -> Vec<String> {
+        vec![
+            "import pandas as pd\ndf = pd.read_csv('train.csv')\ndf = df.fillna(df.mean())\ndf = pd.get_dummies(df)\ny = df['Survived']\n".to_string(),
+            "import pandas as pd\ndf = pd.read_csv('train.csv')\ndf = df.fillna(df.mean())\ndf = df[df['Fare'] < 55]\ndf = pd.get_dummies(df)\ny = df['Survived']\n".to_string(),
+            "import pandas as pd\ndf = pd.read_csv('train.csv')\ndf = df.fillna(df.mean())\ny = df['Survived']\n".to_string(),
+        ]
+    }
+
+    fn build() -> Standardizer {
+        let config = SearchConfig {
+            seq_len: 6,
+            intent: IntentMeasure::jaccard(0.5),
+            ..Default::default()
+        };
+        Standardizer::build(&corpus(), "train.csv", data(), config).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_improvement() {
+        let s = build();
+        let report = s
+            .standardize_source(
+                "import pandas as pd\ndf = pd.read_csv('train.csv')\ndf = df.fillna(df.median())\ny = df['Survived']\n",
+            )
+            .unwrap();
+        assert!(report.improvement_pct >= 0.0);
+        assert!(report.re_after <= report.re_before);
+        assert!(report.intent_satisfied);
+        // Output must parse and execute.
+        let module = parse_module(&report.output_source).unwrap();
+        assert!(s.interp.check_executes(&module));
+    }
+
+    #[test]
+    fn non_executable_input_is_rejected() {
+        let s = build();
+        let err = s
+            .standardize_source("import pandas as pd\ndf = pd.read_csv('missing.csv')\n")
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InputNotExecutable(_)));
+        let err = s.standardize_source("x = undefined\n").unwrap_err();
+        assert!(matches!(err, CoreError::InputNotExecutable(_)));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let s = build();
+        assert!(matches!(
+            s.standardize_source("df = ("),
+            Err(CoreError::Parse(_))
+        ));
+        assert!(s.score_source("df = (").is_err());
+    }
+
+    #[test]
+    fn score_source_matches_report_re() {
+        let s = build();
+        let src = "import pandas as pd\ndf = pd.read_csv('train.csv')\ndf = df.fillna(df.median())\ny = df['Survived']\n";
+        let report = s.standardize_source(src).unwrap();
+        let re = s.score_source(src).unwrap();
+        assert!((re - report.re_before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_config_validates() {
+        let mut s = build();
+        let bad = SearchConfig {
+            beam_k: 0,
+            ..Default::default()
+        };
+        assert!(s.set_config(bad).is_err());
+        let ok = SearchConfig {
+            seq_len: 2,
+            ..Default::default()
+        };
+        assert!(s.set_config(ok).is_ok());
+        assert_eq!(s.config().seq_len, 2);
+    }
+
+    #[test]
+    fn from_model_shares_corpus() {
+        let model = CorpusModel::build_from_sources(&corpus()).unwrap();
+        let s =
+            Standardizer::from_model(model, "train.csv", data(), SearchConfig::default())
+                .unwrap();
+        assert_eq!(s.corpus().n_scripts, 3);
+    }
+
+    #[test]
+    fn explanations_cover_the_diff() {
+        let s = build();
+        let report = s
+            .standardize_source(
+                "import pandas as pd\ndf = pd.read_csv('train.csv')\ndf = df.fillna(df.median())\ny = df['Survived']\n",
+            )
+            .unwrap();
+        let explanations = s.explain(&report);
+        if report.changed() {
+            assert!(!explanations.is_empty());
+            for e in &explanations {
+                assert!(!e.text.is_empty());
+                assert!((0.0..=1.0).contains(&e.prevalence));
+            }
+        }
+    }
+
+    #[test]
+    fn bad_config_rejected_at_build() {
+        let config = SearchConfig {
+            intent: IntentMeasure::jaccard(-0.1),
+            ..Default::default()
+        };
+        assert!(Standardizer::build(&corpus(), "t.csv", data(), config).is_err());
+    }
+}

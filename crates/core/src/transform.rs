@@ -1,0 +1,462 @@
+//! Add/delete transformations over script DAGs (Definition 3.4 and the
+//! "Configuring Transformations" part of Section 5.2).
+
+use crate::dag::ScriptDag;
+use crate::error::{CoreError, Result};
+use crate::vocab::CorpusModel;
+use lucid_pyast::{parse_module, Module, Span};
+
+/// What a transformation does.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TransformKind {
+    /// Insert a corpus atom (a lemmatized statement) into the script.
+    Add {
+        /// The atom key (printable statement source) to insert.
+        atom: String,
+    },
+    /// Remove the statement at the transformation's line.
+    Delete,
+}
+
+/// A transformation: type + what + where (Definition 3.4's
+/// `f(type, a, {e'}, lineno)` — the edges are implied by the insertion
+/// point, since data-flow edges are recomputed from the statement list).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Transformation {
+    /// The operation.
+    pub kind: TransformKind,
+    /// Statement position: for `Delete`, the statement to remove; for
+    /// `Add`, the position to insert *at* (existing statement moves down).
+    pub line: usize,
+}
+
+impl Transformation {
+    /// A human-readable one-line description.
+    pub fn describe(&self) -> String {
+        match &self.kind {
+            TransformKind::Add { atom } => format!("+ line {}: {atom}", self.line + 1),
+            TransformKind::Delete => format!("- line {}", self.line + 1),
+        }
+    }
+
+    /// Applies the transformation, producing a new module.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the line is out of range or an `Add` atom fails to parse
+    /// (corpus atoms always parse; hand-built transformations might not).
+    pub fn apply(&self, module: &Module) -> Result<Module> {
+        let mut stmts = module.stmts.clone();
+        match &self.kind {
+            TransformKind::Delete => {
+                if self.line >= stmts.len() {
+                    return Err(CoreError::BadConfig(format!(
+                        "delete at line {} of a {}-statement script",
+                        self.line + 1,
+                        stmts.len()
+                    )));
+                }
+                stmts.remove(self.line);
+            }
+            TransformKind::Add { atom } => {
+                if self.line > stmts.len() {
+                    return Err(CoreError::BadConfig(format!(
+                        "insert at line {} of a {}-statement script",
+                        self.line + 1,
+                        stmts.len()
+                    )));
+                }
+                let parsed = parse_module(atom)?;
+                let mut stmt = parsed
+                    .stmts
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| CoreError::BadConfig("empty atom".to_string()))?;
+                stmt = stmt.with_span(Span::synthetic());
+                stmts.insert(self.line, stmt);
+            }
+        }
+        let mut out = Module::new(stmts);
+        out.renumber();
+        Ok(out)
+    }
+
+    /// The smallest line index still editable after this transformation,
+    /// under the paper's monotonicity rule (Section 5.2, item 3): a
+    /// sequence may never go back and edit an earlier portion. `old` is
+    /// the candidate's cursor before this transformation.
+    ///
+    /// The cursor constrains **adds** only. The rule's purpose is that a
+    /// script which became non-executable can never be repaired by later
+    /// transformations; with early checking, every beam candidate is
+    /// executable, and a *delete* before the cursor cannot resurrect a
+    /// dead script — it only lets the search remove earlier anomalous
+    /// steps (e.g. a multi-line leakage block, §6.6) after later
+    /// insertions. DESIGN.md §6 records this refinement.
+    pub fn next_cursor(&self, old: usize) -> usize {
+        match self.kind {
+            // Deletes do not anchor anything; a delete before the cursor
+            // shifts the protected region up by one line.
+            TransformKind::Delete => {
+                if self.line < old {
+                    old.saturating_sub(1)
+                } else {
+                    old
+                }
+            }
+            // After inserting at l ≥ cursor, the inserted statement sits
+            // at l; inserting before the cursor (imports) shifts it down.
+            TransformKind::Add { .. } => {
+                if self.line < old {
+                    old + 1
+                } else {
+                    self.line
+                }
+            }
+        }
+    }
+}
+
+/// Tunables for transformation enumeration.
+#[derive(Debug, Clone)]
+pub struct EnumOptions {
+    /// Max successor candidates considered per existing atom.
+    pub max_successors_per_atom: usize,
+    /// Max position-based (n-gram) candidates from the global vocabulary.
+    pub max_positional_atoms: usize,
+}
+
+impl Default for EnumOptions {
+    fn default() -> Self {
+        EnumOptions {
+            max_successors_per_atom: 24,
+            max_positional_atoms: 32,
+        }
+    }
+}
+
+/// Enumerates candidate transformations for a (lemmatized) script, honoring
+/// the monotonicity cursor: only positions ≥ `cursor` are produced.
+///
+/// * **Delete**: every deletable statement (imports and `read_csv` loads
+///   are skipped — removing them can never produce an executable script
+///   that still reads `D_IN`).
+/// * **Add via edges (1-gram placement)**: for every atom `a` in the
+///   script, each corpus successor `a'` with `(a, a') ∈ V_E'` may be
+///   inserted right after `a`.
+/// * **Add via relative position (n-gram placement)**: corpus atoms not
+///   yet in the script may be inserted at their corpus-typical relative
+///   position.
+pub fn enumerate_transformations(
+    dag: &ScriptDag,
+    corpus: &CorpusModel,
+    cursor: usize,
+    opts: &EnumOptions,
+) -> Vec<Transformation> {
+    let n = dag.atoms.len();
+    let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut push = |t: Transformation, out: &mut Vec<Transformation>| {
+        if seen.insert(t.clone()) {
+            out.push(t);
+        }
+    };
+
+    // Deletes — exempt from the cursor (see `Transformation::next_cursor`).
+    for (i, atom) in dag.atoms.iter().enumerate() {
+        if is_protected(atom) {
+            continue;
+        }
+        push(
+            Transformation {
+                kind: TransformKind::Delete,
+                line: i,
+            },
+            &mut out,
+        );
+    }
+
+    let present: std::collections::HashSet<&String> = dag.atoms.iter().collect();
+    // End of the import block: imports are always inserted there.
+    let import_end = dag
+        .atoms
+        .iter()
+        .take_while(|a| a.starts_with("import ") || a.starts_with("from "))
+        .count();
+
+    // Edge-driven adds.
+    for (i, atom) in dag.atoms.iter().enumerate() {
+        let insert_at = i + 1;
+        let Some(succs) = corpus.successors.get(atom) else {
+            continue;
+        };
+        for (next_atom, _) in succs.iter().take(opts.max_successors_per_atom) {
+            // A preparation step never usefully repeats verbatim — and a
+            // repeated `read_csv` would silently reset all prior work —
+            // so atoms already present anywhere are not re-added.
+            if present.contains(next_atom) {
+                continue;
+            }
+            let line = if is_import(next_atom) {
+                import_end
+            } else if insert_at < cursor {
+                continue;
+            } else {
+                insert_at
+            };
+            push(
+                Transformation {
+                    kind: TransformKind::Add {
+                        atom: next_atom.clone(),
+                    },
+                    line,
+                },
+                &mut out,
+            );
+        }
+    }
+
+    // Position-driven adds for atoms missing from the script.
+    let mut by_count: Vec<(&String, &usize)> = corpus.atom_counts.iter().collect();
+    by_count.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    for (atom, _) in by_count.into_iter().take(opts.max_positional_atoms) {
+        // `read_csv` loads are never re-proposed; imports are fine (they
+        // pin to the import block).
+        if present.contains(atom) || atom.contains("read_csv(") {
+            continue;
+        }
+        let line = if is_import(atom) {
+            import_end
+        } else {
+            let rel = corpus.mean_rel_pos.get(atom).copied().unwrap_or(0.5);
+            ((rel * n as f64).round() as usize).clamp(cursor.min(n), n)
+        };
+        push(
+            Transformation {
+                kind: TransformKind::Add { atom: atom.clone() },
+                line,
+            },
+            &mut out,
+        );
+    }
+
+    out
+}
+
+/// Atoms the search never deletes: imports and `read_csv` loads (their
+/// removal always kills executability or disconnects the script from
+/// `D_IN`; pruning them here saves the execution check the paper's
+/// monotonic search would spend discovering the same thing).
+fn is_protected(atom: &str) -> bool {
+    is_import(atom) || atom.contains("read_csv(")
+}
+
+/// Whether an atom is an import statement.
+fn is_import(atom: &str) -> bool {
+    atom.starts_with("import ") || atom.starts_with("from ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::CorpusModel;
+    use lucid_pyast::print_module;
+
+    const SU: &str = "\
+import pandas as pd
+df = pd.read_csv('t.csv')
+df = df.fillna(df.median())
+df = pd.get_dummies(df)
+";
+
+    fn setup() -> (Module, ScriptDag, CorpusModel) {
+        let corpus = CorpusModel::build_from_sources(&[
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.fillna(df.mean())\ndf = pd.get_dummies(df)\n",
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.fillna(df.mean())\ndf = df[df['x'] < 80]\ndf = pd.get_dummies(df)\n",
+        ])
+        .unwrap();
+        let module = crate::lemma::lemmatize(&parse_module(SU).unwrap());
+        let dag = crate::dag::build_dag(&module);
+        (module, dag, corpus)
+    }
+
+    #[test]
+    fn apply_delete_removes_line() {
+        let (module, ..) = setup();
+        let t = Transformation {
+            kind: TransformKind::Delete,
+            line: 2,
+        };
+        let out = t.apply(&module).unwrap();
+        assert_eq!(out.stmts.len(), 3);
+        assert!(!print_module(&out).contains("median"));
+        // Out-of-range delete errors.
+        assert!(Transformation {
+            kind: TransformKind::Delete,
+            line: 99
+        }
+        .apply(&module)
+        .is_err());
+    }
+
+    #[test]
+    fn apply_add_inserts_line_and_renumbers() {
+        let (module, ..) = setup();
+        let t = Transformation {
+            kind: TransformKind::Add {
+                atom: "df = df.dropna()".to_string(),
+            },
+            line: 2,
+        };
+        let out = t.apply(&module).unwrap();
+        assert_eq!(out.stmts.len(), 5);
+        assert_eq!(lucid_pyast::print_stmt(&out.stmts[2]), "df = df.dropna()");
+        for (i, s) in out.stmts.iter().enumerate() {
+            assert_eq!(s.span().line as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn add_at_end_is_allowed() {
+        let (module, ..) = setup();
+        let t = Transformation {
+            kind: TransformKind::Add {
+                atom: "y = df['Outcome']".to_string(),
+            },
+            line: 4,
+        };
+        assert_eq!(t.apply(&module).unwrap().stmts.len(), 5);
+        assert!(Transformation {
+            kind: TransformKind::Add {
+                atom: "y = 1".to_string()
+            },
+            line: 6
+        }
+        .apply(&module)
+        .is_err());
+    }
+
+    #[test]
+    fn unparsable_atom_errors() {
+        let (module, ..) = setup();
+        let t = Transformation {
+            kind: TransformKind::Add {
+                atom: "df = (".to_string(),
+            },
+            line: 1,
+        };
+        assert!(t.apply(&module).is_err());
+    }
+
+    #[test]
+    fn enumeration_respects_cursor_and_protection() {
+        let (_, dag, corpus) = setup();
+        let all = enumerate_transformations(&dag, &corpus, 0, &EnumOptions::default());
+        // No deletes of imports/read_csv.
+        for t in &all {
+            if t.kind == TransformKind::Delete {
+                assert!(t.line >= 2, "protected line deleted: {t:?}");
+            }
+        }
+        // The cursor prunes earlier *non-import adds*; deletes and import
+        // adds remain available.
+        let late = enumerate_transformations(&dag, &corpus, 3, &EnumOptions::default());
+        for t in &late {
+            match &t.kind {
+                TransformKind::Add { atom }
+                    if !(atom.starts_with("import ") || atom.starts_with("from ")) =>
+                {
+                    assert!(t.line >= 3, "cursor violated: {t:?}");
+                }
+                _ => {}
+            }
+        }
+        assert!(late.len() <= all.len());
+    }
+
+    #[test]
+    fn enumeration_proposes_corpus_successors() {
+        let (_, dag, corpus) = setup();
+        let all = enumerate_transformations(&dag, &corpus, 0, &EnumOptions::default());
+        let has_mean_impute = all.iter().any(|t| {
+            matches!(&t.kind, TransformKind::Add { atom } if atom == "df = df.fillna(df.mean())")
+        });
+        assert!(has_mean_impute, "corpus edge successor not proposed");
+        let has_outlier_filter = all.iter().any(|t| {
+            matches!(&t.kind, TransformKind::Add { atom } if atom.contains("df['x'] < 80"))
+        });
+        assert!(has_outlier_filter, "positional add not proposed");
+    }
+
+    #[test]
+    fn enumeration_is_duplicate_free() {
+        let (_, dag, corpus) = setup();
+        let all = enumerate_transformations(&dag, &corpus, 0, &EnumOptions::default());
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn next_cursor_is_monotone() {
+        let t = Transformation {
+            kind: TransformKind::Delete,
+            line: 3,
+        };
+        // Deletes never advance the cursor; before the cursor they shift
+        // the protected region up.
+        assert_eq!(t.next_cursor(0), 0);
+        assert_eq!(t.next_cursor(5), 4);
+        assert_eq!(t.next_cursor(2), 2);
+        let t = Transformation {
+            kind: TransformKind::Add {
+                atom: "x = 1".to_string(),
+            },
+            line: 2,
+        };
+        assert_eq!(t.next_cursor(0), 2);
+        // Import-style add before the cursor shifts the region down.
+        assert_eq!(t.next_cursor(4), 5);
+    }
+
+    #[test]
+    fn present_atoms_are_never_re_added() {
+        let (_, dag, corpus) = setup();
+        let all = enumerate_transformations(&dag, &corpus, 0, &EnumOptions::default());
+        for t in &all {
+            if let TransformKind::Add { atom } = &t.kind {
+                assert!(
+                    !dag.atoms.contains(atom),
+                    "re-added existing atom: {atom}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn import_adds_pin_to_import_block() {
+        let corpus = CorpusModel::build_from_sources(&[
+            "import pandas as pd
+import numpy as np
+df = pd.read_csv('t.csv')
+df['x'] = np.log1p(df['y'])
+df = pd.get_dummies(df)
+";
+            3
+        ])
+        .unwrap();
+        let module =
+            crate::lemma::lemmatize(&parse_module("import pandas as pd
+df = pd.read_csv('t.csv')
+df = pd.get_dummies(df)
+").unwrap());
+        let dag = crate::dag::build_dag(&module);
+        let all = enumerate_transformations(&dag, &corpus, 2, &EnumOptions::default());
+        let np_import = all
+            .iter()
+            .find(|t| matches!(&t.kind, TransformKind::Add { atom } if atom == "import numpy as np"))
+            .expect("numpy import proposed");
+        assert_eq!(np_import.line, 1, "import must land in the import block");
+    }
+
+    use lucid_pyast::parse_module;
+}

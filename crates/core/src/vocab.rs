@@ -1,0 +1,296 @@
+//! Offline phase: vocabularies and the corpus distribution (Section 5.1).
+
+use crate::dag::{self, ScriptDag};
+use crate::error::{CoreError, Result};
+use crate::lemma::lemmatize;
+use lucid_pyast::Module;
+use std::collections::HashMap;
+
+/// An edge key: an ordered pair of atom keys.
+pub type EdgeKey = (String, String);
+
+/// The corpus model built offline: `V_A`, `V_E'`, `Q(x)`, and placement
+/// statistics used to configure add transformations.
+#[derive(Debug, Clone)]
+pub struct CorpusModel {
+    /// Atom vocabulary `V_A`: line-level atom key → corpus count.
+    pub atom_counts: HashMap<String, usize>,
+    /// Edge vocabulary `V_E'`: edge key → corpus count.
+    pub edge_counts: HashMap<EdgeKey, usize>,
+    /// 1-gram (invocation-level) vocabulary with counts.
+    pub unigram_counts: HashMap<String, usize>,
+    /// Successors observed per atom: atom → (successor atom → count).
+    /// This drives add-transformation placement ("a′ may follow a when
+    /// edge (a, a′) ∈ V_E'", Section 5.2).
+    pub successors: HashMap<String, Vec<(String, usize)>>,
+    /// Mean relative position (0 = first line, 1 = last line) per atom in
+    /// corpus scripts — the n-gram placement statistic.
+    pub mean_rel_pos: HashMap<String, f64>,
+    /// Number of corpus scripts.
+    pub n_scripts: usize,
+    /// Total edge occurrences across the corpus.
+    pub total_edges: usize,
+}
+
+impl CorpusModel {
+    /// Builds the model from already-parsed corpus modules. Scripts are
+    /// lemmatized here, so callers can pass raw parses.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty corpus.
+    pub fn build(corpus: &[Module]) -> Result<CorpusModel> {
+        if corpus.is_empty() {
+            return Err(CoreError::EmptyCorpus);
+        }
+        let mut atom_counts = HashMap::new();
+        let mut edge_counts: HashMap<EdgeKey, usize> = HashMap::new();
+        let mut unigram_counts = HashMap::new();
+        let mut succ: HashMap<String, HashMap<String, usize>> = HashMap::new();
+        let mut pos_sum: HashMap<String, (f64, usize)> = HashMap::new();
+        let mut total_edges = 0usize;
+
+        for module in corpus {
+            let lem = lemmatize(module);
+            let d = dag::build_dag(&lem);
+            let n = d.atoms.len().max(1);
+            for (i, a) in d.atoms.iter().enumerate() {
+                *atom_counts.entry(a.clone()).or_insert(0) += 1;
+                let entry = pos_sum.entry(a.clone()).or_insert((0.0, 0));
+                entry.0 += i as f64 / n as f64;
+                entry.1 += 1;
+            }
+            for u in &d.unigrams {
+                *unigram_counts.entry(u.clone()).or_insert(0) += 1;
+            }
+            for (from, to) in d.edge_keys() {
+                *succ.entry(from.clone())
+                    .or_default()
+                    .entry(to.clone())
+                    .or_insert(0) += 1;
+                *edge_counts.entry((from, to)).or_insert(0) += 1;
+                total_edges += 1;
+            }
+        }
+
+        let successors = succ
+            .into_iter()
+            .map(|(k, m)| {
+                let mut v: Vec<(String, usize)> = m.into_iter().collect();
+                // Popular successors first; ties broken lexically for
+                // determinism.
+                v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                (k, v)
+            })
+            .collect();
+        let mean_rel_pos = pos_sum
+            .into_iter()
+            .map(|(k, (sum, cnt))| (k, sum / cnt as f64))
+            .collect();
+
+        Ok(CorpusModel {
+            atom_counts,
+            edge_counts,
+            unigram_counts,
+            successors,
+            mean_rel_pos,
+            n_scripts: corpus.len(),
+            total_edges,
+        })
+    }
+
+    /// Parses and builds from raw sources.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse failures and the empty-corpus check.
+    pub fn build_from_sources(sources: &[impl AsRef<str>]) -> Result<CorpusModel> {
+        let modules: Vec<Module> = sources
+            .iter()
+            .map(|s| lucid_pyast::parse_module(s.as_ref()))
+            .collect::<std::result::Result<_, _>>()?;
+        Self::build(&modules)
+    }
+
+    /// Builds a *vote-weighted* model (§8: "scripts authored by domain
+    /// experts could be weighted differently, e.g. using the vote counts
+    /// of Kaggle scripts"): each script contributes to the vocabularies
+    /// with integer multiplicity `weight`. `n_scripts` stays the number of
+    /// distinct scripts so prevalence remains a fraction of scripts, while
+    /// `Q(x)` shifts toward highly-voted practice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse failures; fails on an empty or all-zero-weight
+    /// corpus.
+    pub fn build_weighted(sources: &[(impl AsRef<str>, usize)]) -> Result<CorpusModel> {
+        let mut replicated: Vec<Module> = Vec::new();
+        let mut distinct = 0usize;
+        for (src, weight) in sources {
+            if *weight == 0 {
+                continue;
+            }
+            let module = lucid_pyast::parse_module(src.as_ref())?;
+            distinct += 1;
+            for _ in 0..*weight {
+                replicated.push(module.clone());
+            }
+        }
+        let mut model = Self::build(&replicated)?;
+        // Report distinct scripts, and rescale per-script atom counts so
+        // prevalence stays within [0, 1] semantics on average.
+        model.n_scripts = distinct;
+        Ok(model)
+    }
+
+    /// Number of distinct edges (paper's "uniq. edges", Table 3).
+    pub fn n_unique_edges(&self) -> usize {
+        self.edge_counts.len()
+    }
+
+    /// Number of distinct line-level atoms (paper's "uniq. n-grams").
+    pub fn n_unique_atoms(&self) -> usize {
+        self.atom_counts.len()
+    }
+
+    /// Number of distinct invocation-level atoms (paper's "uniq. 1-grams").
+    pub fn n_unique_unigrams(&self) -> usize {
+        self.unigram_counts.len()
+    }
+
+    /// Corpus probability of an edge with add-one smoothing over an
+    /// augmented space of `extra` unseen edges (see `entropy`).
+    pub fn q_smoothed(&self, edge: &EdgeKey, extra_space: usize) -> f64 {
+        let count = self.edge_counts.get(edge).copied().unwrap_or(0);
+        let space = self.edge_counts.len() + extra_space;
+        (count as f64 + 1.0) / (self.total_edges as f64 + space as f64)
+    }
+
+    /// Fraction of corpus scripts containing the given atom.
+    pub fn atom_prevalence(&self, atom: &str) -> f64 {
+        self.atom_counts.get(atom).copied().unwrap_or(0) as f64 / self.n_scripts as f64
+    }
+
+    /// DAG of one script, lemmatized with this model's conventions.
+    pub fn dag_of(&self, module: &Module) -> ScriptDag {
+        dag::build_dag(&lemmatize(module))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucid_pyast::parse_module;
+
+    fn corpus() -> Vec<Module> {
+        [
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.fillna(df.mean())\ndf = pd.get_dummies(df)\n",
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.fillna(df.mean())\ndf = df[df['x'] < 80]\ndf = pd.get_dummies(df)\n",
+            "import pandas as pd\ntrain = pd.read_csv('t.csv')\ntrain = train.dropna()\ntrain = pd.get_dummies(train)\n",
+        ]
+        .iter()
+        .map(|s| parse_module(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn builds_vocabularies_after_lemmatization() {
+        let m = CorpusModel::build(&corpus()).unwrap();
+        // `train` was lemmatized to `df`, so the read_csv atom is shared.
+        assert_eq!(m.atom_counts["df = pd.read_csv('t.csv')"], 3);
+        assert_eq!(m.atom_counts["df = df.fillna(df.mean())"], 2);
+        assert_eq!(m.atom_counts["df = df.dropna()"], 1);
+        assert_eq!(m.n_scripts, 3);
+    }
+
+    #[test]
+    fn edge_counts_reflect_dataflow() {
+        let m = CorpusModel::build(&corpus()).unwrap();
+        let e = (
+            "df = pd.read_csv('t.csv')".to_string(),
+            "df = df.fillna(df.mean())".to_string(),
+        );
+        assert_eq!(m.edge_counts[&e], 2);
+        assert!(m.total_edges >= 9);
+    }
+
+    #[test]
+    fn successors_sorted_by_popularity() {
+        let m = CorpusModel::build(&corpus()).unwrap();
+        let succ = &m.successors["df = pd.read_csv('t.csv')"];
+        assert_eq!(succ[0].0, "df = df.fillna(df.mean())");
+        assert_eq!(succ[0].1, 2);
+    }
+
+    #[test]
+    fn q_smoothing_handles_unseen_edges() {
+        let m = CorpusModel::build(&corpus()).unwrap();
+        let unseen = ("a".to_string(), "b".to_string());
+        let q = m.q_smoothed(&unseen, 1);
+        assert!(q > 0.0 && q < 0.2);
+        let seen = (
+            "df = pd.read_csv('t.csv')".to_string(),
+            "df = df.fillna(df.mean())".to_string(),
+        );
+        assert!(m.q_smoothed(&seen, 1) > q);
+    }
+
+    #[test]
+    fn prevalence_and_positions() {
+        let m = CorpusModel::build(&corpus()).unwrap();
+        assert!((m.atom_prevalence("df = pd.read_csv('t.csv')") - 1.0).abs() < 1e-12);
+        assert!((m.atom_prevalence("df = df.dropna()") - 1.0 / 3.0).abs() < 1e-12);
+        // read_csv sits early in scripts; get_dummies late.
+        assert!(
+            m.mean_rel_pos["df = pd.read_csv('t.csv')"]
+                < m.mean_rel_pos["df = pd.get_dummies(df)"]
+        );
+    }
+
+    #[test]
+    fn empty_corpus_errors() {
+        assert!(matches!(
+            CorpusModel::build(&[]),
+            Err(CoreError::EmptyCorpus)
+        ));
+    }
+
+    #[test]
+    fn build_from_sources_parses() {
+        let m = CorpusModel::build_from_sources(&["import pandas as pd\n"]).unwrap();
+        assert_eq!(m.n_scripts, 1);
+        assert!(CorpusModel::build_from_sources(&["df = ("]).is_err());
+    }
+
+    #[test]
+    fn weighted_model_shifts_q_toward_votes() {
+        let popular = "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.fillna(df.mean())\n";
+        let unusual = "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.head(3)\n";
+        let weighted =
+            CorpusModel::build_weighted(&[(popular, 9usize), (unusual, 1usize)]).unwrap();
+        let flat = CorpusModel::build_from_sources(&[popular, unusual]).unwrap();
+        assert_eq!(weighted.n_scripts, 2);
+        let e = (
+            "df = pd.read_csv('t.csv')".to_string(),
+            "df = df.fillna(df.mean())".to_string(),
+        );
+        // Q mass on the highly-voted edge grows under vote weighting.
+        assert!(weighted.q_smoothed(&e, 0) > flat.q_smoothed(&e, 0));
+        // Zero-weight scripts are dropped entirely.
+        let only = CorpusModel::build_weighted(&[(popular, 1usize), (unusual, 0usize)]).unwrap();
+        assert_eq!(only.n_scripts, 1);
+        assert!(!only
+            .atom_counts
+            .contains_key("df = df.head(3)"));
+        // All-zero weights behave like an empty corpus.
+        assert!(CorpusModel::build_weighted(&[(popular, 0usize)]).is_err());
+    }
+
+    #[test]
+    fn table3_statistics_accessors() {
+        let m = CorpusModel::build(&corpus()).unwrap();
+        assert!(m.n_unique_atoms() >= 5);
+        assert!(m.n_unique_edges() >= 5);
+        assert!(m.n_unique_unigrams() >= 4);
+    }
+}

@@ -1,0 +1,32 @@
+//! # lucid-corpus
+//!
+//! Synthetic workloads mirroring the paper's six Kaggle competitions
+//! (Table 3): dataset profiles, data generators, and popularity-weighted
+//! script-corpus generators.
+//!
+//! The real evaluation used crawled Kaggle notebooks and competition data;
+//! neither is available offline, so this crate synthesizes *statistically
+//! matched* substitutes (DESIGN.md §3): each profile reproduces the
+//! table's script count, tuple count, feature count, and a popularity-
+//! skewed step distribution, and every generated script executes on the
+//! generated data under `lucid-interp`.
+//!
+//! ```
+//! use lucid_corpus::profiles::Profile;
+//!
+//! let medical = Profile::medical();
+//! let data = medical.generate_data(42, 0.2);          // 20% of full size
+//! let corpus = medical.generate_corpus(42);
+//! assert_eq!(corpus.len(), medical.n_scripts);
+//! assert!(data.has_column("Outcome"));
+//! ```
+
+pub mod data_gen;
+pub mod profiles;
+pub mod script_gen;
+pub mod templates;
+pub mod variants;
+
+pub use profiles::Profile;
+pub use script_gen::ScriptMeta;
+pub use variants::CorpusVariant;

@@ -1,0 +1,324 @@
+//! The six dataset profiles of Table 3.
+
+use crate::data_gen::{generate, ColSpec};
+use crate::script_gen::{generate_corpus_scripts, ScriptMeta};
+use crate::templates::{self, StepTemplate};
+use lucid_frame::DataFrame;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which competition a profile mirrors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProfileKey {
+    /// Titanic survival.
+    Titanic,
+    /// House prices.
+    House,
+    /// Disaster tweets.
+    Nlp,
+    /// Spaceship Titanic.
+    Spaceship,
+    /// Pima Indians diabetes.
+    Medical,
+    /// Predict future sales.
+    Sales,
+}
+
+/// A dataset profile: schema, scale, corpus shape, and step library.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Which competition this mirrors.
+    pub key: ProfileKey,
+    /// Display name (Table 3 column header).
+    pub name: &'static str,
+    /// The `read_csv` path scripts use.
+    pub file: &'static str,
+    /// Number of corpus scripts (Table 3 "Scripts").
+    pub n_scripts: usize,
+    /// Full-scale tuple count (Table 3 "Data tuples").
+    pub n_rows_full: usize,
+    /// The downstream-task label column.
+    pub target: &'static str,
+    /// Mean number of prepared steps per script (drives script length).
+    pub mean_steps: usize,
+}
+
+impl Profile {
+    /// Titanic: 62 scripts, 2.6k tuples.
+    pub fn titanic() -> Profile {
+        Profile {
+            key: ProfileKey::Titanic,
+            name: "Titanic",
+            file: "train.csv",
+            n_scripts: 62,
+            n_rows_full: 2600,
+            target: "Survived",
+            mean_steps: 8,
+        }
+    }
+
+    /// House prices: 49 scripts, 4.3k tuples.
+    pub fn house() -> Profile {
+        Profile {
+            key: ProfileKey::House,
+            name: "House",
+            file: "house.csv",
+            n_scripts: 49,
+            n_rows_full: 4300,
+            target: "Expensive",
+            mean_steps: 7,
+        }
+    }
+
+    /// Disaster tweets: 24 scripts, 22.7k tuples.
+    pub fn nlp() -> Profile {
+        Profile {
+            key: ProfileKey::Nlp,
+            name: "NLP",
+            file: "tweets.csv",
+            n_scripts: 24,
+            n_rows_full: 22_700,
+            target: "target",
+            mean_steps: 5,
+        }
+    }
+
+    /// Spaceship Titanic: 38 scripts, 17.2k tuples.
+    pub fn spaceship() -> Profile {
+        Profile {
+            key: ProfileKey::Spaceship,
+            name: "Spaceship",
+            file: "spaceship.csv",
+            n_scripts: 38,
+            n_rows_full: 17_200,
+            target: "Transported",
+            mean_steps: 7,
+        }
+    }
+
+    /// Pima diabetes: 47 scripts, 0.7k tuples.
+    pub fn medical() -> Profile {
+        Profile {
+            key: ProfileKey::Medical,
+            name: "Medical",
+            file: "diabetes.csv",
+            n_scripts: 47,
+            n_rows_full: 700,
+            target: "Outcome",
+            mean_steps: 6,
+        }
+    }
+
+    /// Predict future sales: 26 scripts, 744.3k tuples.
+    pub fn sales() -> Profile {
+        Profile {
+            key: ProfileKey::Sales,
+            name: "Sales",
+            file: "sales.csv",
+            n_scripts: 26,
+            n_rows_full: 744_300,
+            target: "high_sales",
+            mean_steps: 6,
+        }
+    }
+
+    /// All six profiles, in Table 3 order.
+    pub fn all() -> Vec<Profile> {
+        vec![
+            Profile::titanic(),
+            Profile::house(),
+            Profile::nlp(),
+            Profile::spaceship(),
+            Profile::medical(),
+            Profile::sales(),
+        ]
+    }
+
+    /// The step-template library for this profile.
+    pub fn templates(&self) -> Vec<StepTemplate> {
+        match self.key {
+            ProfileKey::Titanic => templates::titanic(),
+            ProfileKey::House => templates::house(),
+            ProfileKey::Nlp => templates::nlp(),
+            ProfileKey::Spaceship => templates::spaceship(),
+            ProfileKey::Medical => templates::medical(),
+            ProfileKey::Sales => templates::sales(),
+        }
+    }
+
+    /// Generates `D_IN` at `scale ∈ (0, 1]` of the full tuple count
+    /// (minimum 60 rows so intent measures stay meaningful).
+    pub fn generate_data(&self, seed: u64, scale: f64) -> DataFrame {
+        let n = ((self.n_rows_full as f64 * scale).round() as usize).max(60);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0000);
+        let specs = self.schema();
+        generate(&specs, n, &mut rng)
+    }
+
+    /// Generates the script corpus (deterministic in `seed`).
+    pub fn generate_corpus(&self, seed: u64) -> Vec<ScriptMeta> {
+        generate_corpus_scripts(self, seed)
+    }
+
+    /// The column specifications for this profile's main data file.
+    pub fn schema(&self) -> Vec<(&'static str, ColSpec)> {
+        match self.key {
+            ProfileKey::Medical => vec![
+                ("Pregnancies", ColSpec::IntRange { lo: 0, hi: 12, null_rate: 0.0 }),
+                ("Glucose", ColSpec::FloatNormal { mean: 120.0, std: 30.0, null_rate: 0.02 }),
+                ("BloodPressure", ColSpec::FloatNormal { mean: 70.0, std: 12.0, null_rate: 0.03 }),
+                ("SkinThickness", ColSpec::FloatNormal { mean: 29.0, std: 14.0, null_rate: 0.08 }),
+                ("Insulin", ColSpec::FloatNormal { mean: 120.0, std: 80.0, null_rate: 0.10 }),
+                ("BMI", ColSpec::FloatNormal { mean: 32.0, std: 7.0, null_rate: 0.05 }),
+                ("DiabetesPedigree", ColSpec::FloatNormal { mean: 0.5, std: 0.3, null_rate: 0.0 }),
+                ("Age", ColSpec::IntRange { lo: 21, hi: 70, null_rate: 0.04 }),
+                ("Outcome", ColSpec::TargetFromSignal { sources: &["Glucose", "BMI", "Age"], noise: 0.12 }),
+            ],
+            ProfileKey::Titanic => vec![
+                ("PassengerId", ColSpec::Id),
+                ("Pclass", ColSpec::IntRange { lo: 1, hi: 3, null_rate: 0.0 }),
+                ("Sex", ColSpec::Categorical { values: &["male", "female"], weights: &[0.64, 0.36], null_rate: 0.0 }),
+                ("Age", ColSpec::FloatNormal { mean: 29.7, std: 14.5, null_rate: 0.20 }),
+                ("SibSp", ColSpec::IntRange { lo: 0, hi: 5, null_rate: 0.0 }),
+                ("Parch", ColSpec::IntRange { lo: 0, hi: 4, null_rate: 0.0 }),
+                ("Fare", ColSpec::FloatNormal { mean: 32.2, std: 25.0, null_rate: 0.01 }),
+                ("Cabin", ColSpec::Categorical { values: &["A1", "B2", "C3", "D4", "E5"], weights: &[1.0, 1.0, 1.0, 1.0, 1.0], null_rate: 0.70 }),
+                ("Embarked", ColSpec::Categorical { values: &["S", "C", "Q"], weights: &[0.72, 0.19, 0.09], null_rate: 0.02 }),
+                ("Survived", ColSpec::TargetFromSignal { sources: &["Fare", "Pclass"], noise: 0.15 }),
+            ],
+            ProfileKey::House => vec![
+                ("Id", ColSpec::Id),
+                ("LotArea", ColSpec::FloatNormal { mean: 10500.0, std: 4000.0, null_rate: 0.0 }),
+                ("LotFrontage", ColSpec::FloatNormal { mean: 70.0, std: 22.0, null_rate: 0.18 }),
+                ("OverallQual", ColSpec::IntRange { lo: 1, hi: 10, null_rate: 0.0 }),
+                ("YearBuilt", ColSpec::IntRange { lo: 1900, hi: 2010, null_rate: 0.0 }),
+                ("GrLivArea", ColSpec::FloatNormal { mean: 1500.0, std: 500.0, null_rate: 0.0 }),
+                ("TotalBsmtSF", ColSpec::FloatNormal { mean: 1050.0, std: 420.0, null_rate: 0.02 }),
+                ("GarageArea", ColSpec::FloatNormal { mean: 470.0, std: 210.0, null_rate: 0.05 }),
+                ("Neighborhood", ColSpec::Categorical { values: &["NAmes", "CollgCr", "OldTown", "Edwards", "Somerst", "Gilbert"], weights: &[3.0, 2.0, 1.5, 1.2, 1.0, 1.0], null_rate: 0.0 }),
+                ("MSZoning", ColSpec::Categorical { values: &["RL", "RM", "FV", "RH"], weights: &[4.0, 1.5, 0.5, 0.3], null_rate: 0.03 }),
+                ("Expensive", ColSpec::TargetFromSignal { sources: &["OverallQual", "GrLivArea"], noise: 0.10 }),
+            ],
+            ProfileKey::Nlp => vec![
+                ("id", ColSpec::Id),
+                ("keyword", ColSpec::Categorical { values: &["fire", "flood", "storm", "crash", "panic", "calm", "news", "alert"], weights: &[2.0, 1.8, 1.5, 1.2, 1.0, 1.0, 0.8, 0.7], null_rate: 0.01 }),
+                ("location", ColSpec::Categorical { values: &["US", "UK", "CA", "AU", "IN"], weights: &[3.0, 1.5, 1.0, 0.8, 0.7], null_rate: 0.33 }),
+                ("text", ColSpec::Text { words: 8 }),
+                ("retweets", ColSpec::FloatNormal { mean: 12.0, std: 6.0, null_rate: 0.0 }),
+                ("target", ColSpec::TargetFromSignal { sources: &["retweets"], noise: 0.15 }),
+            ],
+            ProfileKey::Spaceship => vec![
+                ("PassengerId", ColSpec::Id),
+                ("HomePlanet", ColSpec::Categorical { values: &["Earth", "Europa", "Mars"], weights: &[2.2, 1.0, 0.8], null_rate: 0.02 }),
+                ("CryoSleep", ColSpec::Categorical { values: &["True", "False"], weights: &[0.35, 0.65], null_rate: 0.02 }),
+                ("Destination", ColSpec::Categorical { values: &["TRAPPIST-1e", "55 Cancri e", "PSO J318.5-22"], weights: &[2.8, 0.9, 0.4], null_rate: 0.02 }),
+                ("Age", ColSpec::FloatNormal { mean: 28.8, std: 14.0, null_rate: 0.02 }),
+                ("VIP", ColSpec::Categorical { values: &["False", "True"], weights: &[9.5, 0.5], null_rate: 0.02 }),
+                ("RoomService", ColSpec::FloatNormal { mean: 220.0, std: 180.0, null_rate: 0.02 }),
+                ("FoodCourt", ColSpec::FloatNormal { mean: 450.0, std: 300.0, null_rate: 0.02 }),
+                ("ShoppingMall", ColSpec::FloatNormal { mean: 170.0, std: 120.0, null_rate: 0.02 }),
+                ("Spa", ColSpec::FloatNormal { mean: 310.0, std: 250.0, null_rate: 0.02 }),
+                ("VRDeck", ColSpec::FloatNormal { mean: 300.0, std: 240.0, null_rate: 0.02 }),
+                ("Transported", ColSpec::TargetFromSignal { sources: &["Spa", "VRDeck", "RoomService"], noise: 0.12 }),
+            ],
+            ProfileKey::Sales => vec![
+                ("shop_id", ColSpec::IntRange { lo: 0, hi: 59, null_rate: 0.0 }),
+                ("item_id", ColSpec::IntRange { lo: 0, hi: 2000, null_rate: 0.0 }),
+                ("month", ColSpec::IntRange { lo: 1, hi: 12, null_rate: 0.0 }),
+                ("year", ColSpec::IntRange { lo: 2013, hi: 2015, null_rate: 0.0 }),
+                ("item_price", ColSpec::FloatNormal { mean: 900.0, std: 520.0, null_rate: 0.01 }),
+                ("item_cnt_day", ColSpec::FloatNormal { mean: 1.2, std: 1.6, null_rate: 0.0 }),
+                ("discount", ColSpec::FloatNormal { mean: 0.1, std: 0.08, null_rate: 0.02 }),
+                ("high_sales", ColSpec::TargetFromSignal { sources: &["item_cnt_day", "item_price"], noise: 0.12 }),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_profiles_in_table3_order() {
+        let all = Profile::all();
+        let names: Vec<&str> = all.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec!["Titanic", "House", "NLP", "Spaceship", "Medical", "Sales"]
+        );
+        // Script counts from Table 3.
+        let scripts: Vec<usize> = all.iter().map(|p| p.n_scripts).collect();
+        assert_eq!(scripts, vec![62, 49, 24, 38, 47, 26]);
+    }
+
+    #[test]
+    fn generated_data_matches_schema_and_scale() {
+        let p = Profile::medical();
+        let df = p.generate_data(1, 1.0);
+        assert_eq!(df.n_rows(), 700);
+        assert_eq!(df.n_cols(), 9);
+        assert!(df.has_column("Outcome"));
+        let small = p.generate_data(1, 0.1);
+        assert_eq!(small.n_rows(), 70);
+        // Scale floor.
+        assert_eq!(p.generate_data(1, 0.0001).n_rows(), 60);
+    }
+
+    #[test]
+    fn data_generation_is_deterministic() {
+        let p = Profile::titanic();
+        assert_eq!(p.generate_data(5, 0.1), p.generate_data(5, 0.1));
+    }
+
+    #[test]
+    fn all_profiles_have_learnable_targets() {
+        for p in Profile::all() {
+            let scale = if p.key == ProfileKey::Sales { 0.002 } else { 0.25 };
+            let df = p.generate_data(3, scale);
+            let acc = lucid_core::intent::model_accuracy(&df, p.target)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert!(acc > 0.55, "{}: accuracy {acc} barely above chance", p.name);
+        }
+    }
+
+    #[test]
+    fn templates_reference_existing_columns() {
+        // Every quoted column name in templates must exist in the schema
+        // (or be created by another template before use — we check the
+        // conservative subset: names appearing after df[' which match no
+        // schema column must appear on some template's assignment LHS).
+        for p in Profile::all() {
+            let schema_cols: std::collections::HashSet<String> =
+                p.schema().iter().map(|(n, _)| (*n).to_string()).collect();
+            let created: std::collections::HashSet<String> = p
+                .templates()
+                .iter()
+                .flat_map(|t| t.code.lines())
+                .filter_map(|l| {
+                    l.split_once(" = ").and_then(|(lhs, _)| {
+                        lhs.trim()
+                            .strip_prefix("df['")
+                            .and_then(|s| s.strip_suffix("']"))
+                            .map(str::to_string)
+                    })
+                })
+                .collect();
+            for tpl in p.templates() {
+                let mut rest = tpl.code;
+                while let Some(pos) = rest.find("df['") {
+                    rest = &rest[pos + 4..];
+                    let Some(end) = rest.find('\'') else { break };
+                    let col = &rest[..end];
+                    assert!(
+                        schema_cols.contains(col) || created.contains(col),
+                        "{}: template references unknown column '{col}': {}",
+                        p.name,
+                        tpl.code
+                    );
+                    rest = &rest[end..];
+                }
+            }
+        }
+    }
+}

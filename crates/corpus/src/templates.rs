@@ -1,0 +1,462 @@
+//! Per-profile libraries of data-preparation step templates with
+//! popularity weights — the synthetic stand-in for the step distribution
+//! observed in real Kaggle corpora (popular steps carry large weights; a
+//! long tail of unusual steps carries weight ≈ 1).
+
+/// Where a step belongs in the canonical preparation order. Scripts draw
+/// steps per category and emit them in this order, which is how real
+/// preparation scripts are laid out (load → impute → clean → features →
+/// encode → select → split → model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StepCategory {
+    /// Missing-value handling.
+    Impute,
+    /// Row cleaning (dedup, bad-value filters).
+    Clean,
+    /// Outlier filtering.
+    Outlier,
+    /// Feature engineering.
+    Feature,
+    /// Categorical encoding.
+    Encode,
+    /// Column selection / dropping.
+    Select,
+    /// Target/feature split.
+    Split,
+    /// Downstream model training.
+    Model,
+}
+
+/// One step template: code (possibly multi-line), category, popularity,
+/// and optional constant *jitter*: real notebooks vary thresholds
+/// (`Age < 99` vs `Age < 100`), which is where much of a corpus's atom
+/// diversity comes from. A `@P@` marker in `code` is replaced, per
+/// generated script, by one of `params`.
+#[derive(Debug, Clone)]
+pub struct StepTemplate {
+    /// Statement(s), newline-separated, referencing the profile's schema.
+    /// May contain one `@P@` placeholder.
+    pub code: &'static str,
+    /// Pipeline stage.
+    pub category: StepCategory,
+    /// Popularity weight (sampling is ∝ weight).
+    pub weight: f64,
+    /// Candidate substitutions for `@P@` (empty = no placeholder).
+    pub params: &'static [&'static str],
+}
+
+const fn t(code: &'static str, category: StepCategory, weight: f64) -> StepTemplate {
+    StepTemplate {
+        code,
+        category,
+        weight,
+        params: &[],
+    }
+}
+
+const fn tp(
+    code: &'static str,
+    category: StepCategory,
+    weight: f64,
+    params: &'static [&'static str],
+) -> StepTemplate {
+    StepTemplate {
+        code,
+        category,
+        weight,
+        params,
+    }
+}
+
+impl StepTemplate {
+    /// Materializes the template, substituting `@P@` by `params[choice]`.
+    pub fn instantiate(&self, choice: usize) -> String {
+        if self.params.is_empty() {
+            self.code.to_string()
+        } else {
+            self.code
+                .replace("@P@", self.params[choice % self.params.len()])
+        }
+    }
+}
+
+use StepCategory::*;
+
+/// Pima-diabetes (Medical) templates.
+pub fn medical() -> Vec<StepTemplate> {
+    vec![
+        t("df = df.fillna(df.mean())", Impute, 20.0),
+        t("df = df.fillna(df.median())", Impute, 6.0),
+        t("df = df.fillna(0)", Impute, 4.0),
+        t(
+            "df['Glucose'] = df['Glucose'].fillna(df['Glucose'].mean())",
+            Impute,
+            5.0,
+        ),
+        t("df = df.dropna()", Impute, 8.0),
+        t("df = df.drop_duplicates()", Clean, 6.0),
+        tp("df = df[df['SkinThickness'] < @P@]", Outlier, 12.0, &["80", "80", "80", "75", "90"]),
+        t("df = df[df['Glucose'] > 0]", Outlier, 8.0),
+        tp("df = df[df['BMI'] < @P@]", Outlier, 5.0, &["60", "60", "55", "65"]),
+        tp("df['Insulin'] = df['Insulin'].clip(0, @P@)", Outlier, 4.0, &["400", "400", "300", "500"]),
+        t("df['GlucoseLog'] = np.log1p(df['Glucose'])", Feature, 3.0),
+        tp("df['AgeBin'] = np.where(df['Age'] > @P@, 1, 0)", Feature, 3.0, &["40", "40", "45", "50"]),
+        t("df = pd.get_dummies(df)", Encode, 15.0),
+        t(
+            "y = df['Outcome']\nX = df.drop('Outcome', axis=1)",
+            Split,
+            14.0,
+        ),
+        t(
+            "X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.25, random_state=42)\nmodel = LogisticRegression()\nmodel = model.fit(X_train, y_train)\nacc = model.score(X_test, y_test)",
+            Model,
+            9.0,
+        ),
+        // Unusual tail.
+        t("df = df.sample(frac=0.9, random_state=1)", Clean, 1.0),
+        t("df = df[df['Age'] < 99]", Outlier, 1.0),
+        t(
+            "df['Pregnancies'] = df['Pregnancies'].astype('float')",
+            Feature,
+            1.0,
+        ),
+    ]
+}
+
+/// Titanic templates.
+pub fn titanic() -> Vec<StepTemplate> {
+    vec![
+        t(
+            "df['Age'] = df['Age'].fillna(df['Age'].mean())",
+            Impute,
+            18.0,
+        ),
+        t(
+            "df['Age'] = df['Age'].fillna(df['Age'].median())",
+            Impute,
+            5.0,
+        ),
+        t("df['Embarked'] = df['Embarked'].fillna('S')", Impute, 8.0),
+        t("df = df.fillna(df.mean())", Impute, 6.0),
+        t("df = df.dropna(subset=['Embarked'])", Impute, 3.0),
+        t("df = df.drop('Cabin', axis=1)", Select, 12.0),
+        t("df = df.drop('PassengerId', axis=1)", Select, 9.0),
+        t("df = df.drop_duplicates()", Clean, 4.0),
+        tp(
+            "df = df[df['Fare'] < df['Fare'].quantile(@P@)]",
+            Outlier,
+            5.0,
+            &["0.99", "0.99", "0.995", "0.98"],
+        ),
+        tp("df['Fare'] = df['Fare'].clip(0, @P@)", Outlier, 3.0, &["300", "300", "250", "500"]),
+        t(
+            "df['Sex'] = df['Sex'].map({'male': 0, 'female': 1})",
+            Encode,
+            10.0,
+        ),
+        t("df = pd.get_dummies(df)", Encode, 14.0),
+        t(
+            "df = pd.get_dummies(df, columns=['Embarked'], drop_first=True)",
+            Encode,
+            4.0,
+        ),
+        t(
+            "df['FamilySize'] = df['SibSp'] + df['Parch'] + 1",
+            Feature,
+            8.0,
+        ),
+        t(
+            "df['IsAlone'] = np.where(df['SibSp'] + df['Parch'] == 0, 1, 0)",
+            Feature,
+            4.0,
+        ),
+        t("df['FareLog'] = np.log1p(df['Fare'])", Feature, 4.0),
+        t(
+            "y = df['Survived']\nX = df.drop('Survived', axis=1)",
+            Split,
+            16.0,
+        ),
+        t(
+            "X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.2, random_state=42)\nmodel = LogisticRegression()\nmodel = model.fit(X_train, y_train)\nacc = model.score(X_test, y_test)",
+            Model,
+            9.0,
+        ),
+        t(
+            "X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.2, random_state=42)\nclf = DecisionTreeClassifier(max_depth=5)\nclf = clf.fit(X_train, y_train)\nacc = clf.score(X_test, y_test)",
+            Model,
+            4.0,
+        ),
+        // Unusual tail.
+        t("df = df.head(2000)", Clean, 1.0),
+        t("df = df.sample(frac=0.95, random_state=3)", Clean, 1.0),
+        t("df['Pclass'] = df['Pclass'].astype('str')", Feature, 1.0),
+        tp("df = df[df['Age'] < @P@]", Outlier, 1.0, &["100", "99", "90"]),
+    ]
+}
+
+/// House-prices templates.
+pub fn house() -> Vec<StepTemplate> {
+    vec![
+        t(
+            "df['LotFrontage'] = df['LotFrontage'].fillna(df['LotFrontage'].mean())",
+            Impute,
+            14.0,
+        ),
+        t(
+            "df['LotFrontage'] = df['LotFrontage'].fillna(df['LotFrontage'].median())",
+            Impute,
+            5.0,
+        ),
+        t("df['GarageArea'] = df['GarageArea'].fillna(0)", Impute, 9.0),
+        t("df = df.fillna(df.mean())", Impute, 7.0),
+        t(
+            "df['MSZoning'] = df['MSZoning'].fillna(df['MSZoning'].mode()[0])",
+            Impute,
+            5.0,
+        ),
+        tp("df = df[df['GrLivArea'] < @P@]", Outlier, 9.0, &["4500", "4500", "4000", "5000"]),
+        tp(
+            "df = df[df['LotArea'] < df['LotArea'].quantile(@P@)]",
+            Outlier,
+            4.0,
+            &["0.99", "0.99", "0.995"],
+        ),
+        t(
+            "df['TotalSF'] = df['GrLivArea'] + df['TotalBsmtSF']",
+            Feature,
+            10.0,
+        ),
+        t("df['GrLivAreaLog'] = np.log1p(df['GrLivArea'])", Feature, 6.0),
+        t(
+            "df['Age'] = 2024 - df['YearBuilt']",
+            Feature,
+            4.0,
+        ),
+        t("df = pd.get_dummies(df)", Encode, 15.0),
+        t(
+            "df = pd.get_dummies(df, columns=['Neighborhood'], drop_first=True)",
+            Encode,
+            3.0,
+        ),
+        t("df = df.drop('Id', axis=1)", Select, 10.0),
+        t("df = df.drop_duplicates()", Clean, 3.0),
+        t(
+            "y = df['Expensive']\nX = df.drop('Expensive', axis=1)",
+            Split,
+            12.0,
+        ),
+        t(
+            "X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.25, random_state=42)\nmodel = LogisticRegression()\nmodel = model.fit(X_train, y_train)\nacc = model.score(X_test, y_test)",
+            Model,
+            7.0,
+        ),
+        t("df = df.head(4000)", Clean, 1.0),
+        t("df = df[df['OverallQual'] > 0]", Outlier, 1.0),
+    ]
+}
+
+/// Disaster-tweets (NLP) templates.
+pub fn nlp() -> Vec<StepTemplate> {
+    vec![
+        t("df['text'] = df['text'].str.lower()", Clean, 14.0),
+        t("df['text'] = df['text'].str.strip()", Clean, 8.0),
+        t("df['keyword'] = df['keyword'].fillna('none')", Impute, 9.0),
+        t("df = df.drop('location', axis=1)", Select, 12.0),
+        t("df = df.drop_duplicates()", Clean, 6.0),
+        t("df['text_len'] = df['text'].str.len()", Feature, 10.0),
+        t(
+            "df['has_fire'] = np.where(df['text'].str.contains('fire'), 1, 0)",
+            Feature,
+            5.0,
+        ),
+        t(
+            "df['word_count'] = df['text'].str.len()",
+            Feature,
+            2.0,
+        ),
+        t(
+            "df = pd.get_dummies(df, columns=['keyword'], drop_first=True)",
+            Encode,
+            4.0,
+        ),
+        t(
+            "y = df['target']\nX = df.drop('target', axis=1)",
+            Split,
+            11.0,
+        ),
+        t(
+            "X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.2, random_state=42)\nclf = DecisionTreeClassifier(max_depth=4)\nclf = clf.fit(X_train, y_train)\nacc = clf.score(X_test, y_test)",
+            Model,
+            5.0,
+        ),
+        t("df = df.sample(frac=0.9, random_state=5)", Clean, 1.0),
+        t("df = df.drop('id', axis=1)", Select, 3.0),
+    ]
+}
+
+/// Spaceship-Titanic templates.
+pub fn spaceship() -> Vec<StepTemplate> {
+    vec![
+        t("df = df.fillna(df.mean())", Impute, 12.0),
+        t("df['RoomService'] = df['RoomService'].fillna(0)", Impute, 8.0),
+        t(
+            "df['HomePlanet'] = df['HomePlanet'].fillna(df['HomePlanet'].mode()[0])",
+            Impute,
+            7.0,
+        ),
+        t(
+            "df['Age'] = df['Age'].fillna(df['Age'].median())",
+            Impute,
+            6.0,
+        ),
+        t(
+            "df['TotalSpend'] = df['RoomService'] + df['FoodCourt'] + df['ShoppingMall'] + df['Spa'] + df['VRDeck']",
+            Feature,
+            9.0,
+        ),
+        t(
+            "df['NoSpend'] = np.where(df['Spa'] + df['VRDeck'] == 0, 1, 0)",
+            Feature,
+            3.0,
+        ),
+        tp(
+            "df = df[df['Age'] < df['Age'].quantile(@P@)]",
+            Outlier,
+            4.0,
+            &["0.995", "0.995", "0.99"],
+        ),
+        tp("df['Spa'] = df['Spa'].clip(0, @P@)", Outlier, 3.0, &["10000", "10000", "8000", "12000"]),
+        t("df = pd.get_dummies(df)", Encode, 13.0),
+        t(
+            "df = pd.get_dummies(df, columns=['HomePlanet', 'Destination'])",
+            Encode,
+            4.0,
+        ),
+        t("df = df.drop('PassengerId', axis=1)", Select, 10.0),
+        t("df = df.drop_duplicates()", Clean, 4.0),
+        t(
+            "y = df['Transported']\nX = df.drop('Transported', axis=1)",
+            Split,
+            12.0,
+        ),
+        t(
+            "X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.25, random_state=42)\nmodel = LogisticRegression()\nmodel = model.fit(X_train, y_train)\nacc = model.score(X_test, y_test)",
+            Model,
+            6.0,
+        ),
+        t("df = df.head(8000)", Clean, 1.0),
+        t("df['VIP'] = df['VIP'].fillna('False')", Impute, 2.0),
+    ]
+}
+
+/// Predict-future-sales templates.
+pub fn sales() -> Vec<StepTemplate> {
+    vec![
+        t("df = df[df['item_price'] > 0]", Clean, 14.0),
+        tp("df = df[df['item_price'] < @P@]", Outlier, 6.0, &["100000", "100000", "50000", "75000"]),
+        t("df = df.drop_duplicates()", Clean, 10.0),
+        tp(
+            "df['item_cnt_day'] = df['item_cnt_day'].clip(0, @P@)",
+            Outlier,
+            7.0,
+            &["20", "20", "10", "30"],
+        ),
+        t("df = df.fillna(0)", Impute, 6.0),
+        t("df = pd.get_dummies(df)", Encode, 2.0),
+        t(
+            "df['revenue'] = df['item_price'] * df['item_cnt_day']",
+            Feature,
+            8.0,
+        ),
+        t("df['price_log'] = np.log1p(df['item_price'])", Feature, 4.0),
+        t(
+            "monthly = df.groupby(['shop_id', 'item_id'])['item_cnt_day'].sum()",
+            Feature,
+            8.0,
+        ),
+        t(
+            "y = df['high_sales']\nX = df.drop('high_sales', axis=1)",
+            Split,
+            8.0,
+        ),
+        t(
+            "X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.2, random_state=42)\nclf = DecisionTreeClassifier(max_depth=4)\nclf = clf.fit(X_train, y_train)\nacc = clf.score(X_test, y_test)",
+            Model,
+            4.0,
+        ),
+        t("df = df.sample(frac=0.5, random_state=9)", Clean, 1.0),
+        t("df = df[df['month'] > 0]", Clean, 1.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_libs() -> Vec<(&'static str, Vec<StepTemplate>)> {
+        vec![
+            ("medical", medical()),
+            ("titanic", titanic()),
+            ("house", house()),
+            ("nlp", nlp()),
+            ("spaceship", spaceship()),
+            ("sales", sales()),
+        ]
+    }
+
+    #[test]
+    fn every_template_parses_under_every_param() {
+        for (name, lib) in all_libs() {
+            for tpl in lib {
+                let choices = tpl.params.len().max(1);
+                for c in 0..choices {
+                    let code = tpl.instantiate(c);
+                    lucid_pyast::parse_module(&format!("{code}\n")).unwrap_or_else(|e| {
+                        panic!("{name}: template failed to parse: {e}\n{code}")
+                    });
+                    assert!(!code.contains("@P@"), "{name}: unsubstituted param\n{code}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn instantiate_wraps_choices() {
+        let tpl = tp("df = df[df['x'] < @P@]", Outlier, 1.0, &["1", "2"]);
+        assert_eq!(tpl.instantiate(0), "df = df[df['x'] < 1]");
+        assert_eq!(tpl.instantiate(3), "df = df[df['x'] < 2]");
+        let plain = t("df = df.dropna()", Impute, 1.0);
+        assert_eq!(plain.instantiate(7), "df = df.dropna()");
+    }
+
+    #[test]
+    fn weights_are_positive_and_skewed() {
+        for (name, lib) in all_libs() {
+            assert!(lib.iter().all(|t| t.weight > 0.0), "{name}");
+            let max = lib.iter().map(|t| t.weight).fold(0.0, f64::max);
+            let min = lib.iter().map(|t| t.weight).fold(f64::INFINITY, f64::min);
+            assert!(max / min >= 5.0, "{name}: popularity skew too flat");
+        }
+    }
+
+    #[test]
+    fn each_library_covers_key_stages() {
+        for (name, lib) in all_libs() {
+            for needed in [Impute, Encode, Split] {
+                assert!(
+                    lib.iter().any(|t| t.category == needed),
+                    "{name}: missing {needed:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn model_templates_depend_on_split_vars() {
+        for (_, lib) in all_libs() {
+            for tpl in lib.iter().filter(|t| t.category == Model) {
+                assert!(tpl.code.contains("X") && tpl.code.contains("y"));
+            }
+        }
+    }
+}

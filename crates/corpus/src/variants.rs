@@ -1,0 +1,127 @@
+//! Corpus variants for the robustness study (Table 5, §6.3.3).
+
+use crate::script_gen::ScriptMeta;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Which corpus scenario to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CorpusVariant {
+    /// All scripts (the "Full-size corpus" rows).
+    Full,
+    /// A random sample of `n` scripts ("Small corpus"; the paper uses 10).
+    Small {
+        /// Sample size.
+        n: usize,
+    },
+    /// Only the bottom fraction by votes ("Low-ranked corpus"; paper: 30%).
+    LowRanked {
+        /// Bottom fraction in `(0, 1]`.
+        bottom_frac: f64,
+    },
+}
+
+impl CorpusVariant {
+    /// Selects corpus sources under this variant (deterministic in `seed`).
+    /// (The "different corpus" scenario is expressed by passing another
+    /// profile's scripts, not by this selector.)
+    pub fn select(&self, scripts: &[ScriptMeta], seed: u64) -> Vec<String> {
+        match self {
+            CorpusVariant::Full => scripts.iter().map(|s| s.source.clone()).collect(),
+            CorpusVariant::Small { n } => {
+                let mut idx: Vec<usize> = (0..scripts.len()).collect();
+                let mut rng = StdRng::seed_from_u64(seed);
+                idx.shuffle(&mut rng);
+                idx.truncate((*n).min(scripts.len()));
+                idx.sort_unstable();
+                idx.into_iter().map(|i| scripts[i].source.clone()).collect()
+            }
+            CorpusVariant::LowRanked { bottom_frac } => {
+                let mut order: Vec<usize> = (0..scripts.len()).collect();
+                order.sort_by_key(|&i| scripts[i].votes);
+                let take = ((scripts.len() as f64 * bottom_frac).ceil() as usize)
+                    .clamp(1, scripts.len());
+                order.truncate(take);
+                order.sort_unstable();
+                order
+                    .into_iter()
+                    .map(|i| scripts[i].source.clone())
+                    .collect()
+            }
+        }
+    }
+
+    /// Display label matching Table 5's "Corpus setup" column.
+    pub fn label(&self) -> String {
+        match self {
+            CorpusVariant::Full => "Full-size corpus".to_string(),
+            CorpusVariant::Small { n } => format!("Small corpus (n={n})"),
+            CorpusVariant::LowRanked { bottom_frac } => {
+                format!("Low-ranked corpus (bottom {:.0}%)", bottom_frac * 100.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scripts() -> Vec<ScriptMeta> {
+        (0..20)
+            .map(|i| ScriptMeta {
+                source: format!("x = {i}\n"),
+                votes: i as u32 * 10,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_takes_everything() {
+        assert_eq!(CorpusVariant::Full.select(&scripts(), 1).len(), 20);
+    }
+
+    #[test]
+    fn small_samples_n_deterministically() {
+        let v = CorpusVariant::Small { n: 10 };
+        let a = v.select(&scripts(), 3);
+        let b = v.select(&scripts(), 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        let c = v.select(&scripts(), 4);
+        assert_ne!(a, c);
+        // Oversized n is clamped.
+        assert_eq!(
+            CorpusVariant::Small { n: 99 }.select(&scripts(), 1).len(),
+            20
+        );
+    }
+
+    #[test]
+    fn low_ranked_takes_bottom_votes() {
+        let v = CorpusVariant::LowRanked { bottom_frac: 0.3 };
+        let sel = v.select(&scripts(), 1);
+        assert_eq!(sel.len(), 6);
+        // Bottom six scripts by votes are x = 0..5.
+        for (i, s) in sel.iter().enumerate() {
+            assert_eq!(s, &format!("x = {i}\n"));
+        }
+        // Frac floor of at least one.
+        assert_eq!(
+            CorpusVariant::LowRanked { bottom_frac: 0.001 }
+                .select(&scripts(), 1)
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn labels_match_table5() {
+        assert_eq!(CorpusVariant::Full.label(), "Full-size corpus");
+        assert!(CorpusVariant::Small { n: 10 }.label().contains("10"));
+        assert!(CorpusVariant::LowRanked { bottom_frac: 0.3 }
+            .label()
+            .contains("30%"));
+    }
+}

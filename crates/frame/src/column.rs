@@ -1,0 +1,702 @@
+//! Typed nullable columns and their statistics.
+
+use crate::error::{FrameError, Result};
+use crate::mask::BoolMask;
+use crate::value::{Value, ValueKey};
+use std::collections::HashMap;
+
+/// The data type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 64-bit signed integers.
+    Int64,
+    /// 64-bit floats.
+    Float64,
+    /// UTF-8 strings.
+    Str,
+    /// Booleans.
+    Bool,
+}
+
+impl DType {
+    /// pandas-style dtype name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::Int64 => "int64",
+            DType::Float64 => "float64",
+            DType::Str => "object",
+            DType::Bool => "bool",
+        }
+    }
+
+    /// Parses pandas-style dtype names (as used by `astype`).
+    pub fn parse(name: &str) -> Option<DType> {
+        match name {
+            "int" | "int64" | "int32" => Some(DType::Int64),
+            "float" | "float64" | "float32" => Some(DType::Float64),
+            "str" | "object" | "string" | "category" => Some(DType::Str),
+            "bool" => Some(DType::Bool),
+            _ => None,
+        }
+    }
+}
+
+/// A typed, nullable column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Integer column.
+    Int(Vec<Option<i64>>),
+    /// Float column.
+    Float(Vec<Option<f64>>),
+    /// String column.
+    Str(Vec<Option<String>>),
+    /// Boolean column.
+    Bool(Vec<Option<bool>>),
+}
+
+impl Column {
+    /// Builds an integer column.
+    pub fn from_ints(data: Vec<Option<i64>>) -> Column {
+        Column::Int(data)
+    }
+
+    /// Builds a float column.
+    pub fn from_floats(data: Vec<Option<f64>>) -> Column {
+        Column::Float(data)
+    }
+
+    /// Builds a string column.
+    pub fn from_strs(data: Vec<Option<String>>) -> Column {
+        Column::Str(data)
+    }
+
+    /// Builds a boolean column.
+    pub fn from_bools(data: Vec<Option<bool>>) -> Column {
+        Column::Bool(data)
+    }
+
+    /// Builds a column from generic values, inferring the narrowest dtype
+    /// that fits (Int ⊂ Float; anything with a string becomes Str).
+    pub fn from_values(values: &[Value]) -> Column {
+        let mut has_str = false;
+        let mut has_float = false;
+        let mut has_int = false;
+        let mut has_bool = false;
+        for v in values {
+            match v {
+                Value::Str(_) => has_str = true,
+                Value::Float(f) if !f.is_nan() => has_float = true,
+                Value::Int(_) => has_int = true,
+                Value::Bool(_) => has_bool = true,
+                _ => {}
+            }
+        }
+        if has_str {
+            Column::Str(
+                values
+                    .iter()
+                    .map(|v| match v {
+                        Value::Null => None,
+                        Value::Float(f) if f.is_nan() => None,
+                        other => Some(other.to_string()),
+                    })
+                    .collect(),
+            )
+        } else if has_float {
+            Column::Float(values.iter().map(|v| v.as_f64()).collect())
+        } else if has_int {
+            Column::Int(
+                values
+                    .iter()
+                    .map(|v| match v {
+                        Value::Int(i) => Some(*i),
+                        Value::Bool(b) => Some(*b as i64),
+                        _ => None,
+                    })
+                    .collect(),
+            )
+        } else if has_bool {
+            Column::Bool(
+                values
+                    .iter()
+                    .map(|v| match v {
+                        Value::Bool(b) => Some(*b),
+                        _ => None,
+                    })
+                    .collect(),
+            )
+        } else {
+            // All null: default to float (pandas uses float64 for all-NaN).
+            Column::Float(vec![None; values.len()])
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bool(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's data type.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Column::Int(_) => DType::Int64,
+            Column::Float(_) => DType::Float64,
+            Column::Str(_) => DType::Str,
+            Column::Bool(_) => DType::Bool,
+        }
+    }
+
+    /// Whether the dtype is numeric (int or float).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Column::Int(_) | Column::Float(_))
+    }
+
+    /// The value at row `i`.
+    pub fn get(&self, i: usize) -> Result<Value> {
+        if i >= self.len() {
+            return Err(FrameError::IndexOutOfBounds {
+                index: i,
+                len: self.len(),
+            });
+        }
+        Ok(match self {
+            Column::Int(v) => v[i].map_or(Value::Null, Value::Int),
+            Column::Float(v) => v[i].map_or(Value::Null, Value::Float),
+            Column::Str(v) => v[i].clone().map_or(Value::Null, Value::Str),
+            Column::Bool(v) => v[i].map_or(Value::Null, Value::Bool),
+        })
+    }
+
+    /// Iterates all values (nulls included).
+    pub fn values(&self) -> Vec<Value> {
+        (0..self.len())
+            .map(|i| self.get(i).expect("in bounds"))
+            .collect()
+    }
+
+    /// Number of missing values.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Column::Int(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Float(v) => v
+                .iter()
+                .filter(|x| x.is_none() || x.is_some_and(f64::is_nan))
+                .count(),
+            Column::Str(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Bool(v) => v.iter().filter(|x| x.is_none()).count(),
+        }
+    }
+
+    /// Mask of missing entries (pandas `isna`).
+    pub fn is_na(&self) -> BoolMask {
+        let bits = (0..self.len())
+            .map(|i| self.get(i).expect("in bounds").is_null())
+            .collect();
+        BoolMask::new(bits)
+    }
+
+    /// Non-null values as `f64`, for numeric aggregation.
+    fn numeric_values(&self, op: &str) -> Result<Vec<f64>> {
+        match self {
+            Column::Int(v) => Ok(v.iter().flatten().map(|&x| x as f64).collect()),
+            Column::Float(v) => Ok(v.iter().flatten().filter(|f| !f.is_nan()).copied().collect()),
+            Column::Bool(v) => Ok(v
+                .iter()
+                .flatten()
+                .map(|&b| if b { 1.0 } else { 0.0 })
+                .collect()),
+            Column::Str(_) => Err(FrameError::TypeMismatch {
+                op: op.to_string(),
+                detail: "string column is not numeric".to_string(),
+            }),
+        }
+    }
+
+    /// Arithmetic mean of non-null values.
+    pub fn mean(&self) -> Result<f64> {
+        let vals = self.numeric_values("mean")?;
+        if vals.is_empty() {
+            return Err(FrameError::Empty("mean".to_string()));
+        }
+        Ok(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+
+    /// Median (average of middle two for even counts, like numpy).
+    pub fn median(&self) -> Result<f64> {
+        let mut vals = self.numeric_values("median")?;
+        if vals.is_empty() {
+            return Err(FrameError::Empty("median".to_string()));
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs here"));
+        let n = vals.len();
+        Ok(if n % 2 == 1 {
+            vals[n / 2]
+        } else {
+            (vals[n / 2 - 1] + vals[n / 2]) / 2.0
+        })
+    }
+
+    /// Sum of non-null values.
+    pub fn sum(&self) -> Result<f64> {
+        Ok(self.numeric_values("sum")?.iter().sum())
+    }
+
+    /// Sample standard deviation (ddof = 1, pandas default).
+    pub fn std(&self) -> Result<f64> {
+        let vals = self.numeric_values("std")?;
+        if vals.len() < 2 {
+            return Err(FrameError::Empty("std".to_string()));
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (vals.len() - 1) as f64;
+        Ok(var.sqrt())
+    }
+
+    /// Minimum of non-null values.
+    pub fn min(&self) -> Result<Value> {
+        self.extremum(true)
+    }
+
+    /// Maximum of non-null values.
+    pub fn max(&self) -> Result<Value> {
+        self.extremum(false)
+    }
+
+    fn extremum(&self, min: bool) -> Result<Value> {
+        if let Column::Str(v) = self {
+            let mut it = v.iter().flatten();
+            let first = it
+                .next()
+                .ok_or_else(|| FrameError::Empty("min/max".to_string()))?;
+            let best = it.fold(first, |acc, x| {
+                if (x < acc) == min {
+                    x
+                } else {
+                    acc
+                }
+            });
+            return Ok(Value::Str(best.clone()));
+        }
+        let vals = self.numeric_values("min/max")?;
+        if vals.is_empty() {
+            return Err(FrameError::Empty("min/max".to_string()));
+        }
+        let best = vals
+            .iter()
+            .copied()
+            .fold(if min { f64::INFINITY } else { f64::NEG_INFINITY }, |a, b| {
+                if min {
+                    a.min(b)
+                } else {
+                    a.max(b)
+                }
+            });
+        Ok(match self {
+            Column::Int(_) => Value::Int(best as i64),
+            _ => Value::Float(best),
+        })
+    }
+
+    /// Linear-interpolated quantile `q ∈ [0, 1]` (numpy's default method).
+    pub fn quantile(&self, q: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(FrameError::Invalid(format!("quantile {q} outside [0, 1]")));
+        }
+        let mut vals = self.numeric_values("quantile")?;
+        if vals.is_empty() {
+            return Err(FrameError::Empty("quantile".to_string()));
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs here"));
+        let pos = q * (vals.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Ok(vals[lo] * (1.0 - frac) + vals[hi] * frac)
+    }
+
+    /// Most frequent non-null value; ties broken by first occurrence
+    /// (pandas `mode()[0]` with stable ordering).
+    pub fn mode(&self) -> Result<Value> {
+        let mut counts: HashMap<ValueKey, (usize, usize, Value)> = HashMap::new();
+        for (i, v) in self.values().into_iter().enumerate() {
+            if v.is_null() {
+                continue;
+            }
+            let entry = counts.entry(v.key()).or_insert((0, i, v));
+            entry.0 += 1;
+        }
+        counts
+            .into_values()
+            .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
+            .map(|(_, _, v)| v)
+            .ok_or_else(|| FrameError::Empty("mode".to_string()))
+    }
+
+    /// Distinct non-null values in first-seen order.
+    pub fn unique(&self) -> Vec<Value> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for v in self.values() {
+            if v.is_null() {
+                continue;
+            }
+            if seen.insert(v.key()) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Count of each distinct non-null value, descending by count.
+    pub fn value_counts(&self) -> Vec<(Value, usize)> {
+        let mut counts: HashMap<ValueKey, (usize, usize, Value)> = HashMap::new();
+        for (i, v) in self.values().into_iter().enumerate() {
+            if v.is_null() {
+                continue;
+            }
+            let entry = counts.entry(v.key()).or_insert((0, i, v));
+            entry.0 += 1;
+        }
+        let mut out: Vec<(usize, usize, Value)> = counts.into_values().collect();
+        out.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        out.into_iter().map(|(c, _, v)| (v, c)).collect()
+    }
+
+    /// Keeps only rows where `mask` is true.
+    pub fn filter(&self, mask: &BoolMask) -> Result<Column> {
+        if mask.len() != self.len() {
+            return Err(FrameError::LengthMismatch {
+                expected: self.len(),
+                actual: mask.len(),
+            });
+        }
+        fn keep<T: Clone>(data: &[Option<T>], mask: &BoolMask) -> Vec<Option<T>> {
+            data.iter()
+                .zip(mask.bits())
+                .filter(|(_, &m)| m)
+                .map(|(v, _)| v.clone())
+                .collect()
+        }
+        Ok(match self {
+            Column::Int(v) => Column::Int(keep(v, mask)),
+            Column::Float(v) => Column::Float(keep(v, mask)),
+            Column::Str(v) => Column::Str(keep(v, mask)),
+            Column::Bool(v) => Column::Bool(keep(v, mask)),
+        })
+    }
+
+    /// Gathers rows at `indices` (duplicates allowed, order preserved).
+    pub fn take(&self, indices: &[usize]) -> Result<Column> {
+        for &i in indices {
+            if i >= self.len() {
+                return Err(FrameError::IndexOutOfBounds {
+                    index: i,
+                    len: self.len(),
+                });
+            }
+        }
+        fn gather<T: Clone>(data: &[Option<T>], idx: &[usize]) -> Vec<Option<T>> {
+            idx.iter().map(|&i| data[i].clone()).collect()
+        }
+        Ok(match self {
+            Column::Int(v) => Column::Int(gather(v, indices)),
+            Column::Float(v) => Column::Float(gather(v, indices)),
+            Column::Str(v) => Column::Str(gather(v, indices)),
+            Column::Bool(v) => Column::Bool(gather(v, indices)),
+        })
+    }
+
+    /// Replaces missing values with `fill`. The fill value must be
+    /// compatible with the column dtype (numeric fills may widen Int→Float).
+    pub fn fill_na(&self, fill: &Value) -> Result<Column> {
+        if fill.is_null() {
+            return Ok(self.clone());
+        }
+        match (self, fill) {
+            (Column::Int(v), Value::Int(f)) => {
+                Ok(Column::Int(v.iter().map(|x| x.or(Some(*f))).collect()))
+            }
+            (Column::Int(v), Value::Float(f)) => Ok(Column::Float(
+                v.iter().map(|x| x.map(|i| i as f64).or(Some(*f))).collect(),
+            )),
+            (Column::Float(v), _) if fill.as_f64().is_some() => {
+                let f = fill.as_f64().expect("checked");
+                Ok(Column::Float(
+                    v.iter()
+                        .map(|x| match x {
+                            Some(val) if !val.is_nan() => Some(*val),
+                            _ => Some(f),
+                        })
+                        .collect(),
+                ))
+            }
+            (Column::Str(v), Value::Str(f)) => Ok(Column::Str(
+                v.iter().map(|x| x.clone().or(Some(f.clone()))).collect(),
+            )),
+            (Column::Bool(v), Value::Bool(f)) => {
+                Ok(Column::Bool(v.iter().map(|x| x.or(Some(*f))).collect()))
+            }
+            _ => Err(FrameError::TypeMismatch {
+                op: "fillna".to_string(),
+                detail: format!(
+                    "cannot fill {} column with {fill:?}",
+                    self.dtype().name()
+                ),
+            }),
+        }
+    }
+
+    /// Casts the column to `target` (pandas `astype`). Fails on values that
+    /// cannot be represented (e.g. `'abc'` → int), like pandas does.
+    pub fn cast(&self, target: DType) -> Result<Column> {
+        if self.dtype() == target {
+            return Ok(self.clone());
+        }
+        let values = self.values();
+        match target {
+            DType::Int64 => {
+                let mut out = Vec::with_capacity(values.len());
+                for v in &values {
+                    out.push(match v {
+                        Value::Null => None,
+                        Value::Int(i) => Some(*i),
+                        Value::Float(f) if f.is_nan() => None,
+                        Value::Float(f) => Some(*f as i64),
+                        Value::Bool(b) => Some(*b as i64),
+                        Value::Str(s) => Some(s.trim().parse::<i64>().or_else(|_| {
+                            s.trim().parse::<f64>().map(|f| f as i64)
+                        }).map_err(|_| FrameError::CastError {
+                            value: format!("'{s}'"),
+                            target: "int64".to_string(),
+                        })?),
+                    });
+                }
+                Ok(Column::Int(out))
+            }
+            DType::Float64 => {
+                let mut out = Vec::with_capacity(values.len());
+                for v in &values {
+                    out.push(match v {
+                        Value::Null => None,
+                        Value::Int(i) => Some(*i as f64),
+                        Value::Float(f) => Some(*f),
+                        Value::Bool(b) => Some(*b as i64 as f64),
+                        Value::Str(s) => {
+                            Some(s.trim().parse::<f64>().map_err(|_| FrameError::CastError {
+                                value: format!("'{s}'"),
+                                target: "float64".to_string(),
+                            })?)
+                        }
+                    });
+                }
+                Ok(Column::Float(out))
+            }
+            DType::Str => Ok(Column::Str(
+                values
+                    .iter()
+                    .map(|v| {
+                        if v.is_null() {
+                            None
+                        } else {
+                            Some(v.to_string())
+                        }
+                    })
+                    .collect(),
+            )),
+            DType::Bool => {
+                let mut out = Vec::with_capacity(values.len());
+                for v in &values {
+                    out.push(match v {
+                        Value::Null => None,
+                        Value::Bool(b) => Some(*b),
+                        Value::Int(i) => Some(*i != 0),
+                        Value::Float(f) => Some(*f != 0.0),
+                        Value::Str(s) => Some(!s.is_empty()),
+                    });
+                }
+                Ok(Column::Bool(out))
+            }
+        }
+    }
+
+    /// Concatenates another column of the same dtype below this one.
+    pub fn append(&mut self, other: &Column) -> Result<()> {
+        match (self, other) {
+            (Column::Int(a), Column::Int(b)) => a.extend_from_slice(b),
+            (Column::Float(a), Column::Float(b)) => a.extend_from_slice(b),
+            (Column::Str(a), Column::Str(b)) => a.extend_from_slice(b),
+            (Column::Bool(a), Column::Bool(b)) => a.extend_from_slice(b),
+            (a, b) => {
+                return Err(FrameError::TypeMismatch {
+                    op: "append".to_string(),
+                    detail: format!("{} vs {}", a.dtype().name(), b.dtype().name()),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ages() -> Column {
+        Column::from_ints(vec![Some(22), None, Some(41), Some(22), Some(35)])
+    }
+
+    #[test]
+    fn dtype_parse_accepts_pandas_names() {
+        assert_eq!(DType::parse("int"), Some(DType::Int64));
+        assert_eq!(DType::parse("float64"), Some(DType::Float64));
+        assert_eq!(DType::parse("category"), Some(DType::Str));
+        assert_eq!(DType::parse("complex"), None);
+    }
+
+    #[test]
+    fn inference_picks_narrowest_type() {
+        let c = Column::from_values(&[Value::Int(1), Value::Null, Value::Int(2)]);
+        assert_eq!(c.dtype(), DType::Int64);
+        let c = Column::from_values(&[Value::Int(1), Value::Float(1.5)]);
+        assert_eq!(c.dtype(), DType::Float64);
+        let c = Column::from_values(&[Value::Int(1), Value::Str("a".into())]);
+        assert_eq!(c.dtype(), DType::Str);
+        let c = Column::from_values(&[Value::Null, Value::Null]);
+        assert_eq!(c.dtype(), DType::Float64);
+    }
+
+    #[test]
+    fn basic_stats() {
+        let c = ages();
+        assert_eq!(c.mean().unwrap(), 30.0);
+        assert_eq!(c.median().unwrap(), 28.5);
+        assert_eq!(c.sum().unwrap(), 120.0);
+        assert_eq!(c.min().unwrap(), Value::Int(22));
+        assert_eq!(c.max().unwrap(), Value::Int(41));
+        assert_eq!(c.mode().unwrap(), Value::Int(22));
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn std_is_sample_std() {
+        let c = Column::from_floats(vec![Some(1.0), Some(2.0), Some(3.0)]);
+        assert!((c.std().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let c = Column::from_ints((1..=5).map(Some).collect());
+        assert_eq!(c.quantile(0.0).unwrap(), 1.0);
+        assert_eq!(c.quantile(0.5).unwrap(), 3.0);
+        assert_eq!(c.quantile(1.0).unwrap(), 5.0);
+        assert_eq!(c.quantile(0.25).unwrap(), 2.0);
+        assert!(c.quantile(1.5).is_err());
+    }
+
+    #[test]
+    fn stats_on_string_column_fail() {
+        let c = Column::from_strs(vec![Some("a".into())]);
+        assert!(c.mean().is_err());
+        assert!(matches!(c.min().unwrap(), Value::Str(_)));
+    }
+
+    #[test]
+    fn stats_on_empty_fail() {
+        let c = Column::from_ints(vec![None, None]);
+        assert!(matches!(c.mean(), Err(FrameError::Empty(_))));
+        assert!(c.mode().is_err());
+    }
+
+    #[test]
+    fn nan_counts_as_null_in_float_columns() {
+        let c = Column::from_floats(vec![Some(1.0), Some(f64::NAN), None]);
+        assert_eq!(c.null_count(), 2);
+        assert_eq!(c.mean().unwrap(), 1.0);
+        assert_eq!(c.is_na().count_true(), 2);
+    }
+
+    #[test]
+    fn fill_na_variants() {
+        let c = ages();
+        let filled = c.fill_na(&Value::Int(0)).unwrap();
+        assert_eq!(filled.null_count(), 0);
+        assert_eq!(filled.get(1).unwrap(), Value::Int(0));
+        // Float fill widens int columns.
+        let widened = c.fill_na(&Value::Float(30.0)).unwrap();
+        assert_eq!(widened.dtype(), DType::Float64);
+        // Incompatible fill fails.
+        assert!(c.fill_na(&Value::Str("x".into())).is_err());
+        // Null fill is a no-op.
+        assert_eq!(c.fill_na(&Value::Null).unwrap(), c);
+    }
+
+    #[test]
+    fn cast_between_types() {
+        let c = Column::from_strs(vec![Some("1".into()), Some("2.5".into()), None]);
+        let f = c.cast(DType::Float64).unwrap();
+        assert_eq!(f.get(1).unwrap(), Value::Float(2.5));
+        assert!(Column::from_strs(vec![Some("abc".into())])
+            .cast(DType::Int64)
+            .is_err());
+        let i = Column::from_floats(vec![Some(2.9)]).cast(DType::Int64).unwrap();
+        assert_eq!(i.get(0).unwrap(), Value::Int(2));
+        let s = ages().cast(DType::Str).unwrap();
+        assert_eq!(s.get(0).unwrap(), Value::Str("22".into()));
+        assert!(s.get(1).unwrap().is_null());
+    }
+
+    #[test]
+    fn filter_and_take() {
+        let c = ages();
+        let mask = BoolMask::new(vec![true, false, true, false, false]);
+        let f = c.filter(&mask).unwrap();
+        assert_eq!(f.values(), vec![Value::Int(22), Value::Int(41)]);
+        let t = c.take(&[4, 0, 0]).unwrap();
+        assert_eq!(
+            t.values(),
+            vec![Value::Int(35), Value::Int(22), Value::Int(22)]
+        );
+        assert!(c.take(&[9]).is_err());
+        assert!(c.filter(&BoolMask::new(vec![true])).is_err());
+    }
+
+    #[test]
+    fn unique_and_value_counts() {
+        let c = ages();
+        assert_eq!(
+            c.unique(),
+            vec![Value::Int(22), Value::Int(41), Value::Int(35)]
+        );
+        let counts = c.value_counts();
+        assert_eq!(counts[0], (Value::Int(22), 2));
+    }
+
+    #[test]
+    fn mode_tie_breaks_by_first_occurrence() {
+        let c = Column::from_strs(vec![
+            Some("b".into()),
+            Some("a".into()),
+            Some("a".into()),
+            Some("b".into()),
+        ]);
+        assert_eq!(c.mode().unwrap(), Value::Str("b".into()));
+    }
+
+    #[test]
+    fn append_same_dtype_only() {
+        let mut c = Column::from_ints(vec![Some(1)]);
+        c.append(&Column::from_ints(vec![Some(2)])).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.append(&Column::from_strs(vec![Some("x".into())])).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for dataframe operations.
+//!
+//! These errors matter beyond diagnostics: the standardizer's
+//! execution-constraint check (`CheckIfExecutes` in the paper) treats *any*
+//! `FrameError` surfaced by the interpreter as "the candidate script does
+//! not execute", pruning that candidate from the beam.
+
+use std::fmt;
+
+/// An error raised by a dataframe operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Referenced a column that does not exist.
+    UnknownColumn(String),
+    /// Added a column whose name already exists.
+    DuplicateColumn(String),
+    /// Operation received a column of the wrong type, e.g. `mean()` on
+    /// strings or `<` between a string column and a number.
+    TypeMismatch {
+        /// What was attempted.
+        op: String,
+        /// Description of the offending type(s).
+        detail: String,
+    },
+    /// Column lengths (or mask length) disagree.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// Row index out of bounds.
+    IndexOutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Number of rows.
+        len: usize,
+    },
+    /// Malformed CSV input.
+    Csv(String),
+    /// Cast failed, e.g. `astype('int')` on `'abc'`.
+    CastError {
+        /// Source value description.
+        value: String,
+        /// Target dtype name.
+        target: String,
+    },
+    /// Operation is undefined on an empty input, e.g. `mean()` of no rows.
+    Empty(String),
+    /// Any other invalid operation.
+    Invalid(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::UnknownColumn(name) => write!(f, "unknown column '{name}'"),
+            FrameError::DuplicateColumn(name) => write!(f, "column '{name}' already exists"),
+            FrameError::TypeMismatch { op, detail } => {
+                write!(f, "type mismatch in {op}: {detail}")
+            }
+            FrameError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            FrameError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            FrameError::Csv(msg) => write!(f, "csv error: {msg}"),
+            FrameError::CastError { value, target } => {
+                write!(f, "cannot cast {value} to {target}")
+            }
+            FrameError::Empty(op) => write!(f, "{op} of empty input"),
+            FrameError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, FrameError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            FrameError::UnknownColumn("Age".into()).to_string(),
+            "unknown column 'Age'"
+        );
+        assert!(FrameError::LengthMismatch {
+            expected: 3,
+            actual: 5
+        }
+        .to_string()
+        .contains("expected 3"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Group-by aggregation (pandas `df.groupby(keys)[col].agg(...)`).
+
+use crate::column::Column;
+use crate::error::{FrameError, Result};
+use crate::frame::DataFrame;
+use crate::value::{Value, ValueKey};
+use std::collections::HashMap;
+
+/// Supported aggregation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// Mean of non-null values.
+    Mean,
+    /// Sum of non-null values.
+    Sum,
+    /// Count of non-null values.
+    Count,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Median.
+    Median,
+}
+
+impl AggFn {
+    /// Parses a pandas aggregation name.
+    pub fn parse(name: &str) -> Option<AggFn> {
+        match name {
+            "mean" => Some(AggFn::Mean),
+            "sum" => Some(AggFn::Sum),
+            "count" => Some(AggFn::Count),
+            "min" => Some(AggFn::Min),
+            "max" => Some(AggFn::Max),
+            "median" => Some(AggFn::Median),
+            _ => None,
+        }
+    }
+}
+
+/// Groups `df` by `keys` and aggregates `value_col` with `agg`.
+///
+/// The result has one row per distinct key combination (in first-seen
+/// order), the key columns, and one aggregated column named after
+/// `value_col`. Rows whose key contains a null are dropped, as in pandas.
+pub fn group_agg(
+    df: &DataFrame,
+    keys: &[impl AsRef<str>],
+    value_col: &str,
+    agg: AggFn,
+) -> Result<DataFrame> {
+    if keys.is_empty() {
+        return Err(FrameError::Invalid("groupby requires at least one key".to_string()));
+    }
+    let key_cols: Vec<&Column> = keys
+        .iter()
+        .map(|k| df.column(k.as_ref()))
+        .collect::<Result<_>>()?;
+    let values = df.column(value_col)?;
+
+    let mut order: Vec<Vec<ValueKey>> = Vec::new();
+    let mut groups: HashMap<Vec<ValueKey>, (Vec<Value>, Vec<f64>)> = HashMap::new();
+    for i in 0..df.n_rows() {
+        let key_vals: Vec<Value> = key_cols
+            .iter()
+            .map(|c| c.get(i))
+            .collect::<Result<_>>()?;
+        if key_vals.iter().any(Value::is_null) {
+            continue;
+        }
+        let key: Vec<ValueKey> = key_vals.iter().map(Value::key).collect();
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (key_vals, Vec::new())
+        });
+        if let Some(v) = values.get(i)?.as_f64() {
+            entry.1.push(v);
+        }
+    }
+
+    let mut key_out: Vec<Vec<Value>> = vec![Vec::new(); keys.len()];
+    let mut agg_out: Vec<Value> = Vec::new();
+    for key in &order {
+        let (key_vals, vals) = &groups[key];
+        for (slot, v) in key_out.iter_mut().zip(key_vals) {
+            slot.push(v.clone());
+        }
+        agg_out.push(aggregate(vals, agg));
+    }
+
+    let mut out = DataFrame::new();
+    for (name, vals) in keys.iter().zip(key_out) {
+        out.add_column(name.as_ref(), Column::from_values(&vals))?;
+    }
+    out.add_column(value_col, Column::from_values(&agg_out))?;
+    Ok(out)
+}
+
+fn aggregate(vals: &[f64], agg: AggFn) -> Value {
+    if vals.is_empty() {
+        return match agg {
+            AggFn::Count => Value::Int(0),
+            _ => Value::Null,
+        };
+    }
+    match agg {
+        AggFn::Mean => Value::Float(vals.iter().sum::<f64>() / vals.len() as f64),
+        AggFn::Sum => Value::Float(vals.iter().sum()),
+        AggFn::Count => Value::Int(vals.len() as i64),
+        AggFn::Min => Value::Float(vals.iter().copied().fold(f64::INFINITY, f64::min)),
+        AggFn::Max => Value::Float(vals.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+        AggFn::Median => {
+            let mut sorted = vals.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+            let n = sorted.len();
+            Value::Float(if n % 2 == 1 {
+                sorted[n / 2]
+            } else {
+                (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sales() -> DataFrame {
+        DataFrame::from_columns(vec![
+            (
+                "store",
+                Column::from_strs(vec![
+                    Some("a".into()),
+                    Some("a".into()),
+                    Some("b".into()),
+                    None,
+                    Some("b".into()),
+                ]),
+            ),
+            (
+                "item",
+                Column::from_ints(vec![Some(1), Some(2), Some(1), Some(1), Some(1)]),
+            ),
+            (
+                "amount",
+                Column::from_floats(vec![Some(10.0), Some(20.0), Some(5.0), Some(9.0), None]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn single_key_mean() {
+        let out = group_agg(&sales(), &["store"], "amount", AggFn::Mean).unwrap();
+        assert_eq!(out.n_rows(), 2);
+        assert_eq!(out.column("store").unwrap().get(0).unwrap(), Value::Str("a".into()));
+        assert_eq!(out.column("amount").unwrap().get(0).unwrap(), Value::Float(15.0));
+        // Group "b" has one null dropped.
+        assert_eq!(out.column("amount").unwrap().get(1).unwrap(), Value::Float(5.0));
+    }
+
+    #[test]
+    fn multi_key_sum_and_count() {
+        let out = group_agg(&sales(), &["store", "item"], "amount", AggFn::Sum).unwrap();
+        assert_eq!(out.n_rows(), 3); // (a,1), (a,2), (b,1); null-key row dropped
+        let out = group_agg(&sales(), &["store"], "amount", AggFn::Count).unwrap();
+        assert_eq!(out.column("amount").unwrap().get(1).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn min_max_median() {
+        let df = DataFrame::from_columns(vec![
+            ("k", Column::from_ints(vec![Some(1); 4])),
+            (
+                "v",
+                Column::from_floats(vec![Some(4.0), Some(1.0), Some(3.0), Some(2.0)]),
+            ),
+        ])
+        .unwrap();
+        assert_eq!(
+            group_agg(&df, &["k"], "v", AggFn::Min)
+                .unwrap()
+                .column("v")
+                .unwrap()
+                .get(0)
+                .unwrap(),
+            Value::Float(1.0)
+        );
+        assert_eq!(
+            group_agg(&df, &["k"], "v", AggFn::Max)
+                .unwrap()
+                .column("v")
+                .unwrap()
+                .get(0)
+                .unwrap(),
+            Value::Float(4.0)
+        );
+        assert_eq!(
+            group_agg(&df, &["k"], "v", AggFn::Median)
+                .unwrap()
+                .column("v")
+                .unwrap()
+                .get(0)
+                .unwrap(),
+            Value::Float(2.5)
+        );
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        assert!(group_agg(&sales(), &["ghost"], "amount", AggFn::Mean).is_err());
+        assert!(group_agg(&sales(), &["store"], "ghost", AggFn::Mean).is_err());
+        let empty: &[&str] = &[];
+        assert!(group_agg(&sales(), empty, "amount", AggFn::Mean).is_err());
+    }
+
+    #[test]
+    fn agg_fn_parse() {
+        assert_eq!(AggFn::parse("mean"), Some(AggFn::Mean));
+        assert_eq!(AggFn::parse("bogus"), None);
+    }
+}

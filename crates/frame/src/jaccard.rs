@@ -1,0 +1,135 @@
+//! Table-similarity measures used for the paper's Δ_J user-intent
+//! constraint (Section 2.1).
+//!
+//! The paper's Example 2.1 computes the Jaccard index over the *sets of
+//! distinct cell values* emitted by the two scripts; [`value_jaccard`]
+//! implements exactly that. [`row_jaccard`] is a stricter row-level variant
+//! useful when column structure matters.
+
+use crate::frame::DataFrame;
+use crate::value::ValueKey;
+use std::collections::HashSet;
+
+/// Set of distinct non-null cell values in a frame. Column names are
+/// included so that a renamed column registers as a (small) difference in
+/// schema-bearing comparisons.
+fn value_set(df: &DataFrame) -> HashSet<ValueKey> {
+    let mut set = HashSet::new();
+    for (_, col) in df.iter() {
+        for v in col.values() {
+            if !v.is_null() {
+                set.insert(v.key());
+            }
+        }
+    }
+    set
+}
+
+/// Jaccard similarity between the distinct-cell-value sets of two tables
+/// (Δ_J in the paper). Ranges over `[0, 1]`; `1.0` means identical value
+/// sets; two empty tables are defined to be identical (`1.0`).
+pub fn value_jaccard(a: &DataFrame, b: &DataFrame) -> f64 {
+    let sa = value_set(a);
+    let sb = value_set(b);
+    jaccard_of_sets(&sa, &sb)
+}
+
+/// Jaccard similarity between the distinct-row sets of two tables. Rows are
+/// compared as tuples of (column name, value) so schema changes register.
+pub fn row_jaccard(a: &DataFrame, b: &DataFrame) -> f64 {
+    let ra = row_set(a);
+    let rb = row_set(b);
+    jaccard_of_sets(&ra, &rb)
+}
+
+fn row_set(df: &DataFrame) -> HashSet<Vec<(String, ValueKey)>> {
+    let names: Vec<String> = df.names().to_vec();
+    let mut set = HashSet::new();
+    for i in 0..df.n_rows() {
+        let row = df.row(i).expect("in bounds");
+        let keyed: Vec<(String, ValueKey)> = names
+            .iter()
+            .cloned()
+            .zip(row.iter().map(crate::value::Value::key))
+            .collect();
+        set.insert(keyed);
+    }
+    set
+}
+
+fn jaccard_of_sets<T: std::hash::Hash + Eq>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn strings(vals: &[&str]) -> DataFrame {
+        DataFrame::from_columns(vec![(
+            "risk",
+            Column::from_strs(vals.iter().map(|s| Some((*s).to_string())).collect()),
+        )])
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_2_1() {
+        // D_OUT(s_u) = {'benign', 'Benign', 'High Risk', 'High risk', 'high risk'}
+        // D_OUT(ŝ_u) = {'benign', 'high risk'}; Jaccard = 2/5 = 0.4.
+        let su = strings(&["benign", "Benign", "High Risk", "High risk", "high risk"]);
+        let hat = strings(&["benign", "high risk"]);
+        assert!((value_jaccard(&su, &hat) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_tables_score_one() {
+        let df = strings(&["a", "b"]);
+        assert_eq!(value_jaccard(&df, &df), 1.0);
+        assert_eq!(row_jaccard(&df, &df), 1.0);
+    }
+
+    #[test]
+    fn disjoint_tables_score_zero() {
+        let a = strings(&["x"]);
+        let b = strings(&["y"]);
+        assert_eq!(value_jaccard(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn empty_tables_are_identical() {
+        let a = DataFrame::new();
+        assert_eq!(value_jaccard(&a, &a), 1.0);
+        assert_eq!(row_jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn nulls_do_not_count_as_values() {
+        let a = DataFrame::from_columns(vec![("x", Column::from_ints(vec![Some(1), None]))])
+            .unwrap();
+        let b = DataFrame::from_columns(vec![("x", Column::from_ints(vec![Some(1)]))]).unwrap();
+        assert_eq!(value_jaccard(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn row_jaccard_sees_schema_changes() {
+        let a = DataFrame::from_columns(vec![("x", Column::from_ints(vec![Some(1)]))]).unwrap();
+        let renamed = a.rename(&[("x", "y")]).unwrap();
+        assert_eq!(value_jaccard(&a, &renamed), 1.0); // values identical
+        assert_eq!(row_jaccard(&a, &renamed), 0.0); // schema differs
+    }
+
+    #[test]
+    fn numeric_types_unify() {
+        let a = DataFrame::from_columns(vec![("x", Column::from_ints(vec![Some(1)]))]).unwrap();
+        let b = DataFrame::from_columns(vec![("x", Column::from_floats(vec![Some(1.0)]))])
+            .unwrap();
+        assert_eq!(value_jaccard(&a, &b), 1.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Boolean row masks produced by comparisons and combined with `&`/`|`/`~`.
+
+use crate::error::{FrameError, Result};
+
+/// A boolean mask over rows. Nulls in the source comparison become `false`
+/// (pandas semantics: `NaN > 3` is `False`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoolMask {
+    bits: Vec<bool>,
+}
+
+impl BoolMask {
+    /// Wraps a raw bit vector.
+    pub fn new(bits: Vec<bool>) -> Self {
+        BoolMask { bits }
+    }
+
+    /// A mask of `len` entries, all `value`.
+    pub fn splat(value: bool, len: usize) -> Self {
+        BoolMask {
+            bits: vec![value; len],
+        }
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the mask covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Raw bits.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Number of `true` entries.
+    pub fn count_true(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Element-wise AND.
+    pub fn and(&self, other: &BoolMask) -> Result<BoolMask> {
+        self.zip(other, |a, b| a && b, "&")
+    }
+
+    /// Element-wise OR.
+    pub fn or(&self, other: &BoolMask) -> Result<BoolMask> {
+        self.zip(other, |a, b| a || b, "|")
+    }
+
+    /// Element-wise XOR.
+    pub fn xor(&self, other: &BoolMask) -> Result<BoolMask> {
+        self.zip(other, |a, b| a != b, "^")
+    }
+
+    /// Element-wise NOT.
+    pub fn not(&self) -> BoolMask {
+        BoolMask {
+            bits: self.bits.iter().map(|b| !b).collect(),
+        }
+    }
+
+    /// Indices of `true` entries.
+    pub fn true_indices(&self) -> Vec<usize> {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn zip(&self, other: &BoolMask, f: impl Fn(bool, bool) -> bool, op: &str) -> Result<BoolMask> {
+        if self.len() != other.len() {
+            return Err(FrameError::TypeMismatch {
+                op: op.to_string(),
+                detail: format!("mask lengths {} vs {}", self.len(), other.len()),
+            });
+        }
+        Ok(BoolMask {
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+}
+
+impl From<Vec<bool>> for BoolMask {
+    fn from(bits: Vec<bool>) -> Self {
+        BoolMask::new(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_ops() {
+        let a = BoolMask::new(vec![true, true, false, false]);
+        let b = BoolMask::new(vec![true, false, true, false]);
+        assert_eq!(a.and(&b).unwrap().bits(), &[true, false, false, false]);
+        assert_eq!(a.or(&b).unwrap().bits(), &[true, true, true, false]);
+        assert_eq!(a.xor(&b).unwrap().bits(), &[false, true, true, false]);
+        assert_eq!(a.not().bits(), &[false, false, true, true]);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let a = BoolMask::splat(true, 2);
+        let b = BoolMask::splat(true, 3);
+        assert!(a.and(&b).is_err());
+    }
+
+    #[test]
+    fn counting_and_indices() {
+        let m = BoolMask::new(vec![true, false, true]);
+        assert_eq!(m.count_true(), 2);
+        assert_eq!(m.true_indices(), vec![0, 2]);
+        assert_eq!(BoolMask::splat(false, 3).count_true(), 0);
+    }
+}

@@ -1,0 +1,530 @@
+//! Element-wise operations: comparisons (producing masks), arithmetic,
+//! string methods, membership, mapping/replacement, clipping.
+
+use crate::column::Column;
+use crate::error::{FrameError, Result};
+use crate::mask::BoolMask;
+use crate::value::{Value, ValueKey};
+use std::collections::HashMap;
+
+/// A comparison operator between columns/scalars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// An arithmetic operator between columns/scalars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `//`
+    FloorDiv,
+    /// `%`
+    Mod,
+    /// `**`
+    Pow,
+}
+
+/// The right-hand side of a binary column op.
+#[derive(Debug, Clone)]
+pub enum Operand<'a> {
+    /// A broadcast scalar.
+    Scalar(Value),
+    /// Another column of the same length.
+    Column(&'a Column),
+}
+
+impl Operand<'_> {
+    fn get(&self, i: usize) -> Result<Value> {
+        match self {
+            Operand::Scalar(v) => Ok(v.clone()),
+            Operand::Column(c) => c.get(i),
+        }
+    }
+
+    fn check_len(&self, len: usize) -> Result<()> {
+        if let Operand::Column(c) = self {
+            if c.len() != len {
+                return Err(FrameError::LengthMismatch {
+                    expected: len,
+                    actual: c.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compares `col` against `rhs` element-wise. Comparisons involving nulls
+/// yield `false` (pandas). Ordering comparisons between a string column and
+/// a number raise a type error, mirroring pandas' `TypeError` — this is the
+/// error path that makes LucidScript's execution constraint meaningful.
+pub fn compare(col: &Column, op: CmpOp, rhs: &Operand) -> Result<BoolMask> {
+    rhs.check_len(col.len())?;
+    let mut bits = Vec::with_capacity(col.len());
+    for i in 0..col.len() {
+        let a = col.get(i)?;
+        let b = rhs.get(i)?;
+        let bit = match op {
+            CmpOp::Eq => a.loose_eq(&b),
+            CmpOp::Ne => {
+                if a.is_null() || b.is_null() {
+                    false
+                } else {
+                    !a.loose_eq(&b)
+                }
+            }
+            ordering => {
+                if a.is_null() || b.is_null() {
+                    false
+                } else {
+                    match a.loose_cmp(&b) {
+                        Some(ord) => match ordering {
+                            CmpOp::Lt => ord.is_lt(),
+                            CmpOp::Gt => ord.is_gt(),
+                            CmpOp::Le => ord.is_le(),
+                            CmpOp::Ge => ord.is_ge(),
+                            _ => unreachable!(),
+                        },
+                        None => {
+                            return Err(FrameError::TypeMismatch {
+                                op: format!("{op:?}"),
+                                detail: format!("cannot order {a:?} and {b:?}"),
+                            })
+                        }
+                    }
+                }
+            }
+        };
+        bits.push(bit);
+    }
+    Ok(BoolMask::new(bits))
+}
+
+/// Element-wise arithmetic. Nulls propagate. String `+` concatenates;
+/// every other string arithmetic is a type error.
+pub fn arith(col: &Column, op: ArithOp, rhs: &Operand) -> Result<Column> {
+    rhs.check_len(col.len())?;
+    // String concatenation special case.
+    if col.dtype() == crate::column::DType::Str && op == ArithOp::Add {
+        let mut out = Vec::with_capacity(col.len());
+        for i in 0..col.len() {
+            let a = col.get(i)?;
+            let b = rhs.get(i)?;
+            out.push(match (a, b) {
+                (Value::Str(x), Value::Str(y)) => Some(x + &y),
+                (Value::Null, _) | (_, Value::Null) => None,
+                (a, b) => {
+                    return Err(FrameError::TypeMismatch {
+                        op: "+".to_string(),
+                        detail: format!("cannot concatenate {a:?} and {b:?}"),
+                    })
+                }
+            });
+        }
+        return Ok(Column::Str(out));
+    }
+
+    let int_lhs = matches!(col, Column::Int(_) | Column::Bool(_));
+    let int_rhs = match rhs {
+        Operand::Scalar(Value::Int(_) | Value::Bool(_)) => true,
+        Operand::Column(c) => matches!(c, Column::Int(_) | Column::Bool(_)),
+        _ => false,
+    };
+    let keep_int = int_lhs
+        && int_rhs
+        && matches!(
+            op,
+            ArithOp::Add | ArithOp::Sub | ArithOp::Mul | ArithOp::FloorDiv | ArithOp::Mod
+        );
+
+    let mut out = Vec::with_capacity(col.len());
+    for i in 0..col.len() {
+        let a = col.get(i)?;
+        let b = rhs.get(i)?;
+        if a.is_null() || b.is_null() {
+            out.push(None);
+            continue;
+        }
+        let (x, y) = match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => (x, y),
+            _ => {
+                return Err(FrameError::TypeMismatch {
+                    op: format!("{op:?}"),
+                    detail: format!("non-numeric operands {a:?}, {b:?}"),
+                })
+            }
+        };
+        let v = match op {
+            ArithOp::Add => x + y,
+            ArithOp::Sub => x - y,
+            ArithOp::Mul => x * y,
+            ArithOp::Div => {
+                if y == 0.0 {
+                    return Err(FrameError::Invalid("division by zero".to_string()));
+                }
+                x / y
+            }
+            ArithOp::FloorDiv => {
+                if y == 0.0 {
+                    return Err(FrameError::Invalid("division by zero".to_string()));
+                }
+                (x / y).floor()
+            }
+            ArithOp::Mod => {
+                if y == 0.0 {
+                    return Err(FrameError::Invalid("modulo by zero".to_string()));
+                }
+                x.rem_euclid(y)
+            }
+            ArithOp::Pow => x.powf(y),
+        };
+        out.push(Some(v));
+    }
+    if keep_int {
+        Ok(Column::Int(
+            out.into_iter().map(|o| o.map(|f| f as i64)).collect(),
+        ))
+    } else {
+        Ok(Column::Float(out))
+    }
+}
+
+/// pandas `Series.between(lo, hi)` — inclusive on both ends.
+pub fn between(col: &Column, lo: &Value, hi: &Value) -> Result<BoolMask> {
+    let ge = compare(col, CmpOp::Ge, &Operand::Scalar(lo.clone()))?;
+    let le = compare(col, CmpOp::Le, &Operand::Scalar(hi.clone()))?;
+    ge.and(&le)
+}
+
+/// pandas `Series.isin(values)`.
+pub fn isin(col: &Column, values: &[Value]) -> BoolMask {
+    let keys: std::collections::HashSet<ValueKey> = values.iter().map(Value::key).collect();
+    let bits = col
+        .values()
+        .into_iter()
+        .map(|v| !v.is_null() && keys.contains(&v.key()))
+        .collect();
+    BoolMask::new(bits)
+}
+
+/// Supported vectorized string methods (`Series.str.*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrOp {
+    /// Lowercase.
+    Lower,
+    /// Uppercase.
+    Upper,
+    /// Trim surrounding whitespace.
+    Strip,
+    /// Capitalize first letter, lowercase the rest.
+    Title,
+}
+
+/// Applies a string method to every non-null entry. Errors on non-string
+/// columns (pandas raises `AttributeError` for `.str` on numerics).
+pub fn str_op(col: &Column, op: StrOp) -> Result<Column> {
+    let Column::Str(data) = col else {
+        return Err(FrameError::TypeMismatch {
+            op: "str accessor".to_string(),
+            detail: format!("column dtype is {}", col.dtype().name()),
+        });
+    };
+    let out = data
+        .iter()
+        .map(|x| {
+            x.as_ref().map(|s| match op {
+                StrOp::Lower => s.to_lowercase(),
+                StrOp::Upper => s.to_uppercase(),
+                StrOp::Strip => s.trim().to_string(),
+                StrOp::Title => {
+                    let mut chars = s.chars();
+                    match chars.next() {
+                        Some(first) => {
+                            first.to_uppercase().collect::<String>()
+                                + &chars.as_str().to_lowercase()
+                        }
+                        None => String::new(),
+                    }
+                }
+            })
+        })
+        .collect();
+    Ok(Column::Str(out))
+}
+
+/// `Series.str.contains(pattern)` — plain substring match.
+pub fn str_contains(col: &Column, pattern: &str) -> Result<BoolMask> {
+    let Column::Str(data) = col else {
+        return Err(FrameError::TypeMismatch {
+            op: "str.contains".to_string(),
+            detail: format!("column dtype is {}", col.dtype().name()),
+        });
+    };
+    Ok(BoolMask::new(
+        data.iter()
+            .map(|x| x.as_ref().is_some_and(|s| s.contains(pattern)))
+            .collect(),
+    ))
+}
+
+/// `Series.str.replace(from, to)` — plain substring replacement.
+pub fn str_replace(col: &Column, from: &str, to: &str) -> Result<Column> {
+    let Column::Str(data) = col else {
+        return Err(FrameError::TypeMismatch {
+            op: "str.replace".to_string(),
+            detail: format!("column dtype is {}", col.dtype().name()),
+        });
+    };
+    Ok(Column::Str(
+        data.iter()
+            .map(|x| x.as_ref().map(|s| s.replace(from, to)))
+            .collect(),
+    ))
+}
+
+/// `Series.str.len()`.
+pub fn str_len(col: &Column) -> Result<Column> {
+    let Column::Str(data) = col else {
+        return Err(FrameError::TypeMismatch {
+            op: "str.len".to_string(),
+            detail: format!("column dtype is {}", col.dtype().name()),
+        });
+    };
+    Ok(Column::Int(
+        data.iter()
+            .map(|x| x.as_ref().map(|s| s.chars().count() as i64))
+            .collect(),
+    ))
+}
+
+/// `Series.map({...})` — unmapped values become null (pandas `map`).
+pub fn map_values(col: &Column, mapping: &[(Value, Value)]) -> Column {
+    let table: HashMap<ValueKey, Value> = mapping
+        .iter()
+        .map(|(k, v)| (k.key(), v.clone()))
+        .collect();
+    let out: Vec<Value> = col
+        .values()
+        .into_iter()
+        .map(|v| table.get(&v.key()).cloned().unwrap_or(Value::Null))
+        .collect();
+    Column::from_values(&out)
+}
+
+/// `Series.replace({...})` — unmapped values pass through unchanged.
+pub fn replace_values(col: &Column, mapping: &[(Value, Value)]) -> Column {
+    let table: HashMap<ValueKey, Value> = mapping
+        .iter()
+        .map(|(k, v)| (k.key(), v.clone()))
+        .collect();
+    let out: Vec<Value> = col
+        .values()
+        .into_iter()
+        .map(|v| table.get(&v.key()).cloned().unwrap_or(v))
+        .collect();
+    Column::from_values(&out)
+}
+
+/// `Series.clip(lower, upper)` on numeric columns.
+pub fn clip(col: &Column, lower: Option<f64>, upper: Option<f64>) -> Result<Column> {
+    if !col.is_numeric() {
+        return Err(FrameError::TypeMismatch {
+            op: "clip".to_string(),
+            detail: format!("column dtype is {}", col.dtype().name()),
+        });
+    }
+    let out: Vec<Option<f64>> = col
+        .values()
+        .into_iter()
+        .map(|v| {
+            v.as_f64().map(|mut x| {
+                if let Some(lo) = lower {
+                    x = x.max(lo);
+                }
+                if let Some(hi) = upper {
+                    x = x.min(hi);
+                }
+                x
+            })
+        })
+        .collect();
+    match col {
+        Column::Int(_) => Ok(Column::Int(
+            out.into_iter().map(|o| o.map(|f| f as i64)).collect(),
+        )),
+        _ => Ok(Column::Float(out)),
+    }
+}
+
+/// Applies a unary float function (`np.log1p`, `np.sqrt`, `abs`, ...).
+pub fn map_f64(col: &Column, op_name: &str, f: impl Fn(f64) -> f64) -> Result<Column> {
+    if !col.is_numeric() {
+        return Err(FrameError::TypeMismatch {
+            op: op_name.to_string(),
+            detail: format!("column dtype is {}", col.dtype().name()),
+        });
+    }
+    Ok(Column::Float(
+        col.values().into_iter().map(|v| v.as_f64().map(&f)).collect(),
+    ))
+}
+
+/// `np.where(mask, a, b)` with scalar branches.
+pub fn where_scalar(mask: &BoolMask, if_true: &Value, if_false: &Value) -> Column {
+    let out: Vec<Value> = mask
+        .bits()
+        .iter()
+        .map(|&b| if b { if_true.clone() } else { if_false.clone() })
+        .collect();
+    Column::from_values(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nums() -> Column {
+        Column::from_ints(vec![Some(1), Some(5), None, Some(10)])
+    }
+
+    fn strs() -> Column {
+        Column::from_strs(vec![
+            Some(" High Risk ".into()),
+            Some("benign".into()),
+            None,
+        ])
+    }
+
+    #[test]
+    fn compare_scalar_null_is_false() {
+        let m = compare(&nums(), CmpOp::Gt, &Operand::Scalar(Value::Int(4))).unwrap();
+        assert_eq!(m.bits(), &[false, true, false, true]);
+        let m = compare(&nums(), CmpOp::Ne, &Operand::Scalar(Value::Int(1))).unwrap();
+        assert_eq!(m.bits(), &[false, true, false, true]);
+    }
+
+    #[test]
+    fn compare_string_to_number_is_type_error() {
+        let err = compare(&strs(), CmpOp::Lt, &Operand::Scalar(Value::Int(80))).unwrap_err();
+        assert!(matches!(err, FrameError::TypeMismatch { .. }));
+        // Equality is fine (just false).
+        let m = compare(&strs(), CmpOp::Eq, &Operand::Scalar(Value::Int(80))).unwrap();
+        assert_eq!(m.count_true(), 0);
+    }
+
+    #[test]
+    fn compare_column_to_column() {
+        let a = Column::from_ints(vec![Some(1), Some(2)]);
+        let b = Column::from_ints(vec![Some(2), Some(2)]);
+        let m = compare(&a, CmpOp::Le, &Operand::Column(&b)).unwrap();
+        assert_eq!(m.bits(), &[true, true]);
+        let short = Column::from_ints(vec![Some(1)]);
+        assert!(compare(&a, CmpOp::Le, &Operand::Column(&short)).is_err());
+    }
+
+    #[test]
+    fn arith_int_preserved_float_widen() {
+        let c = arith(&nums(), ArithOp::Add, &Operand::Scalar(Value::Int(1))).unwrap();
+        assert_eq!(c.dtype(), crate::column::DType::Int64);
+        assert_eq!(c.get(0).unwrap(), Value::Int(2));
+        assert!(c.get(2).unwrap().is_null());
+        let c = arith(&nums(), ArithOp::Div, &Operand::Scalar(Value::Int(2))).unwrap();
+        assert_eq!(c.dtype(), crate::column::DType::Float64);
+        assert_eq!(c.get(1).unwrap(), Value::Float(2.5));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        assert!(arith(&nums(), ArithOp::Div, &Operand::Scalar(Value::Int(0))).is_err());
+        assert!(arith(&nums(), ArithOp::Mod, &Operand::Scalar(Value::Int(0))).is_err());
+    }
+
+    #[test]
+    fn string_concat_works_others_fail() {
+        let c = arith(&strs(), ArithOp::Add, &Operand::Scalar(Value::Str("!".into()))).unwrap();
+        assert_eq!(c.get(1).unwrap(), Value::Str("benign!".into()));
+        assert!(arith(&strs(), ArithOp::Mul, &Operand::Scalar(Value::Int(2))).is_err());
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let m = between(&nums(), &Value::Int(1), &Value::Int(5)).unwrap();
+        assert_eq!(m.bits(), &[true, true, false, false]);
+    }
+
+    #[test]
+    fn isin_matches_across_numeric_types() {
+        let m = isin(&nums(), &[Value::Float(1.0), Value::Int(10)]);
+        assert_eq!(m.bits(), &[true, false, false, true]);
+    }
+
+    #[test]
+    fn string_methods() {
+        let lower = str_op(&strs(), StrOp::Lower).unwrap();
+        assert_eq!(lower.get(0).unwrap(), Value::Str(" high risk ".into()));
+        let stripped = str_op(&strs(), StrOp::Strip).unwrap();
+        assert_eq!(stripped.get(0).unwrap(), Value::Str("High Risk".into()));
+        let title = str_op(&Column::from_strs(vec![Some("hELLO".into())]), StrOp::Title).unwrap();
+        assert_eq!(title.get(0).unwrap(), Value::Str("Hello".into()));
+        assert!(str_op(&nums(), StrOp::Lower).is_err());
+    }
+
+    #[test]
+    fn contains_replace_len() {
+        assert_eq!(str_contains(&strs(), "Risk").unwrap().bits(), &[true, false, false]);
+        let rep = str_replace(&strs(), "Risk", "R").unwrap();
+        assert_eq!(rep.get(0).unwrap(), Value::Str(" High R ".into()));
+        let lens = str_len(&strs()).unwrap();
+        assert_eq!(lens.get(1).unwrap(), Value::Int(6));
+    }
+
+    #[test]
+    fn map_vs_replace_semantics() {
+        let c = Column::from_strs(vec![Some("male".into()), Some("female".into()), Some("x".into())]);
+        let mapping = vec![
+            (Value::Str("male".into()), Value::Int(0)),
+            (Value::Str("female".into()), Value::Int(1)),
+        ];
+        let mapped = map_values(&c, &mapping);
+        assert!(mapped.get(2).unwrap().is_null());
+        let replaced = replace_values(&c, &mapping);
+        assert_eq!(replaced.get(2).unwrap(), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn clip_bounds() {
+        let c = clip(&nums(), Some(2.0), Some(6.0)).unwrap();
+        assert_eq!(c.get(0).unwrap(), Value::Int(2));
+        assert_eq!(c.get(3).unwrap(), Value::Int(6));
+        assert!(c.get(2).unwrap().is_null());
+        assert!(clip(&strs(), Some(0.0), None).is_err());
+    }
+
+    #[test]
+    fn map_f64_and_where() {
+        let c = map_f64(&nums(), "log1p", f64::ln_1p).unwrap();
+        assert!((c.get(0).unwrap().as_f64().unwrap() - 2f64.ln()).abs() < 1e-12);
+        let m = BoolMask::new(vec![true, false]);
+        let w = where_scalar(&m, &Value::Int(1), &Value::Int(0));
+        assert_eq!(w.values(), vec![Value::Int(1), Value::Int(0)]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Scalar cell values.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A single cell value. `Null` models a missing value (pandas `NaN`/`None`).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Missing value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Whether this value is missing.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null) || matches!(self, Value::Float(f) if f.is_nan())
+    }
+
+    /// Numeric view: ints and floats (and bools as 0/1) as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) if !v.is_nan() => Some(*v),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// String view (no coercion).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Canonical key used by hash-based structures (Jaccard sets, group-by
+    /// keys, mode counting). Floats are canonicalized: `-0.0 → 0.0`; integral
+    /// floats collapse to their integer key so `1` and `1.0` group together
+    /// (pandas semantics for equality between int and float columns).
+    pub fn key(&self) -> ValueKey {
+        match self {
+            Value::Null => ValueKey::Null,
+            Value::Int(v) => ValueKey::Int(*v),
+            Value::Float(f) => {
+                if f.is_nan() {
+                    ValueKey::Null
+                } else if f.fract() == 0.0 && f.abs() < 9.0e15 {
+                    ValueKey::Int(*f as i64)
+                } else {
+                    ValueKey::FloatBits((f + 0.0).to_bits())
+                }
+            }
+            Value::Str(s) => ValueKey::Str(s.clone()),
+            Value::Bool(b) => ValueKey::Bool(*b),
+        }
+    }
+
+    /// Equality with pandas semantics: `Null` never equals anything
+    /// (including itself), numerics compare numerically across int/float.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        if self.is_null() || other.is_null() {
+            return false;
+        }
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+
+    /// Partial ordering with pandas comparison semantics: numerics order
+    /// numerically, strings lexically; cross-type or null compares are `None`.
+    pub fn loose_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Str(_), _) | (_, Value::Str(_)) => None,
+            _ => self.as_f64()?.partial_cmp(&other.as_f64()?),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{}", if *b { "True" } else { "False" }),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// A hashable, totally-equatable canonicalization of [`Value`], suitable for
+/// use as a `HashMap`/`HashSet` key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValueKey {
+    /// Missing.
+    Null,
+    /// Integer (also integral floats).
+    Int(i64),
+    /// Non-integral float by bit pattern (`-0.0` normalized away upstream).
+    FloatBits(u64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for Value {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_and_nan_are_missing() {
+        assert!(Value::Null.is_null());
+        assert!(Value::Float(f64::NAN).is_null());
+        assert!(!Value::Float(0.0).is_null());
+    }
+
+    #[test]
+    fn keys_unify_int_and_integral_float() {
+        assert_eq!(Value::Int(3).key(), Value::Float(3.0).key());
+        assert_ne!(Value::Int(3).key(), Value::Float(3.5).key());
+        assert_eq!(Value::Float(0.0).key(), Value::Float(-0.0).key());
+    }
+
+    #[test]
+    fn loose_eq_follows_pandas() {
+        assert!(Value::Int(2).loose_eq(&Value::Float(2.0)));
+        assert!(!Value::Null.loose_eq(&Value::Null));
+        assert!(Value::Str("a".into()).loose_eq(&Value::Str("a".into())));
+        assert!(!Value::Str("2".into()).loose_eq(&Value::Int(2)));
+    }
+
+    #[test]
+    fn loose_cmp_orders_numbers_and_strings() {
+        assert_eq!(
+            Value::Int(1).loose_cmp(&Value::Float(1.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Str("a".into()).loose_cmp(&Value::Str("b".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Str("a".into()).loose_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Null.loose_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn display_matches_python_conventions() {
+        assert_eq!(Value::Bool(true).to_string(), "True");
+        assert_eq!(Value::Null.to_string(), "");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn as_f64_coerces_bools() {
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Float(f64::NAN).as_f64(), None);
+    }
+}

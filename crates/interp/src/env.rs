@@ -1,0 +1,515 @@
+//! The interpreter: registered tables, variable environment, execution of
+//! statements, and outcome extraction.
+
+use crate::error::{InterpError, Result};
+use crate::value::{FrameVal, ModuleKind, RtValue};
+use lucid_frame::{DataFrame, Value};
+use lucid_pyast::{Expr, Module, Stmt};
+use std::collections::HashMap;
+
+/// Executes straight-line scripts against in-memory tables.
+///
+/// One `Interpreter` holds the *input configuration* (registered tables,
+/// seed, sampling). Each [`Interpreter::run`] starts from a fresh variable
+/// environment, so the same interpreter can check many candidate scripts.
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    tables: HashMap<String, DataFrame>,
+    /// Seed for `sample`/`train_test_split` when the script does not pass
+    /// `random_state`.
+    pub seed: u64,
+    /// If set, registered tables are row-sampled to at most this many rows
+    /// at `read_csv` time — the paper's sampling optimization (§5.2, item 5).
+    pub sample_rows: Option<usize>,
+    /// Statement budget per run (straight-line scripts are short; this
+    /// guards against pathological generated scripts).
+    pub max_statements: usize,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Interpreter {
+            tables: HashMap::new(),
+            seed: 7,
+            sample_rows: None,
+            max_statements: 10_000,
+        }
+    }
+}
+
+/// The result of a successful run.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Final variable bindings.
+    pub vars: HashMap<String, RtValue>,
+    /// The variable that last received a `DataFrame`.
+    pub last_frame_var: Option<String>,
+}
+
+impl ExecOutcome {
+    /// The script's output table: the `df` variable if it is a frame,
+    /// otherwise the frame most recently assigned to any variable —
+    /// the convention the paper's prototype uses to compare `D_OUT`.
+    pub fn output_frame(&self) -> Option<&DataFrame> {
+        if let Some(RtValue::Frame(f)) = self.vars.get("df") {
+            return Some(&f.df);
+        }
+        let name = self.last_frame_var.as_ref()?;
+        match self.vars.get(name) {
+            Some(RtValue::Frame(f)) => Some(&f.df),
+            _ => None,
+        }
+    }
+
+    /// A variable's value, if bound.
+    pub fn get(&self, name: &str) -> Option<&RtValue> {
+        self.vars.get(name)
+    }
+}
+
+/// Per-run mutable state (variables + step counter).
+pub(crate) struct RunState {
+    pub vars: HashMap<String, RtValue>,
+    pub last_frame_var: Option<String>,
+    pub steps: usize,
+}
+
+impl Interpreter {
+    /// A fresh interpreter with no registered tables.
+    pub fn new() -> Self {
+        Interpreter::default()
+    }
+
+    /// Registers an in-memory table for `pd.read_csv(path)`.
+    pub fn register_table(&mut self, path: impl Into<String>, df: DataFrame) {
+        self.tables.insert(path.into(), df);
+    }
+
+    /// Looks up a registered table, applying the row-sampling cap.
+    pub(crate) fn load_table(&self, path: &str) -> Result<DataFrame> {
+        let df = self
+            .tables
+            .get(path)
+            .ok_or_else(|| InterpError::FileNotFound(path.to_string()))?;
+        match self.sample_rows {
+            Some(cap) if df.n_rows() > cap => Ok(df.sample(cap, self.seed).expect("cap < rows")),
+            _ => Ok(df.clone()),
+        }
+    }
+
+    /// Executes a whole script from a fresh environment.
+    ///
+    /// # Errors
+    ///
+    /// Any Python-level error the script would raise (NameError, KeyError,
+    /// TypeError, ...) surfaces as an [`InterpError`] — the signal
+    /// LucidScript's execution constraint consumes.
+    pub fn run(&self, module: &Module) -> Result<ExecOutcome> {
+        let mut state = RunState {
+            vars: HashMap::new(),
+            last_frame_var: None,
+            steps: 0,
+        };
+        for stmt in &module.stmts {
+            state.steps += 1;
+            if state.steps > self.max_statements {
+                return Err(InterpError::BudgetExhausted);
+            }
+            self.exec_stmt(stmt, &mut state)?;
+        }
+        Ok(ExecOutcome {
+            vars: state.vars,
+            last_frame_var: state.last_frame_var,
+        })
+    }
+
+    /// Executes a script and reports only whether it runs — the paper's
+    /// `CheckIfExecutes()`.
+    pub fn check_executes(&self, module: &Module) -> bool {
+        self.run(module).is_ok()
+    }
+
+    fn exec_stmt(&self, stmt: &Stmt, state: &mut RunState) -> Result<()> {
+        match stmt {
+            Stmt::Import { module, alias, .. } => {
+                let kind = module_kind(module)?;
+                let bind = alias.clone().unwrap_or_else(|| module.clone());
+                state.vars.insert(bind, RtValue::Module(kind));
+                Ok(())
+            }
+            Stmt::FromImport { module, names, .. } => {
+                for (name, alias) in names {
+                    let value = crate::sklearn::resolve_import(module, name)?;
+                    let bind = alias.clone().unwrap_or_else(|| name.clone());
+                    state.vars.insert(bind, value);
+                }
+                Ok(())
+            }
+            Stmt::Assign { target, value, .. } => self.exec_assign(target, value, state),
+            Stmt::ExprStmt { value, .. } => {
+                // Support the in-place mutation idiom
+                // `df.dropna(inplace=True)` by assigning the method result
+                // back to the receiver variable.
+                if let Some((var, result)) = self.eval_inplace_method(value, state)? {
+                    self.bind(var, result, state);
+                    return Ok(());
+                }
+                self.eval(value, state)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn exec_assign(&self, target: &Expr, value: &Expr, state: &mut RunState) -> Result<()> {
+        match target {
+            Expr::Name(name) => {
+                let v = self.eval(value, state)?;
+                self.bind(name.clone(), v, state);
+                Ok(())
+            }
+            // df['col'] = <series|scalar|mask>
+            Expr::Subscript {
+                value: recv,
+                index,
+            } => self.exec_subscript_assign(recv, index, value, state),
+            Expr::Tuple(targets) => {
+                let v = self.eval(value, state)?;
+                let items = match v {
+                    RtValue::Tuple(items) | RtValue::List(items) => items,
+                    other => {
+                        return Err(InterpError::TypeError(format!(
+                            "cannot unpack {} into {} targets",
+                            other.type_name(),
+                            targets.len()
+                        )))
+                    }
+                };
+                if items.len() != targets.len() {
+                    return Err(InterpError::ValueError(format!(
+                        "expected {} values to unpack, got {}",
+                        targets.len(),
+                        items.len()
+                    )));
+                }
+                for (t, item) in targets.iter().zip(items) {
+                    match t {
+                        Expr::Name(name) => self.bind(name.clone(), item, state),
+                        other => {
+                            return Err(InterpError::Unsupported(format!(
+                                "unpack target {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(())
+            }
+            other => Err(InterpError::Unsupported(format!(
+                "assignment target {other:?}"
+            ))),
+        }
+    }
+
+    fn exec_subscript_assign(
+        &self,
+        recv: &Expr,
+        index: &Expr,
+        value: &Expr,
+        state: &mut RunState,
+    ) -> Result<()> {
+        // `df.loc[rows, 'col'] = v`
+        if let Expr::Attribute {
+            value: base,
+            attr,
+        } = recv
+        {
+            if attr == "loc" {
+                if let Expr::Name(var) = &**base {
+                    return self.exec_loc_assign(var, index, value, state);
+                }
+            }
+            return Err(InterpError::Unsupported(format!(
+                "subscript assignment through attribute '{attr}'"
+            )));
+        }
+        // `df['col'] = v`
+        let Expr::Name(var) = recv else {
+            return Err(InterpError::Unsupported(
+                "subscript assignment on a non-variable".to_string(),
+            ));
+        };
+        let col_name = match self.eval(index, state)? {
+            RtValue::Scalar(Value::Str(s)) => s,
+            other => {
+                return Err(InterpError::TypeError(format!(
+                    "column assignment index must be a string, got {}",
+                    other.type_name()
+                )))
+            }
+        };
+        let new_val = self.eval(value, state)?;
+        let mut fv = self.expect_frame_var(var, state)?;
+        let column = crate::eval::to_column(&new_val, fv.df.n_rows())?;
+        fv.df.set_column(&col_name, column)?;
+        self.bind(var.clone(), RtValue::Frame(fv), state);
+        Ok(())
+    }
+
+    fn exec_loc_assign(
+        &self,
+        var: &str,
+        index: &Expr,
+        value: &Expr,
+        state: &mut RunState,
+    ) -> Result<()> {
+        let Expr::Tuple(parts) = index else {
+            return Err(InterpError::Unsupported(
+                "loc assignment requires df.loc[rows, column] = value".to_string(),
+            ));
+        };
+        if parts.len() != 2 {
+            return Err(InterpError::Unsupported(
+                "loc assignment requires exactly [rows, column]".to_string(),
+            ));
+        }
+        let rows = self.eval(&parts[0], state)?;
+        let col = match self.eval(&parts[1], state)? {
+            RtValue::Scalar(Value::Str(s)) => s,
+            other => {
+                return Err(InterpError::TypeError(format!(
+                    "loc column must be a string, got {}",
+                    other.type_name()
+                )))
+            }
+        };
+        let scalar = match self.eval(value, state)? {
+            RtValue::Scalar(v) => v,
+            RtValue::NoneVal => Value::Null,
+            other => {
+                return Err(InterpError::Unsupported(format!(
+                    "loc assignment value must be a scalar, got {}",
+                    other.type_name()
+                )))
+            }
+        };
+        let mut fv = self.expect_frame_var(var, state)?;
+        let mask = match rows {
+            RtValue::Mask(m) => m,
+            RtValue::IndexList(ids) => {
+                let wanted: std::collections::HashSet<usize> = ids.into_iter().collect();
+                lucid_frame::BoolMask::new(
+                    fv.index.iter().map(|i| wanted.contains(i)).collect(),
+                )
+            }
+            other => {
+                return Err(InterpError::TypeError(format!(
+                    "loc rows must be a mask or index, got {}",
+                    other.type_name()
+                )))
+            }
+        };
+        fv.df.loc_set(&mask, &col, &scalar)?;
+        self.bind(var.to_string(), RtValue::Frame(fv), state);
+        Ok(())
+    }
+
+    /// Detects `var.method(..., inplace=True)` expression statements and
+    /// returns `(var, result_frame)` when the pattern applies.
+    fn eval_inplace_method(
+        &self,
+        expr: &Expr,
+        state: &mut RunState,
+    ) -> Result<Option<(String, RtValue)>> {
+        let Expr::Call { func, args } = expr else {
+            return Ok(None);
+        };
+        let Expr::Attribute { value, .. } = &**func else {
+            return Ok(None);
+        };
+        let Expr::Name(var) = &**value else {
+            return Ok(None);
+        };
+        let inplace = args.iter().any(|a| {
+            a.name.as_deref() == Some("inplace") && matches!(a.value, Expr::Bool(true))
+        });
+        if !inplace {
+            return Ok(None);
+        }
+        let result = self.eval(expr, state)?;
+        if matches!(result, RtValue::Frame(_) | RtValue::Series(_)) {
+            Ok(Some((var.clone(), result)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    pub(crate) fn bind(&self, name: String, value: RtValue, state: &mut RunState) {
+        if matches!(value, RtValue::Frame(_)) {
+            state.last_frame_var = Some(name.clone());
+        }
+        state.vars.insert(name, value);
+    }
+
+    pub(crate) fn expect_frame_var(&self, var: &str, state: &RunState) -> Result<FrameVal> {
+        match state.vars.get(var) {
+            Some(RtValue::Frame(f)) => Ok(f.clone()),
+            Some(other) => Err(InterpError::TypeError(format!(
+                "'{var}' is a {}, expected DataFrame",
+                other.type_name()
+            ))),
+            None => Err(InterpError::NameError(var.to_string())),
+        }
+    }
+}
+
+fn module_kind(module: &str) -> Result<ModuleKind> {
+    let root = module.split('.').next().unwrap_or(module);
+    match root {
+        "pandas" => Ok(ModuleKind::Pandas),
+        "numpy" => Ok(ModuleKind::Numpy),
+        "sklearn" => Ok(ModuleKind::Sklearn),
+        other => Err(InterpError::ImportError(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucid_frame::csv::read_csv_str;
+    use lucid_pyast::parse_module;
+
+    fn interp() -> Interpreter {
+        let mut i = Interpreter::new();
+        i.register_table(
+            "t.csv",
+            read_csv_str("a,b,y\n1,2.5,0\n2,,1\n3,4.5,0\n4,1.0,1\n").unwrap(),
+        );
+        i
+    }
+
+    fn run(src: &str) -> Result<ExecOutcome> {
+        interp().run(&parse_module(src).unwrap())
+    }
+
+    #[test]
+    fn imports_bind_modules() {
+        let out = run("import pandas as pd\nimport numpy as np\n").unwrap();
+        assert!(matches!(
+            out.get("pd"),
+            Some(RtValue::Module(ModuleKind::Pandas))
+        ));
+        assert!(matches!(
+            out.get("np"),
+            Some(RtValue::Module(ModuleKind::Numpy))
+        ));
+    }
+
+    #[test]
+    fn unknown_import_errors() {
+        assert!(matches!(
+            run("import torch\n"),
+            Err(InterpError::ImportError(_))
+        ));
+    }
+
+    #[test]
+    fn read_csv_and_output_frame() {
+        let out = run("import pandas as pd\ndf = pd.read_csv('t.csv')\n").unwrap();
+        assert_eq!(out.output_frame().unwrap().shape(), (4, 3));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(matches!(
+            run("import pandas as pd\ndf = pd.read_csv('nope.csv')\n"),
+            Err(InterpError::FileNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn name_error_on_undefined_variable() {
+        assert!(matches!(
+            run("x = undefined_thing\n"),
+            Err(InterpError::NameError(_))
+        ));
+    }
+
+    #[test]
+    fn output_frame_prefers_df_then_last_assigned() {
+        let out = run(
+            "import pandas as pd\ntrain = pd.read_csv('t.csv')\nother = train.head(2)\n",
+        )
+        .unwrap();
+        assert_eq!(out.output_frame().unwrap().n_rows(), 2);
+        let out = run(
+            "import pandas as pd\nother = pd.read_csv('t.csv')\ndf = other.head(1)\nz = other.head(3)\n",
+        )
+        .unwrap();
+        // `df` wins even though `z` was assigned later.
+        assert_eq!(out.output_frame().unwrap().n_rows(), 1);
+    }
+
+    #[test]
+    fn column_assignment_and_tuple_unpack() {
+        let out = run(
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf['a2'] = df['a'] * 2\nx, y = 1, 2\n",
+        )
+        .unwrap();
+        let frame = out.output_frame().unwrap();
+        assert!(frame.has_column("a2"));
+        assert!(matches!(out.get("y"), Some(RtValue::Scalar(Value::Int(2)))));
+    }
+
+    #[test]
+    fn bad_unpack_errors() {
+        assert!(run("x, y = 1, 2, 3\n").is_err());
+        assert!(run("x, y = 5\n").is_err());
+    }
+
+    #[test]
+    fn sampling_caps_loaded_tables() {
+        let mut i = interp();
+        i.sample_rows = Some(2);
+        let out = i
+            .run(&parse_module("import pandas as pd\ndf = pd.read_csv('t.csv')\n").unwrap())
+            .unwrap();
+        assert_eq!(out.output_frame().unwrap().n_rows(), 2);
+    }
+
+    #[test]
+    fn check_executes_is_boolean() {
+        let i = interp();
+        assert!(i.check_executes(&parse_module("import pandas as pd\n").unwrap()));
+        assert!(!i.check_executes(&parse_module("x = nope\n").unwrap()));
+    }
+
+    #[test]
+    fn inplace_method_mutates_variable() {
+        let out = run(
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf.dropna(inplace=True)\n",
+        )
+        .unwrap();
+        assert_eq!(out.output_frame().unwrap().n_rows(), 3);
+    }
+
+    #[test]
+    fn loc_assignment_with_mask() {
+        let out = run(
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf.loc[df['a'] > 2, 'y'] = 9\n",
+        )
+        .unwrap();
+        let y = out.output_frame().unwrap().column("y").unwrap();
+        assert_eq!(y.get(3).unwrap(), Value::Int(9));
+        assert_eq!(y.get(0).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn loc_assignment_with_sampled_index() {
+        let out = run(
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\nupd = df.sample(2).index\ndf.loc[upd, 'y'] = 5\n",
+        )
+        .unwrap();
+        let y = out.output_frame().unwrap().column("y").unwrap();
+        let fives = y.values().iter().filter(|v| **v == Value::Int(5)).count();
+        assert_eq!(fives, 2);
+    }
+}

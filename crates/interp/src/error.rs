@@ -1,0 +1,98 @@
+//! Interpreter errors — the Python exceptions of this environment.
+
+use lucid_frame::FrameError;
+use lucid_ml::MlError;
+use std::fmt;
+
+/// An error raised while executing a script. Mirrors the Python exception
+/// taxonomy scripts would hit under real pandas.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    /// `NameError`: variable is not defined.
+    NameError(String),
+    /// `AttributeError`: object has no such attribute/method.
+    AttributeError {
+        /// Description of the receiver.
+        receiver: String,
+        /// Attribute name.
+        attr: String,
+    },
+    /// `TypeError`: operation applied to the wrong kind of value.
+    TypeError(String),
+    /// `ValueError`: bad argument value.
+    ValueError(String),
+    /// `KeyError` / engine errors (unknown column, length mismatch, ...).
+    Frame(FrameError),
+    /// Model-substrate errors.
+    Ml(MlError),
+    /// `FileNotFoundError`: `read_csv` of an unregistered path.
+    FileNotFound(String),
+    /// `ImportError`: unknown module.
+    ImportError(String),
+    /// Feature outside the supported subset.
+    Unsupported(String),
+    /// The per-run statement/step budget was exhausted.
+    BudgetExhausted,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::NameError(n) => write!(f, "NameError: name '{n}' is not defined"),
+            InterpError::AttributeError { receiver, attr } => {
+                write!(f, "AttributeError: {receiver} has no attribute '{attr}'")
+            }
+            InterpError::TypeError(msg) => write!(f, "TypeError: {msg}"),
+            InterpError::ValueError(msg) => write!(f, "ValueError: {msg}"),
+            InterpError::Frame(e) => write!(f, "FrameError: {e}"),
+            InterpError::Ml(e) => write!(f, "MlError: {e}"),
+            InterpError::FileNotFound(p) => {
+                write!(f, "FileNotFoundError: no registered table '{p}'")
+            }
+            InterpError::ImportError(m) => write!(f, "ImportError: no module named '{m}'"),
+            InterpError::Unsupported(msg) => write!(f, "Unsupported: {msg}"),
+            InterpError::BudgetExhausted => write!(f, "execution budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl From<FrameError> for InterpError {
+    fn from(e: FrameError) -> Self {
+        InterpError::Frame(e)
+    }
+}
+
+impl From<MlError> for InterpError {
+    fn from(e: MlError) -> Self {
+        InterpError::Ml(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, InterpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_python_flavored_messages() {
+        assert_eq!(
+            InterpError::NameError("df".into()).to_string(),
+            "NameError: name 'df' is not defined"
+        );
+        assert!(InterpError::FileNotFound("x.csv".into())
+            .to_string()
+            .contains("x.csv"));
+    }
+
+    #[test]
+    fn converts_substrate_errors() {
+        let e: InterpError = FrameError::UnknownColumn("Age".into()).into();
+        assert!(matches!(e, InterpError::Frame(_)));
+        let e: InterpError = MlError::EmptyInput("x".into()).into();
+        assert!(matches!(e, InterpError::Ml(_)));
+    }
+}

@@ -1,0 +1,42 @@
+//! # lucid-interp
+//!
+//! An interpreter that executes the straight-line Python subset (parsed by
+//! `lucid-pyast`) against the `lucid-frame` dataframe engine and the
+//! `lucid-ml` model substrate — a pandas/sklearn-flavored environment.
+//!
+//! This is what LucidScript's `CheckIfExecutes()` and `VerifyConstraints()`
+//! call: candidate scripts run here; any error (unknown column, type
+//! mismatch, bad argument) marks the candidate non-executable, exactly as a
+//! crashing pandas script would in the paper's prototype.
+//!
+//! Input files are registered in memory (no filesystem access during
+//! search), so `pd.read_csv('train.csv')` resolves to a registered table:
+//!
+//! ```
+//! use lucid_frame::csv::read_csv_str;
+//! use lucid_interp::Interpreter;
+//! use lucid_pyast::parse_module;
+//!
+//! let data = read_csv_str("Age,Outcome\n22,1\n35,0\n,1\n").unwrap();
+//! let mut interp = Interpreter::new();
+//! interp.register_table("diabetes.csv", data);
+//!
+//! let script = parse_module(
+//!     "import pandas as pd\ndf = pd.read_csv('diabetes.csv')\ndf = df.fillna(df.mean())\n",
+//! ).unwrap();
+//! let outcome = interp.run(&script).unwrap();
+//! let out = outcome.output_frame().unwrap();
+//! assert_eq!(out.total_null_count(), 0);
+//! ```
+
+pub mod env;
+pub mod error;
+pub mod eval;
+pub mod numpy;
+pub mod pandas;
+pub mod sklearn;
+pub mod value;
+
+pub use env::{ExecOutcome, Interpreter};
+pub use error::InterpError;
+pub use value::RtValue;

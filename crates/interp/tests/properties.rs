@@ -1,0 +1,98 @@
+//! Interpreter property tests: totality (no panics on arbitrary parsed
+//! programs over a known schema) and determinism.
+
+use lucid_frame::csv::read_csv_str;
+use lucid_frame::DataFrame;
+use lucid_interp::Interpreter;
+use lucid_pyast::parse_module;
+use proptest::prelude::*;
+
+fn table() -> DataFrame {
+    read_csv_str(
+        "Age,Fare,Sex,Survived\n22,7.25,male,0\n38,71.3,female,1\n,8.0,male,0\n26,7.9,female,1\n35,53.1,female,1\n",
+    )
+    .expect("valid csv")
+}
+
+fn interp() -> Interpreter {
+    let mut i = Interpreter::new();
+    i.register_table("train.csv", table());
+    i
+}
+
+/// A generator of syntactically valid statements over the known schema —
+/// many are semantically invalid (wrong types, unknown columns); the
+/// interpreter must reject those with errors, never panics.
+fn stmt_soup() -> impl Strategy<Value = String> {
+    let col = prop::sample::select(vec!["Age", "Fare", "Sex", "Survived", "Ghost"]);
+    let num = -10i64..100;
+    prop_oneof![
+        (col.clone(), num.clone())
+            .prop_map(|(c, n)| format!("df = df[df['{c}'] > {n}]")),
+        col.clone().prop_map(|c| format!("df['{c}'] = df['{c}'].fillna(0)")),
+        col.clone().prop_map(|c| format!("df = df.drop('{c}', axis=1)")),
+        Just("df = df.fillna(df.mean())".to_string()),
+        Just("df = df.dropna()".to_string()),
+        Just("df = pd.get_dummies(df)".to_string()),
+        col.clone().prop_map(|c| format!("df['{c}'] = df['{c}'].str.lower()")),
+        (col.clone(), num.clone()).prop_map(|(c, n)| format!("df['{c}'] = df['{c}'] * {n}")),
+        col.clone().prop_map(|c| format!("y = df['{c}']")),
+        (col, 0i64..8).prop_map(|(c, n)| format!("x = df['{c}'][{n}]")),
+        (1i64..5).prop_map(|n| format!("df = df.head({n})")),
+        (1i64..5).prop_map(|n| format!("df = df.sample({n}, random_state=1)")),
+        Just("df = df.T".to_string()),                  // unsupported attr
+        Just("df = df.pivot_table()".to_string()),      // unsupported method
+        Just("z = undefined_variable".to_string()),     // NameError
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn interpreter_is_total_over_schema_soup(stmts in prop::collection::vec(stmt_soup(), 0..8)) {
+        let mut src = String::from("import pandas as pd\ndf = pd.read_csv('train.csv')\n");
+        for s in &stmts {
+            src.push_str(s);
+            src.push('\n');
+        }
+        let module = parse_module(&src).expect("generated source parses");
+        // Must not panic; any Result is acceptable.
+        let _ = interp().run(&module);
+    }
+
+    #[test]
+    fn execution_is_deterministic(stmts in prop::collection::vec(stmt_soup(), 0..6)) {
+        let mut src = String::from("import pandas as pd\ndf = pd.read_csv('train.csv')\n");
+        for s in &stmts {
+            src.push_str(s);
+            src.push('\n');
+        }
+        let module = parse_module(&src).expect("parses");
+        let i = interp();
+        match (i.run(&module), i.run(&module)) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.output_frame(), b.output_frame());
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(false, "nondeterministic outcome: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+
+    #[test]
+    fn successful_runs_produce_rectangular_frames(stmts in prop::collection::vec(stmt_soup(), 0..6)) {
+        let mut src = String::from("import pandas as pd\ndf = pd.read_csv('train.csv')\n");
+        for s in &stmts {
+            src.push_str(s);
+            src.push('\n');
+        }
+        let module = parse_module(&src).expect("parses");
+        if let Ok(outcome) = interp().run(&module) {
+            if let Some(frame) = outcome.output_frame() {
+                for (_, col) in frame.iter() {
+                    prop_assert_eq!(col.len(), frame.n_rows());
+                }
+            }
+        }
+    }
+}

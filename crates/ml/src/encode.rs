@@ -1,0 +1,177 @@
+//! Dataframe → feature-matrix encoding (what sklearn would do after the
+//! user's own preprocessing).
+//!
+//! * numeric columns pass through; remaining nulls are imputed with the
+//!   column mean (sklearn pipelines would crash — the *interpreter* decides
+//!   whether to surface that; the intent measure needs robustness so that a
+//!   candidate script lacking imputation still yields a comparable score)
+//! * string columns are label-encoded by first-seen order
+//! * boolean columns become 0/1
+
+use crate::error::{MlError, Result};
+use crate::matrix::Matrix;
+use lucid_frame::{Column, DataFrame, Value};
+use std::collections::HashMap;
+
+/// Encodes all columns of `df` (except `exclude`) into a feature matrix.
+///
+/// # Errors
+///
+/// Fails if the frame has no rows or no usable feature columns.
+pub fn encode_features(df: &DataFrame, exclude: &[&str]) -> Result<Matrix> {
+    let names: Vec<&str> = df
+        .names()
+        .iter()
+        .map(String::as_str)
+        .filter(|n| !exclude.contains(n))
+        .collect();
+    if names.is_empty() {
+        return Err(MlError::Encoding("no feature columns".to_string()));
+    }
+    if df.n_rows() == 0 {
+        return Err(MlError::EmptyInput("zero rows".to_string()));
+    }
+    let mut rows = vec![Vec::with_capacity(names.len()); df.n_rows()];
+    for name in &names {
+        let col = df.column(name).map_err(|e| MlError::Encoding(e.to_string()))?;
+        let encoded = encode_column(col);
+        for (row, v) in rows.iter_mut().zip(encoded) {
+            row.push(v);
+        }
+    }
+    Ok(Matrix::from_rows(&rows))
+}
+
+/// Encodes one column to `f64`s: numerics as-is (nulls → column mean, or 0.0
+/// if the column is all-null), strings label-encoded in first-seen order.
+fn encode_column(col: &Column) -> Vec<f64> {
+    if col.is_numeric() || matches!(col, Column::Bool(_)) {
+        let mean = col.mean().unwrap_or(0.0);
+        return col
+            .values()
+            .into_iter()
+            .map(|v| v.as_f64().unwrap_or(mean))
+            .collect();
+    }
+    // Label encoding for strings; nulls get their own code (-1).
+    let mut codes: HashMap<String, f64> = HashMap::new();
+    col.values()
+        .into_iter()
+        .map(|v| match v {
+            Value::Str(s) => {
+                let next = codes.len() as f64;
+                *codes.entry(s).or_insert(next)
+            }
+            _ => -1.0,
+        })
+        .collect()
+}
+
+/// Encodes a label column into class ids `0..k` by first-seen order.
+///
+/// # Errors
+///
+/// Fails if the column is empty or entirely null.
+pub fn encode_labels(col: &Column) -> Result<Vec<u32>> {
+    if col.is_empty() {
+        return Err(MlError::EmptyInput("label column".to_string()));
+    }
+    let mut codes: HashMap<lucid_frame::value::ValueKey, u32> = HashMap::new();
+    let mut out = Vec::with_capacity(col.len());
+    let mut any = false;
+    for v in col.values() {
+        if v.is_null() {
+            // Null labels map to a dedicated class — sklearn would error,
+            // but candidate scripts may legitimately drop the fill step;
+            // class 0 absorbs them deterministically.
+            out.push(u32::MAX);
+            continue;
+        }
+        any = true;
+        let next = codes.len() as u32;
+        out.push(*codes.entry(v.key()).or_insert(next));
+    }
+    if !any {
+        return Err(MlError::BadLabels("all labels are null".to_string()));
+    }
+    let fallback = codes.len() as u32;
+    for v in &mut out {
+        if *v == u32::MAX {
+            *v = fallback;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucid_frame::Column;
+
+    fn df() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("age", Column::from_ints(vec![Some(10), None, Some(30)])),
+            (
+                "sex",
+                Column::from_strs(vec![Some("m".into()), Some("f".into()), Some("m".into())]),
+            ),
+            (
+                "y",
+                Column::from_ints(vec![Some(0), Some(1), Some(0)]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn encodes_numeric_and_string_features() {
+        let x = encode_features(&df(), &["y"]).unwrap();
+        assert_eq!((x.n_rows(), x.n_cols()), (3, 2));
+        // Null age imputed with mean 20.
+        assert_eq!(x.get(1, 0), 20.0);
+        // Label encoding: m=0, f=1.
+        assert_eq!(x.col(1), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn excluding_everything_fails() {
+        assert!(encode_features(&df(), &["age", "sex", "y"]).is_err());
+        assert!(encode_features(&DataFrame::new(), &[]).is_err());
+    }
+
+    #[test]
+    fn label_encoding_first_seen_order() {
+        let col = Column::from_strs(vec![
+            Some("no".into()),
+            Some("yes".into()),
+            Some("no".into()),
+        ]);
+        assert_eq!(encode_labels(&col).unwrap(), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn null_labels_get_own_class() {
+        let col = Column::from_ints(vec![Some(5), None, Some(7)]);
+        assert_eq!(encode_labels(&col).unwrap(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn all_null_labels_fail() {
+        let col = Column::from_ints(vec![None, None]);
+        assert!(encode_labels(&col).is_err());
+        assert!(encode_labels(&Column::from_ints(vec![])).is_err());
+    }
+
+    #[test]
+    fn bool_columns_become_numeric() {
+        let d = DataFrame::from_columns(vec![(
+            "flag",
+            Column::from_bools(vec![Some(true), Some(false), None]),
+        )])
+        .unwrap();
+        let x = encode_features(&d, &[]).unwrap();
+        assert_eq!(x.get(0, 0), 1.0);
+        assert_eq!(x.get(1, 0), 0.0);
+        assert_eq!(x.get(2, 0), 0.5); // mean-imputed
+    }
+}

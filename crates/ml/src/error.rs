@@ -1,0 +1,56 @@
+//! Error type for the ML substrate.
+
+use std::fmt;
+
+/// An error raised while encoding data or training/evaluating a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// Feature matrix and label vector lengths disagree.
+    ShapeMismatch {
+        /// Rows in X.
+        rows: usize,
+        /// Labels in y.
+        labels: usize,
+    },
+    /// Training set is empty or has no features.
+    EmptyInput(String),
+    /// Labels are not usable (e.g. a single class for logistic regression
+    /// is allowed, but non-encodable labels are not).
+    BadLabels(String),
+    /// Feature encoding failed (e.g. no numeric-encodable columns).
+    Encoding(String),
+    /// Parameters out of range (test_size, learning rate, depth, ...).
+    BadParameter(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::ShapeMismatch { rows, labels } => {
+                write!(f, "X has {rows} rows but y has {labels} labels")
+            }
+            MlError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            MlError::BadLabels(msg) => write!(f, "bad labels: {msg}"),
+            MlError::Encoding(msg) => write!(f, "encoding error: {msg}"),
+            MlError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, MlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MlError::ShapeMismatch { rows: 3, labels: 2 }
+            .to_string()
+            .contains("3 rows"));
+        assert!(MlError::EmptyInput("X".into()).to_string().contains("X"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Logistic regression trained by full-batch gradient descent.
+//!
+//! Deterministic (no random init), internally z-scales features for
+//! conditioning, and handles multi-class labels one-vs-rest — enough to
+//! play the role of sklearn's `LogisticRegression` in the Δ_M intent
+//! measure.
+
+use crate::error::{MlError, Result};
+use crate::matrix::Matrix;
+use crate::scale::StandardScaler;
+
+/// Hyper-parameters and (after `fit`) a trained model factory.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Gradient-descent step size.
+    pub learning_rate: f64,
+    /// Number of full-batch epochs.
+    pub epochs: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        LogisticRegression {
+            learning_rate: 0.5,
+            epochs: 200,
+            l2: 1e-4,
+        }
+    }
+}
+
+/// A fitted logistic-regression model.
+#[derive(Debug, Clone)]
+pub struct FittedLogReg {
+    /// One weight vector (with bias as last entry) per class; binary
+    /// problems store a single vector.
+    weights: Vec<Vec<f64>>,
+    classes: Vec<u32>,
+    scaler: StandardScaler,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    /// Trains on features `x` and integer class labels `y`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shape mismatch or empty input. A single-class `y` trains a
+    /// constant predictor (sklearn raises; a constant model keeps the
+    /// intent measure total, which the standardizer needs).
+    pub fn fit(&self, x: &Matrix, y: &[u32]) -> Result<FittedLogReg> {
+        if x.n_rows() != y.len() {
+            return Err(MlError::ShapeMismatch {
+                rows: x.n_rows(),
+                labels: y.len(),
+            });
+        }
+        if x.n_rows() == 0 || x.n_cols() == 0 {
+            return Err(MlError::EmptyInput("LogisticRegression::fit".to_string()));
+        }
+        if self.learning_rate <= 0.0 || self.epochs == 0 {
+            return Err(MlError::BadParameter(
+                "learning_rate must be > 0 and epochs > 0".to_string(),
+            ));
+        }
+        let scaler = StandardScaler::fit(x)?;
+        let xs = scaler.transform(x)?;
+
+        let mut classes: Vec<u32> = y.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+
+        let heads: Vec<Vec<f64>> = if classes.len() <= 2 {
+            let pos = *classes.last().expect("nonempty");
+            vec![self.fit_binary(&xs, y, pos)]
+        } else {
+            classes
+                .iter()
+                .map(|&cls| self.fit_binary(&xs, y, cls))
+                .collect()
+        };
+        Ok(FittedLogReg {
+            weights: heads,
+            classes,
+            scaler,
+        })
+    }
+
+    /// One-vs-rest binary head: returns weights with bias appended.
+    fn fit_binary(&self, xs: &Matrix, y: &[u32], positive: u32) -> Vec<f64> {
+        let n = xs.n_rows();
+        let d = xs.n_cols();
+        let targets: Vec<f64> = y.iter().map(|&l| f64::from(l == positive)).collect();
+        let mut w = vec![0.0; d + 1]; // last = bias
+        for _ in 0..self.epochs {
+            let mut grad = vec![0.0; d + 1];
+            for (r, target) in targets.iter().enumerate() {
+                let z = xs.row_dot(r, &w[..d]) + w[d];
+                let err = sigmoid(z) - target;
+                for (c, g) in grad[..d].iter_mut().enumerate() {
+                    *g += err * xs.get(r, c);
+                }
+                grad[d] += err;
+            }
+            let scale = self.learning_rate / n as f64;
+            for c in 0..d {
+                w[c] -= scale * (grad[c] + self.l2 * w[c]);
+            }
+            w[d] -= scale * grad[d];
+        }
+        w
+    }
+}
+
+impl FittedLogReg {
+    /// Predicts a class label per row.
+    pub fn predict(&self, x: &Matrix) -> Vec<u32> {
+        let xs = match self.scaler.transform(x) {
+            Ok(xs) => xs,
+            Err(_) => return vec![self.classes[0]; x.n_rows()],
+        };
+        let d = xs.n_cols();
+        (0..xs.n_rows())
+            .map(|r| {
+                if self.classes.len() <= 2 {
+                    let w = &self.weights[0];
+                    let z = xs.row_dot(r, &w[..d]) + w[d];
+                    if sigmoid(z) >= 0.5 {
+                        *self.classes.last().expect("nonempty")
+                    } else {
+                        self.classes[0]
+                    }
+                } else {
+                    let (best, _) = self
+                        .weights
+                        .iter()
+                        .enumerate()
+                        .map(|(i, w)| (i, xs.row_dot(r, &w[..d]) + w[d]))
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                        .expect("at least one head");
+                    self.classes[best]
+                }
+            })
+            .collect()
+    }
+
+    /// Mean accuracy on `(x, y)` (sklearn `model.score`).
+    pub fn score(&self, x: &Matrix, y: &[u32]) -> f64 {
+        crate::metrics::accuracy(y, &self.predict(x))
+    }
+
+    /// Class labels seen during training (sorted).
+    pub fn classes(&self) -> &[u32] {
+        &self.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linearly_separable(n: usize) -> (Matrix, Vec<u32>) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let x = i as f64 / n as f64;
+                vec![x, 1.0 - x]
+            })
+            .collect();
+        let y = (0..n).map(|i| u32::from(i >= n / 2)).collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn learns_linearly_separable_data() {
+        let (x, y) = linearly_separable(40);
+        let model = LogisticRegression::default().fit(&x, &y).unwrap();
+        assert!(model.score(&x, &y) >= 0.95);
+    }
+
+    #[test]
+    fn single_class_trains_constant_predictor() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let y = vec![3, 3];
+        let model = LogisticRegression::default().fit(&x, &y).unwrap();
+        assert_eq!(model.predict(&x), vec![3, 3]);
+        assert_eq!(model.score(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn multiclass_one_vs_rest() {
+        // Three clusters on a line.
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<u32> = (0..30).map(|i| (i / 10) as u32).collect();
+        let x = Matrix::from_rows(&rows);
+        let model = LogisticRegression {
+            epochs: 800,
+            ..Default::default()
+        }
+        .fit(&x, &y)
+        .unwrap();
+        assert_eq!(model.classes(), &[0, 1, 2]);
+        assert!(model.score(&x, &y) >= 0.8);
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let (x, y) = linearly_separable(20);
+        let a = LogisticRegression::default().fit(&x, &y).unwrap();
+        let b = LogisticRegression::default().fit(&x, &y).unwrap();
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (x, y) = linearly_separable(10);
+        assert!(LogisticRegression::default().fit(&x, &y[..5]).is_err());
+        assert!(LogisticRegression {
+            learning_rate: 0.0,
+            ..Default::default()
+        }
+        .fit(&x, &y)
+        .is_err());
+        assert!(LogisticRegression::default()
+            .fit(&Matrix::zeros(0, 2), &[])
+            .is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Evaluation metrics: accuracy, precision/recall/F1, and a fairness
+//! measure (demographic parity difference) — the paper lists fairness as an
+//! alternative user-intent measure (Section 8).
+
+/// Fraction of predictions equal to the truth. Empty inputs score 0.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(truth: &[u32], pred: &[u32]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let hits = truth.iter().zip(pred).filter(|(a, b)| a == b).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Precision for `positive`: TP / (TP + FP). Returns 0 when nothing was
+/// predicted positive.
+pub fn precision(truth: &[u32], pred: &[u32], positive: u32) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    let tp = truth
+        .iter()
+        .zip(pred)
+        .filter(|(&t, &p)| p == positive && t == positive)
+        .count();
+    let pp = pred.iter().filter(|&&p| p == positive).count();
+    if pp == 0 {
+        0.0
+    } else {
+        tp as f64 / pp as f64
+    }
+}
+
+/// Recall for `positive`: TP / (TP + FN). Returns 0 when no positives exist.
+pub fn recall(truth: &[u32], pred: &[u32], positive: u32) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    let tp = truth
+        .iter()
+        .zip(pred)
+        .filter(|(&t, &p)| p == positive && t == positive)
+        .count();
+    let ap = truth.iter().filter(|&&t| t == positive).count();
+    if ap == 0 {
+        0.0
+    } else {
+        tp as f64 / ap as f64
+    }
+}
+
+/// F1 for `positive` — harmonic mean of precision and recall.
+pub fn f1_score(truth: &[u32], pred: &[u32], positive: u32) -> f64 {
+    let p = precision(truth, pred, positive);
+    let r = recall(truth, pred, positive);
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Demographic parity difference: `|P(ŷ=positive | g=a) − P(ŷ=positive | g=b)|`
+/// where `group` assigns each row to group `a` (true) or `b` (false).
+/// Groups with no members contribute rate 0.
+pub fn demographic_parity_diff(pred: &[u32], group: &[bool], positive: u32) -> f64 {
+    assert_eq!(pred.len(), group.len(), "length mismatch");
+    let rate = |want: bool| {
+        let members: Vec<&u32> = pred
+            .iter()
+            .zip(group)
+            .filter(|(_, &g)| g == want)
+            .map(|(p, _)| p)
+            .collect();
+        if members.is_empty() {
+            0.0
+        } else {
+            members.iter().filter(|&&&p| p == positive).count() as f64 / members.len() as f64
+        }
+    };
+    (rate(true) - rate(false)).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 0, 1], &[1, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[2, 2], &[2, 2]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        // truth:  1 1 0 0 ; pred: 1 0 1 0
+        let truth = [1, 1, 0, 0];
+        let pred = [1, 0, 1, 0];
+        assert_eq!(precision(&truth, &pred, 1), 0.5);
+        assert_eq!(recall(&truth, &pred, 1), 0.5);
+        assert_eq!(f1_score(&truth, &pred, 1), 0.5);
+    }
+
+    #[test]
+    fn degenerate_precision_recall() {
+        assert_eq!(precision(&[0, 0], &[0, 0], 1), 0.0);
+        assert_eq!(recall(&[0, 0], &[1, 1], 1), 0.0);
+        assert_eq!(f1_score(&[0, 0], &[0, 0], 1), 0.0);
+    }
+
+    #[test]
+    fn parity_difference() {
+        // Group a: predictions [1, 1] → rate 1.0; group b: [1, 0] → 0.5.
+        let pred = [1, 1, 1, 0];
+        let group = [true, true, false, false];
+        assert!((demographic_parity_diff(&pred, &group, 1) - 0.5).abs() < 1e-12);
+        // One empty group.
+        assert_eq!(demographic_parity_diff(&[1], &[true], 1), 1.0);
+    }
+}

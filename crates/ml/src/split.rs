@@ -1,0 +1,123 @@
+//! Deterministic train/test splitting (sklearn `train_test_split`).
+
+use crate::error::{MlError, Result};
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The result of a train/test split.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training features.
+    pub x_train: Matrix,
+    /// Test features.
+    pub x_test: Matrix,
+    /// Training labels.
+    pub y_train: Vec<u32>,
+    /// Test labels.
+    pub y_test: Vec<u32>,
+}
+
+/// Splits `(x, y)` into train/test partitions.
+///
+/// `test_size` is the test fraction in `(0, 1)`; `seed` mirrors sklearn's
+/// `random_state` — equal seeds give equal splits. At least one row lands
+/// on each side whenever `x` has ≥ 2 rows.
+///
+/// # Errors
+///
+/// Fails on shape mismatch, fewer than 2 rows, or `test_size` out of range.
+pub fn train_test_split(x: &Matrix, y: &[u32], test_size: f64, seed: u64) -> Result<Split> {
+    if x.n_rows() != y.len() {
+        return Err(MlError::ShapeMismatch {
+            rows: x.n_rows(),
+            labels: y.len(),
+        });
+    }
+    if x.n_rows() < 2 {
+        return Err(MlError::EmptyInput(
+            "need at least 2 rows to split".to_string(),
+        ));
+    }
+    if !(0.0 < test_size && test_size < 1.0) {
+        return Err(MlError::BadParameter(format!(
+            "test_size {test_size} outside (0, 1)"
+        )));
+    }
+    let n = x.n_rows();
+    let n_test = ((n as f64 * test_size).round() as usize).clamp(1, n - 1);
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let (test_idx, train_idx) = idx.split_at(n_test);
+    Ok(Split {
+        x_train: x.take_rows(train_idx),
+        x_test: x.take_rows(test_idx),
+        y_train: train_idx.iter().map(|&i| y[i]).collect(),
+        y_test: test_idx.iter().map(|&i| y[i]).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> (Matrix, Vec<u32>) {
+        let x = Matrix::from_rows(&(0..n).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let y = (0..n as u32).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn sizes_are_correct() {
+        let (x, y) = data(10);
+        let s = train_test_split(&x, &y, 0.3, 0).unwrap();
+        assert_eq!(s.x_test.n_rows(), 3);
+        assert_eq!(s.x_train.n_rows(), 7);
+        assert_eq!(s.y_test.len(), 3);
+        assert_eq!(s.y_train.len(), 7);
+    }
+
+    #[test]
+    fn split_is_deterministic_in_seed() {
+        let (x, y) = data(20);
+        let a = train_test_split(&x, &y, 0.25, 42).unwrap();
+        let b = train_test_split(&x, &y, 0.25, 42).unwrap();
+        assert_eq!(a.y_test, b.y_test);
+        let c = train_test_split(&x, &y, 0.25, 43).unwrap();
+        assert_ne!(a.y_test, c.y_test);
+    }
+
+    #[test]
+    fn partition_is_exact() {
+        let (x, y) = data(12);
+        let s = train_test_split(&x, &y, 0.5, 7).unwrap();
+        let mut all: Vec<u32> = s.y_train.iter().chain(&s.y_test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, y);
+        // Features track labels.
+        for (i, &label) in s.y_test.iter().enumerate() {
+            assert_eq!(s.x_test.get(i, 0), label as f64);
+        }
+    }
+
+    #[test]
+    fn extreme_fractions_still_leave_both_sides() {
+        let (x, y) = data(5);
+        let s = train_test_split(&x, &y, 0.01, 0).unwrap();
+        assert_eq!(s.x_test.n_rows(), 1);
+        let s = train_test_split(&x, &y, 0.99, 0).unwrap();
+        assert_eq!(s.x_train.n_rows(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (x, y) = data(5);
+        assert!(train_test_split(&x, &y[..4], 0.2, 0).is_err());
+        assert!(train_test_split(&x, &y, 0.0, 0).is_err());
+        assert!(train_test_split(&x, &y, 1.0, 0).is_err());
+        let (x1, y1) = data(1);
+        assert!(train_test_split(&x1, &y1, 0.5, 0).is_err());
+    }
+}

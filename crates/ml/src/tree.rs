@@ -1,0 +1,269 @@
+//! Depth-limited CART decision tree with Gini impurity (the role of
+//! sklearn's `DecisionTreeClassifier`).
+
+use crate::error::{MlError, Result};
+use crate::matrix::Matrix;
+use std::collections::HashMap;
+
+/// Hyper-parameters for a decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    /// Maximum tree depth (root at depth 0).
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        DecisionTree {
+            max_depth: 5,
+            min_samples_split: 2,
+        }
+    }
+}
+
+/// A fitted decision tree.
+#[derive(Debug, Clone)]
+pub struct FittedTree {
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: u32,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+fn gini(counts: &HashMap<u32, usize>, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    1.0 - counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+fn majority(y: &[u32], idx: &[usize]) -> u32 {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &i in idx {
+        *counts.entry(y[i]).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(c, _)| c)
+        .unwrap_or(0)
+}
+
+impl DecisionTree {
+    /// Trains on features `x` and labels `y`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shape mismatch or empty input.
+    pub fn fit(&self, x: &Matrix, y: &[u32]) -> Result<FittedTree> {
+        if x.n_rows() != y.len() {
+            return Err(MlError::ShapeMismatch {
+                rows: x.n_rows(),
+                labels: y.len(),
+            });
+        }
+        if x.n_rows() == 0 || x.n_cols() == 0 {
+            return Err(MlError::EmptyInput("DecisionTree::fit".to_string()));
+        }
+        let mut nodes = Vec::new();
+        let idx: Vec<usize> = (0..x.n_rows()).collect();
+        self.build(x, y, &idx, 0, &mut nodes);
+        Ok(FittedTree { nodes })
+    }
+
+    /// Builds a subtree over `idx`; returns its node id.
+    fn build(&self, x: &Matrix, y: &[u32], idx: &[usize], depth: usize, nodes: &mut Vec<Node>) -> usize {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for &i in idx {
+            *counts.entry(y[i]).or_insert(0) += 1;
+        }
+        let pure = counts.len() <= 1;
+        if pure || depth >= self.max_depth || idx.len() < self.min_samples_split {
+            let id = nodes.len();
+            nodes.push(Node::Leaf {
+                class: majority(y, idx),
+            });
+            return id;
+        }
+
+        let parent_gini = gini(&counts, idx.len());
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        for f in 0..x.n_cols() {
+            let mut vals: Vec<f64> = idx.iter().map(|&i| x.get(i, f)).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            vals.dedup();
+            // Candidate thresholds: midpoints between consecutive distinct values.
+            for pair in vals.windows(2) {
+                let thr = (pair[0] + pair[1]) / 2.0;
+                let (mut lc, mut rc) = (HashMap::new(), HashMap::new());
+                let (mut ln, mut rn) = (0usize, 0usize);
+                for &i in idx {
+                    if x.get(i, f) <= thr {
+                        *lc.entry(y[i]).or_insert(0) += 1;
+                        ln += 1;
+                    } else {
+                        *rc.entry(y[i]).or_insert(0) += 1;
+                        rn += 1;
+                    }
+                }
+                let weighted = (ln as f64 * gini(&lc, ln) + rn as f64 * gini(&rc, rn))
+                    / idx.len() as f64;
+                let gain = parent_gini - weighted;
+                if best.is_none_or(|(_, _, g)| gain > g + 1e-12) {
+                    best = Some((f, thr, gain));
+                }
+            }
+        }
+
+        // Like sklearn (min_impurity_decrease = 0), accept the best split
+        // even at zero gain — XOR-style targets need a zero-gain first cut.
+        match best {
+            Some((feature, threshold, _gain)) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| x.get(i, feature) <= threshold);
+                let id = nodes.len();
+                nodes.push(Node::Leaf { class: 0 }); // placeholder, patched below
+                let left = self.build(x, y, &left_idx, depth + 1, nodes);
+                let right = self.build(x, y, &right_idx, depth + 1, nodes);
+                nodes[id] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                id
+            }
+            _ => {
+                let id = nodes.len();
+                nodes.push(Node::Leaf {
+                    class: majority(y, idx),
+                });
+                id
+            }
+        }
+    }
+}
+
+impl FittedTree {
+    /// Predicts a class per row.
+    pub fn predict(&self, x: &Matrix) -> Vec<u32> {
+        (0..x.n_rows())
+            .map(|r| {
+                let mut node = 0usize;
+                loop {
+                    match &self.nodes[node] {
+                        Node::Leaf { class } => return *class,
+                        Node::Split {
+                            feature,
+                            threshold,
+                            left,
+                            right,
+                        } => {
+                            node = if x.get(r, *feature) <= *threshold {
+                                *left
+                            } else {
+                                *right
+                            };
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Mean accuracy on `(x, y)`.
+    pub fn score(&self, x: &Matrix, y: &[u32]) -> f64 {
+        crate::metrics::accuracy(y, &self.predict(x))
+    }
+
+    /// Number of nodes (for testing/introspection).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_axis_aligned_data_perfectly() {
+        let x = Matrix::from_rows(&(0..20).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let y: Vec<u32> = (0..20).map(|i| u32::from(i >= 10)).collect();
+        let t = DecisionTree::default().fit(&x, &y).unwrap();
+        assert_eq!(t.score(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn xor_needs_depth_two() {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let y = vec![0, 1, 1, 0];
+        let shallow = DecisionTree {
+            max_depth: 1,
+            ..Default::default()
+        }
+        .fit(&x, &y)
+        .unwrap();
+        assert!(shallow.score(&x, &y) < 1.0);
+        let deep = DecisionTree {
+            max_depth: 3,
+            ..Default::default()
+        }
+        .fit(&x, &y)
+        .unwrap();
+        assert_eq!(deep.score(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn pure_input_is_single_leaf() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let t = DecisionTree::default().fit(&x, &[5, 5]).unwrap();
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.predict(&x), vec![5, 5]);
+    }
+
+    #[test]
+    fn constant_features_yield_majority_leaf() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]]);
+        let t = DecisionTree::default().fit(&x, &[0, 1, 1]).unwrap();
+        assert_eq!(t.predict(&x), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn multiclass_prediction() {
+        let x = Matrix::from_rows(&(0..30).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let y: Vec<u32> = (0..30).map(|i| (i / 10) as u32).collect();
+        let t = DecisionTree::default().fit(&x, &y).unwrap();
+        assert_eq!(t.score(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let x = Matrix::from_rows(&[vec![1.0]]);
+        assert!(DecisionTree::default().fit(&x, &[1, 2]).is_err());
+        assert!(DecisionTree::default().fit(&Matrix::zeros(0, 1), &[]).is_err());
+    }
+}

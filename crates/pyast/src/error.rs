@@ -1,0 +1,116 @@
+//! Error types for lexing and parsing.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An error encountered while tokenizing source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Where in the source the error occurred.
+    pub span: Span,
+}
+
+impl LexError {
+    pub(crate) fn new(message: impl Into<String>, span: Span) -> Self {
+        LexError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// An error encountered while parsing a token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Where in the source the error occurred.
+    pub span: Span,
+}
+
+impl ParseError {
+    pub(crate) fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Any front-end error: lexing or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PyAstError {
+    /// The lexer rejected the input.
+    Lex(LexError),
+    /// The parser rejected the token stream.
+    Parse(ParseError),
+}
+
+impl fmt::Display for PyAstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PyAstError::Lex(e) => e.fmt(f),
+            PyAstError::Parse(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for PyAstError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PyAstError::Lex(e) => Some(e),
+            PyAstError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<LexError> for PyAstError {
+    fn from(e: LexError) -> Self {
+        PyAstError::Lex(e)
+    }
+}
+
+impl From<ParseError> for PyAstError {
+    fn from(e: ParseError) -> Self {
+        PyAstError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = LexError::new("bad char", Span::new(2, 5));
+        assert_eq!(e.to_string(), "lex error at 2:5: bad char");
+        let p = ParseError::new("unexpected token", Span::new(1, 1));
+        assert!(p.to_string().contains("unexpected token"));
+    }
+
+    #[test]
+    fn conversion_into_pyast_error() {
+        let e: PyAstError = LexError::new("x", Span::START).into();
+        assert!(matches!(e, PyAstError::Lex(_)));
+        let e: PyAstError = ParseError::new("y", Span::START).into();
+        assert!(matches!(e, PyAstError::Parse(_)));
+    }
+}

@@ -1,0 +1,474 @@
+//! Hand-rolled lexer for the straight-line Python subset.
+//!
+//! Straight-line scripts have no indentation-based blocks, so the lexer does
+//! not emit INDENT/DEDENT; it emits one [`TokenKind::Newline`] per non-empty
+//! logical line. Physical lines may be continued inside unclosed brackets
+//! (implicit line joining, as in Python) or with a trailing backslash.
+
+use crate::error::LexError;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes `source` into a flat token stream terminated by
+/// [`TokenKind::Eof`]. Comments (`# ...`) and blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated strings, malformed numbers, or
+/// characters outside the supported subset.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Depth of open `(`/`[`/`{` — newlines inside brackets are joined.
+    bracket_depth: u32,
+    tokens: Vec<Token>,
+    _source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            bracket_depth: 0,
+            tokens: Vec::new(),
+            _source: source,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, span: Span) {
+        self.tokens.push(Token::new(kind, span));
+    }
+
+    fn last_significant_is_newline_or_start(&self) -> bool {
+        matches!(
+            self.tokens.last().map(|t| &t.kind),
+            None | Some(TokenKind::Newline)
+        )
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        while let Some(c) = self.peek() {
+            let span = self.span();
+            match c {
+                ' ' | '\t' | '\r' => {
+                    self.bump();
+                }
+                '#' => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '\n' => {
+                    self.bump();
+                    if self.bracket_depth == 0 && !self.last_significant_is_newline_or_start() {
+                        self.push(TokenKind::Newline, span);
+                    }
+                }
+                '\\' => {
+                    // Explicit line continuation: `\` must be followed by a newline.
+                    self.bump();
+                    match self.peek() {
+                        Some('\n') => {
+                            self.bump();
+                        }
+                        Some('\r') => {
+                            self.bump();
+                            if self.peek() == Some('\n') {
+                                self.bump();
+                            }
+                        }
+                        _ => {
+                            return Err(LexError::new(
+                                "stray `\\` (only line continuations are supported)",
+                                span,
+                            ))
+                        }
+                    }
+                }
+                '\'' | '"' => self.lex_string(c, span)?,
+                c if c.is_ascii_digit() => self.lex_number(span)?,
+                '.' if self.peek2().is_some_and(|c| c.is_ascii_digit()) => self.lex_number(span)?,
+                c if c.is_alphabetic() || c == '_' => self.lex_ident(span),
+                _ => self.lex_operator(span)?,
+            }
+        }
+        let span = self.span();
+        if !self.last_significant_is_newline_or_start() {
+            self.push(TokenKind::Newline, span);
+        }
+        self.push(TokenKind::Eof, span);
+        Ok(self.tokens)
+    }
+
+    fn lex_string(&mut self, quote: char, span: Span) -> Result<(), LexError> {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                None | Some('\n') => {
+                    return Err(LexError::new("unterminated string literal", span));
+                }
+                Some('\\') => match self.bump() {
+                    Some('n') => value.push('\n'),
+                    Some('t') => value.push('\t'),
+                    Some('r') => value.push('\r'),
+                    Some('\\') => value.push('\\'),
+                    Some('\'') => value.push('\''),
+                    Some('"') => value.push('"'),
+                    Some(other) => {
+                        // Python keeps unknown escapes verbatim.
+                        value.push('\\');
+                        value.push(other);
+                    }
+                    None => return Err(LexError::new("unterminated string literal", span)),
+                },
+                Some(c) if c == quote => break,
+                Some(c) => value.push(c),
+            }
+        }
+        self.push(TokenKind::Str(value), span);
+        Ok(())
+    }
+
+    fn lex_number(&mut self, span: Span) -> Result<(), LexError> {
+        let mut text = String::new();
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                if c != '_' {
+                    text.push(c);
+                }
+                self.bump();
+            } else if c == '.' && !is_float && self.peek2() != Some('.') {
+                is_float = true;
+                text.push(c);
+                self.bump();
+            } else if (c == 'e' || c == 'E')
+                && self
+                    .peek2()
+                    .is_some_and(|n| n.is_ascii_digit() || n == '+' || n == '-')
+            {
+                is_float = true;
+                text.push(c);
+                self.bump();
+                if let Some(sign @ ('+' | '-')) = self.peek() {
+                    text.push(sign);
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+        let kind = if is_float {
+            TokenKind::Float(
+                text.parse::<f64>()
+                    .map_err(|_| LexError::new(format!("malformed float `{text}`"), span))?,
+            )
+        } else {
+            TokenKind::Int(
+                text.parse::<i64>()
+                    .map_err(|_| LexError::new(format!("malformed integer `{text}`"), span))?,
+            )
+        };
+        self.push(kind, span);
+        Ok(())
+    }
+
+    fn lex_ident(&mut self, span: Span) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let kind = match text.as_str() {
+            "import" => TokenKind::Import,
+            "from" => TokenKind::From,
+            "as" => TokenKind::As,
+            "True" => TokenKind::True,
+            "False" => TokenKind::False,
+            "None" => TokenKind::NoneLit,
+            "not" => TokenKind::Not,
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "in" => TokenKind::In,
+            _ => TokenKind::Ident(text),
+        };
+        self.push(kind, span);
+    }
+
+    fn lex_operator(&mut self, span: Span) -> Result<(), LexError> {
+        let c = self.bump().expect("caller checked peek");
+        let kind = match c {
+            '(' => {
+                self.bracket_depth += 1;
+                TokenKind::LParen
+            }
+            ')' => {
+                self.bracket_depth = self.bracket_depth.saturating_sub(1);
+                TokenKind::RParen
+            }
+            '[' => {
+                self.bracket_depth += 1;
+                TokenKind::LBracket
+            }
+            ']' => {
+                self.bracket_depth = self.bracket_depth.saturating_sub(1);
+                TokenKind::RBracket
+            }
+            '{' => {
+                self.bracket_depth += 1;
+                TokenKind::LBrace
+            }
+            '}' => {
+                self.bracket_depth = self.bracket_depth.saturating_sub(1);
+                TokenKind::RBrace
+            }
+            ',' => TokenKind::Comma,
+            ':' => TokenKind::Colon,
+            '.' => TokenKind::Dot,
+            '+' => TokenKind::Plus,
+            '-' => TokenKind::Minus,
+            '%' => TokenKind::Percent,
+            '&' => TokenKind::Amp,
+            '|' => TokenKind::Pipe,
+            '^' => TokenKind::Caret,
+            '~' => TokenKind::Tilde,
+            '*' => {
+                if self.peek() == Some('*') {
+                    self.bump();
+                    TokenKind::DoubleStar
+                } else {
+                    TokenKind::Star
+                }
+            }
+            '/' => {
+                if self.peek() == Some('/') {
+                    self.bump();
+                    TokenKind::DoubleSlash
+                } else {
+                    TokenKind::Slash
+                }
+            }
+            '<' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            '=' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            '!' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    return Err(LexError::new("unexpected `!` (did you mean `!=`?)", span));
+                }
+            }
+            other => {
+                return Err(LexError::new(
+                    format!("unsupported character `{other}`"),
+                    span,
+                ))
+            }
+        };
+        self.push(kind, span);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_assignment() {
+        assert_eq!(
+            kinds("x = 1"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(1),
+                TokenKind::Newline,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_import_line() {
+        assert_eq!(
+            kinds("import pandas as pd\n"),
+            vec![
+                TokenKind::Import,
+                TokenKind::Ident("pandas".into()),
+                TokenKind::As,
+                TokenKind::Ident("pd".into()),
+                TokenKind::Newline,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let toks = kinds("# header\n\nx = 1  # trailing\n\n");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(1),
+                TokenKind::Newline,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_support_both_quotes_and_escapes() {
+        assert_eq!(
+            kinds(r#"s = 'a"b' + "c\nd""#)[2],
+            TokenKind::Str("a\"b".into())
+        );
+        assert_eq!(kinds(r#"s = "c\nd""#)[2], TokenKind::Str("c\nd".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = lex("s = 'oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn numbers_int_float_exponent_underscore() {
+        assert_eq!(kinds("x = 1_000")[2], TokenKind::Int(1000));
+        assert_eq!(kinds("x = 3.5")[2], TokenKind::Float(3.5));
+        assert_eq!(kinds("x = 1e3")[2], TokenKind::Float(1000.0));
+        assert_eq!(kinds("x = 2.5e-1")[2], TokenKind::Float(0.25));
+        assert_eq!(kinds("x = .5")[2], TokenKind::Float(0.5));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(kinds("a <= b")[1], TokenKind::Le);
+        assert_eq!(kinds("a >= b")[1], TokenKind::Ge);
+        assert_eq!(kinds("a == b")[1], TokenKind::EqEq);
+        assert_eq!(kinds("a != b")[1], TokenKind::NotEq);
+        assert_eq!(kinds("a ** b")[1], TokenKind::DoubleStar);
+        assert_eq!(kinds("a // b")[1], TokenKind::DoubleSlash);
+    }
+
+    #[test]
+    fn newlines_inside_brackets_are_joined() {
+        let toks = kinds("f(a,\n  b)\ng = 1");
+        // No Newline between `a,` and `b)`.
+        let newline_count = toks
+            .iter()
+            .filter(|k| matches!(k, TokenKind::Newline))
+            .count();
+        assert_eq!(newline_count, 2);
+    }
+
+    #[test]
+    fn backslash_continuation_joins_lines() {
+        let toks = kinds("x = 1 + \\\n 2");
+        let newline_count = toks
+            .iter()
+            .filter(|k| matches!(k, TokenKind::Newline))
+            .count();
+        assert_eq!(newline_count, 1);
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = lex("a = 1\nb = 2\n").unwrap();
+        let b = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("b".into()))
+            .unwrap();
+        assert_eq!(b.span.line, 2);
+        assert_eq!(b.span.col, 1);
+    }
+
+    #[test]
+    fn rejects_unsupported_characters() {
+        assert!(lex("x = $1").is_err());
+        assert!(lex("x = a ! b").is_err());
+    }
+
+    #[test]
+    fn keywords_are_recognized() {
+        assert_eq!(kinds("x = True")[2], TokenKind::True);
+        assert_eq!(kinds("x = None")[2], TokenKind::NoneLit);
+        assert_eq!(kinds("x = not y")[2], TokenKind::Not);
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("\n\n# only comments\n"), vec![TokenKind::Eof]);
+    }
+}

@@ -1,0 +1,48 @@
+//! # lucid-pyast
+//!
+//! A from-scratch lexer, parser, AST, and source printer for the
+//! *straight-line Python subset* used by data-preparation scripts
+//! (imports, assignments, pandas-style expression chains).
+//!
+//! This is the substrate the LucidScript standardizer (EDBT 2025) operates
+//! on: scripts are parsed into [`Module`]s, rewritten at the AST level, and
+//! re-emitted as executable source with [`print_module`].
+//!
+//! The subset deliberately covers what real Kaggle-style preparation scripts
+//! use on their straight-line paths:
+//!
+//! * `import pandas as pd`, `from sklearn.linear_model import LogisticRegression`
+//! * assignments, tuple unpacking, subscript assignment (`df['c'] = ...`)
+//! * calls with positional and keyword arguments, attribute chains,
+//!   subscripts, slices
+//! * arithmetic, comparisons, boolean-mask operators (`&`, `|`, `~`)
+//! * literals: strings, ints, floats, booleans, `None`, lists, tuples, dicts
+//!
+//! # Example
+//!
+//! ```
+//! use lucid_pyast::{parse_module, print_module};
+//!
+//! let src = "import pandas as pd\ndf = pd.read_csv('diabetes.csv')\ndf = df.fillna(df.mean())\n";
+//! let module = parse_module(src).unwrap();
+//! assert_eq!(module.stmts.len(), 3);
+//! // Round-trips to canonical source.
+//! let printed = print_module(&module);
+//! assert_eq!(parse_module(&printed).unwrap(), module);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod span;
+pub mod token;
+
+pub use ast::{Arg, BinOpKind, CmpOpKind, Expr, Module, Stmt, UnaryOpKind};
+pub use error::{LexError, ParseError, PyAstError};
+pub use lexer::lex;
+pub use parser::{parse_expr, parse_module};
+pub use printer::{print_expr, print_module, print_stmt};
+pub use span::Span;
+pub use token::{Token, TokenKind};

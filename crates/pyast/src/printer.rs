@@ -1,0 +1,365 @@
+//! Canonical source printer.
+//!
+//! The printer is the inverse of the parser: `parse(print(m)) == m` for every
+//! module the parser accepts (verified by property tests). Output is
+//! normalized — one statement per line, single spaces around binary
+//! operators, no redundant parentheses beyond what precedence requires.
+
+use crate::ast::{Arg, Expr, Module, Stmt, UnaryOpKind};
+use std::fmt::Write;
+
+/// Prints a whole module, one statement per line, trailing newline included.
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    for stmt in &module.stmts {
+        out.push_str(&print_stmt(stmt));
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints a single statement (no trailing newline).
+pub fn print_stmt(stmt: &Stmt) -> String {
+    match stmt {
+        Stmt::Import { module, alias, .. } => match alias {
+            Some(a) => format!("import {module} as {a}"),
+            None => format!("import {module}"),
+        },
+        Stmt::FromImport { module, names, .. } => {
+            let names: Vec<String> = names
+                .iter()
+                .map(|(n, a)| match a {
+                    Some(a) => format!("{n} as {a}"),
+                    None => n.clone(),
+                })
+                .collect();
+            format!("from {module} import {}", names.join(", "))
+        }
+        Stmt::Assign { target, value, .. } => {
+            format!("{} = {}", print_prec(target, 0), print_prec(value, 0))
+        }
+        Stmt::ExprStmt { value, .. } => print_prec(value, 0),
+    }
+}
+
+/// Prints an expression with minimal parentheses.
+pub fn print_expr(expr: &Expr) -> String {
+    print_prec(expr, 0)
+}
+
+/// The precedence an expression exposes to its context. Mirrors
+/// [`BinOpKind::precedence`]; atoms and postfix forms are maximal.
+fn expr_prec(expr: &Expr) -> u8 {
+    match expr {
+        Expr::Tuple(items) if !items.is_empty() => 0,
+        Expr::BinOp { op, .. } => op.precedence(),
+        Expr::Compare { .. } => 4,
+        Expr::UnaryOp { op, .. } => match op {
+            UnaryOpKind::Not => 3,
+            UnaryOpKind::Neg | UnaryOpKind::Invert => 11,
+        },
+        // A negative literal prints with a leading `-`, so as a postfix base
+        // (`-5(x)`, `-5[0]`) it would re-parse as a unary op — give it the
+        // precedence of unary minus so those contexts parenthesize it.
+        Expr::Int(v) if *v < 0 => 11,
+        Expr::Float(f) if f.0.is_sign_negative() => 11,
+        _ => 14,
+    }
+}
+
+/// Prints `expr`, parenthesizing it if its precedence is below `min_prec`.
+fn print_prec(expr: &Expr, min_prec: u8) -> String {
+    let prec = expr_prec(expr);
+    let body = print_body(expr);
+    if prec < min_prec {
+        format!("({body})")
+    } else {
+        body
+    }
+}
+
+fn print_body(expr: &Expr) -> String {
+    match expr {
+        Expr::Name(n) => n.clone(),
+        Expr::Str(s) => print_str(s),
+        Expr::Int(v) => v.to_string(),
+        Expr::Float(f) => f.to_string(),
+        Expr::Bool(true) => "True".to_string(),
+        Expr::Bool(false) => "False".to_string(),
+        Expr::NoneLit => "None".to_string(),
+        Expr::Attribute { value, attr } => {
+            // `1.df` / `1.0.df` are syntax errors in Python — numeric bases
+            // always need parentheses before a dot.
+            let base = match &**value {
+                Expr::Int(_) | Expr::Float(_) => format!("({})", print_body(value)),
+                _ => print_prec(value, 14),
+            };
+            format!("{base}.{attr}")
+        }
+        Expr::Call { func, args } => {
+            let args: Vec<String> = args.iter().map(print_arg).collect();
+            format!("{}({})", print_prec(func, 14), args.join(", "))
+        }
+        Expr::Subscript { value, index } => {
+            // Slices and bare tuples are legal only inside brackets — print
+            // them unparenthesized there.
+            let idx = match &**index {
+                Expr::Slice { .. } => print_body(index),
+                _ => print_prec(index, 1),
+            };
+            format!("{}[{}]", print_prec(value, 14), idx)
+        }
+        Expr::Slice { lower, upper, step } => {
+            let mut out = String::new();
+            if let Some(l) = lower {
+                out.push_str(&print_prec(l, 1));
+            }
+            out.push(':');
+            if let Some(u) = upper {
+                out.push_str(&print_prec(u, 1));
+            }
+            if let Some(s) = step {
+                out.push(':');
+                out.push_str(&print_prec(s, 1));
+            }
+            out
+        }
+        Expr::BinOp { op, left, right } => {
+            let prec = op.precedence();
+            let (lp, rp) = if op.right_assoc() {
+                (prec + 1, prec)
+            } else {
+                (prec, prec + 1)
+            };
+            format!(
+                "{} {} {}",
+                print_prec(left, lp),
+                op.as_str(),
+                print_prec(right, rp)
+            )
+        }
+        Expr::Compare { op, left, right } => {
+            // Non-associative: both operands must bind tighter than 4.
+            format!(
+                "{} {} {}",
+                print_prec(left, 5),
+                op.as_str(),
+                print_prec(right, 5)
+            )
+        }
+        Expr::UnaryOp { op, operand } => {
+            let min = match op {
+                UnaryOpKind::Not => 4,
+                UnaryOpKind::Neg | UnaryOpKind::Invert => 11,
+            };
+            // A negative literal after unary minus would lex as `--1`;
+            // the parser folds those, but guard against synthetic ASTs.
+            let body = print_prec(operand, min);
+            if *op == UnaryOpKind::Neg && body.starts_with('-') {
+                format!("-({body})")
+            } else {
+                format!("{}{}", op.as_str(), body)
+            }
+        }
+        Expr::List(items) => {
+            let items: Vec<String> = items.iter().map(|e| print_prec(e, 1)).collect();
+            format!("[{}]", items.join(", "))
+        }
+        Expr::Tuple(items) => {
+            if items.is_empty() {
+                "()".to_string()
+            } else if items.len() == 1 {
+                format!("({},)", print_prec(&items[0], 1))
+            } else {
+                let items: Vec<String> = items.iter().map(|e| print_prec(e, 1)).collect();
+                items.join(", ")
+            }
+        }
+        Expr::Dict(pairs) => {
+            let pairs: Vec<String> = pairs
+                .iter()
+                .map(|(k, v)| format!("{}: {}", print_prec(k, 1), print_prec(v, 1)))
+                .collect();
+            format!("{{{}}}", pairs.join(", "))
+        }
+    }
+}
+
+fn print_arg(arg: &Arg) -> String {
+    match &arg.name {
+        Some(name) => format!("{name}={}", print_prec(&arg.value, 1)),
+        None => print_prec(&arg.value, 1),
+    }
+}
+
+/// Prints a string literal, preferring single quotes (pandas style).
+fn print_str(s: &str) -> String {
+    let quote = if s.contains('\'') && !s.contains('"') {
+        '"'
+    } else {
+        '\''
+    };
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push(quote);
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if c == quote => {
+                let _ = write!(out, "\\{c}");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push(quote);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_module};
+
+    fn roundtrip(src: &str) -> String {
+        let m = parse_module(src).unwrap();
+        let printed = print_module(&m);
+        let reparsed = parse_module(&printed).unwrap();
+        assert!(
+            m.same_code(&reparsed),
+            "round-trip changed code:\n{src}\n-->\n{printed}"
+        );
+        printed
+    }
+
+    #[test]
+    fn prints_canonical_pipeline() {
+        let out = roundtrip(
+            "import pandas as pd\ndf = pd.read_csv('diabetes.csv')\ndf = df.fillna(df.mean())\ndf = df[df['Age'].between(18, 25)]\ndf = pd.get_dummies(df)\n",
+        );
+        assert_eq!(
+            out,
+            "import pandas as pd\ndf = pd.read_csv('diabetes.csv')\ndf = df.fillna(df.mean())\ndf = df[df['Age'].between(18, 25)]\ndf = pd.get_dummies(df)\n"
+        );
+    }
+
+    #[test]
+    fn mask_conjunction_keeps_required_parens() {
+        let out = roundtrip("df = df[(df['Age'] > 18) & (df['Age'] < 25)]\n");
+        assert_eq!(out, "df = df[(df['Age'] > 18) & (df['Age'] < 25)]\n");
+    }
+
+    #[test]
+    fn drops_redundant_parens() {
+        let out = roundtrip("x = (1 + 2) + (3)\n");
+        assert_eq!(out, "x = 1 + 2 + 3\n");
+    }
+
+    #[test]
+    fn keeps_parens_needed_for_precedence() {
+        let out = roundtrip("x = (1 + 2) * 3\n");
+        assert_eq!(out, "x = (1 + 2) * 3\n");
+    }
+
+    #[test]
+    fn float_literal_keeps_point() {
+        let out = roundtrip("x = 80.0\n");
+        assert_eq!(out, "x = 80.0\n");
+    }
+
+    #[test]
+    fn tuple_assignment_prints_bare() {
+        let out = roundtrip("X, y = split(df)\n");
+        assert_eq!(out, "X, y = split(df)\n");
+    }
+
+    #[test]
+    fn nested_tuple_in_call_gets_parens() {
+        let e = Expr::call(
+            Expr::name("f"),
+            vec![Expr::Tuple(vec![Expr::Int(1), Expr::Int(2)])],
+        );
+        assert_eq!(print_expr(&e), "f((1, 2))");
+        assert_eq!(parse_expr("f((1, 2))").unwrap(), e);
+    }
+
+    #[test]
+    fn single_element_tuple() {
+        let e = Expr::Tuple(vec![Expr::Int(1)]);
+        let printed = print_expr(&e);
+        assert_eq!(printed, "(1,)");
+        assert_eq!(parse_expr(&printed).unwrap(), e);
+    }
+
+    #[test]
+    fn slice_prints_compactly() {
+        assert_eq!(roundtrip("a = b[0:100]\n"), "a = b[0:100]\n");
+        assert_eq!(roundtrip("a = b[:5]\n"), "a = b[:5]\n");
+        assert_eq!(roundtrip("a = b[::2]\n"), "a = b[::2]\n");
+        assert_eq!(roundtrip("a = b[:]\n"), "a = b[:]\n");
+    }
+
+    #[test]
+    fn string_quote_selection() {
+        assert_eq!(print_str("abc"), "'abc'");
+        assert_eq!(print_str("it's"), "\"it's\"");
+        assert_eq!(print_str("a'b\"c"), "'a\\'b\"c'");
+    }
+
+    #[test]
+    fn kwargs_print_without_spaces() {
+        let out = roundtrip("df = df.drop('Survived', axis=1)\n");
+        assert_eq!(out, "df = df.drop('Survived', axis=1)\n");
+    }
+
+    #[test]
+    fn unary_ops_roundtrip() {
+        assert_eq!(roundtrip("m = ~mask\n"), "m = ~mask\n");
+        assert_eq!(roundtrip("b = not flag\n"), "b = not flag\n");
+        assert_eq!(roundtrip("x = -y\n"), "x = -y\n");
+        // Synthetic double negation still parses back.
+        let e = Expr::UnaryOp {
+            op: UnaryOpKind::Neg,
+            operand: Box::new(Expr::Int(-1)),
+        };
+        let printed = print_expr(&e);
+        assert!(parse_expr(&printed).is_ok());
+    }
+
+    #[test]
+    fn pow_associativity_roundtrips() {
+        assert_eq!(roundtrip("x = 2 ** 3 ** 2\n"), "x = 2 ** 3 ** 2\n");
+        assert_eq!(roundtrip("x = (2 ** 3) ** 2\n"), "x = (2 ** 3) ** 2\n");
+    }
+
+    #[test]
+    fn comparison_operand_parens() {
+        // (a < b) == c needs parens on the left.
+        let e = Expr::Compare {
+            op: crate::ast::CmpOpKind::Eq,
+            left: Box::new(Expr::Compare {
+                op: crate::ast::CmpOpKind::Lt,
+                left: Box::new(Expr::name("a")),
+                right: Box::new(Expr::name("b")),
+            }),
+            right: Box::new(Expr::name("c")),
+        };
+        assert_eq!(print_expr(&e), "(a < b) == c");
+        assert_eq!(parse_expr("(a < b) == c").unwrap(), e);
+    }
+
+    #[test]
+    fn dict_roundtrips() {
+        assert_eq!(
+            roundtrip("df = df.replace({'male': 0, 'female': 1})\n"),
+            "df = df.replace({'male': 0, 'female': 1})\n"
+        );
+    }
+
+    #[test]
+    fn multiline_input_normalizes_to_one_line() {
+        let out = roundtrip("df = df.drop(\n    ['a', 'b'],\n    axis=1,\n)\n");
+        assert_eq!(out, "df = df.drop(['a', 'b'], axis=1)\n");
+    }
+}

@@ -1,0 +1,199 @@
+//! Token definitions produced by the lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or non-reserved name, e.g. `df`, `fillna`.
+    Ident(String),
+    /// A string literal with quotes already stripped and escapes resolved.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// Keyword `import`.
+    Import,
+    /// Keyword `from`.
+    From,
+    /// Keyword `as`.
+    As,
+    /// Keyword `True`.
+    True,
+    /// Keyword `False`.
+    False,
+    /// Keyword `None`.
+    NoneLit,
+    /// Keyword `not`.
+    Not,
+    /// Keyword `and`.
+    And,
+    /// Keyword `or`.
+    Or,
+    /// Keyword `in`.
+    In,
+    /// `=`
+    Assign,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `**`
+    DoubleStar,
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// End of a logical line.
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable description used by parser diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Str(_) => "string literal".to_string(),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Float(v) => format!("float `{v}`"),
+            TokenKind::Newline => "end of line".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.lexeme()),
+        }
+    }
+
+    /// The canonical source text of a fixed token, or a placeholder for
+    /// value-carrying tokens.
+    pub fn lexeme(&self) -> &'static str {
+        match self {
+            TokenKind::Import => "import",
+            TokenKind::From => "from",
+            TokenKind::As => "as",
+            TokenKind::True => "True",
+            TokenKind::False => "False",
+            TokenKind::NoneLit => "None",
+            TokenKind::Not => "not",
+            TokenKind::And => "and",
+            TokenKind::Or => "or",
+            TokenKind::In => "in",
+            TokenKind::Assign => "=",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::Comma => ",",
+            TokenKind::Colon => ":",
+            TokenKind::Dot => ".",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::DoubleStar => "**",
+            TokenKind::Slash => "/",
+            TokenKind::DoubleSlash => "//",
+            TokenKind::Percent => "%",
+            TokenKind::Amp => "&",
+            TokenKind::Pipe => "|",
+            TokenKind::Caret => "^",
+            TokenKind::Tilde => "~",
+            TokenKind::Lt => "<",
+            TokenKind::Gt => ">",
+            TokenKind::Le => "<=",
+            TokenKind::Ge => ">=",
+            TokenKind::EqEq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::Newline => "\\n",
+            TokenKind::Eof => "<eof>",
+            TokenKind::Ident(_) | TokenKind::Str(_) | TokenKind::Int(_) | TokenKind::Float(_) => {
+                "<value>"
+            }
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A token together with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it starts in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a new token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_names_value_tokens() {
+        assert_eq!(TokenKind::Ident("df".into()).describe(), "identifier `df`");
+        assert_eq!(TokenKind::Int(3).describe(), "integer `3`");
+        assert_eq!(TokenKind::Le.describe(), "`<=`");
+    }
+
+    #[test]
+    fn lexeme_of_fixed_tokens() {
+        assert_eq!(TokenKind::DoubleSlash.lexeme(), "//");
+        assert_eq!(TokenKind::Import.lexeme(), "import");
+    }
+}

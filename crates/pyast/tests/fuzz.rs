@@ -1,0 +1,42 @@
+//! Robustness: the front end must never panic, whatever bytes arrive —
+//! it either parses or returns a structured error. The standardizer runs
+//! the parser on every candidate it synthesizes, so totality matters.
+
+use lucid_pyast::{lex, parse_expr, parse_module, print_module};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_never_panics(input in ".*") {
+        let _ = lex(&input);
+    }
+
+    #[test]
+    fn parser_never_panics(input in ".*") {
+        let _ = parse_module(&input);
+        let _ = parse_expr(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_python_looking_soup(
+        input in "[a-z0-9_ =().,'\\[\\]{}<>!&|+*/:\n-]{0,200}"
+    ) {
+        if let Ok(module) = parse_module(&input) {
+            // Anything accepted must round-trip through the printer.
+            let printed = print_module(&module);
+            let reparsed = parse_module(&printed)
+                .unwrap_or_else(|e| panic!("printed output failed to parse: {e}\n{printed}"));
+            prop_assert!(module.same_code(&reparsed));
+        }
+    }
+
+    #[test]
+    fn error_spans_are_in_range(input in "[a-z =()'\n]{0,80}") {
+        if let Err(e) = parse_module(&input) {
+            let msg = e.to_string();
+            prop_assert!(!msg.is_empty());
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Property test: every AST the generator produces round-trips through
+//! print → parse unchanged (modulo spans). This is the invariant the
+//! standardizer relies on when it edits ASTs and re-emits source.
+
+use lucid_pyast::ast::{Arg, BinOpKind, CmpOpKind, Expr, FloatLit, Module, Stmt, UnaryOpKind};
+use lucid_pyast::span::Span;
+use lucid_pyast::{parse_module, print_module};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "df", "train", "pd", "np", "X", "y", "model", "col", "mask", "tmp", "data", "out",
+    ])
+    .prop_map(|s| s.to_string())
+}
+
+fn string_lit() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "Age",
+        "Survived",
+        "SkinThickness",
+        "train.csv",
+        "it's",
+        "a\"b",
+        "x\ny",
+        "",
+        "tab\there",
+    ])
+    .prop_map(|s| s.to_string())
+}
+
+fn bin_op() -> impl Strategy<Value = BinOpKind> {
+    prop::sample::select(vec![
+        BinOpKind::Add,
+        BinOpKind::Sub,
+        BinOpKind::Mul,
+        BinOpKind::Div,
+        BinOpKind::FloorDiv,
+        BinOpKind::Mod,
+        BinOpKind::Pow,
+        BinOpKind::BitAnd,
+        BinOpKind::BitOr,
+        BinOpKind::BitXor,
+        BinOpKind::And,
+        BinOpKind::Or,
+    ])
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOpKind> {
+    prop::sample::select(vec![
+        CmpOpKind::Lt,
+        CmpOpKind::Gt,
+        CmpOpKind::Le,
+        CmpOpKind::Ge,
+        CmpOpKind::Eq,
+        CmpOpKind::Ne,
+        CmpOpKind::In,
+        CmpOpKind::NotIn,
+    ])
+}
+
+fn unary_op() -> impl Strategy<Value = UnaryOpKind> {
+    prop::sample::select(vec![
+        UnaryOpKind::Neg,
+        UnaryOpKind::Not,
+        UnaryOpKind::Invert,
+    ])
+}
+
+/// Floats restricted to values whose `Display` output re-parses exactly.
+fn float_lit() -> impl Strategy<Value = f64> {
+    prop::sample::select(vec![0.0, 1.5, 80.0, 0.25, 3.25, 100.5, 2.0])
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        ident().prop_map(Expr::Name),
+        string_lit().prop_map(Expr::Str),
+        (-1000i64..1000).prop_map(Expr::Int),
+        float_lit().prop_map(|f| Expr::Float(FloatLit(f))),
+        Just(Expr::Bool(true)),
+        Just(Expr::Bool(false)),
+        Just(Expr::NoneLit),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), ident()).prop_map(|(v, a)| Expr::attr(v, a)),
+            (inner.clone(), prop::collection::vec(inner.clone(), 0..3)).prop_map(
+                |(f, args)| Expr::Call {
+                    func: Box::new(f),
+                    args: args.into_iter().map(Arg::pos).collect(),
+                }
+            ),
+            (inner.clone(), ident(), prop::collection::vec(inner.clone(), 0..2)).prop_map(
+                |(f, kw, vals)| {
+                    let mut args: Vec<Arg> = vals.into_iter().map(Arg::pos).collect();
+                    // Keyword args must come last to stay valid Python.
+                    args.push(Arg::kw(kw, Expr::Bool(true)));
+                    Expr::Call {
+                        func: Box::new(f),
+                        args,
+                    }
+                }
+            ),
+            (inner.clone(), inner.clone()).prop_map(|(v, i)| Expr::subscript(v, i)),
+            (bin_op(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::BinOp {
+                op,
+                left: Box::new(l),
+                right: Box::new(r),
+            }),
+            (cmp_op(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::Compare {
+                op,
+                left: Box::new(l),
+                right: Box::new(r),
+            }),
+            // The parser folds `-<literal>` into the literal itself, so
+            // canonical ASTs never contain Neg over a numeric literal —
+            // mirror that fold here.
+            (unary_op(), inner.clone()).prop_map(|(op, e)| match (op, e) {
+                (UnaryOpKind::Neg, Expr::Int(v)) => Expr::Int(-v),
+                (UnaryOpKind::Neg, Expr::Float(f)) => Expr::Float(FloatLit(-f.0)),
+                (op, e) => Expr::UnaryOp {
+                    op,
+                    operand: Box::new(e),
+                },
+            }),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Expr::List),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Expr::Tuple),
+            prop::collection::vec((string_lit().prop_map(Expr::Str), inner.clone()), 0..3)
+                .prop_map(Expr::Dict),
+        ]
+    })
+}
+
+fn target() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        ident().prop_map(Expr::Name),
+        (ident(), string_lit()).prop_map(|(v, s)| Expr::subscript(Expr::name(v), Expr::str(s))),
+        prop::collection::vec(ident().prop_map(Expr::Name), 2..4).prop_map(Expr::Tuple),
+    ]
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (ident(), prop::option::of(ident())).prop_map(|(m, a)| Stmt::Import {
+            module: m,
+            alias: a,
+            span: Span::synthetic(),
+        }),
+        (target(), expr()).prop_map(|(t, v)| Stmt::Assign {
+            target: t,
+            value: v,
+            span: Span::synthetic(),
+        }),
+        expr().prop_map(|v| Stmt::ExprStmt {
+            value: v,
+            span: Span::synthetic(),
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(stmts in prop::collection::vec(stmt(), 0..8)) {
+        let module = Module::new(stmts);
+        let printed = print_module(&module);
+        let reparsed = parse_module(&printed)
+            .unwrap_or_else(|e| panic!("printed module failed to parse: {e}\n{printed}"));
+        prop_assert!(module.same_code(&reparsed), "mismatch:\n{printed}");
+    }
+
+    #[test]
+    fn printing_is_idempotent(stmts in prop::collection::vec(stmt(), 0..6)) {
+        let module = Module::new(stmts);
+        let once = print_module(&module);
+        let twice = print_module(&parse_module(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+}

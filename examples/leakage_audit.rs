@@ -1,0 +1,65 @@
+//! Target-leakage audit (the paper's §6.6 case study as a tool): inject
+//! each leakage family into a clean Medical script, run the standardizer,
+//! and show that the out-of-the-ordinary leakage steps are flagged for
+//! removal.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example leakage_audit
+//! ```
+
+use lucidscript::core::config::SearchConfig;
+use lucidscript::core::intent::IntentMeasure;
+use lucidscript::core::leakage::{inject_leakage, leakage_removed, LeakageKind};
+use lucidscript::core::standardizer::Standardizer;
+use lucidscript::corpus::Profile;
+use lucidscript::pyast::{parse_module, print_module};
+
+fn main() {
+    let profile = Profile::medical();
+    let data = profile.generate_data(7, 0.5);
+    let corpus: Vec<String> = profile
+        .generate_corpus(7)
+        .into_iter()
+        .map(|s| s.source)
+        .collect();
+
+    let clean = "\
+import pandas as pd
+df = pd.read_csv('diabetes.csv')
+df = df.fillna(df.mean())
+df = df[df['SkinThickness'] < 80]
+df = pd.get_dummies(df)
+y = df['Outcome']
+X = df.drop('Outcome', axis=1)
+";
+    let script = parse_module(clean).expect("parses");
+
+    let config = SearchConfig {
+        intent: IntentMeasure::jaccard(0.8),
+        sample_rows: Some(300),
+        ..SearchConfig::default()
+    };
+    let standardizer = Standardizer::build(&corpus, profile.file, data, config)
+        .expect("valid corpus");
+
+    for kind in LeakageKind::ALL {
+        let injected = inject_leakage(&script, profile.target, kind).expect("injects");
+        println!("== injected {kind:?} ==");
+        println!("{}", print_module(&injected.module));
+        match standardizer.standardize(&injected.module) {
+            Ok(report) => {
+                let removed = leakage_removed(&report, &injected.injected_keys);
+                println!(
+                    "standardized (RE {:.2} → {:.2}), leakage removed: {removed}",
+                    report.re_before, report.re_after
+                );
+                if !removed {
+                    println!("surviving lines:\n{}", report.output_source);
+                }
+            }
+            Err(e) => println!("injected script failed to execute: {e}"),
+        }
+        println!();
+    }
+}

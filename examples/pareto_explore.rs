@@ -1,0 +1,76 @@
+//! Intent-budget exploration (§8 extension): sweep the τ_J threshold,
+//! print the full trade-off table and its Pareto frontier, and explain
+//! each frontier script's changes.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example pareto_explore
+//! ```
+
+use lucidscript::core::config::SearchConfig;
+use lucidscript::core::intent::IntentMeasure;
+use lucidscript::core::pareto::explore_jaccard_frontier;
+use lucidscript::core::standardizer::Standardizer;
+use lucidscript::corpus::Profile;
+
+fn main() {
+    let profile = Profile::medical();
+    let data = profile.generate_data(21, 0.3);
+    let corpus: Vec<String> = profile
+        .generate_corpus(21)
+        .into_iter()
+        .map(|s| s.source)
+        .collect();
+    let config = SearchConfig {
+        seq_len: 8,
+        intent: IntentMeasure::jaccard(0.9),
+        sample_rows: Some(300),
+        ..SearchConfig::default()
+    };
+    let standardizer =
+        Standardizer::build(&corpus, profile.file, data, config).expect("valid corpus");
+
+    let user_script = "\
+import pandas as pd
+df = pd.read_csv('diabetes.csv')
+df = df.fillna(df.median())
+df = df[df['Age'] < 45]
+y = df['Outcome']
+X = df.drop('Outcome', axis=1)
+";
+    let taus = [1.0, 0.95, 0.9, 0.8, 0.7, 0.5];
+    let (runs, frontier) =
+        explore_jaccard_frontier(&standardizer, user_script, &taus).expect("input runs");
+
+    println!("τ_J sweep (all runs):");
+    println!("{:>6} {:>8} {:>12}", "τ_J", "Δ_J", "improvement");
+    for p in &runs {
+        println!("{:>6.2} {:>8.3} {:>11.1}%", p.tau, p.intent, p.improvement_pct);
+    }
+
+    println!("\nPareto frontier (no point dominated on intent AND improvement):");
+    for p in &frontier {
+        println!(
+            "— τ_J = {:.2}: Δ_J = {:.3}, improvement = {:.1}%",
+            p.tau, p.intent, p.improvement_pct
+        );
+    }
+
+    // Explain the most aggressive frontier point.
+    if let Some(most) = frontier.last() {
+        let report = {
+            let mut s = standardizer.clone();
+            let cfg = SearchConfig {
+                intent: IntentMeasure::jaccard(most.tau),
+                ..s.config().clone()
+            };
+            s.set_config(cfg).expect("valid");
+            s.standardize_source(user_script).expect("runs")
+        };
+        println!("\nchanges at τ_J = {:.2}:", most.tau);
+        for e in standardizer.explain(&report) {
+            println!("  [{}] {}", e.change, e.text);
+        }
+        println!("\noutput script:\n{}", report.output_source);
+    }
+}

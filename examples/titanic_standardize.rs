@@ -1,0 +1,65 @@
+//! Standardize scripts against the full synthetic Titanic workload: build
+//! the corpus the way the evaluation does (62 generated scripts), then
+//! standardize a deliberately non-standard user draft under both intent
+//! measures and compare what each allows.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example titanic_standardize
+//! ```
+
+use lucidscript::core::config::SearchConfig;
+use lucidscript::core::intent::IntentMeasure;
+use lucidscript::core::standardizer::Standardizer;
+use lucidscript::corpus::Profile;
+
+fn main() {
+    let profile = Profile::titanic();
+    let data = profile.generate_data(42, 0.2);
+    let corpus: Vec<String> = profile
+        .generate_corpus(42)
+        .into_iter()
+        .map(|s| s.source)
+        .collect();
+    println!(
+        "corpus: {} scripts, data: {} rows × {} cols\n",
+        corpus.len(),
+        data.n_rows(),
+        data.n_cols()
+    );
+
+    let user_script = "\
+import pandas as pd
+df = pd.read_csv('train.csv')
+df['Age'] = df['Age'].fillna(df['Age'].median())
+df = df[df['Age'] < 100]
+y = df['Survived']
+X = df.drop('Survived', axis=1)
+";
+
+    for (label, intent) in [
+        ("table Jaccard, τ_J = 0.9", IntentMeasure::jaccard(0.9)),
+        (
+            "model performance, τ_M = 1%",
+            IntentMeasure::model_perf(1.0, "Survived"),
+        ),
+    ] {
+        let config = SearchConfig {
+            intent,
+            sample_rows: Some(400),
+            ..SearchConfig::default()
+        };
+        let standardizer =
+            Standardizer::build(&corpus, profile.file, data.clone(), config)
+                .expect("valid corpus");
+        let report = standardizer
+            .standardize_source(user_script)
+            .expect("input runs");
+        println!("== intent measure: {label} ==");
+        println!(
+            "RE {:.3} → {:.3}  ({:+.1}%),  intent delta {:.3}",
+            report.re_before, report.re_after, report.improvement_pct, report.intent_delta
+        );
+        println!("output:\n{}", report.output_source);
+    }
+}

@@ -1,0 +1,232 @@
+//! `lucid` — command-line front end for the LucidScript standardizer.
+//!
+//! ```text
+//! lucid standardize --corpus DIR --data FILE --script FILE [options]
+//! lucid score       --corpus DIR --script FILE
+//! lucid corpus-stats --corpus DIR
+//! ```
+//!
+//! The corpus is a directory of `.py` files (straight-line pandas
+//! scripts); `--data` is the CSV the scripts read, registered under its
+//! base name so `pd.read_csv('<basename>')` resolves.
+
+use lucidscript::core::config::SearchConfig;
+use lucidscript::core::intent::IntentMeasure;
+use lucidscript::core::standardizer::Standardizer;
+use lucidscript::core::vocab::CorpusModel;
+use lucidscript::frame::csv::read_csv;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+lucid — bottom-up data-preparation script standardization (EDBT 2025)
+
+USAGE:
+  lucid standardize --corpus <DIR> --data <CSV> --script <PY> [options]
+  lucid score        --corpus <DIR> --script <PY>
+  lucid corpus-stats --corpus <DIR>
+
+OPTIONS (standardize):
+  --tau-j <0..1>      table-Jaccard intent threshold (default 0.9)
+  --tau-m <0..100>    model-performance threshold in %, requires --target
+  --target <COL>      label column for --tau-m
+  --seq <N>           max transformations (default 16)
+  --beam <K>          beam size (default 3)
+  --sample <N>        row-sample D_IN during constraint checks
+  --explain           print per-change explanations
+  --json              emit the full report as JSON
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Tiny flag parser: `--name value` pairs plus boolean switches.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut switches = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{a}'"));
+            };
+            match name {
+                "explain" | "json" => switches.push(name.to_string()),
+                _ => {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} requires a value"))?;
+                    pairs.push((name.to_string(), value.clone()));
+                }
+            }
+        }
+        Ok(Flags { pairs, switches })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".to_string());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    match command.as_str() {
+        "standardize" => standardize(&flags),
+        "score" => score(&flags),
+        "corpus-stats" => corpus_stats(&flags),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn load_corpus(dir: &str) -> Result<Vec<String>, String> {
+    let mut sources = Vec::new();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read corpus dir '{dir}': {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "py"))
+        .collect();
+    paths.sort();
+    for p in paths {
+        let src = std::fs::read_to_string(&p)
+            .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+        sources.push(src);
+    }
+    if sources.is_empty() {
+        return Err(format!("no .py files in '{dir}'"));
+    }
+    Ok(sources)
+}
+
+fn read_script(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read script '{path}': {e}"))
+}
+
+fn intent_from(flags: &Flags) -> Result<IntentMeasure, String> {
+    if let Some(tm) = flags.get("tau-m") {
+        let tau: f64 = tm.parse().map_err(|_| "bad --tau-m".to_string())?;
+        let target = flags.require("target")?;
+        return Ok(IntentMeasure::model_perf(tau, target));
+    }
+    let tau: f64 = flags
+        .get("tau-j")
+        .unwrap_or("0.9")
+        .parse()
+        .map_err(|_| "bad --tau-j".to_string())?;
+    Ok(IntentMeasure::jaccard(tau))
+}
+
+fn standardize(flags: &Flags) -> Result<(), String> {
+    let corpus = load_corpus(flags.require("corpus")?)?;
+    let data_path = flags.require("data")?;
+    let data = read_csv(data_path).map_err(|e| e.to_string())?;
+    let basename = Path::new(data_path)
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or(data_path)
+        .to_string();
+    let script = read_script(flags.require("script")?)?;
+
+    let config = SearchConfig {
+        intent: intent_from(flags)?,
+        seq_len: flags
+            .get("seq")
+            .map_or(Ok(16), |v| v.parse().map_err(|_| "bad --seq".to_string()))?,
+        beam_k: flags
+            .get("beam")
+            .map_or(Ok(3), |v| v.parse().map_err(|_| "bad --beam".to_string()))?,
+        sample_rows: flags
+            .get("sample")
+            .map(|v| v.parse().map_err(|_| "bad --sample".to_string()))
+            .transpose()?,
+        ..SearchConfig::default()
+    };
+
+    let mut standardizer = Standardizer::build(&corpus, basename.clone(), data.clone(), config)
+        .map_err(|e| e.to_string())?;
+    // Also register the full path so scripts referencing it verbatim work.
+    standardizer.register_table(data_path, data);
+
+    let report = standardizer
+        .standardize_source(&script)
+        .map_err(|e| e.to_string())?;
+
+    if flags.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!("{}", report.output_source);
+    eprintln!(
+        "# RE {:.3} -> {:.3} ({:+.1}%), intent {} = {:.3} (satisfied: {})",
+        report.re_before,
+        report.re_after,
+        report.improvement_pct,
+        report.intent_kind,
+        report.intent_delta,
+        report.intent_satisfied
+    );
+    if flags.has("explain") {
+        for e in standardizer.explain(&report) {
+            eprintln!("# [{}] {}", e.change, e.text);
+        }
+    }
+    Ok(())
+}
+
+fn score(flags: &Flags) -> Result<(), String> {
+    let corpus = load_corpus(flags.require("corpus")?)?;
+    let script = read_script(flags.require("script")?)?;
+    let model = CorpusModel::build_from_sources(&corpus).map_err(|e| e.to_string())?;
+    let module = lucidscript::pyast::parse_module(&script).map_err(|e| e.to_string())?;
+    let dag = lucidscript::core::dag::build_dag(&lucidscript::core::lemma::lemmatize(&module));
+    let re = lucidscript::core::entropy::relative_entropy(&dag, &model);
+    println!("{re:.6}");
+    Ok(())
+}
+
+fn corpus_stats(flags: &Flags) -> Result<(), String> {
+    let corpus = load_corpus(flags.require("corpus")?)?;
+    let model = CorpusModel::build_from_sources(&corpus).map_err(|e| e.to_string())?;
+    println!("scripts:        {}", model.n_scripts);
+    println!("unique atoms:   {}", model.n_unique_atoms());
+    println!("unique 1-grams: {}", model.n_unique_unigrams());
+    println!("unique edges:   {}", model.n_unique_edges());
+    println!("total edges:    {}", model.total_edges);
+    let mut atoms: Vec<(&String, &usize)> = model.atom_counts.iter().collect();
+    atoms.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    println!("top steps:");
+    for (atom, count) in atoms.iter().take(10) {
+        println!("  {count:>4}x  {atom}");
+    }
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! # lucidscript
+//!
+//! Umbrella crate for the LucidScript-RS workspace — a Rust reproduction of
+//! *"Toward Standardized Data Preparation: A Bottom-Up Approach"*
+//! (EDBT 2025).
+//!
+//! This crate re-exports the public API of every subsystem:
+//!
+//! * [`pyast`] — lexer/parser/printer for straight-line Python scripts
+//! * [`frame`] — columnar dataframe engine (the execution substrate)
+//! * [`ml`] — downstream-model substrate (logistic regression, trees, metrics)
+//! * [`interp`] — interpreter running scripts against `frame` + `ml`
+//! * [`core`] — the paper's contribution: DAG representation, relative-entropy
+//!   standardness, transformation beam search, intent constraints
+//! * [`corpus`] — synthetic dataset profiles + script-corpus generators
+//! * [`baselines`] — Sourcery / GPT / Auto-Suggest / Auto-Tables comparators
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use lucid_baselines as baselines;
+pub use lucid_core as core;
+pub use lucid_corpus as corpus;
+pub use lucid_frame as frame;
+pub use lucid_interp as interp;
+pub use lucid_ml as ml;
+pub use lucid_pyast as pyast;
+
+/// Crate version of the umbrella package.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

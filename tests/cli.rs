@@ -1,0 +1,162 @@
+//! Integration tests for the `lucid` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lucid_cli_test_{}", std::process::id()));
+    let corpus = dir.join("corpus");
+    std::fs::create_dir_all(&corpus).expect("mkdir");
+
+    // D_IN.
+    let mut csv = String::from("Age,Glucose,Outcome\n");
+    for i in 0..80 {
+        let age = if i % 9 == 0 { String::new() } else { format!("{}", 20 + i % 40) };
+        csv.push_str(&format!("{age},{},{}\n", 80 + i, i % 2));
+    }
+    std::fs::write(dir.join("diabetes.csv"), csv).expect("write csv");
+
+    // Corpus scripts.
+    let scripts = [
+        "import pandas as pd\ndf = pd.read_csv('diabetes.csv')\ndf = df.fillna(df.mean())\ndf = pd.get_dummies(df)\n",
+        "import pandas as pd\ndf = pd.read_csv('diabetes.csv')\ndf = df.fillna(df.mean())\ndf = df[df['Glucose'] > 0]\ndf = pd.get_dummies(df)\n",
+        "import pandas as pd\ndf = pd.read_csv('diabetes.csv')\ndf = df.fillna(df.mean())\ny = df['Outcome']\n",
+    ];
+    for (i, s) in scripts.iter().enumerate() {
+        std::fs::write(corpus.join(format!("s{i}.py")), s).expect("write script");
+    }
+
+    // The user's draft.
+    std::fs::write(
+        dir.join("draft.py"),
+        "import pandas as pd\ndf = pd.read_csv('diabetes.csv')\ndf = df.fillna(df.median())\n",
+    )
+    .expect("write draft");
+    dir
+}
+
+fn lucid() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lucid"))
+}
+
+#[test]
+fn standardize_improves_a_draft() {
+    let dir = workdir();
+    let out = lucid()
+        .args([
+            "standardize",
+            "--corpus",
+            dir.join("corpus").to_str().unwrap(),
+            "--data",
+            dir.join("diabetes.csv").to_str().unwrap(),
+            "--script",
+            dir.join("draft.py").to_str().unwrap(),
+            "--tau-j",
+            "0.5",
+            "--seq",
+            "6",
+            "--explain",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("read_csv"), "output script printed:\n{stdout}");
+    assert!(stderr.contains("RE "), "summary on stderr:\n{stderr}");
+    assert!(stderr.contains("# ["), "explanations requested:\n{stderr}");
+}
+
+#[test]
+fn standardize_emits_json_reports() {
+    let dir = workdir();
+    let out = lucid()
+        .args([
+            "standardize",
+            "--corpus",
+            dir.join("corpus").to_str().unwrap(),
+            "--data",
+            dir.join("diabetes.csv").to_str().unwrap(),
+            "--script",
+            dir.join("draft.py").to_str().unwrap(),
+            "--seq",
+            "4",
+            "--json",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let json: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid JSON report");
+    assert!(json.get("improvement_pct").is_some());
+    assert!(json.get("output_source").is_some());
+}
+
+#[test]
+fn score_prints_a_number() {
+    let dir = workdir();
+    let out = lucid()
+        .args([
+            "score",
+            "--corpus",
+            dir.join("corpus").to_str().unwrap(),
+            "--script",
+            dir.join("draft.py").to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let re: f64 = text.trim().parse().expect("a number");
+    assert!(re.is_finite() && re >= 0.0);
+}
+
+#[test]
+fn corpus_stats_summarizes() {
+    let dir = workdir();
+    let out = lucid()
+        .args(["corpus-stats", "--corpus", dir.join("corpus").to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("scripts:        3"));
+    assert!(text.contains("top steps:"));
+}
+
+#[test]
+fn bad_usage_fails_with_usage_text() {
+    for args in [
+        vec!["standardize"],                       // missing everything
+        vec!["unknown-command"],                   // unknown command
+        vec!["score", "--corpus"],                 // dangling flag
+    ] {
+        let out = lucid().args(&args).output().expect("runs");
+        assert!(!out.status.success(), "args {args:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("USAGE"), "usage shown for {args:?}");
+    }
+    let out = lucid().output().expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn tau_m_requires_target() {
+    let dir = workdir();
+    let out = lucid()
+        .args([
+            "standardize",
+            "--corpus",
+            dir.join("corpus").to_str().unwrap(),
+            "--data",
+            dir.join("diabetes.csv").to_str().unwrap(),
+            "--script",
+            dir.join("draft.py").to_str().unwrap(),
+            "--tau-m",
+            "1.0",
+        ])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--target"));
+}

@@ -1,0 +1,110 @@
+//! Workspace-level property tests: invariants that must hold for *any*
+//! script the generators produce.
+
+use lucidscript::core::config::SearchConfig;
+use lucidscript::core::dag::build_dag;
+use lucidscript::core::entropy::relative_entropy;
+use lucidscript::core::intent::IntentMeasure;
+use lucidscript::core::lemma::lemmatize;
+use lucidscript::core::standardizer::Standardizer;
+use lucidscript::core::transform::{enumerate_transformations, EnumOptions};
+use lucidscript::core::vocab::CorpusModel;
+use lucidscript::corpus::script_gen::generate_script;
+use lucidscript::corpus::Profile;
+use lucidscript::interp::Interpreter;
+use lucidscript::pyast::{parse_module, print_module};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated script (any seed) parses, lemmatizes to a fixed
+    /// point, and round-trips through the printer.
+    #[test]
+    fn generated_scripts_are_well_formed(seed in 0u64..10_000) {
+        let profile = Profile::medical();
+        let meta = generate_script(&profile, seed);
+        let module = parse_module(&meta.source).expect("parses");
+        let lem = lemmatize(&module);
+        prop_assert!(lem.same_code(&lemmatize(&lem)), "lemmatization not idempotent");
+        let printed = print_module(&lem);
+        prop_assert!(parse_module(&printed).is_ok());
+    }
+
+    /// Relative entropy is finite and non-negative for any generated
+    /// script against any generated corpus.
+    #[test]
+    fn re_is_total(seed in 0u64..5_000) {
+        let profile = Profile::titanic();
+        let corpus: Vec<String> = profile
+            .generate_corpus(seed % 17)
+            .into_iter()
+            .take(10)
+            .map(|s| s.source)
+            .collect();
+        let model = CorpusModel::build_from_sources(&corpus).expect("nonempty");
+        let script = generate_script(&profile, seed);
+        let dag = build_dag(&lemmatize(&parse_module(&script.source).expect("parses")));
+        let re = relative_entropy(&dag, &model);
+        prop_assert!(re.is_finite());
+        prop_assert!(re >= 0.0);
+    }
+
+    /// Every enumerated transformation applies cleanly and the result
+    /// still parses and prints.
+    #[test]
+    fn transformations_apply_cleanly(seed in 0u64..2_000) {
+        let profile = Profile::medical();
+        let corpus: Vec<String> = profile
+            .generate_corpus(3)
+            .into_iter()
+            .take(12)
+            .map(|s| s.source)
+            .collect();
+        let model = CorpusModel::build_from_sources(&corpus).expect("nonempty");
+        let script = generate_script(&profile, seed);
+        let module = lemmatize(&parse_module(&script.source).expect("parses"));
+        let dag = build_dag(&module);
+        let ts = enumerate_transformations(&dag, &model, 0, &EnumOptions::default());
+        for t in ts.iter().take(40) {
+            let out = t.apply(&module).expect("applies");
+            let printed = print_module(&out);
+            prop_assert!(parse_module(&printed).is_ok(), "unparsable after {t:?}");
+        }
+    }
+}
+
+proptest! {
+    // Full standardization is expensive; a handful of cases suffices.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For any generated user script, standardization output executes and
+    /// never reduces standardness.
+    #[test]
+    fn standardizer_invariants_hold(seed in 0u64..500) {
+        let profile = Profile::medical();
+        let data = profile.generate_data(seed, 0.1);
+        let corpus: Vec<String> = profile
+            .generate_corpus(seed ^ 1)
+            .into_iter()
+            .take(15)
+            .map(|s| s.source)
+            .collect();
+        let config = SearchConfig {
+            seq_len: 3,
+            beam_k: 2,
+            intent: IntentMeasure::jaccard(0.6),
+            sample_rows: Some(120),
+            ..SearchConfig::default()
+        };
+        let std = Standardizer::build(&corpus, profile.file, data.clone(), config)
+            .expect("builds");
+        let user = generate_script(&profile, seed ^ 2);
+        let report = std.standardize_source(&user.source).expect("corpus scripts run");
+        prop_assert!(report.improvement_pct >= -1e-9);
+        let mut interp = Interpreter::new();
+        interp.register_table(profile.file, data);
+        let out = parse_module(&report.output_source).expect("parses");
+        prop_assert!(interp.check_executes(&out));
+    }
+}
