@@ -18,6 +18,55 @@ struct Fig7Row {
     check_execute_ms: f64,
     verify_constraints_ms: f64,
     total_ms: f64,
+    get_steps_speedup: f64,
+    prefix_cache_hit_rate: f64,
+    threads: usize,
+}
+
+/// One arm of the serial-vs-optimized search comparison persisted to
+/// `BENCH_search.json`.
+#[derive(Serialize)]
+struct SearchBenchArm {
+    label: String,
+    threads: usize,
+    prefix_cache: bool,
+    median_total_ms: f64,
+    median_get_steps_ms: f64,
+    median_check_execute_ms: f64,
+    get_steps_speedup: f64,
+    prefix_cache_hit_rate: f64,
+    scripts: usize,
+}
+
+/// Before/after wall-clock comparison persisted to `BENCH_search.json`.
+#[derive(Serialize)]
+struct SearchBench {
+    before: SearchBenchArm,
+    after: SearchBenchArm,
+}
+
+fn arm_from_reports(
+    label: &str,
+    cfg: &SearchConfig,
+    reports: &[lucid_core::report::StandardizeReport],
+) -> SearchBenchArm {
+    let mut agg = lucid_core::report::Timings::default();
+    for r in reports {
+        agg.accumulate(&r.timings);
+    }
+    SearchBenchArm {
+        label: label.to_string(),
+        threads: cfg.resolved_threads(),
+        prefix_cache: cfg.prefix_cache,
+        median_total_ms: median(reports.iter().map(|r| r.timings.total_ms).collect()),
+        median_get_steps_ms: median(reports.iter().map(|r| r.timings.get_steps_ms).collect()),
+        median_check_execute_ms: median(
+            reports.iter().map(|r| r.timings.check_execute_ms).collect(),
+        ),
+        get_steps_speedup: agg.get_steps_speedup(),
+        prefix_cache_hit_rate: agg.prefix_cache_hit_rate(),
+        scripts: reports.len(),
+    }
 }
 
 fn median(mut v: Vec<f64>) -> f64 {
@@ -52,6 +101,10 @@ fn main() {
         let pick = |f: fn(&lucid_core::report::Timings) -> f64| {
             median(res.ls_reports.iter().map(|r| f(&r.timings)).collect())
         };
+        let mut agg = lucid_core::report::Timings::default();
+        for r in &res.ls_reports {
+            agg.accumulate(&r.timings);
+        }
         let row = Fig7Row {
             dataset: p.name.to_string(),
             get_steps_ms: pick(|t| t.get_steps_ms),
@@ -59,6 +112,9 @@ fn main() {
             check_execute_ms: pick(|t| t.check_execute_ms),
             verify_constraints_ms: pick(|t| t.verify_constraints_ms),
             total_ms: pick(|t| t.total_ms),
+            get_steps_speedup: agg.get_steps_speedup(),
+            prefix_cache_hit_rate: agg.prefix_cache_hit_rate(),
+            threads: agg.threads,
         };
         rows.push(vec![
             row.dataset.clone(),
@@ -67,6 +123,8 @@ fn main() {
             format!("{:.1}", row.check_execute_ms),
             format!("{:.1}", row.verify_constraints_ms),
             format!("{:.1}", row.total_ms),
+            format!("{:.2}x", row.get_steps_speedup),
+            format!("{:.0}%", row.prefix_cache_hit_rate * 100.0),
         ]);
         json.push(row);
         println!("  {} done", p.name);
@@ -80,9 +138,58 @@ fn main() {
             "CheckIfExecutes",
             "VerifyConstraints",
             "Total",
+            "GS speedup",
+            "Cache hits",
         ],
         &rows,
     );
+
+    // Serial reference vs parallel + prefix-cached search on one profile:
+    // identical outputs (enforced by lucid-core's determinism test), so the
+    // only question is wall clock. Persisted as BENCH_search.json.
+    println!("\nSearch execution: serial reference vs parallel + prefix cache (Medical):");
+    let medical = Profile::medical();
+    let base = SearchConfig {
+        intent: IntentMeasure::jaccard(0.9),
+        sample_rows: env.sample_rows(),
+        ..Default::default()
+    };
+    let serial_cfg = SearchConfig {
+        threads: 1,
+        prefix_cache: false,
+        ..base.clone()
+    };
+    let optimized_cfg = SearchConfig {
+        threads: 0,
+        prefix_cache: true,
+        ..base
+    };
+    let serial_res = leave_one_out_ls(&env, &medical, CorpusVariant::Full, &serial_cfg);
+    let optimized_res = leave_one_out_ls(&env, &medical, CorpusVariant::Full, &optimized_cfg);
+    let before = arm_from_reports("serial, cache off", &serial_cfg, &serial_res.ls_reports);
+    let after = arm_from_reports(
+        "parallel, cache on",
+        &optimized_cfg,
+        &optimized_res.ls_reports,
+    );
+    for arm in [&before, &after] {
+        println!(
+            "  {:<18} total {:.1} ms  GetSteps {:.1} ms (speedup {:.2}x, {} threads)  CheckIfExecutes {:.1} ms (cache hit rate {:.0}%)",
+            arm.label,
+            arm.median_total_ms,
+            arm.median_get_steps_ms,
+            arm.get_steps_speedup,
+            arm.threads,
+            arm.median_check_execute_ms,
+            arm.prefix_cache_hit_rate * 100.0,
+        );
+    }
+    println!(
+        "  end-to-end change: {:.2}x",
+        before.median_total_ms / after.median_total_ms.max(1e-9)
+    );
+    let bench = SearchBench { before, after };
+    env.write_json("BENCH_search", &bench);
 
     // §6.5: sampling ablation on Sales (the paper: 20× slower unsampled).
     println!("\n§6.5 sampling ablation on Sales (median end-to-end ms per script):");

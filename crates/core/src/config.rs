@@ -43,6 +43,20 @@ pub struct SearchConfig {
     pub diversity_clusters: usize,
     /// Which vocabulary the RE objective runs on (ablation knob).
     pub objective: Objective,
+    /// Worker threads for beam expansion: `1` = the serial reference
+    /// path, `0` = auto (one per available core). Results are reassembled
+    /// in enumeration order, so every thread count ranks identically.
+    pub threads: usize,
+    /// Whether execution checks reuse interpreter snapshots of shared
+    /// statement prefixes (off reproduces cold re-execution exactly).
+    pub prefix_cache: bool,
+    /// Bound on retained prefix snapshots (LRU beyond this).
+    pub prefix_cache_capacity: usize,
+    /// Bound on accumulated finalists awaiting final verification; when
+    /// full, only candidates scoring below the worst retained finalist
+    /// displace it. Keeps step-convergent searches from growing an
+    /// unbounded verification queue.
+    pub max_finalists: usize,
 }
 
 impl Default for SearchConfig {
@@ -61,6 +75,10 @@ impl Default for SearchConfig {
             max_steps_ranked: 64,
             diversity_clusters: 3,
             objective: Objective::Edges,
+            threads: 1,
+            prefix_cache: true,
+            prefix_cache_capacity: lucid_interp::cache::DEFAULT_PREFIX_CACHE_CAPACITY,
+            max_finalists: 256,
         }
     }
 }
@@ -85,7 +103,26 @@ impl SearchConfig {
                 "diversity clusters M must be ≥ 1".to_string(),
             ));
         }
+        if self.max_finalists == 0 {
+            return Err(CoreError::BadConfig(
+                "finalist cap must be ≥ 1".to_string(),
+            ));
+        }
+        if self.prefix_cache && self.prefix_cache_capacity == 0 {
+            return Err(CoreError::BadConfig(
+                "prefix cache capacity must be ≥ 1 when the cache is on".to_string(),
+            ));
+        }
         self.intent.validate()
+    }
+
+    /// The worker count `threads` resolves to: itself, or every available
+    /// core when zero (auto).
+    pub fn resolved_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
     }
 
     /// Applies the paper's Table 2 defaults given corpus properties:
@@ -162,5 +199,34 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+        let c = SearchConfig {
+            max_finalists: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SearchConfig {
+            prefix_cache: true,
+            prefix_cache_capacity: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn execution_knobs_default_to_reference_behavior() {
+        let c = SearchConfig::default();
+        // Serial by default: parallelism is opt-in.
+        assert_eq!(c.threads, 1);
+        assert_eq!(c.resolved_threads(), 1);
+        assert!(c.prefix_cache);
+        assert!(c.prefix_cache_capacity > 0);
+        assert!(c.max_finalists >= c.beam_k);
+        // Auto resolves to at least one worker.
+        let auto = SearchConfig {
+            threads: 0,
+            ..Default::default()
+        };
+        assert!(auto.resolved_threads() >= 1);
+        assert!(auto.validate().is_ok());
     }
 }

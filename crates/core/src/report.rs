@@ -19,6 +19,16 @@ pub struct Timings {
     pub verify_constraints_ms: f64,
     /// End-to-end wall time.
     pub total_ms: f64,
+    /// Summed per-worker time inside parallel `GetSteps` regions (equals
+    /// the wall-clock `get_steps_ms` share when running serially; the
+    /// ratio to wall time is the realized parallel speedup).
+    pub get_steps_cpu_ms: f64,
+    /// Worker threads the search ran with.
+    pub threads: usize,
+    /// Execution-check runs that resumed from a cached statement prefix.
+    pub prefix_cache_hits: u64,
+    /// Execution-check runs that started cold.
+    pub prefix_cache_misses: u64,
 }
 
 impl Timings {
@@ -29,6 +39,30 @@ impl Timings {
         self.check_execute_ms += other.check_execute_ms;
         self.verify_constraints_ms += other.verify_constraints_ms;
         self.total_ms += other.total_ms;
+        self.get_steps_cpu_ms += other.get_steps_cpu_ms;
+        self.threads = self.threads.max(other.threads);
+        self.prefix_cache_hits += other.prefix_cache_hits;
+        self.prefix_cache_misses += other.prefix_cache_misses;
+    }
+
+    /// Realized speedup of the parallel `GetSteps` regions: worker CPU
+    /// time over wall time (1.0 when serial or unmeasured).
+    pub fn get_steps_speedup(&self) -> f64 {
+        if self.get_steps_ms > 0.0 && self.get_steps_cpu_ms > 0.0 {
+            self.get_steps_cpu_ms / self.get_steps_ms
+        } else {
+            1.0
+        }
+    }
+
+    /// Fraction of execution checks that resumed from a cached prefix.
+    pub fn prefix_cache_hit_rate(&self) -> f64 {
+        let total = self.prefix_cache_hits + self.prefix_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.prefix_cache_hits as f64 / total as f64
+        }
     }
 }
 
@@ -80,10 +114,34 @@ mod tests {
             check_execute_ms: 3.0,
             verify_constraints_ms: 4.0,
             total_ms: 10.0,
+            get_steps_cpu_ms: 2.0,
+            threads: 4,
+            prefix_cache_hits: 6,
+            prefix_cache_misses: 2,
         };
         a.accumulate(&a.clone());
         assert_eq!(a.get_steps_ms, 2.0);
         assert_eq!(a.total_ms, 20.0);
+        assert_eq!(a.get_steps_cpu_ms, 4.0);
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.prefix_cache_hits, 12);
+        assert_eq!(a.prefix_cache_misses, 4);
+    }
+
+    #[test]
+    fn derived_rates_handle_empty_and_measured_cases() {
+        let zero = Timings::default();
+        assert_eq!(zero.get_steps_speedup(), 1.0);
+        assert_eq!(zero.prefix_cache_hit_rate(), 0.0);
+        let t = Timings {
+            get_steps_ms: 10.0,
+            get_steps_cpu_ms: 35.0,
+            prefix_cache_hits: 3,
+            prefix_cache_misses: 1,
+            ..Timings::default()
+        };
+        assert!((t.get_steps_speedup() - 3.5).abs() < 1e-12);
+        assert!((t.prefix_cache_hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -3,6 +3,19 @@
 //! Beam search over transformation sequences with five optimizations:
 //! beams, k-means diversity, monotonicity, early/late execution checking,
 //! and `D_IN` sampling (applied via the interpreter's row cap).
+//!
+//! Two execution-model knobs accelerate the search without changing its
+//! results (see `DESIGN.md`, "Execution model & caching"):
+//!
+//! - [`SearchConfig::threads`] fans the apply→DAG→score work of
+//!   `GetSteps` across scoped worker threads — for *all* beams of a step
+//!   at once — and reassembles results in enumeration order, so ranking,
+//!   clustering, and tie-breaking are byte-identical to the serial path.
+//! - [`SearchConfig::prefix_cache`] routes every `CheckIfExecutes()` and
+//!   verification run through an interpreter prefix cache: candidates
+//!   sharing an immutable statement prefix (monotonicity guarantees the
+//!   lines below the cursor never change) resume from a snapshot instead
+//!   of re-running the prefix.
 
 use crate::config::{Objective, SearchConfig};
 use crate::dag::ScriptDag;
@@ -12,8 +25,9 @@ use crate::report::Timings;
 use crate::transform::{enumerate_transformations, TransformKind, Transformation};
 use crate::vocab::CorpusModel;
 use lucid_frame::DataFrame;
-use lucid_interp::Interpreter;
+use lucid_interp::{ExecOutcome, Interpreter, PrefixCache};
 use lucid_pyast::Module;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// One in-progress transformation sequence: the paper's beam entry.
@@ -65,6 +79,50 @@ pub struct SearchContext<'a> {
     pub base_output: &'a DataFrame,
 }
 
+/// Execution environment for one search: the interpreter plus, when the
+/// config enables it, a prefix cache scoped to this search (one cache per
+/// search keeps the cache valid — it must never span different registered
+/// tables).
+struct ExecEnv<'a> {
+    interp: &'a Interpreter,
+    cache: Option<PrefixCache>,
+}
+
+impl<'a> ExecEnv<'a> {
+    fn new(interp: &'a Interpreter, config: &SearchConfig) -> ExecEnv<'a> {
+        ExecEnv {
+            interp,
+            cache: config
+                .prefix_cache
+                .then(|| PrefixCache::with_capacity(config.prefix_cache_capacity)),
+        }
+    }
+
+    /// `CheckIfExecutes()`, through the cache when enabled.
+    fn check_executes(&self, module: &Module) -> bool {
+        match &self.cache {
+            Some(cache) => self.interp.check_executes_with_cache(module, cache),
+            None => self.interp.check_executes(module),
+        }
+    }
+
+    /// Full run (for output extraction), through the cache when enabled.
+    fn run(&self, module: &Module) -> Result<ExecOutcome, lucid_interp::InterpError> {
+        match &self.cache {
+            Some(cache) => self.interp.run_with_cache(module, cache),
+            None => self.interp.run(module),
+        }
+    }
+
+    /// Copies cache counters into the timing report.
+    fn report_into(&self, timings: &mut Timings) {
+        if let Some(cache) = &self.cache {
+            timings.prefix_cache_hits = cache.hits();
+            timings.prefix_cache_misses = cache.misses();
+        }
+    }
+}
+
 /// The search result.
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {
@@ -85,7 +143,11 @@ pub struct SearchOutcome {
 /// why LucidScript never *reduces* standardness (§6.3.1).
 pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome {
     let t_total = Instant::now();
-    let mut timings = Timings::default();
+    let mut timings = Timings {
+        threads: ctx.config.resolved_threads(),
+        ..Timings::default()
+    };
+    let exec = ExecEnv::new(ctx.interp, ctx.config);
     let input_candidate =
         Candidate::from_module(input.clone(), ctx.corpus, ctx.config.objective);
     let mut beams: Vec<Candidate> = vec![input_candidate.clone()];
@@ -99,18 +161,18 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
 
     for _step in 0..ctx.config.seq_len {
         let mut next: Vec<Candidate> = beams.clone(); // Algorithm 2, line 2: C' = C
-        for cand in &beams {
-            // GetSteps: enumerate and rank next transformations by RE.
-            let t0 = Instant::now();
-            let ranked = get_steps(cand, ctx, &mut explored);
-            timings.get_steps_ms += t0.elapsed().as_secs_f64() * 1e3;
-
+        // GetSteps for every beam of this step at once: ranking depends
+        // only on the beams (never on `next`), so scoring all expansions
+        // up front is equivalent to the per-beam interleaving — and lets
+        // the work fan out across every (beam, transformation) pair.
+        let ranked_per_beam = get_steps_all(&beams, ctx, &mut explored, &mut timings);
+        for (cand, ranked) in beams.iter().zip(ranked_per_beam) {
             // GetTopKBeams / GetDiverseTopKBeams.
             let t1 = Instant::now();
             if ctx.config.diversity {
-                get_diverse_top_k(cand, ranked, ctx, &mut next, &mut timings);
+                get_diverse_top_k(cand, ranked, ctx, &exec, &mut next, &mut timings);
             } else {
-                get_top_k(cand, &ranked, ctx, &mut next, &mut timings, usize::MAX);
+                get_top_k(cand, &ranked, ctx, &exec, &mut next, &mut timings, usize::MAX);
             }
             timings.get_top_k_ms += t1.elapsed().as_secs_f64() * 1e3;
         }
@@ -130,6 +192,15 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
             {
                 finalists.push(cand.clone());
             }
+        }
+        // Verification scans finalists in ascending-RE order, so when the
+        // pool overflows its bound we keep the lowest-RE entries: pruning
+        // the high-RE tail only matters if *every* retained candidate
+        // fails a constraint — the accepted trade-off for bounding memory
+        // on long, slowly-converging searches.
+        if finalists.len() > ctx.config.max_finalists {
+            finalists.sort_by(|a, b| a.re.partial_cmp(&b.re).expect("finite RE"));
+            finalists.truncate(ctx.config.max_finalists);
         }
         if converged {
             break;
@@ -151,13 +222,13 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
         }
         if !ctx.config.early_check {
             let t3 = Instant::now();
-            let ok = ctx.interp.check_executes(&cand.module);
+            let ok = exec.check_executes(&cand.module);
             timings.check_execute_ms += t3.elapsed().as_secs_f64() * 1e3;
             if !ok {
                 continue;
             }
         }
-        let Ok(outcome) = ctx.interp.run(&cand.module) else {
+        let Ok(outcome) = exec.run(&cand.module) else {
             continue;
         };
         let Some(out_frame) = outcome.output_frame() else {
@@ -172,8 +243,11 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
     }
     timings.verify_constraints_ms += t2.elapsed().as_secs_f64() * 1e3;
 
-    let (best, intent) = best.unwrap_or({
-        (
+    // Lazily built fallback: `input_candidate` is moved only on the
+    // fallback path, never cloned on the common path.
+    let (best, intent) = match best {
+        Some(found) => found,
+        None => (
             input_candidate,
             crate::intent::IntentEval {
                 delta: match ctx.config.intent {
@@ -183,8 +257,9 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
                 },
                 satisfied: true,
             },
-        )
-    });
+        ),
+    };
+    exec.report_into(&mut timings);
     timings.total_ms = t_total.elapsed().as_secs_f64() * 1e3;
     SearchOutcome {
         best,
@@ -201,41 +276,129 @@ struct ScoredStep {
     candidate: Candidate,
 }
 
-/// `GetSteps()`: enumerate legal next transformations from the corpus
-/// vocabularies, apply each, score by RE, and return them ranked best
-/// (lowest RE) first, capped at `max_steps_ranked`.
-fn get_steps(cand: &Candidate, ctx: &SearchContext, explored: &mut usize) -> Vec<ScoredStep> {
-    let transformations = enumerate_transformations(
-        &cand.dag,
-        ctx.corpus,
-        cand.cursor,
-        &ctx.config.enum_opts,
-    );
-    let mut scored: Vec<ScoredStep> = Vec::with_capacity(transformations.len());
-    for t in transformations {
-        let Ok(module) = t.apply(&cand.module) else {
-            continue;
-        };
-        let dag = crate::dag::build_dag(&module);
-        let re = score_dag(&dag, ctx.corpus, ctx.config.objective);
-        *explored += 1;
-        let mut applied = cand.applied.clone();
-        let cursor = t.next_cursor(cand.cursor);
-        applied.push(t.clone());
-        scored.push(ScoredStep {
-            transformation: t,
-            candidate: Candidate {
-                module,
-                dag,
-                re,
-                cursor,
-                applied,
-            },
-        });
+/// `GetSteps()` for every beam of one search step: enumerate legal next
+/// transformations from the corpus vocabularies, apply each, score by RE,
+/// and return per-beam lists ranked best (lowest RE) first, capped at
+/// `max_steps_ranked`.
+///
+/// With `threads > 1` the apply→DAG→score work fans out across scoped
+/// worker threads over all (beam, transformation) pairs; results are
+/// written into index-addressed slots and regrouped in enumeration order,
+/// so the ranked lists — and therefore every downstream beam decision —
+/// are identical to the serial path. Scoring is pure (no interpreter
+/// involvement), which is what makes the fan-out safe.
+fn get_steps_all(
+    beams: &[Candidate],
+    ctx: &SearchContext,
+    explored: &mut usize,
+    timings: &mut Timings,
+) -> Vec<Vec<ScoredStep>> {
+    let t0 = Instant::now();
+    // Enumeration order defines job identity; everything downstream keys
+    // off the job index.
+    let jobs: Vec<(usize, Transformation)> = beams
+        .iter()
+        .enumerate()
+        .flat_map(|(beam_idx, cand)| {
+            enumerate_transformations(&cand.dag, ctx.corpus, cand.cursor, &ctx.config.enum_opts)
+                .into_iter()
+                .map(move |t| (beam_idx, t))
+        })
+        .collect();
+    let workers = ctx.config.resolved_threads().min(jobs.len()).max(1);
+    let (slots, cpu_ms) = if workers == 1 {
+        let mut cpu_ms = 0.0;
+        let slots = jobs
+            .iter()
+            .map(|(beam_idx, t)| {
+                let t_job = Instant::now();
+                let step = score_step(&beams[*beam_idx], t, ctx);
+                cpu_ms += t_job.elapsed().as_secs_f64() * 1e3;
+                step
+            })
+            .collect();
+        (slots, cpu_ms)
+    } else {
+        score_steps_parallel(beams, &jobs, ctx, workers)
+    };
+    timings.get_steps_cpu_ms += cpu_ms;
+
+    // Regroup by beam. Jobs were enumerated beam-major, so pushing in job
+    // order reproduces the serial per-beam ordering exactly.
+    let mut per_beam: Vec<Vec<ScoredStep>> = beams.iter().map(|_| Vec::new()).collect();
+    for ((beam_idx, _), slot) in jobs.iter().zip(slots) {
+        if let Some(step) = slot {
+            *explored += 1;
+            per_beam[*beam_idx].push(step);
+        }
     }
-    scored.sort_by(|a, b| a.candidate.re.partial_cmp(&b.candidate.re).expect("finite"));
-    scored.truncate(ctx.config.max_steps_ranked);
-    scored
+    for ranked in &mut per_beam {
+        ranked.sort_by(|a, b| a.candidate.re.partial_cmp(&b.candidate.re).expect("finite"));
+        ranked.truncate(ctx.config.max_steps_ranked);
+    }
+    timings.get_steps_ms += t0.elapsed().as_secs_f64() * 1e3;
+    per_beam
+}
+
+/// Applies and scores one enumerated transformation (`None` if it fails
+/// to apply). Pure: reads only the candidate and the corpus model.
+fn score_step(cand: &Candidate, t: &Transformation, ctx: &SearchContext) -> Option<ScoredStep> {
+    let module = t.apply(&cand.module).ok()?;
+    let dag = crate::dag::build_dag(&module);
+    let re = score_dag(&dag, ctx.corpus, ctx.config.objective);
+    let mut applied = cand.applied.clone();
+    let cursor = t.next_cursor(cand.cursor);
+    applied.push(t.clone());
+    Some(ScoredStep {
+        transformation: t.clone(),
+        candidate: Candidate {
+            module,
+            dag,
+            re,
+            cursor,
+            applied,
+        },
+    })
+}
+
+/// Fans `score_step` across scoped worker threads (work-stealing via an
+/// atomic job counter, reassembly by job index — the same idiom the
+/// bench runner uses). Returns the index-aligned result slots and the
+/// summed per-worker CPU time.
+fn score_steps_parallel(
+    beams: &[Candidate],
+    jobs: &[(usize, Transformation)],
+    ctx: &SearchContext,
+    workers: usize,
+) -> (Vec<Option<ScoredStep>>, f64) {
+    let counter = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let counter = &counter;
+            scope.spawn(move |_| loop {
+                let i = counter.fetch_add(1, Ordering::SeqCst);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (beam_idx, t) = &jobs[i];
+                let t_job = Instant::now();
+                let step = score_step(&beams[*beam_idx], t, ctx);
+                let cpu_ms = t_job.elapsed().as_secs_f64() * 1e3;
+                tx.send((i, step, cpu_ms)).expect("receiver alive");
+            });
+        }
+    })
+    .expect("scoring worker panicked");
+    drop(tx);
+    let mut slots: Vec<Option<ScoredStep>> = jobs.iter().map(|_| None).collect();
+    let mut cpu_ms = 0.0;
+    for (i, step, job_ms) in rx {
+        slots[i] = step;
+        cpu_ms += job_ms;
+    }
+    (slots, cpu_ms)
 }
 
 /// Algorithm 2: `GetTopKBeams` — walk the ranked steps, early-check
@@ -246,6 +409,7 @@ fn get_top_k(
     _cand: &Candidate,
     ranked: &[ScoredStep],
     ctx: &SearchContext,
+    exec: &ExecEnv,
     next: &mut Vec<Candidate>,
     timings: &mut Timings,
     budget: usize,
@@ -266,7 +430,7 @@ fn get_top_k(
         }
         if ctx.config.early_check {
             let t0 = Instant::now();
-            let ok = ctx.interp.check_executes(&step.candidate.module);
+            let ok = exec.check_executes(&step.candidate.module);
             timings.check_execute_ms += t0.elapsed().as_secs_f64() * 1e3;
             if !ok {
                 continue;
@@ -287,6 +451,7 @@ fn get_diverse_top_k(
     cand: &Candidate,
     ranked: Vec<ScoredStep>,
     ctx: &SearchContext,
+    exec: &ExecEnv,
     next: &mut Vec<Candidate>,
     timings: &mut Timings,
 ) {
@@ -316,7 +481,7 @@ fn get_diverse_top_k(
                 candidate: s.candidate.clone(),
             })
             .collect();
-        get_top_k(cand, &member_refs, ctx, next, timings, per_cluster);
+        get_top_k(cand, &member_refs, ctx, exec, next, timings, per_cluster);
     }
 }
 
@@ -534,6 +699,79 @@ y = df['Survived']
         let ctx = context(&corpus, &interp, &config, &base);
         let outcome = standardize_search(&ctx, &input);
         assert!(interp.check_executes(&outcome.best.module));
+    }
+
+    #[test]
+    fn parallel_cached_search_is_byte_identical_to_serial() {
+        // The golden determinism contract: fanning GetSteps across
+        // threads and resuming execution checks from cached prefixes must
+        // not change a single search decision.
+        let serial = SearchConfig {
+            seq_len: 6,
+            intent: IntentMeasure::jaccard(0.3),
+            threads: 1,
+            prefix_cache: false,
+            ..Default::default()
+        };
+        let (reference, _) = run_search(NONSTANDARD, &serial);
+        for (threads, prefix_cache) in [(4, true), (2, false), (1, true), (0, true)] {
+            let config = SearchConfig {
+                threads,
+                prefix_cache,
+                ..serial.clone()
+            };
+            let (outcome, _) = run_search(NONSTANDARD, &config);
+            assert_eq!(
+                outcome.best.dag.atoms, reference.best.dag.atoms,
+                "best script diverged at threads={threads} cache={prefix_cache}"
+            );
+            assert_eq!(
+                print_module(&outcome.best.module),
+                print_module(&reference.best.module),
+                "printed output diverged at threads={threads} cache={prefix_cache}"
+            );
+            assert!(
+                (outcome.best.re - reference.best.re).abs() < 1e-15,
+                "RE diverged at threads={threads} cache={prefix_cache}"
+            );
+            assert_eq!(
+                outcome.explored, reference.explored,
+                "explored count diverged at threads={threads} cache={prefix_cache}"
+            );
+            assert_eq!(
+                outcome.best.applied.len(),
+                reference.best.applied.len(),
+                "applied sequence diverged at threads={threads} cache={prefix_cache}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_counters_and_thread_count_are_reported() {
+        let config = SearchConfig {
+            seq_len: 4,
+            intent: IntentMeasure::jaccard(0.3),
+            threads: 2,
+            prefix_cache: true,
+            ..Default::default()
+        };
+        let (outcome, _) = run_search(NONSTANDARD, &config);
+        assert_eq!(outcome.timings.threads, 2);
+        let probes = outcome.timings.prefix_cache_hits + outcome.timings.prefix_cache_misses;
+        assert!(probes > 0, "execution checks never touched the cache");
+        assert!(
+            outcome.timings.prefix_cache_hits > 0,
+            "beam siblings share prefixes; the cache should hit"
+        );
+        assert!(outcome.timings.get_steps_cpu_ms > 0.0);
+        // With the cache off, counters stay zero.
+        let cold = SearchConfig {
+            prefix_cache: false,
+            ..config.clone()
+        };
+        let (outcome, _) = run_search(NONSTANDARD, &cold);
+        assert_eq!(outcome.timings.prefix_cache_hits, 0);
+        assert_eq!(outcome.timings.prefix_cache_misses, 0);
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API shapes this workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`black_box`], `criterion_group!`, `criterion_main!` — with a simple
+//! median-of-samples wall-clock measurement instead of criterion's full
+//! statistical machinery.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level bench driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks one function and prints its median time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group (settings apply to benches within it).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group of benches with its own sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many samples to take per bench in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks one function under `group/name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{name}", self.name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (printing is immediate; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to bench closures; [`Bencher::iter`] measures the hot loop.
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample per call.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        black_box(f());
+        self.samples_ns.push(t0.elapsed().as_nanos());
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        samples_ns: Vec::with_capacity(samples),
+    };
+    // One warm-up invocation, then the measured samples.
+    f(&mut bencher);
+    bencher.samples_ns.clear();
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    bencher.samples_ns.sort_unstable();
+    let median = bencher
+        .samples_ns
+        .get(bencher.samples_ns.len() / 2)
+        .copied()
+        .unwrap_or(0);
+    println!("bench: {name:<48} median {:>12.3} µs", median as f64 / 1e3);
+}
+
+/// Groups bench functions under one callable, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| black_box(2) * 2));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,171 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace uses exactly two pieces of crossbeam: `thread::scope`
+//! with `Scope::spawn`, and `channel::unbounded`. Both have stable std
+//! equivalents today (`std::thread::scope`, `std::sync::mpsc`), so this
+//! shim adapts the crossbeam call shapes onto std.
+
+/// Scoped threads (`crossbeam::thread`), backed by [`std::thread::scope`].
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle passed to scoped closures; allows nested spawns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle
+        /// (crossbeam's signature), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            self.inner.spawn(move || f(&me))
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Panics in children propagate on join (std semantics),
+    /// so the `Err` arm of the returned result is never populated — kept
+    /// for crossbeam signature compatibility.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` (std scope re-raises child panics instead).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// Channels (`crossbeam::channel`), backed by [`std::sync::mpsc`].
+pub mod channel {
+    /// An unbounded MPSC channel. (crossbeam's is MPMC; every use in this
+    /// workspace has a single consumer.)
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    /// Sending half; clonable across worker threads.
+    pub struct Sender<T> {
+        inner: std::sync::mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value.
+        ///
+        /// # Errors
+        ///
+        /// Fails when the receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// Receiving half; iterable until all senders are dropped.
+    pub struct Receiver<T> {
+        inner: std::sync::mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// Fails when all senders have been dropped and the queue is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Iterates received values until the channel closes.
+        pub fn iter(&self) -> std::sync::mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = std::sync::mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = std::sync::mpsc::Iter<'a, T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.iter()
+        }
+    }
+
+    /// The channel is disconnected (receiver dropped).
+    pub struct SendError<T>(pub T);
+
+    // Unconditional like the real crate's, so `.expect()` works on
+    // channels of non-Debug payloads.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// The channel is disconnected (senders dropped, queue drained).
+    #[derive(Debug)]
+    pub struct RecvError;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_fanout_reassembles() {
+        let inputs: Vec<usize> = (0..32).collect();
+        let (tx, rx) = super::channel::unbounded();
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            for _ in 0..4 {
+                let tx = tx.clone();
+                let counter = &counter;
+                let inputs = &inputs;
+                scope.spawn(move |_| loop {
+                    let i = counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    if i >= inputs.len() {
+                        break;
+                    }
+                    tx.send((i, inputs[i] * 2)).expect("receiver alive");
+                });
+            }
+        })
+        .expect("no panics");
+        drop(tx);
+        let mut out = vec![0usize; inputs.len()];
+        for (i, v) in rx {
+            out[i] = v;
+        }
+        assert_eq!(out, inputs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

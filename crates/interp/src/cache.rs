@@ -1,0 +1,221 @@
+//! Prefix-execution caching: snapshot the variable environment after each
+//! executed statement so candidate scripts sharing a prefix resume from a
+//! cloned snapshot instead of re-running the prefix.
+//!
+//! During beam search, monotonicity fixes every statement below a
+//! candidate's cursor, so the many candidates expanded from one beam share
+//! long immutable prefixes. Re-executing those prefixes dominated
+//! `CheckIfExecutes()` cost; with the cache each distinct prefix executes
+//! once per search.
+//!
+//! Keys are a 64-bit chain hash over span-normalized statements (the same
+//! code at different source locations shares snapshots), folded over the
+//! interpreter's seed and sampling configuration. Snapshots are deep
+//! clones of the run state — no value in the interpreter is reference
+//! counted, so a resumed run can never alias a cached one.
+//!
+//! A cache is only valid for one registered-table configuration: it must
+//! not be shared between interpreters holding different tables. The
+//! search layer creates one cache per `standardize_search` call, which
+//! satisfies this by construction.
+
+use crate::value::RtValue;
+use lucid_pyast::{Span, Stmt};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default bound on retained snapshots (see [`PrefixCache::with_capacity`]).
+pub const DEFAULT_PREFIX_CACHE_CAPACITY: usize = 4096;
+
+/// A bounded, thread-safe store of execution snapshots keyed by statement
+/// prefix.
+#[derive(Debug)]
+pub struct PrefixCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug)]
+struct CacheInner {
+    map: HashMap<u64, CachedPrefix>,
+    /// Keys in insertion/touch order; front is the eviction victim.
+    order: VecDeque<u64>,
+}
+
+/// The environment after executing a statement prefix.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedPrefix {
+    pub vars: HashMap<String, RtValue>,
+    pub last_frame_var: Option<String>,
+    /// Number of statements this snapshot has already executed.
+    pub len: usize,
+}
+
+impl Default for PrefixCache {
+    fn default() -> Self {
+        PrefixCache::with_capacity(DEFAULT_PREFIX_CACHE_CAPACITY)
+    }
+}
+
+impl PrefixCache {
+    /// A cache retaining at most `capacity` snapshots (LRU eviction).
+    /// A zero capacity disables storage; probes then always miss.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PrefixCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs that resumed from a snapshot.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Runs that started cold.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of snapshots currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Whether no snapshots are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The retention bound this cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records whether a run found any prefix (`hit`) or started cold.
+    pub(crate) fn record_probe(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A clone of the snapshot for `key`, touching its LRU position.
+    pub(crate) fn get(&self, key: u64) -> Option<CachedPrefix> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let snapshot = inner.map.get(&key).cloned()?;
+        if let Some(pos) = inner.order.iter().position(|k| *k == key) {
+            inner.order.remove(pos);
+            inner.order.push_back(key);
+        }
+        Some(snapshot)
+    }
+
+    /// Stores a snapshot, evicting the least recently used on overflow.
+    pub(crate) fn put(&self, key: u64, snapshot: CachedPrefix) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.map.insert(key, snapshot).is_none() {
+            inner.order.push_back(key);
+            while inner.map.len() > self.capacity {
+                let Some(old) = inner.order.pop_front() else {
+                    break;
+                };
+                inner.map.remove(&old);
+            }
+        }
+    }
+}
+
+/// Chain-hashes the statements of a script: entry `i` keys the prefix
+/// `stmts[..=i]`. Spans are normalized away so identical code hashes
+/// identically wherever it sits in the source.
+pub(crate) fn prefix_keys(stmts: &[Stmt], seed: u64, sample_rows: Option<usize>) -> Vec<u64> {
+    let mut chain = {
+        // Fold the interpreter's input configuration into the root of the
+        // chain: a cache probed under a different seed/sampling setup
+        // must never return this run's snapshots.
+        let mut h = DefaultHasher::new();
+        0x707e_f1c5_u64.hash(&mut h);
+        seed.hash(&mut h);
+        sample_rows.hash(&mut h);
+        h.finish()
+    };
+    stmts
+        .iter()
+        .map(|stmt| {
+            let mut h = DefaultHasher::new();
+            chain.hash(&mut h);
+            stmt.clone().with_span(Span::synthetic()).hash(&mut h);
+            chain = h.finish();
+            chain
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(len: usize) -> CachedPrefix {
+        CachedPrefix {
+            vars: HashMap::new(),
+            last_frame_var: None,
+            len,
+        }
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        let cache = PrefixCache::with_capacity(2);
+        cache.put(1, snapshot(1));
+        cache.put(2, snapshot(2));
+        // Touch key 1 so key 2 becomes the eviction victim.
+        assert!(cache.get(1).is_some());
+        cache.put(3, snapshot(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let cache = PrefixCache::with_capacity(0);
+        cache.put(1, snapshot(1));
+        assert!(cache.is_empty());
+        assert!(cache.get(1).is_none());
+    }
+
+    #[test]
+    fn prefix_keys_ignore_spans_but_not_config() {
+        let a = lucid_pyast::parse_module("x = 1\ny = 2\n").unwrap();
+        let b = lucid_pyast::parse_module("\n\nx = 1\ny = 2\n").unwrap();
+        let keys_a = prefix_keys(&a.stmts, 7, None);
+        let keys_b = prefix_keys(&b.stmts, 7, None);
+        assert_eq!(keys_a, keys_b);
+        assert_eq!(keys_a.len(), 2);
+        // Same code, different first statement → chains diverge and stay
+        // diverged.
+        let c = lucid_pyast::parse_module("x = 3\ny = 2\n").unwrap();
+        let keys_c = prefix_keys(&c.stmts, 7, None);
+        assert_ne!(keys_a[0], keys_c[0]);
+        assert_ne!(keys_a[1], keys_c[1]);
+        // Different interpreter configuration → different key space.
+        assert_ne!(keys_a, prefix_keys(&a.stmts, 8, None));
+        assert_ne!(keys_a, prefix_keys(&a.stmts, 7, Some(100)));
+    }
+}

@@ -123,10 +123,81 @@ impl Interpreter {
         })
     }
 
+    /// Like [`Interpreter::run`], but resumes from the longest cached
+    /// statement prefix and snapshots every prefix it executes, so
+    /// scripts sharing a prefix (beam-search candidates below the
+    /// monotonicity cursor) pay for it once.
+    ///
+    /// Produces the same outcome as `run` for any script: execution is
+    /// deterministic given the interpreter's configuration, snapshots are
+    /// deep clones, and the cache key covers seed and sampling. Statement
+    /// budget accounting also matches — resumed statements count as if
+    /// they had been executed.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`Interpreter::run`] reports. Prefixes executed
+    /// before the failing statement are still cached: candidates that
+    /// fail late make their siblings cheaper.
+    pub fn run_with_cache(
+        &self,
+        module: &Module,
+        cache: &crate::cache::PrefixCache,
+    ) -> Result<ExecOutcome> {
+        let keys = crate::cache::prefix_keys(&module.stmts, self.seed, self.sample_rows);
+        // Longest cached prefix wins; each probe is cheap (hash lookup).
+        let resumed = keys
+            .iter()
+            .enumerate()
+            .rev()
+            .find_map(|(i, key)| cache.get(*key).filter(|s| s.len == i + 1));
+        cache.record_probe(resumed.is_some());
+        let mut state = match resumed {
+            Some(snapshot) => RunState {
+                vars: snapshot.vars,
+                last_frame_var: snapshot.last_frame_var,
+                steps: snapshot.len,
+            },
+            None => RunState {
+                vars: HashMap::new(),
+                last_frame_var: None,
+                steps: 0,
+            },
+        };
+        for (stmt, key) in module.stmts.iter().zip(&keys).skip(state.steps) {
+            state.steps += 1;
+            if state.steps > self.max_statements {
+                return Err(InterpError::BudgetExhausted);
+            }
+            self.exec_stmt(stmt, &mut state)?;
+            cache.put(
+                *key,
+                crate::cache::CachedPrefix {
+                    vars: state.vars.clone(),
+                    last_frame_var: state.last_frame_var.clone(),
+                    len: state.steps,
+                },
+            );
+        }
+        Ok(ExecOutcome {
+            vars: state.vars,
+            last_frame_var: state.last_frame_var,
+        })
+    }
+
     /// Executes a script and reports only whether it runs — the paper's
     /// `CheckIfExecutes()`.
     pub fn check_executes(&self, module: &Module) -> bool {
         self.run(module).is_ok()
+    }
+
+    /// [`Interpreter::check_executes`] through the prefix cache.
+    pub fn check_executes_with_cache(
+        &self,
+        module: &Module,
+        cache: &crate::cache::PrefixCache,
+    ) -> bool {
+        self.run_with_cache(module, cache).is_ok()
     }
 
     fn exec_stmt(&self, stmt: &Stmt, state: &mut RunState) -> Result<()> {

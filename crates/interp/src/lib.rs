@@ -29,6 +29,7 @@
 //! assert_eq!(out.total_null_count(), 0);
 //! ```
 
+pub mod cache;
 pub mod env;
 pub mod error;
 pub mod eval;
@@ -37,6 +38,7 @@ pub mod pandas;
 pub mod sklearn;
 pub mod value;
 
+pub use cache::PrefixCache;
 pub use env::{ExecOutcome, Interpreter};
 pub use error::InterpError;
 pub use value::RtValue;

@@ -1,0 +1,241 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde is a visitor-based zero-copy framework; this workspace
+//! only ever derives `Serialize`/`Deserialize` and feeds values to
+//! `serde_json::to_string(_pretty)`, so the stand-in collapses the design
+//! to one reflection step: [`Serialize::to_content`] builds a [`Content`]
+//! tree that `serde_json` renders. `Deserialize` is derived but never
+//! invoked typed anywhere in the workspace (only untyped
+//! `serde_json::Value` parsing is used), so it is a marker trait here.
+//!
+//! The derive macros live in the vendored `serde_derive` crate and are
+//! re-exported under the usual names when the `derive` feature is on.
+
+use std::collections::{BTreeMap, HashMap};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialization tree: the JSON-shaped data model every serializable
+/// value reduces to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null` (also used for non-finite floats, as serde_json rejects them).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Content>),
+    /// An object with insertion-ordered keys.
+    Map(Vec<(String, Content)>),
+}
+
+/// Types renderable to a [`Content`] tree.
+pub trait Serialize {
+    /// Reflects `self` into the serialization data model.
+    fn to_content(&self) -> Content;
+}
+
+/// Marker for types the real serde could deserialize. The derive emits an
+/// empty impl; nothing in this workspace performs typed deserialization.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn to_content(&self) -> Content {
+        if *self <= i64::MAX as u64 {
+            Content::Int(*self as i64)
+        } else {
+            Content::UInt(*self)
+        }
+    }
+}
+
+impl Serialize for usize {
+    fn to_content(&self) -> Content {
+        (*self as u64).to_content()
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn to_content(&self) -> Content {
+        // Deterministic output: sort keys (HashMap iteration order is not).
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! tuple_impls {
+    ($( ($($name:ident . $idx:tt),+) )+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$( self.$idx.to_content() ),+])
+            }
+        }
+    )+};
+}
+
+tuple_impls! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_reflect() {
+        assert_eq!(5i32.to_content(), Content::Int(5));
+        assert_eq!(u64::MAX.to_content(), Content::UInt(u64::MAX));
+        assert_eq!(true.to_content(), Content::Bool(true));
+        assert_eq!("hi".to_content(), Content::Str("hi".into()));
+        assert_eq!(Option::<i64>::None.to_content(), Content::Null);
+    }
+
+    #[test]
+    fn containers_reflect() {
+        let v = vec![1i64, 2];
+        assert_eq!(
+            v.to_content(),
+            Content::Seq(vec![Content::Int(1), Content::Int(2)])
+        );
+        let t = ("a", 1.5f64, vec![true]);
+        assert_eq!(
+            t.to_content(),
+            Content::Seq(vec![
+                Content::Str("a".into()),
+                Content::Float(1.5),
+                Content::Seq(vec![Content::Bool(true)])
+            ])
+        );
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2i64);
+        m.insert("a".to_string(), 1i64);
+        assert_eq!(
+            m.to_content(),
+            Content::Map(vec![
+                ("a".into(), Content::Int(1)),
+                ("b".into(), Content::Int(2))
+            ])
+        );
+    }
+}

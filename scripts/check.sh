@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# CI gate: release build, full test suite, and zero-warning clippy on the
+# crates owning the search execution model (core + interp).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy (lucid-core, lucid-interp) -D warnings"
+cargo clippy -p lucid-core -p lucid-interp --all-targets -- -D warnings
+
+echo "==> OK"

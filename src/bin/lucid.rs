@@ -33,6 +33,8 @@ OPTIONS (standardize):
   --seq <N>           max transformations (default 16)
   --beam <K>          beam size (default 3)
   --sample <N>        row-sample D_IN during constraint checks
+  --threads <N>       beam-expansion worker threads (0 = all cores, default 1)
+  --no-cache          disable prefix-execution snapshot caching
   --explain           print per-change explanations
   --json              emit the full report as JSON
 ";
@@ -65,7 +67,7 @@ impl Flags {
                 return Err(format!("unexpected argument '{a}'"));
             };
             match name {
-                "explain" | "json" => switches.push(name.to_string()),
+                "explain" | "json" | "no-cache" => switches.push(name.to_string()),
                 _ => {
                     let value = it
                         .next()
@@ -166,6 +168,10 @@ fn standardize(flags: &Flags) -> Result<(), String> {
             .get("sample")
             .map(|v| v.parse().map_err(|_| "bad --sample".to_string()))
             .transpose()?,
+        threads: flags.get("threads").map_or(Ok(1), |v| {
+            v.parse().map_err(|_| "bad --threads".to_string())
+        })?,
+        prefix_cache: !flags.has("no-cache"),
         ..SearchConfig::default()
     };
 
