@@ -20,6 +20,9 @@ struct Fig7Row {
     total_ms: f64,
     get_steps_speedup: f64,
     prefix_cache_hit_rate: f64,
+    prefix_cache_evictions: u64,
+    prefix_cache_peak_snapshots: u64,
+    search_steps: usize,
     threads: usize,
 }
 
@@ -35,7 +38,20 @@ struct SearchBenchArm {
     median_check_execute_ms: f64,
     get_steps_speedup: f64,
     prefix_cache_hit_rate: f64,
+    prefix_cache_evictions: u64,
+    prefix_cache_peak_snapshots: u64,
+    search_steps: usize,
     scripts: usize,
+}
+
+/// Cost of the structured event log: the same sweep with tracing off
+/// (no collector attached, the default) vs on (in-memory sink).
+#[derive(Serialize)]
+struct TraceOverhead {
+    trace_off_total_ms: f64,
+    trace_on_total_ms: f64,
+    overhead_pct: f64,
+    trace_events: u64,
 }
 
 /// Before/after wall-clock comparison persisted to `BENCH_search.json`.
@@ -43,6 +59,7 @@ struct SearchBenchArm {
 struct SearchBench {
     before: SearchBenchArm,
     after: SearchBenchArm,
+    tracing: TraceOverhead,
 }
 
 fn arm_from_reports(
@@ -65,6 +82,9 @@ fn arm_from_reports(
         ),
         get_steps_speedup: agg.get_steps_speedup(),
         prefix_cache_hit_rate: agg.prefix_cache_hit_rate(),
+        prefix_cache_evictions: agg.prefix_cache_evictions,
+        prefix_cache_peak_snapshots: agg.prefix_cache_peak_snapshots,
+        search_steps: agg.search_steps,
         scripts: reports.len(),
     }
 }
@@ -114,6 +134,9 @@ fn main() {
             total_ms: pick(|t| t.total_ms),
             get_steps_speedup: agg.get_steps_speedup(),
             prefix_cache_hit_rate: agg.prefix_cache_hit_rate(),
+            prefix_cache_evictions: agg.prefix_cache_evictions,
+            prefix_cache_peak_snapshots: agg.prefix_cache_peak_snapshots,
+            search_steps: agg.search_steps,
             threads: agg.threads,
         };
         rows.push(vec![
@@ -125,6 +148,8 @@ fn main() {
             format!("{:.1}", row.total_ms),
             format!("{:.2}x", row.get_steps_speedup),
             format!("{:.0}%", row.prefix_cache_hit_rate * 100.0),
+            format!("{}", row.prefix_cache_evictions),
+            format!("{}", row.search_steps),
         ]);
         json.push(row);
         println!("  {} done", p.name);
@@ -140,6 +165,8 @@ fn main() {
             "Total",
             "GS speedup",
             "Cache hits",
+            "Evict",
+            "Steps",
         ],
         &rows,
     );
@@ -188,7 +215,42 @@ fn main() {
         "  end-to-end change: {:.2}x",
         before.median_total_ms / after.median_total_ms.max(1e-9)
     );
-    let bench = SearchBench { before, after };
+
+    // Tracing cost: the optimized arm again, with the search event log on
+    // (in-memory sink). The trace-off run is the default path — no span
+    // collector is attached at all, so its only instrumentation cost is
+    // the per-search metrics registry.
+    let sink = lucid_obs::TraceSink::in_memory();
+    let traced_cfg = SearchConfig {
+        threads: 0,
+        prefix_cache: true,
+        trace: Some(sink.clone()),
+        intent: IntentMeasure::jaccard(0.9),
+        sample_rows: env.sample_rows(),
+        ..Default::default()
+    };
+    let traced_res = leave_one_out_ls(&env, &medical, CorpusVariant::Full, &traced_cfg);
+    let trace_off_total_ms: f64 = optimized_res.ls_reports.iter().map(|r| r.timings.total_ms).sum();
+    let trace_on_total_ms: f64 = traced_res.ls_reports.iter().map(|r| r.timings.total_ms).sum();
+    let tracing = TraceOverhead {
+        trace_off_total_ms,
+        trace_on_total_ms,
+        overhead_pct: 100.0 * (trace_on_total_ms - trace_off_total_ms)
+            / trace_off_total_ms.max(1e-9),
+        trace_events: sink.records(),
+    };
+    println!(
+        "  event log: off {:.1} ms, on {:.1} ms ({:+.1}%), {} events",
+        tracing.trace_off_total_ms,
+        tracing.trace_on_total_ms,
+        tracing.overhead_pct,
+        tracing.trace_events,
+    );
+    let bench = SearchBench {
+        before,
+        after,
+        tracing,
+    };
     env.write_json("BENCH_search", &bench);
 
     // §6.5: sampling ablation on Sales (the paper: 20× slower unsampled).

@@ -57,6 +57,11 @@ pub struct SearchConfig {
     /// displace it. Keeps step-convergent searches from growing an
     /// unbounded verification queue.
     pub max_finalists: usize,
+    /// Structured search event log destination. When set, the search
+    /// emits one JSONL record per beam step (plus start/verify/end
+    /// records) and the interpreter records per-statement spans; `None`
+    /// keeps the whole observability layer on its no-op path.
+    pub trace: Option<lucid_obs::TraceSink>,
 }
 
 impl Default for SearchConfig {
@@ -79,6 +84,7 @@ impl Default for SearchConfig {
             prefix_cache: true,
             prefix_cache_capacity: lucid_interp::cache::DEFAULT_PREFIX_CACHE_CAPACITY,
             max_finalists: 256,
+            trace: None,
         }
     }
 }

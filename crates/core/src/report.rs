@@ -3,9 +3,46 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Registry metric names the search records under, and
+/// [`Timings::from_registry`] projects from. Time-valued names are
+/// histograms (one observation per beam step / search phase); the rest
+/// are counters.
+pub mod metric {
+    /// `GetSteps` wall time histogram.
+    pub const GET_STEPS: &str = "search.get_steps";
+    /// Summed per-worker CPU time inside parallel `GetSteps`.
+    pub const GET_STEPS_CPU: &str = "search.get_steps_cpu";
+    /// `GetTopKBeams` wall time histogram.
+    pub const GET_TOP_K: &str = "search.get_top_k";
+    /// `CheckIfExecutes` wall time histogram.
+    pub const CHECK_EXECUTE: &str = "search.check_execute";
+    /// `VerifyConstraints` wall time histogram.
+    pub const VERIFY: &str = "search.verify_constraints";
+    /// End-to-end wall time histogram (one observation per search).
+    pub const TOTAL: &str = "search.total";
+    /// Beam steps executed.
+    pub const STEPS: &str = "search.steps";
+    /// Worker threads (recorded via `set_max`).
+    pub const THREADS: &str = "search.threads";
+    /// Prefix-cache hits.
+    pub const CACHE_HITS: &str = "cache.hits";
+    /// Prefix-cache misses.
+    pub const CACHE_MISSES: &str = "cache.misses";
+    /// Prefix-cache LRU evictions.
+    pub const CACHE_EVICTIONS: &str = "cache.evictions";
+    /// Peak retained prefix snapshots (recorded via `set_max`).
+    pub const CACHE_PEAK: &str = "cache.peak_snapshots";
+}
+
 /// Wall-clock breakdown of the search phases — the quantities behind the
 /// paper's Figure 7 (runtime breakdown of GetSteps / GetTopKBeams /
 /// CheckIfExecutes / VerifyConstraints).
+///
+/// The search records these quantities into a per-search
+/// `lucid_obs::Registry` and projects a `Timings` from it at the end
+/// ([`Timings::from_registry`]); the trace event log carries the same
+/// measured values, so a trace summary and the report can never disagree
+/// beyond float rendering.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct Timings {
     /// Time spent enumerating + ranking next steps (`GetSteps`).
@@ -29,10 +66,25 @@ pub struct Timings {
     pub prefix_cache_hits: u64,
     /// Execution-check runs that started cold.
     pub prefix_cache_misses: u64,
+    /// Prefix snapshots evicted by the cache's LRU bound.
+    pub prefix_cache_evictions: u64,
+    /// Peak number of prefix snapshots retained at once.
+    pub prefix_cache_peak_snapshots: u64,
+    /// Beam steps the search executed (its depth).
+    pub search_steps: usize,
 }
 
 impl Timings {
     /// Adds another breakdown into this one (for aggregation across runs).
+    ///
+    /// Additive fields (times, counts, `search_steps`) sum. `threads` and
+    /// `prefix_cache_peak_snapshots` are configuration/gauge values, not
+    /// quantities of work, so summing them across runs would fabricate a
+    /// parallelism (or cache footprint) no run ever had; they take the
+    /// **max** instead. Under heterogeneous runs the aggregate therefore
+    /// reads as "the widest configuration seen", and per-run ratios like
+    /// [`Timings::get_steps_speedup`] should be computed *before*
+    /// accumulation when the mix matters.
     pub fn accumulate(&mut self, other: &Timings) {
         self.get_steps_ms += other.get_steps_ms;
         self.get_top_k_ms += other.get_top_k_ms;
@@ -43,6 +95,31 @@ impl Timings {
         self.threads = self.threads.max(other.threads);
         self.prefix_cache_hits += other.prefix_cache_hits;
         self.prefix_cache_misses += other.prefix_cache_misses;
+        self.prefix_cache_evictions += other.prefix_cache_evictions;
+        self.prefix_cache_peak_snapshots = self
+            .prefix_cache_peak_snapshots
+            .max(other.prefix_cache_peak_snapshots);
+        self.search_steps += other.search_steps;
+    }
+
+    /// Projects a `Timings` from a search's metric registry (see
+    /// [`metric`] for the names). Histogram sums become the phase times;
+    /// counters become the counts. Metrics never recorded read as zero.
+    pub fn from_registry(reg: &lucid_obs::Registry) -> Timings {
+        Timings {
+            get_steps_ms: reg.histogram_sum_ms(metric::GET_STEPS),
+            get_top_k_ms: reg.histogram_sum_ms(metric::GET_TOP_K),
+            check_execute_ms: reg.histogram_sum_ms(metric::CHECK_EXECUTE),
+            verify_constraints_ms: reg.histogram_sum_ms(metric::VERIFY),
+            total_ms: reg.histogram_sum_ms(metric::TOTAL),
+            get_steps_cpu_ms: reg.histogram_sum_ms(metric::GET_STEPS_CPU),
+            threads: usize::try_from(reg.counter_value(metric::THREADS)).unwrap_or(usize::MAX),
+            prefix_cache_hits: reg.counter_value(metric::CACHE_HITS),
+            prefix_cache_misses: reg.counter_value(metric::CACHE_MISSES),
+            prefix_cache_evictions: reg.counter_value(metric::CACHE_EVICTIONS),
+            prefix_cache_peak_snapshots: reg.counter_value(metric::CACHE_PEAK),
+            search_steps: usize::try_from(reg.counter_value(metric::STEPS)).unwrap_or(usize::MAX),
+        }
     }
 
     /// Realized speedup of the parallel `GetSteps` regions: worker CPU
@@ -118,6 +195,9 @@ mod tests {
             threads: 4,
             prefix_cache_hits: 6,
             prefix_cache_misses: 2,
+            prefix_cache_evictions: 1,
+            prefix_cache_peak_snapshots: 9,
+            search_steps: 3,
         };
         a.accumulate(&a.clone());
         assert_eq!(a.get_steps_ms, 2.0);
@@ -126,6 +206,78 @@ mod tests {
         assert_eq!(a.threads, 4);
         assert_eq!(a.prefix_cache_hits, 12);
         assert_eq!(a.prefix_cache_misses, 4);
+        assert_eq!(a.prefix_cache_evictions, 2);
+        assert_eq!(a.prefix_cache_peak_snapshots, 9);
+        assert_eq!(a.search_steps, 6);
+    }
+
+    #[test]
+    fn accumulate_takes_max_threads_and_peak_under_heterogeneous_runs() {
+        // A 1-thread run folded with an 8-thread run: the aggregate
+        // reports the widest configuration, never the sum (9 threads
+        // would describe a machine that never existed), and work-valued
+        // fields still sum.
+        let mut serial = Timings {
+            total_ms: 10.0,
+            threads: 1,
+            prefix_cache_peak_snapshots: 100,
+            search_steps: 2,
+            ..Timings::default()
+        };
+        let wide = Timings {
+            total_ms: 5.0,
+            threads: 8,
+            prefix_cache_peak_snapshots: 40,
+            search_steps: 4,
+            ..Timings::default()
+        };
+        serial.accumulate(&wide);
+        assert_eq!(serial.threads, 8);
+        assert_eq!(serial.prefix_cache_peak_snapshots, 100);
+        assert_eq!(serial.total_ms, 15.0);
+        assert_eq!(serial.search_steps, 6);
+        // Order-independent for the max fields.
+        let mut rev = wide;
+        rev.accumulate(&Timings {
+            threads: 1,
+            prefix_cache_peak_snapshots: 100,
+            ..Timings::default()
+        });
+        assert_eq!(rev.threads, 8);
+        assert_eq!(rev.prefix_cache_peak_snapshots, 100);
+    }
+
+    #[test]
+    fn from_registry_projects_all_fields() {
+        let reg = lucid_obs::Registry::new();
+        reg.histogram(metric::GET_STEPS).record_ns(2_000_000);
+        reg.histogram(metric::GET_STEPS).record_ns(1_000_000);
+        reg.histogram(metric::GET_TOP_K).record_ns(500_000);
+        reg.histogram(metric::CHECK_EXECUTE).record_ns(250_000);
+        reg.histogram(metric::VERIFY).record_ns(125_000);
+        reg.histogram(metric::TOTAL).record_ns(4_000_000);
+        reg.histogram(metric::GET_STEPS_CPU).record_ns(6_000_000);
+        reg.counter(metric::STEPS).add(2);
+        reg.counter(metric::THREADS).set_max(4);
+        reg.counter(metric::CACHE_HITS).add(7);
+        reg.counter(metric::CACHE_MISSES).add(3);
+        reg.counter(metric::CACHE_EVICTIONS).add(1);
+        reg.counter(metric::CACHE_PEAK).set_max(12);
+        let t = Timings::from_registry(&reg);
+        assert!((t.get_steps_ms - 3.0).abs() < 1e-9);
+        assert!((t.get_top_k_ms - 0.5).abs() < 1e-9);
+        assert!((t.check_execute_ms - 0.25).abs() < 1e-9);
+        assert!((t.verify_constraints_ms - 0.125).abs() < 1e-9);
+        assert!((t.total_ms - 4.0).abs() < 1e-9);
+        assert!((t.get_steps_cpu_ms - 6.0).abs() < 1e-9);
+        assert_eq!(t.threads, 4);
+        assert_eq!(t.search_steps, 2);
+        assert_eq!(t.prefix_cache_hits, 7);
+        assert_eq!(t.prefix_cache_misses, 3);
+        assert_eq!(t.prefix_cache_evictions, 1);
+        assert_eq!(t.prefix_cache_peak_snapshots, 12);
+        // An empty registry projects the zero breakdown.
+        assert_eq!(Timings::from_registry(&lucid_obs::Registry::new()), Timings::default());
     }
 
     #[test]

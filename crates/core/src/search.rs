@@ -21,11 +21,16 @@ use crate::config::{Objective, SearchConfig};
 use crate::dag::ScriptDag;
 use crate::entropy;
 use crate::kmeans::kmeans;
-use crate::report::Timings;
-use crate::transform::{enumerate_transformations, TransformKind, Transformation};
+use crate::report::{metric, Timings};
+use crate::transform::{enumerate_transformations_counted, TransformKind, Transformation};
 use crate::vocab::CorpusModel;
 use lucid_frame::DataFrame;
 use lucid_interp::{ExecOutcome, Interpreter, PrefixCache};
+use lucid_obs::event::{
+    KeptBeam, SearchEndEvent, SearchStartEvent, StepEvent, StmtSpanAgg, VerifyEvent,
+    TRACE_SCHEMA_VERSION,
+};
+use lucid_obs::Registry;
 use lucid_pyast::Module;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -114,13 +119,44 @@ impl<'a> ExecEnv<'a> {
         }
     }
 
-    /// Copies cache counters into the timing report.
-    fn report_into(&self, timings: &mut Timings) {
-        if let Some(cache) = &self.cache {
-            timings.prefix_cache_hits = cache.hits();
-            timings.prefix_cache_misses = cache.misses();
+    /// Cumulative (hits, misses, evictions) of the prefix cache — zeros
+    /// when caching is off. Sampled before/after each beam step to
+    /// attribute cache traffic to steps in the event log.
+    fn cache_counters(&self) -> (u64, u64, u64) {
+        match &self.cache {
+            Some(cache) => (cache.hits(), cache.misses(), cache.evictions()),
+            None => (0, 0, 0),
         }
     }
+
+    /// Peak retained snapshots (0 when caching is off).
+    fn cache_peak(&self) -> u64 {
+        self.cache.as_ref().map_or(0, PrefixCache::peak_snapshots)
+    }
+}
+
+/// Per-beam-step measurements, accumulated by the phase helpers and then
+/// recorded into the search registry (one histogram observation per step)
+/// and the step's trace event. Keeping one struct per step is what lets
+/// the event log and the `Timings` projection report the *same* measured
+/// values.
+#[derive(Debug, Default)]
+struct StepStats {
+    get_steps_ms: f64,
+    get_steps_cpu_ms: f64,
+    get_top_k_ms: f64,
+    check_execute_ms: f64,
+    enumerated: usize,
+    pruned_monotonicity: usize,
+    scored: usize,
+    rejected_execution: u64,
+    admitted: u64,
+}
+
+/// Converts a millisecond measurement into the integer nanoseconds the
+/// registry histograms store.
+fn ms_to_ns(ms: f64) -> u64 {
+    (ms * 1e6).round() as u64
 }
 
 /// The search result.
@@ -143,10 +179,40 @@ pub struct SearchOutcome {
 /// why LucidScript never *reduces* standardness (§6.3.1).
 pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome {
     let t_total = Instant::now();
-    let mut timings = Timings {
-        threads: ctx.config.resolved_threads(),
-        ..Timings::default()
-    };
+    // All timing/count facts of this search live in one registry; the
+    // returned `Timings` is a projection of it, and the trace events carry
+    // the same measured values — the two views cannot disagree.
+    let reg = Registry::new();
+    let h_get_steps = reg.histogram(metric::GET_STEPS);
+    let h_get_steps_cpu = reg.histogram(metric::GET_STEPS_CPU);
+    let h_get_top_k = reg.histogram(metric::GET_TOP_K);
+    let h_check = reg.histogram(metric::CHECK_EXECUTE);
+    let h_verify = reg.histogram(metric::VERIFY);
+    let h_total = reg.histogram(metric::TOTAL);
+    let c_steps = reg.counter(metric::STEPS);
+    reg.counter(metric::THREADS)
+        .set_max(ctx.config.resolved_threads() as u64);
+    let trace = ctx.config.trace.as_ref();
+    // A fresh epoch for the interpreter's span collector, so per-statement
+    // aggregates describe this search only.
+    if let Some(obs) = &ctx.interp.obs {
+        obs.reset();
+    }
+    if let Some(sink) = trace {
+        sink.emit(&SearchStartEvent::new(
+            ctx.config.seq_len,
+            ctx.config.beam_k,
+            ctx.config.resolved_threads(),
+            ctx.config.diversity,
+            ctx.config.early_check,
+            ctx.config.prefix_cache,
+            match ctx.config.objective {
+                Objective::Edges => "edges",
+                Objective::Atoms => "atoms",
+            },
+        ));
+    }
+
     let exec = ExecEnv::new(ctx.interp, ctx.config);
     let input_candidate =
         Candidate::from_module(input.clone(), ctx.corpus, ctx.config.objective);
@@ -159,22 +225,25 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
     // unmodified input.
     let mut finalists: Vec<Candidate> = Vec::new();
 
-    for _step in 0..ctx.config.seq_len {
+    for step in 0..ctx.config.seq_len {
+        let mut stats = StepStats::default();
+        let beams_in = beams.len();
+        let cache_before = exec.cache_counters();
         let mut next: Vec<Candidate> = beams.clone(); // Algorithm 2, line 2: C' = C
         // GetSteps for every beam of this step at once: ranking depends
         // only on the beams (never on `next`), so scoring all expansions
         // up front is equivalent to the per-beam interleaving — and lets
         // the work fan out across every (beam, transformation) pair.
-        let ranked_per_beam = get_steps_all(&beams, ctx, &mut explored, &mut timings);
+        let ranked_per_beam = get_steps_all(&beams, ctx, &mut explored, &mut stats);
         for (cand, ranked) in beams.iter().zip(ranked_per_beam) {
             // GetTopKBeams / GetDiverseTopKBeams.
             let t1 = Instant::now();
             if ctx.config.diversity {
-                get_diverse_top_k(cand, ranked, ctx, &exec, &mut next, &mut timings);
+                get_diverse_top_k(cand, ranked, ctx, &exec, &mut next, &mut stats);
             } else {
-                get_top_k(cand, &ranked, ctx, &exec, &mut next, &mut timings, usize::MAX);
+                get_top_k(cand, &ranked, ctx, &exec, &mut next, &mut stats, usize::MAX);
             }
-            timings.get_top_k_ms += t1.elapsed().as_secs_f64() * 1e3;
+            stats.get_top_k_ms += t1.elapsed().as_secs_f64() * 1e3;
         }
         // Deduplicate identical scripts (different sequences can converge).
         next.sort_by(|a, b| a.re.partial_cmp(&b.re).expect("finite RE"));
@@ -186,6 +255,41 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
             .all(|(a, b)| a.dag.atoms == b.dag.atoms)
             && next.len() == beams.len();
         beams = next;
+        c_steps.add(1);
+        h_get_steps.record_ns(ms_to_ns(stats.get_steps_ms));
+        h_get_steps_cpu.record_ns(ms_to_ns(stats.get_steps_cpu_ms));
+        h_get_top_k.record_ns(ms_to_ns(stats.get_top_k_ms));
+        h_check.record_ns(ms_to_ns(stats.check_execute_ms));
+        if let Some(sink) = trace {
+            let cache_after = exec.cache_counters();
+            sink.emit(&StepEvent {
+                v: TRACE_SCHEMA_VERSION,
+                event: "step".to_string(),
+                step,
+                beams_in,
+                enumerated: stats.enumerated,
+                pruned_monotonicity: stats.pruned_monotonicity,
+                scored: stats.scored,
+                rejected_execution: stats.rejected_execution,
+                admitted: stats.admitted,
+                kept: beams
+                    .iter()
+                    .map(|c| KeptBeam {
+                        re: c.re,
+                        cursor: c.cursor,
+                        lines: c.module.stmts.len(),
+                        applied: c.applied.len(),
+                    })
+                    .collect(),
+                cache_hits: cache_after.0 - cache_before.0,
+                cache_misses: cache_after.1 - cache_before.1,
+                cache_evictions: cache_after.2 - cache_before.2,
+                get_steps_ms: stats.get_steps_ms,
+                get_top_k_ms: stats.get_top_k_ms,
+                check_execute_ms: stats.check_execute_ms,
+                converged,
+            });
+        }
         for cand in &beams {
             if !cand.applied.is_empty()
                 && !finalists.iter().any(|f| f.dag.atoms == cand.dag.atoms)
@@ -211,6 +315,11 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
     // Finalists are checked in ascending-RE order; the first valid one is
     // optimal among everything the search visited.
     let t2 = Instant::now();
+    let n_finalists = finalists.len();
+    let mut checked = 0usize;
+    let mut verify_check_ms = 0.0f64;
+    let mut rejected_execution = 0u64;
+    let mut rejected_intent = 0u64;
     finalists.sort_by(|a, b| a.re.partial_cmp(&b.re).expect("finite RE"));
     let mut best: Option<(Candidate, crate::intent::IntentEval)> = None;
     for cand in finalists {
@@ -220,31 +329,52 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
         if cand.re >= input_candidate.re - 1e-12 {
             continue;
         }
+        checked += 1;
         if !ctx.config.early_check {
             let t3 = Instant::now();
             let ok = exec.check_executes(&cand.module);
-            timings.check_execute_ms += t3.elapsed().as_secs_f64() * 1e3;
+            verify_check_ms += t3.elapsed().as_secs_f64() * 1e3;
             if !ok {
+                rejected_execution += 1;
                 continue;
             }
         }
         let Ok(outcome) = exec.run(&cand.module) else {
+            rejected_execution += 1;
             continue;
         };
         let Some(out_frame) = outcome.output_frame() else {
+            rejected_execution += 1;
             continue;
         };
         let eval = ctx.config.intent.evaluate(ctx.base_output, out_frame);
         if !eval.satisfied {
+            rejected_intent += 1;
             continue;
         }
         best = Some((cand, eval));
         break;
     }
-    timings.verify_constraints_ms += t2.elapsed().as_secs_f64() * 1e3;
+    let verify_ms = t2.elapsed().as_secs_f64() * 1e3;
+    h_check.record_ns(ms_to_ns(verify_check_ms));
+    h_verify.record_ns(ms_to_ns(verify_ms));
+    if let Some(sink) = trace {
+        sink.emit(&VerifyEvent {
+            v: TRACE_SCHEMA_VERSION,
+            event: "verify".to_string(),
+            finalists: n_finalists,
+            checked,
+            rejected_execution,
+            rejected_intent,
+            accepted: best.is_some(),
+            check_execute_ms: verify_check_ms,
+            verify_ms,
+        });
+    }
 
     // Lazily built fallback: `input_candidate` is moved only on the
     // fallback path, never cloned on the common path.
+    let input_re = input_candidate.re;
     let (best, intent) = match best {
         Some(found) => found,
         None => (
@@ -259,14 +389,63 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
             },
         ),
     };
-    exec.report_into(&mut timings);
-    timings.total_ms = t_total.elapsed().as_secs_f64() * 1e3;
+    let (hits, misses, evictions) = exec.cache_counters();
+    reg.counter(metric::CACHE_HITS).add(hits);
+    reg.counter(metric::CACHE_MISSES).add(misses);
+    reg.counter(metric::CACHE_EVICTIONS).add(evictions);
+    reg.counter(metric::CACHE_PEAK).set_max(exec.cache_peak());
+    h_total.record_ns(ms_to_ns(t_total.elapsed().as_secs_f64() * 1e3));
+    let timings = Timings::from_registry(&reg);
+    if let Some(sink) = trace {
+        sink.emit(&SearchEndEvent {
+            v: TRACE_SCHEMA_VERSION,
+            event: "search_end".to_string(),
+            steps: timings.search_steps,
+            explored,
+            input_re,
+            best_re: best.re,
+            changed: !best.applied.is_empty(),
+            get_steps_ms: timings.get_steps_ms,
+            get_steps_cpu_ms: timings.get_steps_cpu_ms,
+            get_top_k_ms: timings.get_top_k_ms,
+            check_execute_ms: timings.check_execute_ms,
+            verify_constraints_ms: timings.verify_constraints_ms,
+            total_ms: timings.total_ms,
+            threads: timings.threads,
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_evictions: evictions,
+            cache_peak_snapshots: timings.prefix_cache_peak_snapshots,
+            stmt_spans: stmt_span_aggregates(ctx.interp),
+            spans_dropped: ctx.interp.obs.as_ref().map_or(0, |o| o.dropped()),
+        });
+        sink.flush();
+    }
     SearchOutcome {
         best,
         intent,
         explored,
         timings,
     }
+}
+
+/// Per-statement-kind interpreter aggregates from the interpreter's span
+/// collector (empty when no collector is attached or it is disabled).
+fn stmt_span_aggregates(interp: &Interpreter) -> Vec<StmtSpanAgg> {
+    let Some(obs) = &interp.obs else {
+        return Vec::new();
+    };
+    obs.registry()
+        .snapshot()
+        .histograms
+        .into_iter()
+        .filter(|h| h.name.starts_with("stmt.") || h.name == "interp.run")
+        .map(|h| StmtSpanAgg {
+            name: h.name,
+            count: h.count,
+            total_ms: h.sum_ms,
+        })
+        .collect()
 }
 
 /// A scored next step: the transformation, the resulting candidate, and
@@ -291,20 +470,23 @@ fn get_steps_all(
     beams: &[Candidate],
     ctx: &SearchContext,
     explored: &mut usize,
-    timings: &mut Timings,
+    stats: &mut StepStats,
 ) -> Vec<Vec<ScoredStep>> {
     let t0 = Instant::now();
     // Enumeration order defines job identity; everything downstream keys
     // off the job index.
-    let jobs: Vec<(usize, Transformation)> = beams
-        .iter()
-        .enumerate()
-        .flat_map(|(beam_idx, cand)| {
-            enumerate_transformations(&cand.dag, ctx.corpus, cand.cursor, &ctx.config.enum_opts)
-                .into_iter()
-                .map(move |t| (beam_idx, t))
-        })
-        .collect();
+    let mut jobs: Vec<(usize, Transformation)> = Vec::new();
+    for (beam_idx, cand) in beams.iter().enumerate() {
+        let (ts, enum_stats) = enumerate_transformations_counted(
+            &cand.dag,
+            ctx.corpus,
+            cand.cursor,
+            &ctx.config.enum_opts,
+        );
+        stats.pruned_monotonicity += enum_stats.pruned_monotonicity;
+        jobs.extend(ts.into_iter().map(|t| (beam_idx, t)));
+    }
+    stats.enumerated += jobs.len();
     let workers = ctx.config.resolved_threads().min(jobs.len()).max(1);
     let (slots, cpu_ms) = if workers == 1 {
         let mut cpu_ms = 0.0;
@@ -321,7 +503,7 @@ fn get_steps_all(
     } else {
         score_steps_parallel(beams, &jobs, ctx, workers)
     };
-    timings.get_steps_cpu_ms += cpu_ms;
+    stats.get_steps_cpu_ms += cpu_ms;
 
     // Regroup by beam. Jobs were enumerated beam-major, so pushing in job
     // order reproduces the serial per-beam ordering exactly.
@@ -329,6 +511,7 @@ fn get_steps_all(
     for ((beam_idx, _), slot) in jobs.iter().zip(slots) {
         if let Some(step) = slot {
             *explored += 1;
+            stats.scored += 1;
             per_beam[*beam_idx].push(step);
         }
     }
@@ -336,7 +519,7 @@ fn get_steps_all(
         ranked.sort_by(|a, b| a.candidate.re.partial_cmp(&b.candidate.re).expect("finite"));
         ranked.truncate(ctx.config.max_steps_ranked);
     }
-    timings.get_steps_ms += t0.elapsed().as_secs_f64() * 1e3;
+    stats.get_steps_ms += t0.elapsed().as_secs_f64() * 1e3;
     per_beam
 }
 
@@ -411,7 +594,7 @@ fn get_top_k(
     ctx: &SearchContext,
     exec: &ExecEnv,
     next: &mut Vec<Candidate>,
-    timings: &mut Timings,
+    stats: &mut StepStats,
     budget: usize,
 ) {
     let k = ctx.config.beam_k.max(1);
@@ -431,8 +614,9 @@ fn get_top_k(
         if ctx.config.early_check {
             let t0 = Instant::now();
             let ok = exec.check_executes(&step.candidate.module);
-            timings.check_execute_ms += t0.elapsed().as_secs_f64() * 1e3;
+            stats.check_execute_ms += t0.elapsed().as_secs_f64() * 1e3;
             if !ok {
+                stats.rejected_execution += 1;
                 continue;
             }
         }
@@ -441,6 +625,7 @@ fn get_top_k(
         next.dedup_by(|a, b| a.dag.atoms == b.dag.atoms);
         next.truncate(k);
         admitted += 1;
+        stats.admitted += 1;
     }
 }
 
@@ -453,7 +638,7 @@ fn get_diverse_top_k(
     ctx: &SearchContext,
     exec: &ExecEnv,
     next: &mut Vec<Candidate>,
-    timings: &mut Timings,
+    stats: &mut StepStats,
 ) {
     if ranked.is_empty() {
         return;
@@ -481,7 +666,7 @@ fn get_diverse_top_k(
                 candidate: s.candidate.clone(),
             })
             .collect();
-        get_top_k(cand, &member_refs, ctx, exec, next, timings, per_cluster);
+        get_top_k(cand, &member_refs, ctx, exec, next, stats, per_cluster);
     }
 }
 
@@ -764,6 +949,11 @@ y = df['Survived']
             "beam siblings share prefixes; the cache should hit"
         );
         assert!(outcome.timings.get_steps_cpu_ms > 0.0);
+        assert!(outcome.timings.search_steps > 0);
+        assert!(
+            outcome.timings.prefix_cache_peak_snapshots > 0,
+            "a probed cache must have retained snapshots"
+        );
         // With the cache off, counters stay zero.
         let cold = SearchConfig {
             prefix_cache: false,
@@ -772,6 +962,68 @@ y = df['Survived']
         let (outcome, _) = run_search(NONSTANDARD, &cold);
         assert_eq!(outcome.timings.prefix_cache_hits, 0);
         assert_eq!(outcome.timings.prefix_cache_misses, 0);
+    }
+
+    #[test]
+    fn trace_records_every_step_and_agrees_with_timings() {
+        let sink = lucid_obs::TraceSink::in_memory();
+        let config = SearchConfig {
+            seq_len: 4,
+            intent: IntentMeasure::jaccard(0.3),
+            trace: Some(sink.clone()),
+            ..Default::default()
+        };
+        let (outcome, _) = run_search(NONSTANDARD, &config);
+        let text = sink.memory_lines().unwrap().join("\n");
+        let summary = lucid_obs::parse_trace(&text).unwrap();
+        // One step record per executed beam step, plus start/verify/end.
+        assert_eq!(summary.steps.len(), outcome.timings.search_steps);
+        assert!(!summary.steps.is_empty());
+        assert_eq!(summary.explored as usize, outcome.explored);
+        assert_eq!(sink.errors(), 0);
+        // The trace-derived Figure 7 totals must match the Timings
+        // projection: both views read the same measurements (the only
+        // slack is the ns rounding of the registry histograms).
+        let t = &outcome.timings;
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-3 * (summary.steps.len() + 1) as f64;
+        assert!(close(summary.totals.get_steps_ms, t.get_steps_ms));
+        assert!(close(summary.totals.get_top_k_ms, t.get_top_k_ms));
+        assert!(close(summary.totals.check_execute_ms, t.check_execute_ms));
+        assert!(close(summary.totals.verify_constraints_ms, t.verify_constraints_ms));
+        assert!(close(summary.totals.total_ms, t.total_ms));
+        // Cache traffic attributed to steps sums to the search totals.
+        assert_eq!(summary.cache_hits, t.prefix_cache_hits);
+        assert_eq!(summary.cache_misses, t.prefix_cache_misses);
+        assert_eq!(summary.cache_evictions, t.prefix_cache_evictions);
+        // Every step kept at least one beam and scored candidates.
+        for row in &summary.steps {
+            assert!(row.kept >= 1);
+            assert!(row.beams_in >= 1);
+            assert!(row.enumerated >= row.scored);
+        }
+        // The render is well-formed (smoke; content tested in lucid-obs).
+        assert!(summary.render().contains("GetSteps"));
+    }
+
+    #[test]
+    fn tracing_does_not_change_search_decisions() {
+        let plain = SearchConfig {
+            seq_len: 5,
+            intent: IntentMeasure::jaccard(0.3),
+            ..Default::default()
+        };
+        let (reference, _) = run_search(NONSTANDARD, &plain);
+        let traced = SearchConfig {
+            trace: Some(lucid_obs::TraceSink::in_memory()),
+            ..plain
+        };
+        let (outcome, _) = run_search(NONSTANDARD, &traced);
+        assert_eq!(
+            print_module(&outcome.best.module),
+            print_module(&reference.best.module)
+        );
+        assert_eq!(outcome.explored, reference.explored);
+        assert_eq!(outcome.timings.search_steps, reference.timings.search_steps);
     }
 
     #[test]

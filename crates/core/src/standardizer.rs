@@ -37,8 +37,7 @@ impl Standardizer {
         config.validate()?;
         let corpus = CorpusModel::build_from_sources(corpus_sources)?;
         let mut interp = Interpreter::new();
-        interp.seed = config.seed;
-        interp.sample_rows = config.sample_rows;
+        configure_interp(&mut interp, &config);
         interp.register_table(data_path, data);
         Ok(Standardizer {
             corpus,
@@ -61,8 +60,7 @@ impl Standardizer {
     ) -> Result<Standardizer> {
         config.validate()?;
         let mut interp = Interpreter::new();
-        interp.seed = config.seed;
-        interp.sample_rows = config.sample_rows;
+        configure_interp(&mut interp, &config);
         interp.register_table(data_path, data);
         Ok(Standardizer {
             corpus,
@@ -93,8 +91,7 @@ impl Standardizer {
     /// Fails on invalid config.
     pub fn set_config(&mut self, config: SearchConfig) -> Result<()> {
         config.validate()?;
-        self.interp.sample_rows = config.sample_rows;
-        self.interp.seed = config.seed;
+        configure_interp(&mut self.interp, &config);
         self.config = config;
         Ok(())
     }
@@ -181,6 +178,19 @@ impl Standardizer {
         let module = parse_module(source)?;
         self.standardize(&module)
     }
+}
+
+/// Applies a config's interpreter-facing knobs: seed, sampling, and — when
+/// tracing is on — a span collector recording per-statement interpreter
+/// time into the search's event log. Without a trace sink the collector is
+/// absent entirely, keeping runs on the zero-cost path.
+fn configure_interp(interp: &mut Interpreter, config: &SearchConfig) {
+    interp.seed = config.seed;
+    interp.sample_rows = config.sample_rows;
+    interp.obs = config
+        .trace
+        .as_ref()
+        .map(|_| std::sync::Arc::new(lucid_obs::Collector::new(true)));
 }
 
 #[cfg(test)]
@@ -302,6 +312,36 @@ mod tests {
                 assert!((0.0..=1.0).contains(&e.prevalence));
             }
         }
+    }
+
+    #[test]
+    fn tracing_standardizer_logs_statement_spans() {
+        let sink = lucid_obs::TraceSink::in_memory();
+        let config = SearchConfig {
+            seq_len: 4,
+            intent: IntentMeasure::jaccard(0.5),
+            trace: Some(sink.clone()),
+            ..Default::default()
+        };
+        let s = Standardizer::build(&corpus(), "train.csv", data(), config).unwrap();
+        let report = s
+            .standardize_source(
+                "import pandas as pd\ndf = pd.read_csv('train.csv')\ndf = df.fillna(df.median())\ny = df['Survived']\n",
+            )
+            .unwrap();
+        let summary =
+            lucid_obs::parse_trace(&sink.memory_lines().unwrap().join("\n")).unwrap();
+        assert_eq!(summary.steps.len(), report.timings.search_steps);
+        // The interpreter ran under the span collector: per-statement
+        // aggregates made it into the search_end record.
+        assert!(
+            summary.stmt_spans.iter().any(|(name, ..)| name == "stmt.assign"),
+            "expected stmt.* spans, got {:?}",
+            summary.stmt_spans
+        );
+        // Untraced standardizers attach no collector at all.
+        let quiet = build();
+        assert!(quiet.interp.obs.is_none());
     }
 
     #[test]

@@ -153,6 +153,28 @@ pub fn enumerate_transformations(
     cursor: usize,
     opts: &EnumOptions,
 ) -> Vec<Transformation> {
+    enumerate_transformations_counted(dag, corpus, cursor, opts).0
+}
+
+/// Counters describing one enumeration pass (fed into the search event
+/// log).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnumStats {
+    /// Edge-driven adds skipped because their insertion point fell below
+    /// the monotonicity cursor. (Position-driven adds clamp to the cursor
+    /// instead of being discarded, so they never count here.)
+    pub pruned_monotonicity: usize,
+}
+
+/// [`enumerate_transformations`] plus an [`EnumStats`] describing what the
+/// monotonicity cursor pruned.
+pub fn enumerate_transformations_counted(
+    dag: &ScriptDag,
+    corpus: &CorpusModel,
+    cursor: usize,
+    opts: &EnumOptions,
+) -> (Vec<Transformation>, EnumStats) {
+    let mut stats = EnumStats::default();
     let n = dag.atoms.len();
     let mut out = Vec::new();
     let mut seen = std::collections::HashSet::new();
@@ -200,6 +222,7 @@ pub fn enumerate_transformations(
             let line = if is_import(next_atom) {
                 import_end
             } else if insert_at < cursor {
+                stats.pruned_monotonicity += 1;
                 continue;
             } else {
                 insert_at
@@ -240,7 +263,7 @@ pub fn enumerate_transformations(
         );
     }
 
-    out
+    (out, stats)
 }
 
 /// Atoms the search never deletes: imports and `read_csv` loads (their
@@ -278,6 +301,28 @@ df = pd.get_dummies(df)
         let module = crate::lemma::lemmatize(&parse_module(SU).unwrap());
         let dag = crate::dag::build_dag(&module);
         (module, dag, corpus)
+    }
+
+    #[test]
+    fn counted_enumeration_reports_cursor_pruning() {
+        let (_, dag, corpus) = setup();
+        let opts = EnumOptions::default();
+        let (open, stats_open) = enumerate_transformations_counted(&dag, &corpus, 0, &opts);
+        assert_eq!(stats_open.pruned_monotonicity, 0);
+        // A cursor past the whole script prunes every edge-driven add that
+        // the open cursor produced below it.
+        let cursor = dag.atoms.len() + 1;
+        let (clamped, stats) = enumerate_transformations_counted(&dag, &corpus, cursor, &opts);
+        assert!(stats.pruned_monotonicity > 0);
+        // Pruned edge-driven adds may re-enter through positional
+        // placement (clamped to the cursor), so the list can only shrink
+        // or stay the same size — never grow.
+        assert!(clamped.len() <= open.len());
+        // The wrapper returns the same list as the counted variant.
+        assert_eq!(
+            enumerate_transformations(&dag, &corpus, cursor, &opts),
+            clamped
+        );
     }
 
     #[test]

@@ -38,6 +38,8 @@ pub struct PrefixCache {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    peak_len: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -74,6 +76,8 @@ impl PrefixCache {
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            peak_len: AtomicU64::new(0),
         }
     }
 
@@ -85,6 +89,16 @@ impl PrefixCache {
     /// Runs that started cold.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots evicted by the LRU bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The largest number of snapshots retained at any point.
+    pub fn peak_snapshots(&self) -> u64 {
+        self.peak_len.load(Ordering::Relaxed)
     }
 
     /// Number of snapshots currently retained.
@@ -134,8 +148,12 @@ impl PrefixCache {
                 let Some(old) = inner.order.pop_front() else {
                     break;
                 };
-                inner.map.remove(&old);
+                if inner.map.remove(&old).is_some() {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
             }
+            self.peak_len
+                .fetch_max(inner.map.len() as u64, Ordering::Relaxed);
         }
     }
 }
@@ -190,6 +208,24 @@ mod tests {
         assert!(cache.get(2).is_none());
         assert!(cache.get(1).is_some());
         assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn eviction_and_peak_counters_track_pressure() {
+        let cache = PrefixCache::with_capacity(2);
+        assert_eq!(cache.peak_snapshots(), 0);
+        cache.put(1, snapshot(1));
+        cache.put(2, snapshot(2));
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.peak_snapshots(), 2);
+        cache.put(3, snapshot(3));
+        cache.put(4, snapshot(4));
+        assert_eq!(cache.evictions(), 2);
+        // Peak never exceeds capacity; re-inserting an existing key does
+        // not evict.
+        assert_eq!(cache.peak_snapshots(), 2);
+        cache.put(4, snapshot(4));
+        assert_eq!(cache.evictions(), 2);
     }
 
     #[test]

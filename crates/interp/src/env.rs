@@ -6,6 +6,7 @@ use crate::value::{FrameVal, ModuleKind, RtValue};
 use lucid_frame::{DataFrame, Value};
 use lucid_pyast::{Expr, Module, Stmt};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Executes straight-line scripts against in-memory tables.
 ///
@@ -24,6 +25,10 @@ pub struct Interpreter {
     /// Statement budget per run (straight-line scripts are short; this
     /// guards against pathological generated scripts).
     pub max_statements: usize,
+    /// Optional span collector: when set (and enabled), every run records
+    /// an `interp.run` root span with one `stmt.*` child per executed
+    /// statement. `None` costs nothing on the hot path.
+    pub obs: Option<Arc<lucid_obs::Collector>>,
 }
 
 impl Default for Interpreter {
@@ -33,6 +38,7 @@ impl Default for Interpreter {
             seed: 7,
             sample_rows: None,
             max_statements: 10_000,
+            obs: None,
         }
     }
 }
@@ -110,11 +116,13 @@ impl Interpreter {
             last_frame_var: None,
             steps: 0,
         };
+        let root = self.obs.as_deref().map(|c| c.span("interp.run"));
         for stmt in &module.stmts {
             state.steps += 1;
             if state.steps > self.max_statements {
                 return Err(InterpError::BudgetExhausted);
             }
+            let _span = root.as_ref().map(|r| r.child(stmt_span_name(stmt)));
             self.exec_stmt(stmt, &mut state)?;
         }
         Ok(ExecOutcome {
@@ -164,11 +172,13 @@ impl Interpreter {
                 steps: 0,
             },
         };
+        let root = self.obs.as_deref().map(|c| c.span("interp.run"));
         for (stmt, key) in module.stmts.iter().zip(&keys).skip(state.steps) {
             state.steps += 1;
             if state.steps > self.max_statements {
                 return Err(InterpError::BudgetExhausted);
             }
+            let _span = root.as_ref().map(|r| r.child(stmt_span_name(stmt)));
             self.exec_stmt(stmt, &mut state)?;
             cache.put(
                 *key,
@@ -432,6 +442,16 @@ impl Interpreter {
     }
 }
 
+/// The span name a statement's execution records under.
+fn stmt_span_name(stmt: &Stmt) -> &'static str {
+    match stmt {
+        Stmt::Import { .. } => "stmt.import",
+        Stmt::FromImport { .. } => "stmt.from_import",
+        Stmt::Assign { .. } => "stmt.assign",
+        Stmt::ExprStmt { .. } => "stmt.expr",
+    }
+}
+
 fn module_kind(module: &str) -> Result<ModuleKind> {
     let root = module.split('.').next().unwrap_or(module);
     match root {
@@ -560,6 +580,32 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.output_frame().unwrap().n_rows(), 3);
+    }
+
+    #[test]
+    fn runs_record_statement_spans_when_collector_enabled() {
+        let mut i = interp();
+        let obs = Arc::new(lucid_obs::Collector::new(true));
+        i.obs = Some(Arc::clone(&obs));
+        let module =
+            parse_module("import pandas as pd\ndf = pd.read_csv('t.csv')\ndf.head(1)\n").unwrap();
+        i.run(&module).unwrap();
+        let reg = obs.registry();
+        assert_eq!(reg.histogram_count("interp.run"), 1);
+        assert_eq!(reg.histogram_count("stmt.import"), 1);
+        assert_eq!(reg.histogram_count("stmt.assign"), 1);
+        assert_eq!(reg.histogram_count("stmt.expr"), 1);
+        // Cached runs record spans only for statements actually executed.
+        let cache = crate::cache::PrefixCache::default();
+        i.run_with_cache(&module, &cache).unwrap();
+        i.run_with_cache(&module, &cache).unwrap();
+        assert_eq!(reg.histogram_count("stmt.assign"), 2);
+        // A disabled collector records nothing.
+        let mut quiet = interp();
+        let off = Arc::new(lucid_obs::Collector::disabled());
+        quiet.obs = Some(Arc::clone(&off));
+        quiet.run(&module).unwrap();
+        assert_eq!(off.registry().histogram_count("interp.run"), 0);
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! The versioned search event schema (JSONL, one record per line).
+//!
+//! Every record carries `"v": 1` (the schema version) and an `"event"`
+//! discriminator. A search emits, in order: one `search_start`, one
+//! `step` per executed beam step, one `verify`, and one `search_end`
+//! whose phase totals equal the sums over the per-step records (modulo
+//! float rendering) — this is the invariant `lucid trace` exploits to
+//! rebuild the Figure 7 breakdown from a trace alone.
+//!
+//! Schema evolution rule: adding fields is a same-version change
+//! (consumers must ignore unknown fields); removing or re-meaning a
+//! field bumps `TRACE_SCHEMA_VERSION`.
+
+use serde::Serialize;
+
+/// Version stamped into every record's `"v"` field.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// Emitted once when a search begins: the configuration snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct SearchStartEvent {
+    /// Schema version (always [`TRACE_SCHEMA_VERSION`]).
+    pub v: u64,
+    /// `"search_start"`.
+    pub event: String,
+    /// Maximum transformation-sequence length.
+    pub seq_len: usize,
+    /// Beam size `K`.
+    pub beam_k: usize,
+    /// Resolved worker-thread count.
+    pub threads: usize,
+    /// Whether k-means diversity is on.
+    pub diversity: bool,
+    /// Whether execution checks run early (α) or late.
+    pub early_check: bool,
+    /// Whether the prefix-execution cache is on.
+    pub prefix_cache: bool,
+    /// RE objective vocabulary (`"edges"` / `"atoms"`).
+    pub objective: String,
+}
+
+impl SearchStartEvent {
+    /// Builds the record with the version and discriminator set.
+    #[allow(clippy::fn_params_excessive_bools)]
+    pub fn new(
+        seq_len: usize,
+        beam_k: usize,
+        threads: usize,
+        diversity: bool,
+        early_check: bool,
+        prefix_cache: bool,
+        objective: &str,
+    ) -> SearchStartEvent {
+        SearchStartEvent {
+            v: TRACE_SCHEMA_VERSION,
+            event: "search_start".to_string(),
+            seq_len,
+            beam_k,
+            threads,
+            diversity,
+            early_check,
+            prefix_cache,
+            objective: objective.to_string(),
+        }
+    }
+}
+
+/// One beam kept at the end of a step.
+#[derive(Debug, Clone, Serialize)]
+pub struct KeptBeam {
+    /// Relative-entropy score.
+    pub re: f64,
+    /// Monotonicity cursor.
+    pub cursor: usize,
+    /// Script length in statements.
+    pub lines: usize,
+    /// Transformations applied so far.
+    pub applied: usize,
+}
+
+/// Emitted once per executed beam step.
+#[derive(Debug, Clone, Serialize)]
+pub struct StepEvent {
+    /// Schema version.
+    pub v: u64,
+    /// `"step"`.
+    pub event: String,
+    /// 0-based step index.
+    pub step: usize,
+    /// Beams entering the step.
+    pub beams_in: usize,
+    /// Transformations enumerated across all beams (pre-dedup jobs).
+    pub enumerated: usize,
+    /// Candidate adds skipped by the monotonicity cursor during
+    /// enumeration.
+    pub pruned_monotonicity: usize,
+    /// Jobs whose apply+score succeeded (the `explored` increment).
+    pub scored: usize,
+    /// Candidates rejected by `CheckIfExecutes` this step (early
+    /// checking only).
+    pub rejected_execution: u64,
+    /// Candidates admitted into the next beam set before dedup/truncate.
+    pub admitted: u64,
+    /// Beams kept after dedup + truncation, best (lowest RE) first.
+    pub kept: Vec<KeptBeam>,
+    /// Prefix-cache hits during this step.
+    pub cache_hits: u64,
+    /// Prefix-cache misses during this step.
+    pub cache_misses: u64,
+    /// Prefix-cache evictions during this step.
+    pub cache_evictions: u64,
+    /// Wall ms in `GetSteps` (enumerate + apply + score + rank).
+    pub get_steps_ms: f64,
+    /// Wall ms in `GetTopKBeams` / `GetDiverseTopKBeams`.
+    pub get_top_k_ms: f64,
+    /// Wall ms in `CheckIfExecutes` this step.
+    pub check_execute_ms: f64,
+    /// Whether the beam set converged (search stops after this step).
+    pub converged: bool,
+}
+
+/// Emitted once after the final `VerifyAllConstraints` pass.
+#[derive(Debug, Clone, Serialize)]
+pub struct VerifyEvent {
+    /// Schema version.
+    pub v: u64,
+    /// `"verify"`.
+    pub event: String,
+    /// Finalists awaiting verification.
+    pub finalists: usize,
+    /// Finalists actually checked (scan stops at the first success).
+    pub checked: usize,
+    /// Finalists rejected because they no longer execute (late checking
+    /// and output extraction).
+    pub rejected_execution: u64,
+    /// Finalists rejected by the user-intent constraint.
+    pub rejected_intent: u64,
+    /// Whether a finalist was accepted (false = input fallback).
+    pub accepted: bool,
+    /// Wall ms in `CheckIfExecutes` during verification.
+    pub check_execute_ms: f64,
+    /// Wall ms of the whole verification pass.
+    pub verify_ms: f64,
+}
+
+/// Per-statement-kind interpreter time (from the span collector).
+#[derive(Debug, Clone, Serialize)]
+pub struct StmtSpanAgg {
+    /// Span name (`"stmt.assign"`, ...).
+    pub name: String,
+    /// Statements executed.
+    pub count: u64,
+    /// Total wall ms.
+    pub total_ms: f64,
+}
+
+/// Emitted once when a search ends: totals and the `Timings` projection.
+#[derive(Debug, Clone, Serialize)]
+pub struct SearchEndEvent {
+    /// Schema version.
+    pub v: u64,
+    /// `"search_end"`.
+    pub event: String,
+    /// Beam steps executed.
+    pub steps: usize,
+    /// Candidate scripts scored.
+    pub explored: usize,
+    /// RE of the input script.
+    pub input_re: f64,
+    /// RE of the returned script.
+    pub best_re: f64,
+    /// Whether the search changed the script.
+    pub changed: bool,
+    /// Total `GetSteps` wall ms.
+    pub get_steps_ms: f64,
+    /// Summed per-worker CPU ms inside parallel `GetSteps`.
+    pub get_steps_cpu_ms: f64,
+    /// Total `GetTopKBeams` wall ms.
+    pub get_top_k_ms: f64,
+    /// Total `CheckIfExecutes` wall ms.
+    pub check_execute_ms: f64,
+    /// Total `VerifyConstraints` wall ms.
+    pub verify_constraints_ms: f64,
+    /// End-to-end wall ms.
+    pub total_ms: f64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Prefix-cache hits over the whole search.
+    pub cache_hits: u64,
+    /// Prefix-cache misses over the whole search.
+    pub cache_misses: u64,
+    /// Prefix-cache evictions over the whole search.
+    pub cache_evictions: u64,
+    /// Peak retained prefix snapshots.
+    pub cache_peak_snapshots: u64,
+    /// Per-statement-kind interpreter spans (empty when the collector is
+    /// disabled).
+    pub stmt_spans: Vec<StmtSpanAgg>,
+    /// Span records dropped by the collector's retention bound.
+    pub spans_dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_with_version_and_tag() {
+        let start = SearchStartEvent::new(16, 3, 4, true, true, true, "edges");
+        let json = serde_json::to_string(&start).unwrap();
+        assert!(json.contains("\"v\":1"));
+        assert!(json.contains("\"event\":\"search_start\""));
+        assert!(json.contains("\"threads\":4"));
+
+        let step = StepEvent {
+            v: TRACE_SCHEMA_VERSION,
+            event: "step".to_string(),
+            step: 0,
+            beams_in: 1,
+            enumerated: 12,
+            pruned_monotonicity: 2,
+            scored: 10,
+            rejected_execution: 3,
+            admitted: 7,
+            kept: vec![KeptBeam {
+                re: 1.25,
+                cursor: 2,
+                lines: 5,
+                applied: 1,
+            }],
+            cache_hits: 4,
+            cache_misses: 1,
+            cache_evictions: 0,
+            get_steps_ms: 1.5,
+            get_top_k_ms: 0.5,
+            check_execute_ms: 0.25,
+            converged: false,
+        };
+        let json = serde_json::to_string(&step).unwrap();
+        assert!(json.contains("\"kept\":[{"));
+        assert!(json.contains("\"pruned_monotonicity\":2"));
+        let parsed = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.get("event").unwrap().as_str(), Some("step"));
+        assert_eq!(parsed.get("v").unwrap().as_f64(), Some(1.0));
+    }
+}

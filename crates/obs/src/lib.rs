@@ -1,0 +1,50 @@
+//! # lucid-obs
+//!
+//! Observability substrate for the LucidScript search: a thread-safe
+//! [`Registry`] of atomic counters and log-bucketed histograms, RAII
+//! [`Span`]s forming a span tree, a [`TraceSink`] that appends one JSONL
+//! record per search event, the versioned event schema itself
+//! ([`event`]), and a parser/summarizer ([`summary`]) that turns a trace
+//! file back into the paper's Figure 7 phase breakdown.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled is (nearly) free.** A search without a trace sink pays
+//!    only atomic adds into the registry — the same quantities the old
+//!    hand-threaded `Timings` fields used to accumulate. No allocation,
+//!    no locks on the hot path, no formatting.
+//! 2. **`Timings` is a projection.** The report struct consumed by fig7
+//!    and `results/BENCH_search.json` is derived from registry metrics at
+//!    the end of a search, so the trace, the metrics, and the report can
+//!    never disagree by more than float rounding.
+//! 3. **No registry deps.** Vendored like the rest of the workspace's
+//!    external stand-ins; only `serde`/`serde_json` (also vendored) are
+//!    used, for event serialization and trace parsing.
+//!
+//! ```
+//! use lucid_obs::{Registry, TraceSink};
+//!
+//! let reg = Registry::new();
+//! let explored = reg.counter("search.explored");
+//! explored.add(3);
+//! let h = reg.histogram("search.get_steps");
+//! h.record_ns(1_500_000); // 1.5 ms
+//! assert_eq!(reg.counter_value("search.explored"), 3);
+//! assert!((reg.histogram_sum_ms("search.get_steps") - 1.5).abs() < 1e-9);
+//!
+//! let sink = TraceSink::in_memory();
+//! sink.emit(&lucid_obs::event::SearchStartEvent::new(16, 3, 1, true, true, true, "edges"));
+//! assert_eq!(sink.records(), 1);
+//! ```
+
+pub mod event;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+pub mod summary;
+
+pub use event::TRACE_SCHEMA_VERSION;
+pub use metrics::{Counter, Histogram, Registry};
+pub use sink::TraceSink;
+pub use span::{Collector, Span, SpanRecord};
+pub use summary::{parse_trace, TraceSummary};

@@ -1,0 +1,362 @@
+//! The metrics registry: named atomic counters and log-bucketed
+//! histograms.
+//!
+//! Handles ([`Counter`], [`Histogram`]) are fetched once per search
+//! (taking a short registry lock) and then updated lock-free, so the hot
+//! path — one `record_ns` per phase per step, one `add` per scored
+//! candidate — costs a few atomic RMW operations. Values are kept in
+//! integer nanoseconds; projecting to milliseconds happens only at
+//! report time.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A monotonically increasing (or max-tracking) atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises the counter to `v` if `v` is larger (gauge-style peaks).
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of logarithmic buckets: bucket `i` holds values whose highest
+/// set bit is `i`, i.e. durations in `[2^i, 2^{i+1})` ns. 40 buckets cover
+/// up to ~18 minutes — far beyond any single search phase.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A log₂-bucketed histogram of durations in nanoseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `ns` nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        let idx = (63 - ns.max(1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Records one observation of a [`Duration`].
+    pub fn record(&self, d: Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in milliseconds.
+    pub fn sum_ms(&self) -> f64 {
+        self.sum_ns.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Largest observation, in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.max_ns.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Mean observation, in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_ms() / n as f64
+        }
+    }
+
+    /// Per-bucket observation counts (bucket `i` = `[2^i, 2^{i+1})` ns).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Resets every bucket and aggregate to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A named collection of counters and histograms.
+///
+/// Metric names are `&'static str` dot-paths (`"search.get_steps"`,
+/// `"cache.hits"`). Fetching a handle takes the registry lock once;
+/// updates through the returned [`Arc`] are lock-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .expect("registry lock")
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .expect("registry lock")
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    /// A counter's current value (0 when the counter was never created).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .expect("registry lock")
+            .get(name)
+            .map_or(0, |c| c.get())
+    }
+
+    /// A histogram's sum in ms (0 when the histogram was never created).
+    pub fn histogram_sum_ms(&self, name: &str) -> f64 {
+        self.histograms
+            .lock()
+            .expect("registry lock")
+            .get(name)
+            .map_or(0.0, |h| h.sum_ms())
+    }
+
+    /// A histogram's observation count (0 when never created).
+    pub fn histogram_count(&self, name: &str) -> u64 {
+        self.histograms
+            .lock()
+            .expect("registry lock")
+            .get(name)
+            .map_or(0, |h| h.count())
+    }
+
+    /// Zeroes every metric, keeping existing handles valid.
+    pub fn reset(&self) {
+        for c in self.counters.lock().expect("registry lock").values() {
+            c.reset();
+        }
+        for h in self.histograms.lock().expect("registry lock").values() {
+            h.reset();
+        }
+    }
+
+    /// A serializable point-in-time snapshot of every metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|(name, c)| CounterSnapshot {
+                    name: (*name).to_string(),
+                    value: c.get(),
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|(name, h)| HistogramSnapshot {
+                    name: (*name).to_string(),
+                    count: h.count(),
+                    sum_ms: h.sum_ms(),
+                    max_ms: h.max_ms(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One counter in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, Serialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// One histogram in a [`RegistrySnapshot`] (aggregates only — buckets are
+/// an in-process detail).
+#[derive(Debug, Clone, Serialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Sum in milliseconds.
+    pub sum_ms: f64,
+    /// Largest observation in milliseconds.
+    pub max_ms: f64,
+}
+
+/// Serializable view of a [`Registry`].
+#[derive(Debug, Clone, Serialize)]
+pub struct RegistrySnapshot {
+    /// All counters, name-sorted.
+    pub counters: Vec<CounterSnapshot>,
+    /// All histograms, name-sorted.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_max_reset() {
+        let reg = Registry::new();
+        let c = reg.counter("x");
+        c.add(2);
+        c.add(3);
+        assert_eq!(reg.counter_value("x"), 5);
+        // Same name, same counter.
+        reg.counter("x").add(1);
+        assert_eq!(c.get(), 6);
+        c.set_max(4);
+        assert_eq!(c.get(), 6);
+        c.set_max(10);
+        assert_eq!(c.get(), 10);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(reg.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_aggregates() {
+        let h = Histogram::new();
+        h.record_ns(1); // bucket 0
+        h.record_ns(1024); // bucket 10
+        h.record_ns(1500); // bucket 10
+        h.record_ns(0); // clamped to 1 → bucket 0
+        assert_eq!(h.count(), 4);
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[0], 2);
+        assert_eq!(buckets[10], 2);
+        assert!((h.sum_ms() - 2525.0 / 1e6).abs() < 1e-12);
+        assert!((h.max_ms() - 1500.0 / 1e6).abs() < 1e-12);
+        assert!(h.mean_ms() > 0.0);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum_ms(), 0.0);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = Histogram::new();
+        h.record_ns(u64::MAX);
+        assert_eq!(h.bucket_counts()[HISTOGRAM_BUCKETS - 1], 1);
+        assert!((h.max_ms() - u64::MAX as f64 / 1e6).abs() < 1.0);
+        h.record(Duration::from_millis(2));
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_serializable_and_sorted() {
+        let reg = Registry::new();
+        reg.counter("b.count").add(1);
+        reg.counter("a.count").add(2);
+        reg.histogram("t.phase").record_ns(5_000_000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].name, "a.count");
+        assert_eq!(snap.counters[1].value, 1);
+        assert_eq!(snap.histograms[0].count, 1);
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"a.count\""));
+        assert!(json.contains("sum_ms"));
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let reg = std::sync::Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let reg = std::sync::Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                let c = reg.counter("hot");
+                let h = reg.histogram("lat");
+                for _ in 0..1000 {
+                    c.add(1);
+                    h.record_ns(100);
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.counter_value("hot"), 4000);
+        assert_eq!(reg.histogram_count("lat"), 4000);
+    }
+}

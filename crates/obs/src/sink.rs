@@ -1,0 +1,184 @@
+//! The trace sink: an append-only JSONL destination shared by clone.
+//!
+//! A [`TraceSink`] is `Clone + Debug + Send + Sync` so it can ride inside
+//! `SearchConfig` (which the search and benches clone freely); clones
+//! share one underlying destination. Emission is best-effort: a full disk
+//! must never fail a search, so I/O errors are counted, not raised.
+
+use serde::Serialize;
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A shared handle to a JSONL trace destination.
+#[derive(Clone)]
+pub struct TraceSink {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    target: Target,
+    records: AtomicU64,
+    errors: AtomicU64,
+}
+
+enum Target {
+    File {
+        path: PathBuf,
+        writer: Mutex<std::io::BufWriter<std::fs::File>>,
+    },
+    Memory(Mutex<Vec<String>>),
+}
+
+impl fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner.target {
+            Target::File { path, .. } => {
+                write!(f, "TraceSink(file: {}, {} records)", path.display(), self.records())
+            }
+            Target::Memory(_) => write!(f, "TraceSink(memory, {} records)", self.records()),
+        }
+    }
+}
+
+impl TraceSink {
+    /// A sink appending lines to `path` (truncates an existing file).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file cannot be created.
+    pub fn to_file(path: impl AsRef<Path>) -> std::io::Result<TraceSink> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::File::create(&path)?;
+        Ok(TraceSink {
+            inner: Arc::new(Inner {
+                target: Target::File {
+                    path,
+                    writer: Mutex::new(std::io::BufWriter::new(file)),
+                },
+                records: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// A sink buffering lines in memory (tests and summaries).
+    pub fn in_memory() -> TraceSink {
+        TraceSink {
+            inner: Arc::new(Inner {
+                target: Target::Memory(Mutex::new(Vec::new())),
+                records: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Serializes `event` and appends it as one line. Best-effort: I/O
+    /// failures increment [`TraceSink::errors`] instead of propagating.
+    pub fn emit<T: Serialize>(&self, event: &T) {
+        let line = match serde_json::to_string(event) {
+            Ok(l) => l,
+            Err(_) => {
+                self.inner.errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        match &self.inner.target {
+            Target::File { writer, .. } => {
+                let mut w = writer.lock().expect("sink lock");
+                if writeln!(w, "{line}").is_err() {
+                    self.inner.errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            Target::Memory(lines) => lines.lock().expect("sink lock").push(line),
+        }
+        self.inner.records.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records emitted so far (across all clones).
+    pub fn records(&self) -> u64 {
+        self.inner.records.load(Ordering::Relaxed)
+    }
+
+    /// Emissions dropped on serialization/write failure.
+    pub fn errors(&self) -> u64 {
+        self.inner.errors.load(Ordering::Relaxed)
+    }
+
+    /// The file path, for file-backed sinks.
+    pub fn path(&self) -> Option<&Path> {
+        match &self.inner.target {
+            Target::File { path, .. } => Some(path),
+            Target::Memory(_) => None,
+        }
+    }
+
+    /// Flushes buffered lines to disk (no-op for memory sinks).
+    pub fn flush(&self) {
+        if let Target::File { writer, .. } = &self.inner.target {
+            if writer.lock().expect("sink lock").flush().is_err() {
+                self.inner.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The buffered lines of a memory sink (`None` for file sinks).
+    pub fn memory_lines(&self) -> Option<Vec<String>> {
+        match &self.inner.target {
+            Target::Memory(lines) => Some(lines.lock().expect("sink lock").clone()),
+            Target::File { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_buffers_lines() {
+        let sink = TraceSink::in_memory();
+        sink.emit(&42u64);
+        sink.emit(&"hello");
+        assert_eq!(sink.records(), 2);
+        assert_eq!(sink.errors(), 0);
+        assert_eq!(
+            sink.memory_lines().unwrap(),
+            vec!["42".to_string(), "\"hello\"".to_string()]
+        );
+        assert!(sink.path().is_none());
+        sink.flush(); // no-op
+    }
+
+    #[test]
+    fn clones_share_the_destination() {
+        let sink = TraceSink::in_memory();
+        let clone = sink.clone();
+        clone.emit(&1u64);
+        sink.emit(&2u64);
+        assert_eq!(sink.records(), 2);
+        assert_eq!(clone.memory_lines().unwrap().len(), 2);
+        assert!(format!("{sink:?}").contains("memory"));
+    }
+
+    #[test]
+    fn file_sink_writes_jsonl() {
+        let path = std::env::temp_dir().join(format!("lucid_obs_sink_{}.jsonl", std::process::id()));
+        let sink = TraceSink::to_file(&path).unwrap();
+        sink.emit(&vec![1u64, 2]);
+        sink.emit(&vec![3u64]);
+        sink.flush();
+        assert_eq!(sink.path(), Some(path.as_path()));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "[1,2]\n[3]\n");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unwritable_path_errors_at_creation() {
+        assert!(TraceSink::to_file("/nonexistent_dir_zzz/trace.jsonl").is_err());
+    }
+}

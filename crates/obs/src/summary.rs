@@ -1,0 +1,492 @@
+//! Trace-file parsing and summarization — the engine behind
+//! `lucid trace <FILE>`.
+//!
+//! Reads a JSONL search event log (schema v1, see [`crate::event`]),
+//! validates versions, and aggregates the per-step records back into the
+//! paper's Figure 7 phase breakdown. Unknown event kinds and unknown
+//! fields are ignored (the schema's forward-compatibility rule); an
+//! unsupported `"v"` or malformed JSON is an error.
+
+use crate::event::TRACE_SCHEMA_VERSION;
+use serde_json::Value;
+
+/// One `step` record, flattened for display.
+#[derive(Debug, Clone)]
+pub struct StepRow {
+    /// 0-based step index.
+    pub step: usize,
+    /// Beams entering the step.
+    pub beams_in: usize,
+    /// Transformations enumerated.
+    pub enumerated: usize,
+    /// Adds pruned by the monotonicity cursor.
+    pub pruned_monotonicity: usize,
+    /// Jobs scored successfully.
+    pub scored: usize,
+    /// Candidates rejected by `CheckIfExecutes`.
+    pub rejected_execution: u64,
+    /// Beams kept after the step.
+    pub kept: usize,
+    /// Best (lowest) RE among kept beams.
+    pub best_re: Option<f64>,
+    /// Prefix-cache hits / misses / evictions this step.
+    pub cache_hits: u64,
+    /// Prefix-cache misses this step.
+    pub cache_misses: u64,
+    /// Prefix-cache evictions this step.
+    pub cache_evictions: u64,
+    /// Phase wall ms.
+    pub get_steps_ms: f64,
+    /// `GetTopKBeams` wall ms.
+    pub get_top_k_ms: f64,
+    /// `CheckIfExecutes` wall ms.
+    pub check_execute_ms: f64,
+    /// Whether the beams converged here.
+    pub converged: bool,
+}
+
+/// Phase totals reconstructed from the per-step + verify records.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTotals {
+    /// Σ step `get_steps_ms`.
+    pub get_steps_ms: f64,
+    /// Σ step `get_top_k_ms`.
+    pub get_top_k_ms: f64,
+    /// Σ step `check_execute_ms` + verify `check_execute_ms`.
+    pub check_execute_ms: f64,
+    /// Verify pass wall ms.
+    pub verify_constraints_ms: f64,
+    /// End-to-end wall ms (from `search_end`; 0 if the record is absent).
+    pub total_ms: f64,
+}
+
+/// Everything a trace file says about one search.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Config snapshot from `search_start` (field, value) — kept untyped
+    /// for display.
+    pub config: Vec<(String, String)>,
+    /// Per-step rows in order.
+    pub steps: Vec<StepRow>,
+    /// Phase totals summed from the records.
+    pub totals: PhaseTotals,
+    /// Candidates scored (`search_end.explored`).
+    pub explored: u64,
+    /// Cumulative cache counters (from `search_end`, falling back to the
+    /// per-step sums when the end record is missing).
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Cache evictions.
+    pub cache_evictions: u64,
+    /// Peak retained snapshots.
+    pub cache_peak_snapshots: u64,
+    /// Whether verification accepted a candidate.
+    pub accepted: Option<bool>,
+    /// Per-statement interpreter aggregates (name, count, total ms).
+    pub stmt_spans: Vec<(String, u64, f64)>,
+    /// Records that parsed but carried an unrecognized `event`.
+    pub unknown_events: usize,
+}
+
+fn num(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+fn int(v: &Value, key: &str) -> u64 {
+    num(v, key) as u64
+}
+
+/// Parses a JSONL trace into a [`TraceSummary`].
+///
+/// # Errors
+///
+/// Malformed JSON lines, records missing `v`/`event`, or an unsupported
+/// schema version.
+pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    let mut saw_end = false;
+    let mut any = false;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let record = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let v = record
+            .get("v")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("line {}: missing schema version field \"v\"", lineno + 1))?;
+        if v as u64 != TRACE_SCHEMA_VERSION {
+            return Err(format!(
+                "line {}: unsupported trace schema v{v} (this build reads v{TRACE_SCHEMA_VERSION})",
+                lineno + 1
+            ));
+        }
+        let event = record
+            .get("event")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {}: missing \"event\" field", lineno + 1))?;
+        any = true;
+        match event {
+            "search_start" => {
+                for key in [
+                    "seq_len",
+                    "beam_k",
+                    "threads",
+                    "diversity",
+                    "early_check",
+                    "prefix_cache",
+                    "objective",
+                ] {
+                    if let Some(val) = record.get(key) {
+                        let shown = match val {
+                            Value::String(s) => s.clone(),
+                            Value::Bool(b) => b.to_string(),
+                            Value::Number(n) => format!("{n}"),
+                            other => format!("{other:?}"),
+                        };
+                        summary.config.push((key.to_string(), shown));
+                    }
+                }
+            }
+            "step" => {
+                let kept = record
+                    .get("kept")
+                    .and_then(Value::as_array)
+                    .cloned()
+                    .unwrap_or_default();
+                let best_re = kept
+                    .iter()
+                    .filter_map(|k| k.get("re").and_then(Value::as_f64))
+                    .fold(None, |best: Option<f64>, re| {
+                        Some(best.map_or(re, |b| b.min(re)))
+                    });
+                let row = StepRow {
+                    step: int(&record, "step") as usize,
+                    beams_in: int(&record, "beams_in") as usize,
+                    enumerated: int(&record, "enumerated") as usize,
+                    pruned_monotonicity: int(&record, "pruned_monotonicity") as usize,
+                    scored: int(&record, "scored") as usize,
+                    rejected_execution: int(&record, "rejected_execution"),
+                    kept: kept.len(),
+                    best_re,
+                    cache_hits: int(&record, "cache_hits"),
+                    cache_misses: int(&record, "cache_misses"),
+                    cache_evictions: int(&record, "cache_evictions"),
+                    get_steps_ms: num(&record, "get_steps_ms"),
+                    get_top_k_ms: num(&record, "get_top_k_ms"),
+                    check_execute_ms: num(&record, "check_execute_ms"),
+                    converged: record
+                        .get("converged")
+                        .and_then(Value::as_bool)
+                        .unwrap_or(false),
+                };
+                summary.totals.get_steps_ms += row.get_steps_ms;
+                summary.totals.get_top_k_ms += row.get_top_k_ms;
+                summary.totals.check_execute_ms += row.check_execute_ms;
+                summary.steps.push(row);
+            }
+            "verify" => {
+                summary.totals.check_execute_ms += num(&record, "check_execute_ms");
+                summary.totals.verify_constraints_ms += num(&record, "verify_ms");
+                summary.accepted = record.get("accepted").and_then(Value::as_bool);
+            }
+            "search_end" => {
+                saw_end = true;
+                summary.totals.total_ms = num(&record, "total_ms");
+                summary.explored = int(&record, "explored");
+                summary.cache_hits = int(&record, "cache_hits");
+                summary.cache_misses = int(&record, "cache_misses");
+                summary.cache_evictions = int(&record, "cache_evictions");
+                summary.cache_peak_snapshots = int(&record, "cache_peak_snapshots");
+                if let Some(spans) = record.get("stmt_spans").and_then(Value::as_array) {
+                    for s in spans {
+                        summary.stmt_spans.push((
+                            s.get("name")
+                                .and_then(Value::as_str)
+                                .unwrap_or("?")
+                                .to_string(),
+                            int(s, "count"),
+                            num(s, "total_ms"),
+                        ));
+                    }
+                }
+            }
+            _ => summary.unknown_events += 1,
+        }
+    }
+    if !any {
+        return Err("trace file contains no records".to_string());
+    }
+    if !saw_end {
+        // Fall back to step sums so a truncated trace still summarizes.
+        summary.cache_hits = summary.steps.iter().map(|s| s.cache_hits).sum();
+        summary.cache_misses = summary.steps.iter().map(|s| s.cache_misses).sum();
+        summary.cache_evictions = summary.steps.iter().map(|s| s.cache_evictions).sum();
+    }
+    Ok(summary)
+}
+
+impl TraceSummary {
+    /// The Figure 7 phase totals (GetSteps, GetTopKBeams, CheckIfExecutes,
+    /// VerifyConstraints, Total) in that order, in ms.
+    pub fn figure7(&self) -> [(&'static str, f64); 5] {
+        [
+            ("GetSteps", self.totals.get_steps_ms),
+            ("GetTopKBeams", self.totals.get_top_k_ms),
+            ("CheckIfExecutes", self.totals.check_execute_ms),
+            ("VerifyConstraints", self.totals.verify_constraints_ms),
+            ("Total", self.totals.total_ms),
+        ]
+    }
+
+    /// Renders the human-readable report `lucid trace` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.config.is_empty() {
+            out.push_str("search: ");
+            let parts: Vec<String> = self
+                .config
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            out.push_str(&parts.join("  "));
+            out.push('\n');
+        }
+        if !self.steps.is_empty() {
+            out.push('\n');
+            let headers = [
+                "step", "beams", "enum", "pruned", "scored", "rejected", "kept", "best-RE",
+                "steps-ms", "topk-ms", "check-ms", "cache h/m/e",
+            ];
+            let rows: Vec<Vec<String>> = self
+                .steps
+                .iter()
+                .map(|s| {
+                    vec![
+                        format!("{}{}", s.step, if s.converged { "*" } else { "" }),
+                        s.beams_in.to_string(),
+                        s.enumerated.to_string(),
+                        s.pruned_monotonicity.to_string(),
+                        s.scored.to_string(),
+                        s.rejected_execution.to_string(),
+                        s.kept.to_string(),
+                        s.best_re.map_or("-".to_string(), |re| format!("{re:.4}")),
+                        format!("{:.2}", s.get_steps_ms),
+                        format!("{:.2}", s.get_top_k_ms),
+                        format!("{:.2}", s.check_execute_ms),
+                        format!("{}/{}/{}", s.cache_hits, s.cache_misses, s.cache_evictions),
+                    ]
+                })
+                .collect();
+            render_table(&headers, &rows, &mut out);
+            out.push_str("(* = beams converged)\n");
+        }
+        out.push_str("\nPhase totals (Figure 7 breakdown):\n");
+        for (phase, ms) in self.figure7() {
+            out.push_str(&format!("  {phase:<18} {ms:>10.2} ms\n"));
+        }
+        out.push_str(&format!(
+            "\nexplored {} candidates over {} steps",
+            self.explored,
+            self.steps.len()
+        ));
+        if let Some(accepted) = self.accepted {
+            out.push_str(if accepted {
+                ", candidate accepted"
+            } else {
+                ", fell back to input"
+            });
+        }
+        out.push('\n');
+        let probes = self.cache_hits + self.cache_misses;
+        if probes > 0 {
+            out.push_str(&format!(
+                "prefix cache: {} hits, {} misses ({:.0}% hit rate), {} evictions, peak {} snapshots\n",
+                self.cache_hits,
+                self.cache_misses,
+                self.cache_hits as f64 / probes as f64 * 100.0,
+                self.cache_evictions,
+                self.cache_peak_snapshots,
+            ));
+        }
+        if !self.stmt_spans.is_empty() {
+            out.push_str("\ninterpreter time by statement kind:\n");
+            for (name, count, total_ms) in &self.stmt_spans {
+                out.push_str(&format!("  {name:<16} {count:>7}x {total_ms:>10.2} ms\n"));
+            }
+        }
+        if self.unknown_events > 0 {
+            out.push_str(&format!(
+                "({} unrecognized records ignored)\n",
+                self.unknown_events
+            ));
+        }
+        out
+    }
+}
+
+fn render_table(headers: &[&str], rows: &[Vec<String>], out: &mut String) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        out.push_str(&padded.join("  "));
+        out.push('\n');
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::*;
+    use crate::sink::TraceSink;
+
+    fn sample_trace() -> String {
+        let sink = TraceSink::in_memory();
+        sink.emit(&SearchStartEvent::new(4, 3, 2, true, true, true, "edges"));
+        for step in 0..2 {
+            sink.emit(&StepEvent {
+                v: TRACE_SCHEMA_VERSION,
+                event: "step".to_string(),
+                step,
+                beams_in: 1 + step,
+                enumerated: 10,
+                pruned_monotonicity: 1,
+                scored: 9,
+                rejected_execution: 2,
+                admitted: 5,
+                kept: vec![KeptBeam {
+                    re: 2.0 - step as f64,
+                    cursor: 1,
+                    lines: 4,
+                    applied: step,
+                }],
+                cache_hits: 3,
+                cache_misses: 1,
+                cache_evictions: 0,
+                get_steps_ms: 10.0,
+                get_top_k_ms: 2.0,
+                check_execute_ms: 4.0,
+                converged: step == 1,
+            });
+        }
+        sink.emit(&VerifyEvent {
+            v: TRACE_SCHEMA_VERSION,
+            event: "verify".to_string(),
+            finalists: 3,
+            checked: 1,
+            rejected_execution: 0,
+            rejected_intent: 0,
+            accepted: true,
+            check_execute_ms: 1.0,
+            verify_ms: 3.0,
+        });
+        sink.emit(&SearchEndEvent {
+            v: TRACE_SCHEMA_VERSION,
+            event: "search_end".to_string(),
+            steps: 2,
+            explored: 18,
+            input_re: 2.5,
+            best_re: 1.0,
+            changed: true,
+            get_steps_ms: 20.0,
+            get_steps_cpu_ms: 35.0,
+            get_top_k_ms: 4.0,
+            check_execute_ms: 9.0,
+            verify_constraints_ms: 3.0,
+            total_ms: 40.0,
+            threads: 2,
+            cache_hits: 6,
+            cache_misses: 2,
+            cache_evictions: 0,
+            cache_peak_snapshots: 12,
+            stmt_spans: vec![StmtSpanAgg {
+                name: "stmt.assign".to_string(),
+                count: 30,
+                total_ms: 8.5,
+            }],
+            spans_dropped: 0,
+        });
+        sink.memory_lines().unwrap().join("\n")
+    }
+
+    #[test]
+    fn round_trip_reconstructs_phase_totals() {
+        let summary = parse_trace(&sample_trace()).unwrap();
+        assert_eq!(summary.steps.len(), 2);
+        assert_eq!(summary.explored, 18);
+        assert_eq!(summary.totals.get_steps_ms, 20.0);
+        assert_eq!(summary.totals.get_top_k_ms, 4.0);
+        // step checks (2×4) + verify check (1).
+        assert_eq!(summary.totals.check_execute_ms, 9.0);
+        assert_eq!(summary.totals.verify_constraints_ms, 3.0);
+        assert_eq!(summary.totals.total_ms, 40.0);
+        assert_eq!(summary.cache_hits, 6);
+        assert_eq!(summary.accepted, Some(true));
+        assert_eq!(summary.steps[1].best_re, Some(1.0));
+        assert!(summary.steps[1].converged);
+        assert_eq!(summary.stmt_spans.len(), 1);
+        // The reported totals match the search_end projection exactly —
+        // the invariant `lucid trace` relies on.
+        let fig7 = summary.figure7();
+        assert_eq!(fig7[0], ("GetSteps", 20.0));
+        assert_eq!(fig7[2], ("CheckIfExecutes", 9.0));
+    }
+
+    #[test]
+    fn render_includes_table_and_totals() {
+        let summary = parse_trace(&sample_trace()).unwrap();
+        let text = summary.render();
+        assert!(text.contains("seq_len=4"));
+        assert!(text.contains("GetSteps"));
+        assert!(text.contains("1*")); // converged marker
+        assert!(text.contains("hit rate"));
+        assert!(text.contains("stmt.assign"));
+    }
+
+    #[test]
+    fn rejects_bad_versions_and_garbage() {
+        assert!(parse_trace("").is_err());
+        assert!(parse_trace("not json").is_err());
+        assert!(parse_trace("{\"event\":\"step\"}").unwrap_err().contains("missing schema version"));
+        assert!(parse_trace("{\"v\":2,\"event\":\"step\"}")
+            .unwrap_err()
+            .contains("unsupported trace schema"));
+        assert!(parse_trace("{\"v\":1}").unwrap_err().contains("missing \"event\""));
+    }
+
+    #[test]
+    fn unknown_events_are_counted_not_fatal() {
+        let text = "{\"v\":1,\"event\":\"future_thing\",\"x\":1}";
+        let summary = parse_trace(text).unwrap();
+        assert_eq!(summary.unknown_events, 1);
+        assert!(summary.render().contains("unrecognized"));
+    }
+
+    #[test]
+    fn truncated_trace_falls_back_to_step_sums() {
+        let full = sample_trace();
+        let truncated: Vec<&str> = full.lines().take(3).collect(); // start + 2 steps
+        let summary = parse_trace(&truncated.join("\n")).unwrap();
+        assert_eq!(summary.cache_hits, 6); // 3 + 3 from steps
+        assert_eq!(summary.totals.total_ms, 0.0);
+        assert_eq!(summary.totals.get_steps_ms, 20.0);
+    }
+}

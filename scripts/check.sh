@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: release build, full test suite, and zero-warning clippy on the
-# crates owning the search execution model (core + interp).
+# crates owning the search execution model (core + interp), its
+# observability layer (obs), and the benchmark harness (bench).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,7 +11,7 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> cargo clippy (lucid-core, lucid-interp) -D warnings"
-cargo clippy -p lucid-core -p lucid-interp --all-targets -- -D warnings
+echo "==> cargo clippy (lucid-core, lucid-interp, lucid-obs, lucid-bench) -D warnings"
+cargo clippy -p lucid-core -p lucid-interp -p lucid-obs -p lucid-bench --all-targets -- -D warnings
 
 echo "==> OK"

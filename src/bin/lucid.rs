@@ -4,6 +4,7 @@
 //! lucid standardize --corpus DIR --data FILE --script FILE [options]
 //! lucid score       --corpus DIR --script FILE
 //! lucid corpus-stats --corpus DIR
+//! lucid trace       FILE.jsonl
 //! ```
 //!
 //! The corpus is a directory of `.py` files (straight-line pandas
@@ -25,6 +26,7 @@ USAGE:
   lucid standardize --corpus <DIR> --data <CSV> --script <PY> [options]
   lucid score        --corpus <DIR> --script <PY>
   lucid corpus-stats --corpus <DIR>
+  lucid trace        <FILE.jsonl>
 
 OPTIONS (standardize):
   --tau-j <0..1>      table-Jaccard intent threshold (default 0.9)
@@ -35,8 +37,12 @@ OPTIONS (standardize):
   --sample <N>        row-sample D_IN during constraint checks
   --threads <N>       beam-expansion worker threads (0 = all cores, default 1)
   --no-cache          disable prefix-execution snapshot caching
+  --trace <FILE>      write the search event log (JSONL) to FILE
   --explain           print per-change explanations
   --json              emit the full report as JSON
+
+`lucid trace` summarizes an event log written by `--trace`: the per-step
+table, the Figure 7 phase totals, and cache/interpreter statistics.
 ";
 
 fn main() -> ExitCode {
@@ -51,7 +57,17 @@ fn main() -> ExitCode {
     }
 }
 
-/// Tiny flag parser: `--name value` pairs plus boolean switches.
+/// Boolean switches the parser accepts.
+const SWITCH_FLAGS: &[&str] = &["explain", "json", "no-cache"];
+/// `--name value` flags the parser accepts.
+const VALUE_FLAGS: &[&str] = &[
+    "corpus", "data", "script", "tau-j", "tau-m", "target", "seq", "beam", "sample", "threads",
+    "trace",
+];
+
+/// Tiny flag parser: `--name value` pairs plus boolean switches. Flags
+/// outside [`SWITCH_FLAGS`]/[`VALUE_FLAGS`] are rejected up front (a typo
+/// must not be silently swallowed as a value pair).
 struct Flags {
     pairs: Vec<(String, String)>,
     switches: Vec<String>,
@@ -66,14 +82,15 @@ impl Flags {
             let Some(name) = a.strip_prefix("--") else {
                 return Err(format!("unexpected argument '{a}'"));
             };
-            match name {
-                "explain" | "json" | "no-cache" => switches.push(name.to_string()),
-                _ => {
-                    let value = it
-                        .next()
-                        .ok_or_else(|| format!("--{name} requires a value"))?;
-                    pairs.push((name.to_string(), value.clone()));
-                }
+            if SWITCH_FLAGS.contains(&name) {
+                switches.push(name.to_string());
+            } else if VALUE_FLAGS.contains(&name) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{name} requires a value"))?;
+                pairs.push((name.to_string(), value.clone()));
+            } else {
+                return Err(format!("unknown flag '--{name}'"));
             }
         }
         Ok(Flags { pairs, switches })
@@ -99,6 +116,10 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some(command) = args.first() else {
         return Err("missing command".to_string());
     };
+    if command == "trace" {
+        // Positional argument, not a flag pair.
+        return trace_report(&args[1..]);
+    }
     let flags = Flags::parse(&args[1..])?;
     match command.as_str() {
         "standardize" => standardize(&flags),
@@ -106,6 +127,19 @@ fn run(args: &[String]) -> Result<(), String> {
         "corpus-stats" => corpus_stats(&flags),
         other => Err(format!("unknown command '{other}'")),
     }
+}
+
+/// `lucid trace <FILE.jsonl>`: parse a search event log and print the
+/// per-step table plus the Figure 7 phase totals it reconstructs.
+fn trace_report(rest: &[String]) -> Result<(), String> {
+    let [path] = rest else {
+        return Err("usage: lucid trace <FILE.jsonl>".to_string());
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read trace '{path}': {e}"))?;
+    let summary = lucidscript::obs::parse_trace(&text)?;
+    print!("{}", summary.render());
+    Ok(())
 }
 
 fn load_corpus(dir: &str) -> Result<Vec<String>, String> {
@@ -172,6 +206,13 @@ fn standardize(flags: &Flags) -> Result<(), String> {
             v.parse().map_err(|_| "bad --threads".to_string())
         })?,
         prefix_cache: !flags.has("no-cache"),
+        trace: flags
+            .get("trace")
+            .map(|path| {
+                lucidscript::obs::TraceSink::to_file(path)
+                    .map_err(|e| format!("cannot create trace file '{path}': {e}"))
+            })
+            .transpose()?,
         ..SearchConfig::default()
     };
 
@@ -235,4 +276,85 @@ fn corpus_stats(flags: &Flags) -> Result<(), String> {
         println!("  {count:>4}x  {atom}");
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_not_swallowed() {
+        let err = run(&argv(&["standardize", "--copus", "dir"])).unwrap_err();
+        assert_eq!(err, "unknown flag '--copus'");
+        let err = run(&argv(&["score", "--verbose"])).unwrap_err();
+        assert_eq!(err, "unknown flag '--verbose'");
+    }
+
+    #[test]
+    fn value_flags_require_a_value() {
+        let err = run(&argv(&["standardize", "--corpus"])).unwrap_err();
+        assert_eq!(err, "--corpus requires a value");
+        let err = run(&argv(&["standardize", "--trace"])).unwrap_err();
+        assert_eq!(err, "--trace requires a value");
+    }
+
+    #[test]
+    fn positional_arguments_outside_trace_are_rejected() {
+        let err = run(&argv(&["standardize", "stray"])).unwrap_err();
+        assert_eq!(err, "unexpected argument 'stray'");
+        let err = run(&argv(&[])).unwrap_err();
+        assert_eq!(err, "missing command");
+        let err = run(&argv(&["frobnicate"])).unwrap_err();
+        assert_eq!(err, "unknown command 'frobnicate'");
+    }
+
+    #[test]
+    fn threads_zero_parses_as_auto() {
+        // `--threads 0` is valid (auto = all cores): parsing must get past
+        // it and fail on the genuinely missing --corpus instead.
+        let err =
+            run(&argv(&["standardize", "--threads", "0", "--script", "s.py"])).unwrap_err();
+        assert_eq!(err, "--corpus is required");
+        // A non-numeric value is a parse error, reported as such.
+        let err = run(&argv(&[
+            "standardize",
+            "--corpus",
+            "/nonexistent_lucid_dir",
+            "--threads",
+            "many",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("corpus") || err.contains("threads"), "{err}");
+    }
+
+    #[test]
+    fn no_cache_and_trace_flags_parse() {
+        let flags = Flags::parse(&argv(&[
+            "--no-cache",
+            "--trace",
+            "t.jsonl",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(flags.has("no-cache"));
+        assert_eq!(flags.get("trace"), Some("t.jsonl"));
+        assert_eq!(flags.get("threads"), Some("2"));
+        assert!(!flags.has("json"));
+        assert_eq!(flags.get("missing"), None);
+    }
+
+    #[test]
+    fn trace_command_validates_its_argument() {
+        let err = run(&argv(&["trace"])).unwrap_err();
+        assert_eq!(err, "usage: lucid trace <FILE.jsonl>");
+        let err = run(&argv(&["trace", "a", "b"])).unwrap_err();
+        assert_eq!(err, "usage: lucid trace <FILE.jsonl>");
+        let err = run(&argv(&["trace", "/nonexistent_lucid_trace.jsonl"])).unwrap_err();
+        assert!(err.contains("cannot read trace"), "{err}");
+    }
 }

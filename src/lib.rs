@@ -12,6 +12,8 @@
 //! * [`interp`] — interpreter running scripts against `frame` + `ml`
 //! * [`core`] — the paper's contribution: DAG representation, relative-entropy
 //!   standardness, transformation beam search, intent constraints
+//! * [`obs`] — tracing + metrics: registry, RAII spans, the search event
+//!   log, and trace summarization (`lucid trace`)
 //! * [`corpus`] — synthetic dataset profiles + script-corpus generators
 //! * [`baselines`] — Sourcery / GPT / Auto-Suggest / Auto-Tables comparators
 //!
@@ -23,6 +25,7 @@ pub use lucid_corpus as corpus;
 pub use lucid_frame as frame;
 pub use lucid_interp as interp;
 pub use lucid_ml as ml;
+pub use lucid_obs as obs;
 pub use lucid_pyast as pyast;
 
 /// Crate version of the umbrella package.
