@@ -24,6 +24,10 @@ struct Fig7Row {
     prefix_cache_peak_snapshots: u64,
     search_steps: usize,
     threads: usize,
+    candidates_panicked: u64,
+    budget_trips_fuel: u64,
+    budget_trips_cells: u64,
+    budget_trips_deadline: u64,
 }
 
 /// One arm of the serial-vs-optimized search comparison persisted to
@@ -138,6 +142,10 @@ fn main() {
             prefix_cache_peak_snapshots: agg.prefix_cache_peak_snapshots,
             search_steps: agg.search_steps,
             threads: agg.threads,
+            candidates_panicked: agg.candidates_panicked,
+            budget_trips_fuel: agg.budget_trips_fuel,
+            budget_trips_cells: agg.budget_trips_cells,
+            budget_trips_deadline: agg.budget_trips_deadline,
         };
         rows.push(vec![
             row.dataset.clone(),
@@ -150,6 +158,11 @@ fn main() {
             format!("{:.0}%", row.prefix_cache_hit_rate * 100.0),
             format!("{}", row.prefix_cache_evictions),
             format!("{}", row.search_steps),
+            format!(
+                "{}/{}",
+                row.candidates_panicked,
+                row.budget_trips_fuel + row.budget_trips_cells + row.budget_trips_deadline
+            ),
         ]);
         json.push(row);
         println!("  {} done", p.name);
@@ -167,6 +180,7 @@ fn main() {
             "Cache hits",
             "Evict",
             "Steps",
+            "Panic/Budget",
         ],
         &rows,
     );

@@ -62,6 +62,18 @@ pub struct SearchConfig {
     /// records) and the interpreter records per-statement spans; `None`
     /// keeps the whole observability layer on its no-op path.
     pub trace: Option<lucid_obs::TraceSink>,
+    /// Per-candidate resource budget (fuel / cells / wall-clock deadline).
+    /// Unlimited by default; tripped candidates are pruned like failed
+    /// executions and counted per axis (`Timings::budget_trips_*`). The
+    /// deadline axis is wall-clock and therefore the only knob that can
+    /// break byte-identical replay — leave it unlimited when determinism
+    /// matters.
+    pub budget: lucid_interp::Budget,
+    /// Deterministic fault-injection plan applied to candidate executions
+    /// (never the user's input script). `None` — the production default —
+    /// costs nothing; tests install a seeded plan to exercise the search's
+    /// isolation and accounting paths.
+    pub fault_plan: Option<std::sync::Arc<lucid_interp::FaultPlan>>,
 }
 
 impl Default for SearchConfig {
@@ -85,6 +97,8 @@ impl Default for SearchConfig {
             prefix_cache_capacity: lucid_interp::cache::DEFAULT_PREFIX_CACHE_CAPACITY,
             max_finalists: 256,
             trace: None,
+            budget: lucid_interp::Budget::unlimited(),
+            fault_plan: None,
         }
     }
 }
@@ -216,6 +230,22 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn budget_and_fault_injection_default_off() {
+        let c = SearchConfig::default();
+        assert!(c.budget.is_unlimited());
+        assert!(c.fault_plan.is_none());
+        let capped = SearchConfig {
+            budget: lucid_interp::Budget {
+                fuel: 10,
+                max_cells: 10,
+                deadline_ms: 10,
+            },
+            ..Default::default()
+        };
+        assert!(capped.validate().is_ok());
     }
 
     #[test]

@@ -32,6 +32,15 @@ pub mod metric {
     pub const CACHE_EVICTIONS: &str = "cache.evictions";
     /// Peak retained prefix snapshots (recorded via `set_max`).
     pub const CACHE_PEAK: &str = "cache.peak_snapshots";
+    /// Candidate executions that panicked and were isolated
+    /// (`catch_unwind`) into scored failures.
+    pub const PANICKED: &str = "search.candidates_panicked";
+    /// Candidate executions pruned by the fuel budget.
+    pub const BUDGET_FUEL: &str = "budget.trips_fuel";
+    /// Candidate executions pruned by the cell budget.
+    pub const BUDGET_CELLS: &str = "budget.trips_cells";
+    /// Candidate executions pruned by the wall-clock deadline.
+    pub const BUDGET_DEADLINE: &str = "budget.trips_deadline";
 }
 
 /// Wall-clock breakdown of the search phases — the quantities behind the
@@ -72,6 +81,15 @@ pub struct Timings {
     pub prefix_cache_peak_snapshots: u64,
     /// Beam steps the search executed (its depth).
     pub search_steps: usize,
+    /// Candidate executions that panicked and were isolated into scored
+    /// failures instead of aborting the search.
+    pub candidates_panicked: u64,
+    /// Candidate executions pruned because the fuel budget tripped.
+    pub budget_trips_fuel: u64,
+    /// Candidate executions pruned because the cell budget tripped.
+    pub budget_trips_cells: u64,
+    /// Candidate executions pruned because the deadline passed.
+    pub budget_trips_deadline: u64,
 }
 
 impl Timings {
@@ -100,6 +118,15 @@ impl Timings {
             .prefix_cache_peak_snapshots
             .max(other.prefix_cache_peak_snapshots);
         self.search_steps += other.search_steps;
+        self.candidates_panicked += other.candidates_panicked;
+        self.budget_trips_fuel += other.budget_trips_fuel;
+        self.budget_trips_cells += other.budget_trips_cells;
+        self.budget_trips_deadline += other.budget_trips_deadline;
+    }
+
+    /// Total candidate executions pruned by any budget axis.
+    pub fn budget_trips_total(&self) -> u64 {
+        self.budget_trips_fuel + self.budget_trips_cells + self.budget_trips_deadline
     }
 
     /// Projects a `Timings` from a search's metric registry (see
@@ -119,6 +146,10 @@ impl Timings {
             prefix_cache_evictions: reg.counter_value(metric::CACHE_EVICTIONS),
             prefix_cache_peak_snapshots: reg.counter_value(metric::CACHE_PEAK),
             search_steps: usize::try_from(reg.counter_value(metric::STEPS)).unwrap_or(usize::MAX),
+            candidates_panicked: reg.counter_value(metric::PANICKED),
+            budget_trips_fuel: reg.counter_value(metric::BUDGET_FUEL),
+            budget_trips_cells: reg.counter_value(metric::BUDGET_CELLS),
+            budget_trips_deadline: reg.counter_value(metric::BUDGET_DEADLINE),
         }
     }
 
@@ -198,6 +229,10 @@ mod tests {
             prefix_cache_evictions: 1,
             prefix_cache_peak_snapshots: 9,
             search_steps: 3,
+            candidates_panicked: 2,
+            budget_trips_fuel: 1,
+            budget_trips_cells: 3,
+            budget_trips_deadline: 5,
         };
         a.accumulate(&a.clone());
         assert_eq!(a.get_steps_ms, 2.0);
@@ -209,6 +244,11 @@ mod tests {
         assert_eq!(a.prefix_cache_evictions, 2);
         assert_eq!(a.prefix_cache_peak_snapshots, 9);
         assert_eq!(a.search_steps, 6);
+        assert_eq!(a.candidates_panicked, 4);
+        assert_eq!(a.budget_trips_fuel, 2);
+        assert_eq!(a.budget_trips_cells, 6);
+        assert_eq!(a.budget_trips_deadline, 10);
+        assert_eq!(a.budget_trips_total(), 18);
     }
 
     #[test]
@@ -263,6 +303,10 @@ mod tests {
         reg.counter(metric::CACHE_MISSES).add(3);
         reg.counter(metric::CACHE_EVICTIONS).add(1);
         reg.counter(metric::CACHE_PEAK).set_max(12);
+        reg.counter(metric::PANICKED).add(2);
+        reg.counter(metric::BUDGET_FUEL).add(3);
+        reg.counter(metric::BUDGET_CELLS).add(4);
+        reg.counter(metric::BUDGET_DEADLINE).add(5);
         let t = Timings::from_registry(&reg);
         assert!((t.get_steps_ms - 3.0).abs() < 1e-9);
         assert!((t.get_top_k_ms - 0.5).abs() < 1e-9);
@@ -276,6 +320,10 @@ mod tests {
         assert_eq!(t.prefix_cache_misses, 3);
         assert_eq!(t.prefix_cache_evictions, 1);
         assert_eq!(t.prefix_cache_peak_snapshots, 12);
+        assert_eq!(t.candidates_panicked, 2);
+        assert_eq!(t.budget_trips_fuel, 3);
+        assert_eq!(t.budget_trips_cells, 4);
+        assert_eq!(t.budget_trips_deadline, 5);
         // An empty registry projects the zero breakdown.
         assert_eq!(Timings::from_registry(&lucid_obs::Registry::new()), Timings::default());
     }

@@ -25,13 +25,14 @@ use crate::report::{metric, Timings};
 use crate::transform::{enumerate_transformations_counted, TransformKind, Transformation};
 use crate::vocab::CorpusModel;
 use lucid_frame::DataFrame;
-use lucid_interp::{ExecOutcome, Interpreter, PrefixCache};
+use lucid_interp::{BudgetKind, ExecOutcome, InjectedPanic, Interpreter, InterpError, PrefixCache};
 use lucid_obs::event::{
     KeptBeam, SearchEndEvent, SearchStartEvent, StepEvent, StmtSpanAgg, VerifyEvent,
     TRACE_SCHEMA_VERSION,
 };
 use lucid_obs::Registry;
 use lucid_pyast::Module;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -103,19 +104,25 @@ impl<'a> ExecEnv<'a> {
         }
     }
 
-    /// `CheckIfExecutes()`, through the cache when enabled.
-    fn check_executes(&self, module: &Module) -> bool {
-        match &self.cache {
-            Some(cache) => self.interp.check_executes_with_cache(module, cache),
-            None => self.interp.check_executes(module),
-        }
-    }
-
     /// Full run (for output extraction), through the cache when enabled.
-    fn run(&self, module: &Module) -> Result<ExecOutcome, lucid_interp::InterpError> {
+    fn run(&self, module: &Module) -> Result<ExecOutcome, InterpError> {
         match &self.cache {
             Some(cache) => self.interp.run_with_cache(module, cache),
             None => self.interp.run(module),
+        }
+    }
+
+    /// Fault-isolated run: a candidate that panics (an interpreter bug or
+    /// an injected fault) is converted into a classified [`ExecFailure`]
+    /// instead of unwinding into — and aborting — the search. The
+    /// interpreter itself is immutable during candidate execution and the
+    /// prefix cache's lock is poison-tolerant, which is what makes
+    /// `AssertUnwindSafe` sound here.
+    fn run_isolated(&self, module: &Module) -> Result<ExecOutcome, ExecFailure> {
+        match catch_unwind(AssertUnwindSafe(|| self.run(module))) {
+            Ok(Ok(outcome)) => Ok(outcome),
+            Ok(Err(e)) => Err(ExecFailure::Error(e)),
+            Err(payload) => Err(ExecFailure::Panic(panic_payload(payload))),
         }
     }
 
@@ -135,6 +142,85 @@ impl<'a> ExecEnv<'a> {
     }
 }
 
+/// Cap on panic payloads quoted per trace event. Panics beyond the cap
+/// are still *counted*; only the payload text is dropped, keeping a
+/// pathological step from bloating the event log.
+const MAX_PANIC_PAYLOADS: usize = 8;
+
+/// How an isolated candidate execution failed: a typed interpreter error
+/// (including budget trips) or a caught panic, its payload rendered for
+/// the event log.
+enum ExecFailure {
+    Error(InterpError),
+    Panic(String),
+}
+
+/// Renders a caught panic payload. Handles the payload types candidate
+/// code can actually raise — `&str`/`String` from `panic!`, and the
+/// fault-injection hook's [`InjectedPanic`] marker — and reports anything
+/// else opaquely rather than re-throwing.
+fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(injected) = payload.downcast_ref::<InjectedPanic>() {
+        format!("injected panic: {}", injected.0)
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Per-phase failure accounting: how many candidates were pruned and
+/// why. Budget trips and panics are classified per axis so the registry,
+/// the trace events, and `Timings` all report the same counts — the
+/// reconciliation the fault-injection suite asserts exactly.
+#[derive(Debug, Default)]
+struct FailureTally {
+    /// Candidates pruned by execution checks or panic isolation.
+    rejected_execution: u64,
+    /// Candidates whose execution (or scoring) panicked.
+    candidates_panicked: u64,
+    /// Candidates that exhausted the fuel budget.
+    budget_trips_fuel: u64,
+    /// Candidates that exceeded the materialized-cell cap.
+    budget_trips_cells: u64,
+    /// Candidates that overran the wall-clock deadline.
+    budget_trips_deadline: u64,
+    /// Captured panic payloads (first [`MAX_PANIC_PAYLOADS`]).
+    panic_payloads: Vec<String>,
+}
+
+impl FailureTally {
+    /// Classifies and counts one candidate failure.
+    fn note(&mut self, failure: ExecFailure) {
+        self.rejected_execution += 1;
+        match failure {
+            ExecFailure::Error(InterpError::Budget(kind)) => match kind {
+                BudgetKind::Fuel => self.budget_trips_fuel += 1,
+                BudgetKind::Cells => self.budget_trips_cells += 1,
+                BudgetKind::Deadline => self.budget_trips_deadline += 1,
+            },
+            ExecFailure::Error(_) => {}
+            ExecFailure::Panic(payload) => {
+                self.candidates_panicked += 1;
+                if self.panic_payloads.len() < MAX_PANIC_PAYLOADS {
+                    self.panic_payloads.push(payload);
+                }
+            }
+        }
+    }
+
+    /// Folds the tally into the search registry (whence
+    /// `Timings::from_registry` projects it).
+    fn record(&self, reg: &Registry) {
+        reg.counter(metric::PANICKED).add(self.candidates_panicked);
+        reg.counter(metric::BUDGET_FUEL).add(self.budget_trips_fuel);
+        reg.counter(metric::BUDGET_CELLS).add(self.budget_trips_cells);
+        reg.counter(metric::BUDGET_DEADLINE).add(self.budget_trips_deadline);
+    }
+}
+
 /// Per-beam-step measurements, accumulated by the phase helpers and then
 /// recorded into the search registry (one histogram observation per step)
 /// and the step's trace event. Keeping one struct per step is what lets
@@ -149,8 +235,8 @@ struct StepStats {
     enumerated: usize,
     pruned_monotonicity: usize,
     scored: usize,
-    rejected_execution: u64,
     admitted: u64,
+    failures: FailureTally,
 }
 
 /// Converts a millisecond measurement into the integer nanoseconds the
@@ -260,6 +346,7 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
         h_get_steps_cpu.record_ns(ms_to_ns(stats.get_steps_cpu_ms));
         h_get_top_k.record_ns(ms_to_ns(stats.get_top_k_ms));
         h_check.record_ns(ms_to_ns(stats.check_execute_ms));
+        stats.failures.record(&reg);
         if let Some(sink) = trace {
             let cache_after = exec.cache_counters();
             sink.emit(&StepEvent {
@@ -270,7 +357,12 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
                 enumerated: stats.enumerated,
                 pruned_monotonicity: stats.pruned_monotonicity,
                 scored: stats.scored,
-                rejected_execution: stats.rejected_execution,
+                rejected_execution: stats.failures.rejected_execution,
+                candidates_panicked: stats.failures.candidates_panicked,
+                budget_trips_fuel: stats.failures.budget_trips_fuel,
+                budget_trips_cells: stats.failures.budget_trips_cells,
+                budget_trips_deadline: stats.failures.budget_trips_deadline,
+                panic_payloads: std::mem::take(&mut stats.failures.panic_payloads),
                 admitted: stats.admitted,
                 kept: beams
                     .iter()
@@ -318,7 +410,7 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
     let n_finalists = finalists.len();
     let mut checked = 0usize;
     let mut verify_check_ms = 0.0f64;
-    let mut rejected_execution = 0u64;
+    let mut verify_failures = FailureTally::default();
     let mut rejected_intent = 0u64;
     finalists.sort_by(|a, b| a.re.partial_cmp(&b.re).expect("finite RE"));
     let mut best: Option<(Candidate, crate::intent::IntentEval)> = None;
@@ -332,19 +424,22 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
         checked += 1;
         if !ctx.config.early_check {
             let t3 = Instant::now();
-            let ok = exec.check_executes(&cand.module);
+            let res = exec.run_isolated(&cand.module);
             verify_check_ms += t3.elapsed().as_secs_f64() * 1e3;
-            if !ok {
-                rejected_execution += 1;
+            if let Err(failure) = res {
+                verify_failures.note(failure);
                 continue;
             }
         }
-        let Ok(outcome) = exec.run(&cand.module) else {
-            rejected_execution += 1;
-            continue;
+        let outcome = match exec.run_isolated(&cand.module) {
+            Ok(outcome) => outcome,
+            Err(failure) => {
+                verify_failures.note(failure);
+                continue;
+            }
         };
         let Some(out_frame) = outcome.output_frame() else {
-            rejected_execution += 1;
+            verify_failures.rejected_execution += 1;
             continue;
         };
         let eval = ctx.config.intent.evaluate(ctx.base_output, out_frame);
@@ -358,13 +453,19 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
     let verify_ms = t2.elapsed().as_secs_f64() * 1e3;
     h_check.record_ns(ms_to_ns(verify_check_ms));
     h_verify.record_ns(ms_to_ns(verify_ms));
+    verify_failures.record(&reg);
     if let Some(sink) = trace {
         sink.emit(&VerifyEvent {
             v: TRACE_SCHEMA_VERSION,
             event: "verify".to_string(),
             finalists: n_finalists,
             checked,
-            rejected_execution,
+            rejected_execution: verify_failures.rejected_execution,
+            candidates_panicked: verify_failures.candidates_panicked,
+            budget_trips_fuel: verify_failures.budget_trips_fuel,
+            budget_trips_cells: verify_failures.budget_trips_cells,
+            budget_trips_deadline: verify_failures.budget_trips_deadline,
+            panic_payloads: std::mem::take(&mut verify_failures.panic_payloads),
             rejected_intent,
             accepted: best.is_some(),
             check_execute_ms: verify_check_ms,
@@ -416,6 +517,10 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
             cache_misses: misses,
             cache_evictions: evictions,
             cache_peak_snapshots: timings.prefix_cache_peak_snapshots,
+            candidates_panicked: timings.candidates_panicked,
+            budget_trips_fuel: timings.budget_trips_fuel,
+            budget_trips_cells: timings.budget_trips_cells,
+            budget_trips_deadline: timings.budget_trips_deadline,
             stmt_spans: stmt_span_aggregates(ctx.interp),
             spans_dropped: ctx.interp.obs.as_ref().map_or(0, |o| o.dropped()),
         });
@@ -488,21 +593,35 @@ fn get_steps_all(
     }
     stats.enumerated += jobs.len();
     let workers = ctx.config.resolved_threads().min(jobs.len()).max(1);
-    let (slots, cpu_ms) = if workers == 1 {
+    let (slots, cpu_ms, panics) = if workers == 1 {
         let mut cpu_ms = 0.0;
+        let mut panics = Vec::new();
         let slots = jobs
             .iter()
             .map(|(beam_idx, t)| {
                 let t_job = Instant::now();
-                let step = score_step(&beams[*beam_idx], t, ctx);
+                // The same per-candidate isolation as the parallel path:
+                // a panicking scorer drops its slot instead of aborting.
+                let step = catch_unwind(AssertUnwindSafe(|| {
+                    score_step(&beams[*beam_idx], t, ctx)
+                }));
                 cpu_ms += t_job.elapsed().as_secs_f64() * 1e3;
-                step
+                match step {
+                    Ok(step) => step,
+                    Err(payload) => {
+                        panics.push(panic_payload(payload));
+                        None
+                    }
+                }
             })
             .collect();
-        (slots, cpu_ms)
+        (slots, cpu_ms, panics)
     } else {
         score_steps_parallel(beams, &jobs, ctx, workers)
     };
+    for payload in panics {
+        stats.failures.note(ExecFailure::Panic(payload));
+    }
     stats.get_steps_cpu_ms += cpu_ms;
 
     // Regroup by beam. Jobs were enumerated beam-major, so pushing in job
@@ -546,17 +665,20 @@ fn score_step(cand: &Candidate, t: &Transformation, ctx: &SearchContext) -> Opti
 
 /// Fans `score_step` across scoped worker threads (work-stealing via an
 /// atomic job counter, reassembly by job index — the same idiom the
-/// bench runner uses). Returns the index-aligned result slots and the
-/// summed per-worker CPU time.
+/// bench runner uses). Each job runs under `catch_unwind`, so a panicking
+/// candidate surfaces as an empty slot plus a captured payload instead of
+/// poisoning the scope and aborting the whole search. Returns the
+/// index-aligned result slots, the summed per-worker CPU time, and the
+/// captured panic payloads in job order.
 fn score_steps_parallel(
     beams: &[Candidate],
     jobs: &[(usize, Transformation)],
     ctx: &SearchContext,
     workers: usize,
-) -> (Vec<Option<ScoredStep>>, f64) {
+) -> (Vec<Option<ScoredStep>>, f64, Vec<String>) {
     let counter = AtomicUsize::new(0);
     let (tx, rx) = crossbeam::channel::unbounded();
-    crossbeam::thread::scope(|scope| {
+    let scope_result = crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let counter = &counter;
@@ -567,21 +689,39 @@ fn score_steps_parallel(
                 }
                 let (beam_idx, t) = &jobs[i];
                 let t_job = Instant::now();
-                let step = score_step(&beams[*beam_idx], t, ctx);
+                let step = catch_unwind(AssertUnwindSafe(|| {
+                    score_step(&beams[*beam_idx], t, ctx)
+                }))
+                .map_err(panic_payload);
                 let cpu_ms = t_job.elapsed().as_secs_f64() * 1e3;
-                tx.send((i, step, cpu_ms)).expect("receiver alive");
+                // A send can only fail if the receiver is gone, i.e. the
+                // search is already unwinding; dropping the result is the
+                // graceful option either way.
+                let _ = tx.send((i, step, cpu_ms));
             });
         }
-    })
-    .expect("scoring worker panicked");
+    });
     drop(tx);
     let mut slots: Vec<Option<ScoredStep>> = jobs.iter().map(|_| None).collect();
     let mut cpu_ms = 0.0;
+    // Panics are re-ordered into job order so the captured payload list —
+    // and everything downstream of it — is identical across thread counts.
+    let mut panics: Vec<(usize, String)> = Vec::new();
     for (i, step, job_ms) in rx {
-        slots[i] = step;
         cpu_ms += job_ms;
+        match step {
+            Ok(step) => slots[i] = step,
+            Err(payload) => panics.push((i, payload)),
+        }
     }
-    (slots, cpu_ms)
+    if scope_result.is_err() {
+        // Unreachable in practice (every job is isolated above), but a
+        // worker dying outside the isolated region must degrade to one
+        // counted panic, never to an abort.
+        panics.push((jobs.len(), "scoring worker died outside candidate isolation".to_string()));
+    }
+    panics.sort_by_key(|(i, _)| *i);
+    (slots, cpu_ms, panics.into_iter().map(|(_, p)| p).collect())
 }
 
 /// Algorithm 2: `GetTopKBeams` — walk the ranked steps, early-check
@@ -613,10 +753,10 @@ fn get_top_k(
         }
         if ctx.config.early_check {
             let t0 = Instant::now();
-            let ok = exec.check_executes(&step.candidate.module);
+            let res = exec.run_isolated(&step.candidate.module);
             stats.check_execute_ms += t0.elapsed().as_secs_f64() * 1e3;
-            if !ok {
-                stats.rejected_execution += 1;
+            if let Err(failure) = res {
+                stats.failures.note(failure);
                 continue;
             }
         }
@@ -1024,6 +1164,67 @@ y = df['Survived']
         );
         assert_eq!(outcome.explored, reference.explored);
         assert_eq!(outcome.timings.search_steps, reference.timings.search_steps);
+    }
+
+    #[test]
+    fn injected_panics_are_isolated_and_reconciled() {
+        lucid_interp::silence_injected_panics();
+        let corpus = corpus_model();
+        let mut interp = Interpreter::new();
+        interp.register_table("train.csv", titanic_like_table());
+        let input = crate::lemma::lemmatize(&parse_module(NONSTANDARD).unwrap());
+        let base = interp.run(&input).unwrap().output_frame().unwrap().clone();
+        // Install the plan *after* the base run so the input executes clean.
+        let plan = std::sync::Arc::new(lucid_interp::FaultPlan::new(
+            42,
+            1.0,
+            vec![lucid_interp::FaultClass::Panic],
+        ));
+        interp.fault_plan = Some(plan.clone());
+        let config = SearchConfig {
+            seq_len: 3,
+            intent: IntentMeasure::jaccard(0.3),
+            ..Default::default()
+        };
+        let ctx = context(&corpus, &interp, &config, &base);
+        let outcome = standardize_search(&ctx, &input);
+        // Every candidate execution panics; the search must survive,
+        // count each caught panic, and fall back to the input.
+        assert!(outcome.best.applied.is_empty());
+        assert!(outcome.timings.candidates_panicked > 0);
+        assert_eq!(
+            outcome.timings.candidates_panicked,
+            plan.injected(lucid_interp::FaultClass::Panic),
+            "search counters must reconcile with the injection plan"
+        );
+        assert_eq!(outcome.timings.budget_trips_total(), 0);
+    }
+
+    #[test]
+    fn budget_tripped_candidates_are_pruned_and_counted() {
+        let corpus = corpus_model();
+        let mut interp = Interpreter::new();
+        interp.register_table("train.csv", titanic_like_table());
+        let input = crate::lemma::lemmatize(&parse_module(NONSTANDARD).unwrap());
+        let base = interp.run(&input).unwrap().output_frame().unwrap().clone();
+        // A starvation budget: every candidate execution trips Fuel, so
+        // the search degrades gracefully to the input fallback.
+        interp.budget = lucid_interp::Budget {
+            fuel: 1,
+            ..lucid_interp::Budget::unlimited()
+        };
+        let config = SearchConfig {
+            seq_len: 3,
+            intent: IntentMeasure::jaccard(0.3),
+            ..Default::default()
+        };
+        let ctx = context(&corpus, &interp, &config, &base);
+        let outcome = standardize_search(&ctx, &input);
+        assert!(outcome.best.applied.is_empty());
+        assert!(outcome.timings.budget_trips_fuel > 0);
+        assert_eq!(outcome.timings.budget_trips_cells, 0);
+        assert_eq!(outcome.timings.budget_trips_deadline, 0);
+        assert_eq!(outcome.timings.candidates_panicked, 0);
     }
 
     #[test]

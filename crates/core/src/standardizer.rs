@@ -117,9 +117,11 @@ impl Standardizer {
     /// treats the input as a working sketch).
     pub fn standardize(&self, user_script: &Module) -> Result<StandardizeReport> {
         let input = lemmatize(user_script);
+        // The input is the user's working sketch, not a search candidate:
+        // it runs trusted (no fault injection), though still budgeted.
         let base_outcome = self
             .interp
-            .run(&input)
+            .run_trusted(&input)
             .map_err(CoreError::InputNotExecutable)?;
         let base_output = base_outcome
             .output_frame()
@@ -180,13 +182,16 @@ impl Standardizer {
     }
 }
 
-/// Applies a config's interpreter-facing knobs: seed, sampling, and — when
-/// tracing is on — a span collector recording per-statement interpreter
-/// time into the search's event log. Without a trace sink the collector is
-/// absent entirely, keeping runs on the zero-cost path.
+/// Applies a config's interpreter-facing knobs: seed, sampling, the
+/// per-candidate resource budget, the (test-only) fault-injection plan,
+/// and — when tracing is on — a span collector recording per-statement
+/// interpreter time into the search's event log. Without a trace sink the
+/// collector is absent entirely, keeping runs on the zero-cost path.
 fn configure_interp(interp: &mut Interpreter, config: &SearchConfig) {
     interp.seed = config.seed;
     interp.sample_rows = config.sample_rows;
+    interp.budget = config.budget;
+    interp.fault_plan = config.fault_plan.clone();
     interp.obs = config
         .trace
         .as_ref()

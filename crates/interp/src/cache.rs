@@ -56,6 +56,11 @@ pub(crate) struct CachedPrefix {
     pub last_frame_var: Option<String>,
     /// Number of statements this snapshot has already executed.
     pub len: usize,
+    /// Fuel the prefix consumed — restored on resume so budget accounting
+    /// is byte-identical with and without the cache.
+    pub fuel_used: u64,
+    /// Cells the prefix bound — restored on resume, like `fuel_used`.
+    pub cells: u64,
 }
 
 impl Default for PrefixCache {
@@ -103,7 +108,15 @@ impl PrefixCache {
 
     /// Number of snapshots currently retained.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").map.len()
+        self.lock().map.len()
+    }
+
+    /// Acquires the inner lock, recovering from poisoning: the search
+    /// layer catches candidate panics, and a snapshot store must stay
+    /// usable afterwards (snapshots are only inserted whole, so the state
+    /// is consistent even if a panic unwound through a lock hold).
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Whether no snapshots are retained.
@@ -127,7 +140,7 @@ impl PrefixCache {
 
     /// A clone of the snapshot for `key`, touching its LRU position.
     pub(crate) fn get(&self, key: u64) -> Option<CachedPrefix> {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.lock();
         let snapshot = inner.map.get(&key).cloned()?;
         if let Some(pos) = inner.order.iter().position(|k| *k == key) {
             inner.order.remove(pos);
@@ -141,7 +154,7 @@ impl PrefixCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.lock();
         if inner.map.insert(key, snapshot).is_none() {
             inner.order.push_back(key);
             while inner.map.len() > self.capacity {
@@ -193,6 +206,8 @@ mod tests {
             vars: HashMap::new(),
             last_frame_var: None,
             len,
+            fuel_used: 0,
+            cells: 0,
         }
     }
 

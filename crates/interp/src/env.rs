@@ -1,12 +1,14 @@
 //! The interpreter: registered tables, variable environment, execution of
 //! statements, and outcome extraction.
 
+use crate::budget::{Budget, BudgetKind, BudgetUsage, FaultPlan, UNLIMITED};
 use crate::error::{InterpError, Result};
 use crate::value::{FrameVal, ModuleKind, RtValue};
 use lucid_frame::{DataFrame, Value};
 use lucid_pyast::{Expr, Module, Stmt};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Executes straight-line scripts against in-memory tables.
 ///
@@ -25,6 +27,13 @@ pub struct Interpreter {
     /// Statement budget per run (straight-line scripts are short; this
     /// guards against pathological generated scripts).
     pub max_statements: usize,
+    /// Per-run resource budget (fuel / cells / deadline). Unlimited by
+    /// default; each axis trips a distinct [`InterpError::Budget`] kind.
+    pub budget: Budget,
+    /// Deterministic fault-injection plan, consulted before each statement
+    /// of *untrusted* runs. `None` (the default) costs nothing;
+    /// [`Interpreter::run_trusted`] ignores it entirely.
+    pub fault_plan: Option<Arc<FaultPlan>>,
     /// Optional span collector: when set (and enabled), every run records
     /// an `interp.run` root span with one `stmt.*` child per executed
     /// statement. `None` costs nothing on the hot path.
@@ -38,6 +47,8 @@ impl Default for Interpreter {
             seed: 7,
             sample_rows: None,
             max_statements: 10_000,
+            budget: Budget::unlimited(),
+            fault_plan: None,
             obs: None,
         }
     }
@@ -73,11 +84,59 @@ impl ExecOutcome {
     }
 }
 
-/// Per-run mutable state (variables + step counter).
+/// Per-run mutable state (variables + step counter + budget meter).
 pub(crate) struct RunState {
     pub vars: HashMap<String, RtValue>,
     pub last_frame_var: Option<String>,
     pub steps: usize,
+    /// Fuel charged so far: one unit per evaluated expression node plus
+    /// one per statement. Budget-independent (see [`Budget`]).
+    pub fuel_used: u64,
+    /// Cumulative cells bound into the environment so far.
+    pub cells: u64,
+}
+
+impl RunState {
+    fn fresh() -> Self {
+        RunState {
+            vars: HashMap::new(),
+            last_frame_var: None,
+            steps: 0,
+            fuel_used: 0,
+            cells: 0,
+        }
+    }
+
+    /// Charges `cost` fuel, tripping [`BudgetKind::Fuel`] past the cap.
+    pub(crate) fn charge_fuel(&mut self, cost: u64, budget: &Budget) -> Result<()> {
+        self.fuel_used = self.fuel_used.saturating_add(cost);
+        if self.fuel_used > budget.fuel {
+            return Err(InterpError::Budget(BudgetKind::Fuel));
+        }
+        Ok(())
+    }
+
+    fn usage(&self) -> BudgetUsage {
+        BudgetUsage {
+            fuel_used: self.fuel_used,
+            cells: self.cells,
+            steps: self.steps,
+        }
+    }
+}
+
+/// Cells a value materializes when bound: `rows × columns` for frames,
+/// element count for series/masks, recursive for containers, 1 otherwise.
+fn value_cells(v: &RtValue) -> u64 {
+    match v {
+        RtValue::Frame(f) => (f.df.n_rows() as u64).saturating_mul(f.df.n_cols() as u64),
+        RtValue::Series(s) => s.col.len() as u64,
+        RtValue::Mask(m) => m.len() as u64,
+        RtValue::List(items) | RtValue::Tuple(items) => {
+            items.iter().map(value_cells).fold(0, u64::saturating_add)
+        }
+        _ => 1,
+    }
 }
 
 impl Interpreter {
@@ -98,7 +157,7 @@ impl Interpreter {
             .get(path)
             .ok_or_else(|| InterpError::FileNotFound(path.to_string()))?;
         match self.sample_rows {
-            Some(cap) if df.n_rows() > cap => Ok(df.sample(cap, self.seed).expect("cap < rows")),
+            Some(cap) if df.n_rows() > cap => Ok(df.sample(cap, self.seed)?),
             _ => Ok(df.clone()),
         }
     }
@@ -111,24 +170,38 @@ impl Interpreter {
     /// TypeError, ...) surfaces as an [`InterpError`] — the signal
     /// LucidScript's execution constraint consumes.
     pub fn run(&self, module: &Module) -> Result<ExecOutcome> {
-        let mut state = RunState {
-            vars: HashMap::new(),
-            last_frame_var: None,
-            steps: 0,
-        };
-        let root = self.obs.as_deref().map(|c| c.span("interp.run"));
-        for stmt in &module.stmts {
-            state.steps += 1;
-            if state.steps > self.max_statements {
-                return Err(InterpError::BudgetExhausted);
-            }
-            let _span = root.as_ref().map(|r| r.child(stmt_span_name(stmt)));
-            self.exec_stmt(stmt, &mut state)?;
+        self.run_with_usage(module).0
+    }
+
+    /// Like [`Interpreter::run`], but also reports the resources the run
+    /// consumed — for successful *and* failed runs.
+    pub fn run_with_usage(&self, module: &Module) -> (Result<ExecOutcome>, BudgetUsage) {
+        let mut state = RunState::fresh();
+        let res = self.run_inner(module, None, false, &mut state);
+        Self::finish(res, state)
+    }
+
+    /// Runs a *trusted* script: the fault-injection plan (if any) is never
+    /// consulted. The resource budget still applies. Used for the user's
+    /// own input script, which is not a search candidate.
+    pub fn run_trusted(&self, module: &Module) -> Result<ExecOutcome> {
+        let mut state = RunState::fresh();
+        let res = self.run_inner(module, None, true, &mut state);
+        Self::finish(res, state).0
+    }
+
+    fn finish(res: Result<()>, state: RunState) -> (Result<ExecOutcome>, BudgetUsage) {
+        let usage = state.usage();
+        match res {
+            Ok(()) => (
+                Ok(ExecOutcome {
+                    vars: state.vars,
+                    last_frame_var: state.last_frame_var,
+                }),
+                usage,
+            ),
+            Err(e) => (Err(e), usage),
         }
-        Ok(ExecOutcome {
-            vars: state.vars,
-            last_frame_var: state.last_frame_var,
-        })
     }
 
     /// Like [`Interpreter::run`], but resumes from the longest cached
@@ -152,47 +225,96 @@ impl Interpreter {
         module: &Module,
         cache: &crate::cache::PrefixCache,
     ) -> Result<ExecOutcome> {
-        let keys = crate::cache::prefix_keys(&module.stmts, self.seed, self.sample_rows);
-        // Longest cached prefix wins; each probe is cheap (hash lookup).
-        let resumed = keys
-            .iter()
-            .enumerate()
-            .rev()
-            .find_map(|(i, key)| cache.get(*key).filter(|s| s.len == i + 1));
-        cache.record_probe(resumed.is_some());
-        let mut state = match resumed {
-            Some(snapshot) => RunState {
-                vars: snapshot.vars,
-                last_frame_var: snapshot.last_frame_var,
-                steps: snapshot.len,
-            },
-            None => RunState {
-                vars: HashMap::new(),
-                last_frame_var: None,
-                steps: 0,
-            },
-        };
+        self.run_with_cache_usage(module, cache).0
+    }
+
+    /// [`Interpreter::run_with_cache`] with resource-usage reporting.
+    pub fn run_with_cache_usage(
+        &self,
+        module: &Module,
+        cache: &crate::cache::PrefixCache,
+    ) -> (Result<ExecOutcome>, BudgetUsage) {
+        let mut state = RunState::fresh();
+        let res = self.run_inner(module, Some(cache), false, &mut state);
+        Self::finish(res, state)
+    }
+
+    /// The single governed execution loop behind every `run*` entry point:
+    /// optional prefix-cache resume, statement cap, budget metering,
+    /// fault injection (untrusted runs only), span recording.
+    fn run_inner(
+        &self,
+        module: &Module,
+        cache: Option<&crate::cache::PrefixCache>,
+        trusted: bool,
+        state: &mut RunState,
+    ) -> Result<()> {
+        let keys = cache
+            .map(|_| crate::cache::prefix_keys(&module.stmts, self.seed, self.sample_rows));
+        if let (Some(cache), Some(keys)) = (cache, keys.as_ref()) {
+            // Longest cached prefix wins; each probe is cheap (hash lookup).
+            let resumed = keys
+                .iter()
+                .enumerate()
+                .rev()
+                .find_map(|(i, key)| cache.get(*key).filter(|s| s.len == i + 1));
+            cache.record_probe(resumed.is_some());
+            if let Some(snapshot) = resumed {
+                state.vars = snapshot.vars;
+                state.last_frame_var = snapshot.last_frame_var;
+                state.steps = snapshot.len;
+                state.fuel_used = snapshot.fuel_used;
+                state.cells = snapshot.cells;
+                // Snapshots taken under a roomier budget can already be
+                // over this run's caps — trip now, like the cold run would.
+                if state.fuel_used > self.budget.fuel {
+                    return Err(InterpError::Budget(BudgetKind::Fuel));
+                }
+                if state.cells > self.budget.max_cells {
+                    return Err(InterpError::Budget(BudgetKind::Cells));
+                }
+            }
+        }
+        let started = (self.budget.deadline_ms != UNLIMITED).then(Instant::now);
         let root = self.obs.as_deref().map(|c| c.span("interp.run"));
-        for (stmt, key) in module.stmts.iter().zip(&keys).skip(state.steps) {
+        let faults = if trusted {
+            None
+        } else {
+            self.fault_plan.as_deref()
+        };
+        for (i, stmt) in module.stmts.iter().enumerate().skip(state.steps) {
             state.steps += 1;
             if state.steps > self.max_statements {
                 return Err(InterpError::BudgetExhausted);
             }
+            state.charge_fuel(1, &self.budget)?;
+            if let Some(start) = started {
+                if start.elapsed().as_millis() as u64 >= self.budget.deadline_ms {
+                    return Err(InterpError::Budget(BudgetKind::Deadline));
+                }
+            }
+            if let Some(plan) = faults {
+                plan.check(i, stmt_fault_hash(stmt))?;
+            }
             let _span = root.as_ref().map(|r| r.child(stmt_span_name(stmt)));
-            self.exec_stmt(stmt, &mut state)?;
-            cache.put(
-                *key,
-                crate::cache::CachedPrefix {
-                    vars: state.vars.clone(),
-                    last_frame_var: state.last_frame_var.clone(),
-                    len: state.steps,
-                },
-            );
+            self.exec_stmt(stmt, state)?;
+            if state.cells > self.budget.max_cells {
+                return Err(InterpError::Budget(BudgetKind::Cells));
+            }
+            if let (Some(cache), Some(keys)) = (cache, keys.as_ref()) {
+                cache.put(
+                    keys[i],
+                    crate::cache::CachedPrefix {
+                        vars: state.vars.clone(),
+                        last_frame_var: state.last_frame_var.clone(),
+                        len: state.steps,
+                        fuel_used: state.fuel_used,
+                        cells: state.cells,
+                    },
+                );
+            }
         }
-        Ok(ExecOutcome {
-            vars: state.vars,
-            last_frame_var: state.last_frame_var,
-        })
+        Ok(())
     }
 
     /// Executes a script and reports only whether it runs — the paper's
@@ -424,6 +546,7 @@ impl Interpreter {
     }
 
     pub(crate) fn bind(&self, name: String, value: RtValue, state: &mut RunState) {
+        state.cells = state.cells.saturating_add(value_cells(&value));
         if matches!(value, RtValue::Frame(_)) {
             state.last_frame_var = Some(name.clone());
         }
@@ -440,6 +563,18 @@ impl Interpreter {
             None => Err(InterpError::NameError(var.to_string())),
         }
     }
+}
+
+/// Span-normalized statement content hash — the [`FaultPlan`] decision key.
+/// Identical code faults identically wherever it sits in the source, which
+/// keeps injected-fault counts independent of prefix-cache state.
+fn stmt_fault_hash(stmt: &Stmt) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    stmt.clone()
+        .with_span(lucid_pyast::Span::synthetic())
+        .hash(&mut h);
+    h.finish()
 }
 
 /// The span name a statement's execution records under.
@@ -606,6 +741,98 @@ mod tests {
         quiet.obs = Some(Arc::clone(&off));
         quiet.run(&module).unwrap();
         assert_eq!(off.registry().histogram_count("interp.run"), 0);
+    }
+
+    #[test]
+    fn fuel_budget_trips_with_distinct_kind() {
+        let mut i = interp();
+        i.budget.fuel = 3;
+        let module = parse_module("import pandas as pd\ndf = pd.read_csv('t.csv')\n").unwrap();
+        assert_eq!(
+            i.run(&module).err(),
+            Some(InterpError::Budget(crate::budget::BudgetKind::Fuel))
+        );
+        // Generous fuel: same script succeeds and reports usage.
+        i.budget.fuel = 1_000;
+        let (res, usage) = i.run_with_usage(&module);
+        assert!(res.is_ok());
+        assert!(usage.fuel_used > 2, "statements + expression nodes charge");
+        assert!(usage.cells >= 12, "4x3 frame bound");
+        assert_eq!(usage.steps, 2);
+    }
+
+    #[test]
+    fn cells_budget_trips_with_distinct_kind() {
+        let mut i = interp();
+        i.budget.max_cells = 5;
+        let module = parse_module("import pandas as pd\ndf = pd.read_csv('t.csv')\n").unwrap();
+        assert_eq!(
+            i.run(&module).err(),
+            Some(InterpError::Budget(crate::budget::BudgetKind::Cells))
+        );
+    }
+
+    #[test]
+    fn zero_deadline_trips_and_unlimited_never_does() {
+        let mut i = interp();
+        i.budget.deadline_ms = 0;
+        let module = parse_module("import pandas as pd\n").unwrap();
+        assert_eq!(
+            i.run(&module).err(),
+            Some(InterpError::Budget(crate::budget::BudgetKind::Deadline))
+        );
+        i.budget.deadline_ms = crate::budget::UNLIMITED;
+        assert!(i.run(&module).is_ok());
+    }
+
+    #[test]
+    fn budget_accounting_matches_across_cache_modes() {
+        let i = interp();
+        let module = parse_module(
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.dropna()\n",
+        )
+        .unwrap();
+        let (_, cold) = i.run_with_usage(&module);
+        let cache = crate::cache::PrefixCache::default();
+        let (_, first) = i.run_with_cache_usage(&module, &cache);
+        let (_, resumed) = i.run_with_cache_usage(&module, &cache);
+        assert!(cache.hits() > 0, "second run must resume from a snapshot");
+        assert_eq!(cold, first);
+        assert_eq!(cold, resumed);
+    }
+
+    #[test]
+    fn fault_plan_fires_deterministically_and_only_when_untrusted() {
+        use crate::budget::{FaultClass, FaultPlan};
+        let mut i = interp();
+        let module = parse_module("import pandas as pd\ndf = pd.read_csv('t.csv')\n").unwrap();
+        i.fault_plan = Some(Arc::new(FaultPlan::new(
+            42,
+            1.0,
+            vec![FaultClass::Value],
+        )));
+        let first = i.run(&module).err();
+        assert!(matches!(first, Some(InterpError::ValueError(_))));
+        assert_eq!(i.run(&module).err(), first, "decisions are deterministic");
+        let plan = i.fault_plan.as_ref().unwrap();
+        assert_eq!(plan.injected(FaultClass::Value), 2);
+        // Trusted runs never consult the plan.
+        assert!(i.run_trusted(&module).is_ok());
+        assert_eq!(plan.injected(FaultClass::Value), 2);
+    }
+
+    #[test]
+    fn sampling_cap_load_errors_instead_of_panicking() {
+        // The sample guard (`n_rows > cap`) makes the inner sample
+        // infallible; this pins the typed-error (not panic) contract of
+        // the rewritten `load_table`.
+        let mut i = interp();
+        i.sample_rows = Some(0);
+        let out = i.run(&parse_module("import pandas as pd\ndf = pd.read_csv('t.csv')\n").unwrap());
+        match out {
+            Ok(o) => assert_eq!(o.output_frame().unwrap().n_rows(), 0),
+            Err(e) => assert!(matches!(e, InterpError::Frame(_))),
+        }
     }
 
     #[test]

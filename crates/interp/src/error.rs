@@ -33,6 +33,9 @@ pub enum InterpError {
     Unsupported(String),
     /// The per-run statement/step budget was exhausted.
     BudgetExhausted,
+    /// A [`crate::budget::Budget`] axis tripped (fuel, cells, or
+    /// deadline) — each kind is accounted for separately by the search.
+    Budget(crate::budget::BudgetKind),
 }
 
 impl fmt::Display for InterpError {
@@ -52,6 +55,9 @@ impl fmt::Display for InterpError {
             InterpError::ImportError(m) => write!(f, "ImportError: no module named '{m}'"),
             InterpError::Unsupported(msg) => write!(f, "Unsupported: {msg}"),
             InterpError::BudgetExhausted => write!(f, "execution budget exhausted"),
+            InterpError::Budget(kind) => {
+                write!(f, "BudgetError: {} budget exhausted", kind.label())
+            }
         }
     }
 }

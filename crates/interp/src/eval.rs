@@ -36,7 +36,12 @@ impl Args {
 
 impl Interpreter {
     /// Evaluates an expression to a runtime value.
+    ///
+    /// Charges one unit of fuel per expression node, so the fuel budget
+    /// governs per-op work (deeply nested expressions included), not just
+    /// statement count.
     pub(crate) fn eval(&self, expr: &Expr, state: &mut RunState) -> Result<RtValue> {
+        state.charge_fuel(1, &self.budget)?;
         match expr {
             Expr::Name(name) => state
                 .vars

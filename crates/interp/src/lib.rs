@@ -29,6 +29,7 @@
 //! assert_eq!(out.total_null_count(), 0);
 //! ```
 
+pub mod budget;
 pub mod cache;
 pub mod env;
 pub mod error;
@@ -38,6 +39,10 @@ pub mod pandas;
 pub mod sklearn;
 pub mod value;
 
+pub use budget::{
+    silence_injected_panics, Budget, BudgetKind, BudgetUsage, FaultClass, FaultPlan,
+    InjectedPanic, UNLIMITED,
+};
 pub use cache::PrefixCache;
 pub use env::{ExecOutcome, Interpreter};
 pub use error::InterpError;

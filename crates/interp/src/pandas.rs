@@ -91,15 +91,16 @@ pub(crate) fn call_frame_method(
                 let keep = subset_not_na_mask(&f, &subset)?;
                 return Ok(RtValue::Frame(f.filter(&keep)?));
             }
-            let keep = all_not_na_mask(&f);
+            let keep = all_not_na_mask(&f)?;
             Ok(RtValue::Frame(f.filter(&keep)?))
         }
         "drop" => frame_drop(&f, &args),
         "drop_duplicates" => {
             let mut seen = std::collections::HashSet::new();
-            let bits: Vec<bool> = (0..f.df.n_rows())
-                .map(|i| seen.insert(f.df.row_key(i).expect("in bounds")))
-                .collect();
+            let mut bits = Vec::with_capacity(f.df.n_rows());
+            for i in 0..f.df.n_rows() {
+                bits.push(seen.insert(f.df.row_key(i)?));
+            }
             Ok(RtValue::Frame(f.filter(&lucid_frame::BoolMask::new(bits))?))
         }
         "rename" => {
@@ -159,20 +160,23 @@ pub(crate) fn call_frame_method(
             let sampled = f.df.sample(n, seed)?;
             // Recover positions by sampling indices the same way.
             let mut idx_frame = lucid_frame::DataFrame::new();
-            idx_frame
-                .add_column(
-                    "__pos",
-                    Column::from_ints((0..f.df.n_rows() as i64).map(Some).collect()),
-                )
-                .expect("fresh");
+            idx_frame.add_column(
+                "__pos",
+                Column::from_ints((0..f.df.n_rows() as i64).map(Some).collect()),
+            )?;
             let sampled_idx = idx_frame.sample(n, seed)?;
             let positions: Vec<usize> = sampled_idx
-                .column("__pos")
-                .expect("exists")
+                .column("__pos")?
                 .values()
                 .iter()
-                .map(|v| v.as_f64().expect("int") as usize)
-                .collect();
+                .map(|v| {
+                    v.as_f64().map(|x| x as usize).ok_or_else(|| {
+                        InterpError::ValueError(
+                            "sample produced a non-numeric position".to_string(),
+                        )
+                    })
+                })
+                .collect::<Result<_>>()?;
             debug_assert_eq!(sampled.n_rows(), positions.len());
             f.take(&positions).map(RtValue::Frame).map_err(Into::into)
         }
@@ -309,9 +313,12 @@ fn frame_fillna(f: &FrameVal, args: &Args) -> Result<RtValue> {
             let mut df = f.df.clone();
             for (name, fill) in pairs {
                 if df.has_column(name) {
-                    let filled = df.column(name)?.fill_na(fill).unwrap_or_else(|_| {
-                        df.column(name).expect("exists").clone()
-                    });
+                    // Columns the fill value cannot apply to are kept as-is
+                    // (pandas fills what it can).
+                    let filled = match df.column(name)?.fill_na(fill) {
+                        Ok(c) => c,
+                        Err(_) => df.column(name)?.clone(),
+                    };
                     df.set_column(name, filled)?;
                 }
             }
@@ -339,10 +346,10 @@ fn frame_fillna(f: &FrameVal, args: &Args) -> Result<RtValue> {
             for (name, col) in stats.df.iter() {
                 if df.has_column(name) {
                     let fill = col.get(0)?;
-                    let filled = df
-                        .column(name)?
-                        .fill_na(&fill)
-                        .unwrap_or_else(|_| df.column(name).expect("exists").clone());
+                    let filled = match df.column(name)?.fill_na(&fill) {
+                        Ok(c) => c,
+                        Err(_) => df.column(name)?.clone(),
+                    };
                     df.set_column(name, filled)?;
                 }
             }
@@ -408,12 +415,12 @@ fn frame_stat_row(f: &FrameVal, stat: StatFill) -> Result<RtValue> {
     Ok(RtValue::Row(pairs))
 }
 
-fn all_not_na_mask(f: &FrameVal) -> lucid_frame::BoolMask {
+fn all_not_na_mask(f: &FrameVal) -> Result<lucid_frame::BoolMask> {
     let mut keep = lucid_frame::BoolMask::splat(true, f.df.n_rows());
     for (_, c) in f.df.iter() {
-        keep = keep.and(&c.is_na().not()).expect("same length");
+        keep = keep.and(&c.is_na().not())?;
     }
-    keep
+    Ok(keep)
 }
 
 fn subset_not_na_mask(f: &FrameVal, subset: &[String]) -> Result<lucid_frame::BoolMask> {
@@ -715,5 +722,75 @@ pub(crate) fn kw_int(args: &Args, name: &str) -> Result<Option<i64>> {
     match args.kw_get(name) {
         Some(v) => Ok(Some(expect_int(v)?)),
         None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interpreter;
+    use lucid_frame::csv::read_csv_str;
+    use lucid_pyast::parse_module;
+
+    fn interp() -> Interpreter {
+        let mut i = Interpreter::new();
+        i.register_table(
+            "t.csv",
+            read_csv_str("a,b,s\n1,2.5,x\n2,,\n1,2.5,x\n3,4.5,y\n").unwrap(),
+        );
+        i
+    }
+
+    fn run(src: &str) -> Result<crate::ExecOutcome> {
+        interp().run(&parse_module(src).unwrap())
+    }
+
+    // One test per former `.expect()` site: each path now returns a typed
+    // `InterpError` (or succeeds) instead of panicking the process.
+
+    #[test]
+    fn drop_duplicates_row_keys_never_panic() {
+        let out = run(
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.drop_duplicates()\n",
+        )
+        .unwrap();
+        assert_eq!(out.output_frame().unwrap().n_rows(), 3);
+    }
+
+    #[test]
+    fn sample_frac_position_recovery_never_panics() {
+        let out = run(
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.sample(frac=0.5, random_state=3)\n",
+        )
+        .unwrap();
+        assert_eq!(out.output_frame().unwrap().n_rows(), 2);
+        // Oversampling stays a typed ValueError.
+        assert!(matches!(
+            run("import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.sample(9)\n"),
+            Err(InterpError::ValueError(_))
+        ));
+    }
+
+    #[test]
+    fn fillna_with_stat_row_keeps_unfillable_columns() {
+        // `median()` skips the string column; numeric NAs are filled and
+        // the incompatible fill paths fall back to the original column
+        // instead of panicking.
+        let out = run(
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.fillna(df.median())\n",
+        )
+        .unwrap();
+        let frame = out.output_frame().unwrap();
+        assert_eq!(frame.column("b").unwrap().is_na().count_true(), 0);
+        assert_eq!(frame.column("s").unwrap().is_na().count_true(), 1);
+    }
+
+    #[test]
+    fn dropna_mask_intersection_never_panics() {
+        let out = run(
+            "import pandas as pd\ndf = pd.read_csv('t.csv')\ndf = df.dropna()\n",
+        )
+        .unwrap();
+        assert_eq!(out.output_frame().unwrap().n_rows(), 3);
     }
 }

@@ -406,4 +406,70 @@ a, b, c, d = train_test_split(X, y, test_size=1.5)
             Err(InterpError::ImportError(_))
         ));
     }
+
+    // Typed-error contract: every fallible sklearn dispatch path returns an
+    // `InterpError` the search can score — never a panic. One test per
+    // path (fit shape mismatch, unknown estimator method, misaligned
+    // transform, non-numeric fit input).
+
+    #[test]
+    fn fit_with_mismatched_rows_is_a_value_error() {
+        let src = "\
+import pandas as pd
+from sklearn.linear_model import LogisticRegression
+df = pd.read_csv('d.csv')
+X = df.drop('y', axis=1)
+y = df.head(10)['y']
+model = LogisticRegression()
+model = model.fit(X, y)
+";
+        assert!(matches!(
+            interp().run(&parse_module(src).unwrap()),
+            Err(InterpError::ValueError(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_estimator_method_is_an_attribute_error() {
+        let src = "\
+from sklearn.linear_model import LogisticRegression
+model = LogisticRegression()
+model = model.partial_fit(1, 2)
+";
+        assert!(matches!(
+            interp().run(&parse_module(src).unwrap()),
+            Err(InterpError::AttributeError { .. })
+        ));
+    }
+
+    #[test]
+    fn transform_on_missing_training_columns_is_a_frame_error() {
+        let src = "\
+import pandas as pd
+from sklearn.preprocessing import StandardScaler
+df = pd.read_csv('d.csv')
+X = df.drop('y', axis=1)
+scaler = StandardScaler()
+scaler = scaler.fit(X)
+bad = df.drop('x', axis=1)
+out = scaler.transform(bad)
+";
+        assert!(matches!(
+            interp().run(&parse_module(src).unwrap()),
+            Err(InterpError::Frame(_))
+        ));
+    }
+
+    #[test]
+    fn fit_on_non_frame_input_is_a_type_error() {
+        let src = "\
+from sklearn.tree import DecisionTreeClassifier
+clf = DecisionTreeClassifier()
+clf = clf.fit(1, 2)
+";
+        assert!(matches!(
+            interp().run(&parse_module(src).unwrap()),
+            Err(InterpError::TypeError(_))
+        ));
+    }
 }

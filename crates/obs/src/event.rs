@@ -97,8 +97,20 @@ pub struct StepEvent {
     /// Jobs whose apply+score succeeded (the `explored` increment).
     pub scored: usize,
     /// Candidates rejected by `CheckIfExecutes` this step (early
-    /// checking only).
+    /// checking only), including budget trips and isolated panics.
     pub rejected_execution: u64,
+    /// Candidates whose execution or scoring panicked (caught and
+    /// pruned, never aborting the search).
+    pub candidates_panicked: u64,
+    /// Candidates that exhausted the fuel budget this step.
+    pub budget_trips_fuel: u64,
+    /// Candidates that exceeded the materialized-cell cap this step.
+    pub budget_trips_cells: u64,
+    /// Candidates that overran the wall-clock deadline this step.
+    pub budget_trips_deadline: u64,
+    /// Captured panic payloads (capped; panics beyond the cap are still
+    /// counted in `candidates_panicked`).
+    pub panic_payloads: Vec<String>,
     /// Candidates admitted into the next beam set before dedup/truncate.
     pub admitted: u64,
     /// Beams kept after dedup + truncation, best (lowest RE) first.
@@ -131,8 +143,18 @@ pub struct VerifyEvent {
     /// Finalists actually checked (scan stops at the first success).
     pub checked: usize,
     /// Finalists rejected because they no longer execute (late checking
-    /// and output extraction).
+    /// and output extraction), including budget trips and panics.
     pub rejected_execution: u64,
+    /// Finalists whose verification run panicked (caught and pruned).
+    pub candidates_panicked: u64,
+    /// Finalists that exhausted the fuel budget.
+    pub budget_trips_fuel: u64,
+    /// Finalists that exceeded the materialized-cell cap.
+    pub budget_trips_cells: u64,
+    /// Finalists that overran the wall-clock deadline.
+    pub budget_trips_deadline: u64,
+    /// Captured panic payloads (capped, like the step event's).
+    pub panic_payloads: Vec<String>,
     /// Finalists rejected by the user-intent constraint.
     pub rejected_intent: u64,
     /// Whether a finalist was accepted (false = input fallback).
@@ -193,6 +215,14 @@ pub struct SearchEndEvent {
     pub cache_evictions: u64,
     /// Peak retained prefix snapshots.
     pub cache_peak_snapshots: u64,
+    /// Total candidates whose execution or scoring panicked.
+    pub candidates_panicked: u64,
+    /// Total fuel-budget trips over the whole search.
+    pub budget_trips_fuel: u64,
+    /// Total cell-cap trips over the whole search.
+    pub budget_trips_cells: u64,
+    /// Total deadline trips over the whole search.
+    pub budget_trips_deadline: u64,
     /// Per-statement-kind interpreter spans (empty when the collector is
     /// disabled).
     pub stmt_spans: Vec<StmtSpanAgg>,
@@ -221,6 +251,11 @@ mod tests {
             pruned_monotonicity: 2,
             scored: 10,
             rejected_execution: 3,
+            candidates_panicked: 1,
+            budget_trips_fuel: 1,
+            budget_trips_cells: 0,
+            budget_trips_deadline: 0,
+            panic_payloads: vec!["boom".to_string()],
             admitted: 7,
             kept: vec![KeptBeam {
                 re: 1.25,
@@ -239,6 +274,8 @@ mod tests {
         let json = serde_json::to_string(&step).unwrap();
         assert!(json.contains("\"kept\":[{"));
         assert!(json.contains("\"pruned_monotonicity\":2"));
+        assert!(json.contains("\"candidates_panicked\":1"));
+        assert!(json.contains("\"panic_payloads\":[\"boom\"]"));
         let parsed = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed.get("event").unwrap().as_str(), Some("step"));
         assert_eq!(parsed.get("v").unwrap().as_f64(), Some(1.0));

@@ -41,6 +41,11 @@ pub struct StepRow {
     pub get_top_k_ms: f64,
     /// `CheckIfExecutes` wall ms.
     pub check_execute_ms: f64,
+    /// Candidates whose execution or scoring panicked this step (caught
+    /// and pruned by the search's fault isolation).
+    pub candidates_panicked: u64,
+    /// Budget trips this step, all axes (fuel + cells + deadline).
+    pub budget_trips: u64,
     /// Whether the beams converged here.
     pub converged: bool,
 }
@@ -83,6 +88,17 @@ pub struct TraceSummary {
     pub cache_peak_snapshots: u64,
     /// Whether verification accepted a candidate.
     pub accepted: Option<bool>,
+    /// Candidates whose execution or scoring panicked (from `search_end`,
+    /// falling back to step + verify sums on a truncated trace).
+    pub candidates_panicked: u64,
+    /// Fuel-budget trips over the whole search.
+    pub budget_trips_fuel: u64,
+    /// Cell-cap trips over the whole search.
+    pub budget_trips_cells: u64,
+    /// Deadline trips over the whole search.
+    pub budget_trips_deadline: u64,
+    /// Panic payloads captured in step/verify records, in record order.
+    pub panic_payloads: Vec<String>,
     /// Per-statement interpreter aggregates (name, count, total ms).
     pub stmt_spans: Vec<(String, u64, f64)>,
     /// Records that parsed but carried an unrecognized `event`.
@@ -107,6 +123,10 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
     let mut summary = TraceSummary::default();
     let mut saw_end = false;
     let mut any = false;
+    // Fault-isolation counters summed from step + verify records; used as
+    // the fallback when the trace is truncated before `search_end`.
+    let mut sum_panicked = 0u64;
+    let mut sum_trips = [0u64; 3];
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -178,11 +198,20 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
                     get_steps_ms: num(&record, "get_steps_ms"),
                     get_top_k_ms: num(&record, "get_top_k_ms"),
                     check_execute_ms: num(&record, "check_execute_ms"),
+                    candidates_panicked: int(&record, "candidates_panicked"),
+                    budget_trips: int(&record, "budget_trips_fuel")
+                        + int(&record, "budget_trips_cells")
+                        + int(&record, "budget_trips_deadline"),
                     converged: record
                         .get("converged")
                         .and_then(Value::as_bool)
                         .unwrap_or(false),
                 };
+                sum_panicked += row.candidates_panicked;
+                sum_trips[0] += int(&record, "budget_trips_fuel");
+                sum_trips[1] += int(&record, "budget_trips_cells");
+                sum_trips[2] += int(&record, "budget_trips_deadline");
+                collect_panic_payloads(&record, &mut summary.panic_payloads);
                 summary.totals.get_steps_ms += row.get_steps_ms;
                 summary.totals.get_top_k_ms += row.get_top_k_ms;
                 summary.totals.check_execute_ms += row.check_execute_ms;
@@ -192,6 +221,11 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
                 summary.totals.check_execute_ms += num(&record, "check_execute_ms");
                 summary.totals.verify_constraints_ms += num(&record, "verify_ms");
                 summary.accepted = record.get("accepted").and_then(Value::as_bool);
+                sum_panicked += int(&record, "candidates_panicked");
+                sum_trips[0] += int(&record, "budget_trips_fuel");
+                sum_trips[1] += int(&record, "budget_trips_cells");
+                sum_trips[2] += int(&record, "budget_trips_deadline");
+                collect_panic_payloads(&record, &mut summary.panic_payloads);
             }
             "search_end" => {
                 saw_end = true;
@@ -201,6 +235,10 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
                 summary.cache_misses = int(&record, "cache_misses");
                 summary.cache_evictions = int(&record, "cache_evictions");
                 summary.cache_peak_snapshots = int(&record, "cache_peak_snapshots");
+                summary.candidates_panicked = int(&record, "candidates_panicked");
+                summary.budget_trips_fuel = int(&record, "budget_trips_fuel");
+                summary.budget_trips_cells = int(&record, "budget_trips_cells");
+                summary.budget_trips_deadline = int(&record, "budget_trips_deadline");
                 if let Some(spans) = record.get("stmt_spans").and_then(Value::as_array) {
                     for s in spans {
                         summary.stmt_spans.push((
@@ -225,8 +263,24 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
         summary.cache_hits = summary.steps.iter().map(|s| s.cache_hits).sum();
         summary.cache_misses = summary.steps.iter().map(|s| s.cache_misses).sum();
         summary.cache_evictions = summary.steps.iter().map(|s| s.cache_evictions).sum();
+        summary.candidates_panicked = sum_panicked;
+        summary.budget_trips_fuel = sum_trips[0];
+        summary.budget_trips_cells = sum_trips[1];
+        summary.budget_trips_deadline = sum_trips[2];
     }
     Ok(summary)
+}
+
+/// Appends a record's `panic_payloads` strings (if any) to `out`.
+fn collect_panic_payloads(record: &Value, out: &mut Vec<String>) {
+    if let Some(payloads) = record.get("panic_payloads").and_then(Value::as_array) {
+        out.extend(
+            payloads
+                .iter()
+                .filter_map(Value::as_str)
+                .map(str::to_string),
+        );
+    }
 }
 
 impl TraceSummary {
@@ -312,6 +366,20 @@ impl TraceSummary {
                 self.cache_peak_snapshots,
             ));
         }
+        let trips =
+            self.budget_trips_fuel + self.budget_trips_cells + self.budget_trips_deadline;
+        if self.candidates_panicked > 0 || trips > 0 {
+            out.push_str(&format!(
+                "fault isolation: {} candidate panic(s) caught; budget trips fuel/cells/deadline {}/{}/{}\n",
+                self.candidates_panicked,
+                self.budget_trips_fuel,
+                self.budget_trips_cells,
+                self.budget_trips_deadline,
+            ));
+            for payload in self.panic_payloads.iter().take(3) {
+                out.push_str(&format!("  panic: {payload}\n"));
+            }
+        }
         if !self.stmt_spans.is_empty() {
             out.push_str("\ninterpreter time by statement kind:\n");
             for (name, count, total_ms) in &self.stmt_spans {
@@ -371,6 +439,11 @@ mod tests {
                 pruned_monotonicity: 1,
                 scored: 9,
                 rejected_execution: 2,
+                candidates_panicked: 1,
+                budget_trips_fuel: 0,
+                budget_trips_cells: 1,
+                budget_trips_deadline: 0,
+                panic_payloads: vec!["injected panic: stmt 1".to_string()],
                 admitted: 5,
                 kept: vec![KeptBeam {
                     re: 2.0 - step as f64,
@@ -393,6 +466,11 @@ mod tests {
             finalists: 3,
             checked: 1,
             rejected_execution: 0,
+            candidates_panicked: 0,
+            budget_trips_fuel: 0,
+            budget_trips_cells: 0,
+            budget_trips_deadline: 0,
+            panic_payloads: Vec::new(),
             rejected_intent: 0,
             accepted: true,
             check_execute_ms: 1.0,
@@ -417,6 +495,10 @@ mod tests {
             cache_misses: 2,
             cache_evictions: 0,
             cache_peak_snapshots: 12,
+            candidates_panicked: 2,
+            budget_trips_fuel: 0,
+            budget_trips_cells: 2,
+            budget_trips_deadline: 0,
             stmt_spans: vec![StmtSpanAgg {
                 name: "stmt.assign".to_string(),
                 count: 30,
@@ -448,6 +530,14 @@ mod tests {
         let fig7 = summary.figure7();
         assert_eq!(fig7[0], ("GetSteps", 20.0));
         assert_eq!(fig7[2], ("CheckIfExecutes", 9.0));
+        // Fault-isolation counters come from the search_end record, and
+        // the captured payloads from the step records.
+        assert_eq!(summary.candidates_panicked, 2);
+        assert_eq!(summary.budget_trips_cells, 2);
+        assert_eq!(summary.budget_trips_fuel, 0);
+        assert_eq!(summary.panic_payloads.len(), 2);
+        assert_eq!(summary.steps[0].candidates_panicked, 1);
+        assert_eq!(summary.steps[0].budget_trips, 1);
     }
 
     #[test]
@@ -459,6 +549,19 @@ mod tests {
         assert!(text.contains("1*")); // converged marker
         assert!(text.contains("hit rate"));
         assert!(text.contains("stmt.assign"));
+        assert!(text.contains("fault isolation: 2 candidate panic(s) caught"));
+        assert!(text.contains("budget trips fuel/cells/deadline 0/2/0"));
+        assert!(text.contains("panic: injected panic: stmt 1"));
+    }
+
+    #[test]
+    fn clean_searches_render_no_fault_line() {
+        // A trace with zero panics/trips must render exactly as before
+        // the fault-isolation fields existed (old goldens stay valid).
+        let sink = TraceSink::in_memory();
+        sink.emit(&SearchStartEvent::new(2, 1, 1, false, true, false, "edges"));
+        let summary = parse_trace(&sink.memory_lines().unwrap().join("\n")).unwrap();
+        assert!(!summary.render().contains("fault isolation"));
     }
 
     #[test]
@@ -488,5 +591,8 @@ mod tests {
         assert_eq!(summary.cache_hits, 6); // 3 + 3 from steps
         assert_eq!(summary.totals.total_ms, 0.0);
         assert_eq!(summary.totals.get_steps_ms, 20.0);
+        // Fault counters also fall back to the step sums.
+        assert_eq!(summary.candidates_panicked, 2);
+        assert_eq!(summary.budget_trips_cells, 2);
     }
 }

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI gate: release build, full test suite, and zero-warning clippy on the
-# crates owning the search execution model (core + interp), its
-# observability layer (obs), and the benchmark harness (bench).
+# CI gate: release build, full test suite, the fault-isolation suites,
+# zero-warning clippy on the crates owning the search execution model
+# (core + interp), its observability layer (obs), and the benchmark
+# harness (bench), plus a grep gate keeping the interpreter's non-test
+# code free of panic paths.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,7 +13,31 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> fault-isolation suites (properties, fault_injection, determinism)"
+cargo test -q --test properties --test fault_injection --test determinism
+
 echo "==> cargo clippy (lucid-core, lucid-interp, lucid-obs, lucid-bench) -D warnings"
 cargo clippy -p lucid-core -p lucid-interp -p lucid-obs -p lucid-bench --all-targets -- -D warnings
+
+# The interpreter must stay panic-free outside #[cfg(test)]: a panicking
+# candidate is survivable (search.rs catches it) but always a bug. Scan
+# each source file up to its test module, ignore comment lines, and fail
+# on any panic!/unwrap()/expect( that slips in.
+echo "==> panic-path grep gate (crates/interp non-test code)"
+gate_failed=0
+for f in crates/interp/src/*.rs; do
+  hits=$(awk '/#\[cfg\(test\)\]/{exit} {print NR": "$0}' "$f" \
+    | grep -vE '^[0-9]+: *//' \
+    | grep -E 'panic!|\.unwrap\(\)|\.expect\(' || true)
+  if [ -n "$hits" ]; then
+    echo "panic path in non-test code of $f:"
+    echo "$hits"
+    gate_failed=1
+  fi
+done
+if [ "$gate_failed" -ne 0 ]; then
+  echo "==> FAIL: panic paths found in lucid-interp non-test code"
+  exit 1
+fi
 
 echo "==> OK"

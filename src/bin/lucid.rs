@@ -37,6 +37,10 @@ OPTIONS (standardize):
   --sample <N>        row-sample D_IN during constraint checks
   --threads <N>       beam-expansion worker threads (0 = all cores, default 1)
   --no-cache          disable prefix-execution snapshot caching
+  --fuel <N>          per-candidate fuel budget (ops; default unlimited)
+  --max-cells <N>     per-candidate materialized-cell cap (default unlimited)
+  --deadline-ms <N>   per-candidate wall-clock deadline in ms (default unlimited;
+                      the only budget axis that can break deterministic replay)
   --trace <FILE>      write the search event log (JSONL) to FILE
   --explain           print per-change explanations
   --json              emit the full report as JSON
@@ -62,7 +66,7 @@ const SWITCH_FLAGS: &[&str] = &["explain", "json", "no-cache"];
 /// `--name value` flags the parser accepts.
 const VALUE_FLAGS: &[&str] = &[
     "corpus", "data", "script", "tau-j", "tau-m", "target", "seq", "beam", "sample", "threads",
-    "trace",
+    "trace", "fuel", "max-cells", "deadline-ms",
 ];
 
 /// Tiny flag parser: `--name value` pairs plus boolean switches. Flags
@@ -179,6 +183,23 @@ fn intent_from(flags: &Flags) -> Result<IntentMeasure, String> {
     Ok(IntentMeasure::jaccard(tau))
 }
 
+/// Builds the per-candidate resource budget from `--fuel`, `--max-cells`,
+/// and `--deadline-ms`; every unset axis stays unlimited.
+fn budget_from(flags: &Flags) -> Result<lucidscript::interp::Budget, String> {
+    let axis = |name: &str| -> Result<u64, String> {
+        flags
+            .get(name)
+            .map_or(Ok(lucidscript::interp::budget::UNLIMITED), |v| {
+                v.parse().map_err(|_| format!("bad --{name}"))
+            })
+    };
+    Ok(lucidscript::interp::Budget {
+        fuel: axis("fuel")?,
+        max_cells: axis("max-cells")?,
+        deadline_ms: axis("deadline-ms")?,
+    })
+}
+
 fn standardize(flags: &Flags) -> Result<(), String> {
     let corpus = load_corpus(flags.require("corpus")?)?;
     let data_path = flags.require("data")?;
@@ -206,6 +227,7 @@ fn standardize(flags: &Flags) -> Result<(), String> {
             v.parse().map_err(|_| "bad --threads".to_string())
         })?,
         prefix_cache: !flags.has("no-cache"),
+        budget: budget_from(flags)?,
         trace: flags
             .get("trace")
             .map(|path| {
@@ -346,6 +368,42 @@ mod tests {
         assert_eq!(flags.get("threads"), Some("2"));
         assert!(!flags.has("json"));
         assert_eq!(flags.get("missing"), None);
+    }
+
+    #[test]
+    fn budget_flags_parse_and_default_unlimited() {
+        let flags = Flags::parse(&argv(&[
+            "--fuel",
+            "500000",
+            "--max-cells",
+            "1000000",
+            "--deadline-ms",
+            "250",
+        ]))
+        .unwrap();
+        let budget = budget_from(&flags).unwrap();
+        assert_eq!(budget.fuel, 500_000);
+        assert_eq!(budget.max_cells, 1_000_000);
+        assert_eq!(budget.deadline_ms, 250);
+        // Unset axes stay unlimited.
+        let flags = Flags::parse(&argv(&["--fuel", "9"])).unwrap();
+        let budget = budget_from(&flags).unwrap();
+        assert_eq!(budget.fuel, 9);
+        assert_eq!(budget.max_cells, lucidscript::interp::budget::UNLIMITED);
+        assert_eq!(budget.deadline_ms, lucidscript::interp::budget::UNLIMITED);
+        assert!(budget_from(&Flags::parse(&[]).unwrap())
+            .unwrap()
+            .is_unlimited());
+    }
+
+    #[test]
+    fn bad_budget_values_are_rejected() {
+        let flags = Flags::parse(&argv(&["--fuel", "lots"])).unwrap();
+        assert_eq!(budget_from(&flags).unwrap_err(), "bad --fuel");
+        let flags = Flags::parse(&argv(&["--deadline-ms", "-1"])).unwrap();
+        assert_eq!(budget_from(&flags).unwrap_err(), "bad --deadline-ms");
+        let err = run(&argv(&["standardize", "--max-cells"])).unwrap_err();
+        assert_eq!(err, "--max-cells requires a value");
     }
 
     #[test]

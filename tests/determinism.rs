@@ -1,0 +1,97 @@
+//! The golden determinism contract, end to end: with the same seed, the
+//! standardized script and its RE are byte-identical across worker-thread
+//! counts, prefix-cache modes, and (non-deadline) budget configurations.
+//! Budget accounting is budget-independent and the fuel/cells axes are
+//! pure functions of execution, so a *generous* budget that never trips
+//! must be indistinguishable from no budget at all.
+
+use lucidscript::core::config::SearchConfig;
+use lucidscript::core::intent::IntentMeasure;
+use lucidscript::core::standardizer::Standardizer;
+use lucidscript::corpus::Profile;
+use lucidscript::interp::Budget;
+
+fn run_arm(threads: usize, prefix_cache: bool, budget: Budget) -> (String, f64, usize) {
+    let profile = Profile::titanic();
+    let data = profile.generate_data(5, 0.05);
+    let corpus: Vec<String> = profile
+        .generate_corpus(5)
+        .into_iter()
+        .map(|s| s.source)
+        .collect();
+    let config = SearchConfig {
+        seq_len: 5,
+        beam_k: 2,
+        intent: IntentMeasure::jaccard(0.5),
+        sample_rows: Some(150),
+        threads,
+        prefix_cache,
+        budget,
+        ..SearchConfig::default()
+    };
+    let std = Standardizer::build(&corpus, profile.file, data, config).expect("builds");
+    let report = std.standardize_source(&corpus[1]).expect("runs");
+    (
+        report.output_source,
+        report.re_after,
+        report.candidates_explored,
+    )
+}
+
+/// A budget orders of magnitude above what these searches consume: caps
+/// present on every axis but never tripped. The deadline is generous
+/// enough (an hour) that it cannot fire even on a badly loaded machine.
+fn generous() -> Budget {
+    Budget {
+        fuel: 50_000_000,
+        max_cells: 100_000_000,
+        deadline_ms: 3_600_000,
+    }
+}
+
+#[test]
+fn search_is_byte_identical_across_threads_cache_and_budget() {
+    let (ref_src, ref_re, ref_explored) = run_arm(1, false, Budget::unlimited());
+    for threads in [1, 4] {
+        for prefix_cache in [false, true] {
+            for budget in [Budget::unlimited(), generous()] {
+                let (src, re, explored) = run_arm(threads, prefix_cache, budget);
+                assert_eq!(
+                    src, ref_src,
+                    "output diverged at threads={threads} cache={prefix_cache} budget={budget:?}"
+                );
+                assert!(
+                    (re - ref_re).abs() < 1e-15,
+                    "RE diverged at threads={threads} cache={prefix_cache} budget={budget:?}"
+                );
+                assert_eq!(
+                    explored, ref_explored,
+                    "explored diverged at threads={threads} cache={prefix_cache} budget={budget:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn untripped_budget_reports_zero_trips() {
+    let profile = Profile::titanic();
+    let data = profile.generate_data(5, 0.05);
+    let corpus: Vec<String> = profile
+        .generate_corpus(5)
+        .into_iter()
+        .map(|s| s.source)
+        .collect();
+    let config = SearchConfig {
+        seq_len: 3,
+        beam_k: 2,
+        intent: IntentMeasure::jaccard(0.5),
+        sample_rows: Some(150),
+        budget: generous(),
+        ..SearchConfig::default()
+    };
+    let std = Standardizer::build(&corpus, profile.file, data, config).expect("builds");
+    let report = std.standardize_source(&corpus[1]).expect("runs");
+    assert_eq!(report.timings.budget_trips_total(), 0);
+    assert_eq!(report.timings.candidates_panicked, 0);
+}

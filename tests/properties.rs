@@ -11,8 +11,9 @@ use lucidscript::core::transform::{enumerate_transformations, EnumOptions};
 use lucidscript::core::vocab::CorpusModel;
 use lucidscript::corpus::script_gen::generate_script;
 use lucidscript::corpus::Profile;
-use lucidscript::interp::Interpreter;
-use lucidscript::pyast::{parse_module, print_module};
+use lucidscript::frame::jaccard::{row_jaccard, value_jaccard};
+use lucidscript::interp::{Budget, BudgetKind, Interpreter, InterpError, UNLIMITED};
+use lucidscript::pyast::{parse_module, print_module, Module};
 use proptest::prelude::*;
 
 proptest! {
@@ -106,5 +107,102 @@ proptest! {
         interp.register_table(profile.file, data);
         let out = parse_module(&report.output_source).expect("parses");
         prop_assert!(interp.check_executes(&out));
+    }
+}
+
+/// A generated script plus an interpreter that can run it, for the
+/// budget properties below.
+fn budgeted_setup(seed: u64) -> (Interpreter, Module) {
+    let profile = Profile::medical();
+    let mut interp = Interpreter::new();
+    interp.register_table(profile.file, profile.generate_data(seed % 13, 0.05));
+    interp.sample_rows = Some(120);
+    let script = generate_script(&profile, seed);
+    let module = lemmatize(&parse_module(&script.source).expect("parses"));
+    (interp, module)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Remaining fuel is monotone: running one more statement never
+    /// consumes less total fuel. (Checked via the reported usage of each
+    /// statement prefix — `fuel_used` must be non-decreasing in prefix
+    /// length, and so must `cells`.)
+    #[test]
+    fn fuel_consumption_is_monotone_across_statements(seed in 0u64..10_000) {
+        let (interp, module) = budgeted_setup(seed);
+        let mut prev = lucidscript::interp::BudgetUsage::default();
+        for len in 0..=module.stmts.len() {
+            let prefix = Module { stmts: module.stmts[..len].to_vec() };
+            let (_, usage) = interp.run_with_usage(&prefix);
+            prop_assert!(
+                usage.fuel_used >= prev.fuel_used,
+                "fuel shrank from {} to {} at prefix {len}",
+                prev.fuel_used,
+                usage.fuel_used
+            );
+            prop_assert!(usage.cells >= prev.cells);
+            prev = usage;
+        }
+    }
+
+    /// Cap monotonicity: if a run trips the cell budget at cap `C`, it
+    /// trips at every cap below `C` too (cell accounting does not depend
+    /// on the cap).
+    #[test]
+    fn cell_cap_trips_are_monotone(seed in 0u64..10_000) {
+        let (mut interp, module) = budgeted_setup(seed);
+        let (_, usage) = interp.run_with_usage(&module);
+        if usage.cells == 0 {
+            return Ok(());
+        }
+        // The smallest tripping cap is cells-1 (the check is `>`): verify
+        // a sweep of caps at and below it all trip, and the exact-usage
+        // cap does not.
+        let tripping_cap = usage.cells - 1;
+        for cap in [0, tripping_cap / 2, tripping_cap] {
+            interp.budget = Budget { max_cells: cap, ..Budget::unlimited() };
+            prop_assert_eq!(
+                interp.run(&module).err(),
+                Some(InterpError::Budget(BudgetKind::Cells)),
+                "cap {} below usage {} must trip",
+                cap,
+                usage.cells
+            );
+        }
+        interp.budget = Budget { max_cells: usage.cells, ..Budget::unlimited() };
+        prop_assert!(!matches!(
+            interp.run(&module).err(),
+            Some(InterpError::Budget(BudgetKind::Cells))
+        ));
+    }
+
+    /// An unlimited deadline never trips — by construction the clock is
+    /// not even read.
+    #[test]
+    fn unlimited_deadline_never_trips(seed in 0u64..10_000) {
+        let (mut interp, module) = budgeted_setup(seed);
+        interp.budget = Budget { deadline_ms: UNLIMITED, ..Budget::unlimited() };
+        prop_assert!(!matches!(
+            interp.run(&module).err(),
+            Some(InterpError::Budget(BudgetKind::Deadline))
+        ));
+    }
+
+    /// Frame Jaccard measures are proper similarities: in [0, 1],
+    /// symmetric, and 1 on identical frames.
+    #[test]
+    fn frame_jaccard_is_bounded_and_symmetric(seed in 0u64..10_000) {
+        let profile = Profile::titanic();
+        let a = profile.generate_data(seed % 31, 0.05);
+        let b = profile.generate_data((seed / 31) % 29, 0.05);
+        for j in [value_jaccard(&a, &b), row_jaccard(&a, &b)] {
+            prop_assert!((0.0..=1.0).contains(&j), "out of range: {j}");
+        }
+        prop_assert_eq!(value_jaccard(&a, &b), value_jaccard(&b, &a));
+        prop_assert_eq!(row_jaccard(&a, &b), row_jaccard(&b, &a));
+        prop_assert!((value_jaccard(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert!((row_jaccard(&a, &a) - 1.0).abs() < 1e-12);
     }
 }
