@@ -25,7 +25,12 @@
 pub mod env;
 pub mod runner;
 pub mod stats;
+pub mod trajectory;
 
 pub use env::ExpEnv;
 pub use runner::{improvement_of_rewrite, leave_one_out_ls, MethodImprovements};
 pub use stats::Stats;
+pub use trajectory::{
+    append_entry, compare_entries, load_baseline, quick_suite, run_suite, suite, BenchEntry,
+    Comparison, GateOptions, TRAJECTORY_SCHEMA,
+};

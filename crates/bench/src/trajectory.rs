@@ -1,0 +1,766 @@
+//! The continuous benchmark trajectory and its noise-aware regression
+//! gate — the engine behind `lucid bench`.
+//!
+//! A *trajectory* is a schema-versioned JSON file (repo-root
+//! `BENCH_search.json`, schema v2) holding one entry per recorded run:
+//! commit hash, date, a config fingerprint, and per-workload phase
+//! percentile stats plus `Timings` counters. `run_suite` measures a
+//! pinned set of fig6/fig7-style workloads N times, `append_entry`
+//! appends the result, and `compare_entries` diffs a fresh run against a
+//! baseline entry with noise-aware thresholds: a phase regresses only
+//! when its median delta clears a relative threshold AND the observed
+//! run-to-run spread AND an absolute floor — so a loaded CI box doesn't
+//! cry wolf, and a real 2× slowdown can't hide.
+//!
+//! The old `results/BENCH_search.json` (PR 1's one-off before/after
+//! object) is superseded by this trajectory and left in place as a
+//! historical artifact.
+
+use crate::stats::Stats;
+use lucid_core::config::SearchConfig;
+use lucid_core::intent::IntentMeasure;
+use lucid_core::standardizer::Standardizer;
+use lucid_corpus::Profile;
+use serde::Serialize;
+use serde_json::Value;
+use std::path::Path;
+
+/// Version stamped into the trajectory document and every entry.
+pub const TRAJECTORY_SCHEMA: u64 = 2;
+
+/// The phase names recorded per workload, in display order.
+pub const PHASES: [&str; 5] = [
+    "get_steps_ms",
+    "get_top_k_ms",
+    "check_execute_ms",
+    "verify_constraints_ms",
+    "total_ms",
+];
+
+/// One pinned benchmark workload (a fig6/fig7-style search).
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Stable name (the join key for cross-entry comparison).
+    pub name: &'static str,
+    /// Corpus/data profile constructor.
+    pub profile: fn() -> Profile,
+    /// Search sequence cap.
+    pub seq_len: usize,
+    /// Beam size.
+    pub beam_k: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Prefix-execution cache on/off.
+    pub prefix_cache: bool,
+    /// `D_IN` row cap during constraint checks.
+    pub sample_rows: usize,
+}
+
+/// The pinned suite. Names are stable identifiers: renaming one orphans
+/// its history in every recorded trajectory.
+pub fn suite() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "titanic-seq5-k2-cache",
+            profile: Profile::titanic,
+            seq_len: 5,
+            beam_k: 2,
+            threads: 1,
+            prefix_cache: true,
+            sample_rows: 150,
+        },
+        Workload {
+            name: "titanic-seq5-k2-nocache",
+            profile: Profile::titanic,
+            seq_len: 5,
+            beam_k: 2,
+            threads: 1,
+            prefix_cache: false,
+            sample_rows: 150,
+        },
+        Workload {
+            name: "medical-seq4-k2-threads2",
+            profile: Profile::medical,
+            seq_len: 4,
+            beam_k: 2,
+            threads: 2,
+            prefix_cache: true,
+            sample_rows: 150,
+        },
+    ]
+}
+
+/// The 1-workload subset `scripts/check.sh` smoke-tests.
+pub fn quick_suite() -> Vec<Workload> {
+    suite().into_iter().take(1).collect()
+}
+
+/// Percentile-style stats of one phase across reps, in ms.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct PhaseStat {
+    /// Phase name (one of [`PHASES`]).
+    pub name: String,
+    /// Median across reps.
+    pub median_ms: f64,
+    /// Fastest rep.
+    pub min_ms: f64,
+    /// Slowest rep.
+    pub max_ms: f64,
+    /// Mean across reps.
+    pub mean_ms: f64,
+}
+
+/// Work counters from the first rep (deterministic across reps, so one
+/// sample suffices).
+#[derive(Debug, Clone, Copy, Default, Serialize, PartialEq, Eq)]
+pub struct Counters {
+    /// Candidate scripts scored.
+    pub explored: u64,
+    /// Beam steps executed.
+    pub search_steps: u64,
+    /// Prefix-cache hits.
+    pub cache_hits: u64,
+    /// Prefix-cache misses.
+    pub cache_misses: u64,
+    /// Prefix-cache evictions.
+    pub cache_evictions: u64,
+    /// Candidate panics caught by fault isolation.
+    pub candidates_panicked: u64,
+    /// Budget trips, all axes.
+    pub budget_trips: u64,
+}
+
+/// One workload's measurements within an entry.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct WorkloadResult {
+    /// Workload name (the cross-entry join key).
+    pub name: String,
+    /// Reps measured.
+    pub reps: usize,
+    /// Per-phase stats, in [`PHASES`] order.
+    pub phases: Vec<PhaseStat>,
+    /// First-rep work counters.
+    pub counters: Counters,
+}
+
+/// One trajectory entry: a full suite run at a point in history.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct BenchEntry {
+    /// Entry schema version ([`TRAJECTORY_SCHEMA`]).
+    pub schema: u64,
+    /// Short commit hash (`LUCID_BENCH_COMMIT` override, else
+    /// `git rev-parse`, else `"unknown"`).
+    pub commit: String,
+    /// UTC date `YYYY-MM-DD` (`LUCID_BENCH_DATE` override).
+    pub date: String,
+    /// Deterministic digest of the suite's workload parameters; entries
+    /// with different fingerprints are not comparable.
+    pub config_fingerprint: String,
+    /// Reps per workload.
+    pub reps: usize,
+    /// Per-workload results.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+/// Runs one workload `reps` times and summarizes its phases.
+///
+/// `inject_slowdown` multiplies every recorded phase value — a
+/// diagnostic hook (`lucid bench --inject-slowdown`) that lets the
+/// regression gate prove it fires without anyone writing a real
+/// regression. `1.0` = honest measurement.
+///
+/// # Errors
+///
+/// Propagates search construction/standardization failures as text.
+pub fn run_workload(
+    w: &Workload,
+    reps: usize,
+    inject_slowdown: f64,
+) -> Result<WorkloadResult, String> {
+    let profile = (w.profile)();
+    let data = profile.generate_data(5, 0.05);
+    let corpus: Vec<String> = profile
+        .generate_corpus(5)
+        .into_iter()
+        .map(|s| s.source)
+        .collect();
+    let config = SearchConfig {
+        seq_len: w.seq_len,
+        beam_k: w.beam_k,
+        intent: IntentMeasure::jaccard(0.5),
+        sample_rows: Some(w.sample_rows),
+        threads: w.threads,
+        prefix_cache: w.prefix_cache,
+        ..SearchConfig::default()
+    };
+    let std = Standardizer::build(&corpus, profile.file, data, config)
+        .map_err(|e| format!("workload {}: {e}", w.name))?;
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); PHASES.len()];
+    let mut counters = Counters::default();
+    for rep in 0..reps.max(1) {
+        let report = std
+            .standardize_source(&corpus[1])
+            .map_err(|e| format!("workload {}: {e}", w.name))?;
+        let t = &report.timings;
+        for (i, v) in [
+            t.get_steps_ms,
+            t.get_top_k_ms,
+            t.check_execute_ms,
+            t.verify_constraints_ms,
+            t.total_ms,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            samples[i].push(v * inject_slowdown);
+        }
+        if rep == 0 {
+            counters = Counters {
+                explored: report.candidates_explored as u64,
+                search_steps: t.search_steps as u64,
+                cache_hits: t.prefix_cache_hits,
+                cache_misses: t.prefix_cache_misses,
+                cache_evictions: t.prefix_cache_evictions,
+                candidates_panicked: t.candidates_panicked,
+                budget_trips: t.budget_trips_fuel
+                    + t.budget_trips_cells
+                    + t.budget_trips_deadline,
+            };
+        }
+    }
+    let phases = PHASES
+        .iter()
+        .zip(&samples)
+        .map(|(name, vals)| {
+            let s = Stats::of(vals);
+            PhaseStat {
+                name: (*name).to_string(),
+                median_ms: s.median,
+                min_ms: s.min,
+                max_ms: s.max,
+                mean_ms: s.mean,
+            }
+        })
+        .collect();
+    Ok(WorkloadResult {
+        name: w.name.to_string(),
+        reps: reps.max(1),
+        phases,
+        counters,
+    })
+}
+
+/// Runs a suite into a complete [`BenchEntry`].
+///
+/// # Errors
+///
+/// The first workload failure.
+pub fn run_suite(
+    workloads: &[Workload],
+    reps: usize,
+    inject_slowdown: f64,
+) -> Result<BenchEntry, String> {
+    let mut results = Vec::with_capacity(workloads.len());
+    for w in workloads {
+        results.push(run_workload(w, reps, inject_slowdown)?);
+    }
+    Ok(BenchEntry {
+        schema: TRAJECTORY_SCHEMA,
+        commit: commit_hash(),
+        date: today_utc(),
+        config_fingerprint: config_fingerprint(workloads),
+        reps: reps.max(1),
+        workloads: results,
+    })
+}
+
+/// Deterministic digest of the suite parameters (FNV-1a over the
+/// workload tuples), so entries measured under different suites are
+/// visibly incomparable.
+pub fn config_fingerprint(workloads: &[Workload]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut feed = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for w in workloads {
+        feed(w.name.as_bytes());
+        feed(&format!(
+            "|{}|{}|{}|{}|{}",
+            w.seq_len, w.beam_k, w.threads, w.prefix_cache, w.sample_rows
+        )
+        .into_bytes());
+    }
+    format!("{}w-{hash:016x}", workloads.len())
+}
+
+/// Short commit hash: `LUCID_BENCH_COMMIT` override (tests, odd
+/// checkouts), else `git rev-parse --short=12 HEAD`, else `"unknown"`.
+pub fn commit_hash() -> String {
+    if let Ok(c) = std::env::var("LUCID_BENCH_COMMIT") {
+        if !c.is_empty() {
+            return c;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// UTC date as `YYYY-MM-DD` (`LUCID_BENCH_DATE` override for
+/// deterministic tests). Civil-from-days per Howard Hinnant's algorithm
+/// — no date dependency to vendor.
+pub fn today_utc() -> String {
+    if let Ok(d) = std::env::var("LUCID_BENCH_DATE") {
+        if !d.is_empty() {
+            return d;
+        }
+    }
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Appends `entry` to the trajectory file at `path`, creating the
+/// document if absent.
+///
+/// The vendored `serde_json` can serialize `Serialize` types but not
+/// re-serialize a parsed `Value`, so appending *splices text*: the
+/// existing document is validated via `Value` (schema v2, `entries`
+/// array last), then the new entry is inserted before the closing `]`.
+///
+/// # Errors
+///
+/// I/O failures, an unreadable document, or a schema mismatch.
+pub fn append_entry(path: &Path, entry: &BenchEntry) -> Result<(), String> {
+    let entry_json = serde_json::to_string_pretty(entry)
+        .map_err(|e| format!("serialize entry: {e:?}"))?;
+    let entry_block = indent(&entry_json, "    ");
+    if !path.exists() {
+        let doc = format!(
+            "{{\n  \"schema\": {TRAJECTORY_SCHEMA},\n  \"entries\": [\n{entry_block}\n  ]\n}}\n"
+        );
+        return std::fs::write(path, doc).map_err(|e| format!("write {}: {e}", path.display()));
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("read {}: {e}", path.display()))?;
+    let doc: Value = serde_json::from_str(&text)
+        .map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
+    let schema = doc.get("schema").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+    if schema != TRAJECTORY_SCHEMA {
+        return Err(format!(
+            "{} has schema {schema}, this build writes schema {TRAJECTORY_SCHEMA} — move the old file aside",
+            path.display()
+        ));
+    }
+    let n_entries = doc
+        .get("entries")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{} has no \"entries\" array", path.display()))?
+        .len();
+    // Splice before the final `]` (the entries array is the last key).
+    let trimmed = text.trim_end();
+    let body = trimmed
+        .strip_suffix('}')
+        .map(str::trim_end)
+        .and_then(|t| t.strip_suffix(']'))
+        .map(str::trim_end)
+        .ok_or_else(|| {
+            format!("{} does not end with `]}}`", path.display())
+        })?;
+    let joiner = if n_entries == 0 { "\n" } else { ",\n" };
+    let doc = format!("{body}{joiner}{entry_block}\n  ]\n}}\n");
+    std::fs::write(path, doc).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+fn indent(text: &str, prefix: &str) -> String {
+    text.lines()
+        .map(|l| format!("{prefix}{l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Loads a trajectory document and returns its *last* entry as a
+/// baseline `Value`.
+///
+/// # Errors
+///
+/// Missing/unreadable file, wrong schema, or an empty trajectory.
+pub fn load_baseline(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("read baseline {}: {e}", path.display()))?;
+    let doc: Value = serde_json::from_str(&text)
+        .map_err(|e| format!("baseline {} is not valid JSON: {e}", path.display()))?;
+    let schema = doc.get("schema").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+    if schema != TRAJECTORY_SCHEMA {
+        return Err(format!(
+            "baseline {} has schema {schema}, expected {TRAJECTORY_SCHEMA}",
+            path.display()
+        ));
+    }
+    doc.get("entries")
+        .and_then(Value::as_array)
+        .and_then(|a| a.last().cloned())
+        .ok_or_else(|| format!("baseline {} has no entries", path.display()))
+}
+
+/// Noise-aware gate thresholds. A phase regresses only when the median
+/// delta clears ALL THREE: the relative threshold, `noise_mult ×` the
+/// larger run-to-run spread, and the absolute floor. The conjunction is
+/// the point — relative alone flags micro-phase jitter, spread alone
+/// flags quiet-machine luck.
+#[derive(Debug, Clone, Copy)]
+pub struct GateOptions {
+    /// Minimum relative median slowdown (0.5 = +50%).
+    pub rel_threshold: f64,
+    /// Delta must exceed this multiple of max(baseline, current) spread.
+    pub noise_mult: f64,
+    /// Deltas under this many ms never regress (micro-phase floor).
+    pub abs_floor_ms: f64,
+}
+
+impl Default for GateOptions {
+    fn default() -> Self {
+        GateOptions {
+            rel_threshold: 0.5,
+            noise_mult: 1.5,
+            abs_floor_ms: 1.0,
+        }
+    }
+}
+
+/// One phase's baseline-vs-current comparison.
+#[derive(Debug, Clone)]
+pub struct DeltaRow {
+    /// Workload name.
+    pub workload: String,
+    /// Phase name.
+    pub phase: String,
+    /// Baseline median ms.
+    pub base_median_ms: f64,
+    /// Current median ms.
+    pub cur_median_ms: f64,
+    /// `cur - base`, ms.
+    pub delta_ms: f64,
+    /// `delta / base` (0 when the baseline is 0).
+    pub rel: f64,
+    /// `max(baseline, current)` run-to-run spread, ms.
+    pub spread_ms: f64,
+    /// Whether the gate flags this phase.
+    pub regressed: bool,
+}
+
+/// The gate's full result: per-phase rows plus the verdict.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Per-workload-phase rows, in suite order.
+    pub rows: Vec<DeltaRow>,
+    /// Workloads present in only one side (not compared).
+    pub unmatched: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether any phase regressed.
+    pub fn regressed(&self) -> bool {
+        self.rows.iter().any(|r| r.regressed)
+    }
+
+    /// Renders the per-phase delta table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<26} {:<22} {:>10} {:>10} {:>9} {:>7} {:>9}  {}\n",
+            "workload", "phase", "base ms", "cur ms", "delta", "rel", "spread", "gate"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<26} {:<22} {:>10.2} {:>10.2} {:>+9.2} {:>+6.0}% {:>9.2}  {}\n",
+                r.workload,
+                r.phase,
+                r.base_median_ms,
+                r.cur_median_ms,
+                r.delta_ms,
+                r.rel * 100.0,
+                r.spread_ms,
+                if r.regressed { "REGRESSED" } else { "ok" },
+            ));
+        }
+        for name in &self.unmatched {
+            // Notes (e.g. a fingerprint mismatch) are self-contained;
+            // bare workload names get the explanation appended.
+            if name.contains(' ') {
+                out.push_str(&format!("{name}\n"));
+            } else {
+                out.push_str(&format!("{name:<26} (no matching workload — skipped)\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Compares a fresh entry against a baseline entry (a `Value` from
+/// [`load_baseline`]) under the gate thresholds.
+pub fn compare_entries(current: &BenchEntry, baseline: &Value, opts: &GateOptions) -> Comparison {
+    let mut cmp = Comparison::default();
+    let empty = Vec::new();
+    let base_workloads = baseline
+        .get("workloads")
+        .and_then(Value::as_array)
+        .unwrap_or(&empty);
+    let base_fp = baseline
+        .get("config_fingerprint")
+        .and_then(Value::as_str)
+        .unwrap_or("");
+    if base_fp != current.config_fingerprint {
+        cmp.unmatched.push(format!(
+            "fingerprint mismatch: baseline {base_fp} vs current {} \
+             (workloads still compared by name; the mismatch never fails the gate)",
+            current.config_fingerprint
+        ));
+    }
+    for w in &current.workloads {
+        let Some(base_w) = base_workloads.iter().find(|b| {
+            b.get("name").and_then(Value::as_str) == Some(w.name.as_str())
+        }) else {
+            cmp.unmatched.push(w.name.clone());
+            continue;
+        };
+        let base_phases = base_w
+            .get("phases")
+            .and_then(Value::as_array)
+            .unwrap_or(&empty);
+        for p in &w.phases {
+            let Some(base_p) = base_phases.iter().find(|b| {
+                b.get("name").and_then(Value::as_str) == Some(p.name.as_str())
+            }) else {
+                continue;
+            };
+            let num = |key: &str| base_p.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+            let base_median = num("median_ms");
+            let base_spread = num("max_ms") - num("min_ms");
+            let cur_spread = p.max_ms - p.min_ms;
+            let spread = base_spread.max(cur_spread);
+            let delta = p.median_ms - base_median;
+            let rel = if base_median > 0.0 {
+                delta / base_median
+            } else {
+                0.0
+            };
+            let regressed = rel > opts.rel_threshold
+                && delta > opts.noise_mult * spread
+                && delta > opts.abs_floor_ms;
+            cmp.rows.push(DeltaRow {
+                workload: w.name.clone(),
+                phase: p.name.clone(),
+                base_median_ms: base_median,
+                cur_median_ms: p.median_ms,
+                delta_ms: delta,
+                rel,
+                spread_ms: spread,
+                regressed,
+            });
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_entry(scale: f64, spread: f64) -> BenchEntry {
+        let workloads = vec![WorkloadResult {
+            name: "titanic-seq5-k2-cache".to_string(),
+            reps: 3,
+            phases: PHASES
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    let base = (i + 1) as f64 * 10.0 * scale;
+                    PhaseStat {
+                        name: (*name).to_string(),
+                        median_ms: base,
+                        min_ms: base - spread / 2.0,
+                        max_ms: base + spread / 2.0,
+                        mean_ms: base,
+                    }
+                })
+                .collect(),
+            counters: Counters {
+                explored: 100,
+                search_steps: 5,
+                ..Counters::default()
+            },
+        }];
+        BenchEntry {
+            schema: TRAJECTORY_SCHEMA,
+            commit: "deadbeef0123".to_string(),
+            date: "2026-08-06".to_string(),
+            config_fingerprint: config_fingerprint(&quick_suite()),
+            reps: 3,
+            workloads,
+        }
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("lucid_traj_{tag}_{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn append_creates_then_extends_a_schema_v2_document() {
+        let path = temp_path("append");
+        std::fs::remove_file(&path).ok();
+        append_entry(&path, &synthetic_entry(1.0, 1.0)).unwrap();
+        append_entry(&path, &synthetic_entry(1.1, 1.0)).unwrap();
+        let doc: Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Value::as_f64), Some(2.0));
+        let entries = doc.get("entries").and_then(Value::as_array).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            entries[1].get("commit").and_then(Value::as_str),
+            Some("deadbeef0123")
+        );
+        // The appended entry round-trips as a valid baseline.
+        let baseline = load_baseline(&path).unwrap();
+        assert_eq!(baseline.get("schema").and_then(Value::as_f64), Some(2.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_rejects_foreign_documents() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, "{\"schema\": 1, \"entries\": []}").unwrap();
+        let err = append_entry(&path, &synthetic_entry(1.0, 1.0)).unwrap_err();
+        assert!(err.contains("schema 1"));
+        std::fs::write(&path, "not json").unwrap();
+        assert!(append_entry(&path, &synthetic_entry(1.0, 1.0))
+            .unwrap_err()
+            .contains("not valid JSON"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn clean_rerun_passes_the_gate() {
+        let base = synthetic_entry(1.0, 2.0);
+        // Within-noise wobble: +3% median shift.
+        let cur = synthetic_entry(1.03, 2.0);
+        let path = temp_path("clean");
+        std::fs::remove_file(&path).ok();
+        append_entry(&path, &base).unwrap();
+        let baseline = load_baseline(&path).unwrap();
+        let cmp = compare_entries(&cur, &baseline, &GateOptions::default());
+        assert!(!cmp.regressed(), "{}", cmp.render());
+        assert_eq!(cmp.rows.len(), PHASES.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn doubled_medians_trip_the_gate() {
+        let base = synthetic_entry(1.0, 2.0);
+        let cur = synthetic_entry(2.0, 2.0);
+        let path = temp_path("slow");
+        std::fs::remove_file(&path).ok();
+        append_entry(&path, &base).unwrap();
+        let baseline = load_baseline(&path).unwrap();
+        let cmp = compare_entries(&cur, &baseline, &GateOptions::default());
+        assert!(cmp.regressed());
+        let table = cmp.render();
+        assert!(table.contains("REGRESSED"), "{table}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn noisy_runs_do_not_trip_the_gate() {
+        // Median doubles, but the run-to-run spread is as large as the
+        // delta — the noise-aware conjunction must hold fire.
+        let base = synthetic_entry(1.0, 2.0);
+        let mut cur = synthetic_entry(2.0, 2.0);
+        for p in &mut cur.workloads[0].phases {
+            p.min_ms = p.median_ms - p.median_ms; // spread ≈ 2×median
+            p.max_ms = p.median_ms + p.median_ms;
+        }
+        let path = temp_path("noisy");
+        std::fs::remove_file(&path).ok();
+        append_entry(&path, &base).unwrap();
+        let baseline = load_baseline(&path).unwrap();
+        let cmp = compare_entries(&cur, &baseline, &GateOptions::default());
+        assert!(!cmp.regressed(), "{}", cmp.render());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unmatched_workloads_are_reported_not_compared() {
+        let base = synthetic_entry(1.0, 1.0);
+        let mut cur = synthetic_entry(1.0, 1.0);
+        cur.workloads[0].name = "renamed-workload".to_string();
+        let path = temp_path("unmatched");
+        std::fs::remove_file(&path).ok();
+        append_entry(&path, &base).unwrap();
+        let baseline = load_baseline(&path).unwrap();
+        let cmp = compare_entries(&cur, &baseline, &GateOptions::default());
+        assert!(cmp.rows.is_empty());
+        assert!(cmp.unmatched.contains(&"renamed-workload".to_string()));
+        assert!(!cmp.regressed());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_parameter_sensitive() {
+        let a = config_fingerprint(&suite());
+        let b = config_fingerprint(&suite());
+        assert_eq!(a, b);
+        let mut altered = suite();
+        altered[0].seq_len += 1;
+        assert_ne!(a, config_fingerprint(&altered));
+        assert!(a.starts_with("3w-"));
+    }
+
+    #[test]
+    fn date_and_commit_helpers_produce_usable_strings() {
+        let d = today_utc();
+        assert_eq!(d.len(), 10, "{d}");
+        assert_eq!(&d[4..5], "-");
+        assert_eq!(&d[7..8], "-");
+        // 2026-ish sanity: the year parses and is not epoch-adjacent.
+        assert!(d[..4].parse::<i64>().unwrap() >= 2024);
+        assert!(!commit_hash().is_empty());
+    }
+
+    #[test]
+    fn quick_workload_measures_real_phases() {
+        // One real (tiny) search through the harness: phases populated,
+        // counters non-trivial, injection scales the medians.
+        let w = quick_suite()[0];
+        let honest = run_workload(&w, 1, 1.0).unwrap();
+        assert_eq!(honest.phases.len(), PHASES.len());
+        let total = honest.phases.iter().find(|p| p.name == "total_ms").unwrap();
+        assert!(total.median_ms > 0.0);
+        assert!(honest.counters.explored > 0);
+        assert!(honest.counters.search_steps > 0);
+        let inflated = run_workload(&w, 1, 10.0).unwrap();
+        let inflated_total = inflated
+            .phases
+            .iter()
+            .find(|p| p.name == "total_ms")
+            .unwrap();
+        assert!(inflated_total.median_ms > total.median_ms * 2.0);
+    }
+}

@@ -497,6 +497,15 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
     reg.counter(metric::CACHE_PEAK).set_max(exec.cache_peak());
     h_total.record_ns(ms_to_ns(t_total.elapsed().as_secs_f64() * 1e3));
     let timings = Timings::from_registry(&reg);
+    // Profiling is measurement-only: the report is assembled after every
+    // search decision is made, so output is byte-identical with it on or
+    // off. Writes are best-effort, like trace emission — a full disk must
+    // never fail a search.
+    let profile = build_profile(ctx, &reg);
+    if let (Some(dir), Some(p)) = (&ctx.config.profile_out, &profile) {
+        let _ = std::fs::create_dir_all(dir);
+        let _ = p.write_dir(dir);
+    }
     if let Some(sink) = trace {
         sink.emit(&SearchEndEvent {
             v: TRACE_SCHEMA_VERSION,
@@ -524,6 +533,11 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
             stmt_spans: stmt_span_aggregates(ctx.interp),
             spans_dropped: ctx.interp.obs.as_ref().map_or(0, |o| o.dropped()),
         });
+        // The profile record trails search_end so a trace cut off at the
+        // (potentially large) profile line still summarizes completely.
+        if let Some(p) = &profile {
+            sink.emit(&p.to_event());
+        }
         sink.flush();
     }
     SearchOutcome {
@@ -532,6 +546,22 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
         explored,
         timings,
     }
+}
+
+/// Assembles the search's [`ProfileReport`]: phase + per-statement
+/// percentiles from the search registry merged with the interpreter
+/// collector's per-span-name aggregates, plus the folded span tree.
+/// `None` when no collector is attached (neither tracing nor profiling).
+fn build_profile(ctx: &SearchContext, reg: &Registry) -> Option<lucid_obs::ProfileReport> {
+    let obs = ctx.interp.obs.as_ref()?;
+    let mut rows = reg.histogram_percentiles();
+    rows.extend(obs.registry().histogram_percentiles());
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    Some(lucid_obs::ProfileReport::build(
+        &obs.records(),
+        rows,
+        obs.dropped(),
+    ))
 }
 
 /// Per-statement-kind interpreter aggregates from the interpreter's span

@@ -184,18 +184,17 @@ impl Standardizer {
 
 /// Applies a config's interpreter-facing knobs: seed, sampling, the
 /// per-candidate resource budget, the (test-only) fault-injection plan,
-/// and — when tracing is on — a span collector recording per-statement
-/// interpreter time into the search's event log. Without a trace sink the
+/// and — when tracing or profiling is on — a span collector recording
+/// per-statement interpreter time into the search's event log and
+/// profile exports. Without a trace sink or profile directory the
 /// collector is absent entirely, keeping runs on the zero-cost path.
 fn configure_interp(interp: &mut Interpreter, config: &SearchConfig) {
     interp.seed = config.seed;
     interp.sample_rows = config.sample_rows;
     interp.budget = config.budget;
     interp.fault_plan = config.fault_plan.clone();
-    interp.obs = config
-        .trace
-        .as_ref()
-        .map(|_| std::sync::Arc::new(lucid_obs::Collector::new(true)));
+    interp.obs = (config.trace.is_some() || config.profile_out.is_some())
+        .then(|| std::sync::Arc::new(lucid_obs::Collector::new(true)));
 }
 
 #[cfg(test)]

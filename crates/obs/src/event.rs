@@ -5,7 +5,10 @@
 //! `step` per executed beam step, one `verify`, and one `search_end`
 //! whose phase totals equal the sums over the per-step records (modulo
 //! float rendering) — this is the invariant `lucid trace` exploits to
-//! rebuild the Figure 7 breakdown from a trace alone.
+//! rebuild the Figure 7 breakdown from a trace alone. A trailing
+//! `"profile"` record (see [`crate::profile::ProfileEvent`]) may follow
+//! `search_end`, carrying the folded flamegraph + percentile summaries
+//! `lucid profile` renders.
 //!
 //! Schema evolution rule: adding fields is a same-version change
 //! (consumers must ignore unknown fields); removing or re-meaning a

@@ -38,13 +38,17 @@
 //! ```
 
 pub mod event;
+pub mod flame;
 pub mod metrics;
+pub mod profile;
 pub mod sink;
 pub mod span;
 pub mod summary;
 
 pub use event::TRACE_SCHEMA_VERSION;
-pub use metrics::{Counter, Histogram, Registry};
+pub use flame::{fold_spans, to_folded, FoldedFrame};
+pub use metrics::{Counter, Histogram, Percentiles, Registry};
+pub use profile::{PercentileRow, ProfileEvent, ProfileReport};
 pub use sink::TraceSink;
 pub use span::{Collector, Span, SpanRecord};
 pub use summary::{parse_trace, TraceSummary};

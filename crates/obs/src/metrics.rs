@@ -123,6 +123,48 @@ impl Histogram {
             .collect()
     }
 
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) in nanoseconds from
+    /// the log₂ buckets, linearly interpolating inside the bucket the
+    /// nearest-rank observation falls in. The estimate is therefore exact
+    /// to within one bucket (a factor ≤ 2), which is the resolution the
+    /// histogram trades for its lock-free hot path. Clamped to the exact
+    /// recorded maximum; 0 when the histogram is empty.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        let n = self.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let max_ns = self.max_ns.load(Ordering::Relaxed);
+        let mut cum = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let c = bucket.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let lo = 1u64 << i;
+                let hi = 1u64 << (i + 1);
+                let into = (rank - cum) as f64 / c as f64;
+                let est = lo as f64 + into * (hi - lo) as f64;
+                return (est as u64).clamp(1, max_ns.max(1));
+            }
+            cum += c;
+        }
+        max_ns
+    }
+
+    /// The p50/p90/p99/max summary of this histogram.
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            count: self.count(),
+            p50_ns: self.percentile_ns(0.50),
+            p90_ns: self.percentile_ns(0.90),
+            p99_ns: self.percentile_ns(0.99),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+
     /// Resets every bucket and aggregate to zero.
     pub fn reset(&self) {
         for b in &self.buckets {
@@ -131,6 +173,45 @@ impl Histogram {
         self.count.store(0, Ordering::Relaxed);
         self.sum_ns.store(0, Ordering::Relaxed);
         self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Percentile summary of one histogram (see [`Histogram::percentiles`]).
+/// Values are integer nanoseconds, like the histogram itself; the `*_ms`
+/// accessors project for display.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct Percentiles {
+    /// Observation count.
+    pub count: u64,
+    /// Median estimate (within one log₂ bucket).
+    pub p50_ns: u64,
+    /// 90th-percentile estimate.
+    pub p90_ns: u64,
+    /// 99th-percentile estimate.
+    pub p99_ns: u64,
+    /// Exact largest observation.
+    pub max_ns: u64,
+}
+
+impl Percentiles {
+    /// Median in milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.p50_ns as f64 / 1e6
+    }
+
+    /// 90th percentile in milliseconds.
+    pub fn p90_ms(&self) -> f64 {
+        self.p90_ns as f64 / 1e6
+    }
+
+    /// 99th percentile in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.p99_ns as f64 / 1e6
+    }
+
+    /// Maximum in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.max_ns as f64 / 1e6
     }
 }
 
@@ -198,6 +279,18 @@ impl Registry {
             .expect("registry lock")
             .get(name)
             .map_or(0, |h| h.count())
+    }
+
+    /// Percentile summaries of every histogram with at least one
+    /// observation, name-sorted (the map is a `BTreeMap`).
+    pub fn histogram_percentiles(&self) -> Vec<(String, Percentiles)> {
+        self.histograms
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(name, h)| ((*name).to_string(), h.percentiles()))
+            .collect()
     }
 
     /// Zeroes every metric, keeping existing handles valid.
@@ -336,6 +429,89 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         assert!(json.contains("\"a.count\""));
         assert!(json.contains("sum_ms"));
+    }
+
+    /// The percentile estimate's contract: within one log₂ bucket of the
+    /// true quantile, i.e. inside `[true/2, true*2]`.
+    fn assert_within_bucket(estimate: u64, truth: u64, label: &str) {
+        assert!(
+            estimate >= truth / 2 && estimate <= truth.saturating_mul(2),
+            "{label}: estimate {estimate} ns not within a bucket of true {truth} ns"
+        );
+    }
+
+    #[test]
+    fn percentiles_of_uniform_distribution_within_bucket_error() {
+        // 1..=1000 µs, one observation each: true p50 = 500 µs,
+        // p90 = 900 µs, p99 = 990 µs, max = 1000 µs.
+        let h = Histogram::new();
+        for us in 1..=1000u64 {
+            h.record_ns(us * 1_000);
+        }
+        let p = h.percentiles();
+        assert_eq!(p.count, 1000);
+        assert_within_bucket(p.p50_ns, 500_000, "p50");
+        assert_within_bucket(p.p90_ns, 900_000, "p90");
+        assert_within_bucket(p.p99_ns, 990_000, "p99");
+        assert_eq!(p.max_ns, 1_000_000); // max is exact, not bucketed
+        assert!(p.p50_ns <= p.p90_ns && p.p90_ns <= p.p99_ns && p.p99_ns <= p.max_ns);
+    }
+
+    #[test]
+    fn percentiles_of_constant_distribution_collapse() {
+        let h = Histogram::new();
+        for _ in 0..64 {
+            h.record_ns(2_000_000); // 2 ms
+        }
+        let p = h.percentiles();
+        assert_within_bucket(p.p50_ns, 2_000_000, "p50");
+        assert_within_bucket(p.p99_ns, 2_000_000, "p99");
+        // Every estimate is clamped by the exact max.
+        assert!(p.p50_ns <= p.max_ns && p.p99_ns <= p.max_ns);
+        assert_eq!(p.max_ns, 2_000_000);
+    }
+
+    #[test]
+    fn percentiles_of_bimodal_distribution_find_the_tail() {
+        // 90 fast observations (~10 µs) and 10 slow ones (~10 ms): the
+        // median sits in the fast mode, p99 in the slow mode.
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record_ns(10_000);
+        }
+        for _ in 0..10 {
+            h.record_ns(10_000_000);
+        }
+        let p = h.percentiles();
+        assert_within_bucket(p.p50_ns, 10_000, "p50");
+        assert_within_bucket(p.p99_ns, 10_000_000, "p99");
+    }
+
+    #[test]
+    fn percentiles_of_empty_histogram_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentiles(), Percentiles::default());
+        assert_eq!(h.percentile_ns(0.5), 0);
+        // Out-of-range quantiles clamp instead of panicking.
+        let h = Histogram::new();
+        h.record_ns(1_000);
+        assert!(h.percentile_ns(-1.0) >= 1);
+        assert_eq!(h.percentile_ns(2.0), h.percentile_ns(1.0));
+        assert!((Percentiles { p50_ns: 1_500_000, ..Default::default() }.p50_ms() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_percentiles_skip_empty_histograms() {
+        let reg = Registry::new();
+        reg.histogram("b.phase").record_ns(1_000_000);
+        reg.histogram("a.phase").record_ns(2_000_000);
+        let _never_recorded = reg.histogram("z.phase");
+        let rows = reg.histogram_percentiles();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "a.phase");
+        assert_eq!(rows[1].0, "b.phase");
+        assert_eq!(rows[0].1.count, 1);
+        assert_eq!(rows[0].1.max_ns, 2_000_000);
     }
 
     #[test]

@@ -4,8 +4,12 @@
 //! Reads a JSONL search event log (schema v1, see [`crate::event`]),
 //! validates versions, and aggregates the per-step records back into the
 //! paper's Figure 7 phase breakdown. Unknown event kinds and unknown
-//! fields are ignored (the schema's forward-compatibility rule); an
-//! unsupported `"v"` or malformed JSON is an error.
+//! fields are ignored (the schema's forward-compatibility rule). Blank,
+//! truncated, and otherwise malformed lines are *skipped with a
+//! warning*, not fatal — a trace cut off mid-write (crash, full disk,
+//! sink rotation) must still summarize. Only an explicitly unsupported
+//! `"v"` on a well-formed record — or a file with no parseable records
+//! at all — is an error.
 
 use crate::event::TRACE_SCHEMA_VERSION;
 use serde_json::Value;
@@ -103,6 +107,12 @@ pub struct TraceSummary {
     pub stmt_spans: Vec<(String, u64, f64)>,
     /// Records that parsed but carried an unrecognized `event`.
     pub unknown_events: usize,
+    /// Blank-after-trim, truncated, or malformed lines skipped during
+    /// parsing (surfaced as a warning, never an error).
+    pub skipped_lines: usize,
+    /// Whether the trace carries a `"profile"` record (rendered by
+    /// `lucid profile`, not here).
+    pub has_profile: bool,
 }
 
 fn num(v: &Value, key: &str) -> f64 {
@@ -115,10 +125,14 @@ fn int(v: &Value, key: &str) -> u64 {
 
 /// Parses a JSONL trace into a [`TraceSummary`].
 ///
+/// Blank, truncated, and malformed lines — and well-formed records
+/// missing `v` or `event` — are skipped and counted in
+/// [`TraceSummary::skipped_lines`].
+///
 /// # Errors
 ///
-/// Malformed JSON lines, records missing `v`/`event`, or an unsupported
-/// schema version.
+/// A well-formed record with an unsupported schema version, or a file
+/// with no parseable records at all.
 pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
     let mut summary = TraceSummary::default();
     let mut saw_end = false;
@@ -132,22 +146,24 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
         if line.is_empty() {
             continue;
         }
-        let record = serde_json::from_str(line)
-            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        let v = record
-            .get("v")
-            .and_then(Value::as_f64)
-            .ok_or_else(|| format!("line {}: missing schema version field \"v\"", lineno + 1))?;
+        let Ok(record) = serde_json::from_str(line) else {
+            summary.skipped_lines += 1;
+            continue;
+        };
+        let Some(v) = record.get("v").and_then(Value::as_f64) else {
+            summary.skipped_lines += 1;
+            continue;
+        };
         if v as u64 != TRACE_SCHEMA_VERSION {
             return Err(format!(
                 "line {}: unsupported trace schema v{v} (this build reads v{TRACE_SCHEMA_VERSION})",
                 lineno + 1
             ));
         }
-        let event = record
-            .get("event")
-            .and_then(Value::as_str)
-            .ok_or_else(|| format!("line {}: missing \"event\" field", lineno + 1))?;
+        let Some(event) = record.get("event").and_then(Value::as_str) else {
+            summary.skipped_lines += 1;
+            continue;
+        };
         any = true;
         match event {
             "search_start" => {
@@ -252,11 +268,19 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
                     }
                 }
             }
+            "profile" => summary.has_profile = true,
             _ => summary.unknown_events += 1,
         }
     }
     if !any {
-        return Err("trace file contains no records".to_string());
+        return Err(if summary.skipped_lines > 0 {
+            format!(
+                "trace file contains no readable records ({} blank/truncated/malformed line(s) skipped)",
+                summary.skipped_lines
+            )
+        } else {
+            "trace file contains no records".to_string()
+        });
     }
     if !saw_end {
         // Fall back to step sums so a truncated trace still summarizes.
@@ -386,10 +410,21 @@ impl TraceSummary {
                 out.push_str(&format!("  {name:<16} {count:>7}x {total_ms:>10.2} ms\n"));
             }
         }
+        if self.has_profile {
+            out.push_str(
+                "(trace carries a profile record — render it with `lucid profile <FILE>`)\n",
+            );
+        }
         if self.unknown_events > 0 {
             out.push_str(&format!(
                 "({} unrecognized records ignored)\n",
                 self.unknown_events
+            ));
+        }
+        if self.skipped_lines > 0 {
+            out.push_str(&format!(
+                "warning: {} blank/truncated/malformed line(s) skipped\n",
+                self.skipped_lines
             ));
         }
         out
@@ -565,14 +600,44 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_versions_and_garbage() {
+    fn rejects_empty_files_and_version_mismatches() {
         assert!(parse_trace("").is_err());
-        assert!(parse_trace("not json").is_err());
-        assert!(parse_trace("{\"event\":\"step\"}").unwrap_err().contains("missing schema version"));
+        // Nothing parseable at all is still an error (with the skip count).
+        assert!(parse_trace("not json")
+            .unwrap_err()
+            .contains("no readable records"));
         assert!(parse_trace("{\"v\":2,\"event\":\"step\"}")
             .unwrap_err()
             .contains("unsupported trace schema"));
-        assert!(parse_trace("{\"v\":1}").unwrap_err().contains("missing \"event\""));
+    }
+
+    #[test]
+    fn garbage_lines_are_skipped_with_a_warning_not_fatal() {
+        // A valid record surrounded by: a malformed line, a blank line, a
+        // record missing "v", a record missing "event", and a line cut
+        // off mid-write.
+        let text = "\
+{\"v\":1,\"event\":\"search_start\",\"seq_len\":4}
+not json
+
+{\"event\":\"step\"}
+{\"v\":1}
+{\"v\":1,\"event\":\"sea";
+        let summary = parse_trace(text).unwrap();
+        assert_eq!(summary.skipped_lines, 4); // blank lines aren't counted
+        assert_eq!(summary.config.len(), 1);
+        assert!(summary
+            .render()
+            .contains("warning: 4 blank/truncated/malformed line(s) skipped"));
+    }
+
+    #[test]
+    fn profile_records_are_flagged_not_unknown() {
+        let text = "{\"v\":1,\"event\":\"profile\",\"folded\":[]}";
+        let summary = parse_trace(text).unwrap();
+        assert!(summary.has_profile);
+        assert_eq!(summary.unknown_events, 0);
+        assert!(summary.render().contains("lucid profile"));
     }
 
     #[test]

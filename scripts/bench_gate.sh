@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Noise-aware performance regression gate.
+#
+# Runs the quick benchmark subset and diffs it against the last entry of
+# a committed trajectory file (default: BENCH_search.json at the repo
+# root). Exits non-zero only when `lucid bench --compare` flags a phase
+# whose median slowdown clears both the relative threshold and the
+# run-to-run noise band — see crates/bench/src/trajectory.rs for the
+# exact gate rule and DESIGN.md §12 for the rationale.
+#
+# Usage:
+#   scripts/bench_gate.sh [BASELINE] [extra `lucid bench` flags...]
+#
+# Examples:
+#   scripts/bench_gate.sh                        # gate against BENCH_search.json
+#   scripts/bench_gate.sh results/other.json     # gate against another trajectory
+#   scripts/bench_gate.sh BENCH_search.json --reps 5
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_search.json}"
+shift || true
+
+if [ ! -f "$baseline" ]; then
+  echo "bench_gate: no baseline at $baseline — nothing to gate against (ok)"
+  exit 0
+fi
+
+echo "==> cargo build --release (lucid)"
+cargo build --release --bin lucid
+
+echo "==> lucid bench --quick --reps 2 --compare $baseline $*"
+./target/release/lucid bench --quick --reps 2 --compare "$baseline" "$@"

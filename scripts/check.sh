@@ -16,8 +16,17 @@ cargo test -q
 echo "==> fault-isolation suites (properties, fault_injection, determinism)"
 cargo test -q --test properties --test fault_injection --test determinism
 
-echo "==> cargo clippy (lucid-core, lucid-interp, lucid-obs, lucid-bench) -D warnings"
-cargo clippy -p lucid-core -p lucid-interp -p lucid-obs -p lucid-bench --all-targets -- -D warnings
+echo "==> cargo clippy (lucid-core, lucid-interp, lucid-obs, lucid-bench, lucidscript) -D warnings"
+cargo clippy -p lucid-core -p lucid-interp -p lucid-obs -p lucid-bench -p lucidscript --all-targets -- -D warnings
+
+# Benchmark smoke + regression gate: one workload, two reps, compared
+# against the committed trajectory (scripts/bench_gate.sh is a no-op
+# when no baseline exists yet). Probe runs never append to the file.
+echo "==> bench smoke + noise-aware regression gate"
+bench_smoke=$(mktemp -d)
+trap 'rm -rf "$bench_smoke"' EXIT
+./target/release/lucid bench --quick --reps 2 --out "$bench_smoke/smoke.json"
+./scripts/bench_gate.sh BENCH_search.json
 
 # The interpreter must stay panic-free outside #[cfg(test)]: a panicking
 # candidate is survivable (search.rs catches it) but always a bug. Scan

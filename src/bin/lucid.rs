@@ -5,6 +5,8 @@
 //! lucid score       --corpus DIR --script FILE
 //! lucid corpus-stats --corpus DIR
 //! lucid trace       FILE.jsonl
+//! lucid profile     FILE.jsonl [--out DIR]
+//! lucid bench       [--quick] [--reps N] [--out FILE] [--compare BASELINE]
 //! ```
 //!
 //! The corpus is a directory of `.py` files (straight-line pandas
@@ -27,6 +29,8 @@ USAGE:
   lucid score        --corpus <DIR> --script <PY>
   lucid corpus-stats --corpus <DIR>
   lucid trace        <FILE.jsonl>
+  lucid profile      <FILE.jsonl> [--out <DIR>]
+  lucid bench        [--quick] [--reps <N>] [--out <FILE>] [--compare <BASELINE>]
 
 OPTIONS (standardize):
   --tau-j <0..1>      table-Jaccard intent threshold (default 0.9)
@@ -42,17 +46,36 @@ OPTIONS (standardize):
   --deadline-ms <N>   per-candidate wall-clock deadline in ms (default unlimited;
                       the only budget axis that can break deterministic replay)
   --trace <FILE>      write the search event log (JSONL) to FILE
+  --trace-max-bytes <N>  rotate the trace file at N bytes (<FILE>.1 keeps the
+                      previous segment; disk use stays around 2×N)
+  --profile-out <DIR> write profile exports (flame.folded, percentiles.txt,
+                      profile.json) into DIR after the search
   --explain           print per-change explanations
   --json              emit the full report as JSON
 
+OPTIONS (bench):
+  --quick             run the 1-workload smoke subset instead of the full suite
+  --reps <N>          repetitions per workload (default 5)
+  --out <FILE>        trajectory file to append to (default BENCH_search.json;
+                      with --compare, nothing is appended unless --out is given)
+  --compare <BASELINE>  diff this run against the last entry of BASELINE and
+                      exit non-zero when the noise-aware gate flags a phase
+  --inject-slowdown <F>  multiply measured phase times by F (gate self-test)
+  --rel-threshold <F> gate: min relative median slowdown (default 0.5)
+  --noise-mult <F>    gate: delta must exceed F × run-to-run spread (default 1.5)
+  --abs-floor-ms <F>  gate: deltas under F ms never fail (default 1.0)
+
 `lucid trace` summarizes an event log written by `--trace`: the per-step
 table, the Figure 7 phase totals, and cache/interpreter statistics.
+`lucid profile` renders the profile record of a trace (or of a
+`--profile-out` profile.json): collapsed-stack flamegraph text plus
+p50/p90/p99/max phase percentiles; `--out` writes the files instead.
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!("\n{USAGE}");
@@ -61,17 +84,32 @@ fn main() -> ExitCode {
     }
 }
 
-/// Boolean switches the parser accepts.
+/// Boolean switches of the standardize/score/corpus-stats family.
 const SWITCH_FLAGS: &[&str] = &["explain", "json", "no-cache"];
-/// `--name value` flags the parser accepts.
+/// `--name value` flags of the standardize/score/corpus-stats family.
 const VALUE_FLAGS: &[&str] = &[
     "corpus", "data", "script", "tau-j", "tau-m", "target", "seq", "beam", "sample", "threads",
-    "trace", "fuel", "max-cells", "deadline-ms",
+    "trace", "trace-max-bytes", "profile-out", "fuel", "max-cells", "deadline-ms",
 ];
+/// Switches of `lucid bench`.
+const BENCH_SWITCH_FLAGS: &[&str] = &["quick"];
+/// `--name value` flags of `lucid bench`.
+const BENCH_VALUE_FLAGS: &[&str] = &[
+    "reps",
+    "out",
+    "compare",
+    "inject-slowdown",
+    "rel-threshold",
+    "noise-mult",
+    "abs-floor-ms",
+];
+/// `--name value` flags of `lucid profile` (after the positional file).
+const PROFILE_VALUE_FLAGS: &[&str] = &["out"];
 
-/// Tiny flag parser: `--name value` pairs plus boolean switches. Flags
-/// outside [`SWITCH_FLAGS`]/[`VALUE_FLAGS`] are rejected up front (a typo
-/// must not be silently swallowed as a value pair).
+/// Tiny flag parser: `--name value` pairs plus boolean switches. Each
+/// command supplies its own accepted-flag lists, and anything outside
+/// them is rejected up front (a typo must not be silently swallowed as a
+/// value pair, and `lucid score --reps 3` must not quietly parse).
 struct Flags {
     pairs: Vec<(String, String)>,
     switches: Vec<String>,
@@ -79,6 +117,14 @@ struct Flags {
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Flags, String> {
+        Flags::parse_with(args, SWITCH_FLAGS, VALUE_FLAGS)
+    }
+
+    fn parse_with(
+        args: &[String],
+        switch_flags: &[&str],
+        value_flags: &[&str],
+    ) -> Result<Flags, String> {
         let mut pairs = Vec::new();
         let mut switches = Vec::new();
         let mut it = args.iter().peekable();
@@ -86,9 +132,9 @@ impl Flags {
             let Some(name) = a.strip_prefix("--") else {
                 return Err(format!("unexpected argument '{a}'"));
             };
-            if SWITCH_FLAGS.contains(&name) {
+            if switch_flags.contains(&name) {
                 switches.push(name.to_string());
-            } else if VALUE_FLAGS.contains(&name) {
+            } else if value_flags.contains(&name) {
                 let value = it
                     .next()
                     .ok_or_else(|| format!("--{name} requires a value"))?;
@@ -116,13 +162,19 @@ impl Flags {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(command) = args.first() else {
         return Err("missing command".to_string());
     };
-    if command == "trace" {
+    match command.as_str() {
         // Positional argument, not a flag pair.
-        return trace_report(&args[1..]);
+        "trace" => return trace_report(&args[1..]).map(|()| ExitCode::SUCCESS),
+        "profile" => return profile_report(&args[1..]).map(|()| ExitCode::SUCCESS),
+        "bench" => {
+            let flags = Flags::parse_with(&args[1..], BENCH_SWITCH_FLAGS, BENCH_VALUE_FLAGS)?;
+            return bench(&flags);
+        }
+        _ => {}
     }
     let flags = Flags::parse(&args[1..])?;
     match command.as_str() {
@@ -131,6 +183,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "corpus-stats" => corpus_stats(&flags),
         other => Err(format!("unknown command '{other}'")),
     }
+    .map(|()| ExitCode::SUCCESS)
 }
 
 /// `lucid trace <FILE.jsonl>`: parse a search event log and print the
@@ -144,6 +197,122 @@ fn trace_report(rest: &[String]) -> Result<(), String> {
     let summary = lucidscript::obs::parse_trace(&text)?;
     print!("{}", summary.render());
     Ok(())
+}
+
+/// `lucid profile <FILE.jsonl> [--out DIR]`: extract the profile record
+/// of a trace (or read a standalone `profile.json`) and print the folded
+/// flamegraph + percentile table — or write them into `--out`.
+fn profile_report(rest: &[String]) -> Result<(), String> {
+    let Some((path, flag_args)) = rest.split_first() else {
+        return Err("usage: lucid profile <FILE.jsonl> [--out <DIR>]".to_string());
+    };
+    let flags = Flags::parse_with(flag_args, &[], PROFILE_VALUE_FLAGS)?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read profile source '{path}': {e}"))?;
+    // A `--profile-out` profile.json is one pretty-printed record; a
+    // trace is JSONL. Try the whole file first, then line-by-line.
+    let report = match lucidscript::obs::ProfileReport::from_trace(&text.replace('\n', " "))? {
+        Some(r) => r,
+        None => lucidscript::obs::ProfileReport::from_trace(&text)?.ok_or_else(|| {
+            format!(
+                "'{path}' carries no profile record — searches emit one when run \
+                 with --trace or --profile-out"
+            )
+        })?,
+    };
+    if let Some(dir) = flags.get("out") {
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create '{}': {e}", dir.display()))?;
+        report
+            .write_dir(&dir)
+            .map_err(|e| format!("cannot write profile into '{}': {e}", dir.display()))?;
+        println!(
+            "wrote flame.folded, percentiles.txt, profile.json to {}",
+            dir.display()
+        );
+        return Ok(());
+    }
+    println!("collapsed-stack flamegraph (self-time µs; feed to inferno/speedscope):");
+    print!("{}", report.folded_text());
+    println!();
+    print!("{}", report.percentile_table());
+    Ok(())
+}
+
+/// `lucid bench`: run the pinned workload suite, append a trajectory
+/// entry, and (with `--compare`) gate against a baseline.
+fn bench(flags: &Flags) -> Result<ExitCode, String> {
+    let parse_f64 = |name: &str, default: f64| -> Result<f64, String> {
+        flags
+            .get(name)
+            .map_or(Ok(default), |v| v.parse().map_err(|_| format!("bad --{name}")))
+    };
+    let reps: usize = flags
+        .get("reps")
+        .map_or(Ok(5), |v| v.parse().map_err(|_| "bad --reps".to_string()))?;
+    let inject = parse_f64("inject-slowdown", 1.0)?;
+    let workloads = if flags.has("quick") {
+        lucidscript::bench::quick_suite()
+    } else {
+        lucidscript::bench::suite()
+    };
+    eprintln!(
+        "running {} workload(s) × {} rep(s){}...",
+        workloads.len(),
+        reps,
+        if inject != 1.0 {
+            format!(" (slowdown ×{inject} injected)")
+        } else {
+            String::new()
+        }
+    );
+    let entry = lucidscript::bench::run_suite(&workloads, reps, inject)?;
+    for w in &entry.workloads {
+        let total = w
+            .phases
+            .iter()
+            .find(|p| p.name == "total_ms")
+            .map_or(0.0, |p| p.median_ms);
+        eprintln!(
+            "  {:<26} median total {:>8.2} ms  ({} candidates, {} steps)",
+            w.name, total, w.counters.explored, w.counters.search_steps
+        );
+    }
+    let compare = flags.get("compare");
+    // A gate run is a probe, not a measurement worth recording: only
+    // append when the user names a destination (or on plain runs).
+    let out = match (flags.get("out"), compare) {
+        (Some(out), _) => Some(PathBuf::from(out)),
+        (None, None) => Some(PathBuf::from("BENCH_search.json")),
+        (None, Some(_)) => None,
+    };
+    if let Some(out) = out {
+        lucidscript::bench::append_entry(&out, &entry)?;
+        println!(
+            "appended schema-v{} entry (commit {}, {}) to {}",
+            entry.schema,
+            entry.commit,
+            entry.date,
+            out.display()
+        );
+    }
+    if let Some(baseline_path) = compare {
+        let baseline = lucidscript::bench::load_baseline(Path::new(baseline_path))?;
+        let opts = lucidscript::bench::GateOptions {
+            rel_threshold: parse_f64("rel-threshold", 0.5)?,
+            noise_mult: parse_f64("noise-mult", 1.5)?,
+            abs_floor_ms: parse_f64("abs-floor-ms", 1.0)?,
+        };
+        let cmp = lucidscript::bench::compare_entries(&entry, &baseline, &opts);
+        print!("{}", cmp.render());
+        if cmp.regressed() {
+            eprintln!("regression gate: FAILED");
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("regression gate: ok");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn load_corpus(dir: &str) -> Result<Vec<String>, String> {
@@ -200,6 +369,27 @@ fn budget_from(flags: &Flags) -> Result<lucidscript::interp::Budget, String> {
     })
 }
 
+/// Builds the `--trace` sink, honoring `--trace-max-bytes` rotation.
+fn trace_sink_from(flags: &Flags) -> Result<Option<lucidscript::obs::TraceSink>, String> {
+    let max_bytes: u64 = flags
+        .get("trace-max-bytes")
+        .map_or(Ok(u64::MAX), |v| {
+            v.parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| "bad --trace-max-bytes".to_string())
+        })?;
+    let Some(path) = flags.get("trace") else {
+        if flags.get("trace-max-bytes").is_some() {
+            return Err("--trace-max-bytes requires --trace".to_string());
+        }
+        return Ok(None);
+    };
+    lucidscript::obs::TraceSink::to_file_capped(path, max_bytes)
+        .map(Some)
+        .map_err(|e| format!("cannot create trace file '{path}': {e}"))
+}
+
 fn standardize(flags: &Flags) -> Result<(), String> {
     let corpus = load_corpus(flags.require("corpus")?)?;
     let data_path = flags.require("data")?;
@@ -228,11 +418,14 @@ fn standardize(flags: &Flags) -> Result<(), String> {
         })?,
         prefix_cache: !flags.has("no-cache"),
         budget: budget_from(flags)?,
-        trace: flags
-            .get("trace")
-            .map(|path| {
-                lucidscript::obs::TraceSink::to_file(path)
-                    .map_err(|e| format!("cannot create trace file '{path}': {e}"))
+        trace: trace_sink_from(flags)?,
+        profile_out: flags
+            .get("profile-out")
+            .map(|dir| {
+                let dir = PathBuf::from(dir);
+                std::fs::create_dir_all(&dir)
+                    .map_err(|e| format!("cannot create profile dir '{}': {e}", dir.display()))?;
+                Ok::<_, String>(dir)
             })
             .transpose()?,
         ..SearchConfig::default()
@@ -404,6 +597,60 @@ mod tests {
         assert_eq!(budget_from(&flags).unwrap_err(), "bad --deadline-ms");
         let err = run(&argv(&["standardize", "--max-cells"])).unwrap_err();
         assert_eq!(err, "--max-cells requires a value");
+    }
+
+    #[test]
+    fn per_command_flag_lists_stay_disjoint() {
+        // Bench flags don't leak into standardize...
+        let err = run(&argv(&["standardize", "--reps", "3"])).unwrap_err();
+        assert_eq!(err, "unknown flag '--reps'");
+        // ...and standardize flags don't leak into bench.
+        let err = run(&argv(&["bench", "--corpus", "x"])).unwrap_err();
+        assert_eq!(err, "unknown flag '--corpus'");
+        let err = run(&argv(&["bench", "--reps"])).unwrap_err();
+        assert_eq!(err, "--reps requires a value");
+        let err = run(&argv(&["bench", "--reps", "three"])).unwrap_err();
+        assert_eq!(err, "bad --reps");
+        let err = run(&argv(&["bench", "--quick", "--inject-slowdown", "x"])).unwrap_err();
+        assert_eq!(err, "bad --inject-slowdown");
+    }
+
+    #[test]
+    fn profile_command_validates_its_arguments() {
+        let err = run(&argv(&["profile"])).unwrap_err();
+        assert!(err.contains("usage: lucid profile"), "{err}");
+        let err = run(&argv(&["profile", "/nonexistent_lucid_profile.jsonl"])).unwrap_err();
+        assert!(err.contains("cannot read profile source"), "{err}");
+        let err = run(&argv(&["profile", "f.jsonl", "--json"])).unwrap_err();
+        assert_eq!(err, "unknown flag '--json'");
+    }
+
+    #[test]
+    fn profile_and_rotation_flags_parse() {
+        // A temp path: creating the sink must not litter the cwd.
+        let trace = std::env::temp_dir()
+            .join(format!("lucid_flagparse_{}.jsonl", std::process::id()));
+        let flags = Flags::parse(&argv(&[
+            "--profile-out",
+            "prof/",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--trace-max-bytes",
+            "65536",
+        ]))
+        .unwrap();
+        assert_eq!(flags.get("profile-out"), Some("prof/"));
+        let sink = trace_sink_from(&flags);
+        drop(sink);
+        std::fs::remove_file(&trace).ok();
+        // Rotation without a trace target is a user error.
+        let flags = Flags::parse(&argv(&["--trace-max-bytes", "1024"])).unwrap();
+        assert_eq!(
+            trace_sink_from(&flags).unwrap_err(),
+            "--trace-max-bytes requires --trace"
+        );
+        let flags = Flags::parse(&argv(&["--trace", "t", "--trace-max-bytes", "0"])).unwrap();
+        assert_eq!(trace_sink_from(&flags).unwrap_err(), "bad --trace-max-bytes");
     }
 
     #[test]

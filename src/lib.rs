@@ -16,10 +16,13 @@
 //!   log, and trace summarization (`lucid trace`)
 //! * [`corpus`] — synthetic dataset profiles + script-corpus generators
 //! * [`baselines`] — Sourcery / GPT / Auto-Suggest / Auto-Tables comparators
+//! * [`bench`] — experiment harness + the continuous benchmark trajectory
+//!   (`lucid bench`, `BENCH_search.json`, the regression gate)
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
 pub use lucid_baselines as baselines;
+pub use lucid_bench as bench;
 pub use lucid_core as core;
 pub use lucid_corpus as corpus;
 pub use lucid_frame as frame;

@@ -141,6 +141,117 @@ fn bad_usage_fails_with_usage_text() {
 }
 
 #[test]
+fn profile_renders_a_traced_search() {
+    let dir = workdir();
+    let trace = dir.join("profile_trace.jsonl");
+    let out = lucid()
+        .args([
+            "standardize",
+            "--corpus",
+            dir.join("corpus").to_str().unwrap(),
+            "--data",
+            dir.join("diabetes.csv").to_str().unwrap(),
+            "--script",
+            dir.join("draft.py").to_str().unwrap(),
+            "--seq",
+            "4",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Rendered to stdout: a non-empty folded flamegraph plus the
+    // percentile table (the issue's acceptance criterion).
+    let out = lucid().args(["profile", trace.to_str().unwrap()]).output().expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("interp.run"), "flamegraph stacks missing:\n{stdout}");
+    assert!(stdout.contains("search.get_steps"), "percentile rows missing:\n{stdout}");
+    assert!(stdout.contains("p50 ms"), "percentile header missing:\n{stdout}");
+
+    // --out writes the three export files instead.
+    let exports = dir.join("profile_exports");
+    let out = lucid()
+        .args(["profile", trace.to_str().unwrap(), "--out", exports.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    for file in ["flame.folded", "percentiles.txt", "profile.json"] {
+        let text = std::fs::read_to_string(exports.join(file)).expect(file);
+        assert!(!text.trim().is_empty(), "{file} is empty");
+    }
+
+    // A trace without a profile record (e.g. hand-built) is a clear error.
+    let bare = dir.join("bare.jsonl");
+    std::fs::write(&bare, "{\"v\":1,\"event\":\"search_start\",\"seq_len\":1,\"beam_k\":1,\"source_atoms\":1,\"re_before\":0.0}\n").expect("write");
+    let out = lucid().args(["profile", bare.to_str().unwrap()]).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no profile record"));
+}
+
+#[test]
+fn bench_appends_schema_v2_entries_and_gates_regressions() {
+    let dir = workdir();
+    let traj = dir.join("trajectory.json");
+
+    // Two quick runs append two schema-v2 entries to the same file.
+    for expected_entries in [1usize, 2] {
+        let out = lucid()
+            .args(["bench", "--quick", "--reps", "2", "--out", traj.to_str().unwrap()])
+            .env("LUCID_BENCH_COMMIT", "cafef00dcafe")
+            .env("LUCID_BENCH_DATE", "2026-01-02")
+            .output()
+            .expect("runs");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&traj).expect("trajectory"))
+                .expect("valid JSON trajectory");
+        assert_eq!(doc.get("schema").and_then(|v| v.as_f64()), Some(2.0));
+        let entries = doc.get("entries").and_then(|v| v.as_array()).expect("entries array");
+        assert_eq!(entries.len(), expected_entries);
+        let last = entries.last().unwrap();
+        assert_eq!(last.get("commit").and_then(|v| v.as_str()), Some("cafef00dcafe"));
+        assert_eq!(last.get("date").and_then(|v| v.as_str()), Some("2026-01-02"));
+    }
+
+    // Clean re-run against that baseline passes the gate (exit 0) and,
+    // absent an explicit --out, appends nothing.
+    let before = std::fs::read_to_string(&traj).expect("trajectory");
+    let out = lucid()
+        .args(["bench", "--quick", "--reps", "2", "--compare", traj.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "clean re-run tripped the gate:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("regression gate: ok"));
+    assert_eq!(std::fs::read_to_string(&traj).expect("trajectory"), before, "gate probe polluted the trajectory");
+
+    // An injected 4× slowdown must trip the noise-aware gate (exit != 0).
+    let out = lucid()
+        .args([
+            "bench",
+            "--quick",
+            "--reps",
+            "2",
+            "--compare",
+            traj.to_str().unwrap(),
+            "--inject-slowdown",
+            "4",
+        ])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success(), "4x slowdown passed the gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "delta table should flag phases:\n{stdout}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("regression gate: FAILED"));
+}
+
+#[test]
 fn tau_m_requires_target() {
     let dir = workdir();
     let out = lucid()

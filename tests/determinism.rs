@@ -12,6 +12,15 @@ use lucidscript::corpus::Profile;
 use lucidscript::interp::Budget;
 
 fn run_arm(threads: usize, prefix_cache: bool, budget: Budget) -> (String, f64, usize) {
+    run_arm_profiled(threads, prefix_cache, budget, None)
+}
+
+fn run_arm_profiled(
+    threads: usize,
+    prefix_cache: bool,
+    budget: Budget,
+    profile_out: Option<std::path::PathBuf>,
+) -> (String, f64, usize) {
     let profile = Profile::titanic();
     let data = profile.generate_data(5, 0.05);
     let corpus: Vec<String> = profile
@@ -27,6 +36,7 @@ fn run_arm(threads: usize, prefix_cache: bool, budget: Budget) -> (String, f64, 
         threads,
         prefix_cache,
         budget,
+        profile_out,
         ..SearchConfig::default()
     };
     let std = Standardizer::build(&corpus, profile.file, data, config).expect("builds");
@@ -71,6 +81,28 @@ fn search_is_byte_identical_across_threads_cache_and_budget() {
             }
         }
     }
+}
+
+/// Profiling is measurement-only: attaching the span collector and
+/// writing `--profile-out` exports must leave the search's output,
+/// score, and explored count byte-identical to an unprofiled run.
+#[test]
+fn search_is_byte_identical_with_profiling_on_and_off() {
+    let (ref_src, ref_re, ref_explored) = run_arm(1, true, Budget::unlimited());
+    let dir = std::env::temp_dir().join(format!("lucid_det_profile_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("profile dir");
+    let (src, re, explored) =
+        run_arm_profiled(1, true, Budget::unlimited(), Some(dir.clone()));
+    assert_eq!(src, ref_src, "output diverged with --profile-out");
+    assert!((re - ref_re).abs() < 1e-15, "RE diverged with --profile-out");
+    assert_eq!(explored, ref_explored, "explored diverged with --profile-out");
+    // And the profile actually materialized: a non-empty flamegraph with
+    // interpreter stacks, plus the percentile table.
+    let folded = std::fs::read_to_string(dir.join("flame.folded")).expect("flame.folded");
+    assert!(folded.contains("interp.run"), "empty/foreign flamegraph: {folded}");
+    let table = std::fs::read_to_string(dir.join("percentiles.txt")).expect("percentiles.txt");
+    assert!(table.contains("search.get_steps"), "{table}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
