@@ -28,6 +28,10 @@ struct Fig7Row {
     budget_trips_fuel: u64,
     budget_trips_cells: u64,
     budget_trips_deadline: u64,
+    candidates_deduped: u64,
+    unique_stmts: u64,
+    intern_hits: u64,
+    dag_incremental_updates: u64,
 }
 
 /// One arm of the serial-vs-optimized search comparison persisted to
@@ -146,6 +150,10 @@ fn main() {
             budget_trips_fuel: agg.budget_trips_fuel,
             budget_trips_cells: agg.budget_trips_cells,
             budget_trips_deadline: agg.budget_trips_deadline,
+            candidates_deduped: agg.candidates_deduped,
+            unique_stmts: agg.unique_stmts,
+            intern_hits: agg.intern_hits,
+            dag_incremental_updates: agg.dag_incremental_updates,
         };
         rows.push(vec![
             row.dataset.clone(),
@@ -163,6 +171,7 @@ fn main() {
                 row.candidates_panicked,
                 row.budget_trips_fuel + row.budget_trips_cells + row.budget_trips_deadline
             ),
+            format!("{}", row.candidates_deduped),
         ]);
         json.push(row);
         println!("  {} done", p.name);
@@ -181,6 +190,7 @@ fn main() {
             "Evict",
             "Steps",
             "Panic/Budget",
+            "Dedup",
         ],
         &rows,
     );

@@ -128,6 +128,14 @@ pub struct Counters {
     pub candidates_panicked: u64,
     /// Budget trips, all axes.
     pub budget_trips: u64,
+    /// Structurally-identical candidates skipped before execution checks.
+    pub candidates_deduped: u64,
+    /// Distinct statements the search's interner materialized.
+    pub unique_stmts: u64,
+    /// Intern requests answered by an already-shared statement.
+    pub intern_hits: u64,
+    /// Candidate DAGs derived incrementally instead of rebuilt.
+    pub dag_incremental_updates: u64,
 }
 
 /// One workload's measurements within an entry.
@@ -225,6 +233,10 @@ pub fn run_workload(
                 budget_trips: t.budget_trips_fuel
                     + t.budget_trips_cells
                     + t.budget_trips_deadline,
+                candidates_deduped: t.candidates_deduped,
+                unique_stmts: t.unique_stmts,
+                intern_hits: t.intern_hits,
+                dag_incremental_updates: t.dag_incremental_updates,
             };
         }
     }
@@ -755,6 +767,10 @@ mod tests {
         assert!(total.median_ms > 0.0);
         assert!(honest.counters.explored > 0);
         assert!(honest.counters.search_steps > 0);
+        // The interned-IR counters flow all the way through Timings.
+        assert!(honest.counters.unique_stmts > 0);
+        assert!(honest.counters.intern_hits > 0);
+        assert!(honest.counters.dag_incremental_updates > 0);
         let inflated = run_workload(&w, 1, 10.0).unwrap();
         let inflated_total = inflated
             .phases

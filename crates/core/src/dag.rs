@@ -152,6 +152,13 @@ pub fn dataflow_edges(module: &Module) -> Vec<(usize, usize)> {
     edges
 }
 
+/// Invocation-level 1-gram atoms of a single statement, in visit order.
+pub fn stmt_unigrams(stmt: &Stmt) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_unigrams(stmt, &mut out);
+    out
+}
+
 /// Collects invocation-level 1-gram atoms: every call, subscript, and
 /// comparison sub-expression, in canonical printed form.
 fn collect_unigrams(stmt: &Stmt, out: &mut Vec<String>) {

@@ -46,6 +46,7 @@ pub mod entropy;
 pub mod error;
 pub mod explain;
 pub mod intent;
+pub mod ir;
 pub mod kmeans;
 pub mod leakage;
 pub mod lemma;

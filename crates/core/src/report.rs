@@ -41,6 +41,17 @@ pub mod metric {
     pub const BUDGET_CELLS: &str = "budget.trips_cells";
     /// Candidate executions pruned by the wall-clock deadline.
     pub const BUDGET_DEADLINE: &str = "budget.trips_deadline";
+    /// Structurally-duplicate candidates skipped within beam steps before
+    /// spending an execution check on them.
+    pub const DEDUPED: &str = "search.candidates_deduped";
+    /// Distinct statements interned by the search's shared-statement IR
+    /// (recorded via `set_max`).
+    pub const UNIQUE_STMTS: &str = "interner.unique_stmts";
+    /// Intern requests answered by an already-shared statement.
+    pub const INTERN_HITS: &str = "interner.hits";
+    /// Candidate DAGs derived incrementally from their parent's instead of
+    /// rebuilt from scratch.
+    pub const DAG_INCREMENTAL: &str = "dag.incremental_updates";
 }
 
 /// Wall-clock breakdown of the search phases — the quantities behind the
@@ -90,6 +101,18 @@ pub struct Timings {
     pub budget_trips_cells: u64,
     /// Candidate executions pruned because the deadline passed.
     pub budget_trips_deadline: u64,
+    /// Structurally-identical candidates skipped within beam steps (by
+    /// interned-statement comparison) before any execution check ran.
+    pub candidates_deduped: u64,
+    /// Distinct statements the search's interner ever materialized — the
+    /// whole candidate space is spanned by this many shared nodes.
+    pub unique_stmts: u64,
+    /// Intern requests resolved to an existing shared statement (includes
+    /// atom-memo hits that also skipped parsing).
+    pub intern_hits: u64,
+    /// Candidate DAGs derived incrementally from their parent's DAG
+    /// instead of rebuilt from the full statement list.
+    pub dag_incremental_updates: u64,
 }
 
 impl Timings {
@@ -122,6 +145,13 @@ impl Timings {
         self.budget_trips_fuel += other.budget_trips_fuel;
         self.budget_trips_cells += other.budget_trips_cells;
         self.budget_trips_deadline += other.budget_trips_deadline;
+        self.candidates_deduped += other.candidates_deduped;
+        // Like the cache peak: each run has its own interner, so summing
+        // distinct-statement counts across runs would double-count shared
+        // vocabulary; report the widest population seen instead.
+        self.unique_stmts = self.unique_stmts.max(other.unique_stmts);
+        self.intern_hits += other.intern_hits;
+        self.dag_incremental_updates += other.dag_incremental_updates;
     }
 
     /// Total candidate executions pruned by any budget axis.
@@ -150,6 +180,10 @@ impl Timings {
             budget_trips_fuel: reg.counter_value(metric::BUDGET_FUEL),
             budget_trips_cells: reg.counter_value(metric::BUDGET_CELLS),
             budget_trips_deadline: reg.counter_value(metric::BUDGET_DEADLINE),
+            candidates_deduped: reg.counter_value(metric::DEDUPED),
+            unique_stmts: reg.counter_value(metric::UNIQUE_STMTS),
+            intern_hits: reg.counter_value(metric::INTERN_HITS),
+            dag_incremental_updates: reg.counter_value(metric::DAG_INCREMENTAL),
         }
     }
 
@@ -233,6 +267,10 @@ mod tests {
             budget_trips_fuel: 1,
             budget_trips_cells: 3,
             budget_trips_deadline: 5,
+            candidates_deduped: 4,
+            unique_stmts: 11,
+            intern_hits: 30,
+            dag_incremental_updates: 20,
         };
         a.accumulate(&a.clone());
         assert_eq!(a.get_steps_ms, 2.0);
@@ -249,6 +287,11 @@ mod tests {
         assert_eq!(a.budget_trips_cells, 6);
         assert_eq!(a.budget_trips_deadline, 10);
         assert_eq!(a.budget_trips_total(), 18);
+        assert_eq!(a.candidates_deduped, 8);
+        // Per-interner population takes the max, not the sum.
+        assert_eq!(a.unique_stmts, 11);
+        assert_eq!(a.intern_hits, 60);
+        assert_eq!(a.dag_incremental_updates, 40);
     }
 
     #[test]
@@ -307,6 +350,10 @@ mod tests {
         reg.counter(metric::BUDGET_FUEL).add(3);
         reg.counter(metric::BUDGET_CELLS).add(4);
         reg.counter(metric::BUDGET_DEADLINE).add(5);
+        reg.counter(metric::DEDUPED).add(6);
+        reg.counter(metric::UNIQUE_STMTS).set_max(9);
+        reg.counter(metric::INTERN_HITS).add(21);
+        reg.counter(metric::DAG_INCREMENTAL).add(17);
         let t = Timings::from_registry(&reg);
         assert!((t.get_steps_ms - 3.0).abs() < 1e-9);
         assert!((t.get_top_k_ms - 0.5).abs() < 1e-9);
@@ -324,6 +371,10 @@ mod tests {
         assert_eq!(t.budget_trips_fuel, 3);
         assert_eq!(t.budget_trips_cells, 4);
         assert_eq!(t.budget_trips_deadline, 5);
+        assert_eq!(t.candidates_deduped, 6);
+        assert_eq!(t.unique_stmts, 9);
+        assert_eq!(t.intern_hits, 21);
+        assert_eq!(t.dag_incremental_updates, 17);
         // An empty registry projects the zero breakdown.
         assert_eq!(Timings::from_registry(&lucid_obs::Registry::new()), Timings::default());
     }

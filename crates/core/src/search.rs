@@ -20,6 +20,7 @@
 use crate::config::{Objective, SearchConfig};
 use crate::dag::ScriptDag;
 use crate::entropy;
+use crate::ir::{Program, StmtInterner};
 use crate::kmeans::kmeans;
 use crate::report::{metric, Timings};
 use crate::transform::{enumerate_transformations_counted, TransformKind, Transformation};
@@ -34,15 +35,19 @@ use lucid_obs::Registry;
 use lucid_pyast::Module;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One in-progress transformation sequence: the paper's beam entry.
+/// Under the interned IR both fields of any size are shared (`Program` is
+/// a list of `Arc`'d statements, the DAG sits behind its own `Arc`), so
+/// cloning a candidate — and therefore a whole beam — is pointer bumps.
 #[derive(Debug, Clone)]
 pub struct Candidate {
-    /// Current script.
-    pub module: Module,
-    /// Its DAG (kept in sync with `module`).
-    pub dag: ScriptDag,
+    /// Current script, as shared interned statements.
+    pub program: Program,
+    /// Its DAG (kept in sync with `program`).
+    pub dag: Arc<ScriptDag>,
     /// Its relative-entropy score.
     pub re: f64,
     /// Monotonicity cursor: the smallest editable line.
@@ -52,11 +57,17 @@ pub struct Candidate {
 }
 
 impl Candidate {
-    fn from_module(module: Module, corpus: &CorpusModel, objective: Objective) -> Candidate {
-        let dag = crate::dag::build_dag(&module);
+    fn from_module(
+        module: &Module,
+        interner: &StmtInterner,
+        corpus: &CorpusModel,
+        objective: Objective,
+    ) -> Candidate {
+        let program = Program::from_module(module, interner);
+        let dag = Arc::new(program.full_dag());
         let re = score_dag(&dag, corpus, objective);
         Candidate {
-            module,
+            program,
             dag,
             re,
             cursor: 0,
@@ -105,10 +116,14 @@ impl<'a> ExecEnv<'a> {
     }
 
     /// Full run (for output extraction), through the cache when enabled.
-    fn run(&self, module: &Module) -> Result<ExecOutcome, InterpError> {
+    /// Statement references carry their precomputed structural hashes, so
+    /// neither the prefix-cache keys nor fault-plan decisions ever hash a
+    /// statement again.
+    fn run(&self, program: &Program) -> Result<ExecOutcome, InterpError> {
+        let refs = program.stmt_refs();
         match &self.cache {
-            Some(cache) => self.interp.run_with_cache(module, cache),
-            None => self.interp.run(module),
+            Some(cache) => self.interp.run_shared_with_cache(&refs, cache),
+            None => self.interp.run_shared(&refs),
         }
     }
 
@@ -118,8 +133,8 @@ impl<'a> ExecEnv<'a> {
     /// interpreter itself is immutable during candidate execution and the
     /// prefix cache's lock is poison-tolerant, which is what makes
     /// `AssertUnwindSafe` sound here.
-    fn run_isolated(&self, module: &Module) -> Result<ExecOutcome, ExecFailure> {
-        match catch_unwind(AssertUnwindSafe(|| self.run(module))) {
+    fn run_isolated(&self, program: &Program) -> Result<ExecOutcome, ExecFailure> {
+        match catch_unwind(AssertUnwindSafe(|| self.run(program))) {
             Ok(Ok(outcome)) => Ok(outcome),
             Ok(Err(e)) => Err(ExecFailure::Error(e)),
             Err(payload) => Err(ExecFailure::Panic(panic_payload(payload))),
@@ -236,6 +251,7 @@ struct StepStats {
     pruned_monotonicity: usize,
     scored: usize,
     admitted: u64,
+    candidates_deduped: u64,
     failures: FailureTally,
 }
 
@@ -300,8 +316,12 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
     }
 
     let exec = ExecEnv::new(ctx.interp, ctx.config);
+    // One interner per search: every candidate the search ever holds is a
+    // list of pointers into this store, and each per-statement fact (hash,
+    // atom key, def/use sets) is computed once per unique statement.
+    let interner = StmtInterner::new();
     let input_candidate =
-        Candidate::from_module(input.clone(), ctx.corpus, ctx.config.objective);
+        Candidate::from_module(input, &interner, ctx.corpus, ctx.config.objective);
     let mut beams: Vec<Candidate> = vec![input_candidate.clone()];
     let mut explored = 0usize;
     // Every candidate that ever made a beam. The intent constraint is
@@ -315,12 +335,14 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
         let mut stats = StepStats::default();
         let beams_in = beams.len();
         let cache_before = exec.cache_counters();
-        let mut next: Vec<Candidate> = beams.clone(); // Algorithm 2, line 2: C' = C
+        // Algorithm 2, line 2: C' = C. A pointer-bump copy under the
+        // interned IR — no statement or DAG is duplicated.
+        let mut next: Vec<Candidate> = beams.clone();
         // GetSteps for every beam of this step at once: ranking depends
         // only on the beams (never on `next`), so scoring all expansions
         // up front is equivalent to the per-beam interleaving — and lets
         // the work fan out across every (beam, transformation) pair.
-        let ranked_per_beam = get_steps_all(&beams, ctx, &mut explored, &mut stats);
+        let ranked_per_beam = get_steps_all(&beams, ctx, &interner, &mut explored, &mut stats);
         for (cand, ranked) in beams.iter().zip(ranked_per_beam) {
             // GetTopKBeams / GetDiverseTopKBeams.
             let t1 = Instant::now();
@@ -346,6 +368,7 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
         h_get_steps_cpu.record_ns(ms_to_ns(stats.get_steps_cpu_ms));
         h_get_top_k.record_ns(ms_to_ns(stats.get_top_k_ms));
         h_check.record_ns(ms_to_ns(stats.check_execute_ms));
+        reg.counter(metric::DEDUPED).add(stats.candidates_deduped);
         stats.failures.record(&reg);
         if let Some(sink) = trace {
             let cache_after = exec.cache_counters();
@@ -363,13 +386,14 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
                 budget_trips_cells: stats.failures.budget_trips_cells,
                 budget_trips_deadline: stats.failures.budget_trips_deadline,
                 panic_payloads: std::mem::take(&mut stats.failures.panic_payloads),
+                candidates_deduped: stats.candidates_deduped,
                 admitted: stats.admitted,
                 kept: beams
                     .iter()
                     .map(|c| KeptBeam {
                         re: c.re,
                         cursor: c.cursor,
-                        lines: c.module.stmts.len(),
+                        lines: c.program.len(),
                         applied: c.applied.len(),
                     })
                     .collect(),
@@ -424,14 +448,14 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
         checked += 1;
         if !ctx.config.early_check {
             let t3 = Instant::now();
-            let res = exec.run_isolated(&cand.module);
+            let res = exec.run_isolated(&cand.program);
             verify_check_ms += t3.elapsed().as_secs_f64() * 1e3;
             if let Err(failure) = res {
                 verify_failures.note(failure);
                 continue;
             }
         }
-        let outcome = match exec.run_isolated(&cand.module) {
+        let outcome = match exec.run_isolated(&cand.program) {
             Ok(outcome) => outcome,
             Err(failure) => {
                 verify_failures.note(failure);
@@ -495,6 +519,10 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
     reg.counter(metric::CACHE_MISSES).add(misses);
     reg.counter(metric::CACHE_EVICTIONS).add(evictions);
     reg.counter(metric::CACHE_PEAK).set_max(exec.cache_peak());
+    reg.counter(metric::UNIQUE_STMTS).set_max(interner.unique_stmts());
+    reg.counter(metric::INTERN_HITS).add(interner.intern_hits());
+    reg.counter(metric::DAG_INCREMENTAL)
+        .add(interner.dag_incremental_updates());
     h_total.record_ns(ms_to_ns(t_total.elapsed().as_secs_f64() * 1e3));
     let timings = Timings::from_registry(&reg);
     // Profiling is measurement-only: the report is assembled after every
@@ -530,6 +558,10 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
             budget_trips_fuel: timings.budget_trips_fuel,
             budget_trips_cells: timings.budget_trips_cells,
             budget_trips_deadline: timings.budget_trips_deadline,
+            candidates_deduped: timings.candidates_deduped,
+            unique_stmts: timings.unique_stmts,
+            intern_hits: timings.intern_hits,
+            dag_incremental_updates: timings.dag_incremental_updates,
             stmt_spans: stmt_span_aggregates(ctx.interp),
             spans_dropped: ctx.interp.obs.as_ref().map_or(0, |o| o.dropped()),
         });
@@ -604,6 +636,7 @@ struct ScoredStep {
 fn get_steps_all(
     beams: &[Candidate],
     ctx: &SearchContext,
+    interner: &StmtInterner,
     explored: &mut usize,
     stats: &mut StepStats,
 ) -> Vec<Vec<ScoredStep>> {
@@ -633,7 +666,7 @@ fn get_steps_all(
                 // The same per-candidate isolation as the parallel path:
                 // a panicking scorer drops its slot instead of aborting.
                 let step = catch_unwind(AssertUnwindSafe(|| {
-                    score_step(&beams[*beam_idx], t, ctx)
+                    score_step(&beams[*beam_idx], t, ctx, interner)
                 }));
                 cpu_ms += t_job.elapsed().as_secs_f64() * 1e3;
                 match step {
@@ -647,7 +680,7 @@ fn get_steps_all(
             .collect();
         (slots, cpu_ms, panics)
     } else {
-        score_steps_parallel(beams, &jobs, ctx, workers)
+        score_steps_parallel(beams, &jobs, ctx, interner, workers)
     };
     for payload in panics {
         stats.failures.note(ExecFailure::Panic(payload));
@@ -673,10 +706,18 @@ fn get_steps_all(
 }
 
 /// Applies and scores one enumerated transformation (`None` if it fails
-/// to apply). Pure: reads only the candidate and the corpus model.
-fn score_step(cand: &Candidate, t: &Transformation, ctx: &SearchContext) -> Option<ScoredStep> {
-    let module = t.apply(&cand.module).ok()?;
-    let dag = crate::dag::build_dag(&module);
+/// to apply). The apply is an O(edit) splice of shared statements, and
+/// the DAG is derived incrementally from the parent's — only edges at or
+/// after the edited line are recomputed. Reads only the candidate, the
+/// corpus model, and the (thread-safe) interner, so it fans out freely.
+fn score_step(
+    cand: &Candidate,
+    t: &Transformation,
+    ctx: &SearchContext,
+    interner: &StmtInterner,
+) -> Option<ScoredStep> {
+    let program = t.apply_ir(&cand.program, interner).ok()?;
+    let dag = Arc::new(program.update_dag(&cand.dag, t.line, interner));
     let re = score_dag(&dag, ctx.corpus, ctx.config.objective);
     let mut applied = cand.applied.clone();
     let cursor = t.next_cursor(cand.cursor);
@@ -684,7 +725,7 @@ fn score_step(cand: &Candidate, t: &Transformation, ctx: &SearchContext) -> Opti
     Some(ScoredStep {
         transformation: t.clone(),
         candidate: Candidate {
-            module,
+            program,
             dag,
             re,
             cursor,
@@ -704,6 +745,7 @@ fn score_steps_parallel(
     beams: &[Candidate],
     jobs: &[(usize, Transformation)],
     ctx: &SearchContext,
+    interner: &StmtInterner,
     workers: usize,
 ) -> (Vec<Option<ScoredStep>>, f64, Vec<String>) {
     let counter = AtomicUsize::new(0);
@@ -720,7 +762,7 @@ fn score_steps_parallel(
                 let (beam_idx, t) = &jobs[i];
                 let t_job = Instant::now();
                 let step = catch_unwind(AssertUnwindSafe(|| {
-                    score_step(&beams[*beam_idx], t, ctx)
+                    score_step(&beams[*beam_idx], t, ctx, interner)
                 }))
                 .map_err(panic_payload);
                 let cpu_ms = t_job.elapsed().as_secs_f64() * 1e3;
@@ -781,9 +823,20 @@ fn get_top_k(
             // Ranked ascending: nothing later can qualify either.
             break;
         }
+        // Different transformations can produce structurally-identical
+        // scripts (e.g. deleting either of two equal lines). Interned
+        // statements make spotting them a pointer walk — skip before
+        // burning an execution check on a script already in `next`.
+        if next
+            .iter()
+            .any(|c| c.program.same_stmts(&step.candidate.program))
+        {
+            stats.candidates_deduped += 1;
+            continue;
+        }
         if ctx.config.early_check {
             let t0 = Instant::now();
-            let res = exec.run_isolated(&step.candidate.module);
+            let res = exec.run_isolated(&step.candidate.program);
             stats.check_execute_ms += t0.elapsed().as_secs_f64() * 1e3;
             if let Err(failure) = res {
                 stats.failures.note(failure);
@@ -944,7 +997,7 @@ y = df['Survived']
         );
         assert!(!outcome.best.applied.is_empty());
         assert!(outcome.intent.satisfied);
-        let out_src = print_module(&outcome.best.module);
+        let out_src = print_module(&outcome.best.program.to_module());
         // The common mean-imputation step should appear.
         assert!(
             out_src.contains("fillna(df.mean())") || out_src.contains("get_dummies"),
@@ -966,7 +1019,7 @@ y = df['Survived']
         let base = interp.run(&input).unwrap().output_frame().unwrap().clone();
         let ctx = context(&corpus, &interp, &config, &base);
         let outcome = standardize_search(&ctx, &input);
-        assert!(interp.check_executes(&outcome.best.module));
+        assert!(interp.check_executes(&outcome.best.program.to_module()));
     }
 
     #[test]
@@ -1053,7 +1106,7 @@ y = df['Survived']
         let base = interp.run(&input).unwrap().output_frame().unwrap().clone();
         let ctx = context(&corpus, &interp, &config, &base);
         let outcome = standardize_search(&ctx, &input);
-        assert!(interp.check_executes(&outcome.best.module));
+        assert!(interp.check_executes(&outcome.best.program.to_module()));
     }
 
     #[test]
@@ -1081,8 +1134,8 @@ y = df['Survived']
                 "best script diverged at threads={threads} cache={prefix_cache}"
             );
             assert_eq!(
-                print_module(&outcome.best.module),
-                print_module(&reference.best.module),
+                print_module(&outcome.best.program.to_module()),
+                print_module(&reference.best.program.to_module()),
                 "printed output diverged at threads={threads} cache={prefix_cache}"
             );
             assert!(
@@ -1189,8 +1242,8 @@ y = df['Survived']
         };
         let (outcome, _) = run_search(NONSTANDARD, &traced);
         assert_eq!(
-            print_module(&outcome.best.module),
-            print_module(&reference.best.module)
+            print_module(&outcome.best.program.to_module()),
+            print_module(&reference.best.program.to_module())
         );
         assert_eq!(outcome.explored, reference.explored);
         assert_eq!(outcome.timings.search_steps, reference.timings.search_steps);
@@ -1255,6 +1308,43 @@ y = df['Survived']
         assert_eq!(outcome.timings.budget_trips_cells, 0);
         assert_eq!(outcome.timings.budget_trips_deadline, 0);
         assert_eq!(outcome.timings.candidates_panicked, 0);
+    }
+
+    #[test]
+    fn beam_stepping_shares_statements_instead_of_copying() {
+        // The interned-IR pin: hundreds of scored candidates must be
+        // spanned by a handful of shared statements (input lines + corpus
+        // atoms), every scored candidate must derive its DAG incrementally,
+        // and the dedup counter must surface in `Timings`.
+        let config = SearchConfig {
+            seq_len: 5,
+            intent: IntentMeasure::jaccard(0.3),
+            ..Default::default()
+        };
+        let (outcome, _) = run_search(NONSTANDARD, &config);
+        let t = &outcome.timings;
+        assert!(t.unique_stmts > 0);
+        assert!(
+            (t.unique_stmts as usize) < outcome.explored,
+            "candidate expansion must share statements, not copy them \
+             (unique={} explored={})",
+            t.unique_stmts,
+            outcome.explored
+        );
+        assert!(
+            t.intern_hits > 0,
+            "beam expansion should re-intern existing statements"
+        );
+        assert!(
+            t.dag_incremental_updates as usize >= outcome.explored,
+            "every scored candidate derives its DAG incrementally \
+             (updates={} explored={})",
+            t.dag_incremental_updates,
+            outcome.explored
+        );
+        // The dedup counter is wired through (the exact count depends on
+        // the corpus; zero is legal, the field must round-trip).
+        let _ = t.candidates_deduped;
     }
 
     #[test]

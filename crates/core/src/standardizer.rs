@@ -152,7 +152,7 @@ impl Standardizer {
 
         Ok(StandardizeReport {
             input_source: print_module(&input),
-            output_source: print_module(&best.module),
+            output_source: print_module(&best.program.to_module()),
             re_before,
             re_after: best.re,
             improvement_pct: entropy::improvement_pct(re_before, best.re),

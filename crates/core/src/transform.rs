@@ -3,6 +3,7 @@
 
 use crate::dag::ScriptDag;
 use crate::error::{CoreError, Result};
+use crate::ir::{Program, StmtInterner};
 use crate::vocab::CorpusModel;
 use lucid_pyast::{parse_module, Module, Span};
 
@@ -79,6 +80,40 @@ impl Transformation {
         let mut out = Module::new(stmts);
         out.renumber();
         Ok(out)
+    }
+
+    /// Applies the transformation to an interned [`Program`] as an
+    /// O(edit) splice of shared-statement pointers — the hot-path twin of
+    /// [`Transformation::apply`], which stays as the slow-path oracle.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Transformation::apply`]: out-of-range line,
+    /// or an `Add` atom that fails to parse.
+    pub fn apply_ir(&self, program: &Program, interner: &StmtInterner) -> Result<Program> {
+        match &self.kind {
+            TransformKind::Delete => {
+                if self.line >= program.len() {
+                    return Err(CoreError::BadConfig(format!(
+                        "delete at line {} of a {}-statement script",
+                        self.line + 1,
+                        program.len()
+                    )));
+                }
+                Ok(program.with_removed(self.line))
+            }
+            TransformKind::Add { atom } => {
+                if self.line > program.len() {
+                    return Err(CoreError::BadConfig(format!(
+                        "insert at line {} of a {}-statement script",
+                        self.line + 1,
+                        program.len()
+                    )));
+                }
+                let info = interner.intern_atom(atom)?;
+                Ok(program.with_inserted(self.line, info))
+            }
+        }
     }
 
     /// The smallest line index still editable after this transformation,

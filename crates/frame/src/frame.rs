@@ -5,6 +5,7 @@ use crate::error::{FrameError, Result};
 use crate::mask::BoolMask;
 use crate::value::{Value, ValueKey};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Strategy for statistics-based imputation (`df.fillna(df.mean())` etc.).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,10 +19,16 @@ pub enum StatFill {
 }
 
 /// An in-memory table with named, typed, nullable columns.
+///
+/// Column payloads live behind [`Arc`], so cloning a frame — and the
+/// projections that keep a column unchanged (`select`, `drop_columns`,
+/// `rename`, pass-throughs) — share storage instead of copying cell
+/// data. Mutation goes through copy-on-write ([`Arc::make_mut`]), so
+/// sharing is never observable.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct DataFrame {
     names: Vec<String>,
-    columns: Vec<Column>,
+    columns: Vec<Arc<Column>>,
     index: HashMap<String, usize>,
 }
 
@@ -46,7 +53,7 @@ impl DataFrame {
 
     /// Number of rows.
     pub fn n_rows(&self) -> usize {
-        self.columns.first().map_or(0, Column::len)
+        self.columns.first().map_or(0, |c| c.len())
     }
 
     /// Number of columns.
@@ -73,6 +80,14 @@ impl DataFrame {
     pub fn column(&self, name: &str) -> Result<&Column> {
         self.index
             .get(name)
+            .map(|&i| &*self.columns[i])
+            .ok_or_else(|| FrameError::UnknownColumn(name.to_string()))
+    }
+
+    /// The shared handle for a column by name (for zero-copy reuse).
+    fn column_arc(&self, name: &str) -> Result<&Arc<Column>> {
+        self.index
+            .get(name)
             .map(|&i| &self.columns[i])
             .ok_or_else(|| FrameError::UnknownColumn(name.to_string()))
     }
@@ -82,7 +97,7 @@ impl DataFrame {
         self.names
             .iter()
             .map(String::as_str)
-            .zip(self.columns.iter())
+            .zip(self.columns.iter().map(Arc::as_ref))
     }
 
     /// Appends a new column.
@@ -91,6 +106,12 @@ impl DataFrame {
     ///
     /// Fails if the name exists or (for non-empty frames) the length differs.
     pub fn add_column(&mut self, name: impl Into<String>, col: Column) -> Result<()> {
+        self.add_column_shared(name, Arc::new(col))
+    }
+
+    /// [`add_column`](DataFrame::add_column) taking an already-shared
+    /// column, so projections reuse storage instead of copying it.
+    fn add_column_shared(&mut self, name: impl Into<String>, col: Arc<Column>) -> Result<()> {
         let name = name.into();
         if self.index.contains_key(&name) {
             return Err(FrameError::DuplicateColumn(name));
@@ -117,7 +138,7 @@ impl DataFrame {
                     actual: col.len(),
                 });
             }
-            self.columns[i] = col;
+            self.columns[i] = Arc::new(col);
             Ok(())
         } else {
             self.add_column(name, col)
@@ -128,7 +149,7 @@ impl DataFrame {
     pub fn select(&self, names: &[impl AsRef<str>]) -> Result<DataFrame> {
         let mut df = DataFrame::new();
         for n in names {
-            df.add_column(n.as_ref(), self.column(n.as_ref())?.clone())?;
+            df.add_column_shared(n.as_ref(), Arc::clone(self.column_arc(n.as_ref())?))?;
         }
         Ok(df)
     }
@@ -162,9 +183,9 @@ impl DataFrame {
             .map(|(a, b)| (a.as_ref(), b.as_ref()))
             .collect();
         let mut df = DataFrame::new();
-        for (name, col) in self.iter() {
-            let new = table.get(name).copied().unwrap_or(name);
-            df.add_column(new, col.clone())?;
+        for (name, col) in self.names.iter().zip(&self.columns) {
+            let new = table.get(name.as_str()).copied().unwrap_or(name);
+            df.add_column_shared(new, Arc::clone(col))?;
         }
         Ok(df)
     }
@@ -299,9 +320,12 @@ impl DataFrame {
     /// (pandas `df.fillna(0)`; incompatible columns are left untouched).
     pub fn fill_na_value(&self, fill: &Value) -> DataFrame {
         let mut df = DataFrame::new();
-        for (name, col) in self.iter() {
-            let filled = col.fill_na(fill).unwrap_or_else(|_| col.clone());
-            df.add_column(name, filled).expect("fresh frame");
+        for (name, col) in self.names.iter().zip(&self.columns) {
+            match col.fill_na(fill) {
+                Ok(filled) => df.add_column(name.clone(), filled),
+                Err(_) => df.add_column_shared(name.clone(), Arc::clone(col)),
+            }
+            .expect("fresh frame");
         }
         df
     }
@@ -312,17 +336,17 @@ impl DataFrame {
     /// mirroring pandas' alignment semantics.
     pub fn fill_na_stat(&self, stat: StatFill) -> DataFrame {
         let mut df = DataFrame::new();
-        for (name, col) in self.iter() {
+        for (name, col) in self.names.iter().zip(&self.columns) {
             let fill = match stat {
                 StatFill::Mean => col.mean().ok().map(Value::Float),
                 StatFill::Median => col.median().ok().map(Value::Float),
                 StatFill::Mode => col.mode().ok(),
             };
-            let filled = match fill {
-                Some(f) => col.fill_na(&f).unwrap_or_else(|_| col.clone()),
-                None => col.clone(),
-            };
-            df.add_column(name, filled).expect("fresh frame");
+            match fill.and_then(|f| col.fill_na(&f).ok()) {
+                Some(filled) => df.add_column(name.clone(), filled),
+                None => df.add_column_shared(name.clone(), Arc::clone(col)),
+            }
+            .expect("fresh frame");
         }
         df
     }
@@ -360,9 +384,10 @@ impl DataFrame {
         };
         let target_set: HashSet<&str> = targets.iter().map(String::as_str).collect();
         let mut df = DataFrame::new();
-        for (name, col) in self.iter() {
+        for (name, col) in self.names.iter().zip(&self.columns) {
+            let name = name.as_str();
             if !target_set.contains(name) {
-                df.add_column(name, col.clone())?;
+                df.add_column_shared(name, Arc::clone(col))?;
                 continue;
             }
             let cats = col.unique();
@@ -389,7 +414,9 @@ impl DataFrame {
         }
         let mut df = self.clone();
         for (i, col) in df.columns.iter_mut().enumerate() {
-            col.append(&other.columns[i])?;
+            // Copy-on-write: detach from any frame still sharing this
+            // column before appending in place.
+            Arc::make_mut(col).append(&other.columns[i])?;
         }
         Ok(df)
     }
@@ -404,7 +431,7 @@ impl DataFrame {
 
     /// Total missing cells across the frame.
     pub fn total_null_count(&self) -> usize {
-        self.columns.iter().map(Column::null_count).sum()
+        self.columns.iter().map(|c| c.null_count()).sum()
     }
 
     /// Masked scalar assignment: `df.loc[mask, col] = value`.
@@ -593,5 +620,29 @@ mod tests {
     #[test]
     fn numeric_column_names_excludes_strings() {
         assert_eq!(sample_df().numeric_column_names(), vec!["age", "fare"]);
+    }
+
+    #[test]
+    fn projections_share_column_storage_and_mutation_detaches() {
+        let df = sample_df();
+        // Clones and unchanged projections are pointer bumps per column.
+        let cloned = df.clone();
+        assert!(Arc::ptr_eq(&df.columns[0], &cloned.columns[0]));
+        let sel = df.select(&["age"]).unwrap();
+        assert!(Arc::ptr_eq(&df.columns[0], &sel.columns[0]));
+        let renamed = df.rename(&[("age", "years")]).unwrap();
+        assert!(Arc::ptr_eq(&df.columns[0], &renamed.columns[0]));
+        // get_dummies shares the non-encoded columns it passes through.
+        let enc = df.get_dummies(None, false).unwrap();
+        assert!(Arc::ptr_eq(&df.columns[0], &enc.columns[0]));
+        // Incompatible fill leaves the string column shared.
+        let zero = df.fill_na_value(&Value::Int(0));
+        assert!(Arc::ptr_eq(&df.columns[1], &zero.columns[1]));
+        assert!(!Arc::ptr_eq(&df.columns[0], &zero.columns[0]));
+        // Concat writes, so it detaches; the source stays untouched.
+        let cat = df.concat(&df).unwrap();
+        assert!(!Arc::ptr_eq(&df.columns[0], &cat.columns[0]));
+        assert_eq!(cat.n_rows(), 2 * df.n_rows());
+        assert_eq!(df.n_rows(), 4);
     }
 }

@@ -171,10 +171,26 @@ impl PrefixCache {
     }
 }
 
-/// Chain-hashes the statements of a script: entry `i` keys the prefix
-/// `stmts[..=i]`. Spans are normalized away so identical code hashes
-/// identically wherever it sits in the source.
-pub(crate) fn prefix_keys(stmts: &[Stmt], seed: u64, sample_rows: Option<usize>) -> Vec<u64> {
+/// Span-normalized structural hash of a single statement: identical code
+/// hashes identically wherever it sits in the source. This one value is
+/// both the [`crate::budget::FaultPlan`] decision key (keeping injected
+/// fault counts independent of prefix-cache state) and the per-statement
+/// ingredient of the prefix-cache chain keys, so the search's interned IR
+/// can compute it once per unique statement and reuse it everywhere.
+pub fn stmt_structural_hash(stmt: &Stmt) -> u64 {
+    let mut h = DefaultHasher::new();
+    stmt.clone().with_span(Span::synthetic()).hash(&mut h);
+    h.finish()
+}
+
+/// Chain-hashes a script from per-statement structural hashes: entry `i`
+/// keys the prefix `stmts[..=i]`. The hashes must come from
+/// [`stmt_structural_hash`], so spans never influence the chain.
+pub(crate) fn prefix_keys_from_hashes(
+    seed: u64,
+    sample_rows: Option<usize>,
+    hashes: impl Iterator<Item = u64>,
+) -> Vec<u64> {
     let mut chain = {
         // Fold the interpreter's input configuration into the root of the
         // chain: a cache probed under a different seed/sampling setup
@@ -185,12 +201,11 @@ pub(crate) fn prefix_keys(stmts: &[Stmt], seed: u64, sample_rows: Option<usize>)
         sample_rows.hash(&mut h);
         h.finish()
     };
-    stmts
-        .iter()
-        .map(|stmt| {
+    hashes
+        .map(|stmt_hash| {
             let mut h = DefaultHasher::new();
             chain.hash(&mut h);
-            stmt.clone().with_span(Span::synthetic()).hash(&mut h);
+            stmt_hash.hash(&mut h);
             chain = h.finish();
             chain
         })
@@ -249,6 +264,10 @@ mod tests {
         cache.put(1, snapshot(1));
         assert!(cache.is_empty());
         assert!(cache.get(1).is_none());
+    }
+
+    fn prefix_keys(stmts: &[Stmt], seed: u64, sample_rows: Option<usize>) -> Vec<u64> {
+        prefix_keys_from_hashes(seed, sample_rows, stmts.iter().map(stmt_structural_hash))
     }
 
     #[test]

@@ -54,6 +54,34 @@ impl Default for Interpreter {
     }
 }
 
+/// A statement to execute plus its precomputed span-normalized structural
+/// hash ([`crate::cache::stmt_structural_hash`]) — the unit of the
+/// shared-statement execution path. The search's interned IR computes each
+/// hash once per unique statement, ever; the `Module` entry points compute
+/// them on the fly.
+#[derive(Debug, Clone, Copy)]
+pub struct StmtRef<'a> {
+    /// The statement. Spans never influence execution.
+    pub stmt: &'a Stmt,
+    /// Structural hash feeding prefix-cache chain keys and the fault
+    /// plan's decision key.
+    pub hash: u64,
+}
+
+impl<'a> StmtRef<'a> {
+    /// Borrows a statement, hashing it on the spot.
+    pub fn of(stmt: &'a Stmt) -> StmtRef<'a> {
+        StmtRef {
+            stmt,
+            hash: crate::cache::stmt_structural_hash(stmt),
+        }
+    }
+}
+
+fn module_refs(module: &Module) -> Vec<StmtRef<'_>> {
+    module.stmts.iter().map(StmtRef::of).collect()
+}
+
 /// The result of a successful run.
 #[derive(Debug, Clone)]
 pub struct ExecOutcome {
@@ -177,7 +205,7 @@ impl Interpreter {
     /// consumed — for successful *and* failed runs.
     pub fn run_with_usage(&self, module: &Module) -> (Result<ExecOutcome>, BudgetUsage) {
         let mut state = RunState::fresh();
-        let res = self.run_inner(module, None, false, &mut state);
+        let res = self.run_inner(&module_refs(module), None, false, &mut state);
         Self::finish(res, state)
     }
 
@@ -186,7 +214,35 @@ impl Interpreter {
     /// own input script, which is not a search candidate.
     pub fn run_trusted(&self, module: &Module) -> Result<ExecOutcome> {
         let mut state = RunState::fresh();
-        let res = self.run_inner(module, None, true, &mut state);
+        let res = self.run_inner(&module_refs(module), None, true, &mut state);
+        Self::finish(res, state).0
+    }
+
+    /// [`Interpreter::run`] over shared statements with precomputed
+    /// structural hashes — the interned-IR hot path: no statement is
+    /// cloned or re-hashed to derive cache keys or fault decisions.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`Interpreter::run`] reports.
+    pub fn run_shared(&self, stmts: &[StmtRef<'_>]) -> Result<ExecOutcome> {
+        let mut state = RunState::fresh();
+        let res = self.run_inner(stmts, None, false, &mut state);
+        Self::finish(res, state).0
+    }
+
+    /// [`Interpreter::run_shared`] through the prefix cache.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`Interpreter::run`] reports.
+    pub fn run_shared_with_cache(
+        &self,
+        stmts: &[StmtRef<'_>],
+        cache: &crate::cache::PrefixCache,
+    ) -> Result<ExecOutcome> {
+        let mut state = RunState::fresh();
+        let res = self.run_inner(stmts, Some(cache), false, &mut state);
         Self::finish(res, state).0
     }
 
@@ -235,7 +291,7 @@ impl Interpreter {
         cache: &crate::cache::PrefixCache,
     ) -> (Result<ExecOutcome>, BudgetUsage) {
         let mut state = RunState::fresh();
-        let res = self.run_inner(module, Some(cache), false, &mut state);
+        let res = self.run_inner(&module_refs(module), Some(cache), false, &mut state);
         Self::finish(res, state)
     }
 
@@ -244,13 +300,18 @@ impl Interpreter {
     /// fault injection (untrusted runs only), span recording.
     fn run_inner(
         &self,
-        module: &Module,
+        stmts: &[StmtRef<'_>],
         cache: Option<&crate::cache::PrefixCache>,
         trusted: bool,
         state: &mut RunState,
     ) -> Result<()> {
-        let keys = cache
-            .map(|_| crate::cache::prefix_keys(&module.stmts, self.seed, self.sample_rows));
+        let keys = cache.map(|_| {
+            crate::cache::prefix_keys_from_hashes(
+                self.seed,
+                self.sample_rows,
+                stmts.iter().map(|s| s.hash),
+            )
+        });
         if let (Some(cache), Some(keys)) = (cache, keys.as_ref()) {
             // Longest cached prefix wins; each probe is cheap (hash lookup).
             let resumed = keys
@@ -282,7 +343,7 @@ impl Interpreter {
         } else {
             self.fault_plan.as_deref()
         };
-        for (i, stmt) in module.stmts.iter().enumerate().skip(state.steps) {
+        for (i, sref) in stmts.iter().enumerate().skip(state.steps) {
             state.steps += 1;
             if state.steps > self.max_statements {
                 return Err(InterpError::BudgetExhausted);
@@ -294,10 +355,10 @@ impl Interpreter {
                 }
             }
             if let Some(plan) = faults {
-                plan.check(i, stmt_fault_hash(stmt))?;
+                plan.check(i, sref.hash)?;
             }
-            let _span = root.as_ref().map(|r| r.child(stmt_span_name(stmt)));
-            self.exec_stmt(stmt, state)?;
+            let _span = root.as_ref().map(|r| r.child(stmt_span_name(sref.stmt)));
+            self.exec_stmt(sref.stmt, state)?;
             if state.cells > self.budget.max_cells {
                 return Err(InterpError::Budget(BudgetKind::Cells));
             }
@@ -563,18 +624,6 @@ impl Interpreter {
             None => Err(InterpError::NameError(var.to_string())),
         }
     }
-}
-
-/// Span-normalized statement content hash — the [`FaultPlan`] decision key.
-/// Identical code faults identically wherever it sits in the source, which
-/// keeps injected-fault counts independent of prefix-cache state.
-fn stmt_fault_hash(stmt: &Stmt) -> u64 {
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    stmt.clone()
-        .with_span(lucid_pyast::Span::synthetic())
-        .hash(&mut h);
-    h.finish()
 }
 
 /// The span name a statement's execution records under.

@@ -43,7 +43,7 @@ pub use budget::{
     silence_injected_panics, Budget, BudgetKind, BudgetUsage, FaultClass, FaultPlan,
     InjectedPanic, UNLIMITED,
 };
-pub use cache::PrefixCache;
-pub use env::{ExecOutcome, Interpreter};
+pub use cache::{stmt_structural_hash, PrefixCache};
+pub use env::{ExecOutcome, Interpreter, StmtRef};
 pub use error::InterpError;
 pub use value::RtValue;

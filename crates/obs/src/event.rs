@@ -114,6 +114,9 @@ pub struct StepEvent {
     /// Captured panic payloads (capped; panics beyond the cap are still
     /// counted in `candidates_panicked`).
     pub panic_payloads: Vec<String>,
+    /// Structurally-identical candidates skipped this step before any
+    /// execution check ran (interned-statement dedup).
+    pub candidates_deduped: u64,
     /// Candidates admitted into the next beam set before dedup/truncate.
     pub admitted: u64,
     /// Beams kept after dedup + truncation, best (lowest RE) first.
@@ -226,6 +229,15 @@ pub struct SearchEndEvent {
     pub budget_trips_cells: u64,
     /// Total deadline trips over the whole search.
     pub budget_trips_deadline: u64,
+    /// Total structurally-identical candidates skipped before execution
+    /// checks (interned-statement dedup).
+    pub candidates_deduped: u64,
+    /// Distinct statements the search's interner materialized.
+    pub unique_stmts: u64,
+    /// Intern requests answered by an already-shared statement.
+    pub intern_hits: u64,
+    /// Candidate DAGs derived incrementally instead of rebuilt.
+    pub dag_incremental_updates: u64,
     /// Per-statement-kind interpreter spans (empty when the collector is
     /// disabled).
     pub stmt_spans: Vec<StmtSpanAgg>,
@@ -259,6 +271,7 @@ mod tests {
             budget_trips_cells: 0,
             budget_trips_deadline: 0,
             panic_payloads: vec!["boom".to_string()],
+            candidates_deduped: 2,
             admitted: 7,
             kept: vec![KeptBeam {
                 re: 1.25,
@@ -279,6 +292,7 @@ mod tests {
         assert!(json.contains("\"pruned_monotonicity\":2"));
         assert!(json.contains("\"candidates_panicked\":1"));
         assert!(json.contains("\"panic_payloads\":[\"boom\"]"));
+        assert!(json.contains("\"candidates_deduped\":2"));
         let parsed = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed.get("event").unwrap().as_str(), Some("step"));
         assert_eq!(parsed.get("v").unwrap().as_f64(), Some(1.0));

@@ -50,6 +50,9 @@ pub struct StepRow {
     pub candidates_panicked: u64,
     /// Budget trips this step, all axes (fuel + cells + deadline).
     pub budget_trips: u64,
+    /// Structurally-identical candidates skipped this step before any
+    /// execution check (interned-statement dedup).
+    pub candidates_deduped: u64,
     /// Whether the beams converged here.
     pub converged: bool,
 }
@@ -103,6 +106,15 @@ pub struct TraceSummary {
     pub budget_trips_deadline: u64,
     /// Panic payloads captured in step/verify records, in record order.
     pub panic_payloads: Vec<String>,
+    /// Duplicate candidates skipped over the whole search (from
+    /// `search_end`, falling back to step sums on a truncated trace).
+    pub candidates_deduped: u64,
+    /// Distinct statements the search's interner materialized.
+    pub unique_stmts: u64,
+    /// Intern requests answered by an already-shared statement.
+    pub intern_hits: u64,
+    /// Candidate DAGs derived incrementally instead of rebuilt.
+    pub dag_incremental_updates: u64,
     /// Per-statement interpreter aggregates (name, count, total ms).
     pub stmt_spans: Vec<(String, u64, f64)>,
     /// Records that parsed but carried an unrecognized `event`.
@@ -141,6 +153,7 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
     // the fallback when the trace is truncated before `search_end`.
     let mut sum_panicked = 0u64;
     let mut sum_trips = [0u64; 3];
+    let mut sum_deduped = 0u64;
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -218,6 +231,7 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
                     budget_trips: int(&record, "budget_trips_fuel")
                         + int(&record, "budget_trips_cells")
                         + int(&record, "budget_trips_deadline"),
+                    candidates_deduped: int(&record, "candidates_deduped"),
                     converged: record
                         .get("converged")
                         .and_then(Value::as_bool)
@@ -227,6 +241,7 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
                 sum_trips[0] += int(&record, "budget_trips_fuel");
                 sum_trips[1] += int(&record, "budget_trips_cells");
                 sum_trips[2] += int(&record, "budget_trips_deadline");
+                sum_deduped += row.candidates_deduped;
                 collect_panic_payloads(&record, &mut summary.panic_payloads);
                 summary.totals.get_steps_ms += row.get_steps_ms;
                 summary.totals.get_top_k_ms += row.get_top_k_ms;
@@ -255,6 +270,10 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
                 summary.budget_trips_fuel = int(&record, "budget_trips_fuel");
                 summary.budget_trips_cells = int(&record, "budget_trips_cells");
                 summary.budget_trips_deadline = int(&record, "budget_trips_deadline");
+                summary.candidates_deduped = int(&record, "candidates_deduped");
+                summary.unique_stmts = int(&record, "unique_stmts");
+                summary.intern_hits = int(&record, "intern_hits");
+                summary.dag_incremental_updates = int(&record, "dag_incremental_updates");
                 if let Some(spans) = record.get("stmt_spans").and_then(Value::as_array) {
                     for s in spans {
                         summary.stmt_spans.push((
@@ -291,6 +310,7 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
         summary.budget_trips_fuel = sum_trips[0];
         summary.budget_trips_cells = sum_trips[1];
         summary.budget_trips_deadline = sum_trips[2];
+        summary.candidates_deduped = sum_deduped;
     }
     Ok(summary)
 }
@@ -390,6 +410,15 @@ impl TraceSummary {
                 self.cache_peak_snapshots,
             ));
         }
+        if self.unique_stmts > 0 || self.intern_hits > 0 || self.candidates_deduped > 0 {
+            out.push_str(&format!(
+                "interned IR: {} unique statements, {} intern hits, {} incremental DAG updates, {} duplicate candidates skipped\n",
+                self.unique_stmts,
+                self.intern_hits,
+                self.dag_incremental_updates,
+                self.candidates_deduped,
+            ));
+        }
         let trips =
             self.budget_trips_fuel + self.budget_trips_cells + self.budget_trips_deadline;
         if self.candidates_panicked > 0 || trips > 0 {
@@ -479,6 +508,7 @@ mod tests {
                 budget_trips_cells: 1,
                 budget_trips_deadline: 0,
                 panic_payloads: vec!["injected panic: stmt 1".to_string()],
+                candidates_deduped: 2,
                 admitted: 5,
                 kept: vec![KeptBeam {
                     re: 2.0 - step as f64,
@@ -534,6 +564,10 @@ mod tests {
             budget_trips_fuel: 0,
             budget_trips_cells: 2,
             budget_trips_deadline: 0,
+            candidates_deduped: 4,
+            unique_stmts: 9,
+            intern_hits: 40,
+            dag_incremental_updates: 18,
             stmt_spans: vec![StmtSpanAgg {
                 name: "stmt.assign".to_string(),
                 count: 30,
@@ -573,6 +607,12 @@ mod tests {
         assert_eq!(summary.panic_payloads.len(), 2);
         assert_eq!(summary.steps[0].candidates_panicked, 1);
         assert_eq!(summary.steps[0].budget_trips, 1);
+        // Interner stats come from the search_end record.
+        assert_eq!(summary.candidates_deduped, 4);
+        assert_eq!(summary.unique_stmts, 9);
+        assert_eq!(summary.intern_hits, 40);
+        assert_eq!(summary.dag_incremental_updates, 18);
+        assert_eq!(summary.steps[0].candidates_deduped, 2);
     }
 
     #[test]
@@ -587,6 +627,9 @@ mod tests {
         assert!(text.contains("fault isolation: 2 candidate panic(s) caught"));
         assert!(text.contains("budget trips fuel/cells/deadline 0/2/0"));
         assert!(text.contains("panic: injected panic: stmt 1"));
+        assert!(text.contains(
+            "interned IR: 9 unique statements, 40 intern hits, 18 incremental DAG updates, 4 duplicate candidates skipped"
+        ));
     }
 
     #[test]
@@ -597,6 +640,7 @@ mod tests {
         sink.emit(&SearchStartEvent::new(2, 1, 1, false, true, false, "edges"));
         let summary = parse_trace(&sink.memory_lines().unwrap().join("\n")).unwrap();
         assert!(!summary.render().contains("fault isolation"));
+        assert!(!summary.render().contains("interned IR"));
     }
 
     #[test]
@@ -659,5 +703,9 @@ not json
         // Fault counters also fall back to the step sums.
         assert_eq!(summary.candidates_panicked, 2);
         assert_eq!(summary.budget_trips_cells, 2);
+        // Dedup counts too; per-search interner stats only exist in the
+        // (missing) search_end record, so they stay zero.
+        assert_eq!(summary.candidates_deduped, 4); // 2 + 2 from steps
+        assert_eq!(summary.unique_stmts, 0);
     }
 }

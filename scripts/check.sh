@@ -49,4 +49,29 @@ if [ "$gate_failed" -ne 0 ]; then
   exit 1
 fi
 
+# The search hot path must stay on the interned IR: candidates hold
+# Arc-shared statements, so materializing a Module (to_module/build_dag)
+# or deep-cloning statement vectors inside the beam loop reintroduces
+# the per-candidate copies this refactor removed. Test code may convert
+# freely (oracles, assertions).
+echo "==> interned-IR grep gate (search/transform hot path)"
+ir_gate() {
+  local f="$1" pattern="$2"
+  local hits
+  hits=$(awk '/#\[cfg\(test\)\]/{exit} {print NR": "$0}' "$f" \
+    | grep -vE '^[0-9]+: *//' \
+    | grep -E "$pattern" || true)
+  if [ -n "$hits" ]; then
+    echo "Module materialization in non-test code of $f:"
+    echo "$hits"
+    gate_failed=1
+  fi
+}
+ir_gate crates/core/src/search.rs 'to_module\(|module\.clone\(\)|\.stmts\.clone\(\)|build_dag\('
+ir_gate crates/core/src/transform.rs 'to_module\('
+if [ "$gate_failed" -ne 0 ]; then
+  echo "==> FAIL: the search hot path must stay on the interned IR"
+  exit 1
+fi
+
 echo "==> OK"

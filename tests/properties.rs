@@ -5,6 +5,7 @@ use lucidscript::core::config::SearchConfig;
 use lucidscript::core::dag::build_dag;
 use lucidscript::core::entropy::relative_entropy;
 use lucidscript::core::intent::IntentMeasure;
+use lucidscript::core::ir::{Program, StmtInterner};
 use lucidscript::core::lemma::lemmatize;
 use lucidscript::core::standardizer::Standardizer;
 use lucidscript::core::transform::{enumerate_transformations, EnumOptions};
@@ -204,5 +205,62 @@ proptest! {
         prop_assert_eq!(row_jaccard(&a, &b), row_jaccard(&b, &a));
         prop_assert!((value_jaccard(&a, &a) - 1.0).abs() < 1e-12);
         prop_assert!((row_jaccard(&a, &a) - 1.0).abs() < 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Interning a script and converting back is lossless: the printed
+    /// source is byte-identical to printing the original module.
+    #[test]
+    fn interned_programs_print_identically(seed in 0u64..10_000) {
+        let profile = Profile::medical();
+        let script = generate_script(&profile, seed);
+        let module = lemmatize(&parse_module(&script.source).expect("parses"));
+        let interner = StmtInterner::new();
+        let program = Program::from_module(&module, &interner);
+        prop_assert_eq!(print_module(&program.to_module()), print_module(&module));
+    }
+
+    /// The splice-based `apply_ir` agrees with the legacy module-cloning
+    /// `apply` across random transformation sequences, and the
+    /// incrementally-maintained DAG equals a full rebuild at every step.
+    #[test]
+    fn splice_apply_and_incremental_dag_match_legacy(seed in 0u64..2_000) {
+        let profile = Profile::medical();
+        let corpus: Vec<String> = profile
+            .generate_corpus(3)
+            .into_iter()
+            .take(12)
+            .map(|s| s.source)
+            .collect();
+        let model = CorpusModel::build_from_sources(&corpus).expect("nonempty");
+        let script = generate_script(&profile, seed);
+        let mut module = lemmatize(&parse_module(&script.source).expect("parses"));
+        let interner = StmtInterner::new();
+        let mut program = Program::from_module(&module, &interner);
+        let mut dag = program.full_dag();
+        for k in 0..4usize {
+            let ts = enumerate_transformations(
+                &build_dag(&module),
+                &model,
+                0,
+                &EnumOptions::default(),
+            );
+            if ts.is_empty() {
+                break;
+            }
+            let t = &ts[(seed as usize).wrapping_add(k.wrapping_mul(7)) % ts.len()];
+            module = t.apply(&module).expect("legacy applies");
+            program = t.apply_ir(&program, &interner).expect("ir applies");
+            prop_assert!(
+                program.to_module().same_code(&module),
+                "diverged after {t:?}"
+            );
+            dag = program.update_dag(&dag, t.line, &interner);
+            prop_assert_eq!(&dag, &build_dag(&program.to_module()), "dag after {:?}", t);
+        }
+        prop_assert!(interner.dag_incremental_updates() <= 4);
     }
 }
