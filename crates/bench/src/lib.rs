@@ -23,11 +23,13 @@
 //! for full leave-one-out over every script at full data scale.
 
 pub mod env;
+pub mod overhead;
 pub mod runner;
 pub mod stats;
 pub mod trajectory;
 
 pub use env::ExpEnv;
+pub use overhead::{measure_overhead, OverheadReport};
 pub use runner::{improvement_of_rewrite, leave_one_out_ls, MethodImprovements};
 pub use stats::Stats;
 pub use trajectory::{

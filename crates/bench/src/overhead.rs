@@ -1,0 +1,221 @@
+//! Telemetry overhead harness — the proof that fleet telemetry is
+//! cheap enough to leave on.
+//!
+//! `measure_overhead` runs each pinned workload under each
+//! [`TelemetryMode`] (off / counting / full) and compares the *fastest*
+//! rep per mode: min-over-reps is the standard low-noise statistic for
+//! overhead measurement, since scheduler hiccups only ever add time.
+//! The budget check is a disjunction — a mode passes when its relative
+//! overhead is under the fraction OR its absolute delta is under the
+//! floor — because on a fast workload a few milliseconds of timer noise
+//! can exceed any percentage of a small base. The strict budget pins
+//! counting (the always-on default); full mode — exact per-allocation
+//! peaks and size classes, enabled only by `--telemetry full` — gets
+//! [`OverheadReport::FULL_BUDGET_MULT`]× the budget.
+//!
+//! The harness is itself measurement-only: it restores the process
+//! telemetry mode it found, and the searches it runs are byte-identical
+//! across modes (pinned by the determinism suite).
+
+use crate::trajectory::Workload;
+use lucid_obs::alloc::{self, TelemetryMode};
+
+/// One workload's per-mode timings (fastest rep, ms).
+#[derive(Debug, Clone)]
+pub struct OverheadReport {
+    /// Workload name.
+    pub workload: String,
+    /// Reps per mode.
+    pub reps: usize,
+    /// Fastest rep with telemetry off.
+    pub off_ms: f64,
+    /// Fastest rep in counting mode.
+    pub counting_ms: f64,
+    /// Fastest rep in full mode (`None` when `--counting-only` skipped it).
+    pub full_ms: Option<f64>,
+}
+
+impl OverheadReport {
+    /// Relative overhead of counting mode vs off (0.02 = +2%).
+    pub fn counting_overhead(&self) -> f64 {
+        rel_overhead(self.counting_ms, self.off_ms)
+    }
+
+    /// Relative overhead of full mode vs off, when measured.
+    pub fn full_overhead(&self) -> Option<f64> {
+        self.full_ms.map(|f| rel_overhead(f, self.off_ms))
+    }
+
+    /// Budget multiplier for full mode: exact per-allocation peaks and
+    /// size classes are opt-in diagnostics, so full gets three times the
+    /// always-on budget on both the fraction and the floor.
+    pub const FULL_BUDGET_MULT: f64 = 3.0;
+
+    /// Whether every measured mode is within budget: relative overhead
+    /// under `frac` OR absolute delta under `floor_ms`. The strict
+    /// bounds pin counting (the always-on default); full mode is judged
+    /// against [`Self::FULL_BUDGET_MULT`] times each bound.
+    pub fn within_budget(&self, frac: f64, floor_ms: f64) -> bool {
+        let ok = |mode_ms: f64, frac: f64, floor_ms: f64| {
+            let delta = mode_ms - self.off_ms;
+            delta <= floor_ms || rel_overhead(mode_ms, self.off_ms) <= frac
+        };
+        ok(self.counting_ms, frac, floor_ms)
+            && self.full_ms.is_none_or(|f| {
+                ok(
+                    f,
+                    frac * Self::FULL_BUDGET_MULT,
+                    floor_ms * Self::FULL_BUDGET_MULT,
+                )
+            })
+    }
+
+    /// One table row: workload, per-mode ms, per-mode overhead.
+    pub fn render_row(&self) -> String {
+        let full = match self.full_ms {
+            Some(f) => format!(
+                "{f:>9.2} {:>+7.1}%",
+                rel_overhead(f, self.off_ms) * 100.0
+            ),
+            None => format!("{:>9} {:>8}", "-", "-"),
+        };
+        format!(
+            "{:<26} {:>9.2} {:>9.2} {:>+7.1}% {full}\n",
+            self.workload,
+            self.off_ms,
+            self.counting_ms,
+            self.counting_overhead() * 100.0,
+        )
+    }
+}
+
+fn rel_overhead(mode_ms: f64, off_ms: f64) -> f64 {
+    if off_ms > 0.0 {
+        (mode_ms - off_ms) / off_ms
+    } else {
+        0.0
+    }
+}
+
+/// Renders the full overhead table.
+pub fn render(reports: &[OverheadReport]) -> String {
+    let mut out = format!(
+        "{:<26} {:>9} {:>9} {:>8} {:>9} {:>8}\n",
+        "workload", "off ms", "count ms", "count", "full ms", "full"
+    );
+    for r in reports {
+        out.push_str(&r.render_row());
+    }
+    out
+}
+
+/// Measures every workload under off / counting / (full unless
+/// `counting_only`), restoring the process telemetry mode afterwards.
+///
+/// # Errors
+///
+/// The first workload failure (mode already restored).
+pub fn measure_overhead(
+    workloads: &[Workload],
+    reps: usize,
+    counting_only: bool,
+) -> Result<Vec<OverheadReport>, String> {
+    let prev_mode = alloc::mode();
+    let result = measure_inner(workloads, reps, counting_only);
+    alloc::set_mode(prev_mode);
+    result
+}
+
+fn measure_inner(
+    workloads: &[Workload],
+    reps: usize,
+    counting_only: bool,
+) -> Result<Vec<OverheadReport>, String> {
+    let mut reports = Vec::with_capacity(workloads.len());
+    for w in workloads {
+        let off_ms = fastest_total(w, reps, TelemetryMode::Off)?;
+        let counting_ms = fastest_total(w, reps, TelemetryMode::Counting)?;
+        let full_ms = if counting_only {
+            None
+        } else {
+            Some(fastest_total(w, reps, TelemetryMode::Full)?)
+        };
+        reports.push(OverheadReport {
+            workload: w.name.to_string(),
+            reps: reps.max(1),
+            off_ms,
+            counting_ms,
+            full_ms,
+        });
+    }
+    Ok(reports)
+}
+
+/// The fastest end-to-end rep of `w` under `mode`, in ms.
+fn fastest_total(w: &Workload, reps: usize, mode: TelemetryMode) -> Result<f64, String> {
+    alloc::set_mode(mode);
+    let result = crate::trajectory::run_workload(w, reps, 1.0, 1.0)?;
+    result
+        .phases
+        .iter()
+        .find(|p| p.name == "total_ms")
+        .map(|p| p.min_ms)
+        .ok_or_else(|| format!("workload {}: no total_ms phase", w.name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(off: f64, counting: f64, full: Option<f64>) -> OverheadReport {
+        OverheadReport {
+            workload: "w".to_string(),
+            reps: 3,
+            off_ms: off,
+            counting_ms: counting,
+            full_ms: full,
+        }
+    }
+
+    #[test]
+    fn budget_is_relative_or_absolute() {
+        // +2% on a 100 ms base: within a 5% budget.
+        assert!(report(100.0, 102.0, Some(104.0)).within_budget(0.05, 2.0));
+        // +20% on a 2 ms base: over the fraction but under the 2 ms floor.
+        assert!(report(2.0, 2.4, None).within_budget(0.05, 2.0));
+        // +20% on a 100 ms base: over both — out of budget.
+        assert!(!report(100.0, 120.0, None).within_budget(0.05, 2.0));
+        // Counting fine but full blows even its 3× diagnostic budget.
+        assert!(!report(100.0, 101.0, Some(130.0)).within_budget(0.05, 2.0));
+        // Full over the strict budget but inside its 3× allowance.
+        assert!(report(100.0, 101.0, Some(112.0)).within_budget(0.05, 2.0));
+    }
+
+    #[test]
+    fn overhead_fractions_handle_zero_base() {
+        let r = report(0.0, 1.0, None);
+        assert_eq!(r.counting_overhead(), 0.0);
+        assert!(r.within_budget(0.05, 2.0));
+    }
+
+    #[test]
+    fn render_lists_every_workload_and_marks_skipped_full() {
+        let table = render(&[
+            report(10.0, 10.2, Some(10.5)),
+            report(8.0, 8.1, None),
+        ]);
+        assert!(table.contains("off ms"));
+        assert!(table.lines().count() == 3);
+        assert!(table.contains(" - "), "skipped full mode renders as dashes");
+    }
+
+    #[test]
+    fn measure_overhead_restores_the_mode_it_found() {
+        let prev = alloc::set_mode(TelemetryMode::Counting);
+        // Zero workloads: no measurement, but the save/restore path runs.
+        let reports = measure_overhead(&[], 1, true).unwrap();
+        assert!(reports.is_empty());
+        assert_eq!(alloc::mode(), TelemetryMode::Counting);
+        alloc::set_mode(prev);
+    }
+}

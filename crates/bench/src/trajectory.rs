@@ -2,15 +2,18 @@
 //! gate — the engine behind `lucid bench`.
 //!
 //! A *trajectory* is a schema-versioned JSON file (repo-root
-//! `BENCH_search.json`, schema v2) holding one entry per recorded run:
+//! `BENCH_search.json`, schema v3) holding one entry per recorded run:
 //! commit hash, date, a config fingerprint, and per-workload phase
-//! percentile stats plus `Timings` counters. `run_suite` measures a
-//! pinned set of fig6/fig7-style workloads N times, `append_entry`
-//! appends the result, and `compare_entries` diffs a fresh run against a
-//! baseline entry with noise-aware thresholds: a phase regresses only
-//! when its median delta clears a relative threshold AND the observed
-//! run-to-run spread AND an absolute floor — so a loaded CI box doesn't
-//! cry wolf, and a real 2× slowdown can't hide.
+//! percentile stats plus `Timings` counters and (v3) allocator-attributed
+//! memory stats. `run_suite` measures a pinned set of fig6/fig7-style
+//! workloads N times under full telemetry, `append_entry` appends the
+//! result, and `compare_entries` diffs a fresh run against a baseline
+//! entry with noise-aware thresholds: a phase regresses only when its
+//! median delta clears a relative threshold AND the observed run-to-run
+//! spread AND an absolute floor — so a loaded CI box doesn't cry wolf,
+//! and a real 2× slowdown (or memory blow-up) can't hide. Schema-v2
+//! documents (no `mem` arrays) still load; their memory rows simply
+//! don't gate.
 //!
 //! The old `results/BENCH_search.json` (PR 1's one-off before/after
 //! object) is superseded by this trajectory and left in place as a
@@ -21,12 +24,17 @@ use lucid_core::config::SearchConfig;
 use lucid_core::intent::IntentMeasure;
 use lucid_core::standardizer::Standardizer;
 use lucid_corpus::Profile;
+use lucid_obs::alloc::{self, Phase, TelemetryMode};
 use serde::Serialize;
 use serde_json::Value;
 use std::path::Path;
 
 /// Version stamped into the trajectory document and every entry.
-pub const TRAJECTORY_SCHEMA: u64 = 2;
+pub const TRAJECTORY_SCHEMA: u64 = 3;
+
+/// Document schemas this build can still read and extend. v2 lacks the
+/// per-workload `mem` arrays; everything else is field-compatible.
+pub const ACCEPTED_SCHEMAS: [u64; 2] = [2, TRAJECTORY_SCHEMA];
 
 /// The phase names recorded per workload, in display order.
 pub const PHASES: [&str; 5] = [
@@ -35,6 +43,23 @@ pub const PHASES: [&str; 5] = [
     "check_execute_ms",
     "verify_constraints_ms",
     "total_ms",
+];
+
+/// The memory rows recorded per workload (schema v3), in display order:
+/// allocator-attributed bytes per search phase, their total, per-phase
+/// live-bytes peaks, and the per-rep windowed peak. All values are bytes.
+pub const MEM_ROWS: [&str; 11] = [
+    "alloc_bytes_enumerate",
+    "alloc_bytes_execute",
+    "alloc_bytes_score",
+    "alloc_bytes_verify",
+    "alloc_bytes_unattributed",
+    "alloc_bytes_total",
+    "peak_bytes_enumerate",
+    "peak_bytes_execute",
+    "peak_bytes_score",
+    "peak_bytes_verify",
+    "peak_bytes",
 ];
 
 /// One pinned benchmark workload (a fig6/fig7-style search).
@@ -110,6 +135,21 @@ pub struct PhaseStat {
     pub mean_ms: f64,
 }
 
+/// Percentile-style stats of one memory row across reps, in bytes.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct MemStat {
+    /// Row name (one of [`MEM_ROWS`]).
+    pub name: String,
+    /// Median across reps.
+    pub median_bytes: f64,
+    /// Smallest rep.
+    pub min_bytes: f64,
+    /// Largest rep.
+    pub max_bytes: f64,
+    /// Mean across reps.
+    pub mean_bytes: f64,
+}
+
 /// Work counters from the first rep (deterministic across reps, so one
 /// sample suffices).
 #[derive(Debug, Clone, Copy, Default, Serialize, PartialEq, Eq)]
@@ -147,6 +187,9 @@ pub struct WorkloadResult {
     pub reps: usize,
     /// Per-phase stats, in [`PHASES`] order.
     pub phases: Vec<PhaseStat>,
+    /// Memory stats, in [`MEM_ROWS`] order (schema v3; empty when the
+    /// instrumented allocator recorded nothing).
+    pub mem: Vec<MemStat>,
     /// First-rep work counters.
     pub counters: Counters,
 }
@@ -170,12 +213,17 @@ pub struct BenchEntry {
     pub workloads: Vec<WorkloadResult>,
 }
 
-/// Runs one workload `reps` times and summarizes its phases.
+/// Runs one workload `reps` times and summarizes its phases and memory.
 ///
-/// `inject_slowdown` multiplies every recorded phase value — a
-/// diagnostic hook (`lucid bench --inject-slowdown`) that lets the
-/// regression gate prove it fires without anyone writing a real
+/// `inject_slowdown` multiplies every recorded phase value and
+/// `inject_mem` every recorded memory value — diagnostic hooks
+/// (`lucid bench --inject-slowdown` / `--inject-mem-regression`) that
+/// let the regression gate prove it fires without anyone writing a real
 /// regression. `1.0` = honest measurement.
+///
+/// Memory rows are sampled under whatever [`TelemetryMode`] is current
+/// (so the overhead harness can measure each mode); per-phase peaks and
+/// the windowed peak are reset before every rep.
 ///
 /// # Errors
 ///
@@ -184,6 +232,7 @@ pub fn run_workload(
     w: &Workload,
     reps: usize,
     inject_slowdown: f64,
+    inject_mem: f64,
 ) -> Result<WorkloadResult, String> {
     let profile = (w.profile)();
     let data = profile.generate_data(5, 0.05);
@@ -204,8 +253,12 @@ pub fn run_workload(
     let std = Standardizer::build(&corpus, profile.file, data, config)
         .map_err(|e| format!("workload {}: {e}", w.name))?;
     let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); PHASES.len()];
+    let mut mem_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); MEM_ROWS.len()];
     let mut counters = Counters::default();
     for rep in 0..reps.max(1) {
+        // Fresh peak windows so each rep reports its own high-water marks.
+        alloc::reset_phase_peaks();
+        alloc::reset_window_peak();
         let report = std
             .standardize_source(&corpus[1])
             .map_err(|e| format!("workload {}: {e}", w.name))?;
@@ -221,6 +274,25 @@ pub fn run_workload(
         .enumerate()
         {
             samples[i].push(v * inject_slowdown);
+        }
+        let snap = alloc::snapshot();
+        for (i, v) in [
+            t.alloc_bytes_enumerate as f64,
+            t.alloc_bytes_execute as f64,
+            t.alloc_bytes_score as f64,
+            t.alloc_bytes_verify as f64,
+            t.alloc_bytes_unattributed as f64,
+            t.alloc_bytes_total as f64,
+            snap.phase_peak_bytes[Phase::Enumerate as usize] as f64,
+            snap.phase_peak_bytes[Phase::Execute as usize] as f64,
+            snap.phase_peak_bytes[Phase::Score as usize] as f64,
+            snap.phase_peak_bytes[Phase::Verify as usize] as f64,
+            snap.window_peak_bytes as f64,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            mem_samples[i].push(v * inject_mem);
         }
         if rep == 0 {
             counters = Counters {
@@ -254,15 +326,38 @@ pub fn run_workload(
             }
         })
         .collect();
+    // All-zero memory means telemetry was off (or the instrumented
+    // allocator is not installed); record nothing rather than a block of
+    // zero rows a later gate would misread as "memory went to zero".
+    let mem = if mem_samples.iter().all(|vals| vals.iter().all(|&v| v == 0.0)) {
+        Vec::new()
+    } else {
+        MEM_ROWS
+            .iter()
+            .zip(&mem_samples)
+            .map(|(name, vals)| {
+                let s = Stats::of(vals);
+                MemStat {
+                    name: (*name).to_string(),
+                    median_bytes: s.median,
+                    min_bytes: s.min,
+                    max_bytes: s.max,
+                    mean_bytes: s.mean,
+                }
+            })
+            .collect()
+    };
     Ok(WorkloadResult {
         name: w.name.to_string(),
         reps: reps.max(1),
         phases,
+        mem,
         counters,
     })
 }
 
-/// Runs a suite into a complete [`BenchEntry`].
+/// Runs a suite into a complete [`BenchEntry`] under full telemetry
+/// (restored afterwards), so per-phase peaks and size classes populate.
 ///
 /// # Errors
 ///
@@ -271,11 +366,20 @@ pub fn run_suite(
     workloads: &[Workload],
     reps: usize,
     inject_slowdown: f64,
+    inject_mem: f64,
 ) -> Result<BenchEntry, String> {
+    let prev_mode = alloc::set_mode(TelemetryMode::Full);
     let mut results = Vec::with_capacity(workloads.len());
     for w in workloads {
-        results.push(run_workload(w, reps, inject_slowdown)?);
+        match run_workload(w, reps, inject_slowdown, inject_mem) {
+            Ok(r) => results.push(r),
+            Err(e) => {
+                alloc::set_mode(prev_mode);
+                return Err(e);
+            }
+        }
     }
+    alloc::set_mode(prev_mode);
     Ok(BenchEntry {
         schema: TRAJECTORY_SCHEMA,
         commit: commit_hash(),
@@ -376,7 +480,7 @@ pub fn append_entry(path: &Path, entry: &BenchEntry) -> Result<(), String> {
     let doc: Value = serde_json::from_str(&text)
         .map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
     let schema = doc.get("schema").and_then(Value::as_f64).unwrap_or(0.0) as u64;
-    if schema != TRAJECTORY_SCHEMA {
+    if !ACCEPTED_SCHEMAS.contains(&schema) {
         return Err(format!(
             "{} has schema {schema}, this build writes schema {TRAJECTORY_SCHEMA} — move the old file aside",
             path.display()
@@ -421,9 +525,9 @@ pub fn load_baseline(path: &Path) -> Result<Value, String> {
     let doc: Value = serde_json::from_str(&text)
         .map_err(|e| format!("baseline {} is not valid JSON: {e}", path.display()))?;
     let schema = doc.get("schema").and_then(Value::as_f64).unwrap_or(0.0) as u64;
-    if schema != TRAJECTORY_SCHEMA {
+    if !ACCEPTED_SCHEMAS.contains(&schema) {
         return Err(format!(
-            "baseline {} has schema {schema}, expected {TRAJECTORY_SCHEMA}",
+            "baseline {} has schema {schema}, expected one of {ACCEPTED_SCHEMAS:?}",
             path.display()
         ));
     }
@@ -444,8 +548,12 @@ pub struct GateOptions {
     pub rel_threshold: f64,
     /// Delta must exceed this multiple of max(baseline, current) spread.
     pub noise_mult: f64,
-    /// Deltas under this many ms never regress (micro-phase floor).
+    /// Time deltas under this many ms never regress (micro-phase floor).
     pub abs_floor_ms: f64,
+    /// Memory deltas under this many bytes never regress — the
+    /// byte-valued analog of `abs_floor_ms`, so allocator jitter on tiny
+    /// workloads can't trip the gate.
+    pub abs_floor_bytes: f64,
 }
 
 impl Default for GateOptions {
@@ -454,11 +562,14 @@ impl Default for GateOptions {
             rel_threshold: 0.5,
             noise_mult: 1.5,
             abs_floor_ms: 1.0,
+            abs_floor_bytes: (1 << 20) as f64,
         }
     }
 }
 
-/// One phase's baseline-vs-current comparison.
+/// One phase's baseline-vs-current comparison. Time rows carry ms in
+/// the `*_ms` fields; memory rows (phase names ending in `" MiB"`)
+/// carry mebibytes in the same fields — the gate math is unit-agnostic.
 #[derive(Debug, Clone)]
 pub struct DeltaRow {
     /// Workload name.
@@ -589,6 +700,42 @@ pub fn compare_entries(current: &BenchEntry, baseline: &Value, opts: &GateOption
                 regressed,
             });
         }
+        // Memory rows (schema v3). A v2 baseline has no `mem` array and
+        // an empty one means telemetry was off — either way there is
+        // nothing to compare, and the gate stays time-only.
+        let base_mem = base_w.get("mem").and_then(Value::as_array).unwrap_or(&empty);
+        const MIB: f64 = (1u64 << 20) as f64;
+        for m in &w.mem {
+            let Some(base_m) = base_mem.iter().find(|b| {
+                b.get("name").and_then(Value::as_str) == Some(m.name.as_str())
+            }) else {
+                continue;
+            };
+            let num = |key: &str| base_m.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+            let base_median = num("median_bytes");
+            let base_spread = num("max_bytes") - num("min_bytes");
+            let cur_spread = m.max_bytes - m.min_bytes;
+            let spread = base_spread.max(cur_spread);
+            let delta = m.median_bytes - base_median;
+            let rel = if base_median > 0.0 {
+                delta / base_median
+            } else {
+                0.0
+            };
+            let regressed = rel > opts.rel_threshold
+                && delta > opts.noise_mult * spread
+                && delta > opts.abs_floor_bytes;
+            cmp.rows.push(DeltaRow {
+                workload: w.name.clone(),
+                phase: format!("{} MiB", m.name),
+                base_median_ms: base_median / MIB,
+                cur_median_ms: m.median_bytes / MIB,
+                delta_ms: delta / MIB,
+                rel,
+                spread_ms: spread / MIB,
+                regressed,
+            });
+        }
     }
     cmp
 }
@@ -596,6 +743,8 @@ pub fn compare_entries(current: &BenchEntry, baseline: &Value, opts: &GateOption
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const MIB: f64 = (1u64 << 20) as f64;
 
     fn synthetic_entry(scale: f64, spread: f64) -> BenchEntry {
         let workloads = vec![WorkloadResult {
@@ -612,6 +761,22 @@ mod tests {
                         min_ms: base - spread / 2.0,
                         max_ms: base + spread / 2.0,
                         mean_ms: base,
+                    }
+                })
+                .collect(),
+            mem: MEM_ROWS
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    // Several MiB per row so deltas clear the byte floor
+                    // whenever the relative threshold is met.
+                    let base = (i + 1) as f64 * 8.0 * MIB * scale;
+                    MemStat {
+                        name: (*name).to_string(),
+                        median_bytes: base,
+                        min_bytes: base * 0.99,
+                        max_bytes: base * 1.01,
+                        mean_bytes: base,
                     }
                 })
                 .collect(),
@@ -636,23 +801,67 @@ mod tests {
     }
 
     #[test]
-    fn append_creates_then_extends_a_schema_v2_document() {
+    fn append_creates_then_extends_a_schema_v3_document() {
         let path = temp_path("append");
         std::fs::remove_file(&path).ok();
         append_entry(&path, &synthetic_entry(1.0, 1.0)).unwrap();
         append_entry(&path, &synthetic_entry(1.1, 1.0)).unwrap();
         let doc: Value =
             serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
-        assert_eq!(doc.get("schema").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(doc.get("schema").and_then(Value::as_f64), Some(3.0));
         let entries = doc.get("entries").and_then(Value::as_array).unwrap();
         assert_eq!(entries.len(), 2);
         assert_eq!(
             entries[1].get("commit").and_then(Value::as_str),
             Some("deadbeef0123")
         );
+        // v3 entries carry the memory rows.
+        let mem = entries[1]
+            .get("workloads")
+            .and_then(Value::as_array)
+            .and_then(|ws| ws.first())
+            .and_then(|w| w.get("mem"))
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(mem.len(), MEM_ROWS.len());
         // The appended entry round-trips as a valid baseline.
         let baseline = load_baseline(&path).unwrap();
-        assert_eq!(baseline.get("schema").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(baseline.get("schema").and_then(Value::as_f64), Some(3.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_documents_still_load_and_extend() {
+        // A pre-memory document: schema 2, workloads without `mem`.
+        let path = temp_path("v2compat");
+        std::fs::write(
+            &path,
+            "{\n  \"schema\": 2,\n  \"entries\": [\n    {\"schema\": 2, \"commit\": \"old\", \
+             \"date\": \"2026-08-01\", \"config_fingerprint\": \"1w-0\", \"reps\": 2, \
+             \"workloads\": []}\n  ]\n}\n",
+        )
+        .unwrap();
+        let baseline = load_baseline(&path).unwrap();
+        assert_eq!(baseline.get("commit").and_then(Value::as_str), Some("old"));
+        append_entry(&path, &synthetic_entry(1.0, 1.0)).unwrap();
+        let baseline = load_baseline(&path).unwrap();
+        assert_eq!(
+            baseline.get("commit").and_then(Value::as_str),
+            Some("deadbeef0123")
+        );
+        // A v3 entry gated against a memory-less v2 baseline compares
+        // times only — mem rows silently skip.
+        let cmp = compare_entries(
+            &synthetic_entry(1.0, 1.0),
+            &serde_json::from_str(
+                "{\"config_fingerprint\": \"x\", \"workloads\": [{\"name\": \
+                 \"titanic-seq5-k2-cache\", \"phases\": [], \"counters\": {}}]}",
+            )
+            .unwrap(),
+            &GateOptions::default(),
+        );
+        assert!(cmp.rows.is_empty());
+        assert!(!cmp.regressed());
         std::fs::remove_file(&path).ok();
     }
 
@@ -680,7 +889,7 @@ mod tests {
         let baseline = load_baseline(&path).unwrap();
         let cmp = compare_entries(&cur, &baseline, &GateOptions::default());
         assert!(!cmp.regressed(), "{}", cmp.render());
-        assert_eq!(cmp.rows.len(), PHASES.len());
+        assert_eq!(cmp.rows.len(), PHASES.len() + MEM_ROWS.len());
         std::fs::remove_file(&path).ok();
     }
 
@@ -700,6 +909,67 @@ mod tests {
     }
 
     #[test]
+    fn injected_mem_regression_trips_only_the_memory_rows() {
+        let base = synthetic_entry(1.0, 2.0);
+        // Times identical; every memory row ×3.
+        let mut cur = synthetic_entry(1.0, 2.0);
+        for m in &mut cur.workloads[0].mem {
+            m.median_bytes *= 3.0;
+            m.min_bytes *= 3.0;
+            m.max_bytes *= 3.0;
+            m.mean_bytes *= 3.0;
+        }
+        let path = temp_path("memslow");
+        std::fs::remove_file(&path).ok();
+        append_entry(&path, &base).unwrap();
+        let baseline = load_baseline(&path).unwrap();
+        let cmp = compare_entries(&cur, &baseline, &GateOptions::default());
+        assert!(cmp.regressed(), "{}", cmp.render());
+        for r in &cmp.rows {
+            assert_eq!(
+                r.regressed,
+                r.phase.ends_with(" MiB"),
+                "only memory rows may regress: {} {}",
+                r.phase,
+                r.regressed
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn memory_deltas_under_the_byte_floor_never_regress() {
+        // A 3× blow-up of a tiny (300 KiB) footprint: relative and
+        // spread conditions hold, but the delta is under the 1 MiB
+        // absolute floor — allocator jitter, not a regression.
+        let mut base = synthetic_entry(1.0, 2.0);
+        let mut cur = synthetic_entry(1.0, 2.0);
+        for m in &mut base.workloads[0].mem {
+            m.median_bytes = 100.0 * 1024.0;
+            m.min_bytes = 99.0 * 1024.0;
+            m.max_bytes = 101.0 * 1024.0;
+            m.mean_bytes = 100.0 * 1024.0;
+        }
+        for m in &mut cur.workloads[0].mem {
+            m.median_bytes = 300.0 * 1024.0;
+            m.min_bytes = 299.0 * 1024.0;
+            m.max_bytes = 301.0 * 1024.0;
+            m.mean_bytes = 300.0 * 1024.0;
+        }
+        let path = temp_path("memfloor");
+        std::fs::remove_file(&path).ok();
+        append_entry(&path, &base).unwrap();
+        let baseline = load_baseline(&path).unwrap();
+        let cmp = compare_entries(&cur, &baseline, &GateOptions::default());
+        assert!(
+            cmp.rows.iter().filter(|r| r.phase.ends_with(" MiB")).all(|r| !r.regressed),
+            "{}",
+            cmp.render()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn noisy_runs_do_not_trip_the_gate() {
         // Median doubles, but the run-to-run spread is as large as the
         // delta — the noise-aware conjunction must hold fire.
@@ -709,6 +979,9 @@ mod tests {
             p.min_ms = p.median_ms - p.median_ms; // spread ≈ 2×median
             p.max_ms = p.median_ms + p.median_ms;
         }
+        // The single scale doubled the mem rows too; this test is about
+        // time noise, so put memory back on the baseline.
+        cur.workloads[0].mem = base.workloads[0].mem.clone();
         let path = temp_path("noisy");
         std::fs::remove_file(&path).ok();
         append_entry(&path, &base).unwrap();
@@ -761,7 +1034,7 @@ mod tests {
         // One real (tiny) search through the harness: phases populated,
         // counters non-trivial, injection scales the medians.
         let w = quick_suite()[0];
-        let honest = run_workload(&w, 1, 1.0).unwrap();
+        let honest = run_workload(&w, 1, 1.0, 1.0).unwrap();
         assert_eq!(honest.phases.len(), PHASES.len());
         let total = honest.phases.iter().find(|p| p.name == "total_ms").unwrap();
         assert!(total.median_ms > 0.0);
@@ -771,12 +1044,47 @@ mod tests {
         assert!(honest.counters.unique_stmts > 0);
         assert!(honest.counters.intern_hits > 0);
         assert!(honest.counters.dag_incremental_updates > 0);
-        let inflated = run_workload(&w, 1, 10.0).unwrap();
+        let inflated = run_workload(&w, 1, 10.0, 1.0).unwrap();
         let inflated_total = inflated
             .phases
             .iter()
             .find(|p| p.name == "total_ms")
             .unwrap();
         assert!(inflated_total.median_ms > total.median_ms * 2.0);
+    }
+
+    #[test]
+    fn suite_runs_record_memory_rows_and_injection_scales_them() {
+        // run_suite forces Full telemetry, so with the instrumented
+        // allocator installed in the test binary the memory rows
+        // populate; without it they are empty. Either way the injection
+        // hook must scale whatever was measured.
+        let entry = run_suite(&quick_suite(), 1, 1.0, 1.0).unwrap();
+        assert_eq!(entry.schema, TRAJECTORY_SCHEMA);
+        let w = &entry.workloads[0];
+        if w.mem.is_empty() {
+            return; // allocator wrapper not installed in this binary
+        }
+        assert_eq!(w.mem.len(), MEM_ROWS.len());
+        let total = w.mem.iter().find(|m| m.name == "alloc_bytes_total").unwrap();
+        assert!(total.median_bytes > 0.0);
+        let phase_sum: f64 = w
+            .mem
+            .iter()
+            .filter(|m| m.name.starts_with("alloc_bytes_") && m.name != "alloc_bytes_total")
+            .map(|m| m.median_bytes)
+            .sum();
+        assert!(
+            (phase_sum - total.median_bytes).abs() < 1e-6,
+            "phase bytes sum to the total: {phase_sum} vs {}",
+            total.median_bytes
+        );
+        let inflated = run_suite(&quick_suite(), 1, 1.0, 10.0).unwrap();
+        let inflated_total = inflated.workloads[0]
+            .mem
+            .iter()
+            .find(|m| m.name == "alloc_bytes_total")
+            .unwrap();
+        assert!(inflated_total.median_bytes > total.median_bytes * 2.0);
     }
 }

@@ -81,6 +81,12 @@ pub struct SearchConfig {
     /// costs nothing; tests install a seeded plan to exercise the search's
     /// isolation and accounting paths.
     pub fault_plan: Option<std::sync::Arc<lucid_interp::FaultPlan>>,
+    /// Process-wide metrics registry the per-search registry is merged
+    /// into at search end (`Registry::merge`) — the roll-up a long-lived
+    /// `serve`/`batch` process hangs fleet telemetry off, and the source
+    /// the CLI's `--stats-out` exporters snapshot. Measurement-only:
+    /// search decisions and output never read it.
+    pub stats_registry: Option<std::sync::Arc<lucid_obs::Registry>>,
 }
 
 impl Default for SearchConfig {
@@ -107,6 +113,7 @@ impl Default for SearchConfig {
             profile_out: None,
             budget: lucid_interp::Budget::unlimited(),
             fault_plan: None,
+            stats_registry: None,
         }
     }
 }

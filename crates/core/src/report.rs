@@ -52,6 +52,27 @@ pub mod metric {
     /// Candidate DAGs derived incrementally from their parent's instead of
     /// rebuilt from scratch.
     pub const DAG_INCREMENTAL: &str = "dag.incremental_updates";
+    /// Bytes allocated during `GetSteps` enumeration + scoring workers.
+    /// All `mem.*` metrics are fed from `lucid_obs::alloc` snapshot
+    /// deltas at search end; zero when telemetry is off or the
+    /// instrumented allocator is not installed.
+    pub const MEM_BYTES_ENUMERATE: &str = "mem.bytes_enumerate";
+    /// Bytes allocated during interpreter execution (`CheckIfExecutes`).
+    pub const MEM_BYTES_EXECUTE: &str = "mem.bytes_execute";
+    /// Bytes allocated during beam ranking (`GetTopKBeams`).
+    pub const MEM_BYTES_SCORE: &str = "mem.bytes_score";
+    /// Bytes allocated during final verification.
+    pub const MEM_BYTES_VERIFY: &str = "mem.bytes_verify";
+    /// Bytes allocated outside any tagged phase.
+    pub const MEM_BYTES_UNATTRIBUTED: &str = "mem.bytes_unattributed";
+    /// Total bytes allocated — always the sum of the five phase metrics.
+    pub const MEM_BYTES_TOTAL: &str = "mem.bytes_total";
+    /// Allocation count over the search.
+    pub const MEM_ALLOCS: &str = "mem.allocs";
+    /// Process live-bytes high-water mark (recorded via `set_max`).
+    pub const MEM_PEAK_BYTES: &str = "mem.peak_bytes";
+    /// Log₂ allocation-size histogram (`Full` telemetry mode only).
+    pub const MEM_ALLOC_SIZE: &str = "mem.alloc_size";
 }
 
 /// Wall-clock breakdown of the search phases — the quantities behind the
@@ -113,6 +134,24 @@ pub struct Timings {
     /// Candidate DAGs derived incrementally from their parent's DAG
     /// instead of rebuilt from the full statement list.
     pub dag_incremental_updates: u64,
+    /// Bytes allocated during `GetSteps` enumeration + scoring workers.
+    /// All `alloc_*`/`peak_live_bytes` fields are zero when allocator
+    /// telemetry is off or the instrumented allocator is not installed.
+    pub alloc_bytes_enumerate: u64,
+    /// Bytes allocated during interpreter execution checks.
+    pub alloc_bytes_execute: u64,
+    /// Bytes allocated during beam ranking.
+    pub alloc_bytes_score: u64,
+    /// Bytes allocated during final verification.
+    pub alloc_bytes_verify: u64,
+    /// Bytes allocated outside any tagged phase.
+    pub alloc_bytes_unattributed: u64,
+    /// Total bytes allocated — the sum of the five phase fields.
+    pub alloc_bytes_total: u64,
+    /// Allocation count over the search.
+    pub alloc_count: u64,
+    /// Process live-bytes high-water mark at search end.
+    pub peak_live_bytes: u64,
 }
 
 impl Timings {
@@ -152,6 +191,16 @@ impl Timings {
         self.unique_stmts = self.unique_stmts.max(other.unique_stmts);
         self.intern_hits += other.intern_hits;
         self.dag_incremental_updates += other.dag_incremental_updates;
+        self.alloc_bytes_enumerate += other.alloc_bytes_enumerate;
+        self.alloc_bytes_execute += other.alloc_bytes_execute;
+        self.alloc_bytes_score += other.alloc_bytes_score;
+        self.alloc_bytes_verify += other.alloc_bytes_verify;
+        self.alloc_bytes_unattributed += other.alloc_bytes_unattributed;
+        self.alloc_bytes_total += other.alloc_bytes_total;
+        self.alloc_count += other.alloc_count;
+        // Peaks are gauges over shared process memory, like the cache
+        // peak: concurrent runs don't stack them, so take the max.
+        self.peak_live_bytes = self.peak_live_bytes.max(other.peak_live_bytes);
     }
 
     /// Total candidate executions pruned by any budget axis.
@@ -184,6 +233,14 @@ impl Timings {
             unique_stmts: reg.counter_value(metric::UNIQUE_STMTS),
             intern_hits: reg.counter_value(metric::INTERN_HITS),
             dag_incremental_updates: reg.counter_value(metric::DAG_INCREMENTAL),
+            alloc_bytes_enumerate: reg.counter_value(metric::MEM_BYTES_ENUMERATE),
+            alloc_bytes_execute: reg.counter_value(metric::MEM_BYTES_EXECUTE),
+            alloc_bytes_score: reg.counter_value(metric::MEM_BYTES_SCORE),
+            alloc_bytes_verify: reg.counter_value(metric::MEM_BYTES_VERIFY),
+            alloc_bytes_unattributed: reg.counter_value(metric::MEM_BYTES_UNATTRIBUTED),
+            alloc_bytes_total: reg.counter_value(metric::MEM_BYTES_TOTAL),
+            alloc_count: reg.counter_value(metric::MEM_ALLOCS),
+            peak_live_bytes: reg.counter_value(metric::MEM_PEAK_BYTES),
         }
     }
 
@@ -271,6 +328,14 @@ mod tests {
             unique_stmts: 11,
             intern_hits: 30,
             dag_incremental_updates: 20,
+            alloc_bytes_enumerate: 100,
+            alloc_bytes_execute: 200,
+            alloc_bytes_score: 50,
+            alloc_bytes_verify: 25,
+            alloc_bytes_unattributed: 25,
+            alloc_bytes_total: 400,
+            alloc_count: 8,
+            peak_live_bytes: 1 << 20,
         };
         a.accumulate(&a.clone());
         assert_eq!(a.get_steps_ms, 2.0);
@@ -292,6 +357,21 @@ mod tests {
         assert_eq!(a.unique_stmts, 11);
         assert_eq!(a.intern_hits, 60);
         assert_eq!(a.dag_incremental_updates, 40);
+        // Allocated bytes are work and sum; the live peak is a gauge
+        // over shared process memory and takes the max.
+        assert_eq!(a.alloc_bytes_enumerate, 200);
+        assert_eq!(a.alloc_bytes_total, 800);
+        assert_eq!(a.alloc_count, 16);
+        assert_eq!(a.peak_live_bytes, 1 << 20);
+        assert_eq!(
+            a.alloc_bytes_total,
+            a.alloc_bytes_enumerate
+                + a.alloc_bytes_execute
+                + a.alloc_bytes_score
+                + a.alloc_bytes_verify
+                + a.alloc_bytes_unattributed,
+            "phase bytes keep summing to the total through accumulation"
+        );
     }
 
     #[test]
@@ -354,6 +434,14 @@ mod tests {
         reg.counter(metric::UNIQUE_STMTS).set_max(9);
         reg.counter(metric::INTERN_HITS).add(21);
         reg.counter(metric::DAG_INCREMENTAL).add(17);
+        reg.counter(metric::MEM_BYTES_ENUMERATE).add(4000);
+        reg.counter(metric::MEM_BYTES_EXECUTE).add(3000);
+        reg.counter(metric::MEM_BYTES_SCORE).add(2000);
+        reg.counter(metric::MEM_BYTES_VERIFY).add(500);
+        reg.counter(metric::MEM_BYTES_UNATTRIBUTED).add(500);
+        reg.counter(metric::MEM_BYTES_TOTAL).add(10_000);
+        reg.counter(metric::MEM_ALLOCS).add(42);
+        reg.counter(metric::MEM_PEAK_BYTES).set_max(1 << 22);
         let t = Timings::from_registry(&reg);
         assert!((t.get_steps_ms - 3.0).abs() < 1e-9);
         assert!((t.get_top_k_ms - 0.5).abs() < 1e-9);
@@ -375,6 +463,14 @@ mod tests {
         assert_eq!(t.unique_stmts, 9);
         assert_eq!(t.intern_hits, 21);
         assert_eq!(t.dag_incremental_updates, 17);
+        assert_eq!(t.alloc_bytes_enumerate, 4000);
+        assert_eq!(t.alloc_bytes_execute, 3000);
+        assert_eq!(t.alloc_bytes_score, 2000);
+        assert_eq!(t.alloc_bytes_verify, 500);
+        assert_eq!(t.alloc_bytes_unattributed, 500);
+        assert_eq!(t.alloc_bytes_total, 10_000);
+        assert_eq!(t.alloc_count, 42);
+        assert_eq!(t.peak_live_bytes, 1 << 22);
         // An empty registry projects the zero breakdown.
         assert_eq!(Timings::from_registry(&lucid_obs::Registry::new()), Timings::default());
     }

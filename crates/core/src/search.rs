@@ -31,6 +31,7 @@ use lucid_obs::event::{
     KeptBeam, SearchEndEvent, SearchStartEvent, StepEvent, StmtSpanAgg, VerifyEvent,
     TRACE_SCHEMA_VERSION,
 };
+use lucid_obs::alloc::{self, Phase, PhaseGuard};
 use lucid_obs::Registry;
 use lucid_pyast::Module;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -281,6 +282,9 @@ pub struct SearchOutcome {
 /// why LucidScript never *reduces* standardness (§6.3.1).
 pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome {
     let t_total = Instant::now();
+    // Allocator window for this search; the delta is folded into the
+    // registry at the end, next to the cache/interner counters.
+    let mem_start = alloc::snapshot();
     // All timing/count facts of this search live in one registry; the
     // returned `Timings` is a projection of it, and the trace events carry
     // the same measured values — the two views cannot disagree.
@@ -335,6 +339,7 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
         let mut stats = StepStats::default();
         let beams_in = beams.len();
         let cache_before = exec.cache_counters();
+        let step_mem_before = alloc::snapshot();
         // Algorithm 2, line 2: C' = C. A pointer-bump copy under the
         // interned IR — no statement or DAG is duplicated.
         let mut next: Vec<Candidate> = beams.clone();
@@ -343,6 +348,10 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
         // up front is equivalent to the per-beam interleaving — and lets
         // the work fan out across every (beam, transformation) pair.
         let ranked_per_beam = get_steps_all(&beams, ctx, &interner, &mut explored, &mut stats);
+        // Beam ranking allocates under the Score tag; the early execution
+        // checks it triggers re-tag themselves Execute inside the
+        // interpreter (innermost guard wins).
+        let mem_score = PhaseGuard::enter(Phase::Score);
         for (cand, ranked) in beams.iter().zip(ranked_per_beam) {
             // GetTopKBeams / GetDiverseTopKBeams.
             let t1 = Instant::now();
@@ -353,6 +362,7 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
             }
             stats.get_top_k_ms += t1.elapsed().as_secs_f64() * 1e3;
         }
+        drop(mem_score);
         // Deduplicate identical scripts (different sequences can converge).
         next.sort_by(|a, b| a.re.partial_cmp(&b.re).expect("finite RE"));
         next.dedup_by(|a, b| a.dag.atoms == b.dag.atoms);
@@ -400,6 +410,7 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
                 cache_hits: cache_after.0 - cache_before.0,
                 cache_misses: cache_after.1 - cache_before.1,
                 cache_evictions: cache_after.2 - cache_before.2,
+                alloc_bytes: alloc::snapshot().delta_since(&step_mem_before).total_bytes(),
                 get_steps_ms: stats.get_steps_ms,
                 get_top_k_ms: stats.get_top_k_ms,
                 check_execute_ms: stats.check_execute_ms,
@@ -431,6 +442,7 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
     // Finalists are checked in ascending-RE order; the first valid one is
     // optimal among everything the search visited.
     let t2 = Instant::now();
+    let mem_verify = PhaseGuard::enter(Phase::Verify);
     let n_finalists = finalists.len();
     let mut checked = 0usize;
     let mut verify_check_ms = 0.0f64;
@@ -475,6 +487,7 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
         break;
     }
     let verify_ms = t2.elapsed().as_secs_f64() * 1e3;
+    drop(mem_verify);
     h_check.record_ns(ms_to_ns(verify_check_ms));
     h_verify.record_ns(ms_to_ns(verify_ms));
     verify_failures.record(&reg);
@@ -523,8 +536,42 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
     reg.counter(metric::INTERN_HITS).add(interner.intern_hits());
     reg.counter(metric::DAG_INCREMENTAL)
         .add(interner.dag_incremental_updates());
+    // Allocator attribution for this search's window. The total is
+    // recorded as the sum of the same per-phase deltas, so "phase bytes
+    // sum to the total" holds exactly even when concurrent searches
+    // interleave their attributions into the process-global counters.
+    let mem = alloc::snapshot().delta_since(&mem_start);
+    reg.counter(metric::MEM_BYTES_ENUMERATE)
+        .add(mem.phase_bytes[Phase::Enumerate as usize]);
+    reg.counter(metric::MEM_BYTES_EXECUTE)
+        .add(mem.phase_bytes[Phase::Execute as usize]);
+    reg.counter(metric::MEM_BYTES_SCORE)
+        .add(mem.phase_bytes[Phase::Score as usize]);
+    reg.counter(metric::MEM_BYTES_VERIFY)
+        .add(mem.phase_bytes[Phase::Verify as usize]);
+    reg.counter(metric::MEM_BYTES_UNATTRIBUTED)
+        .add(mem.phase_bytes[Phase::Unattributed as usize]);
+    reg.counter(metric::MEM_BYTES_TOTAL).add(mem.total_bytes());
+    reg.counter(metric::MEM_ALLOCS).add(mem.total_allocs());
+    reg.counter(metric::MEM_PEAK_BYTES).set_max(alloc::peak_bytes());
+    // Size classes populate only in `Full` telemetry mode; fold them as
+    // pre-bucketed counts so the fleet roll-up can merge histograms.
+    if mem.size_buckets.iter().any(|&n| n > 0) {
+        let h_sizes = reg.histogram(metric::MEM_ALLOC_SIZE);
+        for (idx, &n) in mem.size_buckets.iter().enumerate() {
+            if n > 0 {
+                h_sizes.add_bucket_count(idx, n);
+            }
+        }
+    }
     h_total.record_ns(ms_to_ns(t_total.elapsed().as_secs_f64() * 1e3));
     let timings = Timings::from_registry(&reg);
+    // Fleet roll-up: a long-lived process hands every search the same
+    // process-wide registry; merging is measurement-only and happens
+    // after all decisions are made.
+    if let Some(fleet) = &ctx.config.stats_registry {
+        fleet.merge(&reg);
+    }
     // Profiling is measurement-only: the report is assembled after every
     // search decision is made, so output is byte-identical with it on or
     // off. Writes are best-effort, like trace emission — a full disk must
@@ -562,6 +609,14 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
             unique_stmts: timings.unique_stmts,
             intern_hits: timings.intern_hits,
             dag_incremental_updates: timings.dag_incremental_updates,
+            alloc_bytes_enumerate: timings.alloc_bytes_enumerate,
+            alloc_bytes_execute: timings.alloc_bytes_execute,
+            alloc_bytes_score: timings.alloc_bytes_score,
+            alloc_bytes_verify: timings.alloc_bytes_verify,
+            alloc_bytes_unattributed: timings.alloc_bytes_unattributed,
+            alloc_bytes_total: timings.alloc_bytes_total,
+            alloc_count: timings.alloc_count,
+            mem_peak_bytes: timings.peak_live_bytes,
             stmt_spans: stmt_span_aggregates(ctx.interp),
             spans_dropped: ctx.interp.obs.as_ref().map_or(0, |o| o.dropped()),
         });
@@ -641,6 +696,9 @@ fn get_steps_all(
     stats: &mut StepStats,
 ) -> Vec<Vec<ScoredStep>> {
     let t0 = Instant::now();
+    // The whole of `GetSteps` — enumeration, apply, scoring, ranking —
+    // is the "enumerate" slot of the allocator's phase attribution.
+    let _mem = PhaseGuard::enter(Phase::Enumerate);
     // Enumeration order defines job identity; everything downstream keys
     // off the job index.
     let mut jobs: Vec<(usize, Transformation)> = Vec::new();
@@ -754,22 +812,31 @@ fn score_steps_parallel(
         for _ in 0..workers {
             let tx = tx.clone();
             let counter = &counter;
-            scope.spawn(move |_| loop {
-                let i = counter.fetch_add(1, Ordering::SeqCst);
-                if i >= jobs.len() {
-                    break;
+            scope.spawn(move |_| {
+                // Phase tags are thread-local; each worker re-tags itself
+                // so its allocations land with the serial path's.
+                let _mem = PhaseGuard::enter(Phase::Enumerate);
+                loop {
+                    let i = counter.fetch_add(1, Ordering::SeqCst);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let (beam_idx, t) = &jobs[i];
+                    let t_job = Instant::now();
+                    let step = catch_unwind(AssertUnwindSafe(|| {
+                        score_step(&beams[*beam_idx], t, ctx, interner)
+                    }))
+                    .map_err(panic_payload);
+                    let cpu_ms = t_job.elapsed().as_secs_f64() * 1e3;
+                    // A send can only fail if the receiver is gone, i.e.
+                    // the search is already unwinding; dropping the result
+                    // is the graceful option either way.
+                    let _ = tx.send((i, step, cpu_ms));
                 }
-                let (beam_idx, t) = &jobs[i];
-                let t_job = Instant::now();
-                let step = catch_unwind(AssertUnwindSafe(|| {
-                    score_step(&beams[*beam_idx], t, ctx, interner)
-                }))
-                .map_err(panic_payload);
-                let cpu_ms = t_job.elapsed().as_secs_f64() * 1e3;
-                // A send can only fail if the receiver is gone, i.e. the
-                // search is already unwinding; dropping the result is the
-                // graceful option either way.
-                let _ = tx.send((i, step, cpu_ms));
+                // Last flush point for this worker: guards are pure tag
+                // swaps, so the thread's buffered allocator attribution
+                // must be published before the scope joins it.
+                alloc::flush_tls();
             });
         }
     });

@@ -305,6 +305,11 @@ impl Interpreter {
         trusted: bool,
         state: &mut RunState,
     ) -> Result<()> {
+        // Allocator attribution: every interpreter execution — candidate
+        // checks, verification runs, the user's own script — counts as
+        // the Execute phase, overriding any outer search-phase tag for
+        // the duration of the run.
+        let _mem = lucid_obs::alloc::PhaseGuard::enter(lucid_obs::alloc::Phase::Execute);
         let keys = cache.map(|_| {
             crate::cache::prefix_keys_from_hashes(
                 self.seed,

@@ -127,6 +127,9 @@ pub struct StepEvent {
     pub cache_misses: u64,
     /// Prefix-cache evictions during this step.
     pub cache_evictions: u64,
+    /// Bytes allocated during this step, summed over all phases (0 when
+    /// allocator telemetry is off or the wrapper is not installed).
+    pub alloc_bytes: u64,
     /// Wall ms in `GetSteps` (enumerate + apply + score + rank).
     pub get_steps_ms: f64,
     /// Wall ms in `GetTopKBeams` / `GetDiverseTopKBeams`.
@@ -238,6 +241,24 @@ pub struct SearchEndEvent {
     pub intern_hits: u64,
     /// Candidate DAGs derived incrementally instead of rebuilt.
     pub dag_incremental_updates: u64,
+    /// Bytes allocated during `GetSteps` enumeration + scoring workers.
+    /// All `alloc_*` / `mem_*` fields are 0 when allocator telemetry is
+    /// off or the instrumented allocator is not installed.
+    pub alloc_bytes_enumerate: u64,
+    /// Bytes allocated during interpreter execution (`CheckIfExecutes`).
+    pub alloc_bytes_execute: u64,
+    /// Bytes allocated during beam ranking (`GetTopKBeams`).
+    pub alloc_bytes_score: u64,
+    /// Bytes allocated during final verification.
+    pub alloc_bytes_verify: u64,
+    /// Bytes allocated outside any tagged phase (parsing, reporting, …).
+    pub alloc_bytes_unattributed: u64,
+    /// Total bytes allocated — the sum of the five phase fields.
+    pub alloc_bytes_total: u64,
+    /// Allocation count over the whole search.
+    pub alloc_count: u64,
+    /// Process live-bytes high-water mark at search end.
+    pub mem_peak_bytes: u64,
     /// Per-statement-kind interpreter spans (empty when the collector is
     /// disabled).
     pub stmt_spans: Vec<StmtSpanAgg>,
@@ -282,6 +303,7 @@ mod tests {
             cache_hits: 4,
             cache_misses: 1,
             cache_evictions: 0,
+            alloc_bytes: 2048,
             get_steps_ms: 1.5,
             get_top_k_ms: 0.5,
             check_execute_ms: 0.25,

@@ -37,7 +37,9 @@
 //! assert_eq!(sink.records(), 1);
 //! ```
 
+pub mod alloc;
 pub mod event;
+pub mod export;
 pub mod flame;
 pub mod metrics;
 pub mod profile;
@@ -45,10 +47,12 @@ pub mod sink;
 pub mod span;
 pub mod summary;
 
+pub use alloc::{AllocDelta, AllocSnapshot, LucidAlloc, Phase, PhaseGuard, TelemetryMode};
 pub use event::TRACE_SCHEMA_VERSION;
+pub use export::{prometheus_text, snapshot_json, StatsReporter};
 pub use flame::{fold_spans, to_folded, FoldedFrame};
 pub use metrics::{Counter, Histogram, Percentiles, Registry};
 pub use profile::{PercentileRow, ProfileEvent, ProfileReport};
-pub use sink::TraceSink;
+pub use sink::{rotated_path, TraceSink};
 pub use span::{Collector, Span, SpanRecord};
-pub use summary::{parse_trace, TraceSummary};
+pub use summary::{aggregate_summaries, parse_trace, AggregateReport, TraceSummary};

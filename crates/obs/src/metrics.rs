@@ -174,6 +174,43 @@ impl Histogram {
         self.sum_ns.store(0, Ordering::Relaxed);
         self.max_ns.store(0, Ordering::Relaxed);
     }
+
+    /// Folds `n` observations directly into bucket `idx`, each accounted
+    /// at the bucket's lower bound `2^idx`. This is how pre-bucketed
+    /// counts (the allocator's size classes) enter a registry histogram
+    /// without replaying individual observations; the sum/max aggregates
+    /// are therefore lower bounds, while `count` and percentiles keep
+    /// their usual bucket resolution.
+    pub fn add_bucket_count(&self, idx: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = idx.min(HISTOGRAM_BUCKETS - 1);
+        let lo = 1u64 << idx;
+        self.buckets[idx].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum_ns.fetch_add(lo.saturating_mul(n), Ordering::Relaxed);
+        self.max_ns.fetch_max(lo, Ordering::Relaxed);
+    }
+
+    /// Folds `other` into `self`: buckets, counts, and sums add; the max
+    /// takes the larger side. Merging is commutative and associative on
+    /// every aggregate, so per-search histograms roll up into a
+    /// process-wide one in any order.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_ns
+            .fetch_max(other.max_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
 }
 
 /// Percentile summary of one histogram (see [`Histogram::percentiles`]).
@@ -300,6 +337,38 @@ impl Registry {
         }
         for h in self.histograms.lock().expect("registry lock").values() {
             h.reset();
+        }
+    }
+
+    /// Folds every metric of `other` into `self`: counter values add
+    /// (for max-style gauges like cache peaks the sum is an upper bound
+    /// across searches, the usual fleet aggregation), histograms merge
+    /// bucket-wise via [`Histogram::merge_from`]. This is the roll-up
+    /// primitive: per-search registries merge into a process-wide one at
+    /// search end. Values are copied out of `other` before touching
+    /// `self`, so the two registries' locks are never held together.
+    pub fn merge(&self, other: &Registry) {
+        let counters: Vec<(&'static str, u64)> = other
+            .counters
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, c)| (*name, c.get()))
+            .collect();
+        for (name, v) in counters {
+            if v > 0 {
+                self.counter(name).add(v);
+            }
+        }
+        let histograms: Vec<(&'static str, Arc<Histogram>)> = other
+            .histograms
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, h)| (*name, Arc::clone(h)))
+            .collect();
+        for (name, h) in histograms {
+            self.histogram(name).merge_from(&h);
         }
     }
 

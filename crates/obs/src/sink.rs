@@ -49,8 +49,9 @@ enum Target {
     Memory(Mutex<Vec<String>>),
 }
 
-/// The rotation destination for `path`: `<path>.1`.
-fn rotated_path(path: &Path) -> PathBuf {
+/// The rotation destination for `path`: `<path>.1`. Public so trace
+/// consumers (`lucid trace`) can fold the rotated segment back in.
+pub fn rotated_path(path: &Path) -> PathBuf {
     let mut os = path.as_os_str().to_os_string();
     os.push(".1");
     PathBuf::from(os)

@@ -39,6 +39,9 @@ pub struct StepRow {
     pub cache_misses: u64,
     /// Prefix-cache evictions this step.
     pub cache_evictions: u64,
+    /// Bytes allocated during this step (0 when allocator telemetry was
+    /// off when the trace was written).
+    pub alloc_bytes: u64,
     /// Phase wall ms.
     pub get_steps_ms: f64,
     /// `GetTopKBeams` wall ms.
@@ -115,6 +118,17 @@ pub struct TraceSummary {
     pub intern_hits: u64,
     /// Candidate DAGs derived incrementally instead of rebuilt.
     pub dag_incremental_updates: u64,
+    /// Bytes allocated per phase, in [`crate::alloc::PHASES`] display
+    /// order: enumerate, execute, score, verify, unattributed. All
+    /// memory fields are zero for traces written with telemetry off.
+    pub alloc_bytes_phases: [u64; 5],
+    /// Total bytes allocated (from `search_end`, falling back to the
+    /// per-step sums on a truncated trace).
+    pub alloc_bytes_total: u64,
+    /// Allocation count over the whole search.
+    pub alloc_count: u64,
+    /// Process live-bytes high-water mark at search end.
+    pub mem_peak_bytes: u64,
     /// Per-statement interpreter aggregates (name, count, total ms).
     pub stmt_spans: Vec<(String, u64, f64)>,
     /// Records that parsed but carried an unrecognized `event`.
@@ -224,6 +238,7 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
                     cache_hits: int(&record, "cache_hits"),
                     cache_misses: int(&record, "cache_misses"),
                     cache_evictions: int(&record, "cache_evictions"),
+                    alloc_bytes: int(&record, "alloc_bytes"),
                     get_steps_ms: num(&record, "get_steps_ms"),
                     get_top_k_ms: num(&record, "get_top_k_ms"),
                     check_execute_ms: num(&record, "check_execute_ms"),
@@ -274,6 +289,16 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
                 summary.unique_stmts = int(&record, "unique_stmts");
                 summary.intern_hits = int(&record, "intern_hits");
                 summary.dag_incremental_updates = int(&record, "dag_incremental_updates");
+                summary.alloc_bytes_phases = [
+                    int(&record, "alloc_bytes_enumerate"),
+                    int(&record, "alloc_bytes_execute"),
+                    int(&record, "alloc_bytes_score"),
+                    int(&record, "alloc_bytes_verify"),
+                    int(&record, "alloc_bytes_unattributed"),
+                ];
+                summary.alloc_bytes_total = int(&record, "alloc_bytes_total");
+                summary.alloc_count = int(&record, "alloc_count");
+                summary.mem_peak_bytes = int(&record, "mem_peak_bytes");
                 if let Some(spans) = record.get("stmt_spans").and_then(Value::as_array) {
                     for s in spans {
                         summary.stmt_spans.push((
@@ -311,6 +336,7 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
         summary.budget_trips_cells = sum_trips[1];
         summary.budget_trips_deadline = sum_trips[2];
         summary.candidates_deduped = sum_deduped;
+        summary.alloc_bytes_total = summary.steps.iter().map(|s| s.alloc_bytes).sum();
     }
     Ok(summary)
 }
@@ -357,7 +383,7 @@ impl TraceSummary {
             out.push('\n');
             let headers = [
                 "step", "beams", "enum", "pruned", "scored", "rejected", "kept", "best-RE",
-                "steps-ms", "topk-ms", "check-ms", "cache h/m/e",
+                "steps-ms", "topk-ms", "check-ms", "alloc", "cache h/m/e",
             ];
             let rows: Vec<Vec<String>> = self
                 .steps
@@ -375,6 +401,7 @@ impl TraceSummary {
                         format!("{:.2}", s.get_steps_ms),
                         format!("{:.2}", s.get_top_k_ms),
                         format!("{:.2}", s.check_execute_ms),
+                        fmt_bytes(s.alloc_bytes),
                         format!("{}/{}/{}", s.cache_hits, s.cache_misses, s.cache_evictions),
                     ]
                 })
@@ -419,6 +446,20 @@ impl TraceSummary {
                 self.candidates_deduped,
             ));
         }
+        if self.alloc_bytes_total > 0 || self.mem_peak_bytes > 0 {
+            let [enumerate, execute, score, verify, unattributed] = self.alloc_bytes_phases;
+            out.push_str(&format!(
+                "memory: {} allocated in {} allocations (enumerate {}, execute {}, score {}, verify {}, unattributed {}), peak live {}\n",
+                fmt_bytes(self.alloc_bytes_total),
+                self.alloc_count,
+                fmt_bytes(enumerate),
+                fmt_bytes(execute),
+                fmt_bytes(score),
+                fmt_bytes(verify),
+                fmt_bytes(unattributed),
+                fmt_bytes(self.mem_peak_bytes),
+            ));
+        }
         let trips =
             self.budget_trips_fuel + self.budget_trips_cells + self.budget_trips_deadline;
         if self.candidates_panicked > 0 || trips > 0 {
@@ -454,6 +495,194 @@ impl TraceSummary {
             out.push_str(&format!(
                 "warning: {} blank/truncated/malformed line(s) skipped\n",
                 self.skipped_lines
+            ));
+        }
+        out
+    }
+}
+
+/// Renders a byte count with a binary-unit suffix (`-` for zero, which
+/// keeps telemetry-off traces visually quiet).
+pub fn fmt_bytes(bytes: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let b = bytes as f64;
+    if bytes == 0 {
+        "-".to_string()
+    } else if b >= KIB * KIB * KIB {
+        format!("{:.2}GiB", b / (KIB * KIB * KIB))
+    } else if b >= KIB * KIB {
+        format!("{:.1}MiB", b / (KIB * KIB))
+    } else if b >= KIB {
+        format!("{:.1}KiB", b / KIB)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// One trace file's line in an [`AggregateReport`].
+#[derive(Debug, Clone)]
+pub struct AggregateRow {
+    /// Display name (the file path `lucid trace --aggregate` was given).
+    pub name: String,
+    /// Beam steps in this search.
+    pub steps: usize,
+    /// Candidates scored.
+    pub explored: u64,
+    /// This search's phase totals.
+    pub totals: PhaseTotals,
+    /// Verification outcome (None on a truncated trace).
+    pub accepted: Option<bool>,
+    /// Bytes allocated over the search.
+    pub alloc_bytes_total: u64,
+    /// Live-bytes high-water mark at search end.
+    pub mem_peak_bytes: u64,
+}
+
+/// Cross-search roll-up of several parsed traces — the engine behind
+/// `lucid trace --aggregate <FILE>...`. Fleet totals are field-wise sums
+/// over the per-file rows (same additions, same order), so they
+/// reconcile *exactly* with the per-file summaries.
+#[derive(Debug, Clone, Default)]
+pub struct AggregateReport {
+    /// Per-file rows, in input order.
+    pub rows: Vec<AggregateRow>,
+    /// Field-wise sum of every row's phase totals.
+    pub totals: PhaseTotals,
+    /// Σ rows' explored counts.
+    pub explored: u64,
+    /// Σ rows' step counts.
+    pub steps: usize,
+    /// Σ rows' allocated bytes.
+    pub alloc_bytes_total: u64,
+    /// Max of the rows' peaks (peaks don't add across time-shifted
+    /// searches; the max is the defensible fleet statistic).
+    pub mem_peak_bytes: u64,
+    /// Searches whose verification accepted a candidate.
+    pub accepted: usize,
+    /// Exact (nearest-rank) median of the per-search `total_ms`.
+    pub p50_total_ms: f64,
+    /// Exact 90th percentile of per-search `total_ms`.
+    pub p90_total_ms: f64,
+    /// Slowest search's `total_ms`.
+    pub max_total_ms: f64,
+}
+
+/// Nearest-rank percentile over already-sorted samples.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Rolls `(name, summary)` pairs up into an [`AggregateReport`].
+pub fn aggregate_summaries(inputs: &[(String, TraceSummary)]) -> AggregateReport {
+    let mut report = AggregateReport::default();
+    let mut latencies: Vec<f64> = Vec::with_capacity(inputs.len());
+    for (name, s) in inputs {
+        let row = AggregateRow {
+            name: name.clone(),
+            steps: s.steps.len(),
+            explored: s.explored,
+            totals: s.totals,
+            accepted: s.accepted,
+            alloc_bytes_total: s.alloc_bytes_total,
+            mem_peak_bytes: s.mem_peak_bytes,
+        };
+        report.totals.get_steps_ms += row.totals.get_steps_ms;
+        report.totals.get_top_k_ms += row.totals.get_top_k_ms;
+        report.totals.check_execute_ms += row.totals.check_execute_ms;
+        report.totals.verify_constraints_ms += row.totals.verify_constraints_ms;
+        report.totals.total_ms += row.totals.total_ms;
+        report.explored += row.explored;
+        report.steps += row.steps;
+        report.alloc_bytes_total += row.alloc_bytes_total;
+        report.mem_peak_bytes = report.mem_peak_bytes.max(row.mem_peak_bytes);
+        if row.accepted == Some(true) {
+            report.accepted += 1;
+        }
+        latencies.push(row.totals.total_ms);
+        report.rows.push(row);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    report.p50_total_ms = percentile_sorted(&latencies, 0.50);
+    report.p90_total_ms = percentile_sorted(&latencies, 0.90);
+    report.max_total_ms = latencies.last().copied().unwrap_or(0.0);
+    report
+}
+
+impl AggregateReport {
+    /// Renders the cross-search table `lucid trace --aggregate` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let headers = [
+            "search", "steps", "explored", "steps-ms", "topk-ms", "check-ms", "verify-ms",
+            "total-ms", "alloc", "peak", "ok",
+        ];
+        let row_cells = |name: &str,
+                         steps: usize,
+                         explored: u64,
+                         t: &PhaseTotals,
+                         alloc: u64,
+                         peak: u64,
+                         ok: String| {
+            vec![
+                name.to_string(),
+                steps.to_string(),
+                explored.to_string(),
+                format!("{:.2}", t.get_steps_ms),
+                format!("{:.2}", t.get_top_k_ms),
+                format!("{:.2}", t.check_execute_ms),
+                format!("{:.2}", t.verify_constraints_ms),
+                format!("{:.2}", t.total_ms),
+                fmt_bytes(alloc),
+                fmt_bytes(peak),
+                ok,
+            ]
+        };
+        let mut rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                row_cells(
+                    &r.name,
+                    r.steps,
+                    r.explored,
+                    &r.totals,
+                    r.alloc_bytes_total,
+                    r.mem_peak_bytes,
+                    match r.accepted {
+                        Some(true) => "yes".to_string(),
+                        Some(false) => "no".to_string(),
+                        None => "-".to_string(),
+                    },
+                )
+            })
+            .collect();
+        rows.push(row_cells(
+            "TOTAL",
+            self.steps,
+            self.explored,
+            &self.totals,
+            self.alloc_bytes_total,
+            self.mem_peak_bytes,
+            format!("{}/{}", self.accepted, self.rows.len()),
+        ));
+        render_table(&headers, &rows, &mut out);
+        out.push_str(&format!(
+            "\n{} searches: total {:.2} ms, per-search p50 {:.2} ms, p90 {:.2} ms, max {:.2} ms\n",
+            self.rows.len(),
+            self.totals.total_ms,
+            self.p50_total_ms,
+            self.p90_total_ms,
+            self.max_total_ms,
+        ));
+        if self.alloc_bytes_total > 0 || self.mem_peak_bytes > 0 {
+            out.push_str(&format!(
+                "memory: {} allocated across the fleet, peak live {}\n",
+                fmt_bytes(self.alloc_bytes_total),
+                fmt_bytes(self.mem_peak_bytes),
             ));
         }
         out
@@ -519,6 +748,7 @@ mod tests {
                 cache_hits: 3,
                 cache_misses: 1,
                 cache_evictions: 0,
+                alloc_bytes: 1024 * (step as u64 + 1),
                 get_steps_ms: 10.0,
                 get_top_k_ms: 2.0,
                 check_execute_ms: 4.0,
@@ -568,6 +798,14 @@ mod tests {
             unique_stmts: 9,
             intern_hits: 40,
             dag_incremental_updates: 18,
+            alloc_bytes_enumerate: 2048,
+            alloc_bytes_execute: 1024,
+            alloc_bytes_score: 512,
+            alloc_bytes_verify: 256,
+            alloc_bytes_unattributed: 256,
+            alloc_bytes_total: 4096,
+            alloc_count: 77,
+            mem_peak_bytes: 5 * 1024 * 1024,
             stmt_spans: vec![StmtSpanAgg {
                 name: "stmt.assign".to_string(),
                 count: 30,
@@ -613,6 +851,13 @@ mod tests {
         assert_eq!(summary.intern_hits, 40);
         assert_eq!(summary.dag_incremental_updates, 18);
         assert_eq!(summary.steps[0].candidates_deduped, 2);
+        // Memory fields come from the search_end record.
+        assert_eq!(summary.alloc_bytes_phases, [2048, 1024, 512, 256, 256]);
+        assert_eq!(summary.alloc_bytes_total, 4096);
+        assert_eq!(summary.alloc_count, 77);
+        assert_eq!(summary.mem_peak_bytes, 5 * 1024 * 1024);
+        assert_eq!(summary.steps[0].alloc_bytes, 1024);
+        assert_eq!(summary.steps[1].alloc_bytes, 2048);
     }
 
     #[test]
@@ -630,6 +875,9 @@ mod tests {
         assert!(text.contains(
             "interned IR: 9 unique statements, 40 intern hits, 18 incremental DAG updates, 4 duplicate candidates skipped"
         ));
+        assert!(text.contains("alloc")); // step-table column
+        assert!(text.contains("memory: 4.0KiB allocated in 77 allocations"));
+        assert!(text.contains("peak live 5.0MiB"));
     }
 
     #[test]
@@ -641,6 +889,7 @@ mod tests {
         let summary = parse_trace(&sink.memory_lines().unwrap().join("\n")).unwrap();
         assert!(!summary.render().contains("fault isolation"));
         assert!(!summary.render().contains("interned IR"));
+        assert!(!summary.render().contains("memory:"));
     }
 
     #[test]
@@ -707,5 +956,83 @@ not json
         // (missing) search_end record, so they stay zero.
         assert_eq!(summary.candidates_deduped, 4); // 2 + 2 from steps
         assert_eq!(summary.unique_stmts, 0);
+        // Allocated bytes fall back to the step sums; peaks only exist
+        // in the (missing) search_end record.
+        assert_eq!(summary.alloc_bytes_total, 3072);
+        assert_eq!(summary.mem_peak_bytes, 0);
+    }
+
+    #[test]
+    fn aggregate_totals_reconcile_exactly_with_per_file_summaries() {
+        let a = parse_trace(&sample_trace()).unwrap();
+        let b = parse_trace(&sample_trace()).unwrap();
+        let report = aggregate_summaries(&[
+            ("a.jsonl".to_string(), a.clone()),
+            ("b.jsonl".to_string(), b.clone()),
+        ]);
+
+        assert_eq!(report.rows.len(), 2);
+        // Fleet totals are the field-wise sums of the per-file rows —
+        // the reconciliation the CLI's --aggregate table promises.
+        assert_eq!(
+            report.totals.get_steps_ms,
+            report.rows.iter().map(|r| r.totals.get_steps_ms).sum::<f64>()
+        );
+        assert_eq!(
+            report.totals.total_ms,
+            report.rows.iter().map(|r| r.totals.total_ms).sum::<f64>()
+        );
+        assert_eq!(report.totals.total_ms, a.totals.total_ms + b.totals.total_ms);
+        assert_eq!(report.explored, a.explored + b.explored);
+        assert_eq!(report.steps, a.steps.len() + b.steps.len());
+        assert_eq!(report.alloc_bytes_total, a.alloc_bytes_total * 2);
+        assert_eq!(report.mem_peak_bytes, a.mem_peak_bytes); // max, not sum
+        assert_eq!(report.accepted, 2);
+        // Identical searches collapse the latency percentiles.
+        assert_eq!(report.p50_total_ms, 40.0);
+        assert_eq!(report.p90_total_ms, 40.0);
+        assert_eq!(report.max_total_ms, 40.0);
+
+        let text = report.render();
+        assert!(text.contains("TOTAL"));
+        assert!(text.contains("a.jsonl"));
+        assert!(text.contains("2 searches: total 80.00 ms"));
+        assert!(text.contains("p50 40.00 ms"));
+        assert!(text.contains("memory: 8.0KiB allocated across the fleet"));
+        assert!(text.contains("2/2")); // accepted count in the TOTAL row
+    }
+
+    #[test]
+    fn aggregate_percentiles_use_nearest_rank_over_searches() {
+        let mk = |total_ms: f64, peak: u64| TraceSummary {
+            totals: PhaseTotals {
+                total_ms,
+                ..Default::default()
+            },
+            mem_peak_bytes: peak,
+            accepted: Some(false),
+            ..Default::default()
+        };
+        let inputs: Vec<(String, TraceSummary)> = (1..=10)
+            .map(|i| (format!("s{i}"), mk(i as f64 * 10.0, i * 1000)))
+            .collect();
+        let report = aggregate_summaries(&inputs);
+        assert_eq!(report.p50_total_ms, 50.0);
+        assert_eq!(report.p90_total_ms, 90.0);
+        assert_eq!(report.max_total_ms, 100.0);
+        assert_eq!(report.mem_peak_bytes, 10_000);
+        assert_eq!(report.accepted, 0);
+        let empty = aggregate_summaries(&[]);
+        assert_eq!(empty.p50_total_ms, 0.0);
+        assert_eq!(empty.rows.len(), 0);
+    }
+
+    #[test]
+    fn fmt_bytes_picks_binary_units() {
+        assert_eq!(fmt_bytes(0), "-");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024), "5.0MiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024 * 1024), "3.00GiB");
     }
 }

@@ -74,4 +74,38 @@ if [ "$gate_failed" -ne 0 ]; then
   exit 1
 fi
 
+# Metric names live in core::report::metric — one spelling per metric,
+# shared by the search, the exporters, and the bench harness. An ad-hoc
+# dot-path literal anywhere else silently forks the namespace (the
+# exporter would publish two names for one quantity), so scan non-test
+# code of the metric-consuming crates for stray literals. report.rs
+# itself is the one allowed definition site.
+echo "==> metric-name grep gate (core + bench + CLI use report::metric consts)"
+metric_gate() {
+  local f="$1"
+  local hits
+  hits=$(awk '/#\[cfg\(test\)\]/{exit} {print NR": "$0}' "$f" \
+    | grep -vE '^[0-9]+: *(//|//!)' \
+    | grep -E '"(search|cache|budget|interner|dag|mem)\.' || true)
+  if [ -n "$hits" ]; then
+    echo "ad-hoc metric literal in non-test code of $f (use core::report::metric):"
+    echo "$hits"
+    gate_failed=1
+  fi
+}
+for f in crates/core/src/*.rs crates/bench/src/*.rs src/bin/*.rs; do
+  [ "$f" = "crates/core/src/report.rs" ] && continue
+  metric_gate "$f"
+done
+if [ "$gate_failed" -ne 0 ]; then
+  echo "==> FAIL: metric names must come from core::report::metric"
+  exit 1
+fi
+
+# Telemetry overhead smoke: the always-on allocator attribution must
+# stay cheap. Counting-only keeps the smoke fast; the full three-mode
+# sweep runs via `lucid bench --telemetry-overhead` on demand.
+echo "==> telemetry overhead smoke (counting budget: 5% or 2 ms)"
+./target/release/lucid bench --telemetry-overhead --quick --reps 2 --counting-only
+
 echo "==> OK"

@@ -5,6 +5,7 @@
 //! lucid score       --corpus DIR --script FILE
 //! lucid corpus-stats --corpus DIR
 //! lucid trace       FILE.jsonl
+//! lucid trace       --aggregate FILE.jsonl...
 //! lucid profile     FILE.jsonl [--out DIR]
 //! lucid bench       [--quick] [--reps N] [--out FILE] [--compare BASELINE]
 //! ```
@@ -29,8 +30,10 @@ USAGE:
   lucid score        --corpus <DIR> --script <PY>
   lucid corpus-stats --corpus <DIR>
   lucid trace        <FILE.jsonl>
+  lucid trace        --aggregate <FILE.jsonl>...
   lucid profile      <FILE.jsonl> [--out <DIR>]
   lucid bench        [--quick] [--reps <N>] [--out <FILE>] [--compare <BASELINE>]
+  lucid bench        --telemetry-overhead [--quick] [--reps <N>] [--counting-only]
 
 OPTIONS (standardize):
   --tau-j <0..1>      table-Jaccard intent threshold (default 0.9)
@@ -50,6 +53,12 @@ OPTIONS (standardize):
                       previous segment; disk use stays around 2×N)
   --profile-out <DIR> write profile exports (flame.folded, percentiles.txt,
                       profile.json) into DIR after the search
+  --telemetry <MODE>  allocator telemetry: off | counting (default) | full
+                      (full adds per-phase peaks + allocation-size buckets)
+  --stats-out <FILE>  write a metrics snapshot after the search (.prom/.txt
+                      get Prometheus text exposition, anything else JSON)
+  --stats-interval-ms <N>  with --stats-out, re-export the snapshot every
+                      N ms while the search runs (final write on exit)
   --explain           print per-change explanations
   --json              emit the full report as JSON
 
@@ -61,12 +70,23 @@ OPTIONS (bench):
   --compare <BASELINE>  diff this run against the last entry of BASELINE and
                       exit non-zero when the noise-aware gate flags a phase
   --inject-slowdown <F>  multiply measured phase times by F (gate self-test)
+  --inject-mem-regression <F>  multiply measured memory stats by F (gate self-test)
   --rel-threshold <F> gate: min relative median slowdown (default 0.5)
   --noise-mult <F>    gate: delta must exceed F × run-to-run spread (default 1.5)
-  --abs-floor-ms <F>  gate: deltas under F ms never fail (default 1.0)
+  --abs-floor-ms <F>  gate: time deltas under F ms never fail (default 1.0)
+  --abs-floor-bytes <F>  gate: memory deltas under F bytes never fail
+                      (default 1048576 = 1 MiB)
+  --telemetry-overhead  measure telemetry cost instead of appending: run each
+                      workload with telemetry off/counting/full and fail when
+                      counting exceeds 5% relative overhead and a 2 ms floor
+                      (full mode, an opt-in diagnostic, gets 3x both bounds)
+  --counting-only     with --telemetry-overhead, skip the full-mode pass
 
 `lucid trace` summarizes an event log written by `--trace`: the per-step
-table, the Figure 7 phase totals, and cache/interpreter statistics.
+table, the Figure 7 phase totals, and cache/interpreter statistics; when
+a rotated `<FILE>.1` segment exists it is folded back in front of the
+current segment. `lucid trace --aggregate` merges several trace files
+into one cross-search table with per-phase totals and memory peaks.
 `lucid profile` renders the profile record of a trace (or of a
 `--profile-out` profile.json): collapsed-stack flamegraph text plus
 p50/p90/p99/max phase percentiles; `--out` writes the files instead.
@@ -89,19 +109,22 @@ const SWITCH_FLAGS: &[&str] = &["explain", "json", "no-cache"];
 /// `--name value` flags of the standardize/score/corpus-stats family.
 const VALUE_FLAGS: &[&str] = &[
     "corpus", "data", "script", "tau-j", "tau-m", "target", "seq", "beam", "sample", "threads",
-    "trace", "trace-max-bytes", "profile-out", "fuel", "max-cells", "deadline-ms",
+    "trace", "trace-max-bytes", "profile-out", "fuel", "max-cells", "deadline-ms", "telemetry",
+    "stats-out", "stats-interval-ms",
 ];
 /// Switches of `lucid bench`.
-const BENCH_SWITCH_FLAGS: &[&str] = &["quick"];
+const BENCH_SWITCH_FLAGS: &[&str] = &["quick", "telemetry-overhead", "counting-only"];
 /// `--name value` flags of `lucid bench`.
 const BENCH_VALUE_FLAGS: &[&str] = &[
     "reps",
     "out",
     "compare",
     "inject-slowdown",
+    "inject-mem-regression",
     "rel-threshold",
     "noise-mult",
     "abs-floor-ms",
+    "abs-floor-bytes",
 ];
 /// `--name value` flags of `lucid profile` (after the positional file).
 const PROFILE_VALUE_FLAGS: &[&str] = &["out"];
@@ -186,17 +209,61 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     .map(|()| ExitCode::SUCCESS)
 }
 
+const TRACE_USAGE: &str = "usage: lucid trace <FILE.jsonl> | lucid trace --aggregate <FILE.jsonl>...";
+
 /// `lucid trace <FILE.jsonl>`: parse a search event log and print the
 /// per-step table plus the Figure 7 phase totals it reconstructs.
+/// `lucid trace --aggregate <FILE>...` merges several logs into one
+/// cross-search table. Both fold a rotated `<FILE>.1` segment back in
+/// front of the current one when rotation split the log.
 fn trace_report(rest: &[String]) -> Result<(), String> {
+    if rest.first().map(String::as_str) == Some("--aggregate") {
+        let files = &rest[1..];
+        if files.is_empty() {
+            return Err(TRACE_USAGE.to_string());
+        }
+        let mut inputs = Vec::with_capacity(files.len());
+        for path in files {
+            let summary = lucidscript::obs::parse_trace(&read_trace_folding_rotation(path)?)?;
+            let name = Path::new(path)
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or(path)
+                .to_string();
+            inputs.push((name, summary));
+        }
+        print!("{}", lucidscript::obs::aggregate_summaries(&inputs).render());
+        return Ok(());
+    }
     let [path] = rest else {
-        return Err("usage: lucid trace <FILE.jsonl>".to_string());
+        return Err(TRACE_USAGE.to_string());
     };
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read trace '{path}': {e}"))?;
-    let summary = lucidscript::obs::parse_trace(&text)?;
+    let summary = lucidscript::obs::parse_trace(&read_trace_folding_rotation(path)?)?;
     print!("{}", summary.render());
     Ok(())
+}
+
+/// Reads a trace file, prepending its rotated `<path>.1` segment when
+/// one exists — the rotation holds the *older* records, so the folded
+/// stream replays in emission order.
+fn read_trace_folding_rotation(path: &str) -> Result<String, String> {
+    let current = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read trace '{path}': {e}"))?;
+    let rotated = lucidscript::obs::rotated_path(Path::new(path));
+    if !rotated.exists() {
+        return Ok(current);
+    }
+    let mut text = std::fs::read_to_string(&rotated)
+        .map_err(|e| format!("cannot read rotated trace '{}': {e}", rotated.display()))?;
+    eprintln!(
+        "note: folded rotated segment {} in front of {path}",
+        rotated.display()
+    );
+    if !text.is_empty() && !text.ends_with('\n') {
+        text.push('\n');
+    }
+    text.push_str(&current);
+    Ok(text)
 }
 
 /// `lucid profile <FILE.jsonl> [--out DIR]`: extract the profile record
@@ -252,22 +319,52 @@ fn bench(flags: &Flags) -> Result<ExitCode, String> {
         .get("reps")
         .map_or(Ok(5), |v| v.parse().map_err(|_| "bad --reps".to_string()))?;
     let inject = parse_f64("inject-slowdown", 1.0)?;
+    let inject_mem = parse_f64("inject-mem-regression", 1.0)?;
+    // Parsed up front so a typo fails before minutes of suite running.
+    let gate_opts = lucidscript::bench::GateOptions {
+        rel_threshold: parse_f64("rel-threshold", 0.5)?,
+        noise_mult: parse_f64("noise-mult", 1.5)?,
+        abs_floor_ms: parse_f64("abs-floor-ms", 1.0)?,
+        abs_floor_bytes: parse_f64("abs-floor-bytes", (1u64 << 20) as f64)?,
+    };
     let workloads = if flags.has("quick") {
         lucidscript::bench::quick_suite()
     } else {
         lucidscript::bench::suite()
     };
+    if flags.has("telemetry-overhead") {
+        let counting_only = flags.has("counting-only");
+        eprintln!(
+            "measuring telemetry overhead: {} workload(s) × {} rep(s) × {} mode(s)...",
+            workloads.len(),
+            reps,
+            if counting_only { 2 } else { 3 }
+        );
+        let reports = lucidscript::bench::measure_overhead(&workloads, reps, counting_only)?;
+        print!("{}", lucidscript::bench::overhead::render(&reports));
+        const BUDGET_FRAC: f64 = 0.05;
+        const BUDGET_FLOOR_MS: f64 = 2.0;
+        if reports
+            .iter()
+            .any(|r| !r.within_budget(BUDGET_FRAC, BUDGET_FLOOR_MS))
+        {
+            eprintln!("telemetry overhead budget (counting 5% or 2 ms; full 3x): EXCEEDED");
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("telemetry overhead budget (counting 5% or 2 ms; full 3x): ok");
+        return Ok(ExitCode::SUCCESS);
+    }
     eprintln!(
         "running {} workload(s) × {} rep(s){}...",
         workloads.len(),
         reps,
-        if inject != 1.0 {
-            format!(" (slowdown ×{inject} injected)")
+        if inject != 1.0 || inject_mem != 1.0 {
+            format!(" (injected: time ×{inject}, mem ×{inject_mem})")
         } else {
             String::new()
         }
     );
-    let entry = lucidscript::bench::run_suite(&workloads, reps, inject)?;
+    let entry = lucidscript::bench::run_suite(&workloads, reps, inject, inject_mem)?;
     for w in &entry.workloads {
         let total = w
             .phases
@@ -299,12 +396,7 @@ fn bench(flags: &Flags) -> Result<ExitCode, String> {
     }
     if let Some(baseline_path) = compare {
         let baseline = lucidscript::bench::load_baseline(Path::new(baseline_path))?;
-        let opts = lucidscript::bench::GateOptions {
-            rel_threshold: parse_f64("rel-threshold", 0.5)?,
-            noise_mult: parse_f64("noise-mult", 1.5)?,
-            abs_floor_ms: parse_f64("abs-floor-ms", 1.0)?,
-        };
-        let cmp = lucidscript::bench::compare_entries(&entry, &baseline, &opts);
+        let cmp = lucidscript::bench::compare_entries(&entry, &baseline, &gate_opts);
         print!("{}", cmp.render());
         if cmp.regressed() {
             eprintln!("regression gate: FAILED");
@@ -369,6 +461,40 @@ fn budget_from(flags: &Flags) -> Result<lucidscript::interp::Budget, String> {
     })
 }
 
+/// Parses `--telemetry off|counting|full` (None when the flag is absent,
+/// leaving the process default — counting — in place).
+fn telemetry_mode_from(flags: &Flags) -> Result<Option<lucidscript::obs::TelemetryMode>, String> {
+    use lucidscript::obs::TelemetryMode;
+    flags
+        .get("telemetry")
+        .map(|v| match v {
+            "off" => Ok(TelemetryMode::Off),
+            "counting" => Ok(TelemetryMode::Counting),
+            "full" => Ok(TelemetryMode::Full),
+            other => Err(format!("bad --telemetry '{other}' (off|counting|full)")),
+        })
+        .transpose()
+}
+
+/// Parses the `--stats-out` / `--stats-interval-ms` pair: the snapshot
+/// destination and the optional periodic re-export interval.
+fn stats_export_from(flags: &Flags) -> Result<Option<(PathBuf, Option<u64>)>, String> {
+    let interval: Option<u64> = flags
+        .get("stats-interval-ms")
+        .map(|v| {
+            v.parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| "bad --stats-interval-ms".to_string())
+        })
+        .transpose()?;
+    match flags.get("stats-out") {
+        Some(path) => Ok(Some((PathBuf::from(path), interval))),
+        None if interval.is_some() => Err("--stats-interval-ms requires --stats-out".to_string()),
+        None => Ok(None),
+    }
+}
+
 /// Builds the `--trace` sink, honoring `--trace-max-bytes` rotation.
 fn trace_sink_from(flags: &Flags) -> Result<Option<lucidscript::obs::TraceSink>, String> {
     let max_bytes: u64 = flags
@@ -401,6 +527,16 @@ fn standardize(flags: &Flags) -> Result<(), String> {
         .to_string();
     let script = read_script(flags.require("script")?)?;
 
+    if let Some(mode) = telemetry_mode_from(flags)? {
+        lucidscript::obs::alloc::set_mode(mode);
+    }
+    let stats_export = stats_export_from(flags)?;
+    // The fleet registry outlives the search so the exporters can keep
+    // snapshotting it; per-search registries merge into it at search end.
+    let fleet = stats_export
+        .as_ref()
+        .map(|_| std::sync::Arc::new(lucidscript::obs::Registry::new()));
+
     let config = SearchConfig {
         intent: intent_from(flags)?,
         seq_len: flags
@@ -428,6 +564,7 @@ fn standardize(flags: &Flags) -> Result<(), String> {
                 Ok::<_, String>(dir)
             })
             .transpose()?,
+        stats_registry: fleet.clone(),
         ..SearchConfig::default()
     };
 
@@ -436,9 +573,30 @@ fn standardize(flags: &Flags) -> Result<(), String> {
     // Also register the full path so scripts referencing it verbatim work.
     standardizer.register_table(data_path, data);
 
+    let reporter = match (&stats_export, &fleet) {
+        (Some((path, Some(interval_ms))), Some(reg)) => Some(lucidscript::obs::StatsReporter::spawn(
+            std::sync::Arc::clone(reg),
+            path.clone(),
+            std::time::Duration::from_millis(*interval_ms),
+        )),
+        _ => None,
+    };
+
     let report = standardizer
         .standardize_source(&script)
         .map_err(|e| e.to_string())?;
+
+    // Final (or only) stats snapshot, reflecting the merged end state.
+    match (reporter, &stats_export, &fleet) {
+        (Some(reporter), _, _) => reporter
+            .stop()
+            .map_err(|e| format!("cannot write stats snapshot: {e}"))?,
+        (None, Some((path, _)), Some(reg)) => {
+            lucidscript::obs::export::write_snapshot(reg, path)
+                .map_err(|e| format!("cannot write stats snapshot: {e}"))?;
+        }
+        _ => {}
+    }
 
     if flags.has("json") {
         println!(
@@ -656,10 +814,88 @@ mod tests {
     #[test]
     fn trace_command_validates_its_argument() {
         let err = run(&argv(&["trace"])).unwrap_err();
-        assert_eq!(err, "usage: lucid trace <FILE.jsonl>");
+        assert_eq!(err, TRACE_USAGE);
+        // Multiple files require the explicit --aggregate flag.
         let err = run(&argv(&["trace", "a", "b"])).unwrap_err();
-        assert_eq!(err, "usage: lucid trace <FILE.jsonl>");
+        assert_eq!(err, TRACE_USAGE);
+        let err = run(&argv(&["trace", "--aggregate"])).unwrap_err();
+        assert_eq!(err, TRACE_USAGE);
         let err = run(&argv(&["trace", "/nonexistent_lucid_trace.jsonl"])).unwrap_err();
         assert!(err.contains("cannot read trace"), "{err}");
+        let err =
+            run(&argv(&["trace", "--aggregate", "/nonexistent_lucid_trace.jsonl"])).unwrap_err();
+        assert!(err.contains("cannot read trace"), "{err}");
+    }
+
+    #[test]
+    fn telemetry_mode_flag_parses_and_rejects_typos() {
+        use lucidscript::obs::TelemetryMode;
+        let none = Flags::parse(&[]).unwrap();
+        assert_eq!(telemetry_mode_from(&none).unwrap(), None);
+        for (value, mode) in [
+            ("off", TelemetryMode::Off),
+            ("counting", TelemetryMode::Counting),
+            ("full", TelemetryMode::Full),
+        ] {
+            let flags = Flags::parse(&argv(&["--telemetry", value])).unwrap();
+            assert_eq!(telemetry_mode_from(&flags).unwrap(), Some(mode));
+        }
+        let flags = Flags::parse(&argv(&["--telemetry", "verbose"])).unwrap();
+        assert_eq!(
+            telemetry_mode_from(&flags).unwrap_err(),
+            "bad --telemetry 'verbose' (off|counting|full)"
+        );
+    }
+
+    #[test]
+    fn stats_export_flags_parse_and_stay_coupled() {
+        assert_eq!(stats_export_from(&Flags::parse(&[]).unwrap()).unwrap(), None);
+        let flags = Flags::parse(&argv(&["--stats-out", "s.prom"])).unwrap();
+        assert_eq!(
+            stats_export_from(&flags).unwrap(),
+            Some((PathBuf::from("s.prom"), None))
+        );
+        let flags = Flags::parse(&argv(&[
+            "--stats-out",
+            "s.json",
+            "--stats-interval-ms",
+            "250",
+        ]))
+        .unwrap();
+        assert_eq!(
+            stats_export_from(&flags).unwrap(),
+            Some((PathBuf::from("s.json"), Some(250)))
+        );
+        // The interval alone has nothing to write to.
+        let flags = Flags::parse(&argv(&["--stats-interval-ms", "250"])).unwrap();
+        assert_eq!(
+            stats_export_from(&flags).unwrap_err(),
+            "--stats-interval-ms requires --stats-out"
+        );
+        let flags =
+            Flags::parse(&argv(&["--stats-out", "s", "--stats-interval-ms", "0"])).unwrap();
+        assert_eq!(
+            stats_export_from(&flags).unwrap_err(),
+            "bad --stats-interval-ms"
+        );
+    }
+
+    #[test]
+    fn bench_telemetry_flags_parse() {
+        let flags = Flags::parse_with(
+            &argv(&["--telemetry-overhead", "--counting-only", "--quick"]),
+            BENCH_SWITCH_FLAGS,
+            BENCH_VALUE_FLAGS,
+        )
+        .unwrap();
+        assert!(flags.has("telemetry-overhead"));
+        assert!(flags.has("counting-only"));
+        let err = run(&argv(&["bench", "--inject-mem-regression", "x"])).unwrap_err();
+        assert_eq!(err, "bad --inject-mem-regression");
+        let err = run(&argv(&["bench", "--abs-floor-bytes", "many"])).unwrap_err();
+        assert_eq!(err, "bad --abs-floor-bytes");
+        // Overhead flags stay out of the standardize family.
+        let err = run(&argv(&["standardize", "--telemetry-overhead"])).unwrap_err();
+        assert_eq!(err, "unknown flag '--telemetry-overhead'");
     }
 }

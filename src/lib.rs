@@ -21,6 +21,13 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
+/// The instrumented system allocator: every allocation in the `lucid`
+/// binary (and the umbrella crate's integration tests) is attributed to
+/// the current search phase by `obs::alloc`. Measurement-only — it
+/// delegates straight to [`std::alloc::System`].
+#[global_allocator]
+static ALLOC: lucid_obs::LucidAlloc = lucid_obs::LucidAlloc;
+
 pub use lucid_baselines as baselines;
 pub use lucid_bench as bench;
 pub use lucid_core as core;

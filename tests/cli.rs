@@ -192,11 +192,11 @@ fn profile_renders_a_traced_search() {
 }
 
 #[test]
-fn bench_appends_schema_v2_entries_and_gates_regressions() {
+fn bench_appends_schema_v3_entries_and_gates_regressions() {
     let dir = workdir();
     let traj = dir.join("trajectory.json");
 
-    // Two quick runs append two schema-v2 entries to the same file.
+    // Two quick runs append two schema-v3 entries to the same file.
     for expected_entries in [1usize, 2] {
         let out = lucid()
             .args(["bench", "--quick", "--reps", "2", "--out", traj.to_str().unwrap()])
@@ -208,7 +208,7 @@ fn bench_appends_schema_v2_entries_and_gates_regressions() {
         let doc: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(&traj).expect("trajectory"))
                 .expect("valid JSON trajectory");
-        assert_eq!(doc.get("schema").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(doc.get("schema").and_then(|v| v.as_f64()), Some(3.0));
         let entries = doc.get("entries").and_then(|v| v.as_array()).expect("entries array");
         assert_eq!(entries.len(), expected_entries);
         let last = entries.last().unwrap();
