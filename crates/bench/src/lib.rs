@@ -33,6 +33,7 @@ pub use overhead::{measure_overhead, OverheadReport};
 pub use runner::{improvement_of_rewrite, leave_one_out_ls, MethodImprovements};
 pub use stats::Stats;
 pub use trajectory::{
-    append_entry, compare_entries, load_baseline, quick_suite, run_suite, suite, BenchEntry,
-    Comparison, GateOptions, TRAJECTORY_SCHEMA,
+    append_entry, batch_suite, compare_entries, extend_with_batch, load_baseline, quick_suite,
+    run_batch_workload, run_suite, suite, BatchWorkload, BenchEntry, Comparison, GateOptions,
+    TRAJECTORY_SCHEMA,
 };

@@ -120,6 +120,205 @@ pub fn quick_suite() -> Vec<Workload> {
     suite().into_iter().take(1).collect()
 }
 
+/// One pinned *batch* workload: a whole-corpus `standardize_corpus` run
+/// (fig6-at-scale). Phase rows carry the per-search `Timings` sums
+/// except `total_ms`, which is the batch **wall** time — so the
+/// wall-vs-CPU ratio and the memo's effect are visible in the trajectory.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchWorkload {
+    /// Stable name (the cross-entry join key).
+    pub name: &'static str,
+    /// Corpus/data profile constructor.
+    pub profile: fn() -> Profile,
+    /// Distinct generated scripts taken from the profile corpus.
+    pub distinct: usize,
+    /// Duplicate copies appended via `with_repeats` (memo-hit fodder).
+    pub dup_copies: usize,
+    /// Worker jobs.
+    pub jobs: usize,
+    /// Cross-search result memo on/off.
+    pub memo: bool,
+    /// Search sequence cap.
+    pub seq_len: usize,
+    /// Beam size.
+    pub beam_k: usize,
+    /// `D_IN` row cap during constraint checks.
+    pub sample_rows: usize,
+}
+
+/// The pinned batch suite: a corpus-size sweep crossed with jobs and
+/// memo settings. Expected memo hit rates are structural (duplicates /
+/// total): 0%, 50%, 50%, and 67% respectively.
+pub fn batch_suite() -> Vec<BatchWorkload> {
+    let base = BatchWorkload {
+        name: "",
+        profile: Profile::titanic,
+        distinct: 4,
+        dup_copies: 0,
+        jobs: 1,
+        memo: false,
+        seq_len: 3,
+        beam_k: 2,
+        sample_rows: 150,
+    };
+    vec![
+        BatchWorkload { name: "batch-titanic-n4-j1", ..base },
+        BatchWorkload { name: "batch-titanic-n8-j1-memo", dup_copies: 1, memo: true, ..base },
+        BatchWorkload { name: "batch-titanic-n8-j4-memo", dup_copies: 1, jobs: 4, memo: true, ..base },
+        BatchWorkload { name: "batch-titanic-n12-j4-memo", dup_copies: 2, jobs: 4, memo: true, ..base },
+    ]
+}
+
+/// Runs one batch workload `reps` times and summarizes it as a
+/// [`WorkloadResult`] (same shape as single-search workloads, so the
+/// regression gate and renderers need no new cases).
+///
+/// Memory rows are not recorded for batch workloads: the allocator's
+/// per-phase attribution windows are per-thread and a multi-worker batch
+/// interleaves them, so there is no honest per-rep number to report.
+///
+/// # Errors
+///
+/// Propagates corpus-construction or batch failures as text.
+pub fn run_batch_workload(w: &BatchWorkload, reps: usize) -> Result<WorkloadResult, String> {
+    let profile = (w.profile)();
+    let data = profile.generate_data(5, 0.05);
+    let distinct: Vec<lucid_core::batch::BatchScript> =
+        lucid_corpus::batch::from_profile(&profile, 5)
+            .into_iter()
+            .take(w.distinct)
+            .collect();
+    let scripts = lucid_corpus::batch::with_repeats(&distinct, w.dup_copies);
+    let config = SearchConfig {
+        seq_len: w.seq_len,
+        beam_k: w.beam_k,
+        intent: IntentMeasure::jaccard(0.5),
+        sample_rows: Some(w.sample_rows),
+        ..SearchConfig::default()
+    };
+    let opts = lucid_core::batch::BatchOptions {
+        jobs: w.jobs,
+        memo: w.memo,
+        trace_dir: None,
+    };
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); PHASES.len()];
+    let mut counters = Counters::default();
+    for rep in 0..reps.max(1) {
+        let report = lucid_core::batch::standardize_corpus(
+            &scripts,
+            profile.file,
+            data.clone(),
+            config.clone(),
+            &opts,
+        )
+        .map_err(|e| format!("batch workload {}: {e}", w.name))?;
+        let t = &report.timings;
+        for (i, v) in [
+            t.get_steps_ms,
+            t.get_top_k_ms,
+            t.check_execute_ms,
+            t.verify_constraints_ms,
+            report.elapsed_ms, // wall, not the per-search sum
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            samples[i].push(v);
+        }
+        if rep == 0 {
+            // Executed searches only — memo hits did no scoring work,
+            // and `Timings` accumulates on the same basis.
+            let explored: usize = report
+                .scripts
+                .iter()
+                .filter(|s| !s.memo_hit)
+                .filter_map(|s| s.outcome.as_ref().ok())
+                .map(|r| r.candidates_explored)
+                .sum();
+            counters = Counters {
+                explored: explored as u64,
+                search_steps: t.search_steps as u64,
+                cache_hits: t.prefix_cache_hits,
+                cache_misses: t.prefix_cache_misses,
+                cache_evictions: t.prefix_cache_evictions,
+                candidates_panicked: t.candidates_panicked,
+                budget_trips: t.budget_trips_fuel
+                    + t.budget_trips_cells
+                    + t.budget_trips_deadline,
+                candidates_deduped: t.candidates_deduped,
+                unique_stmts: report.unique_stmts,
+                intern_hits: t.intern_hits,
+                dag_incremental_updates: t.dag_incremental_updates,
+                memo_hits: report.memo_hits,
+                memo_misses: report.memo_misses,
+                batch_scripts: report.scripts.len() as u64,
+            };
+        }
+    }
+    let phases = PHASES
+        .iter()
+        .zip(&samples)
+        .map(|(name, vals)| {
+            let s = Stats::of(vals);
+            PhaseStat {
+                name: (*name).to_string(),
+                median_ms: s.median,
+                min_ms: s.min,
+                max_ms: s.max,
+                mean_ms: s.mean,
+            }
+        })
+        .collect();
+    Ok(WorkloadResult {
+        name: w.name.to_string(),
+        reps: reps.max(1),
+        phases,
+        mem: Vec::new(),
+        counters,
+    })
+}
+
+/// Appends the batch-suite results to `entry` and re-stamps its config
+/// fingerprint (a batch-extended entry is not comparable to a
+/// standard-suite one, and the fingerprint is how that shows).
+///
+/// # Errors
+///
+/// The first batch-workload failure.
+pub fn extend_with_batch(
+    entry: &mut BenchEntry,
+    batch: &[BatchWorkload],
+    reps: usize,
+) -> Result<(), String> {
+    for w in batch {
+        entry.workloads.push(run_batch_workload(w, reps)?);
+    }
+    entry.config_fingerprint =
+        format!("{}+{}", entry.config_fingerprint, batch_fingerprint(batch));
+    Ok(())
+}
+
+/// Deterministic digest of the batch-suite parameters, same FNV-1a
+/// construction as [`config_fingerprint`].
+pub fn batch_fingerprint(batch: &[BatchWorkload]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut feed = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for w in batch {
+        feed(w.name.as_bytes());
+        feed(&format!(
+            "|{}|{}|{}|{}|{}|{}|{}",
+            w.distinct, w.dup_copies, w.jobs, w.memo, w.seq_len, w.beam_k, w.sample_rows
+        )
+        .into_bytes());
+    }
+    format!("{}b-{hash:016x}", batch.len())
+}
+
 /// Percentile-style stats of one phase across reps, in ms.
 #[derive(Debug, Clone, Serialize, PartialEq)]
 pub struct PhaseStat {
@@ -176,6 +375,15 @@ pub struct Counters {
     pub intern_hits: u64,
     /// Candidate DAGs derived incrementally instead of rebuilt.
     pub dag_incremental_updates: u64,
+    /// Batch-memo hits (whole-search results reused; 0 outside `batch-*`
+    /// workloads). Adding fields is a same-version change per the schema
+    /// evolution rule, so these ride on schema v3.
+    pub memo_hits: u64,
+    /// Batch-memo misses (searches actually executed; 0 outside
+    /// `batch-*` workloads).
+    pub memo_misses: u64,
+    /// Scripts standardized by the batch (0 for single-search workloads).
+    pub batch_scripts: u64,
 }
 
 /// One workload's measurements within an entry.
@@ -309,6 +517,7 @@ pub fn run_workload(
                 unique_stmts: t.unique_stmts,
                 intern_hits: t.intern_hits,
                 dag_incremental_updates: t.dag_incremental_updates,
+                ..Counters::default()
             };
         }
     }
@@ -1051,6 +1260,32 @@ mod tests {
             .find(|p| p.name == "total_ms")
             .unwrap();
         assert!(inflated_total.median_ms > total.median_ms * 2.0);
+    }
+
+    #[test]
+    fn batch_workload_records_memo_counters_and_wall_time() {
+        // The n8-j1-memo workload: 4 distinct scripts + 4 byte-identical
+        // duplicates, so the structural memo hit rate is exactly 50%.
+        let w = batch_suite()[1];
+        assert_eq!(w.name, "batch-titanic-n8-j1-memo");
+        let r = run_batch_workload(&w, 1).unwrap();
+        assert_eq!(r.counters.batch_scripts, 8);
+        assert_eq!(r.counters.memo_hits, 4);
+        assert_eq!(r.counters.memo_misses, 4);
+        assert!(r.counters.explored > 0);
+        let total = r.phases.iter().find(|p| p.name == "total_ms").unwrap();
+        assert!(total.median_ms > 0.0);
+        // Batch workloads record no memory rows (multi-thread attribution
+        // windows make them unreliable), and extending an entry with them
+        // re-stamps the fingerprint.
+        assert!(r.mem.is_empty());
+        let mut entry = synthetic_entry(1.0, 1.0);
+        let fp_before = entry.config_fingerprint.clone();
+        entry.workloads.push(r);
+        entry.config_fingerprint =
+            format!("{}+{}", entry.config_fingerprint, batch_fingerprint(&batch_suite()));
+        assert_ne!(entry.config_fingerprint, fp_before);
+        assert!(entry.config_fingerprint.contains("+4b-"));
     }
 
     #[test]

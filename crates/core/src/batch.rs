@@ -1,0 +1,929 @@
+//! Whole-corpus batch standardization with cross-search memoization.
+//!
+//! The paper evaluates one script at a time, but its premise — a corpus
+//! `S` of scripts over the same dataset — implies the heavy-traffic
+//! workload: standardize *all* N scripts of `S` against `S` in one
+//! process. [`standardize_corpus`] does exactly that, fanning per-script
+//! searches over a bounded work-stealing worker pool and sharing three
+//! layers of state *between* searches:
+//!
+//! 1. one [`crate::search::SharedSearchState`] — a global
+//!    [`crate::ir::StmtInterner`] plus a pooled prefix-cache store whose
+//!    per-search views keep hit/miss/eviction attribution exact;
+//! 2. a content-addressed full-result memo ([`ResultMemo`]) keyed by
+//!    [`MemoKey`] = (script fingerprint, corpus fingerprint, config
+//!    fingerprint), so repeated and near-duplicate scripts are free;
+//! 3. a per-batch metrics registry rolled up from every search via
+//!    `Registry::merge`, projected into one aggregate [`Timings`].
+//!
+//! ## Determinism contract
+//!
+//! The batch's *deterministic output* — per-script results plus the
+//! aggregate RE-reduction distribution, see
+//! [`BatchReport::deterministic_json`] — is byte-identical across worker
+//! counts, memo on/off, and telemetry modes, and each per-script result
+//! is identical to an independent [`crate::standardizer::Standardizer`]
+//! run of that script. Two facts carry the contract:
+//!
+//! - sharing is decision-invariant (interner content-addressing, cache
+//!   snapshot equivalence, and the memo's lemmatized structural identity:
+//!   two scripts with equal fingerprints have span-identical lemmatized
+//!   forms, so every report field of one search serves the other);
+//! - memo representatives are chosen by *first occurrence in input
+//!   order*, never by completion order, so hit counts and served results
+//!   are independent of scheduling.
+//!
+//! Wall-clock timings, memo counters, and allocator rows are measurement
+//! and live outside the deterministic output.
+
+use crate::config::SearchConfig;
+use crate::error::Result;
+use crate::lemma::lemmatize;
+use crate::report::{metric, StandardizeReport, Timings};
+use crate::search::SharedSearchState;
+use crate::standardizer::Standardizer;
+use crate::vocab::CorpusModel;
+use lucid_frame::DataFrame;
+use lucid_interp::stmt_structural_hash;
+use lucid_obs::{alloc, Registry, TraceSink};
+use lucid_pyast::{parse_module, Module};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One script of a batch: a display name (file name, typically) plus its
+/// Python source.
+#[derive(Debug, Clone)]
+pub struct BatchScript {
+    /// Stable display name; also names the per-script trace file.
+    pub name: String,
+    /// Python source text.
+    pub source: String,
+}
+
+impl BatchScript {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> BatchScript {
+        BatchScript {
+            name: name.into(),
+            source: source.into(),
+        }
+    }
+}
+
+/// Knobs of one batch run (the search itself is configured by
+/// [`SearchConfig`]; these control the fan-out *across* searches).
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Concurrent per-script searches; `0` resolves to the machine's
+    /// available parallelism, `1` (the default) runs scripts serially.
+    pub jobs: usize,
+    /// Whether the content-addressed full-result memo is consulted.
+    pub memo: bool,
+    /// When set, each executed search writes a JSONL event log to
+    /// `<dir>/<name>.trace.jsonl` (memo-served scripts run no search and
+    /// produce no trace).
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            jobs: 1,
+            memo: false,
+            trace_dir: None,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// `jobs` with `0` resolved to the available parallelism.
+    pub fn resolved_jobs(&self) -> usize {
+        match self.jobs {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+    }
+}
+
+/// The content-addressed identity of one standardization result. Three
+/// independent components, each sufficient to invalidate the memo:
+///
+/// - `script`: chain hash over the span-normalized structural hashes of
+///   the *lemmatized* script — formatting, comments-stripped spans, and
+///   surface variable names never force a recomputation;
+/// - `corpus`: fingerprint of the corpus the script is standardized
+///   against (`Q(x)` and the vocabularies derive from it);
+/// - `config`: fingerprint of the decision-affecting [`SearchConfig`]
+///   fields (see [`config_fingerprint`] for what is excluded and why).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoKey {
+    /// Lemmatized-script chain hash.
+    pub script: u64,
+    /// Corpus fingerprint.
+    pub corpus: u64,
+    /// Decision-affecting config fingerprint.
+    pub config: u64,
+}
+
+/// Chain hash identifying a script by its lemmatized structure: the
+/// module is lemmatized, then the per-statement span-normalized
+/// structural hashes are folded in order (with the statement count as
+/// the chain root). Two sources with equal fingerprints have
+/// span-identical lemmatized forms, so *every* field of a standardize
+/// report — including the printed input — coincides.
+pub fn script_fingerprint(module: &Module) -> u64 {
+    let lemma = lemmatize(module);
+    let mut h = DefaultHasher::new();
+    lemma.stmts.len().hash(&mut h);
+    for stmt in &lemma.stmts {
+        stmt_structural_hash(stmt).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Fingerprint of a script corpus: a fold over the raw source texts in
+/// order. Deliberately conservative — a formatting-only corpus edit
+/// changes the fingerprint and forces fresh searches (a spurious miss is
+/// only wasted work; a spurious hit would serve results computed against
+/// a different `Q(x)`).
+pub fn corpus_fingerprint(sources: &[impl AsRef<str>]) -> u64 {
+    let mut h = DefaultHasher::new();
+    sources.len().hash(&mut h);
+    for s in sources {
+        s.as_ref().hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Fingerprint of the decision-affecting [`SearchConfig`] fields.
+///
+/// Included: everything that can change a search's *output* — sequence
+/// length, beam size, diversity, early checking, intent measure,
+/// sampling, seed, enumeration options, ranking caps, objective,
+/// finalist cap, resource budget, and the fault plan.
+///
+/// Excluded: the knobs the determinism suite proves byte-invariant —
+/// `threads`, `prefix_cache`/`prefix_cache_capacity` — and the pure
+/// measurement channels (`trace`, `profile_out`, `stats_registry`,
+/// `shared`). Excluding them is what lets one memo serve every
+/// (jobs × cache × telemetry) arm of the same logical configuration.
+pub fn config_fingerprint(config: &SearchConfig) -> u64 {
+    let decisions = format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        config.seq_len,
+        config.beam_k,
+        config.diversity,
+        config.early_check,
+        config.intent,
+        config.sample_rows,
+        config.seed,
+        config.enum_opts,
+        config.max_steps_ranked,
+        config.diversity_clusters,
+        config.objective,
+        config.max_finalists,
+        config.budget,
+        config.fault_plan,
+    );
+    let mut h = DefaultHasher::new();
+    decisions.hash(&mut h);
+    h.finish()
+}
+
+/// A thread-safe content-addressed store of finished standardization
+/// results. Reports are stored behind `Arc`, so serving a memo hit is a
+/// pointer bump, never a report copy.
+#[derive(Debug, Default)]
+pub struct ResultMemo {
+    inner: Mutex<HashMap<MemoKey, Arc<StandardizeReport>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultMemo {
+    /// An empty memo.
+    pub fn new() -> ResultMemo {
+        ResultMemo::default()
+    }
+
+    /// Poison-tolerant lock (same rationale as the prefix cache: entries
+    /// are inserted whole, so the map is consistent after any unwind).
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<MemoKey, Arc<StandardizeReport>>> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The stored result for `key`, counting a hit or a miss.
+    pub fn lookup(&self, key: &MemoKey) -> Option<Arc<StandardizeReport>> {
+        let found = self.lock().get(key).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Stores a finished result under its key.
+    pub fn insert(&self, key: MemoKey, report: Arc<StandardizeReport>) {
+        self.lock().insert(key, report);
+    }
+
+    /// Lookups served from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Stored results.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One script's outcome within a batch.
+#[derive(Debug, Clone)]
+pub struct ScriptResult {
+    /// The script's display name.
+    pub name: String,
+    /// Whether the result was served by the memo (no search executed).
+    pub memo_hit: bool,
+    /// The report, or a rendered error (parse failure, non-executable
+    /// input, or a search-level panic — one script's failure never kills
+    /// the batch).
+    pub outcome: std::result::Result<Arc<StandardizeReport>, String>,
+}
+
+/// Aggregate RE-reduction distribution over a batch — Figure 6 at corpus
+/// scale. Percentiles are over per-script `improvement_pct` of the
+/// successfully standardized scripts, by the same nearest-rank rule the
+/// profile exporter uses.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReDistribution {
+    /// Scripts in the batch.
+    pub scripts: usize,
+    /// Scripts that failed (parse / non-executable input / panic).
+    pub errors: usize,
+    /// Scripts the search changed.
+    pub changed: usize,
+    /// Mean RE improvement (%) over successful scripts.
+    pub mean_improvement_pct: f64,
+    /// Minimum improvement (%).
+    pub min_improvement_pct: f64,
+    /// 25th percentile improvement (%).
+    pub p25_improvement_pct: f64,
+    /// Median improvement (%).
+    pub median_improvement_pct: f64,
+    /// 75th percentile improvement (%).
+    pub p75_improvement_pct: f64,
+    /// Maximum improvement (%).
+    pub max_improvement_pct: f64,
+}
+
+impl ReDistribution {
+    fn from_results(results: &[ScriptResult]) -> ReDistribution {
+        let mut improvements: Vec<f64> = Vec::new();
+        let mut changed = 0usize;
+        let mut errors = 0usize;
+        for r in results {
+            match &r.outcome {
+                Ok(report) => {
+                    improvements.push(report.improvement_pct);
+                    if report.changed() {
+                        changed += 1;
+                    }
+                }
+                Err(_) => errors += 1,
+            }
+        }
+        improvements.sort_by(|a, b| a.partial_cmp(b).expect("finite improvement"));
+        let pick = |q: f64| -> f64 {
+            if improvements.is_empty() {
+                return 0.0;
+            }
+            let idx = ((improvements.len() as f64 - 1.0) * q).round() as usize;
+            improvements[idx.min(improvements.len() - 1)]
+        };
+        let mean = if improvements.is_empty() {
+            0.0
+        } else {
+            improvements.iter().sum::<f64>() / improvements.len() as f64
+        };
+        ReDistribution {
+            scripts: results.len(),
+            errors,
+            changed,
+            mean_improvement_pct: mean,
+            min_improvement_pct: pick(0.0),
+            p25_improvement_pct: pick(0.25),
+            median_improvement_pct: pick(0.5),
+            p75_improvement_pct: pick(0.75),
+            max_improvement_pct: pick(1.0),
+        }
+    }
+}
+
+/// Everything a batch run produced: per-script results in input order,
+/// the aggregate distribution, the cross-search `Timings` roll-up, and
+/// the shared-state counters.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-script results, in input order.
+    pub scripts: Vec<ScriptResult>,
+    /// Aggregate RE-reduction distribution (fig6-at-scale).
+    pub distribution: ReDistribution,
+    /// Accumulated timings over the searches that actually executed
+    /// (memo-served scripts run no search and contribute none).
+    pub timings: Timings,
+    /// Scripts served from the full-result memo.
+    pub memo_hits: u64,
+    /// Memo lookups that ran a fresh search (zero with the memo off).
+    pub memo_misses: u64,
+    /// Pooled prefix-cache store totals (sum of every search's view).
+    pub cache_store_hits: u64,
+    /// Pooled prefix-cache store miss total.
+    pub cache_store_misses: u64,
+    /// Pooled prefix-cache store eviction total.
+    pub cache_store_evictions: u64,
+    /// Distinct statements in the batch-shared interner.
+    pub unique_stmts: u64,
+    /// Worker count the batch ran with (resolved).
+    pub jobs: usize,
+    /// End-to-end batch wall time.
+    pub elapsed_ms: f64,
+}
+
+/// Schema version of [`BatchReport::deterministic_json`].
+pub const BATCH_REPORT_SCHEMA: u64 = 1;
+
+/// The deterministic projection of one script result. Owned fields: the
+/// vendored serde derive does not support borrowed (generic) structs.
+#[derive(serde::Serialize)]
+struct DetScript {
+    name: String,
+    ok: bool,
+    error: String,
+    input_source: String,
+    output_source: String,
+    re_before: f64,
+    re_after: f64,
+    improvement_pct: f64,
+    intent_delta: f64,
+    intent_kind: String,
+    intent_satisfied: bool,
+    applied: Vec<String>,
+    candidates_explored: usize,
+}
+
+#[derive(serde::Serialize)]
+struct DetReport {
+    schema: u64,
+    scripts: Vec<DetScript>,
+    distribution: ReDistribution,
+}
+
+impl BatchReport {
+    /// Fraction of scripts served from the memo (0 when the memo is off
+    /// or the batch is empty).
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+
+    /// The batch's deterministic output: per-script results and the
+    /// aggregate distribution, rendered as pretty JSON. Byte-identical
+    /// across `jobs`, memo on/off, prefix-cache sharing, and telemetry
+    /// modes — the batch test suite pins this. Timings, memo counters,
+    /// and allocator rows are deliberately excluded: they are measurement,
+    /// not output.
+    pub fn deterministic_json(&self) -> String {
+        let scripts: Vec<DetScript> = self
+            .scripts
+            .iter()
+            .map(|r| match &r.outcome {
+                Ok(report) => DetScript {
+                    name: r.name.clone(),
+                    ok: true,
+                    error: String::new(),
+                    input_source: report.input_source.clone(),
+                    output_source: report.output_source.clone(),
+                    re_before: report.re_before,
+                    re_after: report.re_after,
+                    improvement_pct: report.improvement_pct,
+                    intent_delta: report.intent_delta,
+                    intent_kind: report.intent_kind.clone(),
+                    intent_satisfied: report.intent_satisfied,
+                    applied: report.applied.clone(),
+                    candidates_explored: report.candidates_explored,
+                },
+                Err(msg) => DetScript {
+                    name: r.name.clone(),
+                    ok: false,
+                    error: msg.clone(),
+                    input_source: String::new(),
+                    output_source: String::new(),
+                    re_before: 0.0,
+                    re_after: 0.0,
+                    improvement_pct: 0.0,
+                    intent_delta: 0.0,
+                    intent_kind: String::new(),
+                    intent_satisfied: false,
+                    applied: Vec::new(),
+                    candidates_explored: 0,
+                },
+            })
+            .collect();
+        let det = DetReport {
+            schema: BATCH_REPORT_SCHEMA,
+            scripts,
+            distribution: self.distribution.clone(),
+        };
+        serde_json::to_string_pretty(&det).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+    }
+
+    /// Human-readable batch summary (measurement included).
+    pub fn render(&self) -> String {
+        let d = &self.distribution;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "batch: {} scripts, {} changed, {} errors ({} jobs, {:.1} ms)\n",
+            d.scripts, d.changed, d.errors, self.jobs, self.elapsed_ms
+        ));
+        out.push_str(&format!(
+            "memo: {} hits / {} misses ({:.0}% hit rate)\n",
+            self.memo_hits,
+            self.memo_misses,
+            self.memo_hit_rate() * 100.0
+        ));
+        out.push_str(&format!(
+            "prefix cache (pooled): {} hits, {} misses, {} evictions\n",
+            self.cache_store_hits, self.cache_store_misses, self.cache_store_evictions
+        ));
+        out.push_str(&format!(
+            "interner: {} unique statements across the batch\n",
+            self.unique_stmts
+        ));
+        out.push_str(&format!(
+            "RE improvement %: min {:.1} / p25 {:.1} / median {:.1} / p75 {:.1} / max {:.1} (mean {:.1})\n",
+            d.min_improvement_pct,
+            d.p25_improvement_pct,
+            d.median_improvement_pct,
+            d.p75_improvement_pct,
+            d.max_improvement_pct,
+            d.mean_improvement_pct
+        ));
+        out
+    }
+}
+
+/// A parsed script awaiting standardization, or its pre-resolved error.
+enum Prepared {
+    Job { key: MemoKey },
+    Failed(String),
+}
+
+/// Standardizes every script of `scripts` against the corpus formed by
+/// *all* of them, over `opts.jobs` concurrent searches.
+///
+/// The corpus model is built once; every search shares one
+/// [`SharedSearchState`] (interner + pooled prefix-cache store) and rolls
+/// its metrics into one per-batch registry. With `opts.memo` on, scripts
+/// with equal [`MemoKey`]s run once: later occurrences (in input order)
+/// are served from the [`ResultMemo`].
+///
+/// Per-script failures (parse errors, non-executable inputs, panics) are
+/// reported in that script's [`ScriptResult`]; only corpus-level failures
+/// (empty corpus, invalid config) fail the call.
+///
+/// # Errors
+///
+/// Fails if no script parses (empty corpus) or the config is invalid.
+pub fn standardize_corpus(
+    scripts: &[BatchScript],
+    data_path: &str,
+    data: DataFrame,
+    config: SearchConfig,
+    opts: &BatchOptions,
+) -> Result<BatchReport> {
+    let t_batch = Instant::now();
+    let jobs_n = opts.resolved_jobs().max(1);
+
+    // Parse every script up front (serial: cheap relative to a search,
+    // and it fixes memo representatives in input order). A script that
+    // does not parse is excluded from the corpus and reported as its own
+    // error — it never fails the batch.
+    let parsed: Vec<std::result::Result<Module, String>> = scripts
+        .iter()
+        .map(|s| parse_module(&s.source).map_err(|e| format!("script parse error: {e}")))
+        .collect();
+    let sources: Vec<&str> = scripts
+        .iter()
+        .zip(&parsed)
+        .filter(|(_, p)| p.is_ok())
+        .map(|(s, _)| s.source.as_str())
+        .collect();
+    let model = CorpusModel::build_from_sources(&sources)?;
+    let corpus_fp = corpus_fingerprint(&sources);
+    let config_fp = config_fingerprint(&config);
+
+    // The one construction site of cross-search shared state; the batch
+    // registry collects every search's metrics via `Registry::merge`.
+    let shared = Arc::new(SharedSearchState::for_config(&config));
+    let batch_registry = Arc::new(Registry::new());
+    let outer_registry = config.stats_registry.clone();
+    let mut search_config = config;
+    search_config.shared = Some(Arc::clone(&shared));
+    search_config.stats_registry = Some(Arc::clone(&batch_registry));
+    search_config.trace = None;
+    search_config.validate()?;
+
+    let prepared: Vec<Prepared> = parsed
+        .iter()
+        .map(|p| match p {
+            Ok(module) => Prepared::Job {
+                key: MemoKey {
+                    script: script_fingerprint(module),
+                    corpus: corpus_fp,
+                    config: config_fp,
+                },
+            },
+            Err(e) => Prepared::Failed(e.clone()),
+        })
+        .collect();
+
+    // The work list: with the memo on, one job per distinct key (its
+    // first occurrence); with it off, one job per parseable script.
+    let mut rep_of: HashMap<MemoKey, usize> = HashMap::new();
+    let mut work: Vec<usize> = Vec::new();
+    for (i, p) in prepared.iter().enumerate() {
+        if let Prepared::Job { key } = p {
+            if opts.memo {
+                if !rep_of.contains_key(key) {
+                    rep_of.insert(*key, work.len());
+                    work.push(i);
+                }
+            } else {
+                work.push(i);
+            }
+        }
+    }
+
+    let base = Standardizer::from_model(model.clone(), data_path, data.clone(), search_config.clone())?;
+
+    // Runs the search for script `i`, with a per-script trace sink when
+    // requested (a fresh standardizer per traced script keeps the span
+    // collector per-search).
+    let run_one = |i: usize| -> std::result::Result<StandardizeReport, String> {
+        let script = &scripts[i];
+        let attempt = || -> std::result::Result<StandardizeReport, String> {
+            match &opts.trace_dir {
+                None => base.standardize_source(&script.source).map_err(|e| e.to_string()),
+                Some(dir) => {
+                    let mut cfg = search_config.clone();
+                    let path = dir.join(format!("{}.trace.jsonl", script.name));
+                    cfg.trace = Some(TraceSink::to_file(&path).map_err(|e| {
+                        format!("cannot open trace file {}: {e}", path.display())
+                    })?);
+                    let std = Standardizer::from_model(
+                        model.clone(),
+                        data_path,
+                        data.clone(),
+                        cfg,
+                    )
+                    .map_err(|e| e.to_string())?;
+                    std.standardize_source(&script.source).map_err(|e| e.to_string())
+                }
+            }
+        };
+        // A search-level panic (beyond the per-candidate isolation inside
+        // the search) downgrades to this script's error, never the batch's.
+        catch_unwind(AssertUnwindSafe(attempt))
+            .unwrap_or_else(|_| Err("search panicked".to_string()))
+    };
+
+    // Work-stealing fan-out over the job list (same idiom as the in-search
+    // scoring pool: atomic cursor, index-addressed slots, per-worker
+    // allocator flush before the scope joins).
+    let mut slots: Vec<Option<std::result::Result<StandardizeReport, String>>> =
+        work.iter().map(|_| None).collect();
+    if jobs_n <= 1 || work.len() <= 1 {
+        for (slot, &i) in slots.iter_mut().zip(&work) {
+            *slot = Some(run_one(i));
+        }
+    } else {
+        let counter = AtomicUsize::new(0);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let workers = jobs_n.min(work.len());
+        let scope_result = crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let counter = &counter;
+                let work = &work;
+                let run_one = &run_one;
+                scope.spawn(move |_| {
+                    loop {
+                        let j = counter.fetch_add(1, Ordering::SeqCst);
+                        if j >= work.len() {
+                            break;
+                        }
+                        let _ = tx.send((j, run_one(work[j])));
+                    }
+                    // Publish this worker's buffered allocator attribution
+                    // exactly once, before the scope joins it.
+                    alloc::flush_tls();
+                });
+            }
+        });
+        drop(tx);
+        for (j, result) in rx {
+            slots[j] = Some(result);
+        }
+        if scope_result.is_err() {
+            // Unreachable in practice (jobs are isolated above); surface
+            // any dead slot as that script's error rather than aborting.
+            for slot in slots.iter_mut() {
+                if slot.is_none() {
+                    *slot = Some(Err("batch worker died".to_string()));
+                }
+            }
+        }
+    }
+
+    // Roll up timings over executed searches, then assemble per-script
+    // results in input order (memo hits resolved by representative).
+    let mut timings = Timings::default();
+    let mut job_results: Vec<std::result::Result<Arc<StandardizeReport>, String>> =
+        Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot.unwrap_or_else(|| Err("batch job skipped".to_string())) {
+            Ok(report) => {
+                timings.accumulate(&report.timings);
+                job_results.push(Ok(Arc::new(report)));
+            }
+            Err(e) => job_results.push(Err(e)),
+        }
+    }
+
+    let memo = ResultMemo::new();
+    let mut results: Vec<ScriptResult> = Vec::with_capacity(scripts.len());
+    for (i, p) in prepared.iter().enumerate() {
+        let name = scripts[i].name.clone();
+        match p {
+            Prepared::Failed(msg) => results.push(ScriptResult {
+                name,
+                memo_hit: false,
+                outcome: Err(msg.clone()),
+            }),
+            Prepared::Job { key } => {
+                if opts.memo {
+                    match memo.lookup(key) {
+                        Some(report) => results.push(ScriptResult {
+                            name,
+                            memo_hit: true,
+                            outcome: Ok(report),
+                        }),
+                        None => {
+                            let job = rep_of[key];
+                            let outcome = job_results[job].clone();
+                            if let Ok(report) = &outcome {
+                                memo.insert(*key, Arc::clone(report));
+                            }
+                            results.push(ScriptResult {
+                                name,
+                                memo_hit: false,
+                                outcome,
+                            });
+                        }
+                    }
+                } else {
+                    // Memo off: job j is the j-th parseable script.
+                    let job = prepared[..i]
+                        .iter()
+                        .filter(|p| matches!(p, Prepared::Job { .. }))
+                        .count();
+                    results.push(ScriptResult {
+                        name,
+                        memo_hit: false,
+                        outcome: job_results[job].clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Batch-level counters land in the per-batch registry so `--stats-out`
+    // exporters see them, then the whole registry rolls into any outer
+    // fleet registry the caller supplied.
+    batch_registry.counter(metric::MEMO_HITS).add(memo.hits());
+    batch_registry.counter(metric::MEMO_MISSES).add(memo.misses());
+    batch_registry
+        .counter(metric::BATCH_SCRIPTS)
+        .add(scripts.len() as u64);
+    if let Some(outer) = &outer_registry {
+        outer.merge(&batch_registry);
+    }
+
+    let (cache_store_hits, cache_store_misses, cache_store_evictions) = match shared.cache() {
+        Some(cache) => (cache.store_hits(), cache.store_misses(), cache.store_evictions()),
+        None => (0, 0, 0),
+    };
+    let distribution = ReDistribution::from_results(&results);
+    Ok(BatchReport {
+        scripts: results,
+        distribution,
+        timings,
+        memo_hits: memo.hits(),
+        memo_misses: memo.misses(),
+        cache_store_hits,
+        cache_store_misses,
+        cache_store_evictions,
+        unique_stmts: shared.interner().unique_stmts(),
+        jobs: jobs_n,
+        elapsed_ms: t_batch.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intent::IntentMeasure;
+    use lucid_frame::csv::read_csv_str;
+
+    fn tiny_data() -> DataFrame {
+        let mut csv = String::from("Age,Fare,Survived\n");
+        for i in 0..40 {
+            let age = if i % 5 == 0 { String::new() } else { format!("{}", 18 + i % 50) };
+            csv.push_str(&format!("{age},{}.5,{}\n", 5 + i % 40, i % 2));
+        }
+        read_csv_str(&csv).unwrap()
+    }
+
+    fn tiny_scripts() -> Vec<BatchScript> {
+        vec![
+            BatchScript::new(
+                "a.py",
+                "import pandas as pd\ndf = pd.read_csv('train.csv')\ndf['Age'] = df['Age'].fillna(df['Age'].mean())\n",
+            ),
+            BatchScript::new(
+                "b.py",
+                "import pandas as pd\ndf = pd.read_csv('train.csv')\ndf['Fare'] = df['Fare'].fillna(df['Fare'].mean())\n",
+            ),
+            // Structurally identical to a.py up to spans: a guaranteed
+            // memo hit.
+            BatchScript::new(
+                "a_copy.py",
+                "\nimport pandas as pd\n\ndf = pd.read_csv('train.csv')\ndf['Age'] = df['Age'].fillna(df['Age'].mean())\n",
+            ),
+        ]
+    }
+
+    fn tiny_config() -> SearchConfig {
+        SearchConfig {
+            seq_len: 2,
+            beam_k: 1,
+            diversity: false,
+            intent: IntentMeasure::jaccard(0.5),
+            ..SearchConfig::default()
+        }
+    }
+
+    #[test]
+    fn fingerprints_ignore_spans_but_not_structure_or_config() {
+        let a = parse_module("x = 1\ny = 2\n").unwrap();
+        let respaced = parse_module("\n\nx = 1\n\ny = 2\n").unwrap();
+        let mutated = parse_module("x = 1\ny = 3\n").unwrap();
+        assert_eq!(script_fingerprint(&a), script_fingerprint(&respaced));
+        assert_ne!(script_fingerprint(&a), script_fingerprint(&mutated));
+
+        let base = tiny_config();
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&base.clone()));
+        let mut deeper = base.clone();
+        deeper.seq_len += 1;
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&deeper));
+        // Byte-invariant knobs must not perturb the fingerprint.
+        let mut threaded = base.clone();
+        threaded.threads = 8;
+        threaded.prefix_cache = false;
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&threaded));
+
+        assert_ne!(
+            corpus_fingerprint(&["a", "b"]),
+            corpus_fingerprint(&["a"]),
+        );
+    }
+
+    #[test]
+    fn memo_counts_hits_and_misses() {
+        let memo = ResultMemo::new();
+        let key = MemoKey { script: 1, corpus: 2, config: 3 };
+        assert!(memo.lookup(&key).is_none());
+        memo.insert(
+            key,
+            Arc::new(StandardizeReport {
+                input_source: String::new(),
+                output_source: String::new(),
+                re_before: 0.0,
+                re_after: 0.0,
+                improvement_pct: 0.0,
+                intent_delta: 0.0,
+                intent_kind: String::new(),
+                intent_satisfied: true,
+                applied: vec![],
+                candidates_explored: 0,
+                timings: Timings::default(),
+            }),
+        );
+        assert!(memo.lookup(&key).is_some());
+        assert!(memo.lookup(&MemoKey { script: 9, ..key }).is_none());
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.misses(), 2);
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn batch_dedups_identical_scripts_and_reports_distribution() {
+        let scripts = tiny_scripts();
+        let report = standardize_corpus(
+            &scripts,
+            "train.csv",
+            tiny_data(),
+            tiny_config(),
+            &BatchOptions { jobs: 1, memo: true, trace_dir: None },
+        )
+        .unwrap();
+        assert_eq!(report.scripts.len(), 3);
+        assert_eq!(report.memo_hits, 1);
+        assert_eq!(report.memo_misses, 2);
+        assert!(report.scripts[2].memo_hit);
+        assert!(!report.scripts[0].memo_hit);
+        // The memo-served copy is the representative's report.
+        let a = report.scripts[0].outcome.as_ref().unwrap();
+        let a_copy = report.scripts[2].outcome.as_ref().unwrap();
+        assert_eq!(a.output_source, a_copy.output_source);
+        assert_eq!(report.distribution.scripts, 3);
+        assert_eq!(report.distribution.errors, 0);
+        // Only the two distinct scripts ran searches.
+        assert!(report.timings.total_ms > 0.0);
+        assert!(report.unique_stmts > 0);
+    }
+
+    #[test]
+    fn parse_failures_are_per_script_not_batch_level() {
+        let mut scripts = tiny_scripts();
+        scripts.push(BatchScript::new("broken.py", "def (((\n"));
+        let report = standardize_corpus(
+            &scripts,
+            "train.csv",
+            tiny_data(),
+            tiny_config(),
+            &BatchOptions { jobs: 2, memo: true, trace_dir: None },
+        )
+        .unwrap();
+        assert_eq!(report.distribution.errors, 1);
+        assert!(report.scripts[3].outcome.is_err());
+        // Deterministic JSON renders the error in place.
+        let json = report.deterministic_json();
+        assert!(json.contains("parse error"));
+    }
+
+    #[test]
+    fn deterministic_json_is_stable_across_jobs_and_memo() {
+        let scripts = tiny_scripts();
+        let mut baseline: Option<String> = None;
+        for jobs in [1usize, 3] {
+            for memo in [false, true] {
+                let report = standardize_corpus(
+                    &scripts,
+                    "train.csv",
+                    tiny_data(),
+                    tiny_config(),
+                    &BatchOptions { jobs, memo, trace_dir: None },
+                )
+                .unwrap();
+                let json = report.deterministic_json();
+                match &baseline {
+                    None => baseline = Some(json),
+                    Some(b) => assert_eq!(b, &json, "jobs={jobs} memo={memo}"),
+                }
+            }
+        }
+    }
+}

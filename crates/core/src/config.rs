@@ -87,6 +87,13 @@ pub struct SearchConfig {
     /// the CLI's `--stats-out` exporters snapshot. Measurement-only:
     /// search decisions and output never read it.
     pub stats_registry: Option<std::sync::Arc<lucid_obs::Registry>>,
+    /// Cross-search shared state (batch mode): one statement interner and
+    /// one pooled prefix-cache store spanning every search that carries
+    /// this handle. `None` (the default) keeps both per search. Sharing is
+    /// decision-invariant — see [`crate::search::SharedSearchState`] — but
+    /// requires every sharing search to run against the same registered
+    /// tables.
+    pub shared: Option<std::sync::Arc<crate::search::SharedSearchState>>,
 }
 
 impl Default for SearchConfig {
@@ -114,6 +121,7 @@ impl Default for SearchConfig {
             budget: lucid_interp::Budget::unlimited(),
             fault_plan: None,
             stats_registry: None,
+            shared: None,
         }
     }
 }

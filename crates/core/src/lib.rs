@@ -40,6 +40,7 @@
 //! println!("improvement: {:.1}%", report.improvement_pct);
 //! ```
 
+pub mod batch;
 pub mod config;
 pub mod dag;
 pub mod entropy;

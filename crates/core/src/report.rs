@@ -73,6 +73,12 @@ pub mod metric {
     pub const MEM_PEAK_BYTES: &str = "mem.peak_bytes";
     /// Log₂ allocation-size histogram (`Full` telemetry mode only).
     pub const MEM_ALLOC_SIZE: &str = "mem.alloc_size";
+    /// Batch-mode full-result memo hits (scripts served without a search).
+    pub const MEMO_HITS: &str = "cache.memo_hits";
+    /// Batch-mode full-result memo misses (fresh searches executed).
+    pub const MEMO_MISSES: &str = "cache.memo_misses";
+    /// Scripts processed by batch runs.
+    pub const BATCH_SCRIPTS: &str = "search.batch_scripts";
 }
 
 /// Wall-clock breakdown of the search phases — the quantities behind the

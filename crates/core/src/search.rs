@@ -97,10 +97,61 @@ pub struct SearchContext<'a> {
     pub base_output: &'a DataFrame,
 }
 
+/// State shared *between* searches standardizing scripts against the same
+/// corpus and registered tables (batch mode, and any future long-lived
+/// service): one content-addressed statement interner and one pooled
+/// prefix-cache store.
+///
+/// Sharing is decision-invariant: the interner is content-addressed (the
+/// same statement interns to the same facts regardless of who interned it
+/// first), and a prefix-cache hit resumes a snapshot that is byte-for-byte
+/// what re-execution would produce — the chain keys already fold the
+/// interpreter's seed and sampling configuration. The one validity
+/// precondition is the cache's: every search sharing this state must run
+/// against the same registered-table configuration, which whole-corpus
+/// batch satisfies by construction.
+///
+/// This is the **only** place batch-path code may construct an interner or
+/// a prefix cache (`scripts/check.sh` grep-gates this); each search then
+/// borrows the interner and takes a per-search [`PrefixCache::shared_view`]
+/// so hit/miss/eviction counts stay attributed per search.
+#[derive(Debug, Default)]
+pub struct SharedSearchState {
+    interner: StmtInterner,
+    cache: Option<PrefixCache>,
+}
+
+impl SharedSearchState {
+    /// Builds shared state matching `config`: a fresh interner, plus a
+    /// pooled prefix-cache store when the config enables caching.
+    pub fn for_config(config: &SearchConfig) -> Self {
+        SharedSearchState {
+            interner: StmtInterner::new(),
+            cache: config
+                .prefix_cache
+                .then(|| PrefixCache::with_capacity(config.prefix_cache_capacity)),
+        }
+    }
+
+    /// The shared statement interner.
+    pub fn interner(&self) -> &StmtInterner {
+        &self.interner
+    }
+
+    /// The owning view of the pooled prefix cache, when caching is on.
+    /// Its per-view counters stay zero (this view never probes); use
+    /// [`PrefixCache::store_hits`] and friends for pool totals.
+    pub fn cache(&self) -> Option<&PrefixCache> {
+        self.cache.as_ref()
+    }
+}
+
 /// Execution environment for one search: the interpreter plus, when the
-/// config enables it, a prefix cache scoped to this search (one cache per
-/// search keeps the cache valid — it must never span different registered
-/// tables).
+/// config enables it, a prefix cache. Without shared state the cache is
+/// scoped to this search; with [`SearchConfig::shared`] set, it is a
+/// per-search *view* of the pooled store (counts attributed to this
+/// search, snapshots shared). Either way it never spans different
+/// registered tables — the cache-validity invariant.
 struct ExecEnv<'a> {
     interp: &'a Interpreter,
     cache: Option<PrefixCache>,
@@ -108,12 +159,15 @@ struct ExecEnv<'a> {
 
 impl<'a> ExecEnv<'a> {
     fn new(interp: &'a Interpreter, config: &SearchConfig) -> ExecEnv<'a> {
-        ExecEnv {
-            interp,
-            cache: config
-                .prefix_cache
-                .then(|| PrefixCache::with_capacity(config.prefix_cache_capacity)),
-        }
+        let cache = if config.prefix_cache {
+            match config.shared.as_deref().and_then(SharedSearchState::cache) {
+                Some(pooled) => Some(pooled.shared_view()),
+                None => Some(PrefixCache::with_capacity(config.prefix_cache_capacity)),
+            }
+        } else {
+            None
+        };
+        ExecEnv { interp, cache }
     }
 
     /// Full run (for output extraction), through the cache when enabled.
@@ -320,12 +374,24 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
     }
 
     let exec = ExecEnv::new(ctx.interp, ctx.config);
-    // One interner per search: every candidate the search ever holds is a
-    // list of pointers into this store, and each per-statement fact (hash,
-    // atom key, def/use sets) is computed once per unique statement.
-    let interner = StmtInterner::new();
+    // One interner per search — or the batch-shared one when present:
+    // every candidate the search ever holds is a list of pointers into
+    // this store, and each per-statement fact (hash, atom key, def/use
+    // sets) is computed once per unique statement (per batch, when
+    // shared). Interner counters are cumulative across sharing searches,
+    // so this search's contribution is reported as a delta window.
+    let owned_interner;
+    let interner = match ctx.config.shared.as_deref() {
+        Some(shared) => shared.interner(),
+        None => {
+            owned_interner = StmtInterner::new();
+            &owned_interner
+        }
+    };
+    let interner_hits_base = interner.intern_hits();
+    let interner_dag_base = interner.dag_incremental_updates();
     let input_candidate =
-        Candidate::from_module(input, &interner, ctx.corpus, ctx.config.objective);
+        Candidate::from_module(input, interner, ctx.corpus, ctx.config.objective);
     let mut beams: Vec<Candidate> = vec![input_candidate.clone()];
     let mut explored = 0usize;
     // Every candidate that ever made a beam. The intent constraint is
@@ -347,7 +413,7 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
         // only on the beams (never on `next`), so scoring all expansions
         // up front is equivalent to the per-beam interleaving — and lets
         // the work fan out across every (beam, transformation) pair.
-        let ranked_per_beam = get_steps_all(&beams, ctx, &interner, &mut explored, &mut stats);
+        let ranked_per_beam = get_steps_all(&beams, ctx, interner, &mut explored, &mut stats);
         // Beam ranking allocates under the Score tag; the early execution
         // checks it triggers re-tag themselves Execute inside the
         // interpreter (innermost guard wins).
@@ -532,10 +598,17 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
     reg.counter(metric::CACHE_MISSES).add(misses);
     reg.counter(metric::CACHE_EVICTIONS).add(evictions);
     reg.counter(metric::CACHE_PEAK).set_max(exec.cache_peak());
+    // Unique statements is a gauge over the interner (the batch-shared
+    // total when sharing); hit/update counts are this search's delta
+    // window, so per-search values sum consistently in fleet roll-ups.
     reg.counter(metric::UNIQUE_STMTS).set_max(interner.unique_stmts());
-    reg.counter(metric::INTERN_HITS).add(interner.intern_hits());
-    reg.counter(metric::DAG_INCREMENTAL)
-        .add(interner.dag_incremental_updates());
+    reg.counter(metric::INTERN_HITS)
+        .add(interner.intern_hits().saturating_sub(interner_hits_base));
+    reg.counter(metric::DAG_INCREMENTAL).add(
+        interner
+            .dag_incremental_updates()
+            .saturating_sub(interner_dag_base),
+    );
     // Allocator attribution for this search's window. The total is
     // recorded as the sum of the same per-phase deltas, so "phase bytes
     // sum to the total" holds exactly even when concurrent searches

@@ -1,0 +1,117 @@
+//! Batch-workload loading: turn a directory of `.py` files or a generated
+//! profile corpus into the [`BatchScript`] list that
+//! `lucid_core::batch::standardize_corpus` consumes.
+//!
+//! Loading is deterministic: directory scripts are sorted by file name,
+//! generated scripts are numbered in generation order, and
+//! [`with_repeats`] duplicates a corpus with stable derived names — the
+//! memo-hit-rate workloads in the bench trajectory depend on all three.
+
+use crate::profiles::Profile;
+use lucid_core::batch::BatchScript;
+use std::path::Path;
+
+/// Loads every `.py` file of `dir` (sorted by file name) as a batch
+/// script named after the file.
+///
+/// # Errors
+///
+/// Fails if the directory cannot be read, a script cannot be read, or no
+/// `.py` file is found.
+pub fn load_dir(dir: &Path) -> Result<Vec<BatchScript>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "py"))
+        .collect();
+    paths.sort();
+    let mut scripts = Vec::with_capacity(paths.len());
+    for path in paths {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        scripts.push(BatchScript::new(name, source));
+    }
+    if scripts.is_empty() {
+        return Err(format!("no .py scripts in {}", dir.display()));
+    }
+    Ok(scripts)
+}
+
+/// The full generated corpus of `profile` as batch scripts, named
+/// `script_000.py`, `script_001.py`, … in generation order.
+pub fn from_profile(profile: &Profile, seed: u64) -> Vec<BatchScript> {
+    profile
+        .generate_corpus(seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, meta)| BatchScript::new(format!("script_{i:03}.py"), meta.source))
+        .collect()
+}
+
+/// Appends `copies` duplicate sets of `scripts`, each copy renamed
+/// `<name>__dupK`. Sources are byte-identical to the originals, so with
+/// the memo on every appended script is a guaranteed hit — the
+/// memo-hit-rate workloads are built from this.
+pub fn with_repeats(scripts: &[BatchScript], copies: usize) -> Vec<BatchScript> {
+    let mut out: Vec<BatchScript> = scripts.to_vec();
+    for k in 1..=copies {
+        out.extend(
+            scripts
+                .iter()
+                .map(|s| BatchScript::new(format!("{}__dup{k}", s.name), s.source.clone())),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_corpus_loads_with_stable_names() {
+        let profile = Profile::titanic();
+        let scripts = from_profile(&profile, 5);
+        assert_eq!(scripts.len(), profile.n_scripts);
+        assert_eq!(scripts[0].name, "script_000.py");
+        // Deterministic in the seed.
+        let again = from_profile(&profile, 5);
+        assert_eq!(scripts[3].source, again[3].source);
+    }
+
+    #[test]
+    fn with_repeats_duplicates_sources_with_derived_names() {
+        let base = vec![
+            BatchScript::new("a.py", "x = 1\n"),
+            BatchScript::new("b.py", "y = 2\n"),
+        ];
+        let doubled = with_repeats(&base, 2);
+        assert_eq!(doubled.len(), 6);
+        assert_eq!(doubled[2].name, "a.py__dup1");
+        assert_eq!(doubled[2].source, base[0].source);
+        assert_eq!(doubled[5].name, "b.py__dup2");
+    }
+
+    #[test]
+    fn load_dir_sorts_and_rejects_empty() {
+        let dir = std::env::temp_dir().join(format!("lucid_batch_load_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("b.py"), "y = 2\n").unwrap();
+        std::fs::write(dir.join("a.py"), "x = 1\n").unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let scripts = load_dir(&dir).unwrap();
+        assert_eq!(
+            scripts.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            vec!["a.py", "b.py"]
+        );
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(load_dir(&empty).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -21,6 +21,7 @@
 //! assert!(data.has_column("Outcome"));
 //! ```
 
+pub mod batch;
 pub mod data_gen;
 pub mod profiles;
 pub mod script_gen;

@@ -15,9 +15,14 @@
 //! counted, so a resumed run can never alias a cached one.
 //!
 //! A cache is only valid for one registered-table configuration: it must
-//! not be shared between interpreters holding different tables. The
-//! search layer creates one cache per `standardize_search` call, which
-//! satisfies this by construction.
+//! not be shared between interpreters holding different tables. Within one
+//! table configuration, a single snapshot *store* may be shared by many
+//! concurrent searches (batch mode): each search holds its own
+//! [`PrefixCache`] *view* of the store, so probe/eviction counts are
+//! attributed to the search that caused them while snapshots themselves
+//! are pooled. The chain keys already fold the interpreter's seed and
+//! sampling configuration, so runs under different input setups can never
+//! collide inside a shared store.
 
 use crate::value::RtValue;
 use lucid_pyast::{Span, Stmt};
@@ -25,21 +30,38 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Default bound on retained snapshots (see [`PrefixCache::with_capacity`]).
 pub const DEFAULT_PREFIX_CACHE_CAPACITY: usize = 4096;
 
-/// A bounded, thread-safe store of execution snapshots keyed by statement
-/// prefix.
+/// The shared snapshot store behind one or more [`PrefixCache`] views:
+/// the LRU map plus store-lifetime totals.
 #[derive(Debug)]
-pub struct PrefixCache {
+struct CacheStore {
     inner: Mutex<CacheInner>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     peak_len: AtomicU64,
+}
+
+/// A per-search view of a bounded, thread-safe store of execution
+/// snapshots keyed by statement prefix.
+///
+/// Every view created by [`PrefixCache::with_capacity`] owns a fresh
+/// store; [`PrefixCache::shared_view`] creates an additional view of the
+/// same store with zeroed per-view counters. Probe and eviction counts
+/// are recorded on both the view and the store, so a batch of concurrent
+/// searches sharing one store can report per-search counts that sum
+/// exactly to the store totals — no double counting at worker joins.
+#[derive(Debug)]
+pub struct PrefixCache {
+    store: Arc<CacheStore>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -69,48 +91,7 @@ impl Default for PrefixCache {
     }
 }
 
-impl PrefixCache {
-    /// A cache retaining at most `capacity` snapshots (LRU eviction).
-    /// A zero capacity disables storage; probes then always miss.
-    pub fn with_capacity(capacity: usize) -> Self {
-        PrefixCache {
-            inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
-                order: VecDeque::new(),
-            }),
-            capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            peak_len: AtomicU64::new(0),
-        }
-    }
-
-    /// Runs that resumed from a snapshot.
-    pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
-    }
-
-    /// Runs that started cold.
-    pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
-    }
-
-    /// Snapshots evicted by the LRU bound.
-    pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
-    }
-
-    /// The largest number of snapshots retained at any point.
-    pub fn peak_snapshots(&self) -> u64 {
-        self.peak_len.load(Ordering::Relaxed)
-    }
-
-    /// Number of snapshots currently retained.
-    pub fn len(&self) -> usize {
-        self.lock().map.len()
-    }
-
+impl CacheStore {
     /// Acquires the inner lock, recovering from poisoning: the search
     /// layer catches candidate panics, and a snapshot store must stay
     /// usable afterwards (snapshots are only inserted whole, so the state
@@ -118,29 +99,110 @@ impl PrefixCache {
     fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
         self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
+}
+
+impl PrefixCache {
+    /// A view over a fresh store retaining at most `capacity` snapshots
+    /// (LRU eviction). A zero capacity disables storage; probes then
+    /// always miss.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PrefixCache {
+            store: Arc::new(CacheStore {
+                inner: Mutex::new(CacheInner {
+                    map: HashMap::new(),
+                    order: VecDeque::new(),
+                }),
+                capacity,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+                peak_len: AtomicU64::new(0),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A new view of the same underlying store with zeroed per-view
+    /// counters. Snapshots are shared; hit/miss/eviction attribution is
+    /// per view. Used by batch mode to give each concurrent search its
+    /// own accounting window over one pooled store.
+    pub fn shared_view(&self) -> Self {
+        PrefixCache {
+            store: Arc::clone(&self.store),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs through *this view* that resumed from a snapshot.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Runs through *this view* that started cold.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots this view's inserts evicted under the LRU bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Store-lifetime hits summed over every view of this store.
+    pub fn store_hits(&self) -> u64 {
+        self.store.hits.load(Ordering::Relaxed)
+    }
+
+    /// Store-lifetime misses summed over every view of this store.
+    pub fn store_misses(&self) -> u64 {
+        self.store.misses.load(Ordering::Relaxed)
+    }
+
+    /// Store-lifetime evictions summed over every view of this store.
+    pub fn store_evictions(&self) -> u64 {
+        self.store.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The largest number of snapshots the store retained at any point
+    /// (a store property, shared by all views).
+    pub fn peak_snapshots(&self) -> u64 {
+        self.store.peak_len.load(Ordering::Relaxed)
+    }
+
+    /// Number of snapshots currently retained in the store.
+    pub fn len(&self) -> usize {
+        self.store.lock().map.len()
+    }
 
     /// Whether no snapshots are retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// The retention bound this cache was built with.
+    /// The retention bound the store was built with.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.store.capacity
     }
 
-    /// Records whether a run found any prefix (`hit`) or started cold.
+    /// Records whether a run found any prefix (`hit`) or started cold,
+    /// on both this view and the store.
     pub(crate) fn record_probe(&self, hit: bool) {
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.store.hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.store.misses.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// A clone of the snapshot for `key`, touching its LRU position.
     pub(crate) fn get(&self, key: u64) -> Option<CachedPrefix> {
-        let mut inner = self.lock();
+        let mut inner = self.store.lock();
         let snapshot = inner.map.get(&key).cloned()?;
         if let Some(pos) = inner.order.iter().position(|k| *k == key) {
             inner.order.remove(pos);
@@ -150,22 +212,25 @@ impl PrefixCache {
     }
 
     /// Stores a snapshot, evicting the least recently used on overflow.
+    /// Evictions are attributed to the view whose insert triggered them.
     pub(crate) fn put(&self, key: u64, snapshot: CachedPrefix) {
-        if self.capacity == 0 {
+        if self.store.capacity == 0 {
             return;
         }
-        let mut inner = self.lock();
+        let mut inner = self.store.lock();
         if inner.map.insert(key, snapshot).is_none() {
             inner.order.push_back(key);
-            while inner.map.len() > self.capacity {
+            while inner.map.len() > self.store.capacity {
                 let Some(old) = inner.order.pop_front() else {
                     break;
                 };
                 if inner.map.remove(&old).is_some() {
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.store.evictions.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            self.peak_len
+            self.store
+                .peak_len
                 .fetch_max(inner.map.len() as u64, Ordering::Relaxed);
         }
     }
@@ -256,6 +321,48 @@ mod tests {
         assert_eq!(cache.peak_snapshots(), 2);
         cache.put(4, snapshot(4));
         assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn shared_views_attribute_counts_per_view_and_sum_to_store() {
+        let a = PrefixCache::with_capacity(2);
+        let b = a.shared_view();
+        // View b sees a's snapshots (shared store)…
+        a.put(1, snapshot(1));
+        assert!(b.get(1).is_some());
+        // …and probes are attributed per view while the store keeps totals.
+        a.record_probe(true);
+        a.record_probe(false);
+        b.record_probe(true);
+        b.record_probe(true);
+        assert_eq!((a.hits(), a.misses()), (1, 1));
+        assert_eq!((b.hits(), b.misses()), (2, 0));
+        assert_eq!(a.store_hits(), a.hits() + b.hits());
+        assert_eq!(a.store_misses(), a.misses() + b.misses());
+        // Evictions go to the view whose insert overflowed the store.
+        b.put(2, snapshot(2));
+        b.put(3, snapshot(3));
+        assert_eq!((a.evictions(), b.evictions()), (0, 1));
+        assert_eq!(b.store_evictions(), 1);
+        // Capacity and peak are store properties, visible from any view.
+        assert_eq!(b.capacity(), 2);
+        assert_eq!(a.peak_snapshots(), 2);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn owning_view_counters_equal_store_totals() {
+        // The single-view case (one cache per search, no sharing) must be
+        // indistinguishable from the pre-view design: view == store.
+        let cache = PrefixCache::with_capacity(1);
+        cache.record_probe(true);
+        cache.record_probe(false);
+        cache.put(1, snapshot(1));
+        cache.put(2, snapshot(2));
+        assert_eq!(cache.hits(), cache.store_hits());
+        assert_eq!(cache.misses(), cache.store_misses());
+        assert_eq!(cache.evictions(), cache.store_evictions());
+        assert_eq!(cache.evictions(), 1);
     }
 
     #[test]

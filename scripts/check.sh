@@ -102,6 +102,65 @@ if [ "$gate_failed" -ne 0 ]; then
   exit 1
 fi
 
+# The batch path must construct its interner and prefix cache through
+# SharedSearchState only — a per-search `StmtInterner::new()` or
+# `PrefixCache::with_capacity()` in core::batch silently reverts the
+# cross-search sharing the batch exists for.
+echo "==> batch shared-state grep gate (core::batch constructs via SharedSearchState)"
+batch_hits=$(awk '/#\[cfg\(test\)\]/{exit} {print NR": "$0}' crates/core/src/batch.rs \
+  | grep -vE '^[0-9]+: *(//|//!)' \
+  | grep -E 'StmtInterner::new\(|PrefixCache::with_capacity\(|PrefixCache::default\(' || true)
+if [ -n "$batch_hits" ]; then
+  echo "per-search interner/cache construction in crates/core/src/batch.rs:"
+  echo "$batch_hits"
+  echo "==> FAIL: the batch path must share state via SharedSearchState"
+  exit 1
+fi
+
+# Batch smoke: a tiny corpus standardized with the memo on and two
+# workers must produce a deterministic report byte-identical to a
+# serial, memo-less run (the tentpole determinism contract, end to end
+# through the CLI).
+echo "==> batch smoke (memo on, jobs=2, deterministic vs serial)"
+batch_smoke=$(mktemp -d)
+trap 'rm -rf "$bench_smoke" "$batch_smoke"' EXIT
+mkdir -p "$batch_smoke/corpus"
+cat > "$batch_smoke/data.csv" <<'CSV'
+Age,Fare,Survived
+22,7.25,0
+38,71.28,1
+26,7.92,1
+35,53.1,1
+,8.05,0
+54,51.86,1
+2,21.07,0
+27,11.13,1
+14,30.07,0
+4,16.7,1
+CSV
+cat > "$batch_smoke/corpus/a.py" <<'PY'
+import pandas as pd
+df = pd.read_csv('data.csv')
+df['Age'] = df['Age'].fillna(df['Age'].mean())
+df = df.drop_duplicates()
+PY
+cat > "$batch_smoke/corpus/b.py" <<'PY'
+import pandas as pd
+df = pd.read_csv('data.csv')
+df = df.drop_duplicates()
+df['Fare'] = df['Fare'].fillna(0)
+PY
+cp "$batch_smoke/corpus/a.py" "$batch_smoke/corpus/c.py"
+./target/release/lucid batch --corpus "$batch_smoke/corpus" --data "$batch_smoke/data.csv" \
+  --memo --jobs 2 --seq 3 --beam 2 --json > "$batch_smoke/parallel.json" 2> /dev/null
+./target/release/lucid batch --corpus "$batch_smoke/corpus" --data "$batch_smoke/data.csv" \
+  --jobs 1 --seq 3 --beam 2 --json > "$batch_smoke/serial.json" 2> /dev/null
+if ! cmp -s "$batch_smoke/parallel.json" "$batch_smoke/serial.json"; then
+  echo "==> FAIL: batch report differs between (jobs=2, memo) and (jobs=1, no memo)"
+  diff "$batch_smoke/serial.json" "$batch_smoke/parallel.json" | head -20
+  exit 1
+fi
+
 # Telemetry overhead smoke: the always-on allocator attribution must
 # stay cheap. Counting-only keeps the smoke fast; the full three-mode
 # sweep runs via `lucid bench --telemetry-overhead` on demand.

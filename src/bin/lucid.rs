@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! lucid standardize --corpus DIR --data FILE --script FILE [options]
+//! lucid batch       --corpus DIR --data FILE [--jobs N] [--memo] [--batch-out DIR]
 //! lucid score       --corpus DIR --script FILE
 //! lucid corpus-stats --corpus DIR
 //! lucid trace       FILE.jsonl
@@ -27,6 +28,7 @@ lucid — bottom-up data-preparation script standardization (EDBT 2025)
 
 USAGE:
   lucid standardize --corpus <DIR> --data <CSV> --script <PY> [options]
+  lucid batch        --corpus <DIR> --data <CSV> [--jobs <N>] [--memo] [options]
   lucid score        --corpus <DIR> --script <PY>
   lucid corpus-stats --corpus <DIR>
   lucid trace        <FILE.jsonl>
@@ -62,8 +64,28 @@ OPTIONS (standardize):
   --explain           print per-change explanations
   --json              emit the full report as JSON
 
+OPTIONS (batch):
+  standardizes every .py script of --corpus against that corpus in one
+  process, sharing the statement interner and the prefix-cache store
+  across searches. Accepts the standardize search knobs (--tau-j, --tau-m,
+  --target, --seq, --beam, --sample, --threads, --no-cache, --fuel,
+  --max-cells, --deadline-ms, --telemetry, --stats-out,
+  --stats-interval-ms) plus:
+  --jobs <N>          concurrent per-script searches (0 = all cores,
+                      default 1); output is byte-identical at any value
+  --memo              serve repeated/near-duplicate scripts from the
+                      content-addressed full-result memo (keyed by script
+                      hash x corpus fingerprint x config fingerprint)
+  --batch-out <DIR>   write batch_report.json (deterministic), summary.txt,
+                      and the standardized scripts under DIR/scripts/
+  --trace-dir <DIR>   write one JSONL event log per executed search to DIR
+  --json              print the deterministic batch report as JSON
+
 OPTIONS (bench):
   --quick             run the 1-workload smoke subset instead of the full suite
+  --batch             also run the pinned batch suite (whole-corpus runs with
+                      a jobs × memo sweep) and record its workloads in the
+                      same entry; re-stamps the config fingerprint
   --reps <N>          repetitions per workload (default 5)
   --out <FILE>        trajectory file to append to (default BENCH_search.json;
                       with --compare, nothing is appended unless --out is given)
@@ -113,7 +135,7 @@ const VALUE_FLAGS: &[&str] = &[
     "stats-out", "stats-interval-ms",
 ];
 /// Switches of `lucid bench`.
-const BENCH_SWITCH_FLAGS: &[&str] = &["quick", "telemetry-overhead", "counting-only"];
+const BENCH_SWITCH_FLAGS: &[&str] = &["quick", "telemetry-overhead", "counting-only", "batch"];
 /// `--name value` flags of `lucid bench`.
 const BENCH_VALUE_FLAGS: &[&str] = &[
     "reps",
@@ -128,6 +150,30 @@ const BENCH_VALUE_FLAGS: &[&str] = &[
 ];
 /// `--name value` flags of `lucid profile` (after the positional file).
 const PROFILE_VALUE_FLAGS: &[&str] = &["out"];
+/// Switches of `lucid batch`.
+const BATCH_SWITCH_FLAGS: &[&str] = &["memo", "no-cache", "json"];
+/// `--name value` flags of `lucid batch`: the standardize search knobs
+/// minus the single-script/trace/profile ones, plus the batch fan-out.
+const BATCH_VALUE_FLAGS: &[&str] = &[
+    "corpus",
+    "data",
+    "jobs",
+    "batch-out",
+    "trace-dir",
+    "tau-j",
+    "tau-m",
+    "target",
+    "seq",
+    "beam",
+    "sample",
+    "threads",
+    "fuel",
+    "max-cells",
+    "deadline-ms",
+    "telemetry",
+    "stats-out",
+    "stats-interval-ms",
+];
 
 /// Tiny flag parser: `--name value` pairs plus boolean switches. Each
 /// command supplies its own accepted-flag lists, and anything outside
@@ -196,6 +242,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "bench" => {
             let flags = Flags::parse_with(&args[1..], BENCH_SWITCH_FLAGS, BENCH_VALUE_FLAGS)?;
             return bench(&flags);
+        }
+        "batch" => {
+            let flags = Flags::parse_with(&args[1..], BATCH_SWITCH_FLAGS, BATCH_VALUE_FLAGS)?;
+            return batch(&flags);
         }
         _ => {}
     }
@@ -364,15 +414,34 @@ fn bench(flags: &Flags) -> Result<ExitCode, String> {
             String::new()
         }
     );
-    let entry = lucidscript::bench::run_suite(&workloads, reps, inject, inject_mem)?;
+    let mut entry = lucidscript::bench::run_suite(&workloads, reps, inject, inject_mem)?;
+    if flags.has("batch") {
+        let batch = lucidscript::bench::batch_suite();
+        eprintln!(
+            "running {} batch workload(s) × {} rep(s)...",
+            batch.len(),
+            reps
+        );
+        lucidscript::bench::extend_with_batch(&mut entry, &batch, reps)?;
+    }
     for w in &entry.workloads {
         let total = w
             .phases
             .iter()
             .find(|p| p.name == "total_ms")
             .map_or(0.0, |p| p.median_ms);
+        let memo = if w.counters.batch_scripts > 0 {
+            format!(
+                ", {} scripts, memo {}/{}",
+                w.counters.batch_scripts,
+                w.counters.memo_hits,
+                w.counters.memo_hits + w.counters.memo_misses
+            )
+        } else {
+            String::new()
+        };
         eprintln!(
-            "  {:<26} median total {:>8.2} ms  ({} candidates, {} steps)",
+            "  {:<26} median total {:>8.2} ms  ({} candidates, {} steps{memo})",
             w.name, total, w.counters.explored, w.counters.search_steps
         );
     }
@@ -516,28 +585,14 @@ fn trace_sink_from(flags: &Flags) -> Result<Option<lucidscript::obs::TraceSink>,
         .map_err(|e| format!("cannot create trace file '{path}': {e}"))
 }
 
-fn standardize(flags: &Flags) -> Result<(), String> {
-    let corpus = load_corpus(flags.require("corpus")?)?;
-    let data_path = flags.require("data")?;
-    let data = read_csv(data_path).map_err(|e| e.to_string())?;
-    let basename = Path::new(data_path)
-        .file_name()
-        .and_then(|n| n.to_str())
-        .unwrap_or(data_path)
-        .to_string();
-    let script = read_script(flags.require("script")?)?;
-
-    if let Some(mode) = telemetry_mode_from(flags)? {
-        lucidscript::obs::alloc::set_mode(mode);
-    }
-    let stats_export = stats_export_from(flags)?;
-    // The fleet registry outlives the search so the exporters can keep
-    // snapshotting it; per-search registries merge into it at search end.
-    let fleet = stats_export
-        .as_ref()
-        .map(|_| std::sync::Arc::new(lucidscript::obs::Registry::new()));
-
-    let config = SearchConfig {
+/// Builds the [`SearchConfig`] shared by `standardize` and `batch` from
+/// the common flag family. Flags a command does not accept (e.g. batch
+/// has no `--trace`/`--profile-out`) simply stay at their defaults.
+fn search_config_from(
+    flags: &Flags,
+    fleet: Option<std::sync::Arc<lucidscript::obs::Registry>>,
+) -> Result<SearchConfig, String> {
+    Ok(SearchConfig {
         intent: intent_from(flags)?,
         seq_len: flags
             .get("seq")
@@ -564,9 +619,33 @@ fn standardize(flags: &Flags) -> Result<(), String> {
                 Ok::<_, String>(dir)
             })
             .transpose()?,
-        stats_registry: fleet.clone(),
+        stats_registry: fleet,
         ..SearchConfig::default()
-    };
+    })
+}
+
+fn standardize(flags: &Flags) -> Result<(), String> {
+    let corpus = load_corpus(flags.require("corpus")?)?;
+    let data_path = flags.require("data")?;
+    let data = read_csv(data_path).map_err(|e| e.to_string())?;
+    let basename = Path::new(data_path)
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or(data_path)
+        .to_string();
+    let script = read_script(flags.require("script")?)?;
+
+    if let Some(mode) = telemetry_mode_from(flags)? {
+        lucidscript::obs::alloc::set_mode(mode);
+    }
+    let stats_export = stats_export_from(flags)?;
+    // The fleet registry outlives the search so the exporters can keep
+    // snapshotting it; per-search registries merge into it at search end.
+    let fleet = stats_export
+        .as_ref()
+        .map(|_| std::sync::Arc::new(lucidscript::obs::Registry::new()));
+
+    let config = search_config_from(flags, fleet.clone())?;
 
     let mut standardizer = Standardizer::build(&corpus, basename.clone(), data.clone(), config)
         .map_err(|e| e.to_string())?;
@@ -623,6 +702,101 @@ fn standardize(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn batch(flags: &Flags) -> Result<ExitCode, String> {
+    let corpus_dir = flags.require("corpus")?;
+    let scripts = lucidscript::corpus::batch::load_dir(Path::new(corpus_dir))?;
+    let data_path = flags.require("data")?;
+    let data = read_csv(data_path).map_err(|e| e.to_string())?;
+    let basename = Path::new(data_path)
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or(data_path)
+        .to_string();
+
+    if let Some(mode) = telemetry_mode_from(flags)? {
+        lucidscript::obs::alloc::set_mode(mode);
+    }
+    let stats_export = stats_export_from(flags)?;
+    // As in `standardize`: per-search registries merge into the fleet
+    // registry (via the per-batch roll-up) so exporters see the whole run.
+    let fleet = stats_export
+        .as_ref()
+        .map(|_| std::sync::Arc::new(lucidscript::obs::Registry::new()));
+
+    let config = search_config_from(flags, fleet.clone())?;
+    let opts = lucidscript::core::batch::BatchOptions {
+        jobs: flags.get("jobs").map_or(Ok(1), |v| {
+            v.parse().map_err(|_| "bad --jobs".to_string())
+        })?,
+        memo: flags.has("memo"),
+        trace_dir: flags
+            .get("trace-dir")
+            .map(|dir| {
+                let dir = PathBuf::from(dir);
+                std::fs::create_dir_all(&dir)
+                    .map_err(|e| format!("cannot create trace dir '{}': {e}", dir.display()))?;
+                Ok::<_, String>(dir)
+            })
+            .transpose()?,
+    };
+
+    let reporter = match (&stats_export, &fleet) {
+        (Some((path, Some(interval_ms))), Some(reg)) => Some(lucidscript::obs::StatsReporter::spawn(
+            std::sync::Arc::clone(reg),
+            path.clone(),
+            std::time::Duration::from_millis(*interval_ms),
+        )),
+        _ => None,
+    };
+
+    let report =
+        lucidscript::core::batch::standardize_corpus(&scripts, &basename, data, config, &opts)
+            .map_err(|e| e.to_string())?;
+
+    match (reporter, &stats_export, &fleet) {
+        (Some(reporter), _, _) => reporter
+            .stop()
+            .map_err(|e| format!("cannot write stats snapshot: {e}"))?,
+        (None, Some((path, _)), Some(reg)) => {
+            lucidscript::obs::export::write_snapshot(reg, path)
+                .map_err(|e| format!("cannot write stats snapshot: {e}"))?;
+        }
+        _ => {}
+    }
+
+    if let Some(out_dir) = flags.get("batch-out") {
+        let out_dir = PathBuf::from(out_dir);
+        let scripts_dir = out_dir.join("scripts");
+        std::fs::create_dir_all(&scripts_dir)
+            .map_err(|e| format!("cannot create batch out dir '{}': {e}", out_dir.display()))?;
+        std::fs::write(out_dir.join("batch_report.json"), report.deterministic_json())
+            .map_err(|e| format!("cannot write batch_report.json: {e}"))?;
+        std::fs::write(out_dir.join("summary.txt"), report.render())
+            .map_err(|e| format!("cannot write summary.txt: {e}"))?;
+        for script in &report.scripts {
+            if let Ok(r) = &script.outcome {
+                std::fs::write(scripts_dir.join(&script.name), &r.output_source)
+                    .map_err(|e| format!("cannot write standardized '{}': {e}", script.name))?;
+            }
+        }
+    }
+
+    if flags.has("json") {
+        // Deterministic view only: identical bytes for identical
+        // (corpus, data, config) regardless of --jobs / --memo.
+        println!("{}", report.deterministic_json());
+    }
+    eprint!("{}", report.render());
+
+    let all_failed =
+        !report.scripts.is_empty() && report.scripts.iter().all(|s| s.outcome.is_err());
+    Ok(if all_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn score(flags: &Flags) -> Result<(), String> {
     let corpus = load_corpus(flags.require("corpus")?)?;
     let script = read_script(flags.require("script")?)?;
@@ -673,6 +847,36 @@ mod tests {
         assert_eq!(err, "--corpus requires a value");
         let err = run(&argv(&["standardize", "--trace"])).unwrap_err();
         assert_eq!(err, "--trace requires a value");
+    }
+
+    #[test]
+    fn batch_flags_are_disjoint_from_other_commands() {
+        // Batch-only flags are unknown to `standardize`, and vice versa.
+        let err = run(&argv(&["standardize", "--jobs", "2"])).unwrap_err();
+        assert_eq!(err, "unknown flag '--jobs'");
+        let err = run(&argv(&["standardize", "--memo"])).unwrap_err();
+        assert_eq!(err, "unknown flag '--memo'");
+        let err = run(&argv(&["batch", "--script", "s.py"])).unwrap_err();
+        assert_eq!(err, "unknown flag '--script'");
+        let err = run(&argv(&["batch", "--reps", "3"])).unwrap_err();
+        assert_eq!(err, "unknown flag '--reps'");
+    }
+
+    #[test]
+    fn batch_argument_errors_are_specific() {
+        let err = run(&argv(&["batch", "--jobs"])).unwrap_err();
+        assert_eq!(err, "--jobs requires a value");
+        let err = run(&argv(&["batch", "--data", "d.csv"])).unwrap_err();
+        assert_eq!(err, "--corpus is required");
+        let err = run(&argv(&[
+            "batch",
+            "--corpus",
+            "/nonexistent_lucid_batch_dir",
+            "--data",
+            "d.csv",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("/nonexistent_lucid_batch_dir"), "{err}");
     }
 
     #[test]

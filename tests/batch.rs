@@ -1,0 +1,217 @@
+//! The batch determinism & equivalence contract (the tentpole pin for
+//! `lucid batch`): standardizing a whole corpus in one process — with a
+//! shared interner, a pooled prefix cache, and the cross-search result
+//! memo — must be *observationally identical* to running N independent
+//! `standardize` invocations. Concretely:
+//!
+//! 1. The deterministic batch report is byte-identical across worker
+//!    counts (`--jobs 1/2/8`), memo on/off, and telemetry modes.
+//! 2. Every per-script result (output source, RE, explored count)
+//!    equals an independent single-script run against the same corpus.
+//! 3. (Regression) per-search trace records, the batch `Timings`
+//!    roll-up, and the pooled cache-store totals reconcile exactly —
+//!    shared-store counts are attributed per view, never double-drained
+//!    at worker-join boundaries.
+
+use lucidscript::core::batch::{standardize_corpus, BatchOptions, BatchScript};
+use lucidscript::core::config::SearchConfig;
+use lucidscript::core::intent::IntentMeasure;
+use lucidscript::core::standardizer::Standardizer;
+use lucidscript::corpus::Profile;
+use lucidscript::frame::DataFrame;
+use lucidscript::obs::{alloc, TelemetryMode};
+
+/// A small titanic-profile corpus: three distinct generated scripts plus
+/// a byte-identical duplicate of the second (the memo's guaranteed hit).
+fn mini_scripts() -> Vec<BatchScript> {
+    let corpus = Profile::titanic().generate_corpus(5);
+    let mut scripts: Vec<BatchScript> = corpus
+        .into_iter()
+        .take(3)
+        .enumerate()
+        .map(|(i, meta)| BatchScript::new(format!("script_{i}.py"), meta.source))
+        .collect();
+    scripts.push(BatchScript::new("script_1_dup.py", scripts[1].source.clone()));
+    scripts
+}
+
+fn mini_data() -> DataFrame {
+    Profile::titanic().generate_data(5, 0.05)
+}
+
+fn mini_config() -> SearchConfig {
+    SearchConfig {
+        seq_len: 3,
+        beam_k: 2,
+        intent: IntentMeasure::jaccard(0.5),
+        sample_rows: Some(150),
+        ..SearchConfig::default()
+    }
+}
+
+fn run_batch(jobs: usize, memo: bool) -> lucidscript::core::batch::BatchReport {
+    let opts = BatchOptions {
+        jobs,
+        memo,
+        trace_dir: None,
+    };
+    standardize_corpus(
+        &mini_scripts(),
+        Profile::titanic().file,
+        mini_data(),
+        mini_config(),
+        &opts,
+    )
+    .expect("batch runs")
+}
+
+#[test]
+fn batch_report_is_byte_identical_across_jobs_and_memo() {
+    let reference = run_batch(1, false);
+    let ref_json = reference.deterministic_json();
+    assert_eq!(reference.scripts.len(), 4);
+    for jobs in [1, 2, 8] {
+        for memo in [false, true] {
+            let report = run_batch(jobs, memo);
+            assert_eq!(
+                report.deterministic_json(),
+                ref_json,
+                "batch diverged at jobs={jobs} memo={memo}"
+            );
+            // The memo is an optimization, never a decision input: hit
+            // counts depend only on the script multiset, not on jobs.
+            if memo {
+                assert_eq!(report.memo_hits, 1, "jobs={jobs}");
+                assert_eq!(report.memo_misses, 3, "jobs={jobs}");
+            } else {
+                assert_eq!(report.memo_hits + report.memo_misses, 0, "jobs={jobs}");
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_report_is_byte_identical_across_telemetry_modes() {
+    let prev = alloc::set_mode(TelemetryMode::Counting);
+    let reference = run_batch(2, true).deterministic_json();
+    for mode in [TelemetryMode::Off, TelemetryMode::Full] {
+        alloc::set_mode(mode);
+        let report = run_batch(2, true);
+        assert_eq!(
+            report.deterministic_json(),
+            reference,
+            "batch diverged under telemetry mode {mode:?}"
+        );
+    }
+    alloc::set_mode(prev);
+}
+
+#[test]
+fn batch_results_equal_independent_standardize_runs() {
+    let scripts = mini_scripts();
+    let sources: Vec<String> = scripts.iter().map(|s| s.source.clone()).collect();
+    let report = run_batch(2, true);
+
+    for (script, result) in scripts.iter().zip(&report.scripts) {
+        assert_eq!(script.name, result.name);
+        let batch_report = result.outcome.as_ref().expect("script standardizes");
+        // An independent run: own standardizer, own interner, own cache,
+        // no memo — the per-script baseline the batch must reproduce.
+        let solo = Standardizer::build(
+            &sources,
+            Profile::titanic().file,
+            mini_data(),
+            mini_config(),
+        )
+        .expect("builds")
+        .standardize_source(&script.source)
+        .expect("runs");
+        assert_eq!(
+            batch_report.output_source, solo.output_source,
+            "output diverged for {}",
+            script.name
+        );
+        assert!(
+            (batch_report.re_after - solo.re_after).abs() < 1e-15,
+            "RE diverged for {}",
+            script.name
+        );
+        assert_eq!(
+            batch_report.candidates_explored, solo.candidates_explored,
+            "explored diverged for {}",
+            script.name
+        );
+    }
+}
+
+#[test]
+fn memoized_duplicates_share_the_original_result() {
+    let report = run_batch(2, true);
+    let original = report.scripts[1].outcome.as_ref().unwrap();
+    let dup = &report.scripts[3];
+    assert!(dup.memo_hit, "byte-identical duplicate must hit the memo");
+    let dup_report = dup.outcome.as_ref().unwrap();
+    assert_eq!(dup_report.output_source, original.output_source);
+    assert_eq!(dup_report.re_after, original.re_after);
+    // Representatives are unaffected by the memo.
+    assert!(!report.scripts[1].memo_hit);
+}
+
+/// Regression (shared-cache accounting): with the pooled prefix cache
+/// shared across a multi-worker batch, three independent accountings of
+/// cache traffic must agree exactly —
+///
+/// * the per-search `search_end` trace records, summed over scripts,
+/// * the batch `Timings` roll-up (summed per-search registries),
+/// * the shared store's own totals.
+///
+/// A double-drain at a worker-join `flush_tls` boundary, or store-level
+/// counters leaking into a view, breaks one of these equalities.
+#[test]
+fn batch_trace_timings_and_store_totals_reconcile() {
+    let dir = std::env::temp_dir().join(format!("lucid_batch_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("trace dir");
+    let opts = BatchOptions {
+        jobs: 2,
+        memo: false, // every script executes, so every script traces
+        trace_dir: Some(dir.clone()),
+    };
+    let scripts = mini_scripts();
+    let report = standardize_corpus(
+        &scripts,
+        Profile::titanic().file,
+        mini_data(),
+        mini_config(),
+        &opts,
+    )
+    .expect("batch runs");
+
+    let (mut trace_hits, mut trace_misses, mut trace_evictions) = (0u64, 0u64, 0u64);
+    for script in &scripts {
+        let path = dir.join(format!("{}.trace.jsonl", script.name));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("trace for {}: {e}", script.name));
+        let summary = lucidscript::obs::parse_trace(&text)
+            .unwrap_or_else(|e| panic!("trace for {}: {e}", script.name));
+        trace_hits += summary.cache_hits;
+        trace_misses += summary.cache_misses;
+        trace_evictions += summary.cache_evictions;
+    }
+
+    // Trace sum == Timings roll-up.
+    assert_eq!(trace_hits, report.timings.prefix_cache_hits);
+    assert_eq!(trace_misses, report.timings.prefix_cache_misses);
+    assert_eq!(trace_evictions, report.timings.prefix_cache_evictions);
+    // Timings roll-up == shared-store totals (per-view counts partition
+    // the store's traffic; nothing is double-counted or dropped).
+    assert_eq!(report.timings.prefix_cache_hits, report.cache_store_hits);
+    assert_eq!(report.timings.prefix_cache_misses, report.cache_store_misses);
+    assert_eq!(
+        report.timings.prefix_cache_evictions,
+        report.cache_store_evictions
+    );
+    // The shared store saw real traffic in this run.
+    assert!(report.cache_store_hits + report.cache_store_misses > 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

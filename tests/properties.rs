@@ -1,6 +1,10 @@
 //! Workspace-level property tests: invariants that must hold for *any*
 //! script the generators produce.
 
+use lucidscript::core::batch::{
+    config_fingerprint, corpus_fingerprint, script_fingerprint, standardize_corpus, BatchOptions,
+    BatchScript, MemoKey, ResultMemo,
+};
 use lucidscript::core::config::SearchConfig;
 use lucidscript::core::dag::build_dag;
 use lucidscript::core::entropy::relative_entropy;
@@ -108,6 +112,71 @@ proptest! {
         interp.register_table(profile.file, data);
         let out = parse_module(&report.output_source).expect("parses");
         prop_assert!(interp.check_executes(&out));
+    }
+}
+
+/// A placeholder report for memo-semantics properties (the memo stores
+/// whatever `Arc` it is given; only key matching is under test).
+fn dummy_report() -> lucidscript::core::StandardizeReport {
+    lucidscript::core::StandardizeReport {
+        input_source: String::new(),
+        output_source: String::new(),
+        re_before: 1.0,
+        re_after: 1.0,
+        improvement_pct: 0.0,
+        intent_delta: 1.0,
+        intent_kind: "table_jaccard".to_string(),
+        intent_satisfied: true,
+        applied: Vec::new(),
+        candidates_explored: 0,
+        timings: Default::default(),
+    }
+}
+
+proptest! {
+    // Full batch searches are expensive; a few seeds suffice.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// End-to-end memo semantics under perturbation: a byte-identical
+    /// duplicate hits the memo, a perturbed variant misses and gets a
+    /// fresh search whose result equals an independent single-script run.
+    #[test]
+    fn memo_miss_runs_a_fresh_identical_search(seed in 0u64..200) {
+        let profile = Profile::medical();
+        let data = profile.generate_data(seed % 13, 0.1);
+        let base = generate_script(&profile, seed);
+        let variant = format!("{}df = df.drop_duplicates()\n", base.source);
+        let scripts = vec![
+            BatchScript::new("base.py", base.source.clone()),
+            BatchScript::new("dup.py", base.source.clone()),
+            BatchScript::new("variant.py", variant.clone()),
+        ];
+        let config = SearchConfig {
+            seq_len: 2,
+            beam_k: 1,
+            diversity: false,
+            intent: IntentMeasure::jaccard(0.5),
+            sample_rows: Some(120),
+            ..SearchConfig::default()
+        };
+        let opts = BatchOptions { jobs: 1, memo: true, trace_dir: None };
+        let report = standardize_corpus(&scripts, profile.file, data.clone(), config.clone(), &opts)
+            .expect("batch runs");
+        prop_assert_eq!(report.memo_hits, 1, "only the duplicate hits");
+        prop_assert_eq!(report.memo_misses, 2, "base and variant each searched");
+        prop_assert!(report.scripts[1].memo_hit);
+        prop_assert!(!report.scripts[2].memo_hit);
+
+        // The variant's fresh search equals an independent run against
+        // the same corpus.
+        let sources: Vec<String> = scripts.iter().map(|s| s.source.clone()).collect();
+        let solo = Standardizer::build(&sources, profile.file, data, config)
+            .expect("builds")
+            .standardize_source(&variant)
+            .expect("runs");
+        let batch_variant = report.scripts[2].outcome.as_ref().expect("variant standardizes");
+        prop_assert_eq!(&batch_variant.output_source, &solo.output_source);
+        prop_assert!((batch_variant.re_after - solo.re_after).abs() < 1e-15);
     }
 }
 
@@ -221,6 +290,93 @@ proptest! {
         let interner = StmtInterner::new();
         let program = Program::from_module(&module, &interner);
         prop_assert_eq!(print_module(&program.to_module()), print_module(&module));
+    }
+
+    /// The batch memo hits iff *all three* key components — script
+    /// structure, corpus content, decision-relevant config — match.
+    /// Reformatting a script leaves its key intact; any single-component
+    /// perturbation forces a miss; measurement-only config knobs
+    /// (threads, prefix cache, trace) never move the key.
+    #[test]
+    fn memo_key_matches_iff_script_corpus_and_config_match(seed in 0u64..10_000) {
+        let profile = Profile::medical();
+        let script = generate_script(&profile, seed);
+        let module = parse_module(&script.source).expect("parses");
+
+        // Pure reformatting (added blank lines) parses to the same
+        // structure and therefore the same script fingerprint.
+        let respaced = format!("\n{}\n\n", script.source);
+        prop_assert_eq!(
+            script_fingerprint(&module),
+            script_fingerprint(&parse_module(&respaced).expect("parses"))
+        );
+        // A structural change moves it.
+        let extended = parse_module(&format!("{}df = df.drop_duplicates()\n", script.source))
+            .expect("parses");
+        prop_assert_ne!(script_fingerprint(&module), script_fingerprint(&extended));
+
+        let corpus: Vec<String> = profile
+            .generate_corpus(seed % 7)
+            .into_iter()
+            .take(6)
+            .map(|s| s.source)
+            .collect();
+        let base_corpus = corpus_fingerprint(&corpus);
+        let mut grown = corpus.clone();
+        grown.push(script.source.clone());
+        prop_assert_ne!(base_corpus, corpus_fingerprint(&grown));
+
+        let config = SearchConfig {
+            seq_len: 3,
+            beam_k: 2,
+            intent: IntentMeasure::jaccard(0.6),
+            sample_rows: Some(120),
+            ..SearchConfig::default()
+        };
+        let base_cfg = config_fingerprint(&config);
+        // Decision-relevant knobs move the key...
+        for decision_variant in [
+            SearchConfig { seq_len: 4, ..config.clone() },
+            SearchConfig { beam_k: 3, ..config.clone() },
+            SearchConfig { intent: IntentMeasure::jaccard(0.9), ..config.clone() },
+            SearchConfig { sample_rows: None, ..config.clone() },
+            SearchConfig { seed: config.seed + 1, ..config.clone() },
+        ] {
+            prop_assert_ne!(base_cfg, config_fingerprint(&decision_variant));
+        }
+        // ...measurement-only knobs do not: the same search run with more
+        // workers, no prefix cache, or a trace attached returns the same
+        // result, so it must share the memo entry.
+        let measured = SearchConfig {
+            threads: 8,
+            prefix_cache: false,
+            prefix_cache_capacity: config.prefix_cache_capacity + 100,
+            ..config.clone()
+        };
+        prop_assert_eq!(base_cfg, config_fingerprint(&measured));
+
+        // ResultMemo lookup semantics over those fingerprints: one miss
+        // on first sight, a hit on the exact key, and a miss for every
+        // single-component perturbation.
+        let memo = ResultMemo::new();
+        let key = MemoKey {
+            script: script_fingerprint(&module),
+            corpus: base_corpus,
+            config: base_cfg,
+        };
+        prop_assert!(memo.lookup(&key).is_none());
+        memo.insert(key, std::sync::Arc::new(dummy_report()));
+        prop_assert!(memo.lookup(&key).is_some());
+        for perturbed in [
+            MemoKey { script: script_fingerprint(&extended), ..key },
+            MemoKey { corpus: corpus_fingerprint(&grown), ..key },
+            MemoKey { config: config_fingerprint(&SearchConfig { seq_len: 4, ..config.clone() }), ..key },
+        ] {
+            prop_assert_ne!(perturbed, key);
+            prop_assert!(memo.lookup(&perturbed).is_none());
+        }
+        prop_assert_eq!(memo.hits(), 1);
+        prop_assert_eq!(memo.misses(), 4);
     }
 
     /// The splice-based `apply_ir` agrees with the legacy module-cloning
