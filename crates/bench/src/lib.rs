@@ -29,7 +29,10 @@ pub mod stats;
 pub mod trajectory;
 
 pub use env::ExpEnv;
-pub use overhead::{measure_overhead, OverheadReport};
+pub use overhead::{
+    measure_audit_overhead, measure_overhead, AuditOverheadReport, OverheadReport,
+    AUDIT_BUDGET_FLOOR_MS, AUDIT_BUDGET_FRAC,
+};
 pub use runner::{improvement_of_rewrite, leave_one_out_ls, MethodImprovements};
 pub use stats::Stats;
 pub use trajectory::{

@@ -199,7 +199,7 @@ pub fn run_batch_workload(w: &BatchWorkload, reps: usize) -> Result<WorkloadResu
     let opts = lucid_core::batch::BatchOptions {
         jobs: w.jobs,
         memo: w.memo,
-        trace_dir: None,
+        ..lucid_core::batch::BatchOptions::default()
     };
     let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); PHASES.len()];
     let mut counters = Counters::default();

@@ -45,7 +45,9 @@ use crate::standardizer::Standardizer;
 use crate::vocab::CorpusModel;
 use lucid_frame::DataFrame;
 use lucid_interp::stmt_structural_hash;
-use lucid_obs::{alloc, Registry, TraceSink};
+use lucid_obs::{
+    alloc, MemoHitRecord, Registry, ScriptAuditRecord, TraceSink, AUDIT_SCHEMA_VERSION,
+};
 use lucid_pyast::{parse_module, Module};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -89,6 +91,18 @@ pub struct BatchOptions {
     /// `<dir>/<name>.trace.jsonl` (memo-served scripts run no search and
     /// produce no trace).
     pub trace_dir: Option<PathBuf>,
+    /// When set, each executed search writes a decision-provenance audit
+    /// stream (schema v2, see [`lucid_obs::audit`]) to
+    /// `<dir>/<name>.audit.jsonl`; memo-served scripts get a one-line
+    /// `memo_hit` stub naming their representative, and the batch writes
+    /// a `batch_audit.jsonl` roll-up of per-script `script` records in
+    /// input order. All audit files are byte-identical across `jobs` and
+    /// memo settings (stubs excepted: they only exist with the memo on).
+    pub audit_dir: Option<PathBuf>,
+    /// Attach per-script explanations (`explain_diff` texts) to the
+    /// deterministic report. Computed serially from the corpus model and
+    /// the final sources, so they are identical across `jobs`.
+    pub explain: bool,
 }
 
 impl Default for BatchOptions {
@@ -97,6 +111,8 @@ impl Default for BatchOptions {
             jobs: 1,
             memo: false,
             trace_dir: None,
+            audit_dir: None,
+            explain: false,
         }
     }
 }
@@ -266,6 +282,11 @@ pub struct ScriptResult {
     /// input, or a search-level panic — one script's failure never kills
     /// the batch).
     pub outcome: std::result::Result<Arc<StandardizeReport>, String>,
+    /// Per-change explanation texts ([`crate::explain::explain_diff`]);
+    /// populated only with [`BatchOptions::explain`] on. Computed
+    /// serially from the corpus model and the final sources, so the list
+    /// is identical across `jobs` and memo settings.
+    pub explanations: Vec<String>,
 }
 
 /// Aggregate RE-reduction distribution over a batch — Figure 6 at corpus
@@ -387,6 +408,7 @@ struct DetScript {
     intent_satisfied: bool,
     applied: Vec<String>,
     candidates_explored: usize,
+    explanations: Vec<String>,
 }
 
 #[derive(serde::Serialize)]
@@ -433,6 +455,7 @@ impl BatchReport {
                     intent_satisfied: report.intent_satisfied,
                     applied: report.applied.clone(),
                     candidates_explored: report.candidates_explored,
+                    explanations: r.explanations.clone(),
                 },
                 Err(msg) => DetScript {
                     name: r.name.clone(),
@@ -448,6 +471,7 @@ impl BatchReport {
                     intent_satisfied: false,
                     applied: Vec::new(),
                     candidates_explored: 0,
+                    explanations: Vec::new(),
                 },
             })
             .collect();
@@ -553,6 +577,7 @@ pub fn standardize_corpus(
     search_config.shared = Some(Arc::clone(&shared));
     search_config.stats_registry = Some(Arc::clone(&batch_registry));
     search_config.trace = None;
+    search_config.audit = None;
     search_config.validate()?;
 
     let prepared: Vec<Prepared> = parsed
@@ -594,24 +619,30 @@ pub fn standardize_corpus(
     let run_one = |i: usize| -> std::result::Result<StandardizeReport, String> {
         let script = &scripts[i];
         let attempt = || -> std::result::Result<StandardizeReport, String> {
-            match &opts.trace_dir {
-                None => base.standardize_source(&script.source).map_err(|e| e.to_string()),
-                Some(dir) => {
-                    let mut cfg = search_config.clone();
-                    let path = dir.join(format!("{}.trace.jsonl", script.name));
-                    cfg.trace = Some(TraceSink::to_file(&path).map_err(|e| {
-                        format!("cannot open trace file {}: {e}", path.display())
-                    })?);
-                    let std = Standardizer::from_model(
-                        model.clone(),
-                        data_path,
-                        data.clone(),
-                        cfg,
-                    )
-                    .map_err(|e| e.to_string())?;
-                    std.standardize_source(&script.source).map_err(|e| e.to_string())
-                }
+            if opts.trace_dir.is_none() && opts.audit_dir.is_none() {
+                return base.standardize_source(&script.source).map_err(|e| e.to_string());
             }
+            let mut cfg = search_config.clone();
+            if let Some(dir) = &opts.trace_dir {
+                let path = dir.join(format!("{}.trace.jsonl", script.name));
+                cfg.trace = Some(TraceSink::to_file(&path).map_err(|e| {
+                    format!("cannot open trace file {}: {e}", path.display())
+                })?);
+            }
+            if let Some(dir) = &opts.audit_dir {
+                let path = dir.join(format!("{}.audit.jsonl", script.name));
+                cfg.audit = Some(TraceSink::to_file(&path).map_err(|e| {
+                    format!("cannot open audit file {}: {e}", path.display())
+                })?);
+            }
+            let std = Standardizer::from_model(
+                model.clone(),
+                data_path,
+                data.clone(),
+                cfg,
+            )
+            .map_err(|e| e.to_string())?;
+            std.standardize_source(&script.source).map_err(|e| e.to_string())
         };
         // A search-level panic (beyond the per-candidate isolation inside
         // the search) downgrades to this script's error, never the batch's.
@@ -682,6 +713,24 @@ pub fn standardize_corpus(
         }
     }
 
+    // Explanations are a pure function of (model, input, output), computed
+    // serially here — never in the workers — so `--explain` output is
+    // independent of job count and memo hits reuse the representative's
+    // sources verbatim.
+    let explain_texts =
+        |outcome: &std::result::Result<Arc<StandardizeReport>, String>| -> Vec<String> {
+            if !opts.explain {
+                return Vec::new();
+            }
+            match outcome {
+                Ok(r) => crate::explain::explain_diff(&model, &r.input_source, &r.output_source)
+                    .into_iter()
+                    .map(|e| e.text)
+                    .collect(),
+                Err(_) => Vec::new(),
+            }
+        };
+
     let memo = ResultMemo::new();
     let mut results: Vec<ScriptResult> = Vec::with_capacity(scripts.len());
     for (i, p) in prepared.iter().enumerate() {
@@ -691,15 +740,20 @@ pub fn standardize_corpus(
                 name,
                 memo_hit: false,
                 outcome: Err(msg.clone()),
+                explanations: Vec::new(),
             }),
             Prepared::Job { key } => {
                 if opts.memo {
                     match memo.lookup(key) {
-                        Some(report) => results.push(ScriptResult {
-                            name,
-                            memo_hit: true,
-                            outcome: Ok(report),
-                        }),
+                        Some(report) => {
+                            let outcome = Ok(report);
+                            results.push(ScriptResult {
+                                name,
+                                memo_hit: true,
+                                explanations: explain_texts(&outcome),
+                                outcome,
+                            });
+                        }
                         None => {
                             let job = rep_of[key];
                             let outcome = job_results[job].clone();
@@ -709,6 +763,7 @@ pub fn standardize_corpus(
                             results.push(ScriptResult {
                                 name,
                                 memo_hit: false,
+                                explanations: explain_texts(&outcome),
                                 outcome,
                             });
                         }
@@ -719,14 +774,83 @@ pub fn standardize_corpus(
                         .iter()
                         .filter(|p| matches!(p, Prepared::Job { .. }))
                         .count();
+                    let outcome = job_results[job].clone();
                     results.push(ScriptResult {
                         name,
                         memo_hit: false,
-                        outcome: job_results[job].clone(),
+                        explanations: explain_texts(&outcome),
+                        outcome,
                     });
                 }
             }
         }
+    }
+
+    // Audit roll-up: memo-hit scripts never ran a search, so they get a
+    // stub `<name>.audit.jsonl` pointing at the representative whose full
+    // stream carries the decisions; `batch_audit.jsonl` then records one
+    // per-script counter row in input order. Summing rows over executed
+    // (non-memo-hit, ok) scripts reconciles exactly with the batch
+    // `Timings` roll-up.
+    if let Some(dir) = &opts.audit_dir {
+        for (i, r) in results.iter().enumerate() {
+            if !r.memo_hit {
+                continue;
+            }
+            let key = match &prepared[i] {
+                Prepared::Job { key } => key,
+                Prepared::Failed(_) => continue,
+            };
+            let against = scripts[work[rep_of[key]]].name.clone();
+            let path = dir.join(format!("{}.audit.jsonl", r.name));
+            let sink = TraceSink::to_file(&path).map_err(|e| {
+                crate::error::CoreError::BadConfig(format!(
+                    "cannot open audit file {}: {e}",
+                    path.display()
+                ))
+            })?;
+            sink.emit(&MemoHitRecord {
+                v: AUDIT_SCHEMA_VERSION,
+                event: "memo_hit".to_string(),
+                script: r.name.clone(),
+                against,
+            });
+            sink.flush();
+        }
+        let path = dir.join("batch_audit.jsonl");
+        let sink = TraceSink::to_file(&path).map_err(|e| {
+            crate::error::CoreError::BadConfig(format!(
+                "cannot open audit file {}: {e}",
+                path.display()
+            ))
+        })?;
+        for r in &results {
+            let mut row = ScriptAuditRecord {
+                v: AUDIT_SCHEMA_VERSION,
+                event: "script".to_string(),
+                name: r.name.clone(),
+                memo_hit: r.memo_hit,
+                ok: r.outcome.is_ok(),
+                deduped: 0,
+                budget_fuel: 0,
+                budget_cells: 0,
+                budget_deadline: 0,
+                panicked: 0,
+                pruned_monotonicity: 0,
+            };
+            if !r.memo_hit {
+                if let Ok(report) = &r.outcome {
+                    row.deduped = report.timings.candidates_deduped;
+                    row.budget_fuel = report.timings.budget_trips_fuel;
+                    row.budget_cells = report.timings.budget_trips_cells;
+                    row.budget_deadline = report.timings.budget_trips_deadline;
+                    row.panicked = report.timings.candidates_panicked;
+                    row.pruned_monotonicity = report.timings.pruned_monotonicity;
+                }
+            }
+            sink.emit(&row);
+        }
+        sink.flush();
     }
 
     // Batch-level counters land in the per-batch registry so `--stats-out`
@@ -866,7 +990,7 @@ mod tests {
             "train.csv",
             tiny_data(),
             tiny_config(),
-            &BatchOptions { jobs: 1, memo: true, trace_dir: None },
+            &BatchOptions { jobs: 1, memo: true, ..BatchOptions::default() },
         )
         .unwrap();
         assert_eq!(report.scripts.len(), 3);
@@ -894,7 +1018,7 @@ mod tests {
             "train.csv",
             tiny_data(),
             tiny_config(),
-            &BatchOptions { jobs: 2, memo: true, trace_dir: None },
+            &BatchOptions { jobs: 2, memo: true, ..BatchOptions::default() },
         )
         .unwrap();
         assert_eq!(report.distribution.errors, 1);
@@ -915,7 +1039,7 @@ mod tests {
                     "train.csv",
                     tiny_data(),
                     tiny_config(),
-                    &BatchOptions { jobs, memo, trace_dir: None },
+                    &BatchOptions { jobs, memo, ..BatchOptions::default() },
                 )
                 .unwrap();
                 let json = report.deterministic_json();

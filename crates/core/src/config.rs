@@ -62,6 +62,15 @@ pub struct SearchConfig {
     /// records) and the interpreter records per-statement spans; `None`
     /// keeps the whole observability layer on its no-op path.
     pub trace: Option<lucid_obs::TraceSink>,
+    /// Decision-provenance audit stream (trace schema v2). When set, the
+    /// search records every candidate's stable ID, lineage, and terminal
+    /// [`lucid_obs::Disposition`], emitted in ID order at search end with
+    /// a self-reconciling trailer (`lucid why` renders it). Candidate IDs
+    /// are minted serially in enumeration order whether or not auditing
+    /// is on, so the stream is byte-identical across thread counts, cache
+    /// modes, and batch memoization — and auditing never changes search
+    /// decisions.
+    pub audit: Option<lucid_obs::TraceSink>,
     /// Directory for profile exports. When set, the search writes
     /// `flame.folded` (collapsed-stack flamegraph), `percentiles.txt`,
     /// and `profile.json` there after each search, and the interpreter's
@@ -117,6 +126,7 @@ impl Default for SearchConfig {
             prefix_cache_capacity: lucid_interp::cache::DEFAULT_PREFIX_CACHE_CAPACITY,
             max_finalists: 256,
             trace: None,
+            audit: None,
             profile_out: None,
             budget: lucid_interp::Budget::unlimited(),
             fault_plan: None,

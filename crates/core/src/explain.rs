@@ -10,7 +10,7 @@
 //! of rationale (adopting common practice / removing an out-of-the-
 //! ordinary step).
 
-use crate::dag::build_dag;
+use crate::ir::{Program, StmtInterner};
 use crate::lemma::lemmatize;
 use crate::vocab::CorpusModel;
 use lucid_pyast::parse_module;
@@ -55,8 +55,12 @@ pub fn explain_diff(model: &CorpusModel, input: &str, output: &str) -> Vec<Expla
     let (Ok(in_mod), Ok(out_mod)) = (parse_module(input), parse_module(output)) else {
         return Vec::new();
     };
-    let in_atoms = build_dag(&lemmatize(&in_mod)).atoms;
-    let out_atoms = build_dag(&lemmatize(&out_mod)).atoms;
+    // Interned IR instead of a throwaway DAG build: both scripts usually
+    // share most statements, so one interner memoizes the atom rendering
+    // across them (and matches what the search itself ranked on).
+    let interner = StmtInterner::new();
+    let in_atoms = program_atoms(&in_mod, &interner);
+    let out_atoms = program_atoms(&out_mod, &interner);
     let in_set: HashSet<&String> = in_atoms.iter().collect();
     let out_set: HashSet<&String> = out_atoms.iter().collect();
 
@@ -88,6 +92,15 @@ pub fn explain_diff(model: &CorpusModel, input: &str, output: &str) -> Vec<Expla
         out.push(make_explanation('+', atom, prevalence, predecessor, rationale, model));
     }
     out
+}
+
+/// Lemmatized statement atoms of a parsed module, via the interned IR.
+fn program_atoms(module: &lucid_pyast::Module, interner: &StmtInterner) -> Vec<String> {
+    Program::from_module(&lemmatize(module), interner)
+        .stmts()
+        .iter()
+        .map(|info| info.atom.clone())
+        .collect()
 }
 
 fn make_explanation(

@@ -52,6 +52,7 @@ pub mod kmeans;
 pub mod leakage;
 pub mod lemma;
 pub mod pareto;
+pub mod provenance;
 pub mod report;
 pub mod search;
 pub mod standardizer;

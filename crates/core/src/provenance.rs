@@ -1,0 +1,311 @@
+//! Candidate identity and lineage bookkeeping for the decision-provenance
+//! audit stream (trace schema v2, [`lucid_obs::audit`]).
+//!
+//! The search mints a stable ID for every candidate it ever considers —
+//! *including* the ones enumeration prunes before scoring — and records,
+//! when auditing is enabled, each candidate's parent, minting step, the
+//! transformation that produced it, its RE score (when it was scored at
+//! all), and exactly one terminal [`Disposition`].
+//!
+//! Two invariants make the stream trustworthy:
+//!
+//! 1. **IDs are thread-count-independent.** Minting happens only on the
+//!    serial enumeration path (jobs are built beam-major, in enumeration
+//!    order, *before* any parallel fan-out), so candidate N is the same
+//!    candidate at any `threads` setting. IDs are minted whether or not
+//!    auditing is on — they are never read by ranking — which is what
+//!    lets the audited and unaudited runs make identical decisions.
+//! 2. **Counter-tied fates are recorded where the counter increments.**
+//!    `Deduped`/`PrunedMonotonicity`/`BudgetTripped`/`Panicked` fates are
+//!    assigned at the exact sites that bump the matching `Timings`
+//!    counters, so disposition counts reconcile with `Timings` exactly.
+//!    Drops with no counter (beam truncation of still-live finalists,
+//!    never-verified finalists) are swept as `OutRanked` at search end —
+//!    the safety net that guarantees every candidate gets exactly one
+//!    fate without perturbing any counter.
+//!
+//! The *protected* set tracks candidates that are terminal-fate-exempt at
+//! beam-drop sites because they are still alive elsewhere (the input,
+//! id 0, and every accepted finalist). It is maintained even when
+//! auditing is off because [`crate::search`]'s dedup counter branches on
+//! it — the counter must not depend on the audit flag.
+
+use lucid_obs::Disposition;
+use std::collections::HashSet;
+
+/// Per-candidate lineage metadata (dense, indexed by candidate ID).
+#[derive(Debug, Clone)]
+pub struct CandMeta {
+    /// ID of the candidate this one was derived from (0 for the input).
+    pub parent: u64,
+    /// Beam step at which it was minted (0 for the input).
+    pub step: usize,
+    /// The transformation description (`"input"` for ID 0).
+    pub op: String,
+    /// RE score, once scored.
+    pub re: Option<f64>,
+    /// Terminal fate, once assigned (exactly one per candidate).
+    pub fate: Option<Disposition>,
+}
+
+/// The search-lifetime provenance ledger. Constructed once per search;
+/// all mutation happens on the serial control path.
+#[derive(Debug)]
+pub struct Provenance {
+    enabled: bool,
+    next_id: u64,
+    metas: Vec<CandMeta>,
+    protected: HashSet<u64>,
+    /// The beam step currently executing; drop sites read this instead of
+    /// threading a step parameter through every helper.
+    pub cur_step: usize,
+}
+
+impl Provenance {
+    /// Creates the ledger and mints ID 0 for the input candidate (op
+    /// `"input"`, protected — the input is always alive as the fallback).
+    pub fn new(enabled: bool) -> Provenance {
+        let mut prov = Provenance {
+            enabled,
+            next_id: 0,
+            metas: Vec::new(),
+            protected: HashSet::new(),
+            cur_step: 0,
+        };
+        let id = prov.mint(0, || "input".to_string());
+        prov.protect(id);
+        prov
+    }
+
+    /// Whether audit metadata is being recorded. ID minting and the
+    /// protected set are maintained regardless.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Mints the next candidate ID. The op description is only built
+    /// (and metadata only stored) when auditing is enabled; the ID
+    /// counter always advances so audited and unaudited runs stay in
+    /// lockstep.
+    pub fn mint(&mut self, parent: u64, op: impl FnOnce() -> String) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        if self.enabled {
+            self.metas.push(CandMeta {
+                parent,
+                step: self.cur_step,
+                op: op(),
+                re: None,
+                fate: None,
+            });
+        }
+        id
+    }
+
+    /// Advances the ID counter past `n` candidates without recording
+    /// metadata — the audit-off fast path for enumeration-pruned
+    /// candidates, whose count is known without materializing them.
+    pub fn skip(&mut self, n: usize) {
+        debug_assert!(!self.enabled, "skip() loses lineage when auditing");
+        self.next_id += n as u64;
+    }
+
+    /// Records the RE score a candidate reached.
+    pub fn set_re(&mut self, id: u64, re: f64) {
+        if self.enabled {
+            self.metas[id as usize].re = Some(re);
+        }
+    }
+
+    /// Assigns a candidate's terminal fate. Each candidate gets exactly
+    /// one: call sites guard still-alive candidates via the protected
+    /// set, so a second assignment is a drop-site accounting bug.
+    pub fn fate(&mut self, id: u64, disposition: Disposition) {
+        if self.enabled {
+            let meta = &mut self.metas[id as usize];
+            debug_assert!(
+                meta.fate.is_none(),
+                "candidate #{id} fated twice: {:?} then {:?}",
+                meta.fate,
+                disposition
+            );
+            if meta.fate.is_none() {
+                meta.fate = Some(disposition);
+            }
+        }
+    }
+
+    /// Assigns a fate only if the candidate has none yet — the search-end
+    /// sweep for candidates that were simply never selected.
+    pub fn fate_if_unfated(&mut self, id: u64, disposition: Disposition) {
+        if self.enabled && self.metas[id as usize].fate.is_none() {
+            self.metas[id as usize].fate = Some(disposition);
+        }
+    }
+
+    /// Marks a candidate as alive outside the beam (input / finalist):
+    /// beam-drop sites must not assign it a terminal fate or count it.
+    pub fn protect(&mut self, id: u64) {
+        self.protected.insert(id);
+    }
+
+    /// Removes beam-drop protection (finalist-cap eviction). The
+    /// candidate is fated later — by verification or the end sweep.
+    pub fn unprotect(&mut self, id: u64) {
+        self.protected.remove(&id);
+    }
+
+    /// Whether a candidate is protected from beam-drop fates.
+    pub fn is_protected(&self, id: u64) -> bool {
+        self.protected.contains(&id)
+    }
+
+    /// All recorded metadata, indexed by candidate ID (empty when
+    /// auditing is off).
+    pub fn metas(&self) -> &[CandMeta] {
+        &self.metas
+    }
+
+    /// Total candidates minted (valid whether or not auditing is on).
+    pub fn total(&self) -> u64 {
+        self.next_id
+    }
+
+    /// The end-of-search sweep: every candidate still without a fate was
+    /// simply never chosen — it lost to the eventual best. Records each
+    /// as [`Disposition::OutRanked`] at its minting step with its gap to
+    /// the final best RE (0 when it was never scored, clamped at 0 for
+    /// evicted finalists that briefly beat the final best).
+    pub fn sweep_out_ranked(&mut self, best_re: f64) {
+        if !self.enabled {
+            return;
+        }
+        for meta in &mut self.metas {
+            if meta.fate.is_none() {
+                meta.fate = Some(Disposition::OutRanked {
+                    at_step: meta.step,
+                    score_gap: (meta.re.unwrap_or(best_re) - best_re).max(0.0),
+                });
+            }
+        }
+    }
+
+    /// The ancestry chain of `id`, input (ID 0) first, as parallel
+    /// `(ids, ops)` vectors.
+    pub fn lineage_of(&self, id: u64) -> (Vec<u64>, Vec<String>) {
+        if !self.enabled {
+            return (Vec::new(), Vec::new());
+        }
+        let mut ids = vec![id];
+        let mut cur = id;
+        while cur != 0 {
+            cur = self.metas[cur as usize].parent;
+            ids.push(cur);
+        }
+        ids.reverse();
+        let ops = ids
+            .iter()
+            .map(|&i| self.metas[i as usize].op.clone())
+            .collect();
+        (ids, ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mints_input_as_protected_id_zero() {
+        let prov = Provenance::new(true);
+        assert_eq!(prov.total(), 1);
+        assert!(prov.is_protected(0));
+        assert_eq!(prov.metas()[0].op, "input");
+        assert_eq!(prov.metas()[0].parent, 0);
+    }
+
+    #[test]
+    fn disabled_ledger_advances_ids_without_metadata() {
+        let mut prov = Provenance::new(false);
+        prov.skip(3);
+        let id = prov.mint(0, || unreachable!("op must not be built when disabled"));
+        assert_eq!(id, 4);
+        assert_eq!(prov.total(), 5);
+        assert!(prov.metas().is_empty());
+        prov.set_re(id, 1.0); // no-op, must not panic
+        prov.fate(id, Disposition::Panicked);
+        assert!(prov.is_protected(0));
+    }
+
+    #[test]
+    fn lineage_walks_to_the_input() {
+        let mut prov = Provenance::new(true);
+        let a = prov.mint(0, || "+ line 1: x".to_string());
+        prov.cur_step = 1;
+        let b = prov.mint(a, || "- line 2".to_string());
+        prov.set_re(b, 0.5);
+        let (ids, ops) = prov.lineage_of(b);
+        assert_eq!(ids, vec![0, a, b]);
+        assert_eq!(ops, vec!["input", "+ line 1: x", "- line 2"]);
+        assert_eq!(prov.metas()[b as usize].step, 1);
+        assert_eq!(prov.metas()[b as usize].re, Some(0.5));
+    }
+
+    #[test]
+    fn fates_are_single_assignment_with_end_sweep() {
+        let mut prov = Provenance::new(true);
+        let a = prov.mint(0, || "op".to_string());
+        prov.fate(a, Disposition::Deduped { against: 0 });
+        prov.fate_if_unfated(a, Disposition::Selected); // already fated: kept
+        assert_eq!(
+            prov.metas()[a as usize].fate,
+            Some(Disposition::Deduped { against: 0 })
+        );
+        let b = prov.mint(0, || "op2".to_string());
+        prov.fate_if_unfated(b, Disposition::Selected);
+        assert_eq!(prov.metas()[b as usize].fate, Some(Disposition::Selected));
+    }
+
+    #[test]
+    fn sweep_out_ranks_only_unfated_candidates() {
+        let mut prov = Provenance::new(true);
+        let a = prov.mint(0, || "a".to_string());
+        prov.set_re(a, 0.9);
+        let b = prov.mint(0, || "b".to_string());
+        prov.fate(b, Disposition::Selected);
+        let c = prov.mint(0, || "c".to_string()); // never scored
+        prov.sweep_out_ranked(0.5);
+        assert_eq!(
+            prov.metas()[a as usize].fate,
+            Some(Disposition::OutRanked {
+                at_step: 0,
+                score_gap: 0.9 - 0.5,
+            })
+        );
+        assert_eq!(prov.metas()[b as usize].fate, Some(Disposition::Selected));
+        assert_eq!(
+            prov.metas()[c as usize].fate,
+            Some(Disposition::OutRanked {
+                at_step: 0,
+                score_gap: 0.0,
+            })
+        );
+        // The input (id 0) is swept too — unless it was selected as the
+        // fallback, it lost to the best like any other candidate.
+        assert!(matches!(
+            prov.metas()[0].fate,
+            Some(Disposition::OutRanked { .. })
+        ));
+    }
+
+    #[test]
+    fn protection_toggles() {
+        let mut prov = Provenance::new(false);
+        let a = prov.mint(0, String::new);
+        assert!(!prov.is_protected(a));
+        prov.protect(a);
+        assert!(prov.is_protected(a));
+        prov.unprotect(a);
+        assert!(!prov.is_protected(a));
+    }
+}

@@ -44,6 +44,9 @@ pub mod metric {
     /// Structurally-duplicate candidates skipped within beam steps before
     /// spending an execution check on them.
     pub const DEDUPED: &str = "search.candidates_deduped";
+    /// Transformations the enumerator refused because they would edit a
+    /// line behind the monotonicity cursor.
+    pub const PRUNED_MONOTONICITY: &str = "search.pruned_monotonicity";
     /// Distinct statements interned by the search's shared-statement IR
     /// (recorded via `set_max`).
     pub const UNIQUE_STMTS: &str = "interner.unique_stmts";
@@ -131,6 +134,9 @@ pub struct Timings {
     /// Structurally-identical candidates skipped within beam steps (by
     /// interned-statement comparison) before any execution check ran.
     pub candidates_deduped: u64,
+    /// Enumerated transformations pruned by the monotonicity rule (they
+    /// would have edited a line behind the cursor) before being scored.
+    pub pruned_monotonicity: u64,
     /// Distinct statements the search's interner ever materialized — the
     /// whole candidate space is spanned by this many shared nodes.
     pub unique_stmts: u64,
@@ -191,6 +197,7 @@ impl Timings {
         self.budget_trips_cells += other.budget_trips_cells;
         self.budget_trips_deadline += other.budget_trips_deadline;
         self.candidates_deduped += other.candidates_deduped;
+        self.pruned_monotonicity += other.pruned_monotonicity;
         // Like the cache peak: each run has its own interner, so summing
         // distinct-statement counts across runs would double-count shared
         // vocabulary; report the widest population seen instead.
@@ -236,6 +243,7 @@ impl Timings {
             budget_trips_cells: reg.counter_value(metric::BUDGET_CELLS),
             budget_trips_deadline: reg.counter_value(metric::BUDGET_DEADLINE),
             candidates_deduped: reg.counter_value(metric::DEDUPED),
+            pruned_monotonicity: reg.counter_value(metric::PRUNED_MONOTONICITY),
             unique_stmts: reg.counter_value(metric::UNIQUE_STMTS),
             intern_hits: reg.counter_value(metric::INTERN_HITS),
             dag_incremental_updates: reg.counter_value(metric::DAG_INCREMENTAL),
@@ -331,6 +339,7 @@ mod tests {
             budget_trips_cells: 3,
             budget_trips_deadline: 5,
             candidates_deduped: 4,
+            pruned_monotonicity: 7,
             unique_stmts: 11,
             intern_hits: 30,
             dag_incremental_updates: 20,
@@ -359,6 +368,7 @@ mod tests {
         assert_eq!(a.budget_trips_deadline, 10);
         assert_eq!(a.budget_trips_total(), 18);
         assert_eq!(a.candidates_deduped, 8);
+        assert_eq!(a.pruned_monotonicity, 14);
         // Per-interner population takes the max, not the sum.
         assert_eq!(a.unique_stmts, 11);
         assert_eq!(a.intern_hits, 60);
@@ -437,6 +447,7 @@ mod tests {
         reg.counter(metric::BUDGET_CELLS).add(4);
         reg.counter(metric::BUDGET_DEADLINE).add(5);
         reg.counter(metric::DEDUPED).add(6);
+        reg.counter(metric::PRUNED_MONOTONICITY).add(11);
         reg.counter(metric::UNIQUE_STMTS).set_max(9);
         reg.counter(metric::INTERN_HITS).add(21);
         reg.counter(metric::DAG_INCREMENTAL).add(17);
@@ -466,6 +477,7 @@ mod tests {
         assert_eq!(t.budget_trips_cells, 4);
         assert_eq!(t.budget_trips_deadline, 5);
         assert_eq!(t.candidates_deduped, 6);
+        assert_eq!(t.pruned_monotonicity, 11);
         assert_eq!(t.unique_stmts, 9);
         assert_eq!(t.intern_hits, 21);
         assert_eq!(t.dag_incremental_updates, 17);

@@ -22,11 +22,18 @@ use crate::dag::ScriptDag;
 use crate::entropy;
 use crate::ir::{Program, StmtInterner};
 use crate::kmeans::kmeans;
+use crate::provenance::Provenance;
 use crate::report::{metric, Timings};
-use crate::transform::{enumerate_transformations_counted, TransformKind, Transformation};
+use crate::transform::{
+    enumerate_transformations_audited, enumerate_transformations_counted, TransformKind,
+    Transformation,
+};
 use crate::vocab::CorpusModel;
 use lucid_frame::DataFrame;
 use lucid_interp::{BudgetKind, ExecOutcome, InjectedPanic, Interpreter, InterpError, PrefixCache};
+use lucid_obs::audit::{
+    AuditEndRecord, CandRecord, Disposition, LineageRecord, AUDIT_SCHEMA_VERSION,
+};
 use lucid_obs::event::{
     KeptBeam, SearchEndEvent, SearchStartEvent, StepEvent, StmtSpanAgg, VerifyEvent,
     TRACE_SCHEMA_VERSION,
@@ -34,6 +41,7 @@ use lucid_obs::event::{
 use lucid_obs::alloc::{self, Phase, PhaseGuard};
 use lucid_obs::Registry;
 use lucid_pyast::Module;
+use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -55,6 +63,10 @@ pub struct Candidate {
     pub cursor: usize,
     /// Applied transformations, in order.
     pub applied: Vec<Transformation>,
+    /// Stable provenance ID (0 = the input script). Minted serially in
+    /// enumeration order by [`Provenance`], so it is identical across
+    /// thread counts and never consulted by ranking.
+    pub id: u64,
 }
 
 impl Candidate {
@@ -73,6 +85,9 @@ impl Candidate {
             re,
             cursor: 0,
             applied: Vec::new(),
+            // Only the input script is built from a module; it always
+            // carries the ledger's pre-minted ID 0.
+            id: 0,
         }
     }
 }
@@ -241,6 +256,26 @@ fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Maps an execution failure onto the audit disposition recorded for the
+/// failing candidate. Called *before* [`FailureTally::note`] consumes the
+/// failure, at the same site — which is what keeps disposition counts and
+/// `Timings` counters (`budget_trips_*`, `candidates_panicked`) in exact
+/// agreement.
+fn disposition_of(failure: &ExecFailure) -> Disposition {
+    match failure {
+        ExecFailure::Error(InterpError::Budget(kind)) => Disposition::BudgetTripped {
+            kind: match kind {
+                BudgetKind::Fuel => "fuel",
+                BudgetKind::Cells => "cells",
+                BudgetKind::Deadline => "deadline",
+            }
+            .to_string(),
+        },
+        ExecFailure::Error(_) => Disposition::FailedExecution,
+        ExecFailure::Panic(_) => Disposition::Panicked,
+    }
+}
+
 /// Per-phase failure accounting: how many candidates were pruned and
 /// why. Budget trips and panics are classified per axis so the registry,
 /// the trace events, and `Timings` all report the same counts — the
@@ -328,6 +363,11 @@ pub struct SearchOutcome {
     pub explored: usize,
     /// Phase timings (Figure 7's breakdown).
     pub timings: Timings,
+    /// Lineage of the selected candidate — audit candidate IDs from the
+    /// input (ID 0) to the selection — when `config.audit` is set; empty
+    /// otherwise. Lets callers join per-diff-line provenance onto the
+    /// audit stream without re-parsing it.
+    pub audit_lineage: Vec<u64>,
 }
 
 /// Algorithm 1: the meta-level framework. Starts from the (lemmatized,
@@ -392,6 +432,12 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
     let interner_dag_base = interner.dag_incremental_updates();
     let input_candidate =
         Candidate::from_module(input, interner, ctx.corpus, ctx.config.objective);
+    // The decision-provenance ledger. IDs are minted (serially, in
+    // enumeration order) whether or not auditing is on, and the protected
+    // set is always maintained — beam-drop accounting branches on it — so
+    // auditing never changes a search decision or a counter.
+    let mut prov = Provenance::new(ctx.config.audit.is_some());
+    prov.set_re(input_candidate.id, input_candidate.re);
     let mut beams: Vec<Candidate> = vec![input_candidate.clone()];
     let mut explored = 0usize;
     // Every candidate that ever made a beam. The intent constraint is
@@ -406,6 +452,7 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
         let beams_in = beams.len();
         let cache_before = exec.cache_counters();
         let step_mem_before = alloc::snapshot();
+        prov.cur_step = step;
         // Algorithm 2, line 2: C' = C. A pointer-bump copy under the
         // interned IR — no statement or DAG is duplicated.
         let mut next: Vec<Candidate> = beams.clone();
@@ -413,7 +460,8 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
         // only on the beams (never on `next`), so scoring all expansions
         // up front is equivalent to the per-beam interleaving — and lets
         // the work fan out across every (beam, transformation) pair.
-        let ranked_per_beam = get_steps_all(&beams, ctx, interner, &mut explored, &mut stats);
+        let ranked_per_beam =
+            get_steps_all(&beams, ctx, interner, &mut explored, &mut stats, &mut prov);
         // Beam ranking allocates under the Score tag; the early execution
         // checks it triggers re-tag themselves Execute inside the
         // interpreter (innermost guard wins).
@@ -422,17 +470,17 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
             // GetTopKBeams / GetDiverseTopKBeams.
             let t1 = Instant::now();
             if ctx.config.diversity {
-                get_diverse_top_k(cand, ranked, ctx, &exec, &mut next, &mut stats);
+                get_diverse_top_k(cand, ranked, ctx, &exec, &mut next, &mut stats, &mut prov);
             } else {
-                get_top_k(cand, &ranked, ctx, &exec, &mut next, &mut stats, usize::MAX);
+                get_top_k(&ranked, ctx, &exec, &mut next, &mut stats, usize::MAX, &mut prov);
             }
             stats.get_top_k_ms += t1.elapsed().as_secs_f64() * 1e3;
         }
         drop(mem_score);
-        // Deduplicate identical scripts (different sequences can converge).
-        next.sort_by(|a, b| a.re.partial_cmp(&b.re).expect("finite RE"));
-        next.dedup_by(|a, b| a.dag.atoms == b.dag.atoms);
-        next.truncate(ctx.config.beam_k.max(1));
+        // Deduplicate identical scripts (different sequences can converge)
+        // and cap at K — the audit-aware twin of the old
+        // sort/dedup_by/truncate, fating what it removes.
+        dedup_and_cap(&mut next, ctx.config.beam_k.max(1), &mut stats, &mut prov);
         let converged = next
             .iter()
             .zip(&beams)
@@ -445,6 +493,8 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
         h_get_top_k.record_ns(ms_to_ns(stats.get_top_k_ms));
         h_check.record_ns(ms_to_ns(stats.check_execute_ms));
         reg.counter(metric::DEDUPED).add(stats.candidates_deduped);
+        reg.counter(metric::PRUNED_MONOTONICITY)
+            .add(stats.pruned_monotonicity as u64);
         stats.failures.record(&reg);
         if let Some(sink) = trace {
             let cache_after = exec.cache_counters();
@@ -487,6 +537,9 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
             if !cand.applied.is_empty()
                 && !finalists.iter().any(|f| f.dag.atoms == cand.dag.atoms)
             {
+                // A finalist stays alive past the beams, so beam-drop
+                // sites must not assign it a terminal fate.
+                prov.protect(cand.id);
                 finalists.push(cand.clone());
             }
         }
@@ -497,6 +550,12 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
         // on long, slowly-converging searches.
         if finalists.len() > ctx.config.max_finalists {
             finalists.sort_by(|a, b| a.re.partial_cmp(&b.re).expect("finite RE"));
+            // Evicted finalists lose their beam-drop protection; if still
+            // in a beam they can be fated there, otherwise the search-end
+            // sweep records them as out-ranked.
+            for evicted in &finalists[ctx.config.max_finalists..] {
+                prov.unprotect(evicted.id);
+            }
             finalists.truncate(ctx.config.max_finalists);
         }
         if converged {
@@ -521,6 +580,16 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
         // (§6.3.1): candidates no more standard than the input lose to
         // the input fallback.
         if cand.re >= input_candidate.re - 1e-12 {
+            if prov.enabled() {
+                let at_step = prov.metas()[cand.id as usize].step;
+                prov.fate(
+                    cand.id,
+                    Disposition::OutRanked {
+                        at_step,
+                        score_gap: (cand.re - input_candidate.re).max(0.0),
+                    },
+                );
+            }
             continue;
         }
         checked += 1;
@@ -529,6 +598,9 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
             let res = exec.run_isolated(&cand.program);
             verify_check_ms += t3.elapsed().as_secs_f64() * 1e3;
             if let Err(failure) = res {
+                if prov.enabled() {
+                    prov.fate(cand.id, disposition_of(&failure));
+                }
                 verify_failures.note(failure);
                 continue;
             }
@@ -536,19 +608,25 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
         let outcome = match exec.run_isolated(&cand.program) {
             Ok(outcome) => outcome,
             Err(failure) => {
+                if prov.enabled() {
+                    prov.fate(cand.id, disposition_of(&failure));
+                }
                 verify_failures.note(failure);
                 continue;
             }
         };
         let Some(out_frame) = outcome.output_frame() else {
             verify_failures.rejected_execution += 1;
+            prov.fate(cand.id, Disposition::FailedExecution);
             continue;
         };
         let eval = ctx.config.intent.evaluate(ctx.base_output, out_frame);
         if !eval.satisfied {
             rejected_intent += 1;
+            prov.fate(cand.id, Disposition::RejectedIntent);
             continue;
         }
+        prov.fate(cand.id, Disposition::Selected);
         best = Some((cand, eval));
         break;
     }
@@ -579,6 +657,10 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
     // Lazily built fallback: `input_candidate` is moved only on the
     // fallback path, never cloned on the common path.
     let input_re = input_candidate.re;
+    if best.is_none() {
+        // Nothing beat the constraints: the input itself is the selection.
+        prov.fate(input_candidate.id, Disposition::Selected);
+    }
     let (best, intent) = match best {
         Some(found) => found,
         None => (
@@ -639,6 +721,16 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
     }
     h_total.record_ns(ms_to_ns(t_total.elapsed().as_secs_f64() * 1e3));
     let timings = Timings::from_registry(&reg);
+    // Audit emission happens after every decision and every counter is
+    // final: candidates still unfated (never selected, never failed — just
+    // not chosen) are swept as out-ranked, then the whole ledger is
+    // written in ID order followed by the selected lineage and the
+    // self-reconciling trailer. Emission is measurement-only and
+    // best-effort, like tracing.
+    let audit_lineage = match ctx.config.audit.as_ref() {
+        Some(sink) => emit_audit_stream(sink, &mut prov, &timings, input_re, &best),
+        None => Vec::new(),
+    };
     // Fleet roll-up: a long-lived process hands every search the same
     // process-wide registry; merging is measurement-only and happens
     // after all decisions are made.
@@ -679,6 +771,7 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
             budget_trips_cells: timings.budget_trips_cells,
             budget_trips_deadline: timings.budget_trips_deadline,
             candidates_deduped: timings.candidates_deduped,
+            pruned_monotonicity: timings.pruned_monotonicity,
             unique_stmts: timings.unique_stmts,
             intern_hits: timings.intern_hits,
             dag_incremental_updates: timings.dag_incremental_updates,
@@ -705,7 +798,101 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
         intent,
         explored,
         timings,
+        audit_lineage,
     }
+}
+
+/// Writes the complete audit stream for one search: the end-of-search
+/// `OutRanked` sweep, one `cand` record per minted candidate (ID order),
+/// the selected lineage, and the trailer carrying both the disposition
+/// counts and the mirrored `Timings` counters. Returns the selected
+/// lineage IDs for the standardizer's diff-line join.
+fn emit_audit_stream(
+    sink: &lucid_obs::TraceSink,
+    prov: &mut Provenance,
+    timings: &Timings,
+    input_re: f64,
+    best: &Candidate,
+) -> Vec<u64> {
+    prov.sweep_out_ranked(best.re);
+    let mut n_selected = 0u64;
+    let mut n_out_ranked = 0u64;
+    let mut n_deduped = 0u64;
+    let mut n_pruned = 0u64;
+    let mut n_budget_fuel = 0u64;
+    let mut n_budget_cells = 0u64;
+    let mut n_budget_deadline = 0u64;
+    let mut n_panicked = 0u64;
+    let mut n_beam_cut = 0u64;
+    let mut n_failed_apply = 0u64;
+    let mut n_failed_execution = 0u64;
+    let mut n_rejected_intent = 0u64;
+    for (id, meta) in prov.metas().iter().enumerate() {
+        let disposition = meta.fate.clone().expect("sweep fates every candidate");
+        match &disposition {
+            Disposition::Selected => n_selected += 1,
+            Disposition::OutRanked { .. } => n_out_ranked += 1,
+            Disposition::Deduped { .. } => n_deduped += 1,
+            Disposition::PrunedMonotonicity => n_pruned += 1,
+            Disposition::BudgetTripped { kind } => match kind.as_str() {
+                "fuel" => n_budget_fuel += 1,
+                "cells" => n_budget_cells += 1,
+                _ => n_budget_deadline += 1,
+            },
+            Disposition::Panicked => n_panicked += 1,
+            Disposition::BeamCut { .. } => n_beam_cut += 1,
+            Disposition::FailedApply => n_failed_apply += 1,
+            Disposition::FailedExecution => n_failed_execution += 1,
+            Disposition::RejectedIntent => n_rejected_intent += 1,
+            Disposition::MemoHit { .. } => {}
+        }
+        sink.emit(&CandRecord {
+            v: AUDIT_SCHEMA_VERSION,
+            event: "cand".to_string(),
+            id: id as u64,
+            parent: meta.parent,
+            step: meta.step,
+            op: meta.op.clone(),
+            re: meta.re,
+            disposition,
+        });
+    }
+    let (ids, ops) = prov.lineage_of(best.id);
+    sink.emit(&LineageRecord {
+        v: AUDIT_SCHEMA_VERSION,
+        event: "lineage".to_string(),
+        ids: ids.clone(),
+        ops,
+    });
+    sink.emit(&AuditEndRecord {
+        v: AUDIT_SCHEMA_VERSION,
+        event: "audit_end".to_string(),
+        total: prov.total(),
+        selected: best.id,
+        steps: timings.search_steps,
+        input_re,
+        best_re: best.re,
+        n_selected,
+        n_out_ranked,
+        n_deduped,
+        n_pruned_monotonicity: n_pruned,
+        n_budget_fuel,
+        n_budget_cells,
+        n_budget_deadline,
+        n_panicked,
+        n_beam_cut,
+        n_failed_apply,
+        n_failed_execution,
+        n_rejected_intent,
+        timings_deduped: timings.candidates_deduped,
+        timings_budget_fuel: timings.budget_trips_fuel,
+        timings_budget_cells: timings.budget_trips_cells,
+        timings_budget_deadline: timings.budget_trips_deadline,
+        timings_panicked: timings.candidates_panicked,
+        timings_pruned_monotonicity: timings.pruned_monotonicity,
+    });
+    sink.flush();
+    ids
 }
 
 /// Assembles the search's [`ProfileReport`]: phase + per-statement
@@ -767,43 +954,68 @@ fn get_steps_all(
     interner: &StmtInterner,
     explored: &mut usize,
     stats: &mut StepStats,
+    prov: &mut Provenance,
 ) -> Vec<Vec<ScoredStep>> {
     let t0 = Instant::now();
     // The whole of `GetSteps` — enumeration, apply, scoring, ranking —
     // is the "enumerate" slot of the allocator's phase attribution.
     let _mem = PhaseGuard::enter(Phase::Enumerate);
     // Enumeration order defines job identity; everything downstream keys
-    // off the job index.
-    let mut jobs: Vec<(usize, Transformation)> = Vec::new();
+    // off the job index. Candidate IDs are minted here, on the serial
+    // path, before any fan-out — pruned candidates first (audited runs
+    // materialize them, unaudited runs skip the same count), then kept
+    // ones — so IDs are identical at any thread count and any audit
+    // setting.
+    let mut jobs: Vec<(usize, Transformation, u64)> = Vec::new();
     for (beam_idx, cand) in beams.iter().enumerate() {
-        let (ts, enum_stats) = enumerate_transformations_counted(
-            &cand.dag,
-            ctx.corpus,
-            cand.cursor,
-            &ctx.config.enum_opts,
-        );
+        let (ts, enum_stats) = if prov.enabled() {
+            let (ts, enum_stats, pruned) = enumerate_transformations_audited(
+                &cand.dag,
+                ctx.corpus,
+                cand.cursor,
+                &ctx.config.enum_opts,
+            );
+            for t in &pruned {
+                let pid = prov.mint(cand.id, || t.describe());
+                prov.fate(pid, Disposition::PrunedMonotonicity);
+            }
+            (ts, enum_stats)
+        } else {
+            let (ts, enum_stats) = enumerate_transformations_counted(
+                &cand.dag,
+                ctx.corpus,
+                cand.cursor,
+                &ctx.config.enum_opts,
+            );
+            prov.skip(enum_stats.pruned_monotonicity);
+            (ts, enum_stats)
+        };
         stats.pruned_monotonicity += enum_stats.pruned_monotonicity;
-        jobs.extend(ts.into_iter().map(|t| (beam_idx, t)));
+        jobs.extend(ts.into_iter().map(|t| {
+            let id = prov.mint(cand.id, || t.describe());
+            (beam_idx, t, id)
+        }));
     }
     stats.enumerated += jobs.len();
     let workers = ctx.config.resolved_threads().min(jobs.len()).max(1);
     let (slots, cpu_ms, panics) = if workers == 1 {
         let mut cpu_ms = 0.0;
-        let mut panics = Vec::new();
+        let mut panics: Vec<(usize, String)> = Vec::new();
         let slots = jobs
             .iter()
-            .map(|(beam_idx, t)| {
+            .enumerate()
+            .map(|(i, (beam_idx, t, id))| {
                 let t_job = Instant::now();
                 // The same per-candidate isolation as the parallel path:
                 // a panicking scorer drops its slot instead of aborting.
                 let step = catch_unwind(AssertUnwindSafe(|| {
-                    score_step(&beams[*beam_idx], t, ctx, interner)
+                    score_step(&beams[*beam_idx], t, ctx, interner, *id)
                 }));
                 cpu_ms += t_job.elapsed().as_secs_f64() * 1e3;
                 match step {
                     Ok(step) => step,
                     Err(payload) => {
-                        panics.push(panic_payload(payload));
+                        panics.push((i, panic_payload(payload)));
                         None
                     }
                 }
@@ -813,7 +1025,13 @@ fn get_steps_all(
     } else {
         score_steps_parallel(beams, &jobs, ctx, interner, workers)
     };
-    for payload in panics {
+    let panicked: HashSet<usize> = panics.iter().map(|(i, _)| *i).collect();
+    for (i, payload) in panics {
+        // The synthetic worker-died entry uses index jobs.len(), which
+        // maps to no candidate; `get` guards it.
+        if let Some((_, _, id)) = jobs.get(i) {
+            prov.fate(*id, Disposition::Panicked);
+        }
         stats.failures.note(ExecFailure::Panic(payload));
     }
     stats.get_steps_cpu_ms += cpu_ms;
@@ -821,16 +1039,40 @@ fn get_steps_all(
     // Regroup by beam. Jobs were enumerated beam-major, so pushing in job
     // order reproduces the serial per-beam ordering exactly.
     let mut per_beam: Vec<Vec<ScoredStep>> = beams.iter().map(|_| Vec::new()).collect();
-    for ((beam_idx, _), slot) in jobs.iter().zip(slots) {
-        if let Some(step) = slot {
-            *explored += 1;
-            stats.scored += 1;
-            per_beam[*beam_idx].push(step);
+    for (job_idx, ((beam_idx, _, id), slot)) in jobs.iter().zip(slots).enumerate() {
+        match slot {
+            Some(step) => {
+                *explored += 1;
+                stats.scored += 1;
+                prov.set_re(*id, step.candidate.re);
+                per_beam[*beam_idx].push(step);
+            }
+            // An empty slot that did not panic means the transformation
+            // failed to apply (splice out of range, etc.).
+            None if !panicked.contains(&job_idx) => {
+                prov.fate(*id, Disposition::FailedApply);
+            }
+            None => {}
         }
     }
     for ranked in &mut per_beam {
         ranked.sort_by(|a, b| a.candidate.re.partial_cmp(&b.candidate.re).expect("finite"));
-        ranked.truncate(ctx.config.max_steps_ranked);
+        if ranked.len() > ctx.config.max_steps_ranked {
+            if prov.enabled() {
+                let cutoff_re = ranked[ctx.config.max_steps_ranked - 1].candidate.re;
+                let at_step = prov.cur_step;
+                for dropped in &ranked[ctx.config.max_steps_ranked..] {
+                    prov.fate(
+                        dropped.candidate.id,
+                        Disposition::OutRanked {
+                            at_step,
+                            score_gap: (dropped.candidate.re - cutoff_re).max(0.0),
+                        },
+                    );
+                }
+            }
+            ranked.truncate(ctx.config.max_steps_ranked);
+        }
     }
     stats.get_steps_ms += t0.elapsed().as_secs_f64() * 1e3;
     per_beam
@@ -846,6 +1088,7 @@ fn score_step(
     t: &Transformation,
     ctx: &SearchContext,
     interner: &StmtInterner,
+    id: u64,
 ) -> Option<ScoredStep> {
     let program = t.apply_ir(&cand.program, interner).ok()?;
     let dag = Arc::new(program.update_dag(&cand.dag, t.line, interner));
@@ -861,6 +1104,7 @@ fn score_step(
             re,
             cursor,
             applied,
+            id,
         },
     })
 }
@@ -874,11 +1118,11 @@ fn score_step(
 /// captured panic payloads in job order.
 fn score_steps_parallel(
     beams: &[Candidate],
-    jobs: &[(usize, Transformation)],
+    jobs: &[(usize, Transformation, u64)],
     ctx: &SearchContext,
     interner: &StmtInterner,
     workers: usize,
-) -> (Vec<Option<ScoredStep>>, f64, Vec<String>) {
+) -> (Vec<Option<ScoredStep>>, f64, Vec<(usize, String)>) {
     let counter = AtomicUsize::new(0);
     let (tx, rx) = crossbeam::channel::unbounded();
     let scope_result = crossbeam::thread::scope(|scope| {
@@ -894,10 +1138,10 @@ fn score_steps_parallel(
                     if i >= jobs.len() {
                         break;
                     }
-                    let (beam_idx, t) = &jobs[i];
+                    let (beam_idx, t, id) = &jobs[i];
                     let t_job = Instant::now();
                     let step = catch_unwind(AssertUnwindSafe(|| {
-                        score_step(&beams[*beam_idx], t, ctx, interner)
+                        score_step(&beams[*beam_idx], t, ctx, interner, *id)
                     }))
                     .map_err(panic_payload);
                     let cpu_ms = t_job.elapsed().as_secs_f64() * 1e3;
@@ -933,7 +1177,7 @@ fn score_steps_parallel(
         panics.push((jobs.len(), "scoring worker died outside candidate isolation".to_string()));
     }
     panics.sort_by_key(|(i, _)| *i);
-    (slots, cpu_ms, panics.into_iter().map(|(_, p)| p).collect())
+    (slots, cpu_ms, panics)
 }
 
 /// Algorithm 2: `GetTopKBeams` — walk the ranked steps, early-check
@@ -941,18 +1185,25 @@ fn score_steps_parallel(
 /// `next`. `budget` caps how many steps may be *admitted* from this list
 /// (used by the diversity wrapper to give each cluster K/M slots).
 fn get_top_k(
-    _cand: &Candidate,
     ranked: &[ScoredStep],
     ctx: &SearchContext,
     exec: &ExecEnv,
     next: &mut Vec<Candidate>,
     stats: &mut StepStats,
     budget: usize,
+    prov: &mut Provenance,
 ) {
     let k = ctx.config.beam_k.max(1);
     let mut admitted = 0usize;
-    for step in ranked {
+    for (idx, step) in ranked.iter().enumerate() {
         if admitted >= budget {
+            // The diversity wrapper's per-cluster slot cap: everything
+            // still ranked in this cluster is cut, not out-scored.
+            if prov.enabled() {
+                for later in &ranked[idx..] {
+                    prov.fate(later.candidate.id, Disposition::BeamCut { rank: budget });
+                }
+            }
             break;
         }
         let worst = next
@@ -961,17 +1212,33 @@ fn get_top_k(
             .fold(f64::NEG_INFINITY, f64::max);
         if next.len() >= k && step.candidate.re >= worst {
             // Ranked ascending: nothing later can qualify either.
+            if prov.enabled() {
+                let at_step = prov.cur_step;
+                for later in &ranked[idx..] {
+                    prov.fate(
+                        later.candidate.id,
+                        Disposition::OutRanked {
+                            at_step,
+                            score_gap: (later.candidate.re - worst).max(0.0),
+                        },
+                    );
+                }
+            }
             break;
         }
         // Different transformations can produce structurally-identical
         // scripts (e.g. deleting either of two equal lines). Interned
         // statements make spotting them a pointer walk — skip before
         // burning an execution check on a script already in `next`.
-        if next
+        if let Some(twin) = next
             .iter()
-            .any(|c| c.program.same_stmts(&step.candidate.program))
+            .find(|c| c.program.same_stmts(&step.candidate.program))
         {
             stats.candidates_deduped += 1;
+            prov.fate(
+                step.candidate.id,
+                Disposition::Deduped { against: twin.id },
+            );
             continue;
         }
         if ctx.config.early_check {
@@ -979,16 +1246,61 @@ fn get_top_k(
             let res = exec.run_isolated(&step.candidate.program);
             stats.check_execute_ms += t0.elapsed().as_secs_f64() * 1e3;
             if let Err(failure) = res {
+                if prov.enabled() {
+                    prov.fate(step.candidate.id, disposition_of(&failure));
+                }
                 stats.failures.note(failure);
                 continue;
             }
         }
         next.push(step.candidate.clone());
-        next.sort_by(|a, b| a.re.partial_cmp(&b.re).expect("finite"));
-        next.dedup_by(|a, b| a.dag.atoms == b.dag.atoms);
-        next.truncate(k);
+        dedup_and_cap(next, k, stats, prov);
         admitted += 1;
         stats.admitted += 1;
+    }
+}
+
+/// Sorts `next` by RE (stable — insertion order breaks ties, so a
+/// carried-over protected candidate precedes an equal fresh one), drops
+/// structural duplicates keeping the best-ranked copy, and caps at `k`.
+/// Exactly the old `sort / dedup_by / truncate` semantics, with every
+/// *unprotected* removal counted and fated: structural twins as
+/// [`Disposition::Deduped`] against the surviving copy, cap overflow as
+/// [`Disposition::BeamCut`]. Protected candidates (the input, accepted
+/// finalists) are still alive elsewhere, so dropping them from the beam
+/// is neither a dedup nor a terminal fate — the counter branches on the
+/// protected set, never on the audit flag, so counts match across
+/// audited and unaudited runs. Idempotent: safe both after each
+/// admission and as the step-level re-cap across beams.
+fn dedup_and_cap(
+    next: &mut Vec<Candidate>,
+    k: usize,
+    stats: &mut StepStats,
+    prov: &mut Provenance,
+) {
+    next.sort_by(|a, b| a.re.partial_cmp(&b.re).expect("finite"));
+    let mut i = 1;
+    while i < next.len() {
+        if next[i].dag.atoms == next[i - 1].dag.atoms {
+            let removed = next.remove(i);
+            if !prov.is_protected(removed.id) {
+                stats.candidates_deduped += 1;
+                prov.fate(
+                    removed.id,
+                    Disposition::Deduped {
+                        against: next[i - 1].id,
+                    },
+                );
+            }
+        } else {
+            i += 1;
+        }
+    }
+    while next.len() > k {
+        let dropped = next.pop().expect("len > k implies non-empty");
+        if !prov.is_protected(dropped.id) {
+            prov.fate(dropped.id, Disposition::BeamCut { rank: k });
+        }
     }
 }
 
@@ -1002,6 +1314,7 @@ fn get_diverse_top_k(
     exec: &ExecEnv,
     next: &mut Vec<Candidate>,
     stats: &mut StepStats,
+    prov: &mut Provenance,
 ) {
     if ranked.is_empty() {
         return;
@@ -1029,7 +1342,9 @@ fn get_diverse_top_k(
                 candidate: s.candidate.clone(),
             })
             .collect();
-        get_top_k(cand, &member_refs, ctx, exec, next, stats, per_cluster);
+        // Clusters partition the ranked list, so each candidate reaches
+        // exactly one `get_top_k` call — single-fate holds.
+        get_top_k(&member_refs, ctx, exec, next, stats, per_cluster, prov);
     }
 }
 
@@ -1497,5 +1812,109 @@ y = df['Survived']
         let (outcome, re_before) = run_search(NONSTANDARD, &config);
         assert!(outcome.best.re <= re_before + 1e-9);
         assert!(outcome.intent.satisfied);
+    }
+
+    /// Runs an audited search and returns (outcome, audit stream text).
+    fn run_audited(config_base: &SearchConfig) -> (SearchOutcome, String) {
+        let sink = lucid_obs::TraceSink::in_memory();
+        let config = SearchConfig {
+            audit: Some(sink.clone()),
+            ..config_base.clone()
+        };
+        let (outcome, _) = run_search(NONSTANDARD, &config);
+        let text = sink.memory_lines().unwrap().join("\n");
+        (outcome, text)
+    }
+
+    #[test]
+    fn audit_stream_reconciles_with_timings_exactly() {
+        let config = SearchConfig {
+            seq_len: 5,
+            intent: IntentMeasure::jaccard(0.3),
+            ..Default::default()
+        };
+        let (outcome, text) = run_audited(&config);
+        let summary = lucid_obs::parse_audit(&text).unwrap();
+        assert_eq!(summary.skipped_lines, 0, "own stream must parse fully");
+        // Internal consistency: every candidate has exactly one fate and
+        // the trailer's counts match the records (both directions).
+        summary.reconcile().unwrap();
+        // External consistency: the mirrored counters in the trailer are
+        // the same values the search reported in `Timings`.
+        let t = &outcome.timings;
+        let end = summary.end.as_ref().unwrap();
+        assert_eq!(end.timings["deduped"], t.candidates_deduped);
+        assert_eq!(end.timings["budget_fuel"], t.budget_trips_fuel);
+        assert_eq!(end.timings["budget_cells"], t.budget_trips_cells);
+        assert_eq!(end.timings["budget_deadline"], t.budget_trips_deadline);
+        assert_eq!(end.timings["panicked"], t.candidates_panicked);
+        assert_eq!(end.timings["pruned_monotonicity"], t.pruned_monotonicity);
+        // The selected candidate's lineage is surfaced on the outcome and
+        // matches the stream's lineage record.
+        assert_eq!(summary.lineage_ids, outcome.audit_lineage);
+        assert_eq!(summary.lineage_ids.first(), Some(&0));
+        assert_eq!(summary.lineage_ids.last(), Some(&end.selected));
+        assert_eq!(
+            summary.lineage_ids.len(),
+            outcome.best.applied.len() + 1,
+            "one lineage hop per applied transformation"
+        );
+    }
+
+    #[test]
+    fn audit_bytes_identical_across_threads_and_cache() {
+        let mut streams = Vec::new();
+        for threads in [1usize, 2, 8] {
+            for cache in [false, true] {
+                let config = SearchConfig {
+                    seq_len: 5,
+                    intent: IntentMeasure::jaccard(0.3),
+                    threads,
+                    prefix_cache: cache,
+                    ..Default::default()
+                };
+                let (_, text) = run_audited(&config);
+                streams.push((threads, cache, text));
+            }
+        }
+        let (_, _, reference) = &streams[0];
+        assert!(reference.contains("\"event\":\"audit_end\""));
+        for (threads, cache, text) in &streams[1..] {
+            assert_eq!(
+                text, reference,
+                "audit stream diverged at threads={threads} cache={cache}"
+            );
+        }
+    }
+
+    #[test]
+    fn auditing_does_not_perturb_decisions_or_counters() {
+        let config = SearchConfig {
+            seq_len: 5,
+            intent: IntentMeasure::jaccard(0.3),
+            ..Default::default()
+        };
+        let (plain, _) = run_search(NONSTANDARD, &config);
+        let (audited, text) = run_audited(&config);
+        assert_eq!(
+            print_module(&audited.best.program.to_module()),
+            print_module(&plain.best.program.to_module())
+        );
+        assert_eq!(audited.best.re, plain.best.re);
+        assert_eq!(audited.explored, plain.explored);
+        assert_eq!(
+            audited.timings.candidates_deduped,
+            plain.timings.candidates_deduped
+        );
+        assert_eq!(
+            audited.timings.pruned_monotonicity,
+            plain.timings.pruned_monotonicity
+        );
+        // Audit-off runs surface no lineage but mint the same ID space:
+        // the audited stream's total covers every candidate either run
+        // considered (`explored` counts only the scored subset).
+        assert!(plain.audit_lineage.is_empty());
+        let summary = lucid_obs::parse_audit(&text).unwrap();
+        assert!(summary.end.unwrap().total >= plain.explored as u64);
     }
 }

@@ -148,11 +148,26 @@ impl Standardizer {
             intent,
             explored,
             timings,
+            audit_lineage,
         } = standardize_search(&ctx, &input);
 
+        let input_source = print_module(&input);
+        let output_source = print_module(&best.program.to_module());
+        if let Some(sink) = &self.config.audit {
+            emit_diff_audit(
+                &self.corpus,
+                sink,
+                &input,
+                &best.applied,
+                &audit_lineage,
+                &input_source,
+                &output_source,
+            );
+        }
+
         Ok(StandardizeReport {
-            input_source: print_module(&input),
-            output_source: print_module(&best.program.to_module()),
+            input_source,
+            output_source,
             re_before,
             re_after: best.re,
             improvement_pct: entropy::improvement_pct(re_before, best.re),
@@ -180,6 +195,79 @@ impl Standardizer {
         let module = parse_module(source)?;
         self.standardize(&module)
     }
+}
+
+/// Joins the final diff against the selected chain and appends one
+/// `diff_line` audit record per explained change: the chain is replayed
+/// over the interned IR to learn the signed atom each op produced, then
+/// each `explain_diff` line is matched to the first unconsumed chain op
+/// with the same sign and atom. A matched line carries the audit ID of
+/// the candidate whose minting transformation introduced it (chain index
+/// `i` → lineage ID `i + 1`, since the lineage starts at the input);
+/// unmatched lines (net effects of several edits) carry `None`.
+#[allow(clippy::too_many_arguments)]
+fn emit_diff_audit(
+    corpus: &CorpusModel,
+    sink: &lucid_obs::TraceSink,
+    input: &Module,
+    applied: &[crate::transform::Transformation],
+    lineage: &[u64],
+    input_source: &str,
+    output_source: &str,
+) {
+    use crate::ir::{Program, StmtInterner};
+    use crate::transform::TransformKind;
+    use lucid_obs::audit::{DiffLineRecord, AUDIT_SCHEMA_VERSION};
+
+    let interner = StmtInterner::new();
+    let mut prog = Program::from_module(input, &interner);
+    // (sign, atom, chain index, op description) per applied step.
+    let mut chain: Vec<(char, String, usize, String)> = Vec::new();
+    for (i, t) in applied.iter().enumerate() {
+        let (sign, atom) = match &t.kind {
+            TransformKind::Add { atom } => ('+', atom.clone()),
+            TransformKind::Delete => (
+                '-',
+                prog.stmts()
+                    .get(t.line)
+                    .map(|info| info.atom.clone())
+                    .unwrap_or_default(),
+            ),
+        };
+        chain.push((sign, atom, i, t.describe()));
+        match t.apply_ir(&prog, &interner) {
+            Ok(next) => prog = next,
+            // Unreachable for a chain the search actually applied; degrade
+            // to partial lineage rather than dropping the whole join.
+            Err(_) => break,
+        }
+    }
+    let mut consumed = vec![false; chain.len()];
+    for e in crate::explain::explain_diff(corpus, input_source, output_source) {
+        let hit = chain
+            .iter()
+            .enumerate()
+            .find(|(ci, (sign, atom, _, _))| !consumed[*ci] && *sign == e.change && *atom == e.step)
+            .map(|(ci, (_, _, idx, op))| (ci, *idx, op.clone()));
+        let (cand, chain_index, op) = match hit {
+            Some((ci, idx, op)) => {
+                consumed[ci] = true;
+                (lineage.get(idx + 1).copied(), Some(idx), Some(op))
+            }
+            None => (None, None, None),
+        };
+        sink.emit(&DiffLineRecord {
+            v: AUDIT_SCHEMA_VERSION,
+            event: "diff_line".to_string(),
+            change: e.change.to_string(),
+            atom: e.step.clone(),
+            cand,
+            chain_index,
+            op,
+            rationale: format!("{:?}", e.rationale),
+        });
+    }
+    sink.flush();
 }
 
 /// Applies a config's interpreter-facing knobs: seed, sampling, the
@@ -346,6 +434,51 @@ mod tests {
         // Untraced standardizers attach no collector at all.
         let quiet = build();
         assert!(quiet.interp.obs.is_none());
+    }
+
+    #[test]
+    fn audited_run_maps_final_diff_lines_to_lineage() {
+        let sink = lucid_obs::TraceSink::in_memory();
+        let config = SearchConfig {
+            seq_len: 6,
+            intent: IntentMeasure::jaccard(0.5),
+            audit: Some(sink.clone()),
+            ..Default::default()
+        };
+        let s = Standardizer::build(&corpus(), "train.csv", data(), config).unwrap();
+        let report = s
+            .standardize_source(
+                "import pandas as pd\ndf = pd.read_csv('train.csv')\ndf = df.fillna(df.median())\ny = df['Survived']\n",
+            )
+            .unwrap();
+        assert!(report.changed(), "fixture must produce a diff");
+        let text = sink.memory_lines().unwrap().join("\n");
+        let summary = lucid_obs::parse_audit(&text).unwrap();
+        summary.reconcile().unwrap();
+        let explanations = s.explain(&report);
+        assert_eq!(
+            summary.diff_lines.len(),
+            explanations.len(),
+            "one diff_line record per explained change"
+        );
+        // Every final-diff line carries the lineage candidate whose
+        // transformation introduced it — the chain replay covers the
+        // whole diff for a plain add/replace run like this one.
+        for line in &summary.diff_lines {
+            let cand = line.cand.unwrap_or_else(|| {
+                panic!("diff line {} {} unmatched", line.change, line.atom)
+            });
+            assert!(
+                summary.lineage_ids.contains(&cand),
+                "diff line joined to non-lineage candidate #{cand}"
+            );
+            assert!(line.op.is_some() && line.chain_index.is_some());
+            assert!(!line.rationale.is_empty());
+        }
+        // And the rendering surfaces the join.
+        let rendered = summary.render();
+        assert!(rendered.contains("final diff -> lineage:"));
+        assert!(rendered.contains("reconciliation: ok"));
     }
 
     #[test]

@@ -209,7 +209,34 @@ pub fn enumerate_transformations_counted(
     cursor: usize,
     opts: &EnumOptions,
 ) -> (Vec<Transformation>, EnumStats) {
+    let (out, stats, _) = enumerate_with_pruned(dag, corpus, cursor, opts, false);
+    (out, stats)
+}
+
+/// [`enumerate_transformations_counted`] that additionally materializes
+/// the cursor-pruned transformations themselves (in enumeration order,
+/// duplicates included — one entry per [`EnumStats::pruned_monotonicity`]
+/// increment), so the audit stream can mint a candidate ID and a
+/// `Disposition::PrunedMonotonicity` fate for each. The plain counted
+/// variant stays allocation-free for unaudited searches.
+pub fn enumerate_transformations_audited(
+    dag: &ScriptDag,
+    corpus: &CorpusModel,
+    cursor: usize,
+    opts: &EnumOptions,
+) -> (Vec<Transformation>, EnumStats, Vec<Transformation>) {
+    enumerate_with_pruned(dag, corpus, cursor, opts, true)
+}
+
+fn enumerate_with_pruned(
+    dag: &ScriptDag,
+    corpus: &CorpusModel,
+    cursor: usize,
+    opts: &EnumOptions,
+    collect_pruned: bool,
+) -> (Vec<Transformation>, EnumStats, Vec<Transformation>) {
     let mut stats = EnumStats::default();
+    let mut pruned: Vec<Transformation> = Vec::new();
     let n = dag.atoms.len();
     let mut out = Vec::new();
     let mut seen = std::collections::HashSet::new();
@@ -257,7 +284,15 @@ pub fn enumerate_transformations_counted(
             let line = if is_import(next_atom) {
                 import_end
             } else if insert_at < cursor {
-                stats.pruned_monotonicity += 1;
+                stats.pruned_monotonicity += 1; // audit fate: Disposition::PrunedMonotonicity
+                if collect_pruned {
+                    pruned.push(Transformation {
+                        kind: TransformKind::Add {
+                            atom: next_atom.clone(),
+                        },
+                        line: insert_at,
+                    });
+                }
                 continue;
             } else {
                 insert_at
@@ -298,7 +333,7 @@ pub fn enumerate_transformations_counted(
         );
     }
 
-    (out, stats)
+    (out, stats, pruned)
 }
 
 /// Atoms the search never deletes: imports and `read_csv` loads (their
@@ -358,6 +393,26 @@ df = pd.get_dummies(df)
             enumerate_transformations(&dag, &corpus, cursor, &opts),
             clamped
         );
+    }
+
+    #[test]
+    fn audited_enumeration_materializes_exactly_the_pruned_set() {
+        let (_, dag, corpus) = setup();
+        let opts = EnumOptions::default();
+        let cursor = dag.atoms.len() + 1;
+        let (kept, stats, pruned) =
+            enumerate_transformations_audited(&dag, &corpus, cursor, &opts);
+        // One pruned transformation per counter increment, and the kept
+        // list + stats are identical to the unaudited variant.
+        assert!(stats.pruned_monotonicity > 0);
+        assert_eq!(pruned.len(), stats.pruned_monotonicity);
+        let (kept2, stats2) = enumerate_transformations_counted(&dag, &corpus, cursor, &opts);
+        assert_eq!(kept, kept2);
+        assert_eq!(stats, stats2);
+        for t in &pruned {
+            assert!(matches!(t.kind, TransformKind::Add { .. }), "{t:?}");
+            assert!(t.line < cursor, "{t:?}");
+        }
     }
 
     #[test]

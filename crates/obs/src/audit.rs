@@ -1,0 +1,930 @@
+//! Decision-provenance audit stream (trace schema v2).
+//!
+//! Where the v1 trace (`event.rs`) records what each beam step *measured*,
+//! the audit stream records what the search *decided*: every candidate the
+//! search ever minted gets one `cand` record carrying its stable ID, its
+//! lineage (parent ID + the transformation that produced it), and its
+//! terminal [`Disposition`] — exactly one per candidate, no silent drops.
+//! A `lineage` record names the selected chain, an `audit_end` record
+//! carries per-disposition counts *and* the mirrored `Timings` counters so
+//! reconciliation is checkable from the file alone, and `diff_line`
+//! records (appended by the standardizer) join each line of the final
+//! diff back to the candidate that introduced it.
+//!
+//! The stream shares the search's determinism contract: records carry only
+//! structural data (IDs, REs, ops, ranks — never timestamps), IDs are
+//! minted serially in enumeration order before any parallel fan-out, and
+//! the file is byte-identical across thread counts, cache modes, and
+//! batch memoization.
+
+use serde::Serialize;
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Version stamp of audit records. The audit stream is a *separate* file
+/// from the v1 trace; `parse_trace` skips v2 records it meets (a mixed or
+/// misdirected file degrades to skipped lines, not a hard error).
+pub const AUDIT_SCHEMA_VERSION: u64 = 2;
+
+/// The terminal fate of one candidate. Every candidate the search mints
+/// receives exactly one disposition; the counter-tied variants (`Deduped`,
+/// `PrunedMonotonicity`, `BudgetTripped`, `Panicked`) are recorded at the
+/// same site that increments the matching `Timings` counter, which is what
+/// makes the reconciliation in [`AuditSummary::reconcile`] exact.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Disposition {
+    /// Survived every constraint and became the output script.
+    Selected,
+    /// Lost on score: never beat the K-th beam (or the final best) and no
+    /// counter-tied cause applies. `score_gap` is its RE distance to
+    /// whatever outranked it at drop time.
+    OutRanked {
+        /// Beam step at which the candidate was last alive.
+        at_step: usize,
+        /// RE distance to the candidate that outranked it (≥ 0).
+        score_gap: f64,
+    },
+    /// Structurally identical to an already-admitted candidate.
+    Deduped {
+        /// ID of the candidate it duplicated.
+        against: u64,
+    },
+    /// Enumeration refused the edit: it would touch a line below the
+    /// monotonicity cursor.
+    PrunedMonotonicity,
+    /// Execution tripped a resource budget axis.
+    BudgetTripped {
+        /// The axis: `fuel`, `cells`, or `deadline`.
+        kind: String,
+    },
+    /// Execution (or scoring) panicked and was isolated.
+    Panicked,
+    /// Batch mode: the whole script was served from the result memo.
+    MemoHit {
+        /// Name of the representative script whose result was reused.
+        against: String,
+    },
+    /// Dropped when the beam was cut back to K entries.
+    BeamCut {
+        /// The beam bound it fell off (the K in force at the cut).
+        rank: usize,
+    },
+    /// The transformation failed to apply to its parent program.
+    FailedApply,
+    /// Execution failed with a typed (non-budget) interpreter error, or
+    /// produced no output frame at verification.
+    FailedExecution,
+    /// Executed fine but failed the user-intent constraint.
+    RejectedIntent,
+}
+
+impl Disposition {
+    /// The snake_case kind tag used for grouping and counting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Disposition::Selected => "selected",
+            Disposition::OutRanked { .. } => "out_ranked",
+            Disposition::Deduped { .. } => "deduped",
+            Disposition::PrunedMonotonicity => "pruned_monotonicity",
+            Disposition::BudgetTripped { .. } => "budget_tripped",
+            Disposition::Panicked => "panicked",
+            Disposition::MemoHit { .. } => "memo_hit",
+            Disposition::BeamCut { .. } => "beam_cut",
+            Disposition::FailedApply => "failed_apply",
+            Disposition::FailedExecution => "failed_execution",
+            Disposition::RejectedIntent => "rejected_intent",
+        }
+    }
+}
+
+/// One candidate's identity, lineage, and fate.
+#[derive(Debug, Serialize)]
+pub struct CandRecord {
+    /// Always [`AUDIT_SCHEMA_VERSION`].
+    pub v: u64,
+    /// Always `"cand"`.
+    pub event: String,
+    /// Stable, thread-count-independent candidate ID (0 = the input).
+    pub id: u64,
+    /// ID of the candidate this one was derived from (0 for the input).
+    pub parent: u64,
+    /// Beam step at which the candidate was minted (0 for the input).
+    pub step: usize,
+    /// The transformation applied to the parent (`"input"` for ID 0).
+    pub op: String,
+    /// Relative-entropy score, when the candidate was scored at all.
+    pub re: Option<f64>,
+    /// Terminal fate.
+    pub disposition: Disposition,
+}
+
+/// The selected chain, input first.
+#[derive(Debug, Serialize)]
+pub struct LineageRecord {
+    /// Always [`AUDIT_SCHEMA_VERSION`].
+    pub v: u64,
+    /// Always `"lineage"`.
+    pub event: String,
+    /// Candidate IDs from the input (0) to the selected candidate.
+    pub ids: Vec<u64>,
+    /// The op that produced each entry (`ops[0] == "input"`).
+    pub ops: Vec<String>,
+}
+
+/// Trailer record: disposition counts plus the mirrored `Timings`
+/// counters, so a file is self-reconciling.
+#[derive(Debug, Default, Serialize)]
+pub struct AuditEndRecord {
+    /// Always [`AUDIT_SCHEMA_VERSION`].
+    pub v: u64,
+    /// Always `"audit_end"`.
+    pub event: String,
+    /// Candidates minted (== number of `cand` records).
+    pub total: u64,
+    /// ID of the selected candidate (0 when the input fell back).
+    pub selected: u64,
+    /// Beam steps the search executed.
+    pub steps: usize,
+    /// Input script's RE.
+    pub input_re: f64,
+    /// Selected candidate's RE.
+    pub best_re: f64,
+    /// `Selected` records (always 1).
+    pub n_selected: u64,
+    /// `OutRanked` records.
+    pub n_out_ranked: u64,
+    /// `Deduped` records.
+    pub n_deduped: u64,
+    /// `PrunedMonotonicity` records.
+    pub n_pruned_monotonicity: u64,
+    /// `BudgetTripped{fuel}` records.
+    pub n_budget_fuel: u64,
+    /// `BudgetTripped{cells}` records.
+    pub n_budget_cells: u64,
+    /// `BudgetTripped{deadline}` records.
+    pub n_budget_deadline: u64,
+    /// `Panicked` records.
+    pub n_panicked: u64,
+    /// `BeamCut` records.
+    pub n_beam_cut: u64,
+    /// `FailedApply` records.
+    pub n_failed_apply: u64,
+    /// `FailedExecution` records.
+    pub n_failed_execution: u64,
+    /// `RejectedIntent` records.
+    pub n_rejected_intent: u64,
+    /// `Timings::candidates_deduped` of the same search.
+    pub timings_deduped: u64,
+    /// `Timings::budget_trips_fuel` of the same search.
+    pub timings_budget_fuel: u64,
+    /// `Timings::budget_trips_cells` of the same search.
+    pub timings_budget_cells: u64,
+    /// `Timings::budget_trips_deadline` of the same search.
+    pub timings_budget_deadline: u64,
+    /// `Timings::candidates_panicked` of the same search.
+    pub timings_panicked: u64,
+    /// `Timings::pruned_monotonicity` of the same search.
+    pub timings_pruned_monotonicity: u64,
+}
+
+/// One line of the final diff joined to the candidate that introduced it
+/// (appended by the standardizer after `explain_diff`).
+#[derive(Debug, Serialize)]
+pub struct DiffLineRecord {
+    /// Always [`AUDIT_SCHEMA_VERSION`].
+    pub v: u64,
+    /// Always `"diff_line"`.
+    pub event: String,
+    /// `"+"` for an added line, `"-"` for a removed one.
+    pub change: String,
+    /// The line's atom key.
+    pub atom: String,
+    /// ID of the candidate whose minting transformation introduced this
+    /// line (`None` when no chain op matches, e.g. a net effect of
+    /// several edits).
+    pub cand: Option<u64>,
+    /// Position of that op in the selected chain (0-based).
+    pub chain_index: Option<usize>,
+    /// The op itself.
+    pub op: Option<String>,
+    /// `explain_diff`'s rationale tag for the change.
+    pub rationale: String,
+}
+
+/// Batch mode: a script served entirely from the result memo. Written as
+/// the single record of that script's audit file, pointing at the
+/// representative whose (audited) search produced the shared result.
+#[derive(Debug, Serialize)]
+pub struct MemoHitRecord {
+    /// Always [`AUDIT_SCHEMA_VERSION`].
+    pub v: u64,
+    /// Always `"memo_hit"`.
+    pub event: String,
+    /// The memoized script.
+    pub script: String,
+    /// The representative script whose result it shares.
+    pub against: String,
+}
+
+/// Batch roll-up: one per-script summary row (written serially, in input
+/// order, to `batch_audit.jsonl`).
+#[derive(Debug, Serialize)]
+pub struct ScriptAuditRecord {
+    /// Always [`AUDIT_SCHEMA_VERSION`].
+    pub v: u64,
+    /// Always `"script"`.
+    pub event: String,
+    /// Script name.
+    pub name: String,
+    /// Whether the script was served from the memo.
+    pub memo_hit: bool,
+    /// Whether the script standardized at all (parse/exec errors → false).
+    pub ok: bool,
+    /// `Timings::candidates_deduped` of its search.
+    pub deduped: u64,
+    /// `Timings::budget_trips_fuel` of its search.
+    pub budget_fuel: u64,
+    /// `Timings::budget_trips_cells` of its search.
+    pub budget_cells: u64,
+    /// `Timings::budget_trips_deadline` of its search.
+    pub budget_deadline: u64,
+    /// `Timings::candidates_panicked` of its search.
+    pub panicked: u64,
+    /// `Timings::pruned_monotonicity` of its search.
+    pub pruned_monotonicity: u64,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// A parsed `cand` record.
+#[derive(Debug, Clone)]
+pub struct AuditCand {
+    /// Candidate ID.
+    pub id: u64,
+    /// Parent candidate ID.
+    pub parent: u64,
+    /// Minting beam step.
+    pub step: usize,
+    /// Minting op (`"input"` for the input candidate).
+    pub op: String,
+    /// RE score, when scored.
+    pub re: Option<f64>,
+    /// Disposition kind tag (snake_case, see [`Disposition::kind`]).
+    pub kind: String,
+    /// For `budget_tripped`: the axis. Empty otherwise.
+    pub budget_kind: String,
+    /// For `out_ranked`: the RE gap to the winner.
+    pub score_gap: f64,
+    /// For `out_ranked`: the step it was last alive.
+    pub at_step: usize,
+    /// For `deduped`: the ID it duplicated.
+    pub against: u64,
+    /// For `beam_cut`: the beam bound it fell off.
+    pub rank: usize,
+}
+
+/// A parsed `diff_line` record.
+#[derive(Debug, Clone)]
+pub struct AuditDiffLine {
+    /// `"+"` or `"-"`.
+    pub change: String,
+    /// The line's atom key.
+    pub atom: String,
+    /// Candidate that introduced it, when the join matched.
+    pub cand: Option<u64>,
+    /// Its position in the selected chain.
+    pub chain_index: Option<usize>,
+    /// The chain op.
+    pub op: Option<String>,
+    /// The explanation rationale.
+    pub rationale: String,
+}
+
+/// Parsed trailer counters (see [`AuditEndRecord`]).
+#[derive(Debug, Clone, Default)]
+pub struct AuditEnd {
+    /// Candidates minted.
+    pub total: u64,
+    /// Selected candidate ID.
+    pub selected: u64,
+    /// Beam steps executed.
+    pub steps: usize,
+    /// Input RE.
+    pub input_re: f64,
+    /// Selected RE.
+    pub best_re: f64,
+    /// Disposition counts, keyed by kind tag (budget split per axis as
+    /// `budget_fuel`/`budget_cells`/`budget_deadline`).
+    pub counts: BTreeMap<String, u64>,
+    /// Mirrored `Timings` counters, keyed like `counts`.
+    pub timings: BTreeMap<String, u64>,
+}
+
+/// Everything parsed from one audit file.
+#[derive(Debug, Default)]
+pub struct AuditSummary {
+    /// All `cand` records, in file (= ID) order.
+    pub cands: Vec<AuditCand>,
+    /// Selected-chain IDs (input first).
+    pub lineage_ids: Vec<u64>,
+    /// Selected-chain ops (`ops[0] == "input"`).
+    pub lineage_ops: Vec<String>,
+    /// The trailer, when present.
+    pub end: Option<AuditEnd>,
+    /// Final-diff join records.
+    pub diff_lines: Vec<AuditDiffLine>,
+    /// For a batch memo-hit file: `(script, representative)`.
+    pub memo_hit: Option<(String, String)>,
+    /// Lines skipped (blank, malformed, or unknown events).
+    pub skipped_lines: usize,
+}
+
+fn get_u64(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or(0.0) as u64
+}
+
+fn get_usize(v: &Value, key: &str) -> usize {
+    get_u64(v, key) as usize
+}
+
+fn get_f64(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+fn get_str(v: &Value, key: &str) -> String {
+    v.get(key).and_then(Value::as_str).unwrap_or("").to_string()
+}
+
+/// Decodes a serialized [`Disposition`] value (an externally-tagged enum:
+/// a bare string for unit variants, a one-key map for data variants).
+fn parse_disposition(v: &Value, cand: &mut AuditCand) -> bool {
+    let unit_kind = |name: &str| -> Option<&'static str> {
+        match name {
+            "Selected" => Some("selected"),
+            "PrunedMonotonicity" => Some("pruned_monotonicity"),
+            "Panicked" => Some("panicked"),
+            "FailedApply" => Some("failed_apply"),
+            "FailedExecution" => Some("failed_execution"),
+            "RejectedIntent" => Some("rejected_intent"),
+            _ => None,
+        }
+    };
+    match v {
+        Value::String(name) => match unit_kind(name) {
+            Some(kind) => {
+                cand.kind = kind.to_string();
+                true
+            }
+            None => false,
+        },
+        Value::Object(map) => {
+            let Some((name, inner)) = map.iter().next() else {
+                return false;
+            };
+            match name.as_str() {
+                "OutRanked" => {
+                    cand.kind = "out_ranked".to_string();
+                    cand.at_step = get_usize(inner, "at_step");
+                    cand.score_gap = get_f64(inner, "score_gap");
+                }
+                "Deduped" => {
+                    cand.kind = "deduped".to_string();
+                    cand.against = get_u64(inner, "against");
+                }
+                "BudgetTripped" => {
+                    cand.kind = "budget_tripped".to_string();
+                    cand.budget_kind = get_str(inner, "kind");
+                }
+                "MemoHit" => {
+                    cand.kind = "memo_hit".to_string();
+                }
+                "BeamCut" => {
+                    cand.kind = "beam_cut".to_string();
+                    cand.rank = get_usize(inner, "rank");
+                }
+                _ => return false,
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+/// The count/timings key a parsed cand contributes to: budget trips are
+/// split per axis so reconciliation matches the per-axis counters.
+fn count_key(cand: &AuditCand) -> String {
+    if cand.kind == "budget_tripped" {
+        format!("budget_{}", cand.budget_kind)
+    } else {
+        cand.kind.clone()
+    }
+}
+
+/// Parses an audit JSONL stream into an [`AuditSummary`].
+///
+/// Tolerant of blank/malformed lines and unknown events (counted in
+/// `skipped_lines`); hard-errors only on an empty stream or a version
+/// other than [`AUDIT_SCHEMA_VERSION`] on the first well-formed line.
+///
+/// # Errors
+///
+/// Returns a message when the stream holds no audit records or declares
+/// an unsupported schema version.
+pub fn parse_audit(text: &str) -> Result<AuditSummary, String> {
+    let mut summary = AuditSummary::default();
+    let mut saw_record = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(v) = serde_json::from_str(line) else {
+            summary.skipped_lines += 1;
+            continue;
+        };
+        let version = get_u64(&v, "v");
+        if version != AUDIT_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported audit schema v{version} (this build reads v{AUDIT_SCHEMA_VERSION})"
+            ));
+        }
+        saw_record = true;
+        match v.get("event").and_then(Value::as_str) {
+            Some("cand") => {
+                let mut cand = AuditCand {
+                    id: get_u64(&v, "id"),
+                    parent: get_u64(&v, "parent"),
+                    step: get_usize(&v, "step"),
+                    op: get_str(&v, "op"),
+                    re: v.get("re").and_then(Value::as_f64),
+                    kind: String::new(),
+                    budget_kind: String::new(),
+                    score_gap: 0.0,
+                    at_step: 0,
+                    against: 0,
+                    rank: 0,
+                };
+                match v.get("disposition") {
+                    Some(d) if parse_disposition(d, &mut cand) => summary.cands.push(cand),
+                    _ => summary.skipped_lines += 1,
+                }
+            }
+            Some("lineage") => {
+                let ids = v.get("ids").and_then(Value::as_array);
+                let ops = v.get("ops").and_then(Value::as_array);
+                if let (Some(ids), Some(ops)) = (ids, ops) {
+                    summary.lineage_ids =
+                        ids.iter().filter_map(Value::as_f64).map(|f| f as u64).collect();
+                    summary.lineage_ops = ops
+                        .iter()
+                        .filter_map(Value::as_str)
+                        .map(str::to_string)
+                        .collect();
+                } else {
+                    summary.skipped_lines += 1;
+                }
+            }
+            Some("audit_end") => {
+                let mut end = AuditEnd {
+                    total: get_u64(&v, "total"),
+                    selected: get_u64(&v, "selected"),
+                    steps: get_usize(&v, "steps"),
+                    input_re: get_f64(&v, "input_re"),
+                    best_re: get_f64(&v, "best_re"),
+                    ..AuditEnd::default()
+                };
+                for (field, key) in [
+                    ("n_selected", "selected"),
+                    ("n_out_ranked", "out_ranked"),
+                    ("n_deduped", "deduped"),
+                    ("n_pruned_monotonicity", "pruned_monotonicity"),
+                    ("n_budget_fuel", "budget_fuel"),
+                    ("n_budget_cells", "budget_cells"),
+                    ("n_budget_deadline", "budget_deadline"),
+                    ("n_panicked", "panicked"),
+                    ("n_beam_cut", "beam_cut"),
+                    ("n_failed_apply", "failed_apply"),
+                    ("n_failed_execution", "failed_execution"),
+                    ("n_rejected_intent", "rejected_intent"),
+                ] {
+                    end.counts.insert(key.to_string(), get_u64(&v, field));
+                }
+                for (field, key) in [
+                    ("timings_deduped", "deduped"),
+                    ("timings_budget_fuel", "budget_fuel"),
+                    ("timings_budget_cells", "budget_cells"),
+                    ("timings_budget_deadline", "budget_deadline"),
+                    ("timings_panicked", "panicked"),
+                    ("timings_pruned_monotonicity", "pruned_monotonicity"),
+                ] {
+                    end.timings.insert(key.to_string(), get_u64(&v, field));
+                }
+                summary.end = Some(end);
+            }
+            Some("diff_line") => summary.diff_lines.push(AuditDiffLine {
+                change: get_str(&v, "change"),
+                atom: get_str(&v, "atom"),
+                cand: v.get("cand").and_then(Value::as_f64).map(|f| f as u64),
+                chain_index: v
+                    .get("chain_index")
+                    .and_then(Value::as_f64)
+                    .map(|f| f as usize),
+                op: v.get("op").and_then(Value::as_str).map(str::to_string),
+                rationale: get_str(&v, "rationale"),
+            }),
+            Some("memo_hit") => {
+                summary.memo_hit = Some((get_str(&v, "script"), get_str(&v, "against")));
+            }
+            _ => summary.skipped_lines += 1,
+        }
+    }
+    if !saw_record {
+        return Err("no audit records found (searches write this stream with --audit)".to_string());
+    }
+    Ok(summary)
+}
+
+/// The audit-event names `parse_trace` must tolerate when a v2 record
+/// strays into (or is appended after) a v1 stream.
+pub fn is_audit_event(event: &str) -> bool {
+    matches!(
+        event,
+        "cand" | "lineage" | "audit_end" | "diff_line" | "memo_hit" | "script"
+    )
+}
+
+impl AuditSummary {
+    /// Disposition counts observed in the `cand` records, keyed like
+    /// [`AuditEnd::counts`].
+    pub fn observed_counts(&self) -> BTreeMap<String, u64> {
+        let mut counts = BTreeMap::new();
+        for cand in &self.cands {
+            *counts.entry(count_key(cand)).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Checks the stream against itself and the mirrored `Timings`
+    /// counters: every counter-tied disposition count must equal both the
+    /// trailer's `n_*` claim and the `timings_*` mirror, the record count
+    /// must equal `total`, and exactly one candidate may be `Selected`
+    /// (none for a pure memo-hit file).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatch found, as text.
+    pub fn reconcile(&self) -> Result<(), String> {
+        if self.memo_hit.is_some() && self.cands.is_empty() {
+            return Ok(()); // a memo-hit stub has nothing to reconcile
+        }
+        let Some(end) = &self.end else {
+            return Err("missing audit_end trailer".to_string());
+        };
+        if end.total != self.cands.len() as u64 {
+            return Err(format!(
+                "trailer claims {} candidates, stream holds {}",
+                end.total,
+                self.cands.len()
+            ));
+        }
+        let observed = self.observed_counts();
+        for (key, claimed) in &end.counts {
+            let seen = observed.get(key).copied().unwrap_or(0);
+            if seen != *claimed {
+                return Err(format!(
+                    "disposition '{key}': {seen} records vs trailer claim {claimed}"
+                ));
+            }
+        }
+        for key in observed.keys() {
+            if !end.counts.contains_key(key) {
+                return Err(format!("disposition '{key}' missing from trailer"));
+            }
+        }
+        for (key, timing) in &end.timings {
+            let seen = observed.get(key).copied().unwrap_or(0);
+            if seen != *timing {
+                return Err(format!(
+                    "disposition '{key}': {seen} records vs Timings counter {timing}"
+                ));
+            }
+        }
+        let selected: Vec<u64> = self
+            .cands
+            .iter()
+            .filter(|c| c.kind == "selected")
+            .map(|c| c.id)
+            .collect();
+        if selected.len() != 1 {
+            return Err(format!("expected exactly 1 Selected record, found {}", selected.len()));
+        }
+        if selected[0] != end.selected {
+            return Err(format!(
+                "Selected record is #{} but trailer names #{}",
+                selected[0], end.selected
+            ));
+        }
+        Ok(())
+    }
+
+    /// Renders the `lucid why` report: selection summary, per-step ranking
+    /// tables with score deltas, the pruned-alternative graveyard grouped
+    /// by cause, the selected lineage, the final-diff join, and the
+    /// reconciliation verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some((script, against)) = &self.memo_hit {
+            out.push_str(&format!(
+                "memo hit: '{script}' served from the audited search of '{against}'\n"
+            ));
+            if self.cands.is_empty() {
+                return out;
+            }
+        }
+        let end = self.end.clone().unwrap_or_default();
+        out.push_str(&format!(
+            "decision provenance: {} candidates over {} step(s)\n",
+            self.cands.len(),
+            end.steps
+        ));
+        out.push_str(&format!(
+            "selected: #{}  re {:.6} (input #0 re {:.6})\n",
+            end.selected, end.best_re, end.input_re
+        ));
+
+        // Per-step ranking tables, best (lowest RE) first; unscored
+        // candidates (pruned/failed before scoring) trail, by ID.
+        let max_step = self.cands.iter().map(|c| c.step).max().unwrap_or(0);
+        const MAX_ROWS: usize = 12;
+        for step in 0..=max_step {
+            let mut rows: Vec<&AuditCand> = self
+                .cands
+                .iter()
+                .filter(|c| c.step == step && c.op != "input")
+                .collect();
+            if rows.is_empty() {
+                continue;
+            }
+            rows.sort_by(|a, b| match (a.re, b.re) {
+                (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => std::cmp::Ordering::Equal,
+            });
+            let best_re = rows.first().and_then(|c| c.re);
+            out.push_str(&format!("\nstep {step} ({} candidates):\n", rows.len()));
+            out.push_str(&format!(
+                "  {:>6} {:>6} {:>10} {:>8}  {:<22} {}\n",
+                "id", "parent", "re", "d-best", "disposition", "op"
+            ));
+            for cand in rows.iter().take(MAX_ROWS) {
+                let re_s = cand.re.map_or("-".to_string(), |re| format!("{re:.4}"));
+                let delta = match (cand.re, best_re) {
+                    (Some(re), Some(best)) => format!("{:+.4}", re - best),
+                    _ => "-".to_string(),
+                };
+                out.push_str(&format!(
+                    "  {:>6} {:>6} {:>10} {:>8}  {:<22} {}\n",
+                    format!("#{}", cand.id),
+                    format!("#{}", cand.parent),
+                    re_s,
+                    delta,
+                    describe_fate(cand),
+                    cand.op
+                ));
+            }
+            if rows.len() > MAX_ROWS {
+                out.push_str(&format!("  ... and {} more\n", rows.len() - MAX_ROWS));
+            }
+        }
+
+        out.push_str("\ngraveyard (terminal dispositions):\n");
+        for (kind, count) in self.observed_counts() {
+            out.push_str(&format!("  {kind:<22} {count}\n"));
+        }
+
+        if !self.lineage_ids.is_empty() {
+            out.push_str(&format!("\nlineage of selected #{}:\n", end.selected));
+            for (id, op) in self.lineage_ids.iter().zip(&self.lineage_ops) {
+                out.push_str(&format!("  #{id:<5} {op}\n"));
+            }
+        }
+
+        if !self.diff_lines.is_empty() {
+            out.push_str("\nfinal diff -> lineage:\n");
+            for d in &self.diff_lines {
+                let origin = match (d.cand, &d.op) {
+                    (Some(id), Some(op)) => format!("#{id} ({op})"),
+                    _ => "unmatched".to_string(),
+                };
+                out.push_str(&format!(
+                    "  {} {}  <- {}  [{}]\n",
+                    d.change, d.atom, origin, d.rationale
+                ));
+            }
+        }
+
+        match self.reconcile() {
+            Ok(()) => out.push_str("\nreconciliation: ok\n"),
+            Err(e) => out.push_str(&format!("\nreconciliation: MISMATCH — {e}\n")),
+        }
+        out
+    }
+}
+
+/// One-cell fate rendering for the step tables.
+fn describe_fate(cand: &AuditCand) -> String {
+    match cand.kind.as_str() {
+        "out_ranked" => format!("out_ranked(+{:.4})", cand.score_gap),
+        "deduped" => format!("deduped(vs #{})", cand.against),
+        "budget_tripped" => format!("budget({})", cand.budget_kind),
+        "beam_cut" => format!("beam_cut(k={})", cand.rank),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TraceSink;
+
+    fn sample_stream() -> String {
+        let sink = TraceSink::in_memory();
+        let cands = vec![
+            CandRecord {
+                v: AUDIT_SCHEMA_VERSION,
+                event: "cand".to_string(),
+                id: 0,
+                parent: 0,
+                step: 0,
+                op: "input".to_string(),
+                re: Some(2.5),
+                disposition: Disposition::OutRanked { at_step: 0, score_gap: 1.25 },
+            },
+            CandRecord {
+                v: AUDIT_SCHEMA_VERSION,
+                event: "cand".to_string(),
+                id: 1,
+                parent: 0,
+                step: 0,
+                op: "+ line 1: df = df.fillna(df.mean())".to_string(),
+                re: Some(1.25),
+                disposition: Disposition::Selected,
+            },
+            CandRecord {
+                v: AUDIT_SCHEMA_VERSION,
+                event: "cand".to_string(),
+                id: 2,
+                parent: 0,
+                step: 0,
+                op: "+ line 0: import pandas as pd".to_string(),
+                re: None,
+                disposition: Disposition::PrunedMonotonicity,
+            },
+            CandRecord {
+                v: AUDIT_SCHEMA_VERSION,
+                event: "cand".to_string(),
+                id: 3,
+                parent: 0,
+                step: 0,
+                op: "- line 2".to_string(),
+                re: Some(1.25),
+                disposition: Disposition::Deduped { against: 1 },
+            },
+            CandRecord {
+                v: AUDIT_SCHEMA_VERSION,
+                event: "cand".to_string(),
+                id: 4,
+                parent: 1,
+                step: 1,
+                op: "- line 3".to_string(),
+                re: Some(3.0),
+                disposition: Disposition::BudgetTripped { kind: "fuel".to_string() },
+            },
+        ];
+        for c in &cands {
+            sink.emit(c);
+        }
+        sink.emit(&LineageRecord {
+            v: AUDIT_SCHEMA_VERSION,
+            event: "lineage".to_string(),
+            ids: vec![0, 1],
+            ops: vec!["input".to_string(), "+ line 1: df = df.fillna(df.mean())".to_string()],
+        });
+        sink.emit(&AuditEndRecord {
+            v: AUDIT_SCHEMA_VERSION,
+            event: "audit_end".to_string(),
+            total: 5,
+            selected: 1,
+            steps: 2,
+            input_re: 2.5,
+            best_re: 1.25,
+            n_selected: 1,
+            n_out_ranked: 1,
+            n_deduped: 1,
+            n_pruned_monotonicity: 1,
+            n_budget_fuel: 1,
+            timings_deduped: 1,
+            timings_budget_fuel: 1,
+            timings_pruned_monotonicity: 1,
+            ..AuditEndRecord::default()
+        });
+        sink.emit(&DiffLineRecord {
+            v: AUDIT_SCHEMA_VERSION,
+            event: "diff_line".to_string(),
+            change: "+".to_string(),
+            atom: "df = df.fillna(df.mean())".to_string(),
+            cand: Some(1),
+            chain_index: Some(0),
+            op: Some("+ line 1: df = df.fillna(df.mean())".to_string()),
+            rationale: "popularity".to_string(),
+        });
+        sink.memory_lines().unwrap().join("\n")
+    }
+
+    #[test]
+    fn round_trips_and_reconciles() {
+        let summary = parse_audit(&sample_stream()).unwrap();
+        assert_eq!(summary.cands.len(), 5);
+        assert_eq!(summary.skipped_lines, 0);
+        assert_eq!(summary.lineage_ids, vec![0, 1]);
+        assert_eq!(summary.end.as_ref().unwrap().selected, 1);
+        assert_eq!(summary.diff_lines.len(), 1);
+        summary.reconcile().expect("reconciles");
+        let counts = summary.observed_counts();
+        assert_eq!(counts.get("selected"), Some(&1));
+        assert_eq!(counts.get("budget_fuel"), Some(&1));
+        assert_eq!(counts.get("pruned_monotonicity"), Some(&1));
+    }
+
+    #[test]
+    fn render_includes_tables_lineage_and_verdict() {
+        let summary = parse_audit(&sample_stream()).unwrap();
+        let text = summary.render();
+        assert!(text.contains("selected: #1"), "{text}");
+        assert!(text.contains("step 0"), "{text}");
+        assert!(text.contains("graveyard"), "{text}");
+        assert!(text.contains("deduped(vs #1)"), "{text}");
+        assert!(text.contains("budget(fuel)"), "{text}");
+        assert!(text.contains("final diff -> lineage"), "{text}");
+        assert!(text.contains("reconciliation: ok"), "{text}");
+    }
+
+    #[test]
+    fn reconcile_flags_count_and_timings_mismatches() {
+        let mut summary = parse_audit(&sample_stream()).unwrap();
+        summary
+            .end
+            .as_mut()
+            .unwrap()
+            .timings
+            .insert("deduped".to_string(), 7);
+        let err = summary.reconcile().unwrap_err();
+        assert!(err.contains("Timings counter 7"), "{err}");
+        assert!(summary.render().contains("reconciliation: MISMATCH"));
+
+        let mut summary = parse_audit(&sample_stream()).unwrap();
+        summary.cands.pop();
+        let err = summary.reconcile().unwrap_err();
+        assert!(err.contains("trailer claims 5"), "{err}");
+    }
+
+    #[test]
+    fn rejects_foreign_versions_and_empty_streams() {
+        let err = parse_audit("{\"v\":1,\"event\":\"step\"}").unwrap_err();
+        assert!(err.contains("unsupported audit schema v1"), "{err}");
+        let err = parse_audit("").unwrap_err();
+        assert!(err.contains("no audit records"), "{err}");
+        let err = parse_audit("\n\nnot json\n").unwrap_err();
+        assert!(err.contains("no audit records"), "{err}");
+    }
+
+    #[test]
+    fn memo_hit_stub_parses_and_renders() {
+        let sink = TraceSink::in_memory();
+        sink.emit(&MemoHitRecord {
+            v: AUDIT_SCHEMA_VERSION,
+            event: "memo_hit".to_string(),
+            script: "dup.py".to_string(),
+            against: "orig.py".to_string(),
+        });
+        let text = sink.memory_lines().unwrap().join("\n");
+        let summary = parse_audit(&text).unwrap();
+        assert_eq!(
+            summary.memo_hit,
+            Some(("dup.py".to_string(), "orig.py".to_string()))
+        );
+        summary.reconcile().expect("stub reconciles trivially");
+        assert!(summary.render().contains("memo hit"));
+    }
+
+    #[test]
+    fn unknown_events_are_skipped_not_fatal() {
+        let text = "{\"v\":2,\"event\":\"cand\",\"id\":0,\"parent\":0,\"step\":0,\"op\":\"input\",\"re\":1.0,\"disposition\":\"Selected\"}\n{\"v\":2,\"event\":\"novel\"}\n";
+        let summary = parse_audit(text).unwrap();
+        assert_eq!(summary.cands.len(), 1);
+        assert_eq!(summary.skipped_lines, 1);
+    }
+}

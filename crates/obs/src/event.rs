@@ -235,6 +235,9 @@ pub struct SearchEndEvent {
     /// Total structurally-identical candidates skipped before execution
     /// checks (interned-statement dedup).
     pub candidates_deduped: u64,
+    /// Total candidate adds skipped by the monotonicity cursor during
+    /// enumeration.
+    pub pruned_monotonicity: u64,
     /// Distinct statements the search's interner materialized.
     pub unique_stmts: u64,
     /// Intern requests answered by an already-shared statement.

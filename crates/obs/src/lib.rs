@@ -38,6 +38,7 @@
 //! ```
 
 pub mod alloc;
+pub mod audit;
 pub mod event;
 pub mod export;
 pub mod flame;
@@ -48,6 +49,10 @@ pub mod span;
 pub mod summary;
 
 pub use alloc::{AllocDelta, AllocSnapshot, LucidAlloc, Phase, PhaseGuard, TelemetryMode};
+pub use audit::{
+    parse_audit, AuditCand, AuditEnd, AuditEndRecord, AuditSummary, CandRecord, DiffLineRecord,
+    Disposition, LineageRecord, MemoHitRecord, ScriptAuditRecord, AUDIT_SCHEMA_VERSION,
+};
 pub use event::TRACE_SCHEMA_VERSION;
 pub use export::{prometheus_text, snapshot_json, StatsReporter};
 pub use flame::{fold_spans, to_folded, FoldedFrame};

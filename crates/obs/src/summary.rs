@@ -11,6 +11,7 @@
 //! `"v"` on a well-formed record — or a file with no parseable records
 //! at all — is an error.
 
+use crate::audit::is_audit_event;
 use crate::event::TRACE_SCHEMA_VERSION;
 use serde_json::Value;
 
@@ -112,6 +113,9 @@ pub struct TraceSummary {
     /// Duplicate candidates skipped over the whole search (from
     /// `search_end`, falling back to step sums on a truncated trace).
     pub candidates_deduped: u64,
+    /// Candidate adds skipped by the monotonicity cursor (from
+    /// `search_end`, falling back to step sums on a truncated trace).
+    pub pruned_monotonicity: u64,
     /// Distinct statements the search's interner materialized.
     pub unique_stmts: u64,
     /// Intern requests answered by an already-shared statement.
@@ -168,6 +172,7 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
     let mut sum_panicked = 0u64;
     let mut sum_trips = [0u64; 3];
     let mut sum_deduped = 0u64;
+    let mut sum_pruned = 0u64;
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -182,6 +187,17 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
             continue;
         };
         if v as u64 != TRACE_SCHEMA_VERSION {
+            // Decision-provenance records (audit schema v2) can share a
+            // stream with v1 trace events — e.g. a concatenated batch
+            // export. They belong to `lucid why`, not here: skip them
+            // silently; any *other* foreign version is still an error.
+            if record
+                .get("event")
+                .and_then(Value::as_str)
+                .is_some_and(is_audit_event)
+            {
+                continue;
+            }
             return Err(format!(
                 "line {}: unsupported trace schema v{v} (this build reads v{TRACE_SCHEMA_VERSION})",
                 lineno + 1
@@ -257,6 +273,7 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
                 sum_trips[1] += int(&record, "budget_trips_cells");
                 sum_trips[2] += int(&record, "budget_trips_deadline");
                 sum_deduped += row.candidates_deduped;
+                sum_pruned += row.pruned_monotonicity as u64;
                 collect_panic_payloads(&record, &mut summary.panic_payloads);
                 summary.totals.get_steps_ms += row.get_steps_ms;
                 summary.totals.get_top_k_ms += row.get_top_k_ms;
@@ -286,6 +303,7 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
                 summary.budget_trips_cells = int(&record, "budget_trips_cells");
                 summary.budget_trips_deadline = int(&record, "budget_trips_deadline");
                 summary.candidates_deduped = int(&record, "candidates_deduped");
+                summary.pruned_monotonicity = int(&record, "pruned_monotonicity");
                 summary.unique_stmts = int(&record, "unique_stmts");
                 summary.intern_hits = int(&record, "intern_hits");
                 summary.dag_incremental_updates = int(&record, "dag_incremental_updates");
@@ -336,6 +354,7 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
         summary.budget_trips_cells = sum_trips[1];
         summary.budget_trips_deadline = sum_trips[2];
         summary.candidates_deduped = sum_deduped;
+        summary.pruned_monotonicity = sum_pruned;
         summary.alloc_bytes_total = summary.steps.iter().map(|s| s.alloc_bytes).sum();
     }
     Ok(summary)
@@ -382,7 +401,7 @@ impl TraceSummary {
         if !self.steps.is_empty() {
             out.push('\n');
             let headers = [
-                "step", "beams", "enum", "pruned", "scored", "rejected", "kept", "best-RE",
+                "step", "beams", "enum", "prune m/d", "scored", "rejected", "kept", "best-RE",
                 "steps-ms", "topk-ms", "check-ms", "alloc", "cache h/m/e",
             ];
             let rows: Vec<Vec<String>> = self
@@ -393,7 +412,7 @@ impl TraceSummary {
                         format!("{}{}", s.step, if s.converged { "*" } else { "" }),
                         s.beams_in.to_string(),
                         s.enumerated.to_string(),
-                        s.pruned_monotonicity.to_string(),
+                        format!("{}/{}", s.pruned_monotonicity, s.candidates_deduped),
                         s.scored.to_string(),
                         s.rejected_execution.to_string(),
                         s.kept.to_string(),
@@ -795,6 +814,7 @@ mod tests {
             budget_trips_cells: 2,
             budget_trips_deadline: 0,
             candidates_deduped: 4,
+            pruned_monotonicity: 2,
             unique_stmts: 9,
             intern_hits: 40,
             dag_incremental_updates: 18,
@@ -847,6 +867,7 @@ mod tests {
         assert_eq!(summary.steps[0].budget_trips, 1);
         // Interner stats come from the search_end record.
         assert_eq!(summary.candidates_deduped, 4);
+        assert_eq!(summary.pruned_monotonicity, 2);
         assert_eq!(summary.unique_stmts, 9);
         assert_eq!(summary.intern_hits, 40);
         assert_eq!(summary.dag_incremental_updates, 18);
@@ -866,6 +887,8 @@ mod tests {
         let text = summary.render();
         assert!(text.contains("seq_len=4"));
         assert!(text.contains("GetSteps"));
+        assert!(text.contains("prune m/d")); // per-step pruning column
+        assert!(text.contains("1/2")); // pruned_monotonicity/deduped cell
         assert!(text.contains("1*")); // converged marker
         assert!(text.contains("hit rate"));
         assert!(text.contains("stmt.assign"));
@@ -902,6 +925,21 @@ mod tests {
         assert!(parse_trace("{\"v\":2,\"event\":\"step\"}")
             .unwrap_err()
             .contains("unsupported trace schema"));
+    }
+
+    #[test]
+    fn v2_audit_records_are_skipped_not_fatal() {
+        // An audit stream (schema v2) concatenated with a v1 trace must
+        // not break `lucid trace`; only non-audit foreign versions error.
+        let text = "\
+{\"v\":1,\"event\":\"search_start\",\"seq_len\":4}
+{\"v\":2,\"event\":\"cand\",\"id\":0,\"disposition\":\"Selected\"}
+{\"v\":2,\"event\":\"lineage\",\"ids\":[0]}
+{\"v\":2,\"event\":\"audit_end\",\"total\":1}";
+        let summary = parse_trace(text).unwrap();
+        assert_eq!(summary.config.len(), 1);
+        assert_eq!(summary.skipped_lines, 0);
+        assert_eq!(summary.unknown_events, 0);
     }
 
     #[test]

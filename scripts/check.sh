@@ -69,8 +69,39 @@ ir_gate() {
 }
 ir_gate crates/core/src/search.rs 'to_module\(|module\.clone\(\)|\.stmts\.clone\(\)|build_dag\('
 ir_gate crates/core/src/transform.rs 'to_module\('
+# explain_diff runs on the interned Program too — re-parsing through the
+# legacy DAG builder would fork the atom spelling the audit join relies on.
+ir_gate crates/core/src/explain.rs 'build_dag\('
 if [ "$gate_failed" -ne 0 ]; then
   echo "==> FAIL: the search hot path must stay on the interned IR"
+  exit 1
+fi
+
+# Decision-provenance gate: every candidate-drop site in the search and
+# the enumeration pruning must tag a Disposition, or `lucid why`'s
+# graveyard silently loses candidates and the reconciliation contract
+# (disposition counts == Timings counters) rots. Each `.note(` failure
+# sink must sit within a few lines of a disposition_of/prov.fate call,
+# and the monotonicity-pruning counter in transform.rs must carry its
+# audit-fate marker comment.
+echo "==> decision-provenance grep gate (candidate drops tag a Disposition)"
+note_lines=$(grep -n '\.note(' crates/core/src/search.rs | cut -d: -f1 || true)
+for ln in $note_lines; do
+  lo=$((ln > 4 ? ln - 4 : 1))
+  hi=$((ln + 4))
+  ctx=$(sed -n "${lo},${hi}p" crates/core/src/search.rs)
+  if ! echo "$ctx" | grep -qE 'disposition_of|prov\.fate|fate_if_unfated'; then
+    echo "candidate drop without a Disposition near crates/core/src/search.rs:$ln:"
+    sed -n "${ln}p" crates/core/src/search.rs
+    gate_failed=1
+  fi
+done
+if ! grep -q 'audit fate: Disposition::PrunedMonotonicity' crates/core/src/transform.rs; then
+  echo "monotonicity pruning in crates/core/src/transform.rs lost its audit-fate marker"
+  gate_failed=1
+fi
+if [ "$gate_failed" -ne 0 ]; then
+  echo "==> FAIL: candidate-drop sites must record a Disposition"
   exit 1
 fi
 
@@ -161,10 +192,33 @@ if ! cmp -s "$batch_smoke/parallel.json" "$batch_smoke/serial.json"; then
   exit 1
 fi
 
+# Audit smoke: a standardize run with --audit must produce a stream that
+# `lucid why` renders with an exact Timings reconciliation, and the
+# stream must be byte-identical between a serial and a threaded run.
+echo "==> audit smoke (--audit stream, lucid why, reconciliation)"
+./target/release/lucid standardize --corpus "$batch_smoke/corpus" --data "$batch_smoke/data.csv" \
+  --script "$batch_smoke/corpus/b.py" --seq 3 --beam 2 \
+  --audit "$batch_smoke/serial.audit.jsonl" > /dev/null 2>&1
+./target/release/lucid standardize --corpus "$batch_smoke/corpus" --data "$batch_smoke/data.csv" \
+  --script "$batch_smoke/corpus/b.py" --seq 3 --beam 2 --threads 2 \
+  --audit "$batch_smoke/threaded.audit.jsonl" > /dev/null 2>&1
+if ! cmp -s "$batch_smoke/serial.audit.jsonl" "$batch_smoke/threaded.audit.jsonl"; then
+  echo "==> FAIL: audit stream differs between --threads 1 and --threads 2"
+  exit 1
+fi
+./target/release/lucid why "$batch_smoke/serial.audit.jsonl" > "$batch_smoke/why.txt"
+if ! grep -q 'reconciliation: ok' "$batch_smoke/why.txt"; then
+  echo "==> FAIL: lucid why did not report an exact Timings reconciliation"
+  cat "$batch_smoke/why.txt" | head -30
+  exit 1
+fi
+
 # Telemetry overhead smoke: the always-on allocator attribution must
-# stay cheap. Counting-only keeps the smoke fast; the full three-mode
-# sweep runs via `lucid bench --telemetry-overhead` on demand.
-echo "==> telemetry overhead smoke (counting budget: 5% or 2 ms)"
+# stay cheap, and the opt-in audit stream must stay under its pinned
+# budget (off within noise; on 30% or 3 ms). Counting-only keeps the
+# smoke fast; the full three-mode sweep runs via
+# `lucid bench --telemetry-overhead` on demand.
+echo "==> telemetry + audit overhead smoke (counting 5% or 2 ms; audit 30% or 3 ms)"
 ./target/release/lucid bench --telemetry-overhead --quick --reps 2 --counting-only
 
 echo "==> OK"

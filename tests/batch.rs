@@ -53,7 +53,7 @@ fn run_batch(jobs: usize, memo: bool) -> lucidscript::core::batch::BatchReport {
     let opts = BatchOptions {
         jobs,
         memo,
-        trace_dir: None,
+        ..BatchOptions::default()
     };
     standardize_corpus(
         &mini_scripts(),
@@ -157,6 +157,155 @@ fn memoized_duplicates_share_the_original_result() {
     assert!(!report.scripts[1].memo_hit);
 }
 
+/// The per-script audit streams join the batch determinism contract:
+/// for executed scripts the `<name>.audit.jsonl` bytes are identical
+/// across `--jobs 1/2/8` and memo on/off, memo hits get a stub naming
+/// their representative, and the `batch_audit.jsonl` roll-up reconciles
+/// exactly with the batch `Timings`.
+#[test]
+fn batch_audit_files_are_byte_identical_across_jobs_and_memo() {
+    let scripts = mini_scripts();
+    let run_audited = |tag: &str, jobs: usize, memo: bool| {
+        let dir = std::env::temp_dir().join(format!(
+            "lucid_batch_audit_{tag}_{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("audit dir");
+        let opts = BatchOptions {
+            jobs,
+            memo,
+            audit_dir: Some(dir.clone()),
+            ..BatchOptions::default()
+        };
+        let report = standardize_corpus(
+            &scripts,
+            Profile::titanic().file,
+            mini_data(),
+            mini_config(),
+            &opts,
+        )
+        .expect("batch runs");
+        (dir, report)
+    };
+
+    let (ref_dir, ref_report) = run_audited("ref", 1, false);
+    let read = |dir: &std::path::Path, name: &str| {
+        std::fs::read_to_string(dir.join(format!("{name}.audit.jsonl")))
+            .unwrap_or_else(|e| panic!("audit for {name}: {e}"))
+    };
+    for script in &scripts {
+        let text = read(&ref_dir, &script.name);
+        let summary = lucidscript::obs::parse_audit(&text)
+            .unwrap_or_else(|e| panic!("audit for {}: {e}", script.name));
+        summary
+            .reconcile()
+            .unwrap_or_else(|e| panic!("audit for {}: {e}", script.name));
+    }
+
+    for (tag, jobs, memo) in [("j2", 2, false), ("j8", 8, false), ("j2m", 2, true)] {
+        let (dir, report) = run_audited(tag, jobs, memo);
+        for (i, script) in scripts.iter().enumerate() {
+            if memo && report.scripts[i].memo_hit {
+                // The duplicate ran no search: its file is a stub naming
+                // the representative whose stream holds the decisions.
+                let text = read(&dir, &script.name);
+                let summary = lucidscript::obs::parse_audit(&text).expect("stub parses");
+                let (hit, against) = summary.memo_hit.expect("stub carries memo_hit");
+                assert_eq!(hit, script.name);
+                assert_eq!(against, "script_1.py");
+                continue;
+            }
+            assert_eq!(
+                read(&dir, &script.name),
+                read(&ref_dir, &script.name),
+                "audit bytes diverged for {} at jobs={jobs} memo={memo}",
+                script.name
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // The roll-up reconciles: summing executed-script rows reproduces the
+    // batch Timings counters exactly.
+    let rollup = std::fs::read_to_string(ref_dir.join("batch_audit.jsonl")).expect("roll-up");
+    let mut rows = 0usize;
+    let (mut deduped, mut pruned) = (0u64, 0u64);
+    let (mut fuel, mut cells, mut deadline, mut panicked) = (0u64, 0u64, 0u64, 0u64);
+    for line in rollup.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("roll-up row parses");
+        let num = |key: &str| v.get(key).and_then(|x| x.as_f64()).unwrap_or(0.0) as u64;
+        assert_eq!(v.get("event").and_then(|x| x.as_str()), Some("script"));
+        rows += 1;
+        deduped += num("deduped");
+        pruned += num("pruned_monotonicity");
+        fuel += num("budget_fuel");
+        cells += num("budget_cells");
+        deadline += num("budget_deadline");
+        panicked += num("panicked");
+    }
+    assert_eq!(rows, scripts.len());
+    let t = &ref_report.timings;
+    assert_eq!(deduped, t.candidates_deduped);
+    assert_eq!(pruned, t.pruned_monotonicity);
+    assert_eq!(fuel, t.budget_trips_fuel);
+    assert_eq!(cells, t.budget_trips_cells);
+    assert_eq!(deadline, t.budget_trips_deadline);
+    assert_eq!(panicked, t.candidates_panicked);
+
+    std::fs::remove_dir_all(&ref_dir).ok();
+}
+
+/// `--explain` output is part of the deterministic batch report:
+/// explanations are computed serially from each script's (input, output)
+/// sources, so they are byte-identical across worker counts and memo
+/// hits inherit their representative's texts verbatim.
+#[test]
+fn batch_explanations_are_deterministic_across_jobs_and_memo() {
+    let scripts = mini_scripts();
+    let run_explained = |jobs: usize, memo: bool| {
+        let opts = BatchOptions {
+            jobs,
+            memo,
+            explain: true,
+            ..BatchOptions::default()
+        };
+        standardize_corpus(
+            &scripts,
+            Profile::titanic().file,
+            mini_data(),
+            mini_config(),
+            &opts,
+        )
+        .expect("batch runs")
+    };
+    let reference = run_explained(1, false);
+    let ref_json = reference.deterministic_json();
+    assert!(
+        reference.scripts.iter().any(|s| !s.explanations.is_empty()),
+        "at least one script explains its diff"
+    );
+    for jobs in [2, 8] {
+        for memo in [false, true] {
+            let report = run_explained(jobs, memo);
+            assert_eq!(
+                report.deterministic_json(),
+                ref_json,
+                "explained report diverged at jobs={jobs} memo={memo}"
+            );
+        }
+    }
+    // The memoized duplicate shares the representative's sources, so its
+    // explanations match the original's exactly.
+    let memoed = run_explained(2, true);
+    assert!(memoed.scripts[3].memo_hit);
+    assert_eq!(memoed.scripts[3].explanations, memoed.scripts[1].explanations);
+    // Without --explain, the field stays empty (and the report therefore
+    // differs — explanations are deterministic output, not telemetry).
+    let plain = run_batch(1, false);
+    assert!(plain.scripts.iter().all(|s| s.explanations.is_empty()));
+}
+
 /// Regression (shared-cache accounting): with the pooled prefix cache
 /// shared across a multi-worker batch, three independent accountings of
 /// cache traffic must agree exactly —
@@ -175,6 +324,7 @@ fn batch_trace_timings_and_store_totals_reconcile() {
         jobs: 2,
         memo: false, // every script executes, so every script traces
         trace_dir: Some(dir.clone()),
+        ..BatchOptions::default()
     };
     let scripts = mini_scripts();
     let report = standardize_corpus(

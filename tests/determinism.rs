@@ -10,6 +10,7 @@ use lucidscript::core::intent::IntentMeasure;
 use lucidscript::core::standardizer::Standardizer;
 use lucidscript::corpus::Profile;
 use lucidscript::interp::Budget;
+use lucidscript::obs::TraceSink;
 
 fn run_arm(threads: usize, prefix_cache: bool, budget: Budget) -> (String, f64, usize) {
     run_arm_profiled(threads, prefix_cache, budget, None)
@@ -103,6 +104,81 @@ fn search_is_byte_identical_with_profiling_on_and_off() {
     let table = std::fs::read_to_string(dir.join("percentiles.txt")).expect("percentiles.txt");
     assert!(table.contains("search.get_steps"), "{table}");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Runs one audited arm: same workload as [`run_arm`], with an in-memory
+/// `--audit` sink attached. Returns the deterministic outputs plus the
+/// full audit stream.
+fn run_arm_audited(
+    threads: usize,
+    prefix_cache: bool,
+    budget: Budget,
+) -> (String, f64, usize, String) {
+    let profile = Profile::titanic();
+    let data = profile.generate_data(5, 0.05);
+    let corpus: Vec<String> = profile
+        .generate_corpus(5)
+        .into_iter()
+        .map(|s| s.source)
+        .collect();
+    let sink = TraceSink::in_memory();
+    let config = SearchConfig {
+        seq_len: 5,
+        beam_k: 2,
+        intent: IntentMeasure::jaccard(0.5),
+        sample_rows: Some(150),
+        threads,
+        prefix_cache,
+        budget,
+        audit: Some(sink.clone()),
+        ..SearchConfig::default()
+    };
+    let std = Standardizer::build(&corpus, profile.file, data, config).expect("builds");
+    let report = std.standardize_source(&corpus[1]).expect("runs");
+    (
+        report.output_source,
+        report.re_after,
+        report.candidates_explored,
+        sink.memory_lines().expect("memory sink").join("\n"),
+    )
+}
+
+/// The decision-provenance stream joins the determinism contract:
+/// auditing must not perturb the search, and the audit bytes themselves
+/// must be identical across threads × cache × (non-deadline) budget —
+/// candidate IDs come from enumeration order, never scheduling.
+#[test]
+fn audit_stream_is_byte_identical_and_decision_invariant() {
+    let (ref_src, ref_re, ref_explored) = run_arm(1, false, Budget::unlimited());
+    let (_, _, _, ref_audit) = run_arm_audited(1, false, Budget::unlimited());
+    assert!(!ref_audit.is_empty(), "audit stream populated");
+    for threads in [1, 4] {
+        for prefix_cache in [false, true] {
+            for budget in [Budget::unlimited(), generous()] {
+                let (src, re, explored, audit) = run_arm_audited(threads, prefix_cache, budget);
+                assert_eq!(
+                    src, ref_src,
+                    "audited output diverged at threads={threads} cache={prefix_cache}"
+                );
+                assert!(
+                    (re - ref_re).abs() < 1e-15,
+                    "audited RE diverged at threads={threads} cache={prefix_cache}"
+                );
+                assert_eq!(
+                    explored, ref_explored,
+                    "audited explored diverged at threads={threads} cache={prefix_cache}"
+                );
+                assert_eq!(
+                    audit, ref_audit,
+                    "audit bytes diverged at threads={threads} cache={prefix_cache} budget={budget:?}"
+                );
+            }
+        }
+    }
+    // The stream parses, reconciles, and renders.
+    let summary = lucidscript::obs::parse_audit(&ref_audit).expect("audit parses");
+    summary.reconcile().expect("dispositions reconcile with Timings");
+    assert!(summary.render().contains("reconciliation: ok"));
 }
 
 #[test]

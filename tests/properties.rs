@@ -159,7 +159,7 @@ proptest! {
             sample_rows: Some(120),
             ..SearchConfig::default()
         };
-        let opts = BatchOptions { jobs: 1, memo: true, trace_dir: None };
+        let opts = BatchOptions { jobs: 1, memo: true, ..BatchOptions::default() };
         let report = standardize_corpus(&scripts, profile.file, data.clone(), config.clone(), &opts)
             .expect("batch runs");
         prop_assert_eq!(report.memo_hits, 1, "only the duplicate hits");
