@@ -23,12 +23,14 @@
 //! for full leave-one-out over every script at full data scale.
 
 pub mod env;
+pub mod kernels;
 pub mod overhead;
 pub mod runner;
 pub mod stats;
 pub mod trajectory;
 
 pub use env::ExpEnv;
+pub use kernels::{extend_with_kernels, kernel_suite, run_kernel_workload, KernelData};
 pub use overhead::{
     measure_audit_overhead, measure_overhead, AuditOverheadReport, OverheadReport,
     AUDIT_BUDGET_FLOOR_MS, AUDIT_BUDGET_FRAC,

@@ -620,7 +620,10 @@ pub fn standardize_search(ctx: &SearchContext, input: &Module) -> SearchOutcome 
             prov.fate(cand.id, Disposition::FailedExecution);
             continue;
         };
-        let eval = ctx.config.intent.evaluate(ctx.base_output, out_frame);
+        let eval = {
+            let _k = ctx.interp.obs.as_deref().map(|c| c.span("kernel.jaccard"));
+            ctx.config.intent.evaluate(ctx.base_output, out_frame)
+        };
         if !eval.satisfied {
             rejected_intent += 1;
             prov.fate(cand.id, Disposition::RejectedIntent);

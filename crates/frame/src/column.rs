@@ -1,5 +1,15 @@
 //! Typed nullable columns and their statistics.
+//!
+//! Storage is columnar in the Arrow style: each column holds one
+//! contiguous buffer of plain values plus a packed [`Bitmap`] recording
+//! which rows are valid. Missingness lives **only** in the bitmap — float
+//! buffers never contain NaN (NaN is canonicalized to null at every
+//! construction site), so kernels can sweep raw slices without per-cell
+//! `Option` or NaN branches. String columns are dictionary-encoded:
+//! `u32` codes into a per-column pool of distinct strings, which turns
+//! per-row string work into per-distinct work plus a code sweep.
 
+use crate::bitmap::Bitmap;
 use crate::error::{FrameError, Result};
 use crate::mask::BoolMask;
 use crate::value::{Value, ValueKey};
@@ -41,38 +51,291 @@ impl DType {
     }
 }
 
+/// A contiguous value buffer plus its validity bitmap. Slots whose bit is
+/// clear hold an unspecified padding value that must never be read as
+/// data; equality and hashing go through the bitmap.
+#[derive(Debug, Clone)]
+pub struct Buffer<T: Copy> {
+    pub(crate) values: Vec<T>,
+    pub(crate) validity: Bitmap,
+}
+
+impl<T: Copy> Buffer<T> {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the buffer has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value at row `i`, or `None` when null (or out of range).
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<T> {
+        self.validity.get(i).then(|| self.values[i])
+    }
+
+    /// The raw value slice (padding in null slots — pair with `validity`).
+    pub fn data(&self) -> &[T] {
+        &self.values
+    }
+
+    /// The validity bitmap (`1` = non-null).
+    pub fn validity(&self) -> &Bitmap {
+        &self.validity
+    }
+
+    /// Iterates rows as `Option<T>`.
+    pub fn iter(&self) -> impl Iterator<Item = Option<T>> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+impl<T: Copy + Default> Buffer<T> {
+    /// Builds from per-row options, padding null slots with `T::default()`.
+    pub fn from_options(data: Vec<Option<T>>) -> Buffer<T> {
+        let mut values = Vec::with_capacity(data.len());
+        let mut validity = Bitmap::new_clear(data.len());
+        for (i, v) in data.into_iter().enumerate() {
+            match v {
+                Some(x) => {
+                    values.push(x);
+                    validity.set(i, true);
+                }
+                None => values.push(T::default()),
+            }
+        }
+        Buffer { values, validity }
+    }
+}
+
+// Equality ignores padding in null slots: two buffers are equal when
+// their bitmaps match and every *valid* slot matches.
+impl<T: Copy + PartialEq> PartialEq for Buffer<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.validity == other.validity
+            && (0..self.len()).all(|i| !self.validity.get(i) || self.values[i] == other.values[i])
+    }
+}
+
+/// A dictionary-encoded string column: `u32` codes into a pool of
+/// distinct strings. Null rows carry a padding code of 0 that must not be
+/// dereferenced. The pool may retain entries no valid row references
+/// (filter/take keep the pool intact); equality compares row strings, not
+/// pool layout.
+#[derive(Debug, Clone)]
+pub struct StrData {
+    pub(crate) codes: Vec<u32>,
+    pub(crate) validity: Bitmap,
+    pub(crate) pool: Vec<String>,
+}
+
+impl StrData {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The string at row `i`, or `None` when null (or out of range).
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&str> {
+        self.validity
+            .get(i)
+            .then(|| self.pool[self.codes[i] as usize].as_str())
+    }
+
+    /// The raw code slice (padding in null slots — pair with `validity`).
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The validity bitmap (`1` = non-null).
+    pub fn validity(&self) -> &Bitmap {
+        &self.validity
+    }
+
+    /// The dictionary pool (entries are distinct).
+    pub fn pool(&self) -> &[String] {
+        &self.pool
+    }
+
+    /// Builds from per-row options, interning each distinct string once.
+    pub fn from_options(data: Vec<Option<String>>) -> StrData {
+        let mut b = StrBuilder::with_capacity(data.len());
+        for v in data {
+            b.push_opt(v);
+        }
+        b.finish()
+    }
+
+    /// Iterates rows as `Option<&str>`.
+    pub fn strs(&self) -> impl Iterator<Item = Option<&str>> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// The code for `s`, when `s` is in the pool.
+    pub(crate) fn code_of(&self, s: &str) -> Option<u32> {
+        self.pool.iter().position(|p| p == s).map(|i| i as u32)
+    }
+
+    /// Applies `f` to each pool entry, re-deduplicating the pool (a
+    /// transform like lowercasing can merge entries) and remapping codes.
+    pub(crate) fn map_pool(&self, f: impl Fn(&str) -> String) -> StrData {
+        let mut pool: Vec<String> = Vec::with_capacity(self.pool.len());
+        let mut index: HashMap<String, u32> = HashMap::new();
+        let remap: Vec<u32> = self
+            .pool
+            .iter()
+            .map(|s| {
+                let t = f(s);
+                if let Some(&c) = index.get(&t) {
+                    c
+                } else {
+                    let c = pool.len() as u32;
+                    index.insert(t.clone(), c);
+                    pool.push(t);
+                    c
+                }
+            })
+            .collect();
+        let codes = self
+            .codes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                if self.validity.get(i) {
+                    remap[c as usize]
+                } else {
+                    0
+                }
+            })
+            .collect();
+        StrData {
+            codes,
+            validity: self.validity.clone(),
+            pool,
+        }
+    }
+}
+
+impl PartialEq for StrData {
+    fn eq(&self, other: &Self) -> bool {
+        self.validity == other.validity && (0..self.len()).all(|i| self.get(i) == other.get(i))
+    }
+}
+
+/// Incremental builder for [`StrData`] that interns as it goes.
+pub struct StrBuilder {
+    codes: Vec<u32>,
+    validity: Bitmap,
+    pool: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl StrBuilder {
+    /// A builder expecting about `n` rows.
+    pub fn with_capacity(n: usize) -> StrBuilder {
+        StrBuilder {
+            codes: Vec::with_capacity(n),
+            validity: Bitmap::new_clear(0),
+            pool: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&c) = self.index.get(s) {
+            return c;
+        }
+        let c = self.pool.len() as u32;
+        self.index.insert(s.to_string(), c);
+        self.pool.push(s.to_string());
+        c
+    }
+
+    /// Appends a null row.
+    pub fn push_null(&mut self) {
+        self.codes.push(0);
+        self.validity.push(false);
+    }
+
+    /// Appends a valid row.
+    pub fn push_str(&mut self, s: &str) {
+        let c = self.intern(s);
+        self.codes.push(c);
+        self.validity.push(true);
+    }
+
+    /// Appends an optional owned row.
+    pub fn push_opt(&mut self, v: Option<String>) {
+        match v {
+            Some(s) => self.push_str(&s),
+            None => self.push_null(),
+        }
+    }
+
+    /// Finishes into immutable column storage.
+    pub fn finish(self) -> StrData {
+        StrData {
+            codes: self.codes,
+            validity: self.validity,
+            pool: self.pool,
+        }
+    }
+}
+
 /// A typed, nullable column of values.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Column {
     /// Integer column.
-    Int(Vec<Option<i64>>),
-    /// Float column.
-    Float(Vec<Option<f64>>),
-    /// String column.
-    Str(Vec<Option<String>>),
+    Int(Buffer<i64>),
+    /// Float column (buffer never holds NaN; NaN is null).
+    Float(Buffer<f64>),
+    /// Dictionary-encoded string column.
+    Str(StrData),
     /// Boolean column.
-    Bool(Vec<Option<bool>>),
+    Bool(Buffer<bool>),
 }
 
 impl Column {
     /// Builds an integer column.
     pub fn from_ints(data: Vec<Option<i64>>) -> Column {
-        Column::Int(data)
+        Column::Int(Buffer::from_options(data))
     }
 
-    /// Builds a float column.
+    /// Builds a float column. NaN inputs are canonicalized to null so the
+    /// bitmap is the single source of missingness.
     pub fn from_floats(data: Vec<Option<f64>>) -> Column {
-        Column::Float(data)
+        Column::Float(Buffer::from_options(
+            data.into_iter()
+                .map(|x| x.filter(|f| !f.is_nan()))
+                .collect(),
+        ))
     }
 
-    /// Builds a string column.
+    /// Builds a string column (dictionary-encoded).
     pub fn from_strs(data: Vec<Option<String>>) -> Column {
-        Column::Str(data)
+        Column::Str(StrData::from_options(data))
     }
 
     /// Builds a boolean column.
     pub fn from_bools(data: Vec<Option<bool>>) -> Column {
-        Column::Bool(data)
+        Column::Bool(Buffer::from_options(data))
+    }
+
+    /// Builds an all-valid boolean column from a mask.
+    pub fn from_mask(mask: &BoolMask) -> Column {
+        Column::Bool(Buffer {
+            values: mask.iter().collect(),
+            validity: Bitmap::new_set(mask.len()),
+        })
     }
 
     /// Builds a column from generic values, inferring the narrowest dtype
@@ -92,20 +355,20 @@ impl Column {
             }
         }
         if has_str {
-            Column::Str(
-                values
-                    .iter()
-                    .map(|v| match v {
-                        Value::Null => None,
-                        Value::Float(f) if f.is_nan() => None,
-                        other => Some(other.to_string()),
-                    })
-                    .collect(),
-            )
+            let mut b = StrBuilder::with_capacity(values.len());
+            for v in values {
+                match v {
+                    Value::Null => b.push_null(),
+                    Value::Float(f) if f.is_nan() => b.push_null(),
+                    Value::Str(s) => b.push_str(s),
+                    other => b.push_str(&other.to_string()),
+                }
+            }
+            Column::Str(b.finish())
         } else if has_float {
-            Column::Float(values.iter().map(|v| v.as_f64()).collect())
+            Column::from_floats(values.iter().map(|v| v.as_f64()).collect())
         } else if has_int {
-            Column::Int(
+            Column::Int(Buffer::from_options(
                 values
                     .iter()
                     .map(|v| match v {
@@ -114,9 +377,9 @@ impl Column {
                         _ => None,
                     })
                     .collect(),
-            )
+            ))
         } else if has_bool {
-            Column::Bool(
+            Column::Bool(Buffer::from_options(
                 values
                     .iter()
                     .map(|v| match v {
@@ -124,20 +387,23 @@ impl Column {
                         _ => None,
                     })
                     .collect(),
-            )
+            ))
         } else {
             // All null: default to float (pandas uses float64 for all-NaN).
-            Column::Float(vec![None; values.len()])
+            Column::Float(Buffer {
+                values: vec![0.0; values.len()],
+                validity: Bitmap::new_clear(values.len()),
+            })
         }
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
         match self {
-            Column::Int(v) => v.len(),
-            Column::Float(v) => v.len(),
-            Column::Str(v) => v.len(),
-            Column::Bool(v) => v.len(),
+            Column::Int(b) => b.len(),
+            Column::Float(b) => b.len(),
+            Column::Str(d) => d.len(),
+            Column::Bool(b) => b.len(),
         }
     }
 
@@ -161,6 +427,16 @@ impl Column {
         matches!(self, Column::Int(_) | Column::Float(_))
     }
 
+    /// The validity bitmap (`1` = non-null).
+    pub fn validity(&self) -> &Bitmap {
+        match self {
+            Column::Int(b) => &b.validity,
+            Column::Float(b) => &b.validity,
+            Column::Str(d) => &d.validity,
+            Column::Bool(b) => &b.validity,
+        }
+    }
+
     /// The value at row `i`.
     pub fn get(&self, i: usize) -> Result<Value> {
         if i >= self.len() {
@@ -170,10 +446,10 @@ impl Column {
             });
         }
         Ok(match self {
-            Column::Int(v) => v[i].map_or(Value::Null, Value::Int),
-            Column::Float(v) => v[i].map_or(Value::Null, Value::Float),
-            Column::Str(v) => v[i].clone().map_or(Value::Null, Value::Str),
-            Column::Bool(v) => v[i].map_or(Value::Null, Value::Bool),
+            Column::Int(b) => b.get(i).map_or(Value::Null, Value::Int),
+            Column::Float(b) => b.get(i).map_or(Value::Null, Value::Float),
+            Column::Str(d) => d.get(i).map_or(Value::Null, |s| Value::Str(s.to_string())),
+            Column::Bool(b) => b.get(i).map_or(Value::Null, Value::Bool),
         })
     }
 
@@ -184,36 +460,100 @@ impl Column {
             .collect()
     }
 
-    /// Number of missing values.
-    pub fn null_count(&self) -> usize {
+    /// Canonical hash keys for every row (null rows get `ValueKey::Null`),
+    /// computed without materializing a `Value` per cell. String keys are
+    /// built once per distinct pool entry and fanned out over codes.
+    pub fn keys(&self) -> Vec<ValueKey> {
         match self {
-            Column::Int(v) => v.iter().filter(|x| x.is_none()).count(),
-            Column::Float(v) => v
-                .iter()
-                .filter(|x| x.is_none() || x.is_some_and(f64::is_nan))
-                .count(),
-            Column::Str(v) => v.iter().filter(|x| x.is_none()).count(),
-            Column::Bool(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Int(b) => (0..b.len())
+                .map(|i| {
+                    if b.validity.get(i) {
+                        ValueKey::of_i64(b.values[i])
+                    } else {
+                        ValueKey::Null
+                    }
+                })
+                .collect(),
+            Column::Float(b) => (0..b.len())
+                .map(|i| {
+                    if b.validity.get(i) {
+                        ValueKey::of_f64(b.values[i])
+                    } else {
+                        ValueKey::Null
+                    }
+                })
+                .collect(),
+            Column::Str(d) => {
+                let pool_keys: Vec<ValueKey> =
+                    d.pool.iter().map(|s| ValueKey::of_str(s)).collect();
+                (0..d.len())
+                    .map(|i| {
+                        if d.validity.get(i) {
+                            pool_keys[d.codes[i] as usize].clone()
+                        } else {
+                            ValueKey::Null
+                        }
+                    })
+                    .collect()
+            }
+            Column::Bool(b) => (0..b.len())
+                .map(|i| {
+                    if b.validity.get(i) {
+                        ValueKey::of_bool(b.values[i])
+                    } else {
+                        ValueKey::Null
+                    }
+                })
+                .collect(),
         }
+    }
+
+    /// Interprets the column as a boolean mask the way pandas row
+    /// selection does: Bool columns take nulls as false, Int columns test
+    /// non-zero. Other dtypes cannot be masks.
+    pub fn as_mask(&self) -> Option<BoolMask> {
+        match self {
+            Column::Bool(b) => {
+                let set = Bitmap::from_bools(&b.values);
+                Some(BoolMask::from_bitmap(set.and(&b.validity)))
+            }
+            Column::Int(b) => {
+                let mut bits = Bitmap::new_clear(b.len());
+                for i in 0..b.len() {
+                    if b.validity.get(i) && b.values[i] != 0 {
+                        bits.set(i, true);
+                    }
+                }
+                Some(BoolMask::from_bitmap(bits))
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of missing values (a popcount over the validity words).
+    pub fn null_count(&self) -> usize {
+        self.validity().count_zeros()
     }
 
     /// Mask of missing entries (pandas `isna`).
     pub fn is_na(&self) -> BoolMask {
-        let bits = (0..self.len())
-            .map(|i| self.get(i).expect("in bounds").is_null())
-            .collect();
-        BoolMask::new(bits)
+        BoolMask::from_bitmap(self.validity().not())
     }
 
     /// Non-null values as `f64`, for numeric aggregation.
     fn numeric_values(&self, op: &str) -> Result<Vec<f64>> {
         match self {
-            Column::Int(v) => Ok(v.iter().flatten().map(|&x| x as f64).collect()),
-            Column::Float(v) => Ok(v.iter().flatten().filter(|f| !f.is_nan()).copied().collect()),
-            Column::Bool(v) => Ok(v
-                .iter()
-                .flatten()
-                .map(|&b| if b { 1.0 } else { 0.0 })
+            Column::Int(b) => Ok((0..b.len())
+                .filter(|&i| b.validity.get(i))
+                .map(|i| b.values[i] as f64)
+                .collect()),
+            Column::Float(b) => Ok((0..b.len())
+                .filter(|&i| b.validity.get(i))
+                .map(|i| b.values[i])
+                .collect()),
+            Column::Bool(b) => Ok((0..b.len())
+                .filter(|&i| b.validity.get(i))
+                .map(|i| if b.values[i] { 1.0 } else { 0.0 })
                 .collect()),
             Column::Str(_) => Err(FrameError::TypeMismatch {
                 op: op.to_string(),
@@ -273,8 +613,8 @@ impl Column {
     }
 
     fn extremum(&self, min: bool) -> Result<Value> {
-        if let Column::Str(v) = self {
-            let mut it = v.iter().flatten();
+        if let Column::Str(d) = self {
+            let mut it = (0..d.len()).filter_map(|i| d.get(i));
             let first = it
                 .next()
                 .ok_or_else(|| FrameError::Empty("min/max".to_string()))?;
@@ -285,7 +625,7 @@ impl Column {
                     acc
                 }
             });
-            return Ok(Value::Str(best.clone()));
+            return Ok(Value::Str(best.to_string()));
         }
         let vals = self.numeric_values("min/max")?;
         if vals.is_empty() {
@@ -380,18 +720,38 @@ impl Column {
                 actual: mask.len(),
             });
         }
-        fn keep<T: Clone>(data: &[Option<T>], mask: &BoolMask) -> Vec<Option<T>> {
-            data.iter()
-                .zip(mask.bits())
-                .filter(|(_, &m)| m)
-                .map(|(v, _)| v.clone())
-                .collect()
+        fn keep<T: Copy>(b: &Buffer<T>, mask: &BoolMask) -> Buffer<T> {
+            let mut values = Vec::with_capacity(mask.count_true());
+            let mut validity = Bitmap::new_clear(0);
+            for i in 0..b.len() {
+                if mask.get(i) {
+                    values.push(b.values[i]);
+                    validity.push(b.validity.get(i));
+                }
+            }
+            Buffer { values, validity }
         }
         Ok(match self {
-            Column::Int(v) => Column::Int(keep(v, mask)),
-            Column::Float(v) => Column::Float(keep(v, mask)),
-            Column::Str(v) => Column::Str(keep(v, mask)),
-            Column::Bool(v) => Column::Bool(keep(v, mask)),
+            Column::Int(b) => Column::Int(keep(b, mask)),
+            Column::Float(b) => Column::Float(keep(b, mask)),
+            Column::Bool(b) => Column::Bool(keep(b, mask)),
+            Column::Str(d) => {
+                // Codes are filtered; the pool rides along unchanged
+                // (equality ignores unreferenced entries).
+                let mut codes = Vec::with_capacity(mask.count_true());
+                let mut validity = Bitmap::new_clear(0);
+                for i in 0..d.len() {
+                    if mask.get(i) {
+                        codes.push(d.codes[i]);
+                        validity.push(d.validity.get(i));
+                    }
+                }
+                Column::Str(StrData {
+                    codes,
+                    validity,
+                    pool: d.pool.clone(),
+                })
+            }
         })
     }
 
@@ -405,14 +765,32 @@ impl Column {
                 });
             }
         }
-        fn gather<T: Clone>(data: &[Option<T>], idx: &[usize]) -> Vec<Option<T>> {
-            idx.iter().map(|&i| data[i].clone()).collect()
+        fn gather<T: Copy>(b: &Buffer<T>, idx: &[usize]) -> Buffer<T> {
+            let mut values = Vec::with_capacity(idx.len());
+            let mut validity = Bitmap::new_clear(0);
+            for &i in idx {
+                values.push(b.values[i]);
+                validity.push(b.validity.get(i));
+            }
+            Buffer { values, validity }
         }
         Ok(match self {
-            Column::Int(v) => Column::Int(gather(v, indices)),
-            Column::Float(v) => Column::Float(gather(v, indices)),
-            Column::Str(v) => Column::Str(gather(v, indices)),
-            Column::Bool(v) => Column::Bool(gather(v, indices)),
+            Column::Int(b) => Column::Int(gather(b, indices)),
+            Column::Float(b) => Column::Float(gather(b, indices)),
+            Column::Bool(b) => Column::Bool(gather(b, indices)),
+            Column::Str(d) => {
+                let mut codes = Vec::with_capacity(indices.len());
+                let mut validity = Bitmap::new_clear(0);
+                for &i in indices {
+                    codes.push(d.codes[i]);
+                    validity.push(d.validity.get(i));
+                }
+                Column::Str(StrData {
+                    codes,
+                    validity,
+                    pool: d.pool.clone(),
+                })
+            }
         })
     }
 
@@ -423,28 +801,84 @@ impl Column {
             return Ok(self.clone());
         }
         match (self, fill) {
-            (Column::Int(v), Value::Int(f)) => {
-                Ok(Column::Int(v.iter().map(|x| x.or(Some(*f))).collect()))
+            (Column::Int(b), Value::Int(f)) => {
+                let mut values = b.values.clone();
+                for (i, v) in values.iter_mut().enumerate() {
+                    if !b.validity.get(i) {
+                        *v = *f;
+                    }
+                }
+                Ok(Column::Int(Buffer {
+                    values,
+                    validity: Bitmap::new_set(b.len()),
+                }))
             }
-            (Column::Int(v), Value::Float(f)) => Ok(Column::Float(
-                v.iter().map(|x| x.map(|i| i as f64).or(Some(*f))).collect(),
-            )),
-            (Column::Float(v), _) if fill.as_f64().is_some() => {
+            (Column::Int(b), Value::Float(f)) => {
+                let values = (0..b.len())
+                    .map(|i| {
+                        if b.validity.get(i) {
+                            b.values[i] as f64
+                        } else {
+                            *f
+                        }
+                    })
+                    .collect();
+                Ok(Column::Float(Buffer {
+                    values,
+                    validity: Bitmap::new_set(b.len()),
+                }))
+            }
+            (Column::Float(b), _) if fill.as_f64().is_some() => {
                 let f = fill.as_f64().expect("checked");
-                Ok(Column::Float(
-                    v.iter()
-                        .map(|x| match x {
-                            Some(val) if !val.is_nan() => Some(*val),
-                            _ => Some(f),
-                        })
-                        .collect(),
-                ))
+                let mut values = b.values.clone();
+                for (i, v) in values.iter_mut().enumerate() {
+                    if !b.validity.get(i) {
+                        *v = f;
+                    }
+                }
+                Ok(Column::Float(Buffer {
+                    values,
+                    validity: Bitmap::new_set(b.len()),
+                }))
             }
-            (Column::Str(v), Value::Str(f)) => Ok(Column::Str(
-                v.iter().map(|x| x.clone().or(Some(f.clone()))).collect(),
-            )),
-            (Column::Bool(v), Value::Bool(f)) => {
-                Ok(Column::Bool(v.iter().map(|x| x.or(Some(*f))).collect()))
+            (Column::Str(d), Value::Str(f)) => {
+                let (pool, fill_code) = match d.code_of(f) {
+                    Some(c) => (d.pool.clone(), c),
+                    None => {
+                        let mut pool = d.pool.clone();
+                        pool.push(f.clone());
+                        let c = (pool.len() - 1) as u32;
+                        (pool, c)
+                    }
+                };
+                // `pool` stays distinct: the fill string is appended only
+                // when absent.
+                let codes = (0..d.len())
+                    .map(|i| {
+                        if d.validity.get(i) {
+                            d.codes[i]
+                        } else {
+                            fill_code
+                        }
+                    })
+                    .collect();
+                Ok(Column::Str(StrData {
+                    codes,
+                    validity: Bitmap::new_set(d.len()),
+                    pool,
+                }))
+            }
+            (Column::Bool(b), Value::Bool(f)) => {
+                let mut values = b.values.clone();
+                for (i, v) in values.iter_mut().enumerate() {
+                    if !b.validity.get(i) {
+                        *v = *f;
+                    }
+                }
+                Ok(Column::Bool(Buffer {
+                    values,
+                    validity: Bitmap::new_set(b.len()),
+                }))
             }
             _ => Err(FrameError::TypeMismatch {
                 op: "fillna".to_string(),
@@ -458,72 +892,156 @@ impl Column {
 
     /// Casts the column to `target` (pandas `astype`). Fails on values that
     /// cannot be represented (e.g. `'abc'` → int), like pandas does.
+    /// String parses are memoized per dictionary entry, but errors still
+    /// surface at the first *row* referencing a bad entry.
     pub fn cast(&self, target: DType) -> Result<Column> {
         if self.dtype() == target {
             return Ok(self.clone());
         }
-        let values = self.values();
         match target {
             DType::Int64 => {
-                let mut out = Vec::with_capacity(values.len());
-                for v in &values {
-                    out.push(match v {
-                        Value::Null => None,
-                        Value::Int(i) => Some(*i),
-                        Value::Float(f) if f.is_nan() => None,
-                        Value::Float(f) => Some(*f as i64),
-                        Value::Bool(b) => Some(*b as i64),
-                        Value::Str(s) => Some(s.trim().parse::<i64>().or_else(|_| {
-                            s.trim().parse::<f64>().map(|f| f as i64)
-                        }).map_err(|_| FrameError::CastError {
-                            value: format!("'{s}'"),
-                            target: "int64".to_string(),
-                        })?),
-                    });
-                }
+                let out = match self {
+                    Column::Float(b) => Buffer {
+                        values: b.values.iter().map(|&f| f as i64).collect(),
+                        validity: b.validity.clone(),
+                    },
+                    Column::Bool(b) => Buffer {
+                        values: b.values.iter().map(|&x| x as i64).collect(),
+                        validity: b.validity.clone(),
+                    },
+                    Column::Str(d) => {
+                        let mut parsed: Vec<Option<i64>> = vec![None; d.pool.len()];
+                        let mut values = Vec::with_capacity(d.len());
+                        for i in 0..d.len() {
+                            if !d.validity.get(i) {
+                                values.push(0);
+                                continue;
+                            }
+                            let c = d.codes[i] as usize;
+                            let v = match parsed[c] {
+                                Some(v) => v,
+                                None => {
+                                    let s = &d.pool[c];
+                                    let v = s
+                                        .trim()
+                                        .parse::<i64>()
+                                        .or_else(|_| s.trim().parse::<f64>().map(|f| f as i64))
+                                        .map_err(|_| FrameError::CastError {
+                                            value: format!("'{s}'"),
+                                            target: "int64".to_string(),
+                                        })?;
+                                    parsed[c] = Some(v);
+                                    v
+                                }
+                            };
+                            values.push(v);
+                        }
+                        Buffer {
+                            values,
+                            validity: d.validity.clone(),
+                        }
+                    }
+                    Column::Int(b) => b.clone(),
+                };
                 Ok(Column::Int(out))
             }
             DType::Float64 => {
-                let mut out = Vec::with_capacity(values.len());
-                for v in &values {
-                    out.push(match v {
-                        Value::Null => None,
-                        Value::Int(i) => Some(*i as f64),
-                        Value::Float(f) => Some(*f),
-                        Value::Bool(b) => Some(*b as i64 as f64),
-                        Value::Str(s) => {
-                            Some(s.trim().parse::<f64>().map_err(|_| FrameError::CastError {
-                                value: format!("'{s}'"),
-                                target: "float64".to_string(),
-                            })?)
+                let out = match self {
+                    Column::Int(b) => Column::Float(Buffer {
+                        values: b.values.iter().map(|&x| x as f64).collect(),
+                        validity: b.validity.clone(),
+                    }),
+                    Column::Bool(b) => Column::Float(Buffer {
+                        values: b.values.iter().map(|&x| x as i64 as f64).collect(),
+                        validity: b.validity.clone(),
+                    }),
+                    Column::Str(d) => {
+                        let mut parsed: Vec<Option<f64>> = vec![None; d.pool.len()];
+                        let mut values = Vec::with_capacity(d.len());
+                        for i in 0..d.len() {
+                            if !d.validity.get(i) {
+                                values.push(None);
+                                continue;
+                            }
+                            let c = d.codes[i] as usize;
+                            let v = match parsed[c] {
+                                Some(v) => v,
+                                None => {
+                                    let s = &d.pool[c];
+                                    let v = s.trim().parse::<f64>().map_err(|_| {
+                                        FrameError::CastError {
+                                            value: format!("'{s}'"),
+                                            target: "float64".to_string(),
+                                        }
+                                    })?;
+                                    parsed[c] = Some(v);
+                                    v
+                                }
+                            };
+                            values.push(Some(v));
                         }
-                    });
-                }
-                Ok(Column::Float(out))
+                        // Through from_floats so a parsed NaN (e.g. "nan")
+                        // canonicalizes to null.
+                        Column::from_floats(values)
+                    }
+                    Column::Float(b) => Column::Float(b.clone()),
+                };
+                Ok(out)
             }
-            DType::Str => Ok(Column::Str(
-                values
-                    .iter()
-                    .map(|v| {
-                        if v.is_null() {
-                            None
-                        } else {
-                            Some(v.to_string())
+            DType::Str => {
+                let mut b = StrBuilder::with_capacity(self.len());
+                match self {
+                    Column::Int(src) => {
+                        for i in 0..src.len() {
+                            match src.get(i) {
+                                Some(v) => b.push_str(&v.to_string()),
+                                None => b.push_null(),
+                            }
                         }
-                    })
-                    .collect(),
-            )),
-            DType::Bool => {
-                let mut out = Vec::with_capacity(values.len());
-                for v in &values {
-                    out.push(match v {
-                        Value::Null => None,
-                        Value::Bool(b) => Some(*b),
-                        Value::Int(i) => Some(*i != 0),
-                        Value::Float(f) => Some(*f != 0.0),
-                        Value::Str(s) => Some(!s.is_empty()),
-                    });
+                    }
+                    Column::Float(src) => {
+                        for i in 0..src.len() {
+                            match src.get(i) {
+                                Some(v) => b.push_str(&format!("{v}")),
+                                None => b.push_null(),
+                            }
+                        }
+                    }
+                    Column::Bool(src) => {
+                        for i in 0..src.len() {
+                            match src.get(i) {
+                                Some(true) => b.push_str("True"),
+                                Some(false) => b.push_str("False"),
+                                None => b.push_null(),
+                            }
+                        }
+                    }
+                    Column::Str(_) => unreachable!("same-dtype cast returned above"),
                 }
+                Ok(Column::Str(b.finish()))
+            }
+            DType::Bool => {
+                let out = match self {
+                    Column::Int(b) => Buffer {
+                        values: b.values.iter().map(|&x| x != 0).collect(),
+                        validity: b.validity.clone(),
+                    },
+                    Column::Float(b) => Buffer {
+                        values: b.values.iter().map(|&f| f != 0.0).collect(),
+                        validity: b.validity.clone(),
+                    },
+                    Column::Str(d) => {
+                        let truthy: Vec<bool> = d.pool.iter().map(|s| !s.is_empty()).collect();
+                        let values = (0..d.len())
+                            .map(|i| d.validity.get(i) && truthy[d.codes[i] as usize])
+                            .collect();
+                        Buffer {
+                            values,
+                            validity: d.validity.clone(),
+                        }
+                    }
+                    Column::Bool(b) => b.clone(),
+                };
                 Ok(Column::Bool(out))
             }
         }
@@ -532,10 +1050,50 @@ impl Column {
     /// Concatenates another column of the same dtype below this one.
     pub fn append(&mut self, other: &Column) -> Result<()> {
         match (self, other) {
-            (Column::Int(a), Column::Int(b)) => a.extend_from_slice(b),
-            (Column::Float(a), Column::Float(b)) => a.extend_from_slice(b),
-            (Column::Str(a), Column::Str(b)) => a.extend_from_slice(b),
-            (Column::Bool(a), Column::Bool(b)) => a.extend_from_slice(b),
+            (Column::Int(a), Column::Int(b)) => {
+                a.values.extend_from_slice(&b.values);
+                a.validity.extend(&b.validity);
+            }
+            (Column::Float(a), Column::Float(b)) => {
+                a.values.extend_from_slice(&b.values);
+                a.validity.extend(&b.validity);
+            }
+            (Column::Bool(a), Column::Bool(b)) => {
+                a.values.extend_from_slice(&b.values);
+                a.validity.extend(&b.validity);
+            }
+            (Column::Str(a), Column::Str(b)) => {
+                // Remap the incoming codes into this column's pool. Both
+                // pools are internally distinct, so any entry missing from
+                // ours is new exactly once.
+                let index: HashMap<&str, u32> = a
+                    .pool
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.as_str(), i as u32))
+                    .collect();
+                let mut remap = Vec::with_capacity(b.pool.len());
+                let mut new_entries: Vec<String> = Vec::new();
+                for s in &b.pool {
+                    match index.get(s.as_str()) {
+                        Some(&c) => remap.push(c),
+                        None => {
+                            remap.push((a.pool.len() + new_entries.len()) as u32);
+                            new_entries.push(s.clone());
+                        }
+                    }
+                }
+                drop(index);
+                a.pool.extend(new_entries);
+                for i in 0..b.len() {
+                    if b.validity.get(i) {
+                        a.codes.push(remap[b.codes[i] as usize]);
+                    } else {
+                        a.codes.push(0);
+                    }
+                }
+                a.validity.extend(&b.validity);
+            }
             (a, b) => {
                 return Err(FrameError::TypeMismatch {
                     op: "append".to_string(),
@@ -626,6 +1184,55 @@ mod tests {
     }
 
     #[test]
+    fn nan_is_canonicalized_to_null_at_construction() {
+        // The bitmap is the single source of missingness: NaN never lands
+        // in the value buffer, so fillna / isna / count agree with the
+        // `Value::is_null` NaN rule without any per-kernel NaN checks.
+        let c = Column::from_floats(vec![Some(1.0), Some(f64::NAN), None]);
+        if let Column::Float(b) = &c {
+            assert!(b.data().iter().all(|f| !f.is_nan()));
+            assert!(!b.validity().get(1));
+        } else {
+            panic!("expected Float column");
+        }
+        assert_eq!(c.get(1).unwrap(), Value::Null);
+        assert!(Value::Float(f64::NAN).is_null());
+        let filled = c.fill_na(&Value::Float(0.5)).unwrap();
+        assert_eq!(
+            filled.values(),
+            vec![Value::Float(1.0), Value::Float(0.5), Value::Float(0.5)]
+        );
+        assert_eq!(c.len() - c.null_count(), 1);
+        // from_values applies the same canonicalization.
+        let v = Column::from_values(&[Value::Float(f64::NAN), Value::Float(2.0)]);
+        assert_eq!(v.null_count(), 1);
+        assert_eq!(v.get(0).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn string_columns_are_dictionary_encoded() {
+        let c = Column::from_strs(vec![
+            Some("a".into()),
+            Some("b".into()),
+            Some("a".into()),
+            None,
+        ]);
+        if let Column::Str(d) = &c {
+            assert_eq!(d.pool().len(), 2);
+            assert_eq!(d.codes()[0], d.codes()[2]);
+            assert!(!d.validity().get(3));
+        } else {
+            panic!("expected Str column");
+        }
+        assert_eq!(c.unique(), vec![Value::Str("a".into()), Value::Str("b".into())]);
+        // Equality is semantic: a filtered column whose pool keeps
+        // unreferenced entries equals a freshly built one.
+        let mask = BoolMask::new(vec![true, false, true, false]);
+        let f = c.filter(&mask).unwrap();
+        assert_eq!(f, Column::from_strs(vec![Some("a".into()), Some("a".into())]));
+    }
+
+    #[test]
     fn fill_na_variants() {
         let c = ages();
         let filled = c.fill_na(&Value::Int(0)).unwrap();
@@ -698,5 +1305,57 @@ mod tests {
         c.append(&Column::from_ints(vec![Some(2)])).unwrap();
         assert_eq!(c.len(), 2);
         assert!(c.append(&Column::from_strs(vec![Some("x".into())])).is_err());
+    }
+
+    #[test]
+    fn append_remaps_dictionary_codes() {
+        let mut c = Column::from_strs(vec![Some("a".into()), Some("b".into())]);
+        c.append(&Column::from_strs(vec![Some("b".into()), None, Some("c".into())]))
+            .unwrap();
+        assert_eq!(
+            c.values(),
+            vec![
+                Value::Str("a".into()),
+                Value::Str("b".into()),
+                Value::Str("b".into()),
+                Value::Null,
+                Value::Str("c".into()),
+            ]
+        );
+        if let Column::Str(d) = &c {
+            // Pool stays deduplicated across the append.
+            assert_eq!(d.pool().len(), 3);
+        } else {
+            panic!("expected Str column");
+        }
+    }
+
+    #[test]
+    fn keys_match_per_value_keys() {
+        let cols = vec![
+            ages(),
+            Column::from_floats(vec![Some(1.5), None, Some(2.0), Some(-0.0)]),
+            Column::from_strs(vec![Some("x".into()), None, Some("x".into())]),
+            Column::from_bools(vec![Some(true), None, Some(false)]),
+        ];
+        for c in cols {
+            let expect: Vec<ValueKey> = c.values().iter().map(Value::key).collect();
+            assert_eq!(c.keys(), expect);
+        }
+    }
+
+    #[test]
+    fn as_mask_reads_bool_and_int_columns() {
+        let b = Column::from_bools(vec![Some(true), None, Some(false)]);
+        assert_eq!(
+            b.as_mask().unwrap().to_bools(),
+            vec![true, false, false]
+        );
+        let i = Column::from_ints(vec![Some(2), Some(0), None]);
+        assert_eq!(
+            i.as_mask().unwrap().to_bools(),
+            vec![true, false, false]
+        );
+        assert!(Column::from_strs(vec![Some("x".into())]).as_mask().is_none());
     }
 }

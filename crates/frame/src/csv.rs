@@ -1,6 +1,6 @@
 //! CSV reading and writing with type inference and RFC-4180 quoting.
 
-use crate::column::Column;
+use crate::column::{Column, StrBuilder};
 use crate::error::{FrameError, Result};
 use crate::frame::DataFrame;
 use crate::value::Value;
@@ -165,22 +165,33 @@ fn infer_column(raw: &[Option<String>]) -> Column {
         }
     }
     if !any {
-        return Column::Float(vec![None; raw.len()]);
+        return Column::from_floats(vec![None; raw.len()]);
     }
     if all_int {
-        Column::Int(
+        Column::from_ints(
             raw.iter()
                 .map(|f| f.as_ref().map(|s| s.trim().parse::<i64>().expect("checked")))
                 .collect(),
         )
     } else if all_num {
-        Column::Float(
+        // `from_floats` canonicalizes parsed NaN (e.g. a literal "nan"
+        // field) to null at ingest.
+        Column::from_floats(
             raw.iter()
                 .map(|f| f.as_ref().map(|s| s.trim().parse::<f64>().expect("checked")))
                 .collect(),
         )
     } else {
-        Column::Str(raw.to_vec())
+        // Dictionary-encode at parse time: each distinct field is stored
+        // once, rows carry u32 codes.
+        let mut b = StrBuilder::with_capacity(raw.len());
+        for field in raw {
+            match field {
+                Some(s) => b.push_str(s),
+                None => b.push_null(),
+            }
+        }
+        Column::Str(b.finish())
     }
 }
 

@@ -1,6 +1,7 @@
 //! The [`DataFrame`]: an ordered collection of named, equal-length columns.
 
-use crate::column::{Column, DType};
+use crate::bitmap::Bitmap;
+use crate::column::{Buffer, Column, DType};
 use crate::error::{FrameError, Result};
 use crate::mask::BoolMask;
 use crate::value::{Value, ValueKey};
@@ -305,13 +306,21 @@ impl DataFrame {
         self.select(&keep).expect("columns exist")
     }
 
+    /// Canonical hashable keys for every row at once, one key vector per
+    /// column computed columnar (no per-cell `Value`).
+    pub fn column_keys(&self) -> Vec<Vec<ValueKey>> {
+        self.columns.iter().map(|c| c.keys()).collect()
+    }
+
     /// Drops duplicate rows, keeping the first occurrence
     /// (pandas `df.drop_duplicates()`).
     pub fn drop_duplicates(&self) -> DataFrame {
+        let col_keys = self.column_keys();
         let mut seen = HashSet::new();
         let mut keep = Vec::with_capacity(self.n_rows());
         for i in 0..self.n_rows() {
-            keep.push(seen.insert(self.row_key(i).expect("in bounds")));
+            let key: Vec<ValueKey> = col_keys.iter().map(|k| k[i].clone()).collect();
+            keep.push(seen.insert(key));
         }
         self.filter(&BoolMask::new(keep)).expect("length matches")
     }
@@ -392,13 +401,39 @@ impl DataFrame {
             }
             let cats = col.unique();
             let skip = usize::from(drop_first);
+            // Dummy columns are all-valid Int: null source rows encode 0.
+            let n = col.len();
+            let generic_vals = match &**col {
+                Column::Str(_) => None,
+                _ => Some(col.values()),
+            };
             for cat in cats.iter().skip(skip) {
-                let bits: Vec<Option<i64>> = col
-                    .values()
-                    .iter()
-                    .map(|v| Some(i64::from(v.loose_eq(cat))))
-                    .collect();
-                df.add_column(format!("{name}_{cat}"), Column::Int(bits))?;
+                let values: Vec<i64> = match (&**col, cat) {
+                    (Column::Str(d), Value::Str(s)) => {
+                        // One pool lookup, then a pass over the codes.
+                        let code = d.code_of(s);
+                        (0..n)
+                            .map(|i| {
+                                i64::from(
+                                    d.validity().get(i) && code == Some(d.codes()[i]),
+                                )
+                            })
+                            .collect()
+                    }
+                    _ => generic_vals
+                        .as_ref()
+                        .expect("non-string target materialized")
+                        .iter()
+                        .map(|v| i64::from(v.loose_eq(cat)))
+                        .collect(),
+                };
+                df.add_column(
+                    format!("{name}_{cat}"),
+                    Column::Int(Buffer {
+                        values,
+                        validity: Bitmap::new_set(n),
+                    }),
+                )?;
             }
         }
         Ok(df)
@@ -449,8 +484,8 @@ impl DataFrame {
         };
         let new: Vec<Value> = base
             .into_iter()
-            .zip(mask.bits())
-            .map(|(old, &m)| if m { value.clone() } else { old })
+            .zip(mask.iter())
+            .map(|(old, m)| if m { value.clone() } else { old })
             .collect();
         self.set_column(name, Column::from_values(&new))
     }

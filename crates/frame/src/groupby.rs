@@ -1,4 +1,9 @@
 //! Group-by aggregation (pandas `df.groupby(keys)[col].agg(...)`).
+//!
+//! Keys are materialized once per key column as canonical [`ValueKey`]s
+//! (columnar, no per-cell `Value`), and the key columns of the result are
+//! gathered with [`Column::take`] from each group's first row, preserving
+//! dtype and dictionary encoding.
 
 use crate::column::Column;
 use crate::error::{FrameError, Result};
@@ -38,6 +43,16 @@ impl AggFn {
     }
 }
 
+/// The cell at `i` as f64 (null → None, strings never coerce).
+fn num_at(col: &Column, i: usize) -> Option<f64> {
+    match col {
+        Column::Int(b) => b.get(i).map(|x| x as f64),
+        Column::Float(b) => b.get(i),
+        Column::Bool(b) => b.get(i).map(|x| if x { 1.0 } else { 0.0 }),
+        Column::Str(_) => None,
+    }
+}
+
 /// Groups `df` by `keys` and aggregates `value_col` with `agg`.
 ///
 /// The result has one row per distinct key combination (in first-seen
@@ -56,42 +71,35 @@ pub fn group_agg(
         .iter()
         .map(|k| df.column(k.as_ref()))
         .collect::<Result<_>>()?;
-    let values = df.column(value_col)?;
+    let value_column = df.column(value_col)?;
+    let n = df.n_rows();
 
-    let mut order: Vec<Vec<ValueKey>> = Vec::new();
-    let mut groups: HashMap<Vec<ValueKey>, (Vec<Value>, Vec<f64>)> = HashMap::new();
-    for i in 0..df.n_rows() {
-        let key_vals: Vec<Value> = key_cols
-            .iter()
-            .map(|c| c.get(i))
-            .collect::<Result<_>>()?;
-        if key_vals.iter().any(Value::is_null) {
+    // Canonical keys, one vector per key column, computed in one pass each.
+    let key_keys: Vec<Vec<ValueKey>> = key_cols.iter().map(|c| c.keys()).collect();
+
+    let mut first_rows: Vec<usize> = Vec::new();
+    let mut group_vals: Vec<Vec<f64>> = Vec::new();
+    let mut groups: HashMap<Vec<ValueKey>, usize> = HashMap::new();
+    for i in 0..n {
+        if key_keys.iter().any(|k| k[i] == ValueKey::Null) {
             continue;
         }
-        let key: Vec<ValueKey> = key_vals.iter().map(Value::key).collect();
-        let entry = groups.entry(key.clone()).or_insert_with(|| {
-            order.push(key);
-            (key_vals, Vec::new())
+        let key: Vec<ValueKey> = key_keys.iter().map(|k| k[i].clone()).collect();
+        let g = *groups.entry(key).or_insert_with(|| {
+            first_rows.push(i);
+            group_vals.push(Vec::new());
+            group_vals.len() - 1
         });
-        if let Some(v) = values.get(i)?.as_f64() {
-            entry.1.push(v);
+        if let Some(v) = num_at(value_column, i) {
+            group_vals[g].push(v);
         }
-    }
-
-    let mut key_out: Vec<Vec<Value>> = vec![Vec::new(); keys.len()];
-    let mut agg_out: Vec<Value> = Vec::new();
-    for key in &order {
-        let (key_vals, vals) = &groups[key];
-        for (slot, v) in key_out.iter_mut().zip(key_vals) {
-            slot.push(v.clone());
-        }
-        agg_out.push(aggregate(vals, agg));
     }
 
     let mut out = DataFrame::new();
-    for (name, vals) in keys.iter().zip(key_out) {
-        out.add_column(name.as_ref(), Column::from_values(&vals))?;
+    for (name, col) in keys.iter().zip(&key_cols) {
+        out.add_column(name.as_ref(), col.take(&first_rows)?)?;
     }
+    let agg_out: Vec<Value> = group_vals.iter().map(|vals| aggregate(vals, agg)).collect();
     out.add_column(value_col, Column::from_values(&agg_out))?;
     Ok(out)
 }
@@ -213,6 +221,19 @@ mod tests {
         assert!(group_agg(&sales(), &["store"], "ghost", AggFn::Mean).is_err());
         let empty: &[&str] = &[];
         assert!(group_agg(&sales(), empty, "amount", AggFn::Mean).is_err());
+    }
+
+    #[test]
+    fn key_columns_keep_their_dtype() {
+        let out = group_agg(&sales(), &["store", "item"], "amount", AggFn::Sum).unwrap();
+        assert_eq!(
+            out.column("store").unwrap().dtype(),
+            crate::column::DType::Str
+        );
+        assert_eq!(
+            out.column("item").unwrap().dtype(),
+            crate::column::DType::Int64
+        );
     }
 
     #[test]

@@ -5,10 +5,55 @@
 //! distinct cell values* emitted by the two scripts; [`value_jaccard`]
 //! implements exactly that. [`row_jaccard`] is a stricter row-level variant
 //! useful when column structure matters.
+//!
+//! Both run columnar: value sets are built from typed buffers (string
+//! columns contribute each referenced dictionary entry exactly once), and
+//! row keys are assembled from per-column [`ValueKey`] vectors.
 
+use crate::column::Column;
 use crate::frame::DataFrame;
 use crate::value::ValueKey;
 use std::collections::HashSet;
+
+/// Inserts every distinct non-null cell of `col` into `set` as its
+/// canonical key. Strings are keyed once per referenced pool entry.
+fn insert_column_values(set: &mut HashSet<ValueKey>, col: &Column) {
+    match col {
+        Column::Int(b) => {
+            for i in 0..b.len() {
+                if let Some(x) = b.get(i) {
+                    set.insert(ValueKey::of_i64(x));
+                }
+            }
+        }
+        Column::Float(b) => {
+            for i in 0..b.len() {
+                if let Some(x) = b.get(i) {
+                    set.insert(ValueKey::of_f64(x));
+                }
+            }
+        }
+        Column::Bool(b) => {
+            for i in 0..b.len() {
+                if let Some(x) = b.get(i) {
+                    set.insert(ValueKey::of_bool(x));
+                }
+            }
+        }
+        Column::Str(d) => {
+            let mut seen = vec![false; d.pool().len()];
+            for i in 0..d.len() {
+                if d.validity().get(i) {
+                    let c = d.codes()[i] as usize;
+                    if !seen[c] {
+                        seen[c] = true;
+                        set.insert(ValueKey::of_str(&d.pool()[c]));
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// Set of distinct non-null cell values in a frame. Column names are
 /// included so that a renamed column registers as a (small) difference in
@@ -16,11 +61,7 @@ use std::collections::HashSet;
 fn value_set(df: &DataFrame) -> HashSet<ValueKey> {
     let mut set = HashSet::new();
     for (_, col) in df.iter() {
-        for v in col.values() {
-            if !v.is_null() {
-                set.insert(v.key());
-            }
-        }
+        insert_column_values(&mut set, col);
     }
     set
 }
@@ -44,13 +85,13 @@ pub fn row_jaccard(a: &DataFrame, b: &DataFrame) -> f64 {
 
 fn row_set(df: &DataFrame) -> HashSet<Vec<(String, ValueKey)>> {
     let names: Vec<String> = df.names().to_vec();
+    let col_keys: Vec<Vec<ValueKey>> = df.iter().map(|(_, c)| c.keys()).collect();
     let mut set = HashSet::new();
     for i in 0..df.n_rows() {
-        let row = df.row(i).expect("in bounds");
         let keyed: Vec<(String, ValueKey)> = names
             .iter()
             .cloned()
-            .zip(row.iter().map(crate::value::Value::key))
+            .zip(col_keys.iter().map(|k| k[i].clone()))
             .collect();
         set.insert(keyed);
     }
@@ -131,5 +172,16 @@ mod tests {
         let b = DataFrame::from_columns(vec![("x", Column::from_floats(vec![Some(1.0)]))])
             .unwrap();
         assert_eq!(value_jaccard(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn stale_pool_entries_do_not_leak_into_value_sets() {
+        // Filtering a dictionary column keeps the pool; unreferenced
+        // entries must not appear as values.
+        let df = strings(&["keep", "drop"]);
+        let mask = crate::mask::BoolMask::new(vec![true, false]);
+        let filtered = df.filter(&mask).unwrap();
+        let expected = strings(&["keep"]);
+        assert_eq!(value_jaccard(&filtered, &expected), 1.0);
     }
 }

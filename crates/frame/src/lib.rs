@@ -32,6 +32,7 @@
 //! assert_eq!(filled.column("age").unwrap().null_count(), 0);
 //! ```
 
+pub mod bitmap;
 pub mod column;
 pub mod csv;
 pub mod error;
@@ -39,9 +40,11 @@ pub mod frame;
 pub mod groupby;
 pub mod jaccard;
 pub mod mask;
+pub mod naive;
 pub mod ops;
 pub mod value;
 
+pub use bitmap::Bitmap;
 pub use column::{Column, DType};
 pub use error::FrameError;
 pub use frame::DataFrame;

@@ -1,24 +1,39 @@
 //! Boolean row masks produced by comparisons and combined with `&`/`|`/`~`.
+//!
+//! Backed by a packed [`Bitmap`], so combination is word-at-a-time and
+//! `count_true` is a popcount sweep.
 
+use crate::bitmap::Bitmap;
 use crate::error::{FrameError, Result};
 
 /// A boolean mask over rows. Nulls in the source comparison become `false`
 /// (pandas semantics: `NaN > 3` is `False`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BoolMask {
-    bits: Vec<bool>,
+    bits: Bitmap,
 }
 
 impl BoolMask {
     /// Wraps a raw bit vector.
     pub fn new(bits: Vec<bool>) -> Self {
+        BoolMask {
+            bits: Bitmap::from_bools(&bits),
+        }
+    }
+
+    /// Wraps an already-packed bitmap.
+    pub fn from_bitmap(bits: Bitmap) -> Self {
         BoolMask { bits }
     }
 
     /// A mask of `len` entries, all `value`.
     pub fn splat(value: bool, len: usize) -> Self {
         BoolMask {
-            bits: vec![value; len],
+            bits: if value {
+                Bitmap::new_set(len)
+            } else {
+                Bitmap::new_clear(len)
+            },
         }
     }
 
@@ -32,63 +47,82 @@ impl BoolMask {
         self.bits.is_empty()
     }
 
-    /// Raw bits.
-    pub fn bits(&self) -> &[bool] {
+    /// The bit at row `i` (`false` when out of range).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.bits.get(i)
+    }
+
+    /// Iterates bits in row order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.bits.iter()
+    }
+
+    /// The underlying packed bitmap.
+    pub fn bitmap(&self) -> &Bitmap {
         &self.bits
     }
 
-    /// Number of `true` entries.
-    pub fn count_true(&self) -> usize {
-        self.bits.iter().filter(|&&b| b).count()
+    /// Bits materialized as a bool vector (compat/diagnostic accessor —
+    /// kernels should iterate or take the bitmap instead).
+    pub fn bits(&self) -> Vec<bool> {
+        self.bits.iter().collect()
     }
 
-    /// Element-wise AND.
+    /// Bits materialized as a bool vector.
+    pub fn to_bools(&self) -> Vec<bool> {
+        self.bits.iter().collect()
+    }
+
+    /// Number of `true` entries (popcount).
+    pub fn count_true(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    /// Element-wise AND (word-wise over packed bits).
     pub fn and(&self, other: &BoolMask) -> Result<BoolMask> {
-        self.zip(other, |a, b| a && b, "&")
+        self.check_len(other, "&")?;
+        Ok(BoolMask {
+            bits: self.bits.and(&other.bits),
+        })
     }
 
     /// Element-wise OR.
     pub fn or(&self, other: &BoolMask) -> Result<BoolMask> {
-        self.zip(other, |a, b| a || b, "|")
+        self.check_len(other, "|")?;
+        Ok(BoolMask {
+            bits: self.bits.or(&other.bits),
+        })
     }
 
     /// Element-wise XOR.
     pub fn xor(&self, other: &BoolMask) -> Result<BoolMask> {
-        self.zip(other, |a, b| a != b, "^")
+        self.check_len(other, "^")?;
+        Ok(BoolMask {
+            bits: self.bits.xor(&other.bits),
+        })
     }
 
     /// Element-wise NOT.
     pub fn not(&self) -> BoolMask {
         BoolMask {
-            bits: self.bits.iter().map(|b| !b).collect(),
+            bits: self.bits.not(),
         }
     }
 
     /// Indices of `true` entries.
     pub fn true_indices(&self) -> Vec<usize> {
-        self.bits
-            .iter()
-            .enumerate()
-            .filter(|(_, &b)| b)
-            .map(|(i, _)| i)
-            .collect()
+        (0..self.len()).filter(|&i| self.bits.get(i)).collect()
     }
 
-    fn zip(&self, other: &BoolMask, f: impl Fn(bool, bool) -> bool, op: &str) -> Result<BoolMask> {
+    fn check_len(&self, other: &BoolMask, op: &str) -> Result<()> {
         if self.len() != other.len() {
             return Err(FrameError::TypeMismatch {
                 op: op.to_string(),
                 detail: format!("mask lengths {} vs {}", self.len(), other.len()),
             });
         }
-        Ok(BoolMask {
-            bits: self
-                .bits
-                .iter()
-                .zip(&other.bits)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-        })
+        Ok(())
     }
 }
 
@@ -125,5 +159,14 @@ mod tests {
         assert_eq!(m.count_true(), 2);
         assert_eq!(m.true_indices(), vec![0, 2]);
         assert_eq!(BoolMask::splat(false, 3).count_true(), 0);
+    }
+
+    #[test]
+    fn splat_and_bitmap_roundtrip() {
+        let m = BoolMask::splat(true, 70);
+        assert_eq!(m.count_true(), 70);
+        assert!(m.get(69) && !m.get(70));
+        let back = BoolMask::from_bitmap(m.bitmap().clone());
+        assert_eq!(back, m);
     }
 }

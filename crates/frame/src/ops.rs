@@ -1,7 +1,15 @@
 //! Element-wise operations: comparisons (producing masks), arithmetic,
 //! string methods, membership, mapping/replacement, clipping.
+//!
+//! These are the kernel hot paths of candidate execution, written as
+//! type-specialized loops over raw buffers and validity bitmaps. No
+//! per-cell `Value` is materialized on the bulk paths; `Value`s are
+//! constructed only on cold error paths (for pandas-identical messages)
+//! and where an API returns them. String work is done once per dictionary
+//! pool entry and fanned out over codes.
 
-use crate::column::Column;
+use crate::bitmap::Bitmap;
+use crate::column::{Buffer, Column, StrBuilder, StrData};
 use crate::error::{FrameError, Result};
 use crate::mask::BoolMask;
 use crate::value::{Value, ValueKey};
@@ -71,6 +79,106 @@ impl Operand<'_> {
         }
         Ok(())
     }
+
+    fn is_null_at(&self, i: usize) -> bool {
+        match self {
+            Operand::Scalar(v) => v.is_null(),
+            Operand::Column(c) => !c.validity().get(i),
+        }
+    }
+}
+
+/// A numeric column viewed as raw `f64`-convertible storage.
+enum NumCol<'a> {
+    I(&'a Buffer<i64>),
+    F(&'a Buffer<f64>),
+    B(&'a Buffer<bool>),
+}
+
+impl NumCol<'_> {
+    fn len(&self) -> usize {
+        match self {
+            NumCol::I(b) => b.len(),
+            NumCol::F(b) => b.len(),
+            NumCol::B(b) => b.len(),
+        }
+    }
+
+    fn validity(&self) -> &Bitmap {
+        match self {
+            NumCol::I(b) => b.validity(),
+            NumCol::F(b) => b.validity(),
+            NumCol::B(b) => b.validity(),
+        }
+    }
+
+    #[inline]
+    fn valid(&self, i: usize) -> bool {
+        self.validity().get(i)
+    }
+
+    /// The value at `i` as f64; padding garbage when `!valid(i)`.
+    #[inline]
+    fn val(&self, i: usize) -> f64 {
+        match self {
+            NumCol::I(b) => b.values[i] as f64,
+            NumCol::F(b) => b.values[i],
+            NumCol::B(b) => b.values[i] as i64 as f64,
+        }
+    }
+}
+
+fn num_col(col: &Column) -> Option<NumCol<'_>> {
+    match col {
+        Column::Int(b) => Some(NumCol::I(b)),
+        Column::Float(b) => Some(NumCol::F(b)),
+        Column::Bool(b) => Some(NumCol::B(b)),
+        Column::Str(_) => None,
+    }
+}
+
+/// A borrowed cell for the generic comparison path: loose pandas
+/// semantics collapse every non-null cell to either a number or a string.
+#[derive(Clone, Copy)]
+enum Cell<'a> {
+    Null,
+    Num(f64),
+    S(&'a str),
+}
+
+fn col_cell(col: &Column, i: usize) -> Cell<'_> {
+    match col {
+        Column::Int(b) => b.get(i).map_or(Cell::Null, |x| Cell::Num(x as f64)),
+        Column::Float(b) => b.get(i).map_or(Cell::Null, Cell::Num),
+        Column::Bool(b) => b.get(i).map_or(Cell::Null, |x| Cell::Num(x as i64 as f64)),
+        Column::Str(d) => d.get(i).map_or(Cell::Null, Cell::S),
+    }
+}
+
+fn scalar_cell(v: &Value) -> Cell<'_> {
+    if let Value::Str(s) = v {
+        Cell::S(s)
+    } else {
+        // Null, NaN, and anything non-numeric collapse to Null; Int /
+        // Float / Bool go through the same f64 coercion as `loose_eq`.
+        v.as_f64().map_or(Cell::Null, Cell::Num)
+    }
+}
+
+fn cell_eq(a: Cell, b: Cell) -> bool {
+    match (a, b) {
+        (Cell::S(x), Cell::S(y)) => x == y,
+        (Cell::Num(x), Cell::Num(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn cell_cmp(a: Cell, b: Cell) -> Option<std::cmp::Ordering> {
+    match (a, b) {
+        (Cell::S(x), Cell::S(y)) => Some(x.cmp(y)),
+        (Cell::Num(x), Cell::Num(y)) => x.partial_cmp(&y),
+        _ => None,
+    }
 }
 
 /// Compares `col` against `rhs` element-wise. Comparisons involving nulls
@@ -79,24 +187,83 @@ impl Operand<'_> {
 /// error path that makes LucidScript's execution constraint meaningful.
 pub fn compare(col: &Column, op: CmpOp, rhs: &Operand) -> Result<BoolMask> {
     rhs.check_len(col.len())?;
-    let mut bits = Vec::with_capacity(col.len());
-    for i in 0..col.len() {
-        let a = col.get(i)?;
-        let b = rhs.get(i)?;
-        let bit = match op {
-            CmpOp::Eq => a.loose_eq(&b),
-            CmpOp::Ne => {
-                if a.is_null() || b.is_null() {
-                    false
-                } else {
-                    !a.loose_eq(&b)
+    let n = col.len();
+
+    // Fast path: numeric column against a numeric scalar — one branch per
+    // row over the raw slice.
+    if let Operand::Scalar(s) = rhs {
+        if let (Some(l), Some(y)) = (num_col(col), s.as_f64()) {
+            let mut bits = Bitmap::new_clear(n);
+            for i in 0..n {
+                if l.valid(i) {
+                    let x = l.val(i);
+                    let hit = match op {
+                        CmpOp::Lt => x < y,
+                        CmpOp::Gt => x > y,
+                        CmpOp::Le => x <= y,
+                        CmpOp::Ge => x >= y,
+                        CmpOp::Eq => x == y,
+                        CmpOp::Ne => x != y,
+                    };
+                    if hit {
+                        bits.set(i, true);
+                    }
                 }
             }
+            return Ok(BoolMask::from_bitmap(bits));
+        }
+        // Fast path: string column against a string scalar — the
+        // comparison runs once per dictionary entry, then fans out.
+        if let (Column::Str(d), Value::Str(pat)) = (col, s) {
+            let table: Vec<bool> = d
+                .pool
+                .iter()
+                .map(|e| {
+                    let ord = e.as_str().cmp(pat.as_str());
+                    match op {
+                        CmpOp::Lt => ord.is_lt(),
+                        CmpOp::Gt => ord.is_gt(),
+                        CmpOp::Le => ord.is_le(),
+                        CmpOp::Ge => ord.is_ge(),
+                        CmpOp::Eq => ord.is_eq(),
+                        CmpOp::Ne => ord.is_ne(),
+                    }
+                })
+                .collect();
+            let mut bits = Bitmap::new_clear(n);
+            for i in 0..n {
+                if d.validity.get(i) && table[d.codes[i] as usize] {
+                    bits.set(i, true);
+                }
+            }
+            return Ok(BoolMask::from_bitmap(bits));
+        }
+    }
+
+    // General path: typed cells, no per-row Value allocation. Values are
+    // materialized only to format the pandas-style ordering error.
+    let scalar = match rhs {
+        Operand::Scalar(v) => Some(scalar_cell(v)),
+        Operand::Column(_) => None,
+    };
+    let mut bits = Bitmap::new_clear(n);
+    for i in 0..n {
+        let a = col_cell(col, i);
+        let b = match (&scalar, rhs) {
+            (Some(c), _) => *c,
+            (None, Operand::Column(c)) => col_cell(c, i),
+            (None, Operand::Scalar(_)) => unreachable!("scalar cell precomputed"),
+        };
+        let bit = match op {
+            CmpOp::Eq => cell_eq(a, b),
+            CmpOp::Ne => {
+                !matches!(a, Cell::Null) && !matches!(b, Cell::Null) && !cell_eq(a, b)
+            }
             ordering => {
-                if a.is_null() || b.is_null() {
+                if matches!(a, Cell::Null) || matches!(b, Cell::Null) {
                     false
                 } else {
-                    match a.loose_cmp(&b) {
+                    match cell_cmp(a, b) {
                         Some(ord) => match ordering {
                             CmpOp::Lt => ord.is_lt(),
                             CmpOp::Gt => ord.is_gt(),
@@ -107,40 +274,177 @@ pub fn compare(col: &Column, op: CmpOp, rhs: &Operand) -> Result<BoolMask> {
                         None => {
                             return Err(FrameError::TypeMismatch {
                                 op: format!("{op:?}"),
-                                detail: format!("cannot order {a:?} and {b:?}"),
+                                detail: format!(
+                                    "cannot order {:?} and {:?}",
+                                    col.get(i)?,
+                                    rhs.get(i)?
+                                ),
                             })
                         }
                     }
                 }
             }
         };
-        bits.push(bit);
+        if bit {
+            bits.set(i, true);
+        }
     }
-    Ok(BoolMask::new(bits))
+    Ok(BoolMask::from_bitmap(bits))
+}
+
+fn all_null_str(n: usize) -> Column {
+    Column::Str(StrData {
+        codes: vec![0; n],
+        validity: Bitmap::new_clear(n),
+        pool: Vec::new(),
+    })
+}
+
+fn all_null_numeric(n: usize, keep_int: bool) -> Column {
+    if keep_int {
+        Column::Int(Buffer {
+            values: vec![0; n],
+            validity: Bitmap::new_clear(n),
+        })
+    } else {
+        Column::Float(Buffer {
+            values: vec![0.0; n],
+            validity: Bitmap::new_clear(n),
+        })
+    }
+}
+
+#[inline]
+fn apply_arith(op: ArithOp, x: f64, y: f64) -> f64 {
+    match op {
+        ArithOp::Add => x + y,
+        ArithOp::Sub => x - y,
+        ArithOp::Mul => x * y,
+        ArithOp::Div => x / y,
+        ArithOp::FloorDiv => (x / y).floor(),
+        ArithOp::Mod => x.rem_euclid(y),
+        ArithOp::Pow => x.powf(y),
+    }
+}
+
+fn div_zero_error(op: ArithOp) -> FrameError {
+    if op == ArithOp::Mod {
+        FrameError::Invalid("modulo by zero".to_string())
+    } else {
+        FrameError::Invalid("division by zero".to_string())
+    }
+}
+
+/// Packs computed f64s into the result column: Int when the int-preserving
+/// rule holds, otherwise Float with computed NaN (e.g. from `**`)
+/// canonicalized to null.
+fn finish_numeric(mut values: Vec<f64>, mut validity: Bitmap, keep_int: bool) -> Column {
+    if keep_int {
+        Column::Int(Buffer {
+            values: values.iter().map(|&f| f as i64).collect(),
+            validity,
+        })
+    } else {
+        for (i, v) in values.iter_mut().enumerate() {
+            if validity.get(i) && v.is_nan() {
+                validity.set(i, false);
+                *v = 0.0;
+            }
+        }
+        Column::Float(Buffer { values, validity })
+    }
+}
+
+fn arith_scalar(l: &NumCol, op: ArithOp, y: f64, keep_int: bool) -> Result<Column> {
+    let n = l.len();
+    let divlike = matches!(op, ArithOp::Div | ArithOp::FloorDiv | ArithOp::Mod);
+    if divlike && y == 0.0 {
+        // The per-cell loop would hit the zero divisor at the first
+        // non-null row; all-null columns never reach it.
+        if (0..n).any(|i| l.valid(i)) {
+            return Err(div_zero_error(op));
+        }
+        return Ok(all_null_numeric(n, keep_int));
+    }
+    let mut values = Vec::with_capacity(n);
+    let validity = l.validity().clone();
+    for i in 0..n {
+        if validity.get(i) {
+            values.push(apply_arith(op, l.val(i), y));
+        } else {
+            values.push(0.0);
+        }
+    }
+    Ok(finish_numeric(values, validity, keep_int))
+}
+
+fn arith_cols(l: &NumCol, r: &NumCol, op: ArithOp, keep_int: bool) -> Result<Column> {
+    let n = l.len();
+    let divlike = matches!(op, ArithOp::Div | ArithOp::FloorDiv | ArithOp::Mod);
+    let mut values = Vec::with_capacity(n);
+    let mut validity = Bitmap::new_clear(n);
+    for i in 0..n {
+        if l.valid(i) && r.valid(i) {
+            let y = r.val(i);
+            if divlike && y == 0.0 {
+                return Err(div_zero_error(op));
+            }
+            values.push(apply_arith(op, l.val(i), y));
+            validity.set(i, true);
+        } else {
+            values.push(0.0);
+        }
+    }
+    Ok(finish_numeric(values, validity, keep_int))
 }
 
 /// Element-wise arithmetic. Nulls propagate. String `+` concatenates;
 /// every other string arithmetic is a type error.
 pub fn arith(col: &Column, op: ArithOp, rhs: &Operand) -> Result<Column> {
     rhs.check_len(col.len())?;
+    let n = col.len();
+
     // String concatenation special case.
-    if col.dtype() == crate::column::DType::Str && op == ArithOp::Add {
-        let mut out = Vec::with_capacity(col.len());
-        for i in 0..col.len() {
-            let a = col.get(i)?;
-            let b = rhs.get(i)?;
-            out.push(match (a, b) {
-                (Value::Str(x), Value::Str(y)) => Some(x + &y),
-                (Value::Null, _) | (_, Value::Null) => None,
-                (a, b) => {
-                    return Err(FrameError::TypeMismatch {
-                        op: "+".to_string(),
-                        detail: format!("cannot concatenate {a:?} and {b:?}"),
-                    })
+    if let (Column::Str(d), ArithOp::Add) = (col, op) {
+        return match rhs {
+            Operand::Scalar(Value::Str(y)) => {
+                // One concatenation per dictionary entry, codes unchanged.
+                Ok(Column::Str(d.map_pool(|s| format!("{s}{y}"))))
+            }
+            Operand::Scalar(Value::Null) => Ok(all_null_str(n)),
+            Operand::Scalar(v) => match (0..n).find(|&i| d.validity.get(i)) {
+                Some(i) => Err(FrameError::TypeMismatch {
+                    op: "+".to_string(),
+                    detail: format!("cannot concatenate {:?} and {v:?}", col.get(i)?),
+                }),
+                None => Ok(all_null_str(n)),
+            },
+            Operand::Column(c) => match c {
+                Column::Str(e) => {
+                    let mut b = StrBuilder::with_capacity(n);
+                    for i in 0..n {
+                        match (d.get(i), e.get(i)) {
+                            (Some(x), Some(y)) => b.push_str(&format!("{x}{y}")),
+                            _ => b.push_null(),
+                        }
+                    }
+                    Ok(Column::Str(b.finish()))
                 }
-            });
-        }
-        return Ok(Column::Str(out));
+                other => {
+                    match (0..n).find(|&i| d.validity.get(i) && other.validity().get(i)) {
+                        Some(i) => Err(FrameError::TypeMismatch {
+                            op: "+".to_string(),
+                            detail: format!(
+                                "cannot concatenate {:?} and {:?}",
+                                col.get(i)?,
+                                other.get(i)?
+                            ),
+                        }),
+                        None => Ok(all_null_str(n)),
+                    }
+                }
+            },
+        };
     }
 
     let int_lhs = matches!(col, Column::Int(_) | Column::Bool(_));
@@ -156,56 +460,37 @@ pub fn arith(col: &Column, op: ArithOp, rhs: &Operand) -> Result<Column> {
             ArithOp::Add | ArithOp::Sub | ArithOp::Mul | ArithOp::FloorDiv | ArithOp::Mod
         );
 
-    let mut out = Vec::with_capacity(col.len());
-    for i in 0..col.len() {
-        let a = col.get(i)?;
-        let b = rhs.get(i)?;
-        if a.is_null() || b.is_null() {
-            out.push(None);
-            continue;
+    if let Some(l) = num_col(col) {
+        match rhs {
+            Operand::Scalar(v) => {
+                if v.is_null() {
+                    // Null (or NaN) scalar: every row null-propagates.
+                    return Ok(all_null_numeric(n, keep_int));
+                }
+                if let Some(y) = v.as_f64() {
+                    return arith_scalar(&l, op, y, keep_int);
+                }
+            }
+            Operand::Column(c) => {
+                if let Some(r) = num_col(c) {
+                    return arith_cols(&l, &r, op, keep_int);
+                }
+            }
         }
-        let (x, y) = match (a.as_f64(), b.as_f64()) {
-            (Some(x), Some(y)) => (x, y),
-            _ => {
-                return Err(FrameError::TypeMismatch {
-                    op: format!("{op:?}"),
-                    detail: format!("non-numeric operands {a:?}, {b:?}"),
-                })
-            }
-        };
-        let v = match op {
-            ArithOp::Add => x + y,
-            ArithOp::Sub => x - y,
-            ArithOp::Mul => x * y,
-            ArithOp::Div => {
-                if y == 0.0 {
-                    return Err(FrameError::Invalid("division by zero".to_string()));
-                }
-                x / y
-            }
-            ArithOp::FloorDiv => {
-                if y == 0.0 {
-                    return Err(FrameError::Invalid("division by zero".to_string()));
-                }
-                (x / y).floor()
-            }
-            ArithOp::Mod => {
-                if y == 0.0 {
-                    return Err(FrameError::Invalid("modulo by zero".to_string()));
-                }
-                x.rem_euclid(y)
-            }
-            ArithOp::Pow => x.powf(y),
-        };
-        out.push(Some(v));
     }
-    if keep_int {
-        Ok(Column::Int(
-            out.into_iter().map(|o| o.map(|f| f as i64)).collect(),
-        ))
-    } else {
-        Ok(Column::Float(out))
+
+    // A non-numeric side is involved (string column or string scalar):
+    // the first row where both sides are non-null is pandas' TypeError;
+    // if no such row exists, every row null-propagates.
+    for i in 0..n {
+        if col.validity().get(i) && !rhs.is_null_at(i) {
+            return Err(FrameError::TypeMismatch {
+                op: format!("{op:?}"),
+                detail: format!("non-numeric operands {:?}, {:?}", col.get(i)?, rhs.get(i)?),
+            });
+        }
     }
+    Ok(all_null_numeric(n, keep_int))
 }
 
 /// pandas `Series.between(lo, hi)` — inclusive on both ends.
@@ -218,12 +503,45 @@ pub fn between(col: &Column, lo: &Value, hi: &Value) -> Result<BoolMask> {
 /// pandas `Series.isin(values)`.
 pub fn isin(col: &Column, values: &[Value]) -> BoolMask {
     let keys: std::collections::HashSet<ValueKey> = values.iter().map(Value::key).collect();
-    let bits = col
-        .values()
-        .into_iter()
-        .map(|v| !v.is_null() && keys.contains(&v.key()))
-        .collect();
-    BoolMask::new(bits)
+    let n = col.len();
+    let mut bits = Bitmap::new_clear(n);
+    match col {
+        Column::Int(b) => {
+            for i in 0..n {
+                if b.validity.get(i) && keys.contains(&ValueKey::of_i64(b.values[i])) {
+                    bits.set(i, true);
+                }
+            }
+        }
+        Column::Float(b) => {
+            for i in 0..n {
+                if b.validity.get(i) && keys.contains(&ValueKey::of_f64(b.values[i])) {
+                    bits.set(i, true);
+                }
+            }
+        }
+        Column::Bool(b) => {
+            for i in 0..n {
+                if b.validity.get(i) && keys.contains(&ValueKey::of_bool(b.values[i])) {
+                    bits.set(i, true);
+                }
+            }
+        }
+        Column::Str(d) => {
+            // Membership is decided once per dictionary entry.
+            let member: Vec<bool> = d
+                .pool
+                .iter()
+                .map(|s| keys.contains(&ValueKey::of_str(s)))
+                .collect();
+            for i in 0..n {
+                if d.validity.get(i) && member[d.codes[i] as usize] {
+                    bits.set(i, true);
+                }
+            }
+        }
+    }
+    BoolMask::from_bitmap(bits)
 }
 
 /// Supported vectorized string methods (`Series.str.*`).
@@ -239,81 +557,73 @@ pub enum StrOp {
     Title,
 }
 
+fn expect_str<'a>(col: &'a Column, op: &str) -> Result<&'a StrData> {
+    match col {
+        Column::Str(d) => Ok(d),
+        other => Err(FrameError::TypeMismatch {
+            op: op.to_string(),
+            detail: format!("column dtype is {}", other.dtype().name()),
+        }),
+    }
+}
+
 /// Applies a string method to every non-null entry. Errors on non-string
-/// columns (pandas raises `AttributeError` for `.str` on numerics).
+/// columns (pandas raises `AttributeError` for `.str` on numerics). The
+/// transform runs once per dictionary entry, not once per row.
 pub fn str_op(col: &Column, op: StrOp) -> Result<Column> {
-    let Column::Str(data) = col else {
-        return Err(FrameError::TypeMismatch {
-            op: "str accessor".to_string(),
-            detail: format!("column dtype is {}", col.dtype().name()),
-        });
-    };
-    let out = data
-        .iter()
-        .map(|x| {
-            x.as_ref().map(|s| match op {
-                StrOp::Lower => s.to_lowercase(),
-                StrOp::Upper => s.to_uppercase(),
-                StrOp::Strip => s.trim().to_string(),
-                StrOp::Title => {
-                    let mut chars = s.chars();
-                    match chars.next() {
-                        Some(first) => {
-                            first.to_uppercase().collect::<String>()
-                                + &chars.as_str().to_lowercase()
-                        }
-                        None => String::new(),
-                    }
+    let data = expect_str(col, "str accessor")?;
+    Ok(Column::Str(data.map_pool(|s| match op {
+        StrOp::Lower => s.to_lowercase(),
+        StrOp::Upper => s.to_uppercase(),
+        StrOp::Strip => s.trim().to_string(),
+        StrOp::Title => {
+            let mut chars = s.chars();
+            match chars.next() {
+                Some(first) => {
+                    first.to_uppercase().collect::<String>() + &chars.as_str().to_lowercase()
                 }
-            })
-        })
-        .collect();
-    Ok(Column::Str(out))
+                None => String::new(),
+            }
+        }
+    })))
 }
 
 /// `Series.str.contains(pattern)` — plain substring match.
 pub fn str_contains(col: &Column, pattern: &str) -> Result<BoolMask> {
-    let Column::Str(data) = col else {
-        return Err(FrameError::TypeMismatch {
-            op: "str.contains".to_string(),
-            detail: format!("column dtype is {}", col.dtype().name()),
-        });
-    };
-    Ok(BoolMask::new(
-        data.iter()
-            .map(|x| x.as_ref().is_some_and(|s| s.contains(pattern)))
-            .collect(),
-    ))
+    let data = expect_str(col, "str.contains")?;
+    let table: Vec<bool> = data.pool.iter().map(|s| s.contains(pattern)).collect();
+    let mut bits = Bitmap::new_clear(data.len());
+    for i in 0..data.len() {
+        if data.validity.get(i) && table[data.codes[i] as usize] {
+            bits.set(i, true);
+        }
+    }
+    Ok(BoolMask::from_bitmap(bits))
 }
 
 /// `Series.str.replace(from, to)` — plain substring replacement.
 pub fn str_replace(col: &Column, from: &str, to: &str) -> Result<Column> {
-    let Column::Str(data) = col else {
-        return Err(FrameError::TypeMismatch {
-            op: "str.replace".to_string(),
-            detail: format!("column dtype is {}", col.dtype().name()),
-        });
-    };
-    Ok(Column::Str(
-        data.iter()
-            .map(|x| x.as_ref().map(|s| s.replace(from, to)))
-            .collect(),
-    ))
+    let data = expect_str(col, "str.replace")?;
+    Ok(Column::Str(data.map_pool(|s| s.replace(from, to))))
 }
 
 /// `Series.str.len()`.
 pub fn str_len(col: &Column) -> Result<Column> {
-    let Column::Str(data) = col else {
-        return Err(FrameError::TypeMismatch {
-            op: "str.len".to_string(),
-            detail: format!("column dtype is {}", col.dtype().name()),
-        });
-    };
-    Ok(Column::Int(
-        data.iter()
-            .map(|x| x.as_ref().map(|s| s.chars().count() as i64))
-            .collect(),
-    ))
+    let data = expect_str(col, "str.len")?;
+    let lens: Vec<i64> = data.pool.iter().map(|s| s.chars().count() as i64).collect();
+    let values = (0..data.len())
+        .map(|i| {
+            if data.validity.get(i) {
+                lens[data.codes[i] as usize]
+            } else {
+                0
+            }
+        })
+        .collect();
+    Ok(Column::Int(Buffer {
+        values,
+        validity: data.validity.clone(),
+    }))
 }
 
 /// `Series.map({...})` — unmapped values become null (pandas `map`).
@@ -323,9 +633,9 @@ pub fn map_values(col: &Column, mapping: &[(Value, Value)]) -> Column {
         .map(|(k, v)| (k.key(), v.clone()))
         .collect();
     let out: Vec<Value> = col
-        .values()
-        .into_iter()
-        .map(|v| table.get(&v.key()).cloned().unwrap_or(Value::Null))
+        .keys()
+        .iter()
+        .map(|k| table.get(k).cloned().unwrap_or(Value::Null))
         .collect();
     Column::from_values(&out)
 }
@@ -337,63 +647,87 @@ pub fn replace_values(col: &Column, mapping: &[(Value, Value)]) -> Column {
         .map(|(k, v)| (k.key(), v.clone()))
         .collect();
     let out: Vec<Value> = col
-        .values()
-        .into_iter()
-        .map(|v| table.get(&v.key()).cloned().unwrap_or(v))
+        .keys()
+        .iter()
+        .enumerate()
+        .map(|(i, k)| {
+            table
+                .get(k)
+                .cloned()
+                .unwrap_or_else(|| col.get(i).expect("in bounds"))
+        })
         .collect();
     Column::from_values(&out)
 }
 
 /// `Series.clip(lower, upper)` on numeric columns.
 pub fn clip(col: &Column, lower: Option<f64>, upper: Option<f64>) -> Result<Column> {
-    if !col.is_numeric() {
-        return Err(FrameError::TypeMismatch {
-            op: "clip".to_string(),
-            detail: format!("column dtype is {}", col.dtype().name()),
-        });
-    }
-    let out: Vec<Option<f64>> = col
-        .values()
-        .into_iter()
-        .map(|v| {
-            v.as_f64().map(|mut x| {
-                if let Some(lo) = lower {
-                    x = x.max(lo);
-                }
-                if let Some(hi) = upper {
-                    x = x.min(hi);
-                }
-                x
-            })
-        })
-        .collect();
+    let clamp = |mut x: f64| {
+        if let Some(lo) = lower {
+            x = x.max(lo);
+        }
+        if let Some(hi) = upper {
+            x = x.min(hi);
+        }
+        x
+    };
     match col {
-        Column::Int(_) => Ok(Column::Int(
-            out.into_iter().map(|o| o.map(|f| f as i64)).collect(),
-        )),
-        _ => Ok(Column::Float(out)),
+        Column::Int(b) => Ok(Column::Int(Buffer {
+            values: b.values.iter().map(|&x| clamp(x as f64) as i64).collect(),
+            validity: b.validity.clone(),
+        })),
+        Column::Float(b) => Ok(Column::Float(Buffer {
+            values: b.values.iter().map(|&x| clamp(x)).collect(),
+            validity: b.validity.clone(),
+        })),
+        other => Err(FrameError::TypeMismatch {
+            op: "clip".to_string(),
+            detail: format!("column dtype is {}", other.dtype().name()),
+        }),
     }
 }
 
 /// Applies a unary float function (`np.log1p`, `np.sqrt`, `abs`, ...).
+/// Computed NaN (e.g. `sqrt` of a negative) canonicalizes to null.
 pub fn map_f64(col: &Column, op_name: &str, f: impl Fn(f64) -> f64) -> Result<Column> {
+    let Some(l) = num_col(col) else {
+        return Err(FrameError::TypeMismatch {
+            op: op_name.to_string(),
+            detail: format!("column dtype is {}", col.dtype().name()),
+        });
+    };
     if !col.is_numeric() {
+        // Bool columns coerce through `as_f64` per cell in the seed
+        // semantics only for numeric dtypes; keep the same contract.
         return Err(FrameError::TypeMismatch {
             op: op_name.to_string(),
             detail: format!("column dtype is {}", col.dtype().name()),
         });
     }
-    Ok(Column::Float(
-        col.values().into_iter().map(|v| v.as_f64().map(&f)).collect(),
-    ))
+    let n = l.len();
+    let mut values = Vec::with_capacity(n);
+    let mut validity = Bitmap::new_clear(n);
+    for i in 0..n {
+        if l.valid(i) {
+            let v = f(l.val(i));
+            if v.is_nan() {
+                values.push(0.0);
+            } else {
+                values.push(v);
+                validity.set(i, true);
+            }
+        } else {
+            values.push(0.0);
+        }
+    }
+    Ok(Column::Float(Buffer { values, validity }))
 }
 
 /// `np.where(mask, a, b)` with scalar branches.
 pub fn where_scalar(mask: &BoolMask, if_true: &Value, if_false: &Value) -> Column {
     let out: Vec<Value> = mask
-        .bits()
         .iter()
-        .map(|&b| if b { if_true.clone() } else { if_false.clone() })
+        .map(|b| if b { if_true.clone() } else { if_false.clone() })
         .collect();
     Column::from_values(&out)
 }
@@ -439,6 +773,15 @@ mod tests {
         assert_eq!(m.bits(), &[true, true]);
         let short = Column::from_ints(vec![Some(1)]);
         assert!(compare(&a, CmpOp::Le, &Operand::Column(&short)).is_err());
+    }
+
+    #[test]
+    fn compare_string_scalar_orders_through_pool() {
+        let c = Column::from_strs(vec![Some("a".into()), Some("c".into()), None]);
+        let m = compare(&c, CmpOp::Lt, &Operand::Scalar(Value::Str("b".into()))).unwrap();
+        assert_eq!(m.bits(), &[true, false, false]);
+        let m = compare(&c, CmpOp::Ne, &Operand::Scalar(Value::Str("a".into()))).unwrap();
+        assert_eq!(m.bits(), &[false, true, false]);
     }
 
     #[test]
@@ -489,6 +832,25 @@ mod tests {
     }
 
     #[test]
+    fn str_op_merging_pool_entries_stays_deduplicated() {
+        let c = Column::from_strs(vec![Some("AB".into()), Some("ab".into()), Some("Ab".into())]);
+        let lower = str_op(&c, StrOp::Lower).unwrap();
+        assert_eq!(
+            lower.values(),
+            vec![
+                Value::Str("ab".into()),
+                Value::Str("ab".into()),
+                Value::Str("ab".into())
+            ]
+        );
+        if let Column::Str(d) = &lower {
+            assert_eq!(d.pool().len(), 1);
+        } else {
+            panic!("expected Str column");
+        }
+    }
+
+    #[test]
     fn contains_replace_len() {
         assert_eq!(str_contains(&strs(), "Risk").unwrap().bits(), &[true, false, false]);
         let rep = str_replace(&strs(), "Risk", "R").unwrap();
@@ -526,5 +888,13 @@ mod tests {
         let m = BoolMask::new(vec![true, false]);
         let w = where_scalar(&m, &Value::Int(1), &Value::Int(0));
         assert_eq!(w.values(), vec![Value::Int(1), Value::Int(0)]);
+    }
+
+    #[test]
+    fn pow_nan_results_canonicalize_to_null() {
+        let c = Column::from_floats(vec![Some(-1.0), Some(4.0)]);
+        let p = arith(&c, ArithOp::Pow, &Operand::Scalar(Value::Float(0.5))).unwrap();
+        assert!(p.get(0).unwrap().is_null());
+        assert_eq!(p.get(1).unwrap(), Value::Float(2.0));
     }
 }

@@ -153,6 +153,40 @@ pub enum ValueKey {
     Bool(bool),
 }
 
+impl ValueKey {
+    /// Key for a non-null integer cell.
+    #[inline]
+    pub fn of_i64(v: i64) -> ValueKey {
+        ValueKey::Int(v)
+    }
+
+    /// Key for a non-null float cell, applying the same canonicalization
+    /// as [`Value::key`] (NaN → Null, integral floats collapse to Int,
+    /// `-0.0 → 0.0`).
+    #[inline]
+    pub fn of_f64(f: f64) -> ValueKey {
+        if f.is_nan() {
+            ValueKey::Null
+        } else if f.fract() == 0.0 && f.abs() < 9.0e15 {
+            ValueKey::Int(f as i64)
+        } else {
+            ValueKey::FloatBits((f + 0.0).to_bits())
+        }
+    }
+
+    /// Key for a non-null string cell.
+    #[inline]
+    pub fn of_str(s: &str) -> ValueKey {
+        ValueKey::Str(s.to_string())
+    }
+
+    /// Key for a non-null boolean cell.
+    #[inline]
+    pub fn of_bool(b: bool) -> ValueKey {
+        ValueKey::Bool(b)
+    }
+}
+
 impl Hash for Value {
     fn hash<H: Hasher>(&self, state: &mut H) {
         self.key().hash(state);

@@ -212,7 +212,7 @@ impl Interpreter {
             RtValue::Frame(f) => crate::pandas::call_frame_method(self, f, method, args),
             RtValue::Series(s) => crate::pandas::call_series_method(self, s, method, args),
             RtValue::StrAccessor(s) => crate::pandas::call_str_method(&s, method, args),
-            RtValue::GroupBy(g) => crate::pandas::call_groupby_method(*g, method, args),
+            RtValue::GroupBy(g) => crate::pandas::call_groupby_method(self, *g, method, args),
             RtValue::Estimator(e) => crate::sklearn::call_estimator_method(self, e, method, args),
             RtValue::Fitted(m) => crate::sklearn::call_fitted_method(&m, method, args),
             RtValue::Callable(b) => {
@@ -472,6 +472,12 @@ impl Interpreter {
             _ => None,
         };
         if let Some(aop) = arith_op {
+            let _k = match (&l, &r) {
+                (RtValue::Series(_), _) | (_, RtValue::Series(_)) => {
+                    self.obs.as_deref().map(|c| c.span("kernel.arith"))
+                }
+                _ => None,
+            };
             match (&l, &r) {
                 (RtValue::Series(a), RtValue::Series(b)) => {
                     let col = ops::arith(&a.col, aop, &Operand::Column(&b.col))?;
@@ -564,6 +570,12 @@ impl Interpreter {
             CmpOpKind::Eq => CmpOp::Eq,
             CmpOpKind::Ne => CmpOp::Ne,
             _ => unreachable!("membership handled above"),
+        };
+        let _k = match (&l, &r) {
+            (RtValue::Series(_), _) | (_, RtValue::Series(_)) => {
+                self.obs.as_deref().map(|c| c.span("kernel.compare"))
+            }
+            _ => None,
         };
         match (&l, &r) {
             (RtValue::Series(a), RtValue::Series(b)) => {
@@ -704,7 +716,7 @@ pub(crate) fn to_column(v: &RtValue, n_rows: usize) -> Result<Column> {
             if m.len() != n_rows {
                 return Err(InterpError::ValueError("mask length mismatch".to_string()));
             }
-            Ok(Column::from_bools(m.bits().iter().map(|&b| Some(b)).collect()))
+            Ok(Column::from_mask(m))
         }
         RtValue::Scalar(val) => {
             Ok(Column::from_values(&vec![val.clone(); n_rows]))
@@ -720,18 +732,12 @@ pub(crate) fn to_column(v: &RtValue, n_rows: usize) -> Result<Column> {
 /// Interprets a bool-typed series as a mask (pandas truthiness: null →
 /// false).
 pub(crate) fn series_to_mask(s: &SeriesVal) -> Result<BoolMask> {
-    match &s.col {
-        Column::Bool(bits) => Ok(BoolMask::new(
-            bits.iter().map(|b| b.unwrap_or(false)).collect(),
-        )),
-        Column::Int(vals) => Ok(BoolMask::new(
-            vals.iter().map(|v| v.is_some_and(|x| x != 0)).collect(),
-        )),
-        other => Err(InterpError::TypeError(format!(
+    s.col.as_mask().ok_or_else(|| {
+        InterpError::TypeError(format!(
             "cannot use {} series as a boolean mask",
-            other.dtype().name()
-        ))),
-    }
+            s.col.dtype().name()
+        ))
+    })
 }
 
 fn coerce_mask(v: &RtValue) -> Option<BoolMask> {

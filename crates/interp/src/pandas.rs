@@ -32,6 +32,7 @@ pub(crate) fn call_pandas_fn(interp: &Interpreter, name: &str, args: Args) -> Re
                 None => None,
             };
             let drop_first = kw_bool(&args, "drop_first")?.unwrap_or(false);
+            let _k = interp.obs.as_deref().map(|c| c.span("kernel.get_dummies"));
             let out = frame.df.get_dummies(columns.as_deref(), drop_first)?;
             Ok(RtValue::Frame(frame.with_same_rows(out)))
         }
@@ -55,6 +56,7 @@ pub(crate) fn call_pandas_fn(interp: &Interpreter, name: &str, args: Args) -> Re
         }
         "to_numeric" => {
             let s = expect_series(args.require(0, "arg")?)?;
+            let _k = interp.obs.as_deref().map(|c| c.span("kernel.astype"));
             let col = s.col.cast(DType::Float64)?;
             Ok(RtValue::Series(SeriesVal {
                 name: s.name.clone(),
@@ -80,7 +82,10 @@ pub(crate) fn call_frame_method(
     args: Args,
 ) -> Result<RtValue> {
     match method {
-        "fillna" => frame_fillna(&f, &args),
+        "fillna" => {
+            let _k = interp.obs.as_deref().map(|c| c.span("kernel.fillna"));
+            frame_fillna(&f, &args)
+        }
         "dropna" => {
             let axis = kw_int(&args, "axis")?.unwrap_or(0);
             if axis == 1 {
@@ -96,10 +101,12 @@ pub(crate) fn call_frame_method(
         }
         "drop" => frame_drop(&f, &args),
         "drop_duplicates" => {
+            let col_keys = f.df.column_keys();
             let mut seen = std::collections::HashSet::new();
             let mut bits = Vec::with_capacity(f.df.n_rows());
             for i in 0..f.df.n_rows() {
-                bits.push(seen.insert(f.df.row_key(i)?));
+                let key: Vec<_> = col_keys.iter().map(|k| k[i].clone()).collect();
+                bits.push(seen.insert(key));
             }
             Ok(RtValue::Frame(f.filter(&lucid_frame::BoolMask::new(bits))?))
         }
@@ -271,10 +278,7 @@ pub(crate) fn call_frame_method(
             // of bool columns.
             let mut out = lucid_frame::DataFrame::new();
             for (n, c) in f.df.iter() {
-                out.add_column(
-                    n,
-                    Column::from_bools(c.is_na().bits().iter().map(|&b| Some(b)).collect()),
-                )?;
+                out.add_column(n, Column::from_mask(&c.is_na()))?;
             }
             Ok(RtValue::Frame(f.with_same_rows(out)))
         }
@@ -292,6 +296,7 @@ pub(crate) fn call_frame_method(
             let dtype = DType::parse(&target).ok_or_else(|| {
                 InterpError::ValueError(format!("unknown dtype '{target}'"))
             })?;
+            let _k = interp.obs.as_deref().map(|c| c.span("kernel.astype"));
             let mut out = lucid_frame::DataFrame::new();
             for (n, c) in f.df.iter() {
                 out.add_column(n, c.cast(dtype)?)?;
@@ -433,7 +438,7 @@ fn subset_not_na_mask(f: &FrameVal, subset: &[String]) -> Result<lucid_frame::Bo
 
 /// `series.<method>(...)` dispatch.
 pub(crate) fn call_series_method(
-    _interp: &Interpreter,
+    interp: &Interpreter,
     s: SeriesVal,
     method: &str,
     args: Args,
@@ -484,6 +489,7 @@ pub(crate) fn call_series_method(
                     )))
                 }
             };
+            let _k = interp.obs.as_deref().map(|c| c.span("kernel.fillna"));
             Ok(RtValue::Series(SeriesVal {
                 name: s.name.clone(),
                 col: s.col.fill_na(&fill)?,
@@ -523,6 +529,7 @@ pub(crate) fn call_series_method(
             let dtype = DType::parse(&target).ok_or_else(|| {
                 InterpError::ValueError(format!("unknown dtype '{target}'"))
             })?;
+            let _k = interp.obs.as_deref().map(|c| c.span("kernel.astype"));
             Ok(RtValue::Series(SeriesVal {
                 name: s.name.clone(),
                 col: s.col.cast(dtype)?,
@@ -621,7 +628,12 @@ pub(crate) fn call_str_method(s: &SeriesVal, method: &str, args: Args) -> Result
 }
 
 /// `df.groupby(...)...<agg>()` dispatch.
-pub(crate) fn call_groupby_method(g: GroupByVal, method: &str, args: Args) -> Result<RtValue> {
+pub(crate) fn call_groupby_method(
+    interp: &Interpreter,
+    g: GroupByVal,
+    method: &str,
+    args: Args,
+) -> Result<RtValue> {
     let agg = match method {
         "agg" => {
             let name = expect_str(args.require(0, "func")?)?;
@@ -648,6 +660,7 @@ pub(crate) fn call_groupby_method(g: GroupByVal, method: &str, args: Args) -> Re
                 })?
         }
     };
+    let _k = interp.obs.as_deref().map(|c| c.span("kernel.groupby"));
     let out = group_agg(&g.frame.df, &g.keys, &value_col, agg)?;
     Ok(RtValue::Frame(FrameVal::fresh(out)))
 }

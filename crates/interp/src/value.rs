@@ -45,8 +45,8 @@ impl FrameVal {
         let index = self
             .index
             .iter()
-            .zip(mask.bits())
-            .filter(|(_, &m)| m)
+            .zip(mask.iter())
+            .filter(|&(_, m)| m)
             .map(|(&i, _)| i)
             .collect();
         Ok(FrameVal { df, index })

@@ -25,7 +25,7 @@ cargo clippy -p lucid-core -p lucid-interp -p lucid-obs -p lucid-bench -p lucids
 echo "==> bench smoke + noise-aware regression gate"
 bench_smoke=$(mktemp -d)
 trap 'rm -rf "$bench_smoke"' EXIT
-./target/release/lucid bench --quick --reps 2 --out "$bench_smoke/smoke.json"
+./target/release/lucid bench --quick --kernels --reps 2 --out "$bench_smoke/smoke.json"
 ./scripts/bench_gate.sh BENCH_search.json
 
 # The interpreter must stay panic-free outside #[cfg(test)]: a panicking
@@ -74,6 +74,35 @@ ir_gate crates/core/src/transform.rs 'to_module\('
 ir_gate crates/core/src/explain.rs 'build_dag\('
 if [ "$gate_failed" -ne 0 ]; then
   echo "==> FAIL: the search hot path must stay on the interned IR"
+  exit 1
+fi
+
+# The frame kernels must stay columnar: the hot files operate on typed
+# buffers, bitmap words, and dictionary codes — never by materializing a
+# Value per cell. `.values()` calls, per-cell `Value::X =>` match arms,
+# and Option-mapping row scans in non-test code all reintroduce the
+# allocation-per-row pattern the columnar re-layout removed. (Scalar
+# destructuring like `Operand::Scalar(Value::Str(s))` stays legal: the
+# gate targets bare per-cell arms, and hot paths use `if let` instead.)
+echo "==> columnar-kernel grep gate (frame hot files stay per-buffer, not per-cell)"
+kernel_gate() {
+  local f="$1"
+  local hits
+  hits=$(awk '/#\[cfg\(test\)\]/{exit} {print NR": "$0}' "$f" \
+    | grep -vE '^[0-9]+: *(//|//!)' \
+    | grep -E '\.values\(\)|Value::(Null|Int|Float|Str|Bool)(\([^)]*\))? *=>|iter\(\)\.map\(.*Option' || true)
+  if [ -n "$hits" ]; then
+    echo "per-cell Value scan in non-test code of $f:"
+    echo "$hits"
+    gate_failed=1
+  fi
+}
+for f in crates/frame/src/ops.rs crates/frame/src/mask.rs \
+         crates/frame/src/groupby.rs crates/frame/src/jaccard.rs; do
+  kernel_gate "$f"
+done
+if [ "$gate_failed" -ne 0 ]; then
+  echo "==> FAIL: frame kernels must stay columnar (typed buffers + bitmaps + codes)"
   exit 1
 fi
 

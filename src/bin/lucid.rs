@@ -98,6 +98,10 @@ OPTIONS (bench):
   --batch             also run the pinned batch suite (whole-corpus runs with
                       a jobs × memo sweep) and record its workloads in the
                       same entry; re-stamps the config fingerprint
+  --kernels           also run the frame-kernel micro-suite (fillna, dummies,
+                      astype, compare, arith, groupby, jaccard over 100k-row
+                      synthetic columns) as kernel-* workloads in the same
+                      entry; re-stamps the config fingerprint
   --reps <N>          repetitions per workload (default 5)
   --out <FILE>        trajectory file to append to (default BENCH_search.json;
                       with --compare, nothing is appended unless --out is given)
@@ -155,7 +159,8 @@ const VALUE_FLAGS: &[&str] = &[
     "deadline-ms", "telemetry", "stats-out", "stats-interval-ms",
 ];
 /// Switches of `lucid bench`.
-const BENCH_SWITCH_FLAGS: &[&str] = &["quick", "telemetry-overhead", "counting-only", "batch"];
+const BENCH_SWITCH_FLAGS: &[&str] =
+    &["quick", "telemetry-overhead", "counting-only", "batch", "kernels"];
 /// `--name value` flags of `lucid bench`.
 const BENCH_VALUE_FLAGS: &[&str] = &[
     "reps",
@@ -483,6 +488,14 @@ fn bench(flags: &Flags) -> Result<ExitCode, String> {
             reps
         );
         lucidscript::bench::extend_with_batch(&mut entry, &batch, reps)?;
+    }
+    if flags.has("kernels") {
+        eprintln!(
+            "running {} kernel workload(s) × {} rep(s)...",
+            lucidscript::bench::kernel_suite().len(),
+            reps
+        );
+        lucidscript::bench::extend_with_kernels(&mut entry, reps);
     }
     for w in &entry.workloads {
         let total = w

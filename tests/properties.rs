@@ -16,7 +16,11 @@ use lucidscript::core::transform::{enumerate_transformations, EnumOptions};
 use lucidscript::core::vocab::CorpusModel;
 use lucidscript::corpus::script_gen::generate_script;
 use lucidscript::corpus::Profile;
+use lucidscript::frame::groupby::{group_agg, AggFn};
 use lucidscript::frame::jaccard::{row_jaccard, value_jaccard};
+use lucidscript::frame::naive;
+use lucidscript::frame::ops::{arith, compare, ArithOp, CmpOp, Operand};
+use lucidscript::frame::{Column, DataFrame, Value};
 use lucidscript::interp::{Budget, BudgetKind, Interpreter, InterpError, UNLIMITED};
 use lucidscript::pyast::{parse_module, print_module, Module};
 use proptest::prelude::*;
@@ -274,6 +278,180 @@ proptest! {
         prop_assert_eq!(row_jaccard(&a, &b), row_jaccard(&b, &a));
         prop_assert!((value_jaccard(&a, &a) - 1.0).abs() < 1e-12);
         prop_assert!((row_jaccard(&a, &a) - 1.0).abs() < 1e-12);
+    }
+}
+
+/// A random scalar, deliberately including the hostile cases: `Null`,
+/// `NaN` (which the columnar layout canonicalizes to null), empty
+/// strings, and values straddling the Int/Float key boundary.
+fn arb_scalar() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (-20i64..20).prop_map(Value::Int),
+        prop_oneof![-100.0..100.0f64, Just(f64::NAN), Just(3.0)].prop_map(Value::Float),
+        prop::sample::select(vec!["a", "b", "zz", ""]).prop_map(|s| Value::Str(s.to_string())),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+    .boxed()
+}
+
+/// A random column of exactly `n` rows, any dtype, ~half nulls. Small
+/// domains on purpose: collisions (repeated categories, equal numbers)
+/// are where dictionary codes and bitmap kernels can diverge from the
+/// per-cell reference.
+fn arb_col(n: usize) -> BoxedStrategy<Column> {
+    use prop::collection::vec;
+    use prop::option;
+    prop_oneof![
+        vec(option::of(-20i64..20), n..=n).prop_map(Column::from_ints),
+        vec(option::of(prop_oneof![-100.0..100.0f64, Just(3.0)]), n..=n)
+            .prop_map(Column::from_floats),
+        vec(
+            option::of(prop::sample::select(vec!["a", "b", "zz", ""]).prop_map(String::from)),
+            n..=n
+        )
+        .prop_map(Column::from_strs),
+        vec(option::of(any::<bool>()), n..=n).prop_map(Column::from_bools),
+    ]
+    .boxed()
+}
+
+/// A scalar-or-column right-hand side for the binary kernels (owned, so
+/// it can flow through a strategy; borrowed into [`Operand`] per case).
+#[derive(Debug, Clone)]
+enum RhsSpec {
+    Scalar(Value),
+    Col(Column),
+}
+
+fn arb_rhs(n: usize) -> BoxedStrategy<RhsSpec> {
+    prop_oneof![
+        arb_scalar().prop_map(RhsSpec::Scalar),
+        arb_col(n).prop_map(RhsSpec::Col),
+    ]
+    .boxed()
+}
+
+proptest! {
+    // The typed bitmap/dictionary kernels must be *value-identical* to
+    // the per-cell reference in `frame::naive` — same outputs on the
+    // same inputs, same error on the same first offending row.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `Column::fill_na` agrees with the per-cell reference on any
+    /// column × any fill scalar, including dtype-mismatch errors.
+    #[test]
+    fn fillna_kernel_matches_naive(
+        (col, fill) in (0usize..24).prop_flat_map(|n| (arb_col(n), arb_scalar()))
+    ) {
+        match (col.fill_na(&fill), naive::naive_fill_na(&col, &fill)) {
+            (Ok(k), Ok(reference)) => prop_assert_eq!(k.values(), reference),
+            (Err(k), Err(reference)) => prop_assert_eq!(k.to_string(), reference.to_string()),
+            (k, reference) => panic!("kernel {k:?} disagrees with reference {reference:?}"),
+        }
+    }
+
+    /// `ops::compare` agrees with the per-cell reference for every
+    /// operator × column × scalar-or-column right-hand side.
+    #[test]
+    fn compare_kernel_matches_naive(
+        (col, rhs, op) in (0usize..24).prop_flat_map(|n| (
+            arb_col(n),
+            arb_rhs(n),
+            prop::sample::select(vec![CmpOp::Lt, CmpOp::Gt, CmpOp::Le, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne]),
+        ))
+    ) {
+        let operand = match &rhs {
+            RhsSpec::Scalar(v) => Operand::Scalar(v.clone()),
+            RhsSpec::Col(c) => Operand::Column(c),
+        };
+        match (compare(&col, op, &operand), naive::naive_compare(&col, op, &operand)) {
+            (Ok(k), Ok(reference)) => prop_assert_eq!(k.bits(), reference),
+            (Err(k), Err(reference)) => prop_assert_eq!(k.to_string(), reference.to_string()),
+            (k, reference) => panic!("kernel {k:?} disagrees with reference {reference:?}"),
+        }
+    }
+
+    /// `ops::arith` agrees with the per-cell reference — including the
+    /// string-concat special case, keep-int typing, NaN→null
+    /// canonicalization, and the per-row error precedence.
+    #[test]
+    fn arith_kernel_matches_naive(
+        (col, rhs, op) in (0usize..24).prop_flat_map(|n| (
+            arb_col(n),
+            arb_rhs(n),
+            prop::sample::select(vec![
+                ArithOp::Add, ArithOp::Sub, ArithOp::Mul, ArithOp::Div,
+                ArithOp::FloorDiv, ArithOp::Mod, ArithOp::Pow,
+            ]),
+        ))
+    ) {
+        let operand = match &rhs {
+            RhsSpec::Scalar(v) => Operand::Scalar(v.clone()),
+            RhsSpec::Col(c) => Operand::Column(c),
+        };
+        match (arith(&col, op, &operand), naive::naive_arith(&col, op, &operand)) {
+            (Ok(k), Ok(reference)) => prop_assert_eq!(k.values(), reference),
+            (Err(k), Err(reference)) => prop_assert_eq!(k.to_string(), reference.to_string()),
+            (k, reference) => panic!("kernel {k:?} disagrees with reference {reference:?}"),
+        }
+    }
+
+    /// `DataFrame::get_dummies` (the dictionary-code fast path for
+    /// string columns) produces exactly the reference categories, in
+    /// order, with identical indicator bits.
+    #[test]
+    fn get_dummies_kernel_matches_naive(
+        (col, drop_first) in (0usize..24).prop_flat_map(|n| (arb_col(n), any::<bool>()))
+    ) {
+        let df = DataFrame::from_columns(vec![("c", col.clone())]).expect("one column");
+        let out = df.get_dummies(Some(&["c".to_string()]), drop_first).expect("encodes");
+        let reference = naive::naive_get_dummies(&col, drop_first);
+        prop_assert_eq!(out.n_cols(), reference.len());
+        for (i, (name, dummy)) in out.iter().enumerate() {
+            let (cat, bits) = &reference[i];
+            prop_assert_eq!(name, format!("c_{cat}").as_str());
+            let expected: Vec<Value> = bits.iter().map(|&b| Value::Int(b)).collect();
+            prop_assert_eq!(dummy.values(), expected);
+        }
+    }
+
+    /// `groupby::group_agg` agrees with the per-cell reference: same
+    /// groups in first-seen order, same key values, same aggregates —
+    /// for every aggregation function and any key/value dtype combo.
+    #[test]
+    fn groupby_kernel_matches_naive(
+        (key, val, agg) in (1usize..24).prop_flat_map(|n| (
+            arb_col(n),
+            arb_col(n),
+            prop::sample::select(vec![
+                AggFn::Mean, AggFn::Sum, AggFn::Count, AggFn::Min, AggFn::Max, AggFn::Median,
+            ]),
+        ))
+    ) {
+        let df = DataFrame::from_columns(vec![("k", key), ("v", val)]).expect("two columns");
+        let out = group_agg(&df, &["k"], "v", agg).expect("aggregates");
+        let reference = naive::naive_group_agg(&df, &["k"], "v", agg).expect("aggregates");
+        prop_assert_eq!(out.n_rows(), reference.len());
+        let key_col = out.column("k").expect("key column");
+        let agg_col = out.column("v").expect("agg column");
+        for (i, (key_vals, aggregate)) in reference.iter().enumerate() {
+            prop_assert_eq!(&key_col.get(i).expect("in bounds"), &key_vals[0]);
+            prop_assert_eq!(&agg_col.get(i).expect("in bounds"), aggregate);
+        }
+    }
+
+    /// The columnar Δ_J (pool-deduplicated string sets, typed numeric
+    /// loops) equals the per-cell set construction bit-for-bit.
+    #[test]
+    fn value_jaccard_kernel_matches_naive(
+        (a1, a2, b1, b2) in (1usize..16, 1usize..16).prop_flat_map(|(n, m)| (
+            arb_col(n), arb_col(n), arb_col(m), arb_col(m),
+        ))
+    ) {
+        let a = DataFrame::from_columns(vec![("x", a1), ("y", a2)]).expect("frame a");
+        let b = DataFrame::from_columns(vec![("x", b1), ("y", b2)]).expect("frame b");
+        prop_assert_eq!(value_jaccard(&a, &b), naive::naive_value_jaccard(&a, &b));
     }
 }
 
